@@ -1,0 +1,93 @@
+package rcr_test
+
+// The benchmark harness: one benchmark per figure/claim reproduced from
+// the paper (DESIGN.md §4 maps each ID to its modules). Each benchmark
+// executes the corresponding experiment in quick mode; run the cmd/rcrbench
+// binary for the full-budget tables recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := runner(uint64(i+1), true)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkF1_RCRStack regenerates Fig. 1: a full pass of the RCR
+// architectural stack (kernel QP -> PSO tuning -> adversarial training ->
+// hybrid verification).
+func BenchmarkF1_RCRStack(b *testing.B) { benchExperiment(b, "f1") }
+
+// BenchmarkF2_DualParadigm regenerates Fig. 2: the two MSY3I paradigms
+// with and without the third mode-collapse-mitigating generator.
+func BenchmarkF2_DualParadigm(b *testing.B) { benchExperiment(b, "f2") }
+
+// BenchmarkF3_NumericalAudit regenerates Fig. 3: the numerical-issues
+// audit over the FFT/STFT/softmax kernels.
+func BenchmarkF3_NumericalAudit(b *testing.B) { benchExperiment(b, "f3") }
+
+// BenchmarkT1_PSOStagnation reproduces the §II-A claims on discrete-PSO
+// stagnation and adaptive inertia.
+func BenchmarkT1_PSOStagnation(b *testing.B) { benchExperiment(b, "t1") }
+
+// BenchmarkT2_SqueezeTradeoff reproduces the §II-B parameter/accuracy
+// trade-off of fire-layer squeezing.
+func BenchmarkT2_SqueezeTradeoff(b *testing.B) { benchExperiment(b, "t2") }
+
+// BenchmarkT3_VerifierTradeoff reproduces the §II-B-2 exact-vs-relaxed
+// verifier comparison.
+func BenchmarkT3_VerifierTradeoff(b *testing.B) { benchExperiment(b, "t3") }
+
+// BenchmarkT4_TraceRelaxation reproduces the §IV-C RMP->TMP->SDP chain.
+func BenchmarkT4_TraceRelaxation(b *testing.B) { benchExperiment(b, "t4") }
+
+// BenchmarkT5_RRAQoS reproduces the motivating RRA workload comparison.
+func BenchmarkT5_RRAQoS(b *testing.B) { benchExperiment(b, "t5") }
+
+// BenchmarkT6_BatchnormPlacement reproduces the batchnorm-placement
+// stability claim.
+func BenchmarkT6_BatchnormPlacement(b *testing.B) { benchExperiment(b, "t6") }
+
+// BenchmarkT7_BoundTightening reproduces the layer-wise bound-tightening
+// claim of the RCR training loop.
+func BenchmarkT7_BoundTightening(b *testing.B) { benchExperiment(b, "t7") }
+
+// BenchmarkT8_StableOps reproduces the §V fused-operation stability claim.
+func BenchmarkT8_StableOps(b *testing.B) { benchExperiment(b, "t8") }
+
+// BenchmarkA1_GeneratorMixture is the ablation behind the paper's stated
+// future work: generator-mixture size vs mode collapse.
+func BenchmarkA1_GeneratorMixture(b *testing.B) { benchExperiment(b, "a1") }
+
+// BenchmarkA2_EpsSweep maps the certified-robustness crossover of the
+// three verifiers over the perturbation radius.
+func BenchmarkA2_EpsSweep(b *testing.B) { benchExperiment(b, "a2") }
+
+// BenchmarkA3_MultiRAT exercises the paper's second motivating MINLP:
+// multi-RAT assignment with per-class QoS.
+func BenchmarkA3_MultiRAT(b *testing.B) { benchExperiment(b, "a3") }
+
+// BenchmarkA4_SpectrumSensing grounds the paper's OFDM/STFT signal
+// detection claim: OFDM BER over the FFT kernel plus MSY3I band
+// classification on spectrogram features.
+func BenchmarkA4_SpectrumSensing(b *testing.B) { benchExperiment(b, "a4") }
+
+// BenchmarkA5_NetworkSlicing measures what per-class slice isolation costs
+// against the global RRA optimum.
+func BenchmarkA5_NetworkSlicing(b *testing.B) { benchExperiment(b, "a5") }

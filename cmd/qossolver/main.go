@@ -1,0 +1,96 @@
+// Command qossolver generates and solves a 5G QoS radio-resource
+// allocation instance (the paper's motivating MINLP) with the requested
+// solver and prints the allocation and its QoS report as JSON.
+//
+// Usage:
+//
+//	qossolver -embb 2 -urllc 1 -mmtc 2 -rbs 8 -solver exact
+//	qossolver -solver pso -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/minlp"
+	"repro/internal/pso"
+	"repro/internal/qos"
+)
+
+// output is the JSON document printed on success.
+type output struct {
+	Solver             string    `json:"solver"`
+	Users              int       `json:"users"`
+	RBs                int       `json:"rbs"`
+	UserOf             []int     `json:"userOf"`
+	PowerW             []float64 `json:"powerW"`
+	TotalRateBps       float64   `json:"totalRateBps"`
+	SpectralEfficiency float64   `json:"spectralEfficiencyBpsHz"`
+	AllQoSMet          bool      `json:"allQoSMet"`
+	RatePerUserBps     []float64 `json:"ratePerUserBps"`
+	QoSMet             []bool    `json:"qosMet"`
+	Note               string    `json:"note,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qossolver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qossolver", flag.ContinueOnError)
+	embb := fs.Int("embb", 1, "number of eMBB users")
+	urllc := fs.Int("urllc", 1, "number of URLLC users")
+	mmtc := fs.Int("mmtc", 1, "number of mMTC users")
+	rbs := fs.Int("rbs", 6, "number of resource blocks")
+	seed := fs.Uint64("seed", 1, "channel seed")
+	solver := fs.String("solver", "exact", "solver: greedy | pso | exact")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := qos.GenerateProblem(*embb, *urllc, *mmtc, *rbs, *seed)
+	if err != nil {
+		return err
+	}
+	var alloc *qos.Allocation
+	note := ""
+	switch *solver {
+	case "greedy":
+		alloc, err = p.SolveGreedy()
+	case "pso":
+		alloc, _, err = p.SolvePSO(pso.Options{Seed: *seed, Swarm: 30, MaxIter: 250,
+			Inertia: pso.DefaultAdaptiveInertia(), StagnationWindow: 20})
+	case "exact":
+		var res *minlp.Result
+		alloc, res, err = p.SolveExact(minlp.Options{MaxNodes: 300000})
+		if err == nil && alloc == nil {
+			note = "exact solver: " + res.Status.String()
+		}
+	default:
+		return fmt.Errorf("unknown solver %q", *solver)
+	}
+	if err != nil {
+		return err
+	}
+	out := output{Solver: *solver, Users: len(p.Users), RBs: *rbs, Note: note}
+	if alloc != nil {
+		rep, err := p.Evaluate(alloc)
+		if err != nil {
+			return err
+		}
+		out.UserOf = alloc.UserOf
+		out.PowerW = alloc.PowerW
+		out.TotalRateBps = rep.TotalRateBps
+		out.SpectralEfficiency = rep.SpectralEfficiency
+		out.AllQoSMet = rep.AllQoSMet
+		out.RatePerUserBps = rep.RatePerUser
+		out.QoSMet = rep.QoSMet
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGreedy(t *testing.T) {
+	if err := run([]string{"-solver", "greedy", "-rbs", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSolver(t *testing.T) {
+	err := run([]string{"-solver", "magic"})
+	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
+		t.Fatalf("want unknown solver error, got %v", err)
+	}
+}
+
+func TestRunRejectsBadInstance(t *testing.T) {
+	if err := run([]string{"-embb", "0", "-urllc", "0", "-mmtc", "0"}); err == nil {
+		t.Fatal("want error for empty instance")
+	}
+}

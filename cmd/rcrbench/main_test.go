@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingExp(t *testing.T) {
+	err := run(nil)
+	if err == nil || !strings.Contains(err.Error(), "missing -exp") {
+		t.Fatalf("want missing -exp error, got %v", err)
+	}
+}
+
+func TestRunUnknownExp(t *testing.T) {
+	err := run([]string{"-exp", "zz"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown experiment error, got %v", err)
+	}
+}
+
+func TestRunQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment execution in -short mode")
+	}
+	if err := run([]string{"-exp", "t8", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "f3", "-quick", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

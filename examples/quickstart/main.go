@@ -1,0 +1,36 @@
+// Quickstart: run the full RCR stack at a small budget through the public
+// rcr API and print what each layer produced.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	report, err := rcr.RunStack(rcr.StackConfig{
+		Seed:            42,
+		Swarm:           4,
+		PSOIters:        3,
+		TuneTrainSteps:  15,
+		FinalTrainSteps: 80,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RCR stack run complete")
+	fmt.Printf("  layer 1  adaptive inertia: base=%.3f boost=%.3f cap=%.2f\n",
+		report.Inertia.Schedule.Base, report.Inertia.Schedule.Boost, report.Inertia.Schedule.Max)
+	fmt.Printf("  layer 2  tuned MSY3I: width=%d stages=%d squeeze=%.3f (%d PSO evals)\n",
+		report.BestSpec.Width, report.BestSpec.Stages, report.BestSpec.SqueezeRatio, report.PSOEvals)
+	fmt.Printf("  layer 3  %d params, accuracy %.1f%% (standard-trained twin: %.1f%%)\n",
+		report.NumParams, 100*report.FinalAccuracy, 100*report.StandardAccuracy)
+	fmt.Printf("  layer 3  mean relaxation width %.4g (standard) -> %.4g (adversarial)\n",
+		report.MeanWidthStandard, report.MeanWidthAdversarial)
+	fmt.Printf("  layer 3  verification: triangle=%v exact=%v (certified bound %.4g)\n",
+		report.TriangleVerdict, report.ExactVerdict, report.CertifiedBound)
+}

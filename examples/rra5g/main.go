@@ -1,0 +1,74 @@
+// rra5g: generate a single-cell 5G downlink with a mix of eMBB, URLLC, and
+// mMTC users and compare the three allocation strategies on the same
+// channel realization — the paper's motivating "diverse QoS" workload.
+//
+//	go run ./examples/rra5g
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/pso"
+	"repro/internal/qos"
+)
+
+func main() {
+	p, err := rcr.GenerateRRA(2, 1, 2, 8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cell: %d users over %d resource blocks, budget %.1f W/user\n",
+		len(p.Users), p.Inst.Params.NumRBs, p.PowerBudgetW)
+	for _, u := range p.Users {
+		req := p.Reqs[u.Class]
+		fmt.Printf("  user %d  %-5v  min rate %.2f Mb/s", u.ID, u.Class, req.MinRateBps/1e6)
+		if req.MinSNRdB != 0 {
+			fmt.Printf("  min SNR %.0f dB", req.MinSNRdB)
+		}
+		fmt.Println()
+	}
+
+	show := func(name string, alloc *qos.Allocation) {
+		rep, err := p.Evaluate(alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: %.2f Mb/s total (%.2f b/s/Hz), all QoS met: %v\n",
+			name, rep.TotalRateBps/1e6, rep.SpectralEfficiency, rep.AllQoSMet)
+		for u := range p.Users {
+			status := "MISS"
+			if rep.QoSMet[u] {
+				status = "ok"
+			}
+			fmt.Printf("  user %d (%v): %.2f Mb/s [%s]\n",
+				u, p.Users[u].Class, rep.RatePerUser[u]/1e6, status)
+		}
+	}
+
+	greedy, err := p.SolveGreedy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("greedy", greedy)
+
+	psoAlloc, psoRes, err := p.SolvePSO(pso.Options{
+		Seed: 7, Swarm: 30, MaxIter: 250,
+		Inertia: pso.DefaultAdaptiveInertia(), StagnationWindow: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(fmt.Sprintf("PSO (%d evals)", psoRes.Evals), psoAlloc)
+
+	exact, res, err := p.SolveExact(rcr.BnBOptions{MaxNodes: 300000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if exact == nil {
+		fmt.Printf("\nexact BnB: %v\n", res.Status)
+		return
+	}
+	show(fmt.Sprintf("exact BnB (%d nodes)", res.Nodes), exact)
+}

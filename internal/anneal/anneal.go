@@ -1,0 +1,152 @@
+// Package anneal implements Langevin-style stochastic global optimization
+// baselines: simulated annealing with a Metropolis acceptance rule and a
+// discrete random-restart hill climber. The paper's introduction lists
+// "Langevin Diffusions (with the possibility of premature stagnation of
+// particles at local optima)" among the general-purpose approaches to
+// nonconvex problems; this package provides that comparison point for the
+// PSO experiments.
+package anneal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrBadProblem is returned for structurally invalid search spaces.
+var ErrBadProblem = errors.New("anneal: invalid problem")
+
+// Dim bounds one dimension; Integer dims move on the integer lattice.
+type Dim struct {
+	Lo, Hi  float64
+	Integer bool
+}
+
+// Problem is a box-constrained minimization.
+type Problem struct {
+	Dims []Dim
+	Eval func(x []float64) float64
+}
+
+// Options configures simulated annealing. Zero fields take defaults.
+type Options struct {
+	Iters int     // default 2000
+	T0    float64 // initial temperature, default 1
+	Alpha float64 // geometric cooling factor per iteration, default 0.995
+	// StepFrac scales proposal moves relative to each dim's range,
+	// default 0.1.
+	StepFrac float64
+	Seed     uint64
+	// Restarts > 0 re-seeds the walker that many times, keeping the best.
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iters == 0 {
+		o.Iters = 2000
+	}
+	if o.T0 == 0 {
+		o.T0 = 1
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.995
+	}
+	if o.StepFrac == 0 {
+		o.StepFrac = 0.1
+	}
+	return o
+}
+
+// Result reports the best point found.
+type Result struct {
+	X     []float64
+	F     float64
+	Evals int
+	// Accepted counts accepted Metropolis moves (diagnostic for premature
+	// freezing: a low acceptance ratio late in the run).
+	Accepted int
+}
+
+// Minimize runs simulated annealing (with optional restarts) on p.
+func Minimize(p *Problem, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if p == nil || p.Eval == nil || len(p.Dims) == 0 {
+		return nil, fmt.Errorf("%w: nil problem, Eval, or empty dims", ErrBadProblem)
+	}
+	for i, d := range p.Dims {
+		if !(d.Lo <= d.Hi) {
+			return nil, fmt.Errorf("%w: dim %d has Lo %g > Hi %g", ErrBadProblem, i, d.Lo, d.Hi)
+		}
+	}
+	r := rng.New(o.Seed)
+	res := &Result{F: math.Inf(1)}
+	runs := o.Restarts + 1
+	for run := 0; run < runs; run++ {
+		x := randomPoint(p, r)
+		fx := p.Eval(decode(p, x))
+		res.Evals++
+		temp := o.T0
+		for it := 0; it < o.Iters; it++ {
+			trial := propose(p, x, o.StepFrac, r)
+			ft := p.Eval(decode(p, trial))
+			res.Evals++
+			if ft <= fx || r.Float64() < math.Exp(-(ft-fx)/math.Max(temp, 1e-300)) {
+				x, fx = trial, ft
+				res.Accepted++
+			}
+			temp *= o.Alpha
+		}
+		if fx < res.F {
+			res.F = fx
+			res.X = decode(p, x)
+		}
+	}
+	return res, nil
+}
+
+func randomPoint(p *Problem, r *rng.Rand) []float64 {
+	x := make([]float64, len(p.Dims))
+	for i, d := range p.Dims {
+		x[i] = r.Uniform(d.Lo, d.Hi)
+	}
+	return x
+}
+
+// propose draws a Gaussian move in each coordinate, clipped to the box.
+func propose(p *Problem, x []float64, frac float64, r *rng.Rand) []float64 {
+	out := make([]float64, len(x))
+	for i, d := range p.Dims {
+		step := frac * (d.Hi - d.Lo)
+		v := x[i] + step*r.Norm()
+		if v < d.Lo {
+			v = d.Lo
+		}
+		if v > d.Hi {
+			v = d.Hi
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// decode rounds integer dims for evaluation, mirroring the PSO rounding
+// encoding so the two baselines face identical landscapes.
+func decode(p *Problem, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, d := range p.Dims {
+		v := x[i]
+		if d.Integer {
+			v = math.Round(v)
+			if v < math.Ceil(d.Lo) {
+				v = math.Ceil(d.Lo)
+			}
+			if v > math.Floor(d.Hi) {
+				v = math.Floor(d.Hi)
+			}
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package anneal
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+func rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+func box(n int, lo, hi float64, integer bool) []Dim {
+	ds := make([]Dim, n)
+	for i := range ds {
+		ds[i] = Dim{Lo: lo, Hi: hi, Integer: integer}
+	}
+	return ds
+}
+
+func TestSphereConvergence(t *testing.T) {
+	p := &Problem{Dims: box(3, -5, 5, false), Eval: sphere}
+	res, err := Minimize(p, Options{Seed: 1, Iters: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 0.05 {
+		t.Fatalf("best = %v, want near 0", res.F)
+	}
+}
+
+func TestIntegerRastrigin(t *testing.T) {
+	p := &Problem{Dims: box(3, -5, 5, true), Eval: rastrigin}
+	res, err := Minimize(p, Options{Seed: 2, Iters: 3000, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 2 {
+		t.Fatalf("best = %v, want <= 2", res.F)
+	}
+	for _, v := range res.X {
+		if v != math.Trunc(v) {
+			t.Fatalf("integer dim returned non-integer %v", v)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	p := &Problem{Dims: box(2, -3, 3, false), Eval: sphere}
+	a, _ := Minimize(p, Options{Seed: 5, Iters: 500})
+	b, _ := Minimize(p, Options{Seed: 5, Iters: 500})
+	if a.F != b.F {
+		t.Fatalf("same seed gave %v vs %v", a.F, b.F)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Minimize(nil, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("nil problem should fail")
+	}
+	p := &Problem{Dims: []Dim{{Lo: 2, Hi: 1}}, Eval: sphere}
+	if _, err := Minimize(p, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("crossed bounds should fail")
+	}
+	if _, err := Minimize(&Problem{Eval: sphere}, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("empty dims should fail")
+	}
+}
+
+func TestRestartsImproveOrMatch(t *testing.T) {
+	p := &Problem{Dims: box(3, -5, 5, true), Eval: rastrigin}
+	single, err := Minimize(p, Options{Seed: 7, Iters: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Minimize(p, Options{Seed: 7, Iters: 800, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.F > single.F {
+		t.Fatalf("restarts made the result worse: %v vs %v", multi.F, single.F)
+	}
+}
+
+func TestResultStaysInBox(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := &Problem{Dims: box(2, -1.5, 2.5, false), Eval: sphere}
+		res, err := Minimize(p, Options{Seed: seed, Iters: 200})
+		if err != nil {
+			return false
+		}
+		for _, v := range res.X {
+			if v < -1.5 || v > 2.5 {
+				return false
+			}
+		}
+		return res.Evals > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnnealSphere(b *testing.B) {
+	p := &Problem{Dims: box(4, -5, 5, false), Eval: sphere}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Minimize(p, Options{Seed: uint64(i), Iters: 1000})
+	}
+}

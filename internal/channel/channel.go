@@ -1,0 +1,175 @@
+// Package channel models the single-cell OFDMA downlink the paper's
+// motivating Radio Resource Allocation problem runs on: log-distance path
+// loss with log-normal shadowing, Rayleigh fast fading per resource block,
+// SINR, and Shannon spectral efficiency. The model is deliberately textbook
+// — the substitution note in DESIGN.md explains why this preserves the
+// structure the paper's MINLP formulation needs (integer frequency-time
+// block assignment crossed with continuous transmit powers).
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrParams is returned for invalid model parameters.
+var ErrParams = errors.New("channel: invalid parameters")
+
+// Params describes the cell and grid.
+type Params struct {
+	NumUsers      int
+	NumRBs        int     // resource blocks
+	RBBandwidthHz float64 // default 180e3 (LTE-style RB)
+	CellRadiusM   float64 // default 500
+	MinDistanceM  float64 // default 35
+	PathLossExp   float64 // default 3.5
+	RefLossDB     float64 // loss at 1 m, default 30
+	ShadowSigmaDB float64 // default 6
+	NoiseDBmPerHz float64 // default -174 (thermal)
+	Seed          uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.RBBandwidthHz == 0 {
+		p.RBBandwidthHz = 180e3
+	}
+	if p.CellRadiusM == 0 {
+		p.CellRadiusM = 500
+	}
+	if p.MinDistanceM == 0 {
+		p.MinDistanceM = 35
+	}
+	if p.PathLossExp == 0 {
+		p.PathLossExp = 3.5
+	}
+	if p.RefLossDB == 0 {
+		p.RefLossDB = 30
+	}
+	if p.ShadowSigmaDB == 0 {
+		p.ShadowSigmaDB = 6
+	}
+	if p.NoiseDBmPerHz == 0 {
+		p.NoiseDBmPerHz = -174
+	}
+	return p
+}
+
+// Instance is one channel realization: per-user, per-RB linear power gains
+// and the per-RB noise power.
+type Instance struct {
+	Params Params
+	// Gain[u][b] is the linear channel power gain of user u on RB b
+	// (path loss × shadowing × Rayleigh fading).
+	Gain [][]float64
+	// NoiseW is the noise power per RB in watts.
+	NoiseW float64
+	// DistanceM is each user's distance from the base station.
+	DistanceM []float64
+}
+
+// Generate draws a channel realization.
+func Generate(p Params) (*Instance, error) {
+	p = p.withDefaults()
+	if p.NumUsers < 1 || p.NumRBs < 1 {
+		return nil, fmt.Errorf("%w: %d users, %d RBs", ErrParams, p.NumUsers, p.NumRBs)
+	}
+	if p.MinDistanceM >= p.CellRadiusM {
+		return nil, fmt.Errorf("%w: min distance %g >= radius %g", ErrParams, p.MinDistanceM, p.CellRadiusM)
+	}
+	r := rng.New(p.Seed)
+	inst := &Instance{
+		Params:    p,
+		Gain:      make([][]float64, p.NumUsers),
+		DistanceM: make([]float64, p.NumUsers),
+	}
+	inst.NoiseW = dbmToWatt(p.NoiseDBmPerHz) * p.RBBandwidthHz
+	for u := 0; u < p.NumUsers; u++ {
+		// Uniform over the annulus area.
+		a := p.MinDistanceM * p.MinDistanceM
+		b := p.CellRadiusM * p.CellRadiusM
+		d := math.Sqrt(a + (b-a)*r.Float64())
+		inst.DistanceM[u] = d
+		plDB := p.RefLossDB + 10*p.PathLossExp*math.Log10(d)
+		shadowDB := p.ShadowSigmaDB * r.Norm()
+		base := math.Pow(10, -(plDB+shadowDB)/10)
+		inst.Gain[u] = make([]float64, p.NumRBs)
+		for rb := 0; rb < p.NumRBs; rb++ {
+			// Rayleigh amplitude → exponential power fading, unit mean.
+			h := r.Rayleigh(1 / math.Sqrt2)
+			inst.Gain[u][rb] = base * h * h
+		}
+	}
+	return inst, nil
+}
+
+func dbmToWatt(dbm float64) float64 {
+	return math.Pow(10, (dbm-30)/10)
+}
+
+// SNR returns the linear signal-to-noise ratio of user u on RB b at the
+// given transmit power (watts).
+func (in *Instance) SNR(u, b int, powerW float64) float64 {
+	return in.Gain[u][b] * powerW / in.NoiseW
+}
+
+// RateBps returns the Shannon rate of user u on RB b at the given power.
+func (in *Instance) RateBps(u, b int, powerW float64) float64 {
+	return in.Params.RBBandwidthHz * math.Log2(1+in.SNR(u, b, powerW))
+}
+
+// SpectralEfficiency returns bits/s/Hz for the given aggregate rate over
+// the whole grid bandwidth.
+func (in *Instance) SpectralEfficiency(totalRateBps float64) float64 {
+	return totalRateBps / (float64(in.Params.NumRBs) * in.Params.RBBandwidthHz)
+}
+
+// WaterFill distributes total power across the gains of a single user's
+// assigned RBs to maximize Σ log2(1 + g_i p_i / N) — the classic
+// water-filling solution, used by the continuous lower bound and as a
+// post-processing step for heuristic allocations.
+func WaterFill(gains []float64, noiseW, totalPowerW float64) []float64 {
+	n := len(gains)
+	out := make([]float64, n)
+	if n == 0 || totalPowerW <= 0 {
+		return out
+	}
+	// Bisection on the water level μ: p_i = max(0, μ - N/g_i).
+	inv := make([]float64, n)
+	for i, g := range gains {
+		if g <= 0 {
+			inv[i] = math.Inf(1)
+		} else {
+			inv[i] = noiseW / g
+		}
+	}
+	lo, hi := 0.0, totalPowerW
+	for _, v := range inv {
+		if !math.IsInf(v, 1) && v+totalPowerW > hi {
+			hi = v + totalPowerW
+		}
+	}
+	for it := 0; it < 100; it++ {
+		mu := 0.5 * (lo + hi)
+		var used float64
+		for _, v := range inv {
+			if mu > v {
+				used += mu - v
+			}
+		}
+		if used > totalPowerW {
+			hi = mu
+		} else {
+			lo = mu
+		}
+	}
+	mu := 0.5 * (lo + hi)
+	for i, v := range inv {
+		if mu > v {
+			out[i] = mu - v
+		}
+	}
+	return out
+}

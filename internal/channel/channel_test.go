@@ -1,0 +1,184 @@
+package channel
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	in, err := Generate(Params{NumUsers: 5, NumRBs: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Gain) != 5 || len(in.Gain[0]) != 12 {
+		t.Fatalf("gain shape %dx%d", len(in.Gain), len(in.Gain[0]))
+	}
+	for u, row := range in.Gain {
+		for b, g := range row {
+			if g <= 0 || math.IsNaN(g) {
+				t.Fatalf("gain[%d][%d] = %v", u, b, g)
+			}
+		}
+	}
+	if in.NoiseW <= 0 {
+		t.Fatalf("noise %v", in.NoiseW)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Params{NumUsers: 0, NumRBs: 4}); !errors.Is(err, ErrParams) {
+		t.Fatal("want ErrParams")
+	}
+	if _, err := Generate(Params{NumUsers: 1, NumRBs: 1, MinDistanceM: 600, CellRadiusM: 500}); !errors.Is(err, ErrParams) {
+		t.Fatal("want ErrParams for distance")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, _ := Generate(Params{NumUsers: 3, NumRBs: 6, Seed: 9})
+	b, _ := Generate(Params{NumUsers: 3, NumRBs: 6, Seed: 9})
+	for u := range a.Gain {
+		for rb := range a.Gain[u] {
+			if a.Gain[u][rb] != b.Gain[u][rb] {
+				t.Fatal("same seed produced different channels")
+			}
+		}
+	}
+}
+
+func TestFarUsersAreWeaker(t *testing.T) {
+	// Across many users, average gain should decrease with distance.
+	in, err := Generate(Params{NumUsers: 200, NumRBs: 4, Seed: 3, ShadowSigmaDB: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare nearest vs farthest quartile mean gain.
+	type ug struct {
+		d, g float64
+	}
+	us := make([]ug, len(in.Gain))
+	for u := range in.Gain {
+		var mean float64
+		for _, g := range in.Gain[u] {
+			mean += g
+		}
+		us[u] = ug{in.DistanceM[u], mean / float64(len(in.Gain[u]))}
+	}
+	var nearSum, farSum float64
+	var nearN, farN int
+	for _, x := range us {
+		if x.d < 200 {
+			nearSum += x.g
+			nearN++
+		}
+		if x.d > 400 {
+			farSum += x.g
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("degenerate draw")
+	}
+	if nearSum/float64(nearN) <= farSum/float64(farN) {
+		t.Fatal("near users should have higher mean gain than far users")
+	}
+}
+
+func TestRateMonotoneInPower(t *testing.T) {
+	in, _ := Generate(Params{NumUsers: 2, NumRBs: 2, Seed: 5})
+	f := func(seed uint64) bool {
+		p1 := 0.1 + float64(seed%100)/100
+		p2 := p1 * 2
+		return in.RateBps(0, 0, p2) > in.RateBps(0, 0, p1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if in.RateBps(0, 0, 0) != 0 {
+		t.Fatal("zero power should give zero rate")
+	}
+}
+
+func TestSpectralEfficiency(t *testing.T) {
+	in, _ := Generate(Params{NumUsers: 1, NumRBs: 10, Seed: 7})
+	bw := float64(10) * in.Params.RBBandwidthHz
+	if got := in.SpectralEfficiency(2 * bw); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("SE = %v, want 2", got)
+	}
+}
+
+func TestWaterFillBudgetAndOptimality(t *testing.T) {
+	gains := []float64{1e-9, 5e-10, 1e-10}
+	noise := 1e-12
+	budget := 0.5
+	p := WaterFill(gains, noise, budget)
+	var sum float64
+	for _, v := range p {
+		if v < 0 {
+			t.Fatalf("negative power %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-budget) > 1e-6*budget {
+		t.Fatalf("power sum %v, want %v", sum, budget)
+	}
+	// Water-filling optimality: equal water level on active channels.
+	for i, v := range p {
+		if v > 0 {
+			level := v + noise/gains[i]
+			for j, w := range p {
+				if w > 0 {
+					l2 := w + noise/gains[j]
+					if math.Abs(level-l2) > 1e-6*level {
+						t.Fatalf("water levels differ: %v vs %v", level, l2)
+					}
+				}
+			}
+			break
+		}
+	}
+	// Better channel gets at least as much power.
+	if p[0] < p[1] || p[1] < p[2] {
+		t.Fatalf("power not monotone in gain: %v", p)
+	}
+}
+
+func TestWaterFillBeatsEqualSplit(t *testing.T) {
+	gains := []float64{2e-9, 1e-10, 5e-11}
+	noise := 1e-12
+	budget := 0.2
+	wf := WaterFill(gains, noise, budget)
+	rate := func(p []float64) float64 {
+		var s float64
+		for i := range gains {
+			s += math.Log2(1 + gains[i]*p[i]/noise)
+		}
+		return s
+	}
+	eq := []float64{budget / 3, budget / 3, budget / 3}
+	if rate(wf) < rate(eq)-1e-9 {
+		t.Fatalf("water-filling (%v) worse than equal split (%v)", rate(wf), rate(eq))
+	}
+}
+
+func TestWaterFillEdgeCases(t *testing.T) {
+	if out := WaterFill(nil, 1e-12, 1); len(out) != 0 {
+		t.Fatal("empty gains")
+	}
+	out := WaterFill([]float64{1e-9}, 1e-12, 0)
+	if out[0] != 0 {
+		t.Fatal("zero budget should allocate nothing")
+	}
+	out = WaterFill([]float64{0, 1e-9}, 1e-12, 1)
+	if out[0] != 0 {
+		t.Fatal("zero-gain channel must get no power")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Generate(Params{NumUsers: 10, NumRBs: 25, Seed: uint64(i)})
+	}
+}

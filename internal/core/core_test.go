@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/verify"
+	"repro/internal/yolo"
+)
+
+func TestFitAdaptiveInertia(t *testing.T) {
+	fit, err := FitAdaptiveInertia(0.4, 0.95, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fit.Schedule
+	if s.Base < 0.4-1e-6 || s.Base > 0.95+1e-6 {
+		t.Fatalf("base %v outside [0.4, 0.95]", s.Base)
+	}
+	if s.Boost < -1e-9 {
+		t.Fatalf("boost %v negative", s.Boost)
+	}
+	if s.Max != 0.95 {
+		t.Fatalf("max %v, want 0.95", s.Max)
+	}
+	// The fitted linear response should approximate the saturating target
+	// reasonably (RMS residual well under the response range).
+	if fit.Residual > 0.2 {
+		t.Fatalf("fit residual %v too large", fit.Residual)
+	}
+	// Schedule should actually grow under stagnation and be capped.
+	if s.Weight(0, 100, 10) <= s.Weight(0, 100, 0) {
+		t.Fatal("fitted schedule does not respond to stagnation")
+	}
+	if s.Weight(0, 100, 10000) > 0.95 {
+		t.Fatal("fitted schedule exceeds cap")
+	}
+}
+
+func TestFitAdaptiveInertiaValidation(t *testing.T) {
+	if _, err := FitAdaptiveInertia(0.9, 0.5, 4, 20); !errors.Is(err, ErrKernel) {
+		t.Fatal("wMin > wMax should fail")
+	}
+	if _, err := FitAdaptiveInertia(0.4, 0.9, -1, 20); !errors.Is(err, ErrKernel) {
+		t.Fatal("negative tau should fail")
+	}
+	if _, err := FitAdaptiveInertia(0.4, 0.9, 4, 1); !errors.Is(err, ErrKernel) {
+		t.Fatal("tiny horizon should fail")
+	}
+}
+
+func TestFitIsLeastSquaresOptimal(t *testing.T) {
+	// Compare against the closed-form unconstrained least-squares fit; when
+	// that fit is feasible the QP must match it.
+	fit, err := FitAdaptiveInertia(0.3, 0.9, 5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 31
+	var s1, s2, t0, t1 float64
+	for s := 0; s < n; s++ {
+		fs := float64(s)
+		target := 0.9 - (0.9-0.3)*math.Exp(-fs/5)
+		s1 += fs
+		s2 += fs * fs
+		t0 += target
+		t1 += fs * target
+	}
+	det := float64(n)*s2 - s1*s1
+	base := (s2*t0 - s1*t1) / det
+	boost := (float64(n)*t1 - s1*t0) / det
+	if base >= 0.3 && boost >= 0 {
+		if math.Abs(fit.Schedule.Base-base) > 1e-3 || math.Abs(fit.Schedule.Boost-boost) > 1e-3 {
+			t.Fatalf("QP fit (%v, %v) differs from closed form (%v, %v)",
+				fit.Schedule.Base, fit.Schedule.Boost, base, boost)
+		}
+	}
+}
+
+func TestAdversarialTrainTightensBounds(t *testing.T) {
+	task, err := yolo.NewDetectionTask(8, 2, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := yolo.Spec{Variant: yolo.VariantSqueezed, InC: 1, In: 8, Stages: 2, Width: 4, SqueezeRatio: 0.5, GridClasses: 4}
+	net, err := yolo.Build(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := task.Batch(1)
+	before, err := boundWidths(net, []int{1, 8, 8}, probe.Data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AdversarialTrain(net, task, 120, 16, 0.05, 5e-3); err != nil {
+		t.Fatal(err)
+	}
+	after, err := boundWidths(net, []int{1, 8, 8}, probe.Data, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.mean <= 0 || after.mean <= 0 {
+		t.Fatalf("degenerate widths: %v -> %v", before.mean, after.mean)
+	}
+	// Widths must stay finite and be reported per layer.
+	if len(after.widths) < 2 {
+		t.Fatalf("expected multiple layers, got %d", len(after.widths))
+	}
+}
+
+func TestRelaxationGapSummary(t *testing.T) {
+	spec := yolo.Spec{Variant: yolo.VariantSqueezed, InC: 1, In: 8, Stages: 1, Width: 4, SqueezeRatio: 0.5, GridClasses: 4}
+	net, err := yolo.Build(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 64)
+	gapWide, unstableWide, err := RelaxationGapSummary(net, []int{1, 8, 8}, x, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapTight, unstableTight, err := RelaxationGapSummary(net, []int{1, 8, 8}, x, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gapTight > gapWide {
+		t.Fatalf("tighter input box should not increase the gap: %v vs %v", gapTight, gapWide)
+	}
+	if unstableTight > unstableWide {
+		t.Fatalf("tighter input box should not increase unstable count: %d vs %d", unstableTight, unstableWide)
+	}
+}
+
+func TestTop2(t *testing.T) {
+	b, s := top2([]float64{0.1, 3, -2, 2.5})
+	if b != 1 || s != 3 {
+		t.Fatalf("top2 = (%d, %d), want (1, 3)", b, s)
+	}
+	b, s = top2([]float64{5, 1})
+	if b != 0 || s != 1 {
+		t.Fatalf("top2 = (%d, %d)", b, s)
+	}
+}
+
+// TestRunStackEndToEnd runs the whole RCR pipeline at a minimal budget.
+// This is the integration test for the paper's Fig. 1.
+func TestRunStackEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full stack run skipped in -short mode")
+	}
+	rep, err := RunStack(StackConfig{
+		Swarm:           4,
+		PSOIters:        3,
+		TuneTrainSteps:  15,
+		FinalTrainSteps: 60,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestSpec.Variant != yolo.VariantSqueezed {
+		t.Fatalf("tuned spec %+v not squeezed", rep.BestSpec)
+	}
+	if rep.NumParams <= 0 {
+		t.Fatal("no parameters reported")
+	}
+	if rep.FinalAccuracy < 0.25 {
+		t.Fatalf("final accuracy %v below chance", rep.FinalAccuracy)
+	}
+	if len(rep.LayerDeltas) == 0 {
+		t.Fatal("no layer bound deltas")
+	}
+	if rep.MeanWidthStandard <= 0 || rep.MeanWidthAdversarial <= 0 {
+		t.Fatalf("degenerate widths: %v / %v", rep.MeanWidthStandard, rep.MeanWidthAdversarial)
+	}
+	if rep.PSOEvals == 0 {
+		t.Fatal("PSO did no evaluations")
+	}
+	switch rep.TriangleVerdict {
+	case verify.VerdictRobust, verify.VerdictFalsified, verify.VerdictUnknown:
+	default:
+		t.Fatalf("bad triangle verdict %v", rep.TriangleVerdict)
+	}
+}

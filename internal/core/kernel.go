@@ -1,0 +1,112 @@
+// Package core implements the paper's RCR (Robust Convex Relaxation)
+// framework — the three-layer "architectural stack" of Fig. 1:
+//
+//	Layer 1  numeric kernel ("M-GNU-O"): the adaptive inertial weighting
+//	         for PSO, itself obtained by solving a convex optimization
+//	         problem (the paper: "the requisite adaptive inertial
+//	         weighting ... is itself comprised of a succession of convex
+//	         optimization problems").
+//	Layer 2  PSO: tunes the MSY3I's hyperparameters using that weighting,
+//	         with discrete encodings and stagnation dispersion.
+//	Layer 3  MSY3I + convex-relaxation adversarial training: the candidate
+//	         networks are scored not only on task accuracy but on the
+//	         tightness of their layer-wise convex relaxations, and the
+//	         final network is certified with the hybrid relaxed/exact
+//	         verifier pair.
+//
+// RunStack wires the three layers together and reports per-layer bound
+// tightening, the tuned architecture, and the verification verdicts.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/pso"
+	"repro/internal/qp"
+)
+
+// ErrKernel is returned when the inertia fit is misconfigured.
+var ErrKernel = errors.New("core: invalid kernel parameters")
+
+// InertiaFit is the result of the layer-1 convex problem: the parameters
+// of the adaptive inertia schedule plus the fit residual.
+type InertiaFit struct {
+	Schedule pso.AdaptiveInertia
+	Residual float64
+	// Target is the sampled target response the QP was fitted to.
+	Target []float64
+}
+
+// FitAdaptiveInertia solves the layer-1 convex problem: choose the
+// adaptive-inertia parameters (base weight and per-stagnation boost) whose
+// linear response base + boost·s best matches, in least squares, the ideal
+// saturating response w(s) = wMax - (wMax - wMin)·exp(-s/tau) over
+// stagnation levels s = 0..horizon, subject to wMin <= base and boost >= 0
+// (the cap is wMax). The problem is a two-variable convex QP solved by the
+// barrier method — deliberately so: this is the paper's point that even
+// the tooling layer spawns convex optimization problems.
+func FitAdaptiveInertia(wMin, wMax, tau float64, horizon int) (*InertiaFit, error) {
+	if !(wMin > 0 && wMax > wMin && wMax < 1.5) {
+		return nil, fmt.Errorf("%w: wMin=%g wMax=%g", ErrKernel, wMin, wMax)
+	}
+	if tau <= 0 || horizon < 2 {
+		return nil, fmt.Errorf("%w: tau=%g horizon=%d", ErrKernel, tau, horizon)
+	}
+	n := horizon + 1
+	target := make([]float64, n)
+	for s := 0; s < n; s++ {
+		target[s] = wMax - (wMax-wMin)*math.Exp(-float64(s)/tau)
+	}
+	// Least squares min ||A x - t||² with x = (base, boost),
+	// A = [1 s]. Normal form: P = 2 AᵀA, q = -2 Aᵀt (the ½ in the QP's
+	// ½xᵀPx absorbs the 2).
+	var s1, s2 float64
+	var t0, t1 float64
+	for s := 0; s < n; s++ {
+		fs := float64(s)
+		s1 += fs
+		s2 += fs * fs
+		t0 += target[s]
+		t1 += fs * target[s]
+	}
+	p := &qp.Problem{
+		F0: qp.Quad{
+			P: mustMat([][]float64{
+				{2 * float64(n), 2 * s1},
+				{2 * s1, 2 * s2},
+			}),
+			Q: []float64{-2 * t0, -2 * t1},
+		},
+		Ineq: []qp.Quad{
+			{Q: []float64{-1, 0}, R: wMin - 1e-9}, // base >= wMin
+			{Q: []float64{1, 0}, R: -wMax},        // base <= wMax
+			{Q: []float64{0, -1}, R: -1e-9},       // boost >= 0
+		},
+	}
+	res, err := qp.Solve(p, []float64{0.5 * (wMin + wMax), 0.01}, qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: inertia QP: %w", err)
+	}
+	base, boost := res.X[0], res.X[1]
+	var resid float64
+	for s := 0; s < n; s++ {
+		d := base + boost*float64(s) - target[s]
+		resid += d * d
+	}
+	return &InertiaFit{
+		Schedule: pso.AdaptiveInertia{Base: base, Boost: boost, Max: wMax},
+		Residual: math.Sqrt(resid / float64(n)),
+		Target:   target,
+	}, nil
+}
+
+func mustMat(rows [][]float64) *mat.Matrix {
+	m, err := mat.FromRows(rows)
+	if err != nil {
+		panic(err) // static literals only
+	}
+	return m
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/pso"
+	"repro/internal/relax"
+	"repro/internal/verify"
+	"repro/internal/yolo"
+)
+
+// StackConfig parameterizes a full RCR stack run. Zero fields default.
+type StackConfig struct {
+	// Task geometry (synthetic detection proxy).
+	TaskIn    int     // image size, default 8
+	TaskGrid  int     // label grid, default 2
+	TaskNoise float64 // default 0.1
+
+	// Layer-2 PSO budget.
+	Swarm    int // default 8
+	PSOIters int // default 10
+
+	// Per-candidate training budget during tuning.
+	TuneTrainSteps int // default 40
+	TuneBatch      int // default 16
+
+	// Final training budget for the selected architecture.
+	FinalTrainSteps int // default 200
+
+	// Robustness radius for bound measurement and verification.
+	Eps float64 // default 0.05
+	// BoundLambda weighs relaxation tightness against accuracy in the
+	// tuning objective.
+	BoundLambda float64 // default 0.1
+
+	Seed uint64
+}
+
+func (c StackConfig) withDefaults() StackConfig {
+	if c.TaskIn == 0 {
+		c.TaskIn = 8
+	}
+	if c.TaskGrid == 0 {
+		c.TaskGrid = 2
+	}
+	if c.TaskNoise == 0 {
+		c.TaskNoise = 0.1
+	}
+	if c.Swarm == 0 {
+		c.Swarm = 8
+	}
+	if c.PSOIters == 0 {
+		c.PSOIters = 10
+	}
+	if c.TuneTrainSteps == 0 {
+		c.TuneTrainSteps = 40
+	}
+	if c.TuneBatch == 0 {
+		c.TuneBatch = 16
+	}
+	if c.FinalTrainSteps == 0 {
+		c.FinalTrainSteps = 200
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.05
+	}
+	if c.BoundLambda == 0 {
+		c.BoundLambda = 0.1
+	}
+	return c
+}
+
+// LayerBoundDelta records one layer's pre-activation bound width under
+// standard training vs convex-relaxation adversarial training at the same
+// budget.
+type LayerBoundDelta struct {
+	Layer                           int
+	WidthStandard, WidthAdversarial float64
+}
+
+// StackReport is the output of RunStack.
+type StackReport struct {
+	// Layer 1.
+	Inertia InertiaFit
+	// Layer 2.
+	BestParams []float64
+	BestSpec   yolo.Spec
+	TuneScore  float64
+	PSOEvals   int
+	PSOIters   int
+	// Layer 3.
+	NumParams int
+	// FinalAccuracy / StandardAccuracy are held-out accuracies of the
+	// adversarially-trained and standard-trained networks.
+	FinalAccuracy    float64
+	StandardAccuracy float64
+	// MeanWidthStandard / MeanWidthAdversarial compare layer-wise
+	// relaxation tightness of the two training regimes.
+	MeanWidthStandard    float64
+	MeanWidthAdversarial float64
+	LayerDeltas          []LayerBoundDelta
+	TriangleVerdict      verify.Verdict
+	ExactVerdict         verify.Verdict
+	CertifiedBound       float64
+}
+
+// RunStack executes the full RCR pipeline.
+func RunStack(cfg StackConfig) (*StackReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &StackReport{}
+
+	// ---- Layer 1: numeric kernel fits the adaptive inertia. ----
+	fit, err := FitAdaptiveInertia(0.4, 0.95, 4, 20)
+	if err != nil {
+		return nil, err
+	}
+	rep.Inertia = *fit
+
+	task, err := yolo.NewDetectionTask(cfg.TaskIn, cfg.TaskGrid, cfg.TaskNoise, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Layer 2: PSO tunes the MSY3I hyperparameters. ----
+	space := yolo.SearchSpace()
+	dims := make([]pso.Dim, len(space))
+	for i, d := range space {
+		dims[i] = pso.Dim{Lo: d.Lo, Hi: d.Hi, Integer: d.Integer}
+	}
+	evalCount := 0
+	objective := func(x []float64) float64 {
+		evalCount++
+		score, err := scoreCandidate(x, task, cfg, cfg.Seed+uint64(evalCount))
+		if err != nil {
+			return 1e6 // infeasible architecture
+		}
+		return score
+	}
+	psoRes, err := pso.Minimize(&pso.Problem{Dims: dims, Eval: objective}, pso.Options{
+		Seed:             cfg.Seed,
+		Swarm:            cfg.Swarm,
+		MaxIter:          cfg.PSOIters,
+		Inertia:          fit.Schedule,
+		Encoding:         pso.EncodingRounding,
+		StagnationWindow: 6,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: pso tuning: %w", err)
+	}
+	rep.BestParams = psoRes.X
+	rep.TuneScore = psoRes.F
+	rep.PSOEvals = psoRes.Evals
+	rep.PSOIters = psoRes.Iterations
+
+	spec, err := yolo.SpecFromParams(psoRes.X, 1, cfg.TaskIn, task.Classes())
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding tuned spec: %w", err)
+	}
+	rep.BestSpec = spec
+
+	// ---- Layer 3: train, tighten, verify. ----
+	net, err := yolo.Build(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep.NumParams = net.NumParams()
+
+	probe, _ := task.Batch(1)
+	flatProbe := append([]float64(nil), probe.Data...)
+
+	// Standard-trained twin at the same budget: the tightness baseline.
+	netStd, err := yolo.Build(spec, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := yolo.TrainEval(netStd, task, cfg.FinalTrainSteps, cfg.TuneBatch, 1, 5e-3); err != nil {
+		return nil, err
+	}
+	stdRes, err := yolo.TrainEval(netStd, task, 0, cfg.TuneBatch, 300, 5e-3)
+	if err != nil {
+		return nil, err
+	}
+	rep.StandardAccuracy = stdRes.Accuracy
+	stdW, err := boundWidths(netStd, []int{1, cfg.TaskIn, cfg.TaskIn}, flatProbe, cfg.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("core: standard-training bounds: %w", err)
+	}
+
+	if err := AdversarialTrain(net, task, cfg.FinalTrainSteps, cfg.TuneBatch, cfg.Eps, 5e-3); err != nil {
+		return nil, err
+	}
+	trRes, err := yolo.TrainEval(net, task, 0, cfg.TuneBatch, 300, 5e-3)
+	if err != nil {
+		return nil, err
+	}
+	rep.FinalAccuracy = trRes.Accuracy
+
+	advW, err := boundWidths(net, []int{1, cfg.TaskIn, cfg.TaskIn}, flatProbe, cfg.Eps)
+	if err != nil {
+		return nil, fmt.Errorf("core: adversarial-training bounds: %w", err)
+	}
+	for l := range advW.widths {
+		delta := LayerBoundDelta{Layer: l, WidthAdversarial: advW.widths[l]}
+		if l < len(stdW.widths) {
+			delta.WidthStandard = stdW.widths[l]
+		}
+		rep.LayerDeltas = append(rep.LayerDeltas, delta)
+	}
+	rep.MeanWidthStandard = stdW.mean
+	rep.MeanWidthAdversarial = advW.mean
+
+	// Certify a margin property around the probe input: the predicted
+	// class logit stays within `margin` of its clean value... concretely,
+	// certify "predicted class beats runner-up" under the eps-box.
+	vn, err := yolo.ToVerifyNetwork(net, []int{1, cfg.TaskIn, cfg.TaskIn})
+	if err != nil {
+		return nil, err
+	}
+	y := vn.Forward(append([]float64(nil), flatProbe...))
+	bestC, secondC := top2(y)
+	spec2 := &verify.Spec{C: make([]float64, len(y))}
+	spec2.C[bestC] = 1
+	spec2.C[secondC] = -1
+	box := verify.BoxAround(flatProbe, cfg.Eps)
+	tri, err := verify.VerifyTriangle(vn, box, spec2)
+	if err != nil {
+		return nil, err
+	}
+	rep.TriangleVerdict = tri.Verdict
+	rep.CertifiedBound = tri.LowerBound
+	ex, err := verify.VerifyExact(vn, box, spec2, verify.ExactOptions{MaxNodes: 400})
+	if err != nil {
+		// Budget exhaustion is an expected outcome for large nets; report
+		// unknown rather than failing the stack.
+		rep.ExactVerdict = verify.VerdictUnknown
+	} else {
+		rep.ExactVerdict = ex.Verdict
+		if ex.Verdict == verify.VerdictRobust && ex.LowerBound > rep.CertifiedBound {
+			rep.CertifiedBound = ex.LowerBound
+		}
+	}
+	return rep, nil
+}
+
+// scoreCandidate trains a candidate architecture briefly and scores it on
+// accuracy plus relaxation tightness — the layer-3 feedback into layer 2.
+func scoreCandidate(params []float64, task *yolo.DetectionTask, cfg StackConfig, seed uint64) (float64, error) {
+	spec, err := yolo.SpecFromParams(params, 1, cfg.TaskIn, task.Classes())
+	if err != nil {
+		return 0, err
+	}
+	net, err := yolo.Build(spec, seed)
+	if err != nil {
+		return 0, err
+	}
+	res, err := yolo.TrainEval(net, task, cfg.TuneTrainSteps, cfg.TuneBatch, 120, 1e-2)
+	if err != nil {
+		return 0, err
+	}
+	probe, _ := task.Batch(1)
+	bw, err := boundWidths(net, []int{1, cfg.TaskIn, cfg.TaskIn}, probe.Data, cfg.Eps)
+	if err != nil {
+		return 0, err
+	}
+	return -res.Accuracy + cfg.BoundLambda*bw.mean, nil
+}
+
+type widthReport struct {
+	widths []float64 // mean pre-activation width per affine layer
+	mean   float64   // mean over all layers
+}
+
+// boundWidths extracts the network and measures per-layer mean IBP
+// pre-activation widths around x within eps.
+func boundWidths(net *nn.Sequential, inShape []int, x []float64, eps float64) (*widthReport, error) {
+	vn, err := yolo.ToVerifyNetwork(net, inShape)
+	if err != nil {
+		return nil, err
+	}
+	lb, err := verify.IBP(vn, verify.BoxAround(x, eps))
+	if err != nil {
+		return nil, err
+	}
+	rep := &widthReport{}
+	var total float64
+	var count int
+	for _, layer := range lb.Pre {
+		var s float64
+		for _, iv := range layer {
+			s += iv.Width()
+		}
+		rep.widths = append(rep.widths, s/float64(len(layer)))
+		total += s
+		count += len(layer)
+	}
+	if count > 0 {
+		rep.mean = total / float64(count)
+	}
+	return rep, nil
+}
+
+// AdversarialTrain performs FGSM-style convex-relaxation adversarial
+// training: each step trains on inputs perturbed along the sign of the
+// input gradient at radius eps, driving the network toward weights whose
+// layer-wise relaxations are tight inside the eps-box.
+func AdversarialTrain(net *nn.Sequential, task *yolo.DetectionTask, steps, batch int, eps, lr float64) error {
+	if batch == 0 {
+		batch = 16
+	}
+	if lr == 0 {
+		lr = 5e-3
+	}
+	opt := nn.NewAdam(lr)
+	for s := 0; s < steps; s++ {
+		x, labels := task.Batch(batch)
+		// Clean pass to obtain input gradients.
+		net.ZeroGrad()
+		out, err := net.Forward(x, true)
+		if err != nil {
+			return fmt.Errorf("core: adv step %d: %w", s, err)
+		}
+		_, grad, err := nn.SoftmaxCrossEntropy(out, labels)
+		if err != nil {
+			return err
+		}
+		dx, err := net.Backward(grad)
+		if err != nil {
+			return err
+		}
+		// FGSM perturbation.
+		adv := x.Clone()
+		for i := range adv.Data {
+			if dx.Data[i] > 0 {
+				adv.Data[i] += eps
+			} else if dx.Data[i] < 0 {
+				adv.Data[i] -= eps
+			}
+		}
+		// Train on the perturbed batch.
+		net.ZeroGrad()
+		out, err = net.Forward(adv, true)
+		if err != nil {
+			return err
+		}
+		_, grad, err = nn.SoftmaxCrossEntropy(out, labels)
+		if err != nil {
+			return err
+		}
+		if _, err := net.Backward(grad); err != nil {
+			return err
+		}
+		opt.Step(net.Params())
+	}
+	return nil
+}
+
+// top2 returns the indices of the largest and second-largest entries.
+func top2(y []float64) (best, second int) {
+	best = 0
+	for i := 1; i < len(y); i++ {
+		if y[i] > y[best] {
+			best = i
+		}
+	}
+	second = -1
+	for i := range y {
+		if i == best {
+			continue
+		}
+		if second < 0 || y[i] > y[second] {
+			second = i
+		}
+	}
+	return best, second
+}
+
+// RelaxationGapSummary measures the total triangle-relaxation area gap of
+// a network's unstable neurons inside the eps-box around x — a direct
+// "tightness of the layer-wise convex relaxations" figure.
+func RelaxationGapSummary(net *nn.Sequential, inShape []int, x []float64, eps float64) (float64, int, error) {
+	vn, err := yolo.ToVerifyNetwork(net, inShape)
+	if err != nil {
+		return 0, 0, err
+	}
+	lb, err := verify.IBP(vn, verify.BoxAround(x, eps))
+	if err != nil {
+		return 0, 0, err
+	}
+	var gap float64
+	unstable := 0
+	for li := 0; li < len(lb.Pre)-1; li++ {
+		for _, iv := range lb.Pre[li] {
+			r, err := relax.NewReLURelaxation(iv)
+			if err != nil {
+				return 0, 0, err
+			}
+			gap += r.AreaGap()
+			if r.Kind == relax.ReLUUnstable {
+				unstable++
+			}
+		}
+	}
+	return gap, unstable, nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/anneal"
+	"repro/internal/mat"
+	"repro/internal/pso"
+	"repro/internal/relax"
+	"repro/internal/rng"
+)
+
+// intRastrigin is the discrete multimodal testbed for the PSO claims.
+func intRastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+// T1PSOStagnation reproduces the paper's §II-A PSO claims: (a) naive
+// rounding of velocities to discrete values stagnates prematurely, (b)
+// adaptive inertia weighting (plus dispersion) mitigates it, (c) the
+// distribution-over-values encoding of [9] is an alternative fix, and (d)
+// small swarms already give "good enough" solutions. Success = reaching
+// the global optimum (0) of the integer Rastrigin problem.
+func T1PSOStagnation(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "T1",
+		Title:  "discrete PSO stagnation vs adaptive inertia (integer Rastrigin, d=4)",
+		Header: []string{"configuration", "success", "mean best", "mean dispersions", "mean stagnant iters"},
+	}
+	trials := 20
+	iters := 80
+	if quick {
+		trials = 6
+		iters = 50
+	}
+	dims := []pso.Dim{
+		{Lo: -5, Hi: 5, Integer: true},
+		{Lo: -5, Hi: 5, Integer: true},
+		{Lo: -5, Hi: 5, Integer: true},
+		{Lo: -5, Hi: 5, Integer: true},
+	}
+	type config struct {
+		name     string
+		inertia  pso.InertiaSchedule
+		encoding pso.Encoding
+		window   int
+	}
+	configs := []config{
+		{"rounding, fixed w=0.3 (naive)", pso.ConstantInertia{W: 0.3}, pso.EncodingRounding, 0},
+		{"rounding, linear 0.9->0.4", pso.LinearInertia{Start: 0.9, End: 0.4}, pso.EncodingRounding, 0},
+		{"rounding, adaptive inertia", pso.DefaultAdaptiveInertia(), pso.EncodingRounding, 0},
+		{"rounding, adaptive + dispersion", pso.DefaultAdaptiveInertia(), pso.EncodingRounding, 15},
+		{"distribution encoding [9]", pso.LinearInertia{Start: 0.9, End: 0.4}, pso.EncodingDistribution, 0},
+	}
+	for _, cfg := range configs {
+		succ := 0
+		var bestSum, dispSum, stagSum float64
+		for tr := 0; tr < trials; tr++ {
+			res, err := pso.Minimize(&pso.Problem{Dims: dims, Eval: intRastrigin}, pso.Options{
+				Seed:             seed + uint64(tr),
+				Swarm:            8,
+				MaxIter:          iters,
+				Inertia:          cfg.inertia,
+				Encoding:         cfg.encoding,
+				StagnationWindow: cfg.window,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.F == 0 {
+				succ++
+			}
+			bestSum += res.F
+			dispSum += float64(res.Dispersions)
+			stagSum += float64(res.StagnantIters)
+		}
+		ft := float64(trials)
+		t.AddRow(cfg.name, fi(succ)+"/"+fi(trials), f(bestSum/ft), f(dispSum/ft), f(stagSum/ft))
+	}
+	// Langevin-style baseline the paper's intro mentions ("Langevin
+	// Diffusions (with the possibility of premature stagnation of
+	// particles at local optima)"): simulated annealing at a matched
+	// evaluation budget (swarm 8 x iters evaluations).
+	{
+		succ := 0
+		var bestSum float64
+		for tr := 0; tr < trials; tr++ {
+			res, err := anneal.Minimize(&anneal.Problem{
+				Dims: []anneal.Dim{
+					{Lo: -5, Hi: 5, Integer: true},
+					{Lo: -5, Hi: 5, Integer: true},
+					{Lo: -5, Hi: 5, Integer: true},
+					{Lo: -5, Hi: 5, Integer: true},
+				},
+				Eval: intRastrigin,
+			}, anneal.Options{Seed: seed + uint64(tr), Iters: 8 * iters})
+			if err != nil {
+				return nil, err
+			}
+			if res.F == 0 {
+				succ++
+			}
+			bestSum += res.F
+		}
+		t.AddRow("simulated annealing (Langevin-style)", fi(succ)+"/"+fi(trials),
+			f(bestSum/float64(trials)), "-", "-")
+	}
+
+	// Swarm-size sweep ("even relatively small swarm sizes are fairly
+	// consistent").
+	for _, swarm := range []int{5, 10, 20, 40} {
+		if quick && swarm > 10 {
+			break
+		}
+		succ := 0
+		for tr := 0; tr < trials; tr++ {
+			res, err := pso.Minimize(&pso.Problem{Dims: dims, Eval: intRastrigin}, pso.Options{
+				Seed:             seed + 1000 + uint64(tr),
+				Swarm:            swarm,
+				MaxIter:          iters,
+				Inertia:          pso.DefaultAdaptiveInertia(),
+				Encoding:         pso.EncodingRounding,
+				StagnationWindow: 15,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.F == 0 {
+				succ++
+			}
+		}
+		t.AddRow("swarm size "+fi(swarm)+" (adaptive+disp)", fi(succ)+"/"+fi(trials), "", "", "")
+	}
+	t.AddNote("paper claim: rounding-induced stagnation is mitigated by increased/adaptive inertia; compare rows 1 vs 3-4")
+	return t, nil
+}
+
+// T4TraceRelaxation reproduces the paper's §IV-C chain (Eqs. 7-10): the
+// nonconvex rank-minimization problem is relaxed to trace minimization and
+// solved as an SDP; the table reports recovery quality of the diagonal +
+// low-rank split across sizes and true ranks.
+func T4TraceRelaxation(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "T4",
+		Title:  "RMP -> TMP -> SDP: diagonal + low-rank recovery (Eqs. 8-10)",
+		Header: []string{"n", "true rank", "recovered rank", "residual ||Rs-(Rc+Rn)||", "tr(Rc) vs truth", "SDP iters"},
+	}
+	r := rng.New(seed)
+	sizes := [][2]int{{4, 1}, {5, 1}, {6, 2}}
+	if quick {
+		sizes = [][2]int{{4, 1}}
+	}
+	for _, sz := range sizes {
+		n, rank := sz[0], sz[1]
+		// Ground truth: Rc0 = Σ v vᵀ (rank terms), Rn0 positive diagonal.
+		rc0 := mat.New(n, n)
+		for k := 0; k < rank; k++ {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = 1 + r.Float64()
+			}
+			vv := mat.OuterProduct(v, v)
+			for i := range rc0.Data {
+				rc0.Data[i] += vv.Data[i]
+			}
+		}
+		rs := rc0.Clone()
+		for i := 0; i < n; i++ {
+			rs.Add(i, i, 0.5+r.Float64())
+		}
+		dec, err := relax.DecomposeDiagLowRank(rs, relax.TraceMinOptions{})
+		if err != nil {
+			return nil, err
+		}
+		tr0, _ := rc0.Trace()
+		t.AddRow(fi(n), fi(rank), fi(dec.RankRc),
+			fsci(dec.ResidualNorm(rs)),
+			f(dec.Trace)+" vs "+f(tr0),
+			fi(dec.Iterations))
+	}
+	t.AddNote("the trace surrogate recovers the low-rank PSD component; tr(Rc) <= tr(Rc0) since the truth is TMP-feasible")
+	return t, nil
+}

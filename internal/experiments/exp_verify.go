@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/verify"
+	"repro/internal/yolo"
+)
+
+// T2SqueezeTradeoff reproduces the paper's §II-B claim that the squeezed
+// MSY3I has fewer parameters than the plain YOLO-style backbone "with only
+// the slightest degradation in performance": both variants are trained on
+// the detection proxy task and compared on parameter count and accuracy.
+func T2SqueezeTradeoff(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "T2",
+		Title:  "plain vs squeezed (MSY3I) backbone: parameters vs accuracy",
+		Header: []string{"variant", "squeeze ratio", "params", "param reduction", "accuracy", "final loss"},
+	}
+	task, err := yolo.NewDetectionTask(8, 2, 0.1, seed)
+	if err != nil {
+		return nil, err
+	}
+	steps := 200
+	if quick {
+		steps = 60
+	}
+	type variant struct {
+		name  string
+		spec  yolo.Spec
+		ratio string
+	}
+	base := yolo.Spec{InC: 1, In: 8, Stages: 2, Width: 8, GridClasses: task.Classes()}
+	plain := base
+	plain.Variant = yolo.VariantPlain
+	variants := []variant{{"plain (YOLO-style)", plain, "-"}}
+	for _, ratio := range []float64{0.5, 0.25, 0.125} {
+		if quick && ratio < 0.5 {
+			break
+		}
+		s := base
+		s.Variant = yolo.VariantSqueezed
+		s.SqueezeRatio = ratio
+		variants = append(variants, variant{"squeezed (MSY3I)", s, f(ratio)})
+	}
+	var plainParams int
+	for i, v := range variants {
+		net, err := yolo.Build(v.spec, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := yolo.TrainEval(net, task, steps, 16, 300, 1e-2)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			plainParams = res.Params
+		}
+		reduction := "-"
+		if i > 0 && plainParams > 0 {
+			reduction = fpct(1 - float64(res.Params)/float64(plainParams))
+		}
+		t.AddRow(v.name, v.ratio, fi(res.Params), reduction, fpct(res.Accuracy), f(res.FinalLoss))
+	}
+	t.AddNote("paper claim: parameter count drops with squeezing while accuracy degrades only slightly")
+	return t, nil
+}
+
+// T3VerifierTradeoff reproduces the paper's §II-B-2 comparison of exact
+// (complete) vs relaxed (incomplete) verifiers: exact answers are
+// definitive but cost explodes with unstable neurons; relaxed verifiers
+// are fast but suffer false negatives (failing to certify truly robust
+// networks). Ground truth per instance comes from the exact verifier.
+func T3VerifierTradeoff(seed uint64, quick bool) (*Table, error) {
+	t := &Table{
+		ID:     "T3",
+		Title:  "exact vs relaxed robustness verification",
+		Header: []string{"verifier", "width", "robust found", "falsified", "unknown (FN)", "mean time", "mean LPs/nodes"},
+	}
+	widths := []int{4, 8, 12}
+	instances := 12
+	if quick {
+		widths = []int{4}
+		instances = 4
+	}
+	r := rng.New(seed)
+	for _, w := range widths {
+		var ibpS, crownS, triS, exS verifyStat
+		for k := 0; k < instances; k++ {
+			net := randomVerifyNet(r, []int{3, w, w, 2})
+			x := []float64{r.Norm() * 0.3, r.Norm() * 0.3, r.Norm() * 0.3}
+			box := verify.BoxAround(x, 0.08)
+			y := net.Forward(append([]float64(nil), x...))
+			c := []float64{1, -1}
+			if y[1] > y[0] {
+				c = []float64{-1, 1}
+			}
+			spec := &verify.Spec{C: c, D: 0.02}
+
+			st := time.Now()
+			ibp, err := verify.VerifyIBP(net, box, spec)
+			if err != nil {
+				return nil, err
+			}
+			tally(&ibpS, ibp.Verdict, time.Since(st), 0)
+
+			st = time.Now()
+			crown, err := verify.VerifyCROWN(net, box, spec)
+			if err != nil {
+				return nil, err
+			}
+			tally(&crownS, crown.Verdict, time.Since(st), 0)
+
+			st = time.Now()
+			tri, err := verify.VerifyTriangle(net, box, spec)
+			if err != nil {
+				return nil, err
+			}
+			tally(&triS, tri.Verdict, time.Since(st), tri.LPs)
+
+			st = time.Now()
+			ex, err := verify.VerifyExact(net, box, spec, verify.ExactOptions{MaxNodes: 3000})
+			if err != nil && !errors.Is(err, verify.ErrBudget) {
+				return nil, err
+			}
+			v := verify.VerdictUnknown
+			if err == nil {
+				v = ex.Verdict
+			}
+			tally(&exS, v, time.Since(st), ex.Nodes)
+		}
+		row := func(name string, s verifyStat) {
+			t.AddRow(name, fi(w), fi(s.robust), fi(s.falsified), fi(s.unknown),
+				(s.dur / time.Duration(instances)).String(), fi(s.work/instances))
+		}
+		row("IBP (loosest)", ibpS)
+		row("CROWN (backward linear)", crownS)
+		row("triangle LP (relaxed)", triS)
+		row("BnB (exact)", exS)
+	}
+	t.AddNote("relaxed verifiers' 'unknown' on instances the exact verifier certifies are the paper's false negatives")
+	t.AddNote("exact node counts grow with width (unstable ReLUs): the NP-hardness the paper cites")
+	return t, nil
+}
+
+// verifyStat accumulates per-verifier outcomes.
+type verifyStat struct {
+	robust, falsified, unknown int
+	dur                        time.Duration
+	work                       int
+}
+
+func tally(s *verifyStat, v verify.Verdict, d time.Duration, work int) {
+	switch v {
+	case verify.VerdictRobust:
+		s.robust++
+	case verify.VerdictFalsified:
+		s.falsified++
+	default:
+		s.unknown++
+	}
+	s.dur += d
+	s.work += work
+}
+
+// randomVerifyNet draws a random affine/ReLU network with the given layer
+// dimensions.
+func randomVerifyNet(r *rng.Rand, dims []int) *verify.Network {
+	n := &verify.Network{}
+	for l := 0; l+1 < len(dims); l++ {
+		layer := verify.AffineLayer{B: make([]float64, dims[l+1])}
+		for i := 0; i < dims[l+1]; i++ {
+			row := make([]float64, dims[l])
+			for j := range row {
+				row[j] = r.Norm() * 0.7
+			}
+			layer.W = append(layer.W, row)
+			layer.B[i] = 0.1 * r.Norm()
+		}
+		n.Layers = append(n.Layers, layer)
+	}
+	return n
+}

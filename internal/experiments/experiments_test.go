@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuickRunsAllExperiments executes every registered experiment in
+// quick mode and sanity-checks the produced tables. The heavyweight F1
+// stack run is covered separately.
+func TestQuickRunsAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, id := range Order() {
+		if id == "f1" {
+			continue // exercised by TestF1Quick below (slow)
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			table, err := Registry()[id](1, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if table.ID == "" || table.Title == "" {
+				t.Fatal("table missing identity")
+			}
+			if len(table.Header) == 0 || len(table.Rows) == 0 {
+				t.Fatal("table empty")
+			}
+			for ri, row := range table.Rows {
+				if len(row) > len(table.Header) {
+					t.Fatalf("row %d has %d cells for %d headers", ri, len(row), len(table.Header))
+				}
+			}
+		})
+	}
+}
+
+func TestF1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stack run skipped in -short mode")
+	}
+	table, err := F1RCRStack(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered strings.Builder
+	table.Fprint(&rendered)
+	out := rendered.String()
+	for _, want := range []string{"numeric kernel", "PSO tuner", "verification"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered F1 table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryCoversOrder(t *testing.T) {
+	reg := Registry()
+	for _, id := range Order() {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("experiment %s in Order() but not in Registry()", id)
+		}
+	}
+	if len(reg) != len(Order()) {
+		t.Fatalf("registry has %d entries, order has %d", len(reg), len(Order()))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := &Table{
+		ID:     "X",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+	}
+	table.AddRow("1", "2")
+	table.AddNote("hello %d", 42)
+	var b strings.Builder
+	table.Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"X", "demo", "a", "1", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f(1.23456) != "1.235" {
+		t.Fatalf("f = %q", f(1.23456))
+	}
+	if fi(7) != "7" {
+		t.Fatal("fi wrong")
+	}
+	if fpct(0.5) != "50.0%" {
+		t.Fatalf("fpct = %q", fpct(0.5))
+	}
+	if fbool(true) != "yes" || fbool(false) != "no" {
+		t.Fatal("fbool wrong")
+	}
+	if !strings.Contains(fsci(12345.0), "e+") {
+		t.Fatalf("fsci = %q", fsci(12345.0))
+	}
+}

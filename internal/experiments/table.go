@@ -1,0 +1,119 @@
+// Package experiments implements the reproduction harness: one function
+// per figure/claim of the paper's evaluation (see DESIGN.md §4), each
+// regenerating the corresponding rows/series as a printable table. The
+// functions are shared by the cmd/rcrbench binary and the repository's
+// benchmark suite, and their outputs are recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON emits the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			fmt.Fprintf(w, "%s%s  ", c, strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w)
+	}
+	printRow(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Runner is an experiment entry point. quick trades thoroughness for
+// speed (used by the benchmark harness and smoke tests).
+type Runner func(seed uint64, quick bool) (*Table, error)
+
+// Registry maps experiment IDs to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"f1": F1RCRStack,
+		"f2": F2DualParadigm,
+		"f3": F3NumericalAudit,
+		"t1": T1PSOStagnation,
+		"t2": T2SqueezeTradeoff,
+		"t3": T3VerifierTradeoff,
+		"t4": T4TraceRelaxation,
+		"t5": T5RRAQoS,
+		"t6": T6BatchnormPlacement,
+		"t7": T7BoundTightening,
+		"t8": T8StableOps,
+		"a1": A1GeneratorMixture,
+		"a2": A2EpsSweep,
+		"a3": A3MultiRAT,
+		"a4": A4SpectrumSensing,
+		"a5": A5NetworkSlicing,
+	}
+}
+
+// Order returns the canonical experiment ordering.
+func Order() []string {
+	return []string{"f1", "f2", "f3", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "a1", "a2", "a3", "a4", "a5"}
+}
+
+func f(v float64) string    { return fmt.Sprintf("%.4g", v) }
+func fi(v int) string       { return fmt.Sprintf("%d", v) }
+func fpct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+func fsci(v float64) string { return fmt.Sprintf("%.3e", v) }
+func fbool(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

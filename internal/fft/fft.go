@@ -1,0 +1,222 @@
+// Package fft implements the discrete Fourier transforms the paper's
+// "5G/B5G/6G core function set" requires: FFT, IFFT, RFFT, IRFFT, and the
+// naive DFT used as a correctness oracle in the numerical-issues audit.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey transform;
+// arbitrary lengths fall back to Bluestein's chirp-z algorithm so that every
+// length is supported exactly (several toolkit bugs the paper cites stem
+// from silently restricting or zero-padding non-power-of-two inputs).
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrLength is returned when a transform receives an invalid length
+// combination (for example an inverse real transform with inconsistent
+// spectrum size).
+type ErrLength struct {
+	Op   string
+	Got  int
+	Want string
+}
+
+func (e *ErrLength) Error() string {
+	return fmt.Sprintf("fft: %s: length %d, want %s", e.Op, e.Got, e.Want)
+}
+
+// FFT returns the forward DFT of x: X[k] = Σ_n x[n] e^{-2πi kn/N}.
+// The input is not modified. Any length (including 0 and 1) is accepted.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transform(out, false)
+	return out
+}
+
+// IFFT returns the inverse DFT with 1/N normalization, so IFFT(FFT(x)) == x
+// up to rounding.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transform(out, true)
+	n := float64(len(out))
+	if n > 0 {
+		for i := range out {
+			out[i] /= complex(n, 0)
+		}
+	}
+	return out
+}
+
+// transform runs an in-place DFT (or unnormalized inverse when inv is true),
+// choosing radix-2 or Bluestein by length.
+func transform(x []complex128, inv bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inv)
+		return
+	}
+	bluestein(x, inv)
+}
+
+// radix2 is the iterative Cooley-Tukey transform for power-of-two lengths.
+func radix2(x []complex128, inv bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inv {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution executed with
+// padded radix-2 transforms (chirp-z).
+func bluestein(x []complex128, inv bool) {
+	n := len(x)
+	sign := -1.0
+	if inv {
+		sign = 1.0
+	}
+	// Chirp: w[k] = e^{sign * iπ k² / n}. Reduce k² mod 2n to keep the
+	// argument small — direct k² overflows precision for large n.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * chirp[k]
+	}
+}
+
+// NaiveDFT computes the DFT by the O(n²) definition. It is the oracle the
+// audit harness compares fast transforms against.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// RFFT computes the DFT of a real signal, returning the n/2+1 nonredundant
+// bins (Hermitian symmetry makes the rest conjugates).
+func RFFT(x []float64) []complex128 {
+	n := len(x)
+	cx := make([]complex128, n)
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	full := FFT(cx)
+	return full[:n/2+1]
+}
+
+// IRFFT inverts RFFT. n is the original real length; spec must have
+// n/2+1 bins. It returns an error when the lengths are inconsistent.
+func IRFFT(spec []complex128, n int) ([]float64, error) {
+	if n <= 0 || len(spec) != n/2+1 {
+		return nil, &ErrLength{Op: "IRFFT", Got: len(spec), Want: fmt.Sprintf("%d (= n/2+1 for n=%d)", n/2+1, n)}
+	}
+	full := make([]complex128, n)
+	copy(full, spec)
+	for k := n/2 + 1; k < n; k++ {
+		full[k] = cmplx.Conj(spec[n-k])
+	}
+	// If n is even, the Nyquist bin must be (numerically) real; enforce it
+	// so rounding dust does not leak into the imaginary parts.
+	if n%2 == 0 {
+		full[n/2] = complex(real(full[n/2]), 0)
+	}
+	t := IFFT(full)
+	out := make([]float64, n)
+	for i, v := range t {
+		out[i] = real(v)
+	}
+	return out, nil
+}
+
+// Convolve returns the circular convolution of a and b (equal lengths)
+// computed in the frequency domain.
+func Convolve(a, b []complex128) ([]complex128, error) {
+	if len(a) != len(b) {
+		return nil, &ErrLength{Op: "Convolve", Got: len(b), Want: fmt.Sprintf("%d", len(a))}
+	}
+	fa := FFT(a)
+	fb := FFT(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	return IFFT(fa), nil
+}
+
+// MaxAbsError returns the largest magnitude of elementwise difference
+// between two complex slices; +Inf if lengths differ.
+func MaxAbsError(a, b []complex128) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,250 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randSignal(r *rng.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Norm(), r.Norm())
+	}
+	return x
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 60, 64, 100} {
+		x := randSignal(r, n)
+		fast := FFT(x)
+		slow := NaiveDFT(x)
+		if e := MaxAbsError(fast, slow); e > 1e-8*float64(n) {
+			t.Fatalf("n=%d: FFT differs from naive DFT by %v", n, e)
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(128)
+		x := randSignal(r, n)
+		back := IFFT(FFT(x))
+		return MaxAbsError(x, back) < 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	r := rng.New(2)
+	n := 48
+	x := randSignal(r, n)
+	y := randSignal(r, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*x[i] + 3i*y[i]
+	}
+	lhs := FFT(sum)
+	fx, fy := FFT(x), FFT(y)
+	rhs := make([]complex128, n)
+	for i := range rhs {
+		rhs[i] = 2*fx[i] + 3i*fy[i]
+	}
+	if e := MaxAbsError(lhs, rhs); e > 1e-9 {
+		t.Fatalf("linearity violated by %v", e)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	f := FFT(x)
+	for k, v := range f {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTPureTone(t *testing.T) {
+	// A complex exponential at bin 3 concentrates all energy in bin 3.
+	const n = 64
+	x := make([]complex128, n)
+	for t := 0; t < n; t++ {
+		x[t] = cmplx.Exp(complex(0, 2*math.Pi*3*float64(t)/n))
+	}
+	f := FFT(x)
+	for k, v := range f {
+		want := 0.0
+		if k == 3 {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-8 {
+			t.Fatalf("bin %d magnitude %v, want %v", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(64)
+		x := randSignal(r, n)
+		fx := FFT(x)
+		var et, ef float64
+		for i := range x {
+			et += real(x[i] * cmplx.Conj(x[i]))
+			ef += real(fx[i] * cmplx.Conj(fx[i]))
+		}
+		ef /= float64(n)
+		return math.Abs(et-ef) < 1e-8*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Fatal("FFT(nil) should be empty")
+	}
+	one := []complex128{3 + 4i}
+	if got := FFT(one); got[0] != one[0] {
+		t.Fatalf("FFT of singleton = %v", got)
+	}
+	if got := IFFT(one); got[0] != one[0] {
+		t.Fatalf("IFFT of singleton = %v", got)
+	}
+}
+
+func TestRFFTMatchesFFT(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{2, 4, 9, 16, 21, 64} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		spec := RFFT(x)
+		if len(spec) != n/2+1 {
+			t.Fatalf("n=%d: RFFT returned %d bins", n, len(spec))
+		}
+		cx := make([]complex128, n)
+		for i, v := range x {
+			cx[i] = complex(v, 0)
+		}
+		full := FFT(cx)
+		for k := range spec {
+			if cmplx.Abs(spec[k]-full[k]) > 1e-10 {
+				t.Fatalf("n=%d bin %d mismatch", n, k)
+			}
+		}
+	}
+}
+
+func TestRFFTIRFFTRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		back, err := IRFFT(RFFT(x), n)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRFFTLengthValidation(t *testing.T) {
+	if _, err := IRFFT(make([]complex128, 4), 9); err == nil {
+		t.Fatal("want length error")
+	}
+	var le *ErrLength
+	_, err := IRFFT(make([]complex128, 2), 0)
+	if err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if le, _ = err.(*ErrLength); le == nil {
+		t.Fatalf("want *ErrLength, got %T", err)
+	}
+}
+
+func TestConvolutionTheorem(t *testing.T) {
+	r := rng.New(4)
+	n := 24
+	a := randSignal(r, n)
+	b := randSignal(r, n)
+	got, err := Convolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct circular convolution.
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += a[j] * b[(k-j+n)%n]
+		}
+		want[k] = s
+	}
+	if e := MaxAbsError(got, want); e > 1e-8 {
+		t.Fatalf("convolution mismatch %v", e)
+	}
+}
+
+func TestConvolveLengthMismatch(t *testing.T) {
+	if _, err := Convolve(make([]complex128, 3), make([]complex128, 4)); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestHermitianSymmetryOfRealSignal(t *testing.T) {
+	r := rng.New(5)
+	n := 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Norm(), 0)
+	}
+	f := FFT(x)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(f[k]-cmplx.Conj(f[n-k])) > 1e-10 {
+			t.Fatalf("Hermitian symmetry broken at bin %d", k)
+		}
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	r := rng.New(1)
+	x := randSignal(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FFT(x)
+	}
+}
+
+func BenchmarkFFTBluestein1000(b *testing.B) {
+	r := rng.New(1)
+	x := randSignal(r, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FFT(x)
+	}
+}

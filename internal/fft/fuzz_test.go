@@ -1,0 +1,61 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip checks IFFT(FFT(x)) == x for arbitrary lengths and
+// contents derived from fuzzer bytes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Add([]byte{255, 0, 128, 64, 32, 16, 8, 4, 2, 1, 99})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 512 {
+			t.Skip()
+		}
+		x := make([]complex128, len(data))
+		for i, b := range data {
+			x[i] = complex(float64(b)/255-0.5, float64(b%17)/17-0.5)
+		}
+		back := IFFT(FFT(x))
+		if e := MaxAbsError(x, back); e > 1e-8 || math.IsNaN(e) {
+			t.Fatalf("round trip error %v for n=%d", e, len(x))
+		}
+	})
+}
+
+// FuzzRFFTConsistency checks the real transform agrees with the complex
+// transform for arbitrary real signals.
+func FuzzRFFTConsistency(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		x := make([]float64, len(data))
+		cx := make([]complex128, len(data))
+		for i, b := range data {
+			x[i] = float64(b) - 127
+			cx[i] = complex(x[i], 0)
+		}
+		spec := RFFT(x)
+		full := FFT(cx)
+		for k := range spec {
+			d := spec[k] - full[k]
+			if math.Hypot(real(d), imag(d)) > 1e-6 {
+				t.Fatalf("bin %d differs by %v", k, d)
+			}
+		}
+		back, err := IRFFT(spec, len(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-back[i]) > 1e-6 {
+				t.Fatalf("sample %d: %v vs %v", i, x[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package gan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// RingMixture is the standard synthetic mode-collapse benchmark: K
+// isotropic Gaussians equally spaced on a circle.
+type RingMixture struct {
+	K      int
+	Radius float64
+	Sigma  float64
+	r      *rng.Rand
+}
+
+// NewRingMixture builds a K-mode ring dataset.
+func NewRingMixture(k int, radius, sigma float64, seed uint64) (*RingMixture, error) {
+	if k < 1 || radius <= 0 || sigma <= 0 {
+		return nil, fmt.Errorf("%w: ring k=%d radius=%g sigma=%g", ErrConfig, k, radius, sigma)
+	}
+	return &RingMixture{K: k, Radius: radius, Sigma: sigma, r: rng.New(seed)}, nil
+}
+
+// Modes returns the K mode centers.
+func (m *RingMixture) Modes() [][2]float64 {
+	out := make([][2]float64, m.K)
+	for i := 0; i < m.K; i++ {
+		a := 2 * math.Pi * float64(i) / float64(m.K)
+		out[i] = [2]float64{m.Radius * math.Cos(a), m.Radius * math.Sin(a)}
+	}
+	return out
+}
+
+// Batch draws n samples as an [n, 2] tensor.
+func (m *RingMixture) Batch(n int) *nn.Tensor {
+	t := nn.NewTensor(n, 2)
+	modes := m.Modes()
+	for i := 0; i < n; i++ {
+		c := modes[m.r.Intn(m.K)]
+		t.Data[2*i] = c[0] + m.Sigma*m.r.Norm()
+		t.Data[2*i+1] = c[1] + m.Sigma*m.r.Norm()
+	}
+	return t
+}
+
+// CoverageReport summarizes generator mode coverage against a mixture.
+type CoverageReport struct {
+	// ModesCovered is how many of the K modes received at least
+	// MinPerMode samples within the capture radius.
+	ModesCovered int
+	// HighQualityFrac is the fraction of samples within the capture
+	// radius of any mode.
+	HighQualityFrac float64
+	// PerMode holds the sample count captured by each mode.
+	PerMode []int
+}
+
+// ModeCoverage assigns each sample (rows of [n, 2]) to its nearest mode and
+// reports coverage. captureRadius defaults to 3σ when zero; minPerMode
+// defaults to 1.
+func (m *RingMixture) ModeCoverage(samples *nn.Tensor, captureRadius float64, minPerMode int) (*CoverageReport, error) {
+	if len(samples.Shape) != 2 || samples.Shape[1] != 2 {
+		return nil, fmt.Errorf("%w: samples shape %v", ErrConfig, samples.Shape)
+	}
+	if captureRadius == 0 {
+		captureRadius = 3 * m.Sigma
+	}
+	if minPerMode == 0 {
+		minPerMode = 1
+	}
+	modes := m.Modes()
+	rep := &CoverageReport{PerMode: make([]int, m.K)}
+	n := samples.Shape[0]
+	good := 0
+	for i := 0; i < n; i++ {
+		x, y := samples.At2(i, 0), samples.At2(i, 1)
+		best := -1
+		bestD := math.Inf(1)
+		for k, c := range modes {
+			d := math.Hypot(x-c[0], y-c[1])
+			if d < bestD {
+				bestD = d
+				best = k
+			}
+		}
+		if bestD <= captureRadius {
+			rep.PerMode[best]++
+			good++
+		}
+	}
+	for _, c := range rep.PerMode {
+		if c >= minPerMode {
+			rep.ModesCovered++
+		}
+	}
+	if n > 0 {
+		rep.HighQualityFrac = float64(good) / float64(n)
+	}
+	return rep, nil
+}
+
+// TrainingTrace records per-step losses for oscillation analysis.
+type TrainingTrace struct {
+	DLoss []float64
+	GLoss []float64
+}
+
+// Oscillation returns the standard deviation of the last-window
+// discriminator losses — the instability metric of the batchnorm-placement
+// experiment. window 0 means the whole trace.
+func (t *TrainingTrace) Oscillation(window int) float64 {
+	xs := t.DLoss
+	if window > 0 && window < len(xs) {
+		xs = xs[len(xs)-window:]
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var s float64
+	for _, v := range xs {
+		d := v - mean
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Train runs steps training steps of the GAN against the mixture and
+// returns the loss trace.
+func Train(g *GAN, data *RingMixture, steps int) (*TrainingTrace, error) {
+	trace := &TrainingTrace{}
+	for s := 0; s < steps; s++ {
+		stats, err := g.TrainStep(data.Batch(g.cfg.BatchSize))
+		if err != nil {
+			return trace, fmt.Errorf("gan: step %d: %w", s, err)
+		}
+		trace.DLoss = append(trace.DLoss, stats.DLoss)
+		trace.GLoss = append(trace.GLoss, stats.GLoss)
+	}
+	return trace, nil
+}

@@ -1,0 +1,318 @@
+// Package gan implements the generative-adversarial training testbed of
+// the paper's Fig. 2: a DCGAN-style generator/discriminator pair trained on
+// synthetic 2-D Gaussian-mixture data, an optional mixture of generators
+// (the paper's "DCGAN #3", added "to assist in mitigating mode failure
+// (a.k.a. mode collapse)"), selectable batch-normalization placement (the
+// paper: batchnorm applied "only at the generator output layer and/or the
+// discriminator input layer" avoids oscillation), and the diagnostics the
+// experiments report: mode coverage, training oscillation, and forward
+// stability (perturbation amplification).
+package gan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// ErrConfig is returned for invalid configurations.
+var ErrConfig = errors.New("gan: invalid config")
+
+// Placement selects where batch normalization is inserted.
+type Placement int
+
+// Batchnorm placements.
+const (
+	// PlacementNone uses no batchnorm anywhere.
+	PlacementNone Placement = iota + 1
+	// PlacementSelective applies batchnorm only at the generator's output
+	// stage and the discriminator's input stage — the paper's proven
+	// recipe.
+	PlacementSelective
+	// PlacementAll applies batchnorm after every hidden layer of both
+	// networks — the configuration the paper warns "can result in
+	// oscillation and instability".
+	PlacementAll
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case PlacementNone:
+		return "none"
+	case PlacementSelective:
+		return "selective"
+	case PlacementAll:
+		return "all-layers"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Config parameterizes a GAN testbed.
+type Config struct {
+	LatentDim     int // default 2
+	DataDim       int // default 2
+	Hidden        int // hidden width, default 32
+	LR            float64
+	BatchSize     int
+	NumGenerators int // >= 1; > 1 enables the mixture (DCGAN #3 role)
+	Placement     Placement
+	Seed          uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatentDim == 0 {
+		c.LatentDim = 2
+	}
+	if c.DataDim == 0 {
+		c.DataDim = 2
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.NumGenerators == 0 {
+		c.NumGenerators = 1
+	}
+	if c.Placement == 0 {
+		c.Placement = PlacementSelective
+	}
+	return c
+}
+
+// GAN is the trainable testbed.
+type GAN struct {
+	cfg   Config
+	gens  []*nn.Sequential
+	disc  *nn.Sequential
+	optsG []*nn.Adam
+	optD  *nn.Adam
+	r     *rng.Rand
+	// next generator to receive a training step (round robin).
+	turn int
+}
+
+// New builds the GAN.
+func New(cfg Config) (*GAN, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumGenerators < 1 {
+		return nil, fmt.Errorf("%w: NumGenerators %d", ErrConfig, cfg.NumGenerators)
+	}
+	if cfg.LatentDim < 1 || cfg.DataDim < 1 || cfg.Hidden < 1 {
+		return nil, fmt.Errorf("%w: dims %d/%d/%d", ErrConfig, cfg.LatentDim, cfg.DataDim, cfg.Hidden)
+	}
+	g := &GAN{cfg: cfg, r: rng.New(cfg.Seed)}
+	for i := 0; i < cfg.NumGenerators; i++ {
+		g.gens = append(g.gens, buildGenerator(cfg, g.r.Split()))
+		g.optsG = append(g.optsG, nn.NewAdam(cfg.LR))
+	}
+	g.disc = buildDiscriminator(cfg, g.r.Split())
+	g.optD = nn.NewAdam(cfg.LR)
+	return g, nil
+}
+
+func buildGenerator(cfg Config, r *rng.Rand) *nn.Sequential {
+	var layers []nn.Layer
+	layers = append(layers, nn.NewDense(cfg.LatentDim, cfg.Hidden, r), nn.NewLeakyReLU(0.2))
+	if cfg.Placement == PlacementAll {
+		layers = append(layers, nn.NewBatchNorm(cfg.Hidden))
+	}
+	layers = append(layers, nn.NewDense(cfg.Hidden, cfg.Hidden, r), nn.NewLeakyReLU(0.2))
+	if cfg.Placement == PlacementAll {
+		layers = append(layers, nn.NewBatchNorm(cfg.Hidden))
+	}
+	layers = append(layers, nn.NewDense(cfg.Hidden, cfg.DataDim, r))
+	if cfg.Placement == PlacementSelective || cfg.Placement == PlacementAll {
+		// Generator output batchnorm — one half of the selective recipe.
+		layers = append(layers, nn.NewBatchNorm(cfg.DataDim))
+	}
+	return nn.NewSequential(layers...)
+}
+
+func buildDiscriminator(cfg Config, r *rng.Rand) *nn.Sequential {
+	var layers []nn.Layer
+	if cfg.Placement == PlacementSelective || cfg.Placement == PlacementAll {
+		// Discriminator input batchnorm — the other half.
+		layers = append(layers, nn.NewBatchNorm(cfg.DataDim))
+	}
+	layers = append(layers, nn.NewDense(cfg.DataDim, cfg.Hidden, r), nn.NewLeakyReLU(0.2))
+	if cfg.Placement == PlacementAll {
+		layers = append(layers, nn.NewBatchNorm(cfg.Hidden))
+	}
+	layers = append(layers, nn.NewDense(cfg.Hidden, cfg.Hidden, r), nn.NewLeakyReLU(0.2))
+	if cfg.Placement == PlacementAll {
+		layers = append(layers, nn.NewBatchNorm(cfg.Hidden))
+	}
+	layers = append(layers, nn.NewDense(cfg.Hidden, 1, r))
+	return nn.NewSequential(layers...)
+}
+
+// NumGenerators returns the mixture size.
+func (g *GAN) NumGenerators() int { return len(g.gens) }
+
+// latent draws a batch of latent vectors.
+func (g *GAN) latent(n int) *nn.Tensor {
+	z := nn.NewTensor(n, g.cfg.LatentDim)
+	for i := range z.Data {
+		z.Data[i] = g.r.Norm()
+	}
+	return z
+}
+
+// Sample draws n data-space samples from the generator mixture in eval
+// mode (running batchnorm statistics).
+func (g *GAN) Sample(n int) (*nn.Tensor, error) {
+	out := nn.NewTensor(n, g.cfg.DataDim)
+	// Draw from each generator a contiguous block (round robin remainder).
+	row := 0
+	for gi := 0; gi < len(g.gens) && row < n; gi++ {
+		cnt := n / len(g.gens)
+		if gi < n%len(g.gens) {
+			cnt++
+		}
+		if cnt == 0 {
+			continue
+		}
+		z := g.latent(cnt)
+		x, err := g.gens[gi].Forward(z, false)
+		if err != nil {
+			return nil, fmt.Errorf("gan: sample: %w", err)
+		}
+		copy(out.Data[row*g.cfg.DataDim:(row+cnt)*g.cfg.DataDim], x.Data)
+		row += cnt
+	}
+	return out, nil
+}
+
+// StepStats reports per-step losses.
+type StepStats struct {
+	DLoss float64
+	GLoss float64
+}
+
+// TrainStep performs one discriminator update on the real batch and one
+// generator update (round robin across the mixture).
+func (g *GAN) TrainStep(real *nn.Tensor) (*StepStats, error) {
+	if len(real.Shape) != 2 || real.Shape[1] != g.cfg.DataDim {
+		return nil, fmt.Errorf("%w: real batch shape %v", ErrConfig, real.Shape)
+	}
+	n := real.Shape[0]
+	gen := g.gens[g.turn]
+	optG := g.optsG[g.turn]
+	g.turn = (g.turn + 1) % len(g.gens)
+
+	// --- Discriminator step ---
+	g.disc.ZeroGrad()
+	// Real batch toward label 1.
+	outR, err := g.disc.Forward(real, true)
+	if err != nil {
+		return nil, fmt.Errorf("gan: disc real: %w", err)
+	}
+	ones := nn.NewTensor(n, 1)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	lossR, gradR, err := nn.BCEWithLogitsLoss(outR, ones)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.disc.Backward(gradR); err != nil {
+		return nil, err
+	}
+	// Fake batch toward label 0 (generator frozen: its grads are unused).
+	z := g.latent(n)
+	fake, err := gen.Forward(z, true)
+	if err != nil {
+		return nil, fmt.Errorf("gan: gen forward: %w", err)
+	}
+	outF, err := g.disc.Forward(fake, true)
+	if err != nil {
+		return nil, err
+	}
+	zeros := nn.NewTensor(n, 1)
+	lossF, gradF, err := nn.BCEWithLogitsLoss(outF, zeros)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.disc.Backward(gradF); err != nil {
+		return nil, err
+	}
+	g.optD.Step(g.disc.Params())
+
+	// --- Generator step (non-saturating loss) ---
+	gen.ZeroGrad()
+	g.disc.ZeroGrad() // discriminator used only as a conduit here
+	z = g.latent(n)
+	fake, err = gen.Forward(z, true)
+	if err != nil {
+		return nil, err
+	}
+	outF, err = g.disc.Forward(fake, true)
+	if err != nil {
+		return nil, err
+	}
+	gLoss, gradG, err := nn.BCEWithLogitsLoss(outF, ones)
+	if err != nil {
+		return nil, err
+	}
+	dFake, err := g.disc.Backward(gradG)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := gen.Backward(dFake); err != nil {
+		return nil, err
+	}
+	optG.Step(gen.Params())
+
+	return &StepStats{DLoss: 0.5 * (lossR + lossF), GLoss: gLoss}, nil
+}
+
+// ForwardStability measures the mean perturbation amplification factor
+// ||G(z+δ) - G(z)|| / ||δ|| over trials random latent points, the paper's
+// "forward stable" criterion ("a forward stable DCGAN does not amplify
+// perturbations of the input set").
+func (g *GAN) ForwardStability(trials int, delta float64) (float64, error) {
+	if trials <= 0 {
+		trials = 16
+	}
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		gen := g.gens[trial%len(g.gens)]
+		z := g.latent(1)
+		zp := z.Clone()
+		dir := make([]float64, g.cfg.LatentDim)
+		var norm float64
+		for i := range dir {
+			dir[i] = g.r.Norm()
+			norm += dir[i] * dir[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range dir {
+			zp.Data[i] += delta * dir[i] / norm
+		}
+		a, err := gen.Forward(z, false)
+		if err != nil {
+			return 0, err
+		}
+		b, err := gen.Forward(zp, false)
+		if err != nil {
+			return 0, err
+		}
+		var d float64
+		for i := range a.Data {
+			v := a.Data[i] - b.Data[i]
+			d += v * v
+		}
+		sum += math.Sqrt(d) / delta
+	}
+	return sum / float64(trials), nil
+}

@@ -1,0 +1,214 @@
+package gan
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{NumGenerators: -1}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	if _, err := New(Config{LatentDim: -2}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+	g, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGenerators() != 1 {
+		t.Fatalf("default generators = %d", g.NumGenerators())
+	}
+}
+
+func TestPlacementChangesArchitecture(t *testing.T) {
+	count := func(p Placement) int {
+		g, err := New(Config{Seed: 1, Placement: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, gen := range g.gens {
+			n += gen.NumParams()
+		}
+		return n + g.disc.NumParams()
+	}
+	none := count(PlacementNone)
+	sel := count(PlacementSelective)
+	all := count(PlacementAll)
+	if !(none < sel && sel < all) {
+		t.Fatalf("param counts should grow with batchnorm coverage: %d, %d, %d", none, sel, all)
+	}
+}
+
+func TestSampleShapesAndMixtureSplit(t *testing.T) {
+	g, err := New(Config{Seed: 2, NumGenerators: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Sample(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shape[0] != 10 || s.Shape[1] != 2 {
+		t.Fatalf("sample shape %v", s.Shape)
+	}
+	for _, v := range s.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN sample")
+		}
+	}
+}
+
+func TestTrainStepRejectsBadBatch(t *testing.T) {
+	g, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TrainStep(nn.NewTensor(4, 7)); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig, got %v", err)
+	}
+}
+
+func TestRingMixture(t *testing.T) {
+	m, err := NewRingMixture(8, 2, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := m.Modes()
+	if len(modes) != 8 {
+		t.Fatalf("modes = %d", len(modes))
+	}
+	// All modes at the requested radius.
+	for _, c := range modes {
+		if math.Abs(math.Hypot(c[0], c[1])-2) > 1e-12 {
+			t.Fatalf("mode %v off the ring", c)
+		}
+	}
+	b := m.Batch(1000)
+	// Real data covers all modes.
+	rep, err := m.ModeCoverage(b, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModesCovered != 8 {
+		t.Fatalf("real data covers %d/8 modes", rep.ModesCovered)
+	}
+	if rep.HighQualityFrac < 0.95 {
+		t.Fatalf("real data high-quality fraction %v", rep.HighQualityFrac)
+	}
+	if _, err := NewRingMixture(0, 1, 1, 1); !errors.Is(err, ErrConfig) {
+		t.Fatal("want ErrConfig for k=0")
+	}
+}
+
+func TestModeCoverageValidation(t *testing.T) {
+	m, _ := NewRingMixture(4, 2, 0.1, 1)
+	if _, err := m.ModeCoverage(nn.NewTensor(3, 5), 0, 0); !errors.Is(err, ErrConfig) {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestTrainingReducesDiscriminatorAdvantage(t *testing.T) {
+	// After training, generated samples should move toward the data: the
+	// high-quality fraction should rise well above the untrained level.
+	m, err := NewRingMixture(4, 1.5, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Seed: 7, Hidden: 32, LR: 2e-3, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := g.Sample(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBefore, _ := m.ModeCoverage(before, 0.5, 1)
+	if _, err := Train(g, m, 600); err != nil {
+		t.Fatal(err)
+	}
+	after, err := g.Sample(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repAfter, _ := m.ModeCoverage(after, 0.5, 1)
+	if repAfter.HighQualityFrac <= repBefore.HighQualityFrac {
+		t.Fatalf("training did not improve sample quality: %v -> %v",
+			repBefore.HighQualityFrac, repAfter.HighQualityFrac)
+	}
+	if repAfter.HighQualityFrac < 0.3 {
+		t.Fatalf("after training only %v of samples near modes", repAfter.HighQualityFrac)
+	}
+}
+
+func TestTraceOscillation(t *testing.T) {
+	tr := &TrainingTrace{DLoss: []float64{1, 1, 1, 1}}
+	if tr.Oscillation(0) != 0 {
+		t.Fatal("constant trace should have zero oscillation")
+	}
+	tr2 := &TrainingTrace{DLoss: []float64{0, 2, 0, 2}}
+	if tr2.Oscillation(0) <= 0 {
+		t.Fatal("alternating trace should oscillate")
+	}
+	if (&TrainingTrace{DLoss: []float64{1}}).Oscillation(0) != 0 {
+		t.Fatal("single sample should be zero")
+	}
+	// Window restricts to the tail.
+	tr3 := &TrainingTrace{DLoss: []float64{5, -5, 1, 1, 1, 1}}
+	if tr3.Oscillation(4) != 0 {
+		t.Fatal("tail window should exclude early noise")
+	}
+}
+
+func TestForwardStabilityFinite(t *testing.T) {
+	g, err := New(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amp, err := g.ForwardStability(8, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(amp) || amp < 0 {
+		t.Fatalf("amplification = %v", amp)
+	}
+}
+
+func TestMixtureOfGeneratorsRuns(t *testing.T) {
+	m, err := NewRingMixture(8, 2, 0.1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Seed: 11, NumGenerators: 3, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(g, m, 60); err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.Sample(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.ModeCoverage(s, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModesCovered < 0 || rep.ModesCovered > 8 {
+		t.Fatalf("coverage out of range: %d", rep.ModesCovered)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	m, _ := NewRingMixture(8, 2, 0.1, 1)
+	g, _ := New(Config{Seed: 1, BatchSize: 32})
+	batch := m.Batch(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.TrainStep(batch)
+	}
+}

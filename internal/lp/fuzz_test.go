@@ -1,0 +1,69 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolveNeverPanicsAndStaysFeasible builds an LP from fuzzer bytes and
+// checks the solver terminates without panic and, when it claims
+// optimality, returns a feasible point.
+func FuzzSolveNeverPanicsAndStaysFeasible(f *testing.F) {
+	f.Add([]byte{3, 2, 10, 20, 30, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 1, 200, 100, 50})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		n := int(data[0])%4 + 1
+		m := int(data[1]) % 4
+		pos := 2
+		next := func() float64 {
+			if pos >= len(data) {
+				return 1
+			}
+			v := float64(data[pos]) - 127
+			pos++
+			return v / 16
+		}
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = next()
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: math.Abs(next()) + 1}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = next()
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Box keeps everything bounded.
+		p.Lo = make([]float64, n)
+		p.Hi = make([]float64, n)
+		for j := 0; j < n; j++ {
+			p.Lo[j] = -5
+			p.Hi[j] = 5
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("structurally valid LP errored: %v", err)
+		}
+		if sol.Status != StatusOptimal {
+			return // infeasible is legitimate for random rows
+		}
+		for j, v := range sol.X {
+			if v < p.Lo[j]-1e-6 || v > p.Hi[j]+1e-6 || math.IsNaN(v) {
+				t.Fatalf("x[%d] = %v outside box", j, v)
+			}
+		}
+		for i, c := range p.Constraints {
+			var lhs float64
+			for j := range c.Coeffs {
+				lhs += c.Coeffs[j] * sol.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				t.Fatalf("constraint %d violated: %v > %v", i, lhs, c.RHS)
+			}
+		}
+	})
+}

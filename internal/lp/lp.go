@@ -1,0 +1,277 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It is the relaxed-verifier backend (paper §II-B-2: "prototypical
+// relaxed verifiers are predicated upon MILP...") and the node relaxation
+// used by the branch-and-bound MINLP solver.
+//
+// Problems are stated in the natural form
+//
+//	minimize    cᵀx
+//	subject to  aᵢᵀx {<=,=,>=} bᵢ      i = 1..m
+//	            lo <= x <= hi          (any bound may be ±Inf)
+//
+// and converted internally to standard form with shifts, splits, slacks,
+// and artificials. Bland's rule guards against cycling. The solver is
+// intended for small, dense instances (tens to a few hundred variables).
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1
+	EQ
+	GE
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("sense(%d)", int(s))
+	}
+}
+
+// Constraint is a single row aᵀx (sense) b. Coeffs is indexed by variable
+// and may be shorter than NumVars (missing entries are zero).
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program in natural form. Lo/Hi may be nil, meaning
+// 0 and +Inf respectively for every variable (the classic standard form).
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimize; may be shorter than NumVars
+	Constraints []Constraint
+	Lo, Hi      []float64 // optional bounds; ±Inf allowed
+}
+
+// Status classifies the solver outcome.
+type Status int
+
+// Solver outcomes.
+const (
+	StatusOptimal Status = iota + 1
+	StatusInfeasible
+	StatusUnbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution is the solver output. X is populated only for StatusOptimal.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// ErrBadProblem is returned for structurally invalid problems.
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+const (
+	tol     = 1e-9
+	maxIter = 200000
+)
+
+// Solve solves the problem. A non-nil error indicates a malformed problem
+// or an internal failure, not infeasibility — infeasible and unbounded
+// outcomes are reported through Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars < 0 {
+		return nil, fmt.Errorf("%w: NumVars=%d", ErrBadProblem, p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars {
+		return nil, fmt.Errorf("%w: objective has %d coefficients for %d vars", ErrBadProblem, len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return nil, fmt.Errorf("%w: constraint %d has %d coefficients for %d vars", ErrBadProblem, i, len(c.Coeffs), p.NumVars)
+		}
+		if c.Sense != LE && c.Sense != EQ && c.Sense != GE {
+			return nil, fmt.Errorf("%w: constraint %d has sense %d", ErrBadProblem, i, int(c.Sense))
+		}
+	}
+	std, err := toStandard(p)
+	if err != nil {
+		return nil, err
+	}
+	sol := std.solve()
+	if sol.Status != StatusOptimal {
+		return sol, nil
+	}
+	x := std.recover(sol.X)
+	obj := 0.0
+	for j := 0; j < len(p.Objective); j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return &Solution{Status: StatusOptimal, X: x, Objective: obj}, nil
+}
+
+// standard is a problem in the form min cᵀy, A y = b, y >= 0, b >= 0, plus
+// the bookkeeping needed to map y back onto the original variables.
+type standard struct {
+	c      []float64
+	a      [][]float64
+	b      []float64
+	senses []Sense
+	nOrig  int
+	// For each original variable: representation in y.
+	// kind 0: x = y[idx] + shift
+	// kind 1: x = shift - y[idx]        (upper-bounded free var)
+	// kind 2: x = y[idx] - y[idx2]      (free var split)
+	varKind  []int
+	varIdx   []int
+	varIdx2  []int
+	varShift []float64
+}
+
+func bound(bs []float64, j int, def float64) float64 {
+	if j < len(bs) {
+		return bs[j]
+	}
+	return def
+}
+
+func coef(cs []float64, j int) float64 {
+	if j < len(cs) {
+		return cs[j]
+	}
+	return 0
+}
+
+func toStandard(p *Problem) (*standard, error) {
+	n := p.NumVars
+	s := &standard{
+		nOrig:    n,
+		varKind:  make([]int, n),
+		varIdx:   make([]int, n),
+		varIdx2:  make([]int, n),
+		varShift: make([]float64, n),
+	}
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo[j] = bound(p.Lo, j, 0)
+		hi[j] = bound(p.Hi, j, math.Inf(1))
+		if p.Lo == nil {
+			lo[j] = 0
+		}
+		if p.Hi == nil {
+			hi[j] = math.Inf(1)
+		}
+		if lo[j] > hi[j] {
+			// Trivially infeasible bounds; encode as an impossible row so
+			// phase 1 reports infeasibility uniformly.
+			return nil, fmt.Errorf("%w: variable %d has lo %g > hi %g", ErrBadProblem, j, lo[j], hi[j])
+		}
+	}
+	// Assign y-indices.
+	ny := 0
+	type upperRow struct {
+		yIdx int
+		rhs  float64
+	}
+	var uppers []upperRow
+	for j := 0; j < n; j++ {
+		switch {
+		case !math.IsInf(lo[j], -1):
+			s.varKind[j] = 0
+			s.varIdx[j] = ny
+			s.varShift[j] = lo[j]
+			ny++
+			if !math.IsInf(hi[j], 1) {
+				uppers = append(uppers, upperRow{s.varIdx[j], hi[j] - lo[j]})
+			}
+		case !math.IsInf(hi[j], 1):
+			s.varKind[j] = 1
+			s.varIdx[j] = ny
+			s.varShift[j] = hi[j]
+			ny++
+		default:
+			s.varKind[j] = 2
+			s.varIdx[j] = ny
+			s.varIdx2[j] = ny + 1
+			ny += 2
+		}
+	}
+	// Objective over y.
+	s.c = make([]float64, ny)
+	for j := 0; j < n; j++ {
+		cj := coef(p.Objective, j)
+		switch s.varKind[j] {
+		case 0:
+			s.c[s.varIdx[j]] += cj
+		case 1:
+			s.c[s.varIdx[j]] -= cj
+		case 2:
+			s.c[s.varIdx[j]] += cj
+			s.c[s.varIdx2[j]] -= cj
+		}
+	}
+	// Rows: user constraints plus upper-bound rows.
+	appendRow := func(coeffs []float64, sense Sense, rhs float64) {
+		row := make([]float64, ny)
+		r := rhs
+		for j := 0; j < n; j++ {
+			aij := coef(coeffs, j)
+			if aij == 0 {
+				continue
+			}
+			switch s.varKind[j] {
+			case 0:
+				row[s.varIdx[j]] += aij
+				r -= aij * s.varShift[j]
+			case 1:
+				row[s.varIdx[j]] -= aij
+				r -= aij * s.varShift[j]
+			case 2:
+				row[s.varIdx[j]] += aij
+				row[s.varIdx2[j]] -= aij
+			}
+		}
+		// Convert sense with slack/surplus appended later by solve(); here
+		// we store rows in (coeffs, sense, rhs) triples via closure state.
+		s.a = append(s.a, row)
+		s.b = append(s.b, r)
+		s.senses = append(s.senses, sense)
+	}
+	s.senses = nil
+	for _, c := range p.Constraints {
+		appendRow(c.Coeffs, c.Sense, c.RHS)
+	}
+	for _, u := range uppers {
+		row := make([]float64, ny)
+		row[u.yIdx] = 1
+		s.a = append(s.a, row)
+		s.b = append(s.b, u.rhs)
+		s.senses = append(s.senses, LE)
+	}
+	return s, nil
+}

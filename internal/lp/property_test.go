@@ -1,0 +1,150 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomBoundedLP builds a random LP with box bounds so it is always
+// feasible and bounded.
+func randomBoundedLP(r *rng.Rand) *Problem {
+	n := 2 + r.Intn(4)
+	m := 1 + r.Intn(3)
+	p := &Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Lo:        make([]float64, n),
+		Hi:        make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		p.Objective[j] = r.Norm()
+		p.Lo[j] = -2
+		p.Hi[j] = 3
+	}
+	for i := 0; i < m; i++ {
+		c := Constraint{Coeffs: make([]float64, n), Sense: LE}
+		for j := range c.Coeffs {
+			c.Coeffs[j] = r.Norm()
+		}
+		// RHS chosen so the origin is feasible.
+		c.RHS = math.Abs(r.Norm()) + 0.5
+		p.Constraints = append(p.Constraints, c)
+	}
+	return p
+}
+
+// TestObjectiveScalingInvariance: scaling the cost by λ>0 scales the
+// optimal value by λ and leaves feasibility intact.
+func TestObjectiveScalingInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := randomBoundedLP(r)
+		s1, err := Solve(p)
+		if err != nil || s1.Status != StatusOptimal {
+			return err == nil // unbounded can't occur (box), infeasible can't (origin feasible)
+		}
+		lambda := 2.5
+		scaled := *p
+		scaled.Objective = append([]float64(nil), p.Objective...)
+		for j := range scaled.Objective {
+			scaled.Objective[j] *= lambda
+		}
+		s2, err := Solve(&scaled)
+		if err != nil || s2.Status != StatusOptimal {
+			return false
+		}
+		return math.Abs(s2.Objective-lambda*s1.Objective) < 1e-6*(1+math.Abs(s1.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddingConstraintNeverImproves: appending a constraint can only keep
+// or worsen (raise) the minimum.
+func TestAddingConstraintNeverImproves(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := randomBoundedLP(r)
+		s1, err := Solve(p)
+		if err != nil || s1.Status != StatusOptimal {
+			return err == nil
+		}
+		extra := Constraint{Coeffs: make([]float64, p.NumVars), Sense: LE}
+		for j := range extra.Coeffs {
+			extra.Coeffs[j] = r.Norm()
+		}
+		extra.RHS = math.Abs(r.Norm()) + 0.5 // origin stays feasible
+		p2 := *p
+		p2.Constraints = append(append([]Constraint(nil), p.Constraints...), extra)
+		s2, err := Solve(&p2)
+		if err != nil || s2.Status != StatusOptimal {
+			return false
+		}
+		return s2.Objective >= s1.Objective-1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelaxingBoundsNeverWorsens: widening the box can only keep or lower
+// the minimum.
+func TestRelaxingBoundsNeverWorsens(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := randomBoundedLP(r)
+		s1, err := Solve(p)
+		if err != nil || s1.Status != StatusOptimal {
+			return err == nil
+		}
+		p2 := *p
+		p2.Lo = append([]float64(nil), p.Lo...)
+		p2.Hi = append([]float64(nil), p.Hi...)
+		for j := range p2.Lo {
+			p2.Lo[j] -= 1
+			p2.Hi[j] += 1
+		}
+		s2, err := Solve(&p2)
+		if err != nil || s2.Status != StatusOptimal {
+			return false
+		}
+		return s2.Objective <= s1.Objective+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimumAtVertexOfTinyBox: for a pure box LP the optimum is the
+// obvious per-coordinate extreme.
+func TestOptimumAtVertexOfTinyBox(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(5)
+		p := &Problem{NumVars: n, Objective: make([]float64, n),
+			Lo: make([]float64, n), Hi: make([]float64, n)}
+		want := 0.0
+		for j := 0; j < n; j++ {
+			p.Objective[j] = r.Norm()
+			p.Lo[j] = -1 - r.Float64()
+			p.Hi[j] = 1 + r.Float64()
+			if p.Objective[j] >= 0 {
+				want += p.Objective[j] * p.Lo[j]
+			} else {
+				want += p.Objective[j] * p.Hi[j]
+			}
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != StatusOptimal {
+			return false
+		}
+		return math.Abs(s.Objective-want) < 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

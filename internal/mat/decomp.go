@@ -1,0 +1,240 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky computes the lower-triangular factor L with A = L*Lᵀ for a
+// symmetric positive definite A. It returns ErrNotPD if a non-positive
+// pivot is encountered.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPD, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves A x = b given the Cholesky factor L of A.
+func CholSolve(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: cholsolve rhs %d for %dx%d", ErrShape, len(b), n, n)
+	}
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// LDL computes the factorization A = L D Lᵀ for a symmetric matrix A, with
+// L unit lower triangular and D diagonal (returned as a slice). Unlike
+// Cholesky it tolerates indefinite matrices but fails on zero pivots.
+func LDL(a *Matrix) (l *Matrix, d []float64, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("%w: ldl of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	l = Identity(n)
+	d = make([]float64, n)
+	for j := 0; j < n; j++ {
+		dj := a.At(j, j)
+		for k := 0; k < j; k++ {
+			dj -= l.At(j, k) * l.At(j, k) * d[k]
+		}
+		d[j] = dj
+		if dj == 0 {
+			if allBelowZero(a, l, d, j, n) {
+				continue
+			}
+			return nil, nil, fmt.Errorf("%w: zero pivot at %d", ErrSingular, j)
+		}
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k) * d[k]
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return l, d, nil
+}
+
+// allBelowZero reports whether every would-be multiplier below pivot j is
+// zero, in which case a zero pivot is harmless (the column is already
+// eliminated).
+func allBelowZero(a, l *Matrix, d []float64, j, n int) bool {
+	for i := j + 1; i < n; i++ {
+		s := a.At(i, j)
+		for k := 0; k < j; k++ {
+			s -= l.At(i, k) * l.At(j, k) * d[k]
+		}
+		if math.Abs(s) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// LU holds a row-pivoted LU factorization P A = L U packed in-place.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int
+}
+
+// NewLU factorizes a with partial pivoting. It returns ErrSingular when a
+// pivot column is exactly zero.
+func NewLU(a *Matrix) (*LU, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("%w: lu of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		maxv := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxv {
+				maxv = v
+				p = i
+			}
+		}
+		if maxv == 0 {
+			return nil, fmt.Errorf("%w: column %d", ErrSingular, k)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -m*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
+	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Solve solves A x = b using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: lu solve rhs %d for n=%d", ErrShape, len(b), n)
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitute through unit-lower L.
+	for i := 0; i < n; i++ {
+		for k := 0; k < i; k++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+	}
+	// Back substitute through U.
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.Rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves the square linear system A x = b via pivoted LU.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹ via pivoted LU, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,247 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSymEigKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", e.Values)
+	}
+}
+
+func TestSymEigReconstruct(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(8)
+		a := randomMatrix(r, n, n).Symmetrize()
+		e, err := SymEig(a)
+		if err != nil {
+			return false
+		}
+		recon := e.Reconstruct()
+		d, _ := recon.MaxAbsDiff(a)
+		return d < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigOrthogonalVectors(t *testing.T) {
+	r := rng.New(9)
+	a := randomMatrix(r, 6, 6).Symmetrize()
+	e, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := e.V.T()
+	prod, _ := vt.Mul(e.V)
+	d, _ := prod.MaxAbsDiff(Identity(6))
+	if d > 1e-9 {
+		t.Fatalf("VᵀV differs from I by %v", d)
+	}
+}
+
+func TestSymEigSortedDescending(t *testing.T) {
+	r := rng.New(10)
+	a := randomMatrix(r, 7, 7).Symmetrize()
+	e, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(e.Values); i++ {
+		if e.Values[i] > e.Values[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", e.Values)
+		}
+	}
+}
+
+func TestEigenvaluesSumToTrace(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		a := randomMatrix(r, n, n).Symmetrize()
+		e, err := SymEig(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range e.Values {
+			sum += v
+		}
+		tr, _ := a.Trace()
+		return math.Abs(sum-tr) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectPSD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eig 3, -1
+	p, err := ProjectPSD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsPSD(p, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("projection is not PSD")
+	}
+	// Projection of the eigenvalue -1 to 0 keeps the +3 component:
+	// result is 1.5*[[1,1],[1,1]].
+	want, _ := FromRows([][]float64{{1.5, 1.5}, {1.5, 1.5}})
+	d, _ := p.MaxAbsDiff(want)
+	if d > 1e-9 {
+		t.Fatalf("projection = \n%v want \n%v", p, want)
+	}
+}
+
+func TestProjectPSDIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(6)
+		a := randomMatrix(r, n, n).Symmetrize()
+		p1, err := ProjectPSD(a)
+		if err != nil {
+			return false
+		}
+		p2, err := ProjectPSD(p1)
+		if err != nil {
+			return false
+		}
+		d, _ := p1.MaxAbsDiff(p2)
+		return d < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumericalRank(t *testing.T) {
+	// rank-1 matrix vvᵀ.
+	v := []float64{1, 2, 3}
+	a := OuterProduct(v, v)
+	r, err := NumericalRank(a, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	if r, _ := NumericalRank(New(3, 3), 1e-9); r != 0 {
+		t.Fatalf("rank of zero matrix = %d", r)
+	}
+	if r, _ := NumericalRank(Identity(4), 1e-9); r != 4 {
+		t.Fatalf("rank of I4 = %d", r)
+	}
+}
+
+func TestConditionNumber(t *testing.T) {
+	d := Diag([]float64{10, 1, 0.1})
+	c, err := ConditionNumberSym(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-100) > 1e-8 {
+		t.Fatalf("condition = %v, want 100", c)
+	}
+	if c, _ := ConditionNumberSym(Diag([]float64{1, 0})); !math.IsInf(c, 1) {
+		t.Fatalf("singular condition = %v, want +Inf", c)
+	}
+}
+
+func TestMinEigenvalueDiag(t *testing.T) {
+	d := Diag([]float64{5, -2, 3})
+	lo, err := MinEigenvalue(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lo-(-2)) > 1e-10 {
+		t.Fatalf("min eig = %v, want -2", lo)
+	}
+}
+
+func TestQRRoundTrip(t *testing.T) {
+	r := rng.New(11)
+	a := randomMatrix(r, 6, 4)
+	f, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rm := f.Q(), f.R()
+	recon, _ := q.Mul(rm)
+	d, _ := recon.MaxAbsDiff(a)
+	if d > 1e-9 {
+		t.Fatalf("QR reconstruction error %v", d)
+	}
+	// Q orthogonal.
+	qt := q.T()
+	prod, _ := qt.Mul(q)
+	d2, _ := prod.MaxAbsDiff(Identity(6))
+	if d2 > 1e-9 {
+		t.Fatalf("QᵀQ error %v", d2)
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, err := NewQR(New(2, 5)); err == nil {
+		t.Fatal("want error for wide matrix")
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	// Fit y = 2x + 1 exactly through 4 points.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-1) > 1e-10 {
+		t.Fatalf("ls fit = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Noisy overdetermined system: residual orthogonal to columns.
+	r := rng.New(12)
+	a := randomMatrix(r, 20, 3)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	res := VecSub(b, ax)
+	for j := 0; j < 3; j++ {
+		if dot := VecDot(a.Col(j), res); math.Abs(dot) > 1e-8 {
+			t.Fatalf("residual not orthogonal to column %d: %v", j, dot)
+		}
+	}
+}
+
+func BenchmarkSymEig16(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 16, 16).Symmetrize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = SymEig(a)
+	}
+}

@@ -1,0 +1,300 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randomMatrix(r *rng.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Norm()
+	}
+	return m
+}
+
+func randomSPD(r *rng.Rand, n int) *Matrix {
+	a := randomMatrix(r, n, n)
+	at := a.T()
+	spd, _ := at.Mul(a)
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n)) // strong diagonal dominance
+	}
+	return spd
+}
+
+func TestFromRowsShapeError(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	r := rng.New(1)
+	a := randomMatrix(r, 4, 4)
+	i4 := Identity(4)
+	prod, err := i4.Mul(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := prod.MaxAbsDiff(a); d != 0 {
+		t.Fatalf("I*A != A, diff %v", d)
+	}
+}
+
+func TestMulShapes(t *testing.T) {
+	a := New(2, 3)
+	b := New(4, 2)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := randomMatrix(r, 1+r.Intn(6), 1+r.Intn(6))
+		d, _ := m.T().T().MaxAbsDiff(m)
+		return d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	r := rng.New(2)
+	a := randomMatrix(r, 5, 3)
+	x := []float64{1, -2, 0.5}
+	xm := New(3, 1)
+	copy(xm.Data, x)
+	want, _ := a.Mul(xm)
+	got, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestTraceAndDiag(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	tr, err := d.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 6 {
+		t.Fatalf("trace = %v", tr)
+	}
+	if _, err := New(2, 3).Trace(); !errors.Is(err, ErrShape) {
+		t.Fatal("trace of non-square should error")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 4}, {2, 5}})
+	m.Symmetrize()
+	if !m.IsSymmetric(0) {
+		t.Fatal("not symmetric after Symmetrize")
+	}
+	if m.At(0, 1) != 3 {
+		t.Fatalf("symmetrized off-diagonal = %v, want 3", m.At(0, 1))
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	for n := 1; n <= 8; n++ {
+		a := randomSPD(r, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		lt := l.T()
+		recon, _ := l.Mul(lt)
+		d, _ := recon.MaxAbsDiff(a)
+		if d > 1e-8 {
+			t.Fatalf("n=%d: LLᵀ differs from A by %v", n, d)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPD) {
+		t.Fatalf("want ErrNotPD, got %v", err)
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	r := rng.New(4)
+	a := randomSPD(r, 6)
+	xTrue := []float64{1, -1, 2, 0.5, -3, 4}
+	b, _ := a.MulVec(xTrue)
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := CholSolve(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestLDLIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	l, d, err := LDL(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct L D Lᵀ.
+	recon := New(2, 2)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s float64
+			for k := 0; k < 2; k++ {
+				s += l.At(i, k) * d[k] * l.At(j, k)
+			}
+			recon.Set(i, j, s)
+		}
+	}
+	diff, _ := recon.MaxAbsDiff(a)
+	if diff > 1e-12 {
+		t.Fatalf("LDLᵀ reconstruction error %v", diff)
+	}
+	if d[0] > 0 && d[1] > 0 {
+		t.Fatal("indefinite matrix should have a negative pivot in D")
+	}
+}
+
+func TestLUSolveAndDet(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{0, 2, 1}, // leading zero forces pivoting
+		{1, 1, 1},
+		{2, 0, 3},
+	})
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xTrue := []float64{1, 2, 3}
+	b, _ := a.MulVec(xTrue)
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+	// det by cofactor expansion: 0*(3-0) - 2*(3-2) + 1*(0-2) = -4
+	if d := f.Det(); math.Abs(d-(-4)) > 1e-10 {
+		t.Fatalf("det = %v, want -4", d)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := rng.New(5)
+	a := randomSPD(r, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, _ := a.Mul(inv)
+	d, _ := prod.MaxAbsDiff(Identity(5))
+	if d > 1e-8 {
+		t.Fatalf("A*A⁻¹ differs from I by %v", d)
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(7)
+		a := randomSPD(r, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.Norm()
+		}
+		b, _ := a.MulVec(xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if VecDot(a, b) != 32 {
+		t.Fatal("VecDot wrong")
+	}
+	s := VecAdd(a, 2, b)
+	if s[0] != 9 || s[2] != 15 {
+		t.Fatalf("VecAdd wrong: %v", s)
+	}
+	if VecNorm([]float64{3, 4}) != 5 {
+		t.Fatal("VecNorm wrong")
+	}
+	d := VecSub(b, a)
+	if d[0] != 3 || d[1] != 3 || d[2] != 3 {
+		t.Fatalf("VecSub wrong: %v", d)
+	}
+}
+
+func TestOuterProduct(t *testing.T) {
+	m := OuterProduct([]float64{1, 2}, []float64{3, 4, 5})
+	if m.Rows != 2 || m.Cols != 3 || m.At(1, 2) != 10 {
+		t.Fatalf("outer product wrong: %v", m)
+	}
+}
+
+func BenchmarkMul32(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 32, 32)
+	c := randomMatrix(r, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = a.Mul(c)
+	}
+}
+
+func BenchmarkCholesky32(b *testing.B) {
+	r := rng.New(1)
+	a := randomSPD(r, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Cholesky(a)
+	}
+}

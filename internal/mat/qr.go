@@ -1,0 +1,122 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R with A m-by-n, m >= n.
+type QR struct {
+	q *Matrix // m x m orthogonal
+	r *Matrix // m x n upper trapezoidal
+}
+
+// NewQR factorizes a (m >= n required) using Householder reflections.
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("%w: qr needs rows >= cols, got %dx%d", ErrShape, m, n)
+	}
+	r := a.Clone()
+	q := Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -math.Copysign(norm, r.At(k, k))
+		var vnorm float64
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm += v[i] * v[i]
+		}
+		if vnorm == 0 {
+			continue
+		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to R from the left.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				r.Add(i, j, -f*v[i])
+			}
+		}
+		// Accumulate Q ← Q H.
+		for i := 0; i < m; i++ {
+			var dot float64
+			for l := k; l < m; l++ {
+				dot += q.At(i, l) * v[l]
+			}
+			f := 2 * dot / vnorm
+			for l := k; l < m; l++ {
+				q.Add(i, l, -f*v[l])
+			}
+		}
+	}
+	// Zero the strictly-lower part of R explicitly to remove rounding dust.
+	for i := 1; i < m; i++ {
+		for j := 0; j < n && j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return &QR{q: q, r: r}, nil
+}
+
+// Q returns the orthogonal factor.
+func (f *QR) Q() *Matrix { return f.q.Clone() }
+
+// R returns the upper-trapezoidal factor.
+func (f *QR) R() *Matrix { return f.r.Clone() }
+
+// SolveLS solves the least-squares problem min ||A x - b||₂ via the
+// factorization. It returns ErrSingular if R has a zero diagonal entry.
+func (f *QR) SolveLS(b []float64) ([]float64, error) {
+	m, n := f.r.Rows, f.r.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: ls rhs %d for %dx%d", ErrShape, len(b), m, n)
+	}
+	// y = Qᵀ b
+	y := make([]float64, m)
+	for j := 0; j < m; j++ {
+		var s float64
+		for i := 0; i < m; i++ {
+			s += f.q.At(i, j) * b[i]
+		}
+		y[j] = s
+	}
+	// Back substitute R x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= f.r.At(i, k) * x[k]
+		}
+		d := f.r.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: rank-deficient R at %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||₂ in one call.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveLS(b)
+}

@@ -1,0 +1,290 @@
+// Package minlp implements branch-and-bound over convex node relaxations —
+// the "exact verifier" side of the paper's hybrid verification vector
+// (§II-B-2) and the solver of record for the 5G QoS MINLPs (frequency-time
+// block assignment × power control).
+//
+// The core is relaxation-agnostic: a node is defined by variable bounds,
+// and a caller-supplied RelaxSolver produces the convex lower bound (an LP,
+// QP, or QCQP — any convex surrogate). SolveMILP specializes the core to
+// linear programs via the lp package.
+package minlp
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// ErrBudget is returned when the node budget is exhausted before the tree
+// is closed; the incumbent (if any) is still reported.
+var ErrBudget = errors.New("minlp: node budget exhausted")
+
+// Status classifies the outcome.
+type Status int
+
+// Outcomes.
+const (
+	StatusOptimal Status = iota + 1
+	StatusInfeasible
+	StatusUnbounded
+	StatusBudget // budget hit; Result holds the best incumbent and bound
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusBudget:
+		return "budget-exhausted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// RelaxStatus is what a node relaxation reports.
+type RelaxStatus int
+
+// Node relaxation outcomes.
+const (
+	RelaxOptimal RelaxStatus = iota + 1
+	RelaxInfeasible
+	RelaxUnbounded
+)
+
+// RelaxSolver solves the continuous relaxation restricted to the box
+// [lo, hi] and returns the minimizer, its objective, and a status.
+type RelaxSolver func(lo, hi []float64) (x []float64, obj float64, st RelaxStatus, err error)
+
+// Options configures branch and bound. Zero fields take defaults.
+type Options struct {
+	MaxNodes int     // default 100000
+	IntTol   float64 // integrality tolerance, default 1e-6
+	GapTol   float64 // absolute optimality gap for pruning, default 1e-9
+	// Incumbent warm-starts the search with a known feasible solution:
+	// subtrees whose relaxation bound cannot beat IncumbentObj are pruned
+	// immediately. The caller is responsible for feasibility.
+	Incumbent    []float64
+	IncumbentObj float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 100000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	if o.GapTol == 0 {
+		o.GapTol = 1e-9
+	}
+	return o
+}
+
+// Result reports the search outcome.
+type Result struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	BestBound float64 // global lower bound at termination
+	Nodes     int     // relaxations solved
+}
+
+type node struct {
+	lo, hi []float64
+	bound  float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs best-first branch and bound. n is the number of variables,
+// intVars the indices required integral, [lo, hi] the root box (entries may
+// be ±Inf for continuous variables; integer variables should be given
+// finite bounds or acquire them through the relaxation's constraints).
+func Solve(n int, intVars []int, lo, hi []float64, relax RelaxSolver, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("minlp: bounds length %d/%d for n=%d", len(lo), len(hi), n)
+	}
+	for _, j := range intVars {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("minlp: integer index %d out of range [0,%d)", j, n)
+		}
+	}
+	res := &Result{Status: StatusInfeasible, Objective: math.Inf(1), BestBound: math.Inf(-1)}
+	if o.Incumbent != nil {
+		res.Status = StatusOptimal
+		res.X = cloneF(o.Incumbent)
+		res.Objective = o.IncumbentObj
+	}
+	root := &node{lo: cloneF(lo), hi: cloneF(hi), bound: math.Inf(-1)}
+	open := &nodeHeap{root}
+	heap.Init(open)
+
+	// dive implements depth-first plunging: after branching, the more
+	// promising child is processed immediately (finding integral
+	// incumbents early) while its sibling joins the best-first queue.
+	var dive *node
+	for open.Len() > 0 || dive != nil {
+		if res.Nodes >= o.MaxNodes {
+			res.Status = StatusBudget
+			if open.Len() > 0 {
+				res.BestBound = (*open)[0].bound
+			}
+			return res, fmt.Errorf("%w after %d nodes", ErrBudget, res.Nodes)
+		}
+		var nd *node
+		if dive != nil {
+			nd = dive
+			dive = nil
+		} else {
+			nd = heap.Pop(open).(*node)
+		}
+		if nd.bound >= res.Objective-o.GapTol {
+			continue // dominated by the incumbent
+		}
+		x, obj, st, err := relax(nd.lo, nd.hi)
+		res.Nodes++
+		if err != nil {
+			return res, fmt.Errorf("minlp: node relaxation: %w", err)
+		}
+		switch st {
+		case RelaxInfeasible:
+			continue
+		case RelaxUnbounded:
+			// An unbounded relaxation at the root with no incumbent means
+			// the MINLP itself may be unbounded; deeper in the tree it
+			// still prevents bounding, so surface it.
+			res.Status = StatusUnbounded
+			return res, nil
+		}
+		if obj >= res.Objective-o.GapTol {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branchVar := -1
+		worst := o.IntTol
+		for _, j := range intVars {
+			f := math.Abs(x[j] - math.Round(x[j]))
+			if f > worst {
+				worst = f
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			if obj < res.Objective {
+				res.Objective = obj
+				res.X = cloneF(x)
+				// Snap integer components exactly.
+				for _, j := range intVars {
+					res.X[j] = math.Round(res.X[j])
+				}
+				res.Status = StatusOptimal
+			}
+			continue
+		}
+		down := &node{lo: cloneF(nd.lo), hi: cloneF(nd.hi), bound: obj}
+		down.hi[branchVar] = math.Floor(x[branchVar])
+		up := &node{lo: cloneF(nd.lo), hi: cloneF(nd.hi), bound: obj}
+		up.lo[branchVar] = math.Ceil(x[branchVar])
+		downOK := down.lo[branchVar] <= down.hi[branchVar]
+		upOK := up.lo[branchVar] <= up.hi[branchVar]
+		// Plunge toward the side the LP solution leans to.
+		preferUp := x[branchVar]-math.Floor(x[branchVar]) >= 0.5
+		switch {
+		case downOK && upOK && preferUp:
+			dive = up
+			heap.Push(open, down)
+		case downOK && upOK:
+			dive = down
+			heap.Push(open, up)
+		case upOK:
+			dive = up
+		case downOK:
+			dive = down
+		}
+	}
+	if res.Status == StatusOptimal {
+		res.BestBound = res.Objective
+	}
+	return res, nil
+}
+
+func cloneF(xs []float64) []float64 {
+	return append([]float64(nil), xs...)
+}
+
+// MILP is a mixed-integer linear program: the embedded LP plus a list of
+// variable indices constrained to integer values.
+type MILP struct {
+	LP      lp.Problem
+	Integer []int
+}
+
+// SolveMILP runs branch and bound with LP node relaxations.
+func SolveMILP(m *MILP, o Options) (*Result, error) {
+	n := m.LP.NumVars
+	rootLo := make([]float64, n)
+	rootHi := make([]float64, n)
+	for j := 0; j < n; j++ {
+		if m.LP.Lo != nil {
+			rootLo[j] = boundAt(m.LP.Lo, j, math.Inf(-1))
+		} else {
+			rootLo[j] = 0
+		}
+		if m.LP.Hi != nil {
+			rootHi[j] = boundAt(m.LP.Hi, j, math.Inf(1))
+		} else {
+			rootHi[j] = math.Inf(1)
+		}
+	}
+	relax := func(lo, hi []float64) ([]float64, float64, RelaxStatus, error) {
+		sub := lp.Problem{
+			NumVars:     n,
+			Objective:   m.LP.Objective,
+			Constraints: m.LP.Constraints,
+			Lo:          lo,
+			Hi:          hi,
+		}
+		sol, err := lp.Solve(&sub)
+		if err != nil {
+			return nil, 0, RelaxInfeasible, err
+		}
+		switch sol.Status {
+		case lp.StatusOptimal:
+			return sol.X, sol.Objective, RelaxOptimal, nil
+		case lp.StatusInfeasible:
+			return nil, 0, RelaxInfeasible, nil
+		default:
+			return nil, 0, RelaxUnbounded, nil
+		}
+	}
+	return Solve(n, m.Integer, rootLo, rootHi, relax, o)
+}
+
+func boundAt(bs []float64, j int, def float64) float64 {
+	if j < len(bs) {
+		return bs[j]
+	}
+	return def
+}

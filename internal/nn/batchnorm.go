@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchNorm normalizes over the batch (and spatial dims for rank-4 input)
+// per channel/feature, with learned scale gamma and shift beta and running
+// statistics for evaluation mode.
+//
+// The paper stresses that "simply applying batchnorm to all the layers of
+// the neural network can result in oscillation and instability" and that
+// selective placement — generator output and/or discriminator input — is
+// the proven recipe; the gan package's placement experiment exercises
+// exactly that using this layer.
+type BatchNorm struct {
+	C        int // channels (rank-4) or features (rank-2)
+	Eps      float64
+	Momentum float64
+	gamma    *Param
+	beta     *Param
+	// Running statistics used at evaluation time.
+	runMean, runVar []float64
+	// Caches for backward.
+	xHat    *Tensor
+	std     []float64
+	inShape []int
+	count   int
+}
+
+// NewBatchNorm builds a batch normalization layer over c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		C: c, Eps: 1e-5, Momentum: 0.9,
+		gamma:   newParam("bn.gamma", c),
+		beta:    newParam("bn.beta", c),
+		runMean: make([]float64, c),
+		runVar:  make([]float64, c),
+	}
+	for i := range bn.gamma.W {
+		bn.gamma.W[i] = 1
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Name implements Layer.
+func (bn *BatchNorm) Name() string { return fmt.Sprintf("batchnorm(%d)", bn.C) }
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+
+// channelOf returns the channel index of flat element i for the cached
+// input shape.
+func (bn *BatchNorm) channelOf(i int) int {
+	switch len(bn.inShape) {
+	case 2:
+		return i % bn.inShape[1]
+	case 4:
+		hw := bn.inShape[2] * bn.inShape[3]
+		return (i / hw) % bn.inShape[1]
+	default:
+		return 0
+	}
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *Tensor, train bool) (*Tensor, error) {
+	if len(x.Shape) != 2 && len(x.Shape) != 4 {
+		return nil, fmt.Errorf("%w: batchnorm expects rank 2 or 4, got %v", ErrShape, x.Shape)
+	}
+	if x.Shape[1] != bn.C {
+		return nil, fmt.Errorf("%w: batchnorm over %d channels, input has %d", ErrShape, bn.C, x.Shape[1])
+	}
+	bn.inShape = append([]int(nil), x.Shape...)
+	perC := x.Len() / bn.C
+
+	mean := make([]float64, bn.C)
+	variance := make([]float64, bn.C)
+	if train {
+		for i, v := range x.Data {
+			mean[bn.channelOf(i)] += v
+		}
+		for c := range mean {
+			mean[c] /= float64(perC)
+		}
+		for i, v := range x.Data {
+			c := bn.channelOf(i)
+			d := v - mean[c]
+			variance[c] += d * d
+		}
+		for c := range variance {
+			variance[c] /= float64(perC)
+			bn.runMean[c] = bn.Momentum*bn.runMean[c] + (1-bn.Momentum)*mean[c]
+			bn.runVar[c] = bn.Momentum*bn.runVar[c] + (1-bn.Momentum)*variance[c]
+		}
+	} else {
+		copy(mean, bn.runMean)
+		copy(variance, bn.runVar)
+	}
+
+	bn.std = make([]float64, bn.C)
+	for c := range bn.std {
+		bn.std[c] = math.Sqrt(variance[c] + bn.Eps)
+	}
+	out := x.Clone()
+	bn.xHat = NewTensor(x.Shape...)
+	for i, v := range x.Data {
+		c := bn.channelOf(i)
+		xh := (v - mean[c]) / bn.std[c]
+		bn.xHat.Data[i] = xh
+		out.Data[i] = bn.gamma.W[c]*xh + bn.beta.W[c]
+	}
+	bn.count = perC
+	return out, nil
+}
+
+// Backward implements Layer. It uses the standard batch-norm gradient with
+// batch statistics (training mode); calling it after an eval-mode forward
+// treats the statistics as constants.
+func (bn *BatchNorm) Backward(grad *Tensor) (*Tensor, error) {
+	if bn.xHat == nil {
+		return nil, fmt.Errorf("nn: batchnorm backward before forward")
+	}
+	n := float64(bn.count)
+	sumG := make([]float64, bn.C)
+	sumGX := make([]float64, bn.C)
+	for i, g := range grad.Data {
+		c := bn.channelOf(i)
+		sumG[c] += g
+		sumGX[c] += g * bn.xHat.Data[i]
+		bn.beta.G[c] += g
+		bn.gamma.G[c] += g * bn.xHat.Data[i]
+	}
+	dx := NewTensor(bn.inShape...)
+	for i, g := range grad.Data {
+		c := bn.channelOf(i)
+		dx.Data[i] = bn.gamma.W[c] / bn.std[c] *
+			(g - sumG[c]/n - bn.xHat.Data[i]*sumGX[c]/n)
+	}
+	return dx, nil
+}

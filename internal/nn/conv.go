@@ -1,0 +1,200 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Conv2D is a 2-D convolution over [n, inC, h, w] with square kernels,
+// stride, and symmetric zero padding.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	w, b                      *Param
+	x                         *Tensor
+}
+
+// NewConv2D builds a convolution with Kaiming initialization.
+func NewConv2D(inC, outC, k, stride, pad int, r *rng.Rand) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		w: newParam("conv.w", outC*inC*k*k),
+		b: newParam("conv.b", outC),
+	}
+	scale := math.Sqrt(2 / float64(inC*k*k))
+	for i := range c.w.W {
+		c.w.W[i] = r.Norm() * scale
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv(%dx%d,%d→%d,s%d,p%d)", c.K, c.K, c.InC, c.OutC, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// outHW returns output spatial dims for the given input dims.
+func (c *Conv2D) outHW(h, w int) (int, int) {
+	oh := (h+2*c.Pad-c.K)/c.Stride + 1
+	ow := (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+// wAt indexes the kernel weight [outC, inC, K, K].
+func (c *Conv2D) wAt(oc, ic, kh, kw int) int {
+	return ((oc*c.InC+ic)*c.K+kh)*c.K + kw
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		return nil, fmt.Errorf("%w: conv expects [n,%d,h,w], got %v", ErrShape, c.InC, x.Shape)
+	}
+	c.x = x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.outHW(h, w)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("%w: conv output %dx%d for input %dx%d", ErrShape, oh, ow, h, w)
+	}
+	out := NewTensor(n, c.OutC, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := c.b.W[oc]
+					for ic := 0; ic < c.InC; ic++ {
+						for kh := 0; kh < c.K; kh++ {
+							iy := oy*c.Stride + kh - c.Pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kw := 0; kw < c.K; kw++ {
+								ix := ox*c.Stride + kw - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								s += x.At4(ni, ic, iy, ix) * c.w.W[c.wAt(oc, ic, kh, kw)]
+							}
+						}
+					}
+					out.Set4(ni, oc, oy, ox, s)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *Tensor) (*Tensor, error) {
+	if c.x == nil {
+		return nil, fmt.Errorf("nn: conv backward before forward")
+	}
+	x := c.x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	dx := NewTensor(n, c.InC, h, w)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := grad.At4(ni, oc, oy, ox)
+					if g == 0 {
+						continue
+					}
+					c.b.G[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						for kh := 0; kh < c.K; kh++ {
+							iy := oy*c.Stride + kh - c.Pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kw := 0; kw < c.K; kw++ {
+								ix := ox*c.Stride + kw - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								c.w.G[c.wAt(oc, ic, kh, kw)] += x.At4(ni, ic, iy, ix) * g
+								dx.Add4(ni, ic, iy, ix, c.w.W[c.wAt(oc, ic, kh, kw)]*g)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// MaxPool2D max-pools [n, c, h, w] with a square window and equal stride.
+type MaxPool2D struct {
+	K      int
+	argmax []int // flat input index per output element
+	inShp  []int
+}
+
+// NewMaxPool2D returns a pool layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool(%d)", m.K) }
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	if len(x.Shape) != 4 {
+		return nil, fmt.Errorf("%w: maxpool expects rank 4, got %v", ErrShape, x.Shape)
+	}
+	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/m.K, w/m.K
+	if oh == 0 || ow == 0 {
+		return nil, fmt.Errorf("%w: maxpool window %d too large for %dx%d", ErrShape, m.K, h, w)
+	}
+	m.inShp = append([]int(nil), x.Shape...)
+	out := NewTensor(n, ch, oh, ow)
+	m.argmax = make([]int, out.Len())
+	oi := 0
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < ch; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ky := 0; ky < m.K; ky++ {
+						for kx := 0; kx < m.K; kx++ {
+							iy := oy*m.K + ky
+							ix := ox*m.K + kx
+							idx := ((ni*ch+ci)*h+iy)*w + ix
+							if v := x.Data[idx]; v > best {
+								best = v
+								bestIdx = idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					m.argmax[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *Tensor) (*Tensor, error) {
+	if m.argmax == nil {
+		return nil, fmt.Errorf("nn: maxpool backward before forward")
+	}
+	dx := NewTensor(m.inShp...)
+	for oi, idx := range m.argmax {
+		dx.Data[idx] += grad.Data[oi]
+	}
+	return dx, nil
+}

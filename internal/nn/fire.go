@@ -1,0 +1,224 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Fire is the SqueezeNet fire module: a 1×1 "squeeze" convolution to S
+// channels followed by parallel 1×1 and 3×3 "expand" convolutions whose
+// outputs are concatenated channelwise (E1 + E3 output channels). Replacing
+// plain convolutions with fire layers is how the paper's MSY3I cuts the
+// parameter count of the YOLO v3 backbone.
+type Fire struct {
+	InC, S, E1, E3 int
+	squeeze        *Conv2D
+	sAct           *LeakyReLU
+	exp1           *Conv2D
+	exp3           *Conv2D
+	eAct1, eAct3   *LeakyReLU
+	out1Shape      []int
+}
+
+// NewFire builds a fire module.
+func NewFire(inC, s, e1, e3 int, r *rng.Rand) *Fire {
+	return &Fire{
+		InC: inC, S: s, E1: e1, E3: e3,
+		squeeze: NewConv2D(inC, s, 1, 1, 0, r),
+		sAct:    NewReLU(),
+		exp1:    NewConv2D(s, e1, 1, 1, 0, r),
+		exp3:    NewConv2D(s, e3, 3, 1, 1, r),
+		eAct1:   NewReLU(),
+		eAct3:   NewReLU(),
+	}
+}
+
+// Name implements Layer.
+func (f *Fire) Name() string {
+	return fmt.Sprintf("fire(%d→s%d,e%d+%d)", f.InC, f.S, f.E1, f.E3)
+}
+
+// Params implements Layer.
+func (f *Fire) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, f.squeeze.Params()...)
+	ps = append(ps, f.exp1.Params()...)
+	ps = append(ps, f.exp3.Params()...)
+	return ps
+}
+
+// OutChannels returns the concatenated channel count E1+E3.
+func (f *Fire) OutChannels() int { return f.E1 + f.E3 }
+
+// Forward implements Layer.
+func (f *Fire) Forward(x *Tensor, train bool) (*Tensor, error) {
+	s, err := f.squeeze.Forward(x, train)
+	if err != nil {
+		return nil, fmt.Errorf("fire squeeze: %w", err)
+	}
+	s, err = f.sAct.Forward(s, train)
+	if err != nil {
+		return nil, err
+	}
+	o1, err := f.exp1.Forward(s, train)
+	if err != nil {
+		return nil, fmt.Errorf("fire expand1: %w", err)
+	}
+	o1, err = f.eAct1.Forward(o1, train)
+	if err != nil {
+		return nil, err
+	}
+	o3, err := f.exp3.Forward(s, train)
+	if err != nil {
+		return nil, fmt.Errorf("fire expand3: %w", err)
+	}
+	o3, err = f.eAct3.Forward(o3, train)
+	if err != nil {
+		return nil, err
+	}
+	f.out1Shape = append([]int(nil), o1.Shape...)
+	return concatChannels(o1, o3)
+}
+
+// Backward implements Layer.
+func (f *Fire) Backward(grad *Tensor) (*Tensor, error) {
+	if f.out1Shape == nil {
+		return nil, fmt.Errorf("nn: fire backward before forward")
+	}
+	g1, g3, err := splitChannels(grad, f.out1Shape[1])
+	if err != nil {
+		return nil, err
+	}
+	g1, err = f.eAct1.Backward(g1)
+	if err != nil {
+		return nil, err
+	}
+	g1, err = f.exp1.Backward(g1)
+	if err != nil {
+		return nil, err
+	}
+	g3, err = f.eAct3.Backward(g3)
+	if err != nil {
+		return nil, err
+	}
+	g3, err = f.exp3.Backward(g3)
+	if err != nil {
+		return nil, err
+	}
+	// Sum the two branch gradients flowing into the squeeze output.
+	gs := g1.Clone()
+	for i := range gs.Data {
+		gs.Data[i] += g3.Data[i]
+	}
+	gs, err = f.sAct.Backward(gs)
+	if err != nil {
+		return nil, err
+	}
+	return f.squeeze.Backward(gs)
+}
+
+// SqueezeAffine runs only the squeeze convolution (no activation). Together
+// with ExpandAffine it decomposes the fire module into the affine→ReLU→
+// affine→ReLU chain that the verification extractor needs: the parallel
+// 1×1/3×3 expand convolutions of a fire module read the same input, so
+// their channel concatenation is itself a single affine map.
+func (f *Fire) SqueezeAffine(x *Tensor, train bool) (*Tensor, error) {
+	return f.squeeze.Forward(x, train)
+}
+
+// ExpandAffine runs the two expand convolutions on x (the squeeze's
+// post-activation output) and concatenates, without activations.
+func (f *Fire) ExpandAffine(x *Tensor, train bool) (*Tensor, error) {
+	o1, err := f.exp1.Forward(x, train)
+	if err != nil {
+		return nil, err
+	}
+	o3, err := f.exp3.Forward(x, train)
+	if err != nil {
+		return nil, err
+	}
+	return concatChannels(o1, o3)
+}
+
+// SpecialFire is the SqueezeDet-style fire variant used where the paper
+// replaces convolutions with "Special Fire Layers": a fire module whose
+// squeeze convolution has stride 2, so the module also downsamples. This
+// lets the squeezed network drop separate strided convolutions entirely.
+type SpecialFire struct {
+	Fire
+}
+
+// NewSpecialFire builds a downsampling fire module (stride-2 squeeze).
+func NewSpecialFire(inC, s, e1, e3 int, r *rng.Rand) *SpecialFire {
+	sf := &SpecialFire{Fire: Fire{
+		InC: inC, S: s, E1: e1, E3: e3,
+		squeeze: NewConv2D(inC, s, 3, 2, 1, r),
+		sAct:    NewReLU(),
+		exp1:    NewConv2D(s, e1, 1, 1, 0, r),
+		exp3:    NewConv2D(s, e3, 3, 1, 1, r),
+		eAct1:   NewReLU(),
+		eAct3:   NewReLU(),
+	}}
+	return sf
+}
+
+// Name implements Layer.
+func (f *SpecialFire) Name() string {
+	return fmt.Sprintf("sfl(%d→s%d,e%d+%d,stride2)", f.InC, f.S, f.E1, f.E3)
+}
+
+// concatChannels joins two rank-4 tensors along axis 1.
+func concatChannels(a, b *Tensor) (*Tensor, error) {
+	if len(a.Shape) != 4 || len(b.Shape) != 4 {
+		return nil, fmt.Errorf("%w: concat expects rank 4", ErrShape)
+	}
+	if a.Shape[0] != b.Shape[0] || a.Shape[2] != b.Shape[2] || a.Shape[3] != b.Shape[3] {
+		return nil, fmt.Errorf("%w: concat %v with %v", ErrShape, a.Shape, b.Shape)
+	}
+	n, ca, cb := a.Shape[0], a.Shape[1], b.Shape[1]
+	h, w := a.Shape[2], a.Shape[3]
+	out := NewTensor(n, ca+cb, h, w)
+	for ni := 0; ni < n; ni++ {
+		for c := 0; c < ca; c++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					out.Set4(ni, c, y, x, a.At4(ni, c, y, x))
+				}
+			}
+		}
+		for c := 0; c < cb; c++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					out.Set4(ni, ca+c, y, x, b.At4(ni, c, y, x))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitChannels splits a rank-4 tensor at channel ca.
+func splitChannels(t *Tensor, ca int) (*Tensor, *Tensor, error) {
+	if len(t.Shape) != 4 || t.Shape[1] <= ca {
+		return nil, nil, fmt.Errorf("%w: split %v at channel %d", ErrShape, t.Shape, ca)
+	}
+	n, c, h, w := t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3]
+	a := NewTensor(n, ca, h, w)
+	b := NewTensor(n, c-ca, h, w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := t.At4(ni, ci, y, x)
+					if ci < ca {
+						a.Set4(ni, ci, y, x, v)
+					} else {
+						b.Set4(ni, ci-ca, y, x, v)
+					}
+				}
+			}
+		}
+	}
+	return a, b, nil
+}

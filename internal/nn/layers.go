@@ -1,0 +1,250 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs; layers are therefore not safe for concurrent use.
+type Layer interface {
+	// Name identifies the layer in diagnostics.
+	Name() string
+	// Forward maps a batch input to a batch output. train toggles
+	// training-time behavior (batch statistics, etc.).
+	Forward(x *Tensor, train bool) (*Tensor, error)
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients.
+	Backward(grad *Tensor) (*Tensor, error)
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer y = xW + b mapping [n, in] → [n, out].
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	x       *Tensor // cached input
+}
+
+// NewDense builds a dense layer with Kaiming-style initialization.
+func NewDense(in, out int, r *rng.Rand) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam("dense.w", in*out), b: newParam("dense.b", out)}
+	scale := math.Sqrt(2 / float64(in))
+	for i := range d.w.W {
+		d.w.W[i] = r.Norm() * scale
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d→%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Weights exposes the weight matrix (row i = input i) for verification.
+func (d *Dense) Weights() ([]float64, []float64) { return d.w.W, d.b.W }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		return nil, fmt.Errorf("%w: dense expects [n,%d], got %v", ErrShape, d.In, x.Shape)
+	}
+	d.x = x
+	n := x.Shape[0]
+	out := NewTensor(n, d.Out)
+	for i := 0; i < n; i++ {
+		for o := 0; o < d.Out; o++ {
+			s := d.b.W[o]
+			for j := 0; j < d.In; j++ {
+				s += x.Data[i*d.In+j] * d.w.W[j*d.Out+o]
+			}
+			out.Data[i*d.Out+o] = s
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *Tensor) (*Tensor, error) {
+	if d.x == nil {
+		return nil, fmt.Errorf("nn: dense backward before forward")
+	}
+	n := grad.Shape[0]
+	dx := NewTensor(n, d.In)
+	for i := 0; i < n; i++ {
+		for o := 0; o < d.Out; o++ {
+			g := grad.Data[i*d.Out+o]
+			if g == 0 {
+				continue
+			}
+			d.b.G[o] += g
+			for j := 0; j < d.In; j++ {
+				d.w.G[j*d.Out+o] += d.x.Data[i*d.In+j] * g
+				dx.Data[i*d.In+j] += d.w.W[j*d.Out+o] * g
+			}
+		}
+	}
+	return dx, nil
+}
+
+// LeakyReLU applies max(αx, x) elementwise; α=0 gives plain ReLU.
+type LeakyReLU struct {
+	Alpha float64
+	x     *Tensor
+}
+
+// NewReLU returns a plain ReLU.
+func NewReLU() *LeakyReLU { return &LeakyReLU{Alpha: 0} }
+
+// NewLeakyReLU returns a leaky ReLU with slope alpha on the negative side.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string {
+	if l.Alpha == 0 {
+		return "relu"
+	}
+	return fmt.Sprintf("leakyrelu(%g)", l.Alpha)
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	l.x = x
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = l.Alpha * v
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(grad *Tensor) (*Tensor, error) {
+	if l.x == nil {
+		return nil, fmt.Errorf("nn: relu backward before forward")
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if l.x.Data[i] < 0 {
+			dx.Data[i] *= l.Alpha
+		}
+	}
+	return dx, nil
+}
+
+// Tanh applies the hyperbolic tangent elementwise.
+type Tanh struct {
+	y *Tensor
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.y = out
+	return out, nil
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *Tensor) (*Tensor, error) {
+	if t.y == nil {
+		return nil, fmt.Errorf("nn: tanh backward before forward")
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		y := t.y.Data[i]
+		dx.Data[i] *= 1 - y*y
+	}
+	return dx, nil
+}
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	y *Tensor
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.y = out
+	return out, nil
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *Tensor) (*Tensor, error) {
+	if s.y == nil {
+		return nil, fmt.Errorf("nn: sigmoid backward before forward")
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		y := s.y.Data[i]
+		dx.Data[i] *= y * (1 - y)
+	}
+	return dx, nil
+}
+
+// Flatten reshapes [n, ...] to [n, prod(...)].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *Tensor, _ bool) (*Tensor, error) {
+	if len(x.Shape) < 2 {
+		return nil, fmt.Errorf("%w: flatten needs rank >= 2, got %v", ErrShape, x.Shape)
+	}
+	f.inShape = append([]int(nil), x.Shape...)
+	vol := 1
+	for _, s := range x.Shape[1:] {
+		vol *= s
+	}
+	return x.Reshape(x.Shape[0], vol)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *Tensor) (*Tensor, error) {
+	if f.inShape == nil {
+		return nil, fmt.Errorf("nn: flatten backward before forward")
+	}
+	return grad.Reshape(f.inShape...)
+}

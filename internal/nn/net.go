@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Name returns a compact architecture string.
+func (s *Sequential) Name() string {
+	out := "seq["
+	for i, l := range s.Layers {
+		if i > 0 {
+			out += " "
+		}
+		out += l.Name()
+	}
+	return out + "]"
+}
+
+// Forward runs the network on a batch.
+func (s *Sequential) Forward(x *Tensor, train bool) (*Tensor, error) {
+	var err error
+	for i, l := range s.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates dL/d(output) through the network and returns
+// dL/d(input).
+func (s *Sequential) Backward(grad *Tensor) (*Tensor, error) {
+	var err error
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad, err = s.Layers[i].Backward(grad)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s) backward: %w", i, s.Layers[i].Name(), err)
+		}
+	}
+	return grad, nil
+}
+
+// Params returns all trainable parameters.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of trainable scalars — the quantity
+// the paper's squeeze-vs-plain comparison (T2) reports.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += len(p.W)
+	}
+	return n
+}
+
+// ZeroGrad clears every parameter gradient.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// MSELoss returns ½·mean((pred-target)²) and the gradient dL/dpred.
+func MSELoss(pred, target *Tensor) (float64, *Tensor, error) {
+	if !pred.SameShape(target) {
+		return 0, nil, fmt.Errorf("%w: mse %v vs %v", ErrShape, pred.Shape, target.Shape)
+	}
+	n := float64(pred.Len())
+	grad := NewTensor(pred.Shape...)
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += 0.5 * d * d
+		grad.Data[i] = d / n
+	}
+	return loss / n, grad, nil
+}
+
+// BCEWithLogitsLoss is the numerically fused sigmoid + binary cross
+// entropy: loss = mean(max(z,0) - z·y + log(1+e^{-|z|})). The fused form is
+// exactly the "sub-operations needed to be combined" stability fix the
+// paper's §V discusses for log-of-softmax-like pipelines.
+func BCEWithLogitsLoss(logits, target *Tensor) (float64, *Tensor, error) {
+	if !logits.SameShape(target) {
+		return 0, nil, fmt.Errorf("%w: bce %v vs %v", ErrShape, logits.Shape, target.Shape)
+	}
+	n := float64(logits.Len())
+	grad := NewTensor(logits.Shape...)
+	var loss float64
+	for i := range logits.Data {
+		z := logits.Data[i]
+		y := target.Data[i]
+		loss += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+		sig := 1 / (1 + math.Exp(-z))
+		grad.Data[i] = (sig - y) / n
+	}
+	return loss / n, grad, nil
+}
+
+// SoftmaxCrossEntropy computes mean cross entropy of logits [n, k] against
+// integer class labels, with the fused log-sum-exp form, and the gradient.
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (float64, *Tensor, error) {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		return 0, nil, fmt.Errorf("%w: logits %v for %d labels", ErrShape, logits.Shape, len(labels))
+	}
+	n, k := logits.Shape[0], logits.Shape[1]
+	grad := NewTensor(n, k)
+	var loss float64
+	for i := 0; i < n; i++ {
+		if labels[i] < 0 || labels[i] >= k {
+			return 0, nil, fmt.Errorf("%w: label %d out of range [0,%d)", ErrShape, labels[i], k)
+		}
+		row := logits.Data[i*k : (i+1)*k]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - m)
+		}
+		lse := m + math.Log(sum)
+		loss += lse - row[labels[i]]
+		for j := 0; j < k; j++ {
+			p := math.Exp(row[j] - lse)
+			g := p
+			if j == labels[i] {
+				g -= 1
+			}
+			grad.Data[i*k+j] = g / float64(n)
+		}
+	}
+	return loss / float64(n), grad, nil
+}
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make(map[*Param][]float64)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			for i := range p.W {
+				p.W[i] -= s.LR * p.G[i]
+			}
+			continue
+		}
+		v, ok := s.vel[p]
+		if !ok {
+			v = make([]float64, len(p.W))
+			s.vel[p] = v
+		}
+		for i := range p.W {
+			v[i] = s.Momentum*v[i] - s.LR*p.G[i]
+			p.W[i] += v[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param][]float64
+}
+
+// NewAdam returns Adam with the standard defaults for any zero field.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.W))
+		}
+		v := a.v[p]
+		for i := range p.W {
+			g := p.G[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+		}
+	}
+}

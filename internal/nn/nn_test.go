@@ -1,0 +1,418 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// numericGradCheck compares analytic parameter and input gradients of an
+// arbitrary network against central finite differences under an MSE loss.
+func numericGradCheck(t *testing.T, net *Sequential, x *Tensor, target *Tensor, tol float64) {
+	t.Helper()
+	// Analytic.
+	net.ZeroGrad()
+	out, err := net.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := MSELoss(out, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, err := net.Backward(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossAt := func() float64 {
+		out, err := net.Forward(x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := MSELoss(out, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	const h = 1e-6
+	// Parameter gradients. The batchnorm running stats mutate per forward,
+	// which perturbs subsequent losses slightly; the tolerance absorbs it.
+	for _, p := range net.Params() {
+		analytic := append([]float64(nil), p.G...)
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + h
+			lp := lossAt()
+			p.W[i] = orig - h
+			lm := lossAt()
+			p.W[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-analytic[i]) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %s[%d]: analytic %g, numeric %g", p.Name, i, analytic[i], num)
+			}
+		}
+	}
+	// Input gradients.
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := lossAt()
+		x.Data[i] = orig - h
+		lm := lossAt()
+		x.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dx.Data[i]) > tol*(1+math.Abs(num)) {
+			t.Fatalf("input[%d]: analytic %g, numeric %g", i, dx.Data[i], num)
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	r := rng.New(1)
+	net := NewSequential(NewDense(3, 4, r), NewTanh(), NewDense(4, 2, r))
+	x := NewTensor(2, 3)
+	target := NewTensor(2, 2)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	for i := range target.Data {
+		target.Data[i] = r.Norm()
+	}
+	numericGradCheck(t, net, x, target, 1e-4)
+}
+
+func TestConvGradients(t *testing.T) {
+	r := rng.New(2)
+	net := NewSequential(
+		NewConv2D(2, 3, 3, 1, 1, r),
+		NewLeakyReLU(0.1),
+		NewConv2D(3, 1, 3, 2, 1, r),
+		NewFlatten(),
+		NewDense(4, 2, r),
+	)
+	x := NewTensor(1, 2, 4, 4)
+	target := NewTensor(1, 2)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	for i := range target.Data {
+		target.Data[i] = r.Norm()
+	}
+	numericGradCheck(t, net, x, target, 1e-4)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	r := rng.New(3)
+	net := NewSequential(
+		NewConv2D(1, 2, 3, 1, 1, r),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(8, 1, r),
+	)
+	x := NewTensor(1, 1, 4, 4)
+	target := NewTensor(1, 1)
+	for i := range x.Data {
+		x.Data[i] = r.Norm() * 2 // spread values so argmax ties are unlikely
+	}
+	target.Data[0] = 0.3
+	numericGradCheck(t, net, x, target, 1e-4)
+}
+
+func TestFireGradients(t *testing.T) {
+	r := rng.New(4)
+	fire := NewFire(2, 2, 2, 2, r)
+	net := NewSequential(
+		fire,
+		NewFlatten(),
+		NewDense(fire.OutChannels()*3*3, 1, r),
+	)
+	// Zero-initialized biases put dead-squeeze positions exactly on the
+	// ReLU kink, where finite differences see half the subgradient;
+	// jitter every parameter off the kink before checking.
+	for _, p := range net.Params() {
+		for i := range p.W {
+			p.W[i] += 0.05 * r.Norm()
+		}
+	}
+	x := NewTensor(1, 2, 3, 3)
+	target := NewTensor(1, 1)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	target.Data[0] = -0.7
+	numericGradCheck(t, net, x, target, 1e-4)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	r := rng.New(5)
+	net := NewSequential(
+		NewDense(3, 4, r),
+		NewBatchNorm(4),
+		NewTanh(),
+		NewDense(4, 1, r),
+	)
+	x := NewTensor(4, 3)
+	target := NewTensor(4, 1)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	for i := range target.Data {
+		target.Data[i] = r.Norm()
+	}
+	// Looser tolerance: running-stat updates during finite differencing
+	// do not affect train-mode loss, but variance epsilon does.
+	numericGradCheck(t, net, x, target, 1e-3)
+}
+
+func TestSigmoidGradients(t *testing.T) {
+	r := rng.New(6)
+	net := NewSequential(NewDense(2, 3, r), NewSigmoid(), NewDense(3, 1, r))
+	x := NewTensor(3, 2)
+	target := NewTensor(3, 1)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	numericGradCheck(t, net, x, target, 1e-4)
+}
+
+func TestSpecialFireDownsamples(t *testing.T) {
+	r := rng.New(7)
+	sfl := NewSpecialFire(3, 2, 4, 4, r)
+	x := NewTensor(2, 3, 8, 8)
+	out, err := sfl.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 8, 4, 4}
+	for i, s := range want {
+		if out.Shape[i] != s {
+			t.Fatalf("sfl output shape %v, want %v", out.Shape, want)
+		}
+	}
+}
+
+func TestXORTraining(t *testing.T) {
+	r := rng.New(8)
+	net := NewSequential(NewDense(2, 8, r), NewTanh(), NewDense(8, 1, r))
+	x, _ := FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	y, _ := FromSlice([]float64{0, 1, 1, 0}, 4, 1)
+	adam := NewAdam(0.05)
+	var loss float64
+	for epoch := 0; epoch < 500; epoch++ {
+		net.ZeroGrad()
+		out, err := net.Forward(x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var grad *Tensor
+		loss, grad, err = MSELoss(out, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Backward(grad); err != nil {
+			t.Fatal(err)
+		}
+		adam.Step(net.Params())
+	}
+	if loss > 1e-3 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+}
+
+func TestSGDMomentumTrains(t *testing.T) {
+	r := rng.New(9)
+	net := NewSequential(NewDense(1, 8, r), NewTanh(), NewDense(8, 1, r))
+	// Fit y = 2x - 1 on a few points.
+	x, _ := FromSlice([]float64{-1, -0.5, 0, 0.5, 1}, 5, 1)
+	y, _ := FromSlice([]float64{-3, -2, -1, 0, 1}, 5, 1)
+	sgd := NewSGD(0.05, 0.9)
+	var loss float64
+	for epoch := 0; epoch < 800; epoch++ {
+		net.ZeroGrad()
+		out, _ := net.Forward(x, true)
+		var grad *Tensor
+		loss, grad, _ = MSELoss(out, y)
+		_, _ = net.Backward(grad)
+		sgd.Step(net.Params())
+	}
+	if loss > 1e-3 {
+		t.Fatalf("regression did not converge: loss %v", loss)
+	}
+}
+
+func TestSoftmaxCrossEntropy(t *testing.T) {
+	logits, _ := FromSlice([]float64{2, 0, 0, 0, 3, 0}, 2, 3)
+	loss, grad, err := SoftmaxCrossEntropy(logits, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss < 0 {
+		t.Fatalf("cross entropy negative: %v", loss)
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	for i := 0; i < 2; i++ {
+		var s float64
+		for j := 0; j < 3; j++ {
+			s += grad.Data[i*3+j]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("grad row %d sums to %v", i, s)
+		}
+	}
+	if _, _, err := SoftmaxCrossEntropy(logits, []int{0, 9}); err == nil {
+		t.Fatal("want label range error")
+	}
+}
+
+func TestBCEWithLogitsStability(t *testing.T) {
+	// Extreme logits must not produce NaN/Inf.
+	logits, _ := FromSlice([]float64{1000, -1000}, 2, 1)
+	target, _ := FromSlice([]float64{1, 0}, 2, 1)
+	loss, grad, err := BCEWithLogitsLoss(logits, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(g) {
+			t.Fatal("NaN gradient")
+		}
+	}
+	// Perfectly classified extremes: loss near zero.
+	if loss > 1e-9 {
+		t.Fatalf("confident correct predictions should give ~0 loss, got %v", loss)
+	}
+}
+
+func TestBatchNormNormalizesTrainMode(t *testing.T) {
+	r := rng.New(10)
+	bn := NewBatchNorm(2)
+	x := NewTensor(64, 2)
+	for i := range x.Data {
+		x.Data[i] = 5 + 3*r.Norm()
+	}
+	out, err := bn.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-feature mean ~0 and variance ~1 after normalization.
+	for c := 0; c < 2; c++ {
+		var mean, varAcc float64
+		for i := 0; i < 64; i++ {
+			mean += out.At2(i, c)
+		}
+		mean /= 64
+		for i := 0; i < 64; i++ {
+			d := out.At2(i, c) - mean
+			varAcc += d * d
+		}
+		varAcc /= 64
+		if math.Abs(mean) > 1e-9 || math.Abs(varAcc-1) > 1e-3 {
+			t.Fatalf("channel %d: mean %v var %v", c, mean, varAcc)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	r := rng.New(11)
+	bn := NewBatchNorm(1)
+	// Train on data with mean 10 to move the running stats.
+	for step := 0; step < 200; step++ {
+		x := NewTensor(16, 1)
+		for i := range x.Data {
+			x.Data[i] = 10 + r.Norm()
+		}
+		if _, err := bn.Forward(x, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// In eval mode a input at the running mean maps near beta (= 0).
+	x, _ := FromSlice([]float64{10}, 1, 1)
+	out, err := bn.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Data[0]) > 0.3 {
+		t.Fatalf("eval-mode output %v, want near 0", out.Data[0])
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	r := rng.New(12)
+	net := NewSequential(NewDense(3, 4, r), NewDense(4, 2, r))
+	// 3*4+4 + 4*2+2 = 16 + 10 = 26.
+	if got := net.NumParams(); got != 26 {
+		t.Fatalf("NumParams = %d, want 26", got)
+	}
+}
+
+func TestFireHasFewerParamsThanConv(t *testing.T) {
+	r := rng.New(13)
+	// A 3x3 conv 32→64 vs a fire 32→(s=8, e1=32, e3=32) with same output
+	// channel count.
+	conv := NewConv2D(32, 64, 3, 1, 1, r)
+	fire := NewFire(32, 8, 32, 32, r)
+	convParams := 0
+	for _, p := range conv.Params() {
+		convParams += len(p.W)
+	}
+	fireParams := 0
+	for _, p := range fire.Params() {
+		fireParams += len(p.W)
+	}
+	if fireParams >= convParams {
+		t.Fatalf("fire (%d params) should be smaller than conv (%d params)", fireParams, convParams)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	r := rng.New(14)
+	d := NewDense(3, 2, r)
+	if _, err := d.Forward(NewTensor(1, 5), true); err == nil {
+		t.Fatal("want shape error")
+	}
+	c := NewConv2D(2, 2, 3, 1, 0, r)
+	if _, err := c.Forward(NewTensor(1, 3, 4, 4), true); err == nil {
+		t.Fatal("want channel mismatch error")
+	}
+	bn := NewBatchNorm(3)
+	if _, err := bn.Forward(NewTensor(2, 4), true); err == nil {
+		t.Fatal("want batchnorm channel error")
+	}
+	if _, err := FromSlice([]float64{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("want FromSlice volume error")
+	}
+	if _, err := NewTensor(4).Reshape(3); err == nil {
+		t.Fatal("want reshape volume error")
+	}
+}
+
+func TestBackwardBeforeForwardErrors(t *testing.T) {
+	r := rng.New(15)
+	for _, l := range []Layer{
+		NewDense(2, 2, r), NewReLU(), NewTanh(), NewSigmoid(),
+		NewFlatten(), NewConv2D(1, 1, 3, 1, 1, r), NewMaxPool2D(2),
+		NewBatchNorm(2), NewFire(1, 1, 1, 1, r),
+	} {
+		if _, err := l.Backward(NewTensor(1, 2)); err == nil {
+			t.Fatalf("%s: want backward-before-forward error", l.Name())
+		}
+	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	r := rng.New(1)
+	c := NewConv2D(8, 16, 3, 1, 1, r)
+	x := NewTensor(4, 8, 16, 16)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Forward(x, true)
+	}
+}

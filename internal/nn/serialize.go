@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// weightsFile is the on-disk format: an ordered list of parameter blobs
+// plus a structural fingerprint so weights cannot be loaded into a
+// mismatched architecture.
+type weightsFile struct {
+	Fingerprint string      `json:"fingerprint"`
+	Params      [][]float64 `json:"params"`
+}
+
+// fingerprint summarizes the architecture: layer names plus parameter
+// sizes, enough to reject any structural mismatch.
+func fingerprint(s *Sequential) string {
+	fp := ""
+	for _, l := range s.Layers {
+		fp += l.Name() + ";"
+	}
+	for _, p := range s.Params() {
+		fp += fmt.Sprintf("%s:%d;", p.Name, len(p.W))
+	}
+	return fp
+}
+
+// SaveWeights writes the network's parameters to w as JSON. Only values
+// are stored (no optimizer state, no batch-norm running statistics beyond
+// the gamma/beta parameters themselves).
+//
+// Note: BatchNorm running mean/variance are part of eval-mode behavior but
+// live outside Params(); SaveWeights captures them via the layer hook
+// below so a reloaded network evaluates identically.
+func SaveWeights(w io.Writer, s *Sequential) error {
+	wf := weightsFile{Fingerprint: fingerprint(s)}
+	for _, p := range s.Params() {
+		wf.Params = append(wf.Params, append([]float64(nil), p.W...))
+	}
+	// Append batch-norm running stats as extra blobs, in layer order.
+	for _, l := range s.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			wf.Params = append(wf.Params,
+				append([]float64(nil), bn.runMean...),
+				append([]float64(nil), bn.runVar...))
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&wf)
+}
+
+// LoadWeights restores parameters previously written by SaveWeights into a
+// structurally identical network.
+func LoadWeights(r io.Reader, s *Sequential) error {
+	var wf weightsFile
+	if err := json.NewDecoder(r).Decode(&wf); err != nil {
+		return fmt.Errorf("nn: decode weights: %w", err)
+	}
+	if wf.Fingerprint != fingerprint(s) {
+		return fmt.Errorf("%w: weight file fingerprint does not match architecture", ErrShape)
+	}
+	params := s.Params()
+	idx := 0
+	for _, p := range params {
+		if idx >= len(wf.Params) || len(wf.Params[idx]) != len(p.W) {
+			return fmt.Errorf("%w: parameter %d size mismatch", ErrShape, idx)
+		}
+		copy(p.W, wf.Params[idx])
+		idx++
+	}
+	for _, l := range s.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			if idx+1 >= len(wf.Params) ||
+				len(wf.Params[idx]) != len(bn.runMean) ||
+				len(wf.Params[idx+1]) != len(bn.runVar) {
+				return fmt.Errorf("%w: batch-norm running stats missing", ErrShape)
+			}
+			copy(bn.runMean, wf.Params[idx])
+			copy(bn.runVar, wf.Params[idx+1])
+			idx += 2
+		}
+	}
+	if idx != len(wf.Params) {
+		return fmt.Errorf("%w: %d extra parameter blobs in weight file", ErrShape, len(wf.Params)-idx)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func trainedNet(t *testing.T, seed uint64) *Sequential {
+	t.Helper()
+	r := rng.New(seed)
+	net := NewSequential(
+		NewDense(3, 6, r),
+		NewBatchNorm(6),
+		NewTanh(),
+		NewDense(6, 2, r),
+	)
+	adam := NewAdam(0.01)
+	for i := 0; i < 30; i++ {
+		x := NewTensor(8, 3)
+		y := NewTensor(8, 2)
+		for j := range x.Data {
+			x.Data[j] = r.Norm()
+		}
+		for j := range y.Data {
+			y.Data[j] = r.Norm()
+		}
+		net.ZeroGrad()
+		out, err := net.Forward(x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, grad, err := MSELoss(out, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Backward(grad); err != nil {
+			t.Fatal(err)
+		}
+		adam.Step(net.Params())
+	}
+	return net
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := trainedNet(t, 1)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	// A freshly initialized twin with different weights.
+	twin := trainedNet(t, 99)
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), twin); err != nil {
+		t.Fatal(err)
+	}
+	// Eval-mode outputs must match exactly (including batch-norm running
+	// statistics).
+	r := rng.New(7)
+	x := NewTensor(4, 3)
+	for i := range x.Data {
+		x.Data[i] = r.Norm()
+	}
+	a, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := twin.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > 1e-12 {
+			t.Fatalf("output %d differs after reload: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedArchitecture(t *testing.T) {
+	net := trainedNet(t, 2)
+	var buf bytes.Buffer
+	if err := SaveWeights(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	other := NewSequential(NewDense(3, 4, r), NewDense(4, 2, r))
+	if err := LoadWeights(bytes.NewReader(buf.Bytes()), other); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape for mismatched architecture, got %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	net := trainedNet(t, 4)
+	if err := LoadWeights(bytes.NewReader([]byte("not json")), net); err == nil {
+		t.Fatal("want decode error")
+	}
+}

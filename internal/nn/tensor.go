@@ -1,0 +1,136 @@
+// Package nn is a small, dependency-free neural network library — the
+// substitute for the PyTorch/TensorFlow substrate the paper builds on
+// (reproduction note: no Go deep-learning ecosystem is assumed). It
+// provides batch-first tensors, the layer set the paper's MSY3I needs
+// (dense, 2-D convolution, leaky ReLU, batch normalization with selectable
+// placement, max pooling, and the SqueezeNet/SqueezeDet fire layers),
+// manual reverse-mode gradients, and SGD/Adam training.
+//
+// The library favors clarity over speed: layers operate on explicit
+// float64 tensors with straightforward loops, which is sufficient for the
+// laptop-scale networks the experiments train and verify.
+package nn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShape is returned when tensor shapes are incompatible.
+var ErrShape = errors.New("nn: shape mismatch")
+
+// Tensor is a dense row-major tensor. The first axis is the batch axis by
+// convention.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s < 0 {
+			panic("nn: negative dimension")
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data (copied) in a tensor of the given shape.
+func FromSlice(data []float64, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("%w: %d elements for shape %v", ErrShape, len(data), shape)
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: append([]float64(nil), data...)}, nil
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Batch returns the leading dimension (0 for scalars).
+func (t *Tensor) Batch() int {
+	if len(t.Shape) == 0 {
+		return 0
+	}
+	return t.Shape[0]
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Reshape returns a view-copy with a new shape of equal volume.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		return nil, fmt.Errorf("%w: cannot reshape %v to %v", ErrShape, t.Shape, shape)
+	}
+	out := t.Clone()
+	out.Shape = append([]int(nil), shape...)
+	return out, nil
+}
+
+// At4 indexes a rank-4 tensor [n, c, h, w].
+func (t *Tensor) At4(n, c, h, w int) float64 {
+	return t.Data[((n*t.Shape[1]+c)*t.Shape[2]+h)*t.Shape[3]+w]
+}
+
+// Set4 assigns into a rank-4 tensor.
+func (t *Tensor) Set4(n, c, h, w int, v float64) {
+	t.Data[((n*t.Shape[1]+c)*t.Shape[2]+h)*t.Shape[3]+w] = v
+}
+
+// Add4 accumulates into a rank-4 tensor.
+func (t *Tensor) Add4(n, c, h, w int, v float64) {
+	t.Data[((n*t.Shape[1]+c)*t.Shape[2]+h)*t.Shape[3]+w] += v
+}
+
+// At2 indexes a rank-2 tensor [n, f].
+func (t *Tensor) At2(n, f int) float64 { return t.Data[n*t.Shape[1]+f] }
+
+// Set2 assigns into a rank-2 tensor.
+func (t *Tensor) Set2(n, f int, v float64) { t.Data[n*t.Shape[1]+f] = v }
+
+// Param is a trainable parameter tensor with its gradient accumulator.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+}
+
+// newParam allocates a named parameter of size n.
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, W: make([]float64, n), G: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}

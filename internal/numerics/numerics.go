@@ -1,0 +1,279 @@
+// Package numerics provides the floating-point utilities underpinning the
+// RCR framework's "numeric kernel" layer: compensated summation, stable
+// softmax/log-softmax (and their deliberately naive counterparts, retained
+// for the numerical-issues audit the paper reports in Fig. 3), ULP-distance
+// comparison, and overflow/underflow probes.
+//
+// The paper's §V observes that "as the softmax output approaches 0, the log
+// output approaches infinity, which causes instability" and that
+// sub-operations must be fused; this package implements both the fused,
+// stable forms and the separate naive forms so that the audit harness can
+// demonstrate the failure and its fix on the same inputs.
+package numerics
+
+import (
+	"math"
+)
+
+// Eps is the double-precision machine epsilon, the gap between 1.0 and the
+// next representable float64.
+const Eps = 2.220446049250313e-16
+
+// Sum returns the naive left-to-right sum of xs. Exposed as the audit
+// baseline; prefer KahanSum in library code.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// KahanSum returns the compensated (Kahan-Neumaier) sum of xs, accurate to
+// within a couple of ULPs independent of length or cancellation pattern.
+func KahanSum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// Dot returns the compensated dot product of a and b. It panics if the
+// lengths differ, as that is a programming error.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numerics: Dot length mismatch")
+	}
+	var sum, comp float64
+	for i := range a {
+		x := a[i] * b[i]
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// LogSumExp returns log(sum_i exp(xs[i])) computed stably by factoring out
+// the maximum. It returns -Inf for an empty slice.
+func LogSumExp(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.Inf(-1)
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Exp(x - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes the stable softmax of xs into dst and returns dst. If dst
+// is nil or too short a new slice is allocated.
+func Softmax(dst, xs []float64) []float64 {
+	if len(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	if len(xs) == 0 {
+		return dst
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	var s float64
+	for i, x := range xs {
+		e := math.Exp(x - m)
+		dst[i] = e
+		s += e
+	}
+	for i := range dst {
+		dst[i] /= s
+	}
+	return dst
+}
+
+// NaiveSoftmax computes softmax without max-shifting. It overflows for
+// moderately large inputs; retained for the Fig. 3 audit.
+func NaiveSoftmax(dst, xs []float64) []float64 {
+	if len(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	var s float64
+	for i, x := range xs {
+		e := math.Exp(x)
+		dst[i] = e
+		s += e
+	}
+	for i := range dst {
+		dst[i] /= s
+	}
+	return dst
+}
+
+// LogSoftmax writes the fused, stable log-softmax of xs into dst. The fused
+// form log_softmax(x) = x - logsumexp(x) never evaluates log(0).
+func LogSoftmax(dst, xs []float64) []float64 {
+	if len(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	lse := LogSumExp(xs)
+	for i, x := range xs {
+		dst[i] = x - lse
+	}
+	return dst
+}
+
+// NaiveLogSoftmax computes log(softmax(x)) as two separate operations, the
+// unfused pipeline the paper warns about: when a softmax output underflows
+// to 0 the subsequent log yields -Inf.
+func NaiveLogSoftmax(dst, xs []float64) []float64 {
+	dst = NaiveSoftmax(dst, xs)
+	for i := range dst {
+		dst[i] = math.Log(dst[i])
+	}
+	return dst
+}
+
+// ULPDiff returns the number of representable float64 values between a and
+// b (0 if equal). It returns math.MaxInt64 if either argument is NaN or the
+// values have opposite signs with large magnitude separation.
+func ULPDiff(a, b float64) int64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.MaxInt64
+	}
+	ia := orderedBits(a)
+	ib := orderedBits(b)
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// orderedBits maps float64 bit patterns to a monotone integer line.
+func orderedBits(f float64) int64 {
+	b := int64(math.Float64bits(f))
+	if b < 0 {
+		b = math.MinInt64 - b
+	}
+	return b
+}
+
+// AlmostEqual reports whether a and b are within maxULPs representable
+// values of each other, treating exact equality (including both zero signs)
+// as equal.
+func AlmostEqual(a, b float64, maxULPs int64) bool {
+	if a == b {
+		return true
+	}
+	return ULPDiff(a, b) <= maxULPs
+}
+
+// RelErr returns |a-b| / max(|a|, |b|, 1), a scale-aware relative error.
+func RelErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	s := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return d / s
+}
+
+// OverflowProbe reports whether computing exp(x) overflows to +Inf.
+func OverflowProbe(x float64) bool {
+	return math.IsInf(math.Exp(x), 1)
+}
+
+// UnderflowProbe reports whether exp(x) underflows to exactly zero even
+// though the true value is nonzero.
+func UnderflowProbe(x float64) bool {
+	return x > math.Inf(-1) && math.Exp(x) == 0
+}
+
+// Hypot is a re-export of the overflow-safe Euclidean norm of (x, y),
+// documented here because naive sqrt(x*x+y*y) is one of the audit's probes.
+func Hypot(x, y float64) float64 { return math.Hypot(x, y) }
+
+// NaiveHypot computes sqrt(x*x + y*y) directly; it overflows for
+// |x| > ~1e154. Retained for the audit.
+func NaiveHypot(x, y float64) float64 { return math.Sqrt(x*x + y*y) }
+
+// Clamp returns x limited to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sign returns -1, 0, or +1 according to the sign of x.
+func Sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Norm2 returns the overflow-safe Euclidean norm of xs using scaling.
+func Norm2(xs []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbs returns the maximum absolute value in xs, or 0 for empty input.
+func MaxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

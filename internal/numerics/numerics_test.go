@@ -1,0 +1,254 @@
+package numerics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumCancellation(t *testing.T) {
+	// 1 + 1e16 - 1e16 repeated: naive summation loses the ones entirely.
+	xs := make([]float64, 0, 3000)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, 1, 1e16, -1e16)
+	}
+	got := KahanSum(xs)
+	if got != 1000 {
+		t.Fatalf("KahanSum = %v, want 1000", got)
+	}
+	if naive := Sum(xs); naive == 1000 {
+		t.Log("naive sum happened to be exact on this platform; audit probe weaker")
+	}
+}
+
+func TestKahanSumMatchesNaiveOnBenign(t *testing.T) {
+	f := func(seed int64) bool {
+		xs := []float64{float64(seed % 100), 0.5, -0.25, 3, 7.75}
+		return math.Abs(KahanSum(xs)-Sum(xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotCompensated(t *testing.T) {
+	a := []float64{1e8, 1, -1e8}
+	b := []float64{1e8, 1, 1e8}
+	// true value: 1e16 + 1 - 1e16 = 1
+	if got := Dot(a, b); got != 1 {
+		t.Fatalf("Dot = %v, want 1", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestLogSumExpLargeInputs(t *testing.T) {
+	xs := []float64{1000, 1000}
+	got := LogSumExp(xs)
+	want := 1000 + math.Log(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LogSumExp = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExpEmptyAndNegInf(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Fatalf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+	if got := LogSumExp([]float64{math.Inf(-1), math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Fatalf("LogSumExp(-Inf...) = %v, want -Inf", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		xs := []float64{
+			Clamp(a, -500, 500),
+			Clamp(b, -500, 500),
+			Clamp(c, -500, 500),
+		}
+		p := Softmax(nil, xs)
+		var s float64
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			s += v
+		}
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStableSoftmaxSurvivesLargeInputs(t *testing.T) {
+	xs := []float64{1000, 999, 998}
+	p := Softmax(nil, xs)
+	for _, v := range p {
+		if math.IsNaN(v) {
+			t.Fatal("stable softmax produced NaN")
+		}
+	}
+	naive := NaiveSoftmax(nil, xs)
+	nanSeen := false
+	for _, v := range naive {
+		if math.IsNaN(v) {
+			nanSeen = true
+		}
+	}
+	if !nanSeen {
+		t.Fatal("naive softmax unexpectedly survived exp(1000); audit probe invalid")
+	}
+}
+
+func TestFusedLogSoftmaxVsNaive(t *testing.T) {
+	// Far-apart logits: softmax of the small one underflows to 0, so the
+	// naive log yields -Inf while the fused form stays finite.
+	xs := []float64{0, 800}
+	fused := LogSoftmax(nil, xs)
+	naive := NaiveLogSoftmax(nil, xs)
+	if math.IsInf(fused[0], -1) {
+		t.Fatalf("fused log-softmax lost precision: %v", fused)
+	}
+	if !math.IsInf(naive[0], -1) {
+		t.Fatalf("naive log-softmax did not exhibit the documented failure: %v", naive)
+	}
+	if math.Abs(fused[0]-(-800)) > 1e-6 {
+		t.Fatalf("fused log-softmax[0] = %v, want ~-800", fused[0])
+	}
+}
+
+func TestULPDiff(t *testing.T) {
+	if d := ULPDiff(1.0, 1.0); d != 0 {
+		t.Fatalf("ULPDiff(1,1) = %d", d)
+	}
+	next := math.Nextafter(1.0, 2.0)
+	if d := ULPDiff(1.0, next); d != 1 {
+		t.Fatalf("ULPDiff(1, next) = %d, want 1", d)
+	}
+	if d := ULPDiff(math.NaN(), 1); d != math.MaxInt64 {
+		t.Fatalf("ULPDiff(NaN,1) = %d", d)
+	}
+}
+
+func TestULPDiffSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return ULPDiff(a, b) == ULPDiff(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlmostEqualZeroSigns(t *testing.T) {
+	if !AlmostEqual(0.0, math.Copysign(0, -1), 0) {
+		t.Fatal("+0 and -0 should compare equal")
+	}
+}
+
+func TestOverflowUnderflowProbes(t *testing.T) {
+	if !OverflowProbe(710) {
+		t.Fatal("exp(710) should overflow")
+	}
+	if OverflowProbe(10) {
+		t.Fatal("exp(10) should not overflow")
+	}
+	if !UnderflowProbe(-746) {
+		t.Fatal("exp(-746) should underflow to 0")
+	}
+	if UnderflowProbe(-10) {
+		t.Fatal("exp(-10) should not underflow")
+	}
+}
+
+func TestHypotVsNaive(t *testing.T) {
+	x := 1e200
+	if !math.IsInf(NaiveHypot(x, x), 1) {
+		t.Fatal("naive hypot should overflow at 1e200")
+	}
+	if math.IsInf(Hypot(x, x), 1) {
+		t.Fatal("safe hypot should not overflow at 1e200")
+	}
+}
+
+func TestNorm2Scaling(t *testing.T) {
+	xs := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt(2)
+	if got := Norm2(xs); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("Norm2 = %v, want %v", got, want)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) != 0")
+	}
+}
+
+func TestNorm2MatchesDirect(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		xs := []float64{Clamp(a, -1e6, 1e6), Clamp(b, -1e6, 1e6), Clamp(c, -1e6, 1e6)}
+		direct := math.Sqrt(xs[0]*xs[0] + xs[1]*xs[1] + xs[2]*xs[2])
+		return RelErr(Norm2(xs), direct) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampSign(t *testing.T) {
+	cases := []struct {
+		x, lo, hi, want float64
+	}{
+		{5, 0, 1, 1},
+		{-5, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Fatalf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+	if Sign(3) != 1 || Sign(-2) != -1 || Sign(0) != 0 {
+		t.Fatal("Sign incorrect")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-3, 2, 1}); got != 3 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	if MaxAbs(nil) != 0 {
+		t.Fatal("MaxAbs(nil) != 0")
+	}
+}
+
+func BenchmarkKahanSum(b *testing.B) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64(i) * 0.37
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KahanSum(xs)
+	}
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = float64(i%17) - 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LogSumExp(xs)
+	}
+}

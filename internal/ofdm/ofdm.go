@@ -1,0 +1,254 @@
+// Package ofdm implements a minimal OFDM physical layer on top of the fft
+// package: subcarrier mapping, IFFT modulation with cyclic prefix,
+// frequency-selective channel application, and FFT demodulation with
+// one-tap equalization. The paper's §IV-A motivates the repository's
+// signal kernel with "STFT is a key functionality in many OFDM-based
+// wireless systems and is often used as the basis for signal detection and
+// classification in 5G and beyond"; this package provides the OFDM side of
+// that statement, and the spectrum-sensing task in the yolo package
+// provides the detection/classification side.
+package ofdm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+	"repro/internal/rng"
+)
+
+// ErrConfig is returned for invalid configurations.
+var ErrConfig = errors.New("ofdm: invalid config")
+
+// Config describes the OFDM numerology.
+type Config struct {
+	// NumSubcarriers is the FFT size (power of two recommended).
+	NumSubcarriers int
+	// CyclicPrefix is the CP length in samples (>= channel delay spread).
+	CyclicPrefix int
+	// ActiveCarriers is the number of loaded subcarriers, centered around
+	// DC exclusive (guard bands on the edges). Must be <= NumSubcarriers-1.
+	ActiveCarriers int
+}
+
+// Validate checks the numerology.
+func (c Config) Validate() error {
+	switch {
+	case c.NumSubcarriers < 4:
+		return fmt.Errorf("%w: %d subcarriers", ErrConfig, c.NumSubcarriers)
+	case c.CyclicPrefix < 0 || c.CyclicPrefix >= c.NumSubcarriers:
+		return fmt.Errorf("%w: CP %d for %d subcarriers", ErrConfig, c.CyclicPrefix, c.NumSubcarriers)
+	case c.ActiveCarriers < 1 || c.ActiveCarriers > c.NumSubcarriers-1:
+		return fmt.Errorf("%w: %d active carriers of %d", ErrConfig, c.ActiveCarriers, c.NumSubcarriers)
+	}
+	return nil
+}
+
+// SymbolLen returns the time-domain samples per OFDM symbol (N + CP).
+func (c Config) SymbolLen() int { return c.NumSubcarriers + c.CyclicPrefix }
+
+// carrierIndex maps the k-th active carrier (0-based) to its FFT bin,
+// alternating positive and negative frequencies around DC.
+func (c Config) carrierIndex(k int) int {
+	// 0 → +1, 1 → -1, 2 → +2, 3 → -2, ...
+	m := k/2 + 1
+	if k%2 == 0 {
+		return m
+	}
+	return c.NumSubcarriers - m
+}
+
+// QPSKMod maps pairs of bits to unit-energy QPSK symbols.
+func QPSKMod(bits []byte) ([]complex128, error) {
+	if len(bits)%2 != 0 {
+		return nil, fmt.Errorf("%w: odd number of bits", ErrConfig)
+	}
+	out := make([]complex128, len(bits)/2)
+	s := math.Sqrt2 / 2
+	for i := range out {
+		re, im := -s, -s
+		if bits[2*i] != 0 {
+			re = s
+		}
+		if bits[2*i+1] != 0 {
+			im = s
+		}
+		out[i] = complex(re, im)
+	}
+	return out, nil
+}
+
+// QPSKDemod hard-decides QPSK symbols back to bits.
+func QPSKDemod(symbols []complex128) []byte {
+	out := make([]byte, 2*len(symbols))
+	for i, sym := range symbols {
+		if real(sym) > 0 {
+			out[2*i] = 1
+		}
+		if imag(sym) > 0 {
+			out[2*i+1] = 1
+		}
+	}
+	return out
+}
+
+// Modulate maps one OFDM symbol's worth of QPSK symbols (ActiveCarriers of
+// them) to time-domain samples with cyclic prefix.
+func Modulate(c Config, symbols []complex128) ([]complex128, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(symbols) != c.ActiveCarriers {
+		return nil, fmt.Errorf("%w: %d symbols for %d active carriers", ErrConfig, len(symbols), c.ActiveCarriers)
+	}
+	grid := make([]complex128, c.NumSubcarriers)
+	for k, s := range symbols {
+		grid[c.carrierIndex(k)] = s
+	}
+	t := fft.IFFT(grid)
+	// Scale so average sample energy is carrier-count independent.
+	scale := complex(math.Sqrt(float64(c.NumSubcarriers)), 0)
+	out := make([]complex128, c.SymbolLen())
+	for i := 0; i < c.CyclicPrefix; i++ {
+		out[i] = t[c.NumSubcarriers-c.CyclicPrefix+i] * scale
+	}
+	for i, v := range t {
+		out[c.CyclicPrefix+i] = v * scale
+	}
+	return out, nil
+}
+
+// Demodulate strips the CP, FFTs, equalizes with the known channel
+// frequency response, and returns the active-carrier symbols.
+func Demodulate(c Config, samples []complex128, chanFreq []complex128) ([]complex128, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samples) != c.SymbolLen() {
+		return nil, fmt.Errorf("%w: %d samples for symbol length %d", ErrConfig, len(samples), c.SymbolLen())
+	}
+	if chanFreq != nil && len(chanFreq) != c.NumSubcarriers {
+		return nil, fmt.Errorf("%w: channel response over %d bins, want %d", ErrConfig, len(chanFreq), c.NumSubcarriers)
+	}
+	body := samples[c.CyclicPrefix:]
+	grid := fft.FFT(body)
+	scale := complex(1/math.Sqrt(float64(c.NumSubcarriers)), 0)
+	out := make([]complex128, c.ActiveCarriers)
+	for k := range out {
+		bin := c.carrierIndex(k)
+		v := grid[bin] * scale
+		if chanFreq != nil {
+			h := chanFreq[bin]
+			if cmplx.Abs(h) < 1e-12 {
+				return nil, fmt.Errorf("ofdm: channel null on bin %d; cannot equalize", bin)
+			}
+			v /= h
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Channel is a static multipath channel (FIR taps) plus AWGN.
+type Channel struct {
+	Taps    []complex128
+	NoiseSD float64 // per-component noise standard deviation
+	r       *rng.Rand
+}
+
+// NewRayleighChannel draws an L-tap Rayleigh channel with exponentially
+// decaying power profile, normalized to unit energy.
+func NewRayleighChannel(l int, noiseSD float64, seed uint64) (*Channel, error) {
+	if l < 1 {
+		return nil, fmt.Errorf("%w: %d taps", ErrConfig, l)
+	}
+	r := rng.New(seed)
+	taps := make([]complex128, l)
+	var energy float64
+	for i := range taps {
+		p := math.Exp(-float64(i)) // power profile
+		re := r.Norm() * math.Sqrt(p/2)
+		im := r.Norm() * math.Sqrt(p/2)
+		taps[i] = complex(re, im)
+		energy += re*re + im*im
+	}
+	norm := complex(1/math.Sqrt(energy), 0)
+	for i := range taps {
+		taps[i] *= norm
+	}
+	return &Channel{Taps: taps, NoiseSD: noiseSD, r: r}, nil
+}
+
+// Apply convolves the samples with the channel taps (linear convolution,
+// trailing tail truncated to the input length) and adds noise.
+func (ch *Channel) Apply(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for n := range x {
+		var s complex128
+		for k, h := range ch.Taps {
+			if n-k < 0 {
+				break
+			}
+			s += h * x[n-k]
+		}
+		if ch.NoiseSD > 0 {
+			s += complex(ch.r.Norm()*ch.NoiseSD, ch.r.Norm()*ch.NoiseSD)
+		}
+		out[n] = s
+	}
+	return out
+}
+
+// FreqResponse returns the channel's frequency response over n bins.
+func (ch *Channel) FreqResponse(n int) []complex128 {
+	padded := make([]complex128, n)
+	copy(padded, ch.Taps)
+	return fft.FFT(padded)
+}
+
+// BERTrial sends numSymbols random OFDM symbols through the channel and
+// returns the bit error rate with perfect channel knowledge at the
+// receiver.
+func BERTrial(c Config, ch *Channel, numSymbols int, seed uint64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if len(ch.Taps) > c.CyclicPrefix+1 {
+		return 0, fmt.Errorf("%w: %d channel taps exceed CP %d (inter-symbol interference)", ErrConfig, len(ch.Taps), c.CyclicPrefix)
+	}
+	r := rng.New(seed)
+	h := ch.FreqResponse(c.NumSubcarriers)
+	totalBits := 0
+	errBits := 0
+	for s := 0; s < numSymbols; s++ {
+		bits := make([]byte, 2*c.ActiveCarriers)
+		for i := range bits {
+			if r.Bernoulli(0.5) {
+				bits[i] = 1
+			}
+		}
+		syms, err := QPSKMod(bits)
+		if err != nil {
+			return 0, err
+		}
+		tx, err := Modulate(c, syms)
+		if err != nil {
+			return 0, err
+		}
+		rx := ch.Apply(tx)
+		got, err := Demodulate(c, rx, h)
+		if err != nil {
+			return 0, err
+		}
+		outBits := QPSKDemod(got)
+		for i := range bits {
+			totalBits++
+			if bits[i] != outBits[i] {
+				errBits++
+			}
+		}
+	}
+	return float64(errBits) / float64(totalBits), nil
+}

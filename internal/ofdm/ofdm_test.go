@@ -1,0 +1,217 @@
+package ofdm
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func cfg() Config {
+	return Config{NumSubcarriers: 64, CyclicPrefix: 8, ActiveCarriers: 40}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{NumSubcarriers: 2, CyclicPrefix: 0, ActiveCarriers: 1},
+		{NumSubcarriers: 64, CyclicPrefix: 64, ActiveCarriers: 10},
+		{NumSubcarriers: 64, CyclicPrefix: 8, ActiveCarriers: 64},
+		{NumSubcarriers: 64, CyclicPrefix: -1, ActiveCarriers: 10},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); !errors.Is(err, ErrConfig) {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCarrierIndexBijective(t *testing.T) {
+	c := cfg()
+	seen := map[int]bool{}
+	for k := 0; k < c.ActiveCarriers; k++ {
+		bin := c.carrierIndex(k)
+		if bin <= 0 || bin >= c.NumSubcarriers {
+			t.Fatalf("carrier %d maps to bin %d", k, bin)
+		}
+		if bin == 0 {
+			t.Fatal("DC must stay unloaded")
+		}
+		if seen[bin] {
+			t.Fatalf("bin %d assigned twice", bin)
+		}
+		seen[bin] = true
+	}
+}
+
+func TestQPSKRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		bits := make([]byte, 64)
+		for i := range bits {
+			if r.Bernoulli(0.5) {
+				bits[i] = 1
+			}
+		}
+		syms, err := QPSKMod(bits)
+		if err != nil {
+			return false
+		}
+		// Unit energy per symbol.
+		for _, s := range syms {
+			if math.Abs(cmplx.Abs(s)-1) > 1e-12 {
+				return false
+			}
+		}
+		back := QPSKDemod(syms)
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := QPSKMod(make([]byte, 3)); !errors.Is(err, ErrConfig) {
+		t.Fatal("odd bit count should fail")
+	}
+}
+
+func TestModulateDemodulateIdentityChannel(t *testing.T) {
+	c := cfg()
+	r := rng.New(3)
+	bits := make([]byte, 2*c.ActiveCarriers)
+	for i := range bits {
+		if r.Bernoulli(0.5) {
+			bits[i] = 1
+		}
+	}
+	syms, _ := QPSKMod(bits)
+	tx, err := Modulate(c, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx) != c.SymbolLen() {
+		t.Fatalf("symbol length %d, want %d", len(tx), c.SymbolLen())
+	}
+	rx, err := Demodulate(c, tx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		if cmplx.Abs(rx[i]-syms[i]) > 1e-9 {
+			t.Fatalf("symbol %d: %v vs %v", i, rx[i], syms[i])
+		}
+	}
+}
+
+func TestCyclicPrefixDefeatsMultipath(t *testing.T) {
+	// With CP >= channel memory and perfect CSI, a noiseless multipath
+	// channel is perfectly equalized.
+	c := cfg()
+	ch, err := NewRayleighChannel(6, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ber, err := BERTrial(c, ch, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber != 0 {
+		t.Fatalf("noiseless BER = %v, want 0", ber)
+	}
+}
+
+func TestBERIncreasesWithNoise(t *testing.T) {
+	c := cfg()
+	quiet, err := NewRayleighChannel(4, 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loud, err := NewRayleighChannel(4, 0.6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	berQuiet, err := BERTrial(c, quiet, 60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	berLoud, err := BERTrial(c, loud, 60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(berQuiet < berLoud) {
+		t.Fatalf("BER should grow with noise: %v vs %v", berQuiet, berLoud)
+	}
+	if berLoud <= 0 {
+		t.Fatal("high-noise BER should be nonzero")
+	}
+}
+
+func TestISIWhenCPTooShort(t *testing.T) {
+	c := Config{NumSubcarriers: 64, CyclicPrefix: 2, ActiveCarriers: 40}
+	ch, err := NewRayleighChannel(6, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BERTrial(c, ch, 5, 5); !errors.Is(err, ErrConfig) {
+		t.Fatalf("want ErrConfig for CP shorter than channel, got %v", err)
+	}
+}
+
+func TestChannelUnitEnergy(t *testing.T) {
+	ch, err := NewRayleighChannel(5, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e float64
+	for _, h := range ch.Taps {
+		e += real(h)*real(h) + imag(h)*imag(h)
+	}
+	if math.Abs(e-1) > 1e-9 {
+		t.Fatalf("channel energy %v, want 1", e)
+	}
+	if _, err := NewRayleighChannel(0, 0, 1); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero taps should fail")
+	}
+}
+
+func TestDemodulateValidation(t *testing.T) {
+	c := cfg()
+	if _, err := Demodulate(c, make([]complex128, 5), nil); !errors.Is(err, ErrConfig) {
+		t.Fatal("want length error")
+	}
+	if _, err := Demodulate(c, make([]complex128, c.SymbolLen()), make([]complex128, 3)); !errors.Is(err, ErrConfig) {
+		t.Fatal("want channel response length error")
+	}
+	if _, err := Modulate(c, make([]complex128, 7)); !errors.Is(err, ErrConfig) {
+		t.Fatal("want symbol count error")
+	}
+}
+
+func BenchmarkOFDMSymbol(b *testing.B) {
+	c := cfg()
+	r := rng.New(1)
+	bits := make([]byte, 2*c.ActiveCarriers)
+	for i := range bits {
+		if r.Bernoulli(0.5) {
+			bits[i] = 1
+		}
+	}
+	syms, _ := QPSKMod(bits)
+	ch, _ := NewRayleighChannel(4, 0.05, 1)
+	h := ch.FreqResponse(c.NumSubcarriers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, _ := Modulate(c, syms)
+		rx := ch.Apply(tx)
+		_, _ = Demodulate(c, rx, h)
+	}
+}

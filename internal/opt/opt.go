@@ -1,0 +1,423 @@
+// Package opt provides the smooth unconstrained and simply-constrained
+// optimizers the RCR stack leans on: Armijo/Wolfe line searches, gradient
+// descent, BFGS, L-BFGS (with the trust-region-style initialization of
+// Rafati & Marcia that the paper cites as [28]), a dogleg trust-region
+// method, and projected gradient descent for box constraints.
+//
+// All methods minimize; callers maximizing negate their objective. Problems
+// are supplied as a value function and a gradient function; no automatic
+// differentiation is attempted.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrMaxIter is returned (wrapped) when an optimizer exhausts its iteration
+// budget before meeting its tolerance. The best iterate found so far is
+// still returned alongside the error.
+var ErrMaxIter = errors.New("opt: iteration limit reached")
+
+// ErrLineSearch is returned when a line search cannot make progress,
+// usually because the supplied gradient is inconsistent with the function.
+var ErrLineSearch = errors.New("opt: line search failed")
+
+// Objective bundles a function and its gradient.
+type Objective struct {
+	// F evaluates the objective at x.
+	F func(x []float64) float64
+	// Grad writes the gradient at x into g (len(g) == len(x)).
+	Grad func(x, g []float64)
+}
+
+// Result reports the outcome of a minimization.
+type Result struct {
+	X          []float64
+	F          float64
+	GradNorm   float64
+	Iterations int
+	Evals      int
+}
+
+// Options configures the iterative minimizers. Zero fields take defaults.
+type Options struct {
+	MaxIter int     // default 200
+	GradTol float64 // default 1e-8: stop when ||g||∞ <= GradTol
+	StepTol float64 // default 1e-12: stop when the step stalls
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-8
+	}
+	if o.StepTol == 0 {
+		o.StepTol = 1e-12
+	}
+	return o
+}
+
+// stalled reports whether a line-search failure should be read as
+// convergence at machine precision: the gradient is already negligible
+// relative to the objective scale, so no representable step can decrease f.
+func stalled(g []float64, fx float64) bool {
+	return infNorm(g) <= 1e-7*(1+math.Abs(fx))
+}
+
+func infNorm(g []float64) float64 {
+	var m float64
+	for _, v := range g {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// armijo backtracks from step t0 along direction d until the sufficient
+// decrease condition f(x+t d) <= f(x) + c·t·gᵀd holds. It returns the step
+// and the number of evaluations, or an error if it stalls.
+func armijo(obj Objective, x, d, g []float64, fx, t0 float64) (t float64, evals int, err error) {
+	const c = 1e-4
+	gd := mat.VecDot(g, d)
+	if gd >= 0 {
+		return 0, 0, fmt.Errorf("%w: non-descent direction (gᵀd=%g)", ErrLineSearch, gd)
+	}
+	t = t0
+	for i := 0; i < 60; i++ {
+		trial := mat.VecAdd(x, t, d)
+		ft := obj.F(trial)
+		evals++
+		// The strict ft < fx guard rejects "acceptances" that only hold
+		// because c·t·gᵀd rounded away; without it a wrong-sign gradient
+		// can stall silently at rounding level.
+		if ft <= fx+c*t*gd && ft < fx {
+			return t, evals, nil
+		}
+		t *= 0.5
+	}
+	return 0, evals, fmt.Errorf("%w: no Armijo step after 60 halvings", ErrLineSearch)
+}
+
+// wolfe performs a bisection-based weak Wolfe line search (sufficient
+// decrease plus curvature), required by BFGS/L-BFGS to keep sᵀy > 0.
+func wolfe(obj Objective, x, d, g []float64, fx float64) (t float64, evals int, err error) {
+	const (
+		c1 = 1e-4
+		c2 = 0.9
+	)
+	gd := mat.VecDot(g, d)
+	if gd >= 0 {
+		return 0, 0, fmt.Errorf("%w: non-descent direction (gᵀd=%g)", ErrLineSearch, gd)
+	}
+	lo, hi := 0.0, math.Inf(1)
+	t = 1.0
+	gt := make([]float64, len(x))
+	for i := 0; i < 60; i++ {
+		trial := mat.VecAdd(x, t, d)
+		ft := obj.F(trial)
+		evals++
+		if ft > fx+c1*t*gd {
+			hi = t
+		} else {
+			obj.Grad(trial, gt)
+			evals++
+			if mat.VecDot(gt, d) < c2*gd {
+				lo = t
+			} else {
+				return t, evals, nil
+			}
+		}
+		if math.IsInf(hi, 1) {
+			t = 2 * lo
+		} else {
+			t = 0.5 * (lo + hi)
+		}
+		if t < 1e-16 {
+			break
+		}
+	}
+	return 0, evals, fmt.Errorf("%w: Wolfe search exhausted", ErrLineSearch)
+}
+
+// GradientDescent minimizes obj from x0 with Armijo backtracking.
+func GradientDescent(obj Objective, x0 []float64, o Options) (*Result, error) {
+	o = o.withDefaults()
+	x := append([]float64(nil), x0...)
+	g := make([]float64, len(x))
+	res := &Result{}
+	fx := obj.F(x)
+	res.Evals++
+	for k := 0; k < o.MaxIter; k++ {
+		obj.Grad(x, g)
+		res.Evals++
+		if infNorm(g) <= o.GradTol {
+			return finish(res, x, fx, g, k), nil
+		}
+		d := mat.VecScale(-1, g)
+		t, ev, err := armijo(obj, x, d, g, fx, 1.0)
+		res.Evals += ev
+		if err != nil {
+			if stalled(g, fx) {
+				return finish(res, x, fx, g, k), nil
+			}
+			return finish(res, x, fx, g, k), err
+		}
+		x = mat.VecAdd(x, t, d)
+		newF := obj.F(x)
+		res.Evals++
+		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
+			fx = newF
+			obj.Grad(x, g)
+			return finish(res, x, fx, g, k+1), nil
+		}
+		fx = newF
+	}
+	obj.Grad(x, g)
+	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+}
+
+func finish(res *Result, x []float64, fx float64, g []float64, iters int) *Result {
+	res.X = append([]float64(nil), x...)
+	res.F = fx
+	res.GradNorm = infNorm(g)
+	res.Iterations = iters
+	return res
+}
+
+// BFGS minimizes obj from x0 using the dense BFGS update with a weak Wolfe
+// line search.
+func BFGS(obj Objective, x0 []float64, o Options) (*Result, error) {
+	o = o.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	g := make([]float64, n)
+	h := mat.Identity(n) // inverse Hessian approximation
+	res := &Result{}
+	fx := obj.F(x)
+	res.Evals++
+	obj.Grad(x, g)
+	res.Evals++
+	for k := 0; k < o.MaxIter; k++ {
+		if infNorm(g) <= o.GradTol {
+			return finish(res, x, fx, g, k), nil
+		}
+		d, err := h.MulVec(mat.VecScale(-1, g))
+		if err != nil {
+			return finish(res, x, fx, g, k), err
+		}
+		if mat.VecDot(d, g) >= 0 {
+			// Reset a corrupted approximation to steepest descent.
+			h = mat.Identity(n)
+			d = mat.VecScale(-1, g)
+		}
+		t, ev, err := wolfe(obj, x, d, g, fx)
+		res.Evals += ev
+		if err != nil {
+			if stalled(g, fx) {
+				return finish(res, x, fx, g, k), nil
+			}
+			return finish(res, x, fx, g, k), err
+		}
+		xNew := mat.VecAdd(x, t, d)
+		gNew := make([]float64, n)
+		obj.Grad(xNew, gNew)
+		res.Evals++
+		s := mat.VecSub(xNew, x)
+		y := mat.VecSub(gNew, g)
+		sy := mat.VecDot(s, y)
+		if sy > 1e-12 {
+			updateInverseBFGS(h, s, y, sy)
+		}
+		x, g = xNew, gNew
+		newF := obj.F(x)
+		res.Evals++
+		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
+			fx = newF
+			return finish(res, x, fx, g, k+1), nil
+		}
+		fx = newF
+	}
+	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+}
+
+// updateInverseBFGS applies H ← (I - ρsyᵀ) H (I - ρysᵀ) + ρssᵀ in place.
+func updateInverseBFGS(h *mat.Matrix, s, y []float64, sy float64) {
+	n := len(s)
+	rho := 1 / sy
+	hy, _ := h.MulVec(y)
+	yhy := mat.VecDot(y, hy)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := h.At(i, j) -
+				rho*(s[i]*hy[j]+hy[i]*s[j]) +
+				rho*rho*yhy*s[i]*s[j] +
+				rho*s[i]*s[j]
+			h.Set(i, j, v)
+		}
+	}
+}
+
+// LBFGS minimizes obj from x0 with the limited-memory BFGS two-loop
+// recursion. mem is the history length (default 8 when <= 0). The initial
+// Hessian scaling follows the sᵀy/yᵀy heuristic, the same initialization
+// family as the trust-region initialization study the paper cites.
+func LBFGS(obj Objective, x0 []float64, mem int, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if mem <= 0 {
+		mem = 8
+	}
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	g := make([]float64, n)
+	res := &Result{}
+	fx := obj.F(x)
+	res.Evals++
+	obj.Grad(x, g)
+	res.Evals++
+
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+
+	for k := 0; k < o.MaxIter; k++ {
+		if infNorm(g) <= o.GradTol {
+			return finish(res, x, fx, g, k), nil
+		}
+		d := twoLoop(g, sHist, yHist, rhoHist)
+		for i := range d {
+			d[i] = -d[i]
+		}
+		if mat.VecDot(d, g) >= 0 {
+			sHist, yHist, rhoHist = nil, nil, nil
+			d = mat.VecScale(-1, g)
+		}
+		t, ev, err := wolfe(obj, x, d, g, fx)
+		res.Evals += ev
+		if err != nil {
+			if stalled(g, fx) {
+				return finish(res, x, fx, g, k), nil
+			}
+			return finish(res, x, fx, g, k), err
+		}
+		xNew := mat.VecAdd(x, t, d)
+		gNew := make([]float64, n)
+		obj.Grad(xNew, gNew)
+		res.Evals++
+		s := mat.VecSub(xNew, x)
+		y := mat.VecSub(gNew, g)
+		if sy := mat.VecDot(s, y); sy > 1e-12 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > mem {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+		x, g = xNew, gNew
+		newF := obj.F(x)
+		res.Evals++
+		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
+			fx = newF
+			return finish(res, x, fx, g, k+1), nil
+		}
+		fx = newF
+	}
+	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+}
+
+// twoLoop returns H·g via the L-BFGS two-loop recursion.
+func twoLoop(g []float64, sHist, yHist [][]float64, rhoHist []float64) []float64 {
+	q := append([]float64(nil), g...)
+	m := len(sHist)
+	alpha := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		alpha[i] = rhoHist[i] * mat.VecDot(sHist[i], q)
+		for j := range q {
+			q[j] -= alpha[i] * yHist[i][j]
+		}
+	}
+	// Initial scaling gamma = sᵀy / yᵀy from the most recent pair.
+	if m > 0 {
+		s, y := sHist[m-1], yHist[m-1]
+		gamma := mat.VecDot(s, y) / mat.VecDot(y, y)
+		for j := range q {
+			q[j] *= gamma
+		}
+	}
+	for i := 0; i < m; i++ {
+		beta := rhoHist[i] * mat.VecDot(yHist[i], q)
+		for j := range q {
+			q[j] += (alpha[i] - beta) * sHist[i][j]
+		}
+	}
+	return q
+}
+
+// ProjectedGradient minimizes obj over the box [lo, hi] (elementwise) from
+// x0, clipping after each Armijo step. Bounds may use ±Inf.
+func ProjectedGradient(obj Objective, x0, lo, hi []float64, o Options) (*Result, error) {
+	o = o.withDefaults()
+	n := len(x0)
+	if len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("opt: bounds length %d/%d for x of %d", len(lo), len(hi), n)
+	}
+	clip := func(x []float64) {
+		for i := range x {
+			if x[i] < lo[i] {
+				x[i] = lo[i]
+			}
+			if x[i] > hi[i] {
+				x[i] = hi[i]
+			}
+		}
+	}
+	x := append([]float64(nil), x0...)
+	clip(x)
+	g := make([]float64, n)
+	res := &Result{}
+	fx := obj.F(x)
+	res.Evals++
+	step := 1.0
+	for k := 0; k < o.MaxIter; k++ {
+		obj.Grad(x, g)
+		res.Evals++
+		// Projected gradient optimality: ||x - P(x - g)||∞.
+		probe := mat.VecAdd(x, -1, g)
+		clip(probe)
+		if infNorm(mat.VecSub(x, probe)) <= o.GradTol {
+			return finish(res, x, fx, g, k), nil
+		}
+		improved := false
+		t := step
+		for it := 0; it < 50; it++ {
+			trial := mat.VecAdd(x, -t, g)
+			clip(trial)
+			ft := obj.F(trial)
+			res.Evals++
+			// Projected-Armijo sufficient decrease: accept only when the
+			// improvement is proportional to ||x - trial||²/t; accepting
+			// any decrease lets overshooting steps zigzag indefinitely.
+			d := mat.VecSub(x, trial)
+			if ft <= fx-1e-4/t*mat.VecDot(d, d) && ft < fx {
+				x, fx = trial, ft
+				step = t * 2
+				improved = true
+				break
+			}
+			t *= 0.5
+		}
+		if !improved {
+			return finish(res, x, fx, g, k), nil
+		}
+	}
+	obj.Grad(x, g)
+	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+}

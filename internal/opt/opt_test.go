@@ -1,0 +1,217 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// quadratic returns ½ xᵀ diag(d) x - bᵀx, minimized at x* = b/d.
+func quadratic(d, b []float64) Objective {
+	return Objective{
+		F: func(x []float64) float64 {
+			var s float64
+			for i := range x {
+				s += 0.5*d[i]*x[i]*x[i] - b[i]*x[i]
+			}
+			return s
+		},
+		Grad: func(x, g []float64) {
+			for i := range x {
+				g[i] = d[i]*x[i] - b[i]
+			}
+		},
+	}
+}
+
+// rosenbrock is the classic banana function with minimum at (1, 1).
+var rosenbrock = Objective{
+	F: func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	},
+	Grad: func(x, g []float64) {
+		g[0] = -2*(1-x[0]) - 400*x[0]*(x[1]-x[0]*x[0])
+		g[1] = 200 * (x[1] - x[0]*x[0])
+	},
+}
+
+func checkNear(t *testing.T, got, want []float64, tol float64) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("x[%d] = %v, want %v (tol %v)", i, got[i], want[i], tol)
+		}
+	}
+}
+
+func TestGradientDescentQuadratic(t *testing.T) {
+	obj := quadratic([]float64{2, 4}, []float64{2, 8})
+	res, err := GradientDescent(obj, []float64{5, -5}, Options{MaxIter: 2000, GradTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{1, 2}, 1e-6)
+}
+
+func TestBFGSRosenbrock(t *testing.T) {
+	res, err := BFGS(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{1, 1}, 1e-5)
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	res, err := LBFGS(rosenbrock, []float64{-1.2, 1}, 8, Options{MaxIter: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{1, 1}, 1e-5)
+}
+
+func TestTrustRegionRosenbrock(t *testing.T) {
+	res, err := TrustRegionDogleg(rosenbrock, []float64{-1.2, 1}, TrustRegionOptions{MaxIter: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{1, 1}, 1e-4)
+}
+
+func TestBFGSBeatsGDOnIllConditioned(t *testing.T) {
+	// Condition number 1e4 quadratic: BFGS should need far fewer iterations.
+	obj := quadratic([]float64{1, 1e4}, []float64{1, 1e4})
+	gd, _ := GradientDescent(obj, []float64{10, 10}, Options{MaxIter: 5000, GradTol: 1e-6})
+	bf, err := BFGS(obj, []float64{10, 10}, Options{MaxIter: 5000, GradTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Iterations >= gd.Iterations {
+		t.Fatalf("BFGS (%d iters) should beat GD (%d iters) on ill-conditioned quadratic",
+			bf.Iterations, gd.Iterations)
+	}
+}
+
+func TestLBFGSHighDimensional(t *testing.T) {
+	const n = 50
+	d := make([]float64, n)
+	b := make([]float64, n)
+	r := rng.New(7)
+	for i := range d {
+		d[i] = 1 + r.Float64()*9
+		b[i] = r.Norm()
+	}
+	obj := quadratic(d, b)
+	x0 := make([]float64, n)
+	res, err := LBFGS(obj, x0, 10, Options{MaxIter: 500, GradTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if math.Abs(res.X[i]-b[i]/d[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], b[i]/d[i])
+		}
+	}
+}
+
+func TestQuadraticMinimizersProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(5)
+		d := make([]float64, n)
+		b := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := range d {
+			d[i] = 0.5 + 5*r.Float64()
+			b[i] = r.Norm() * 3
+			x0[i] = r.Norm() * 3
+		}
+		obj := quadratic(d, b)
+		res, err := BFGS(obj, x0, Options{MaxIter: 500, GradTol: 1e-10})
+		if err != nil {
+			return false
+		}
+		for i := range d {
+			if math.Abs(res.X[i]-b[i]/d[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxIterError(t *testing.T) {
+	_, err := GradientDescent(rosenbrock, []float64{-1.2, 1}, Options{MaxIter: 2, StepTol: 1e-300, GradTol: 1e-300})
+	if !errors.Is(err, ErrMaxIter) {
+		t.Fatalf("want ErrMaxIter, got %v", err)
+	}
+}
+
+func TestBadGradientFailsLineSearch(t *testing.T) {
+	// Gradient points uphill: line search must refuse.
+	bad := Objective{
+		F:    func(x []float64) float64 { return x[0] * x[0] },
+		Grad: func(x, g []float64) { g[0] = -2 * x[0] }, // wrong sign
+	}
+	_, err := GradientDescent(bad, []float64{3}, Options{})
+	if !errors.Is(err, ErrLineSearch) {
+		t.Fatalf("want ErrLineSearch, got %v", err)
+	}
+}
+
+func TestProjectedGradientBox(t *testing.T) {
+	// Unconstrained min at (1,2) but the box is [0, 0.5]×[0, 0.5]:
+	// the constrained optimum clips to (0.5, 0.5).
+	obj := quadratic([]float64{2, 4}, []float64{2, 8})
+	res, err := ProjectedGradient(obj,
+		[]float64{0.1, 0.1},
+		[]float64{0, 0},
+		[]float64{0.5, 0.5},
+		Options{MaxIter: 500, GradTol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{0.5, 0.5}, 1e-6)
+}
+
+func TestProjectedGradientInteriorSolution(t *testing.T) {
+	obj := quadratic([]float64{2, 4}, []float64{2, 8})
+	res, err := ProjectedGradient(obj,
+		[]float64{0, 0},
+		[]float64{-10, -10},
+		[]float64{10, 10},
+		Options{MaxIter: 2000, GradTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{1, 2}, 1e-5)
+}
+
+func TestProjectedGradientBoundsMismatch(t *testing.T) {
+	obj := quadratic([]float64{1}, []float64{0})
+	if _, err := ProjectedGradient(obj, []float64{0}, []float64{0, 1}, []float64{1}, Options{}); err == nil {
+		t.Fatal("want bounds mismatch error")
+	}
+}
+
+func TestTrustRegionQuadraticExact(t *testing.T) {
+	obj := quadratic([]float64{1, 10, 100}, []float64{1, 10, 100})
+	res, err := TrustRegionDogleg(obj, []float64{-4, 3, 9}, TrustRegionOptions{MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNear(t, res.X, []float64{1, 1, 1}, 1e-5)
+}
+
+func BenchmarkLBFGSRosenbrock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = LBFGS(rosenbrock, []float64{-1.2, 1}, 8, Options{MaxIter: 500})
+	}
+}

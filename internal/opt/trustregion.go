@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// TrustRegionOptions configures the dogleg trust-region minimizer.
+type TrustRegionOptions struct {
+	MaxIter       int     // default 200
+	GradTol       float64 // default 1e-8
+	InitialRadius float64 // default 1
+	MaxRadius     float64 // default 100
+	Eta           float64 // step acceptance ratio, default 0.1
+}
+
+func (o TrustRegionOptions) withDefaults() TrustRegionOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-8
+	}
+	if o.InitialRadius == 0 {
+		o.InitialRadius = 1
+	}
+	if o.MaxRadius == 0 {
+		o.MaxRadius = 100
+	}
+	if o.Eta == 0 {
+		o.Eta = 0.1
+	}
+	return o
+}
+
+// TrustRegionDogleg minimizes obj with a dogleg trust-region method. The
+// Hessian is approximated with SR1-safeguarded BFGS updates (kept
+// symmetric; PSD is not required, matching the paper's discussion that
+// QCQP resolution "can assist in the determination of the involved trust
+// regions" when Hessians are only available as proxies).
+func TrustRegionDogleg(obj Objective, x0 []float64, o TrustRegionOptions) (*Result, error) {
+	o = o.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	g := make([]float64, n)
+	b := mat.Identity(n) // Hessian approximation
+	res := &Result{}
+	fx := obj.F(x)
+	res.Evals++
+	obj.Grad(x, g)
+	res.Evals++
+	radius := o.InitialRadius
+
+	for k := 0; k < o.MaxIter; k++ {
+		if infNorm(g) <= o.GradTol {
+			return finish(res, x, fx, g, k), nil
+		}
+		p := doglegStep(b, g, radius)
+		trial := mat.VecAdd(x, 1, p)
+		ft := obj.F(trial)
+		res.Evals++
+		// Predicted reduction from the quadratic model.
+		bp, _ := b.MulVec(p)
+		pred := -(mat.VecDot(g, p) + 0.5*mat.VecDot(p, bp))
+		actual := fx - ft
+		var rho float64
+		if pred > 0 {
+			rho = actual / pred
+		}
+		if rho < 0.25 {
+			radius *= 0.25
+		} else if rho > 0.75 && math.Abs(mat.VecNorm(p)-radius) < 1e-9 {
+			radius = math.Min(2*radius, o.MaxRadius)
+		}
+		if rho > o.Eta {
+			gNew := make([]float64, n)
+			obj.Grad(trial, gNew)
+			res.Evals++
+			s := p
+			y := mat.VecSub(gNew, g)
+			// Damped BFGS update of B (the Hessian, not its inverse).
+			updateHessianBFGS(b, s, y)
+			x, g, fx = trial, gNew, ft
+		}
+		if radius < 1e-14 {
+			return finish(res, x, fx, g, k+1), nil
+		}
+	}
+	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+}
+
+// doglegStep returns the dogleg step for model m(p) = gᵀp + ½pᵀBp within
+// radius. If B is not positive definite along the Newton direction it
+// falls back to the Cauchy point.
+func doglegStep(b *mat.Matrix, g []float64, radius float64) []float64 {
+	// Cauchy point: p_u = -(gᵀg / gᵀBg) g.
+	bg, _ := b.MulVec(g)
+	gg := mat.VecDot(g, g)
+	gBg := mat.VecDot(g, bg)
+	var pu []float64
+	if gBg > 0 {
+		pu = mat.VecScale(-gg/gBg, g)
+	} else {
+		// Negative curvature: go to the boundary along -g.
+		return mat.VecScale(-radius/math.Sqrt(gg), g)
+	}
+	// Newton point p_b = -B⁻¹g, if solvable.
+	pb, err := mat.Solve(b, mat.VecScale(-1, g))
+	if err != nil || mat.VecDot(pb, g) >= 0 {
+		// Fall back to scaled Cauchy direction.
+		if mat.VecNorm(pu) >= radius {
+			return mat.VecScale(radius/mat.VecNorm(pu), pu)
+		}
+		return pu
+	}
+	if mat.VecNorm(pb) <= radius {
+		return pb
+	}
+	if mat.VecNorm(pu) >= radius {
+		return mat.VecScale(radius/mat.VecNorm(pu), pu)
+	}
+	// Dogleg path: pu + tau (pb - pu) hits the boundary for tau in [0,1].
+	d := mat.VecSub(pb, pu)
+	a := mat.VecDot(d, d)
+	bb := 2 * mat.VecDot(pu, d)
+	c := mat.VecDot(pu, pu) - radius*radius
+	disc := bb*bb - 4*a*c
+	if disc < 0 {
+		disc = 0
+	}
+	tau := (-bb + math.Sqrt(disc)) / (2 * a)
+	return mat.VecAdd(pu, tau, d)
+}
+
+// updateHessianBFGS applies the direct (non-inverse) damped BFGS update
+// B ← B - (Bs sᵀB)/(sᵀBs) + (y yᵀ)/(sᵀy), skipping when sᵀy is too small.
+func updateHessianBFGS(b *mat.Matrix, s, y []float64) {
+	bs, _ := b.MulVec(s)
+	sBs := mat.VecDot(s, bs)
+	sy := mat.VecDot(s, y)
+	if sy < 1e-12 || sBs < 1e-12 {
+		return
+	}
+	n := len(s)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := b.At(i, j) - bs[i]*bs[j]/sBs + y[i]*y[j]/sy
+			b.Set(i, j, v)
+		}
+	}
+}

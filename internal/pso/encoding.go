@@ -1,0 +1,92 @@
+package pso
+
+import "math"
+
+// encoder maps between the internal continuous search space the swarm
+// moves in and the decoded mixed-integer values the objective sees.
+type encoder struct {
+	dims     []Dim
+	encoding Encoding
+	// For EncodingDistribution: per input dim, the slice [start, start+k)
+	// of internal coordinates holding the value logits (k = #values), or
+	// width 1 for continuous dims.
+	starts []int
+	widths []int
+	total  int
+}
+
+func newEncoder(p *Problem, enc Encoding) *encoder {
+	e := &encoder{dims: p.Dims, encoding: enc}
+	e.starts = make([]int, len(p.Dims))
+	e.widths = make([]int, len(p.Dims))
+	off := 0
+	for i, d := range p.Dims {
+		e.starts[i] = off
+		w := 1
+		if enc == EncodingDistribution && d.Integer {
+			w = int(math.Floor(d.Hi)-math.Ceil(d.Lo)) + 1
+		}
+		e.widths[i] = w
+		off += w
+	}
+	e.total = off
+	return e
+}
+
+// dim returns the internal dimensionality.
+func (e *encoder) dim() int { return e.total }
+
+// bounds returns internal-space box bounds. Logit coordinates live in
+// [0, 1]; continuous and rounding coordinates keep their natural bounds.
+func (e *encoder) bounds() (lo, hi []float64) {
+	lo = make([]float64, e.total)
+	hi = make([]float64, e.total)
+	for i, d := range e.dims {
+		if e.widths[i] == 1 {
+			lo[e.starts[i]] = d.Lo
+			hi[e.starts[i]] = d.Hi
+			continue
+		}
+		for j := 0; j < e.widths[i]; j++ {
+			lo[e.starts[i]+j] = 0
+			hi[e.starts[i]+j] = 1
+		}
+	}
+	return lo, hi
+}
+
+// decode maps an internal point to objective values: continuous dims pass
+// through (clamped), rounding-encoded integer dims round, and
+// distribution-encoded dims take the argmax logit's value.
+func (e *encoder) decode(x []float64, out []float64) {
+	for i, d := range e.dims {
+		s := e.starts[i]
+		if e.widths[i] > 1 {
+			best := 0
+			for j := 1; j < e.widths[i]; j++ {
+				if x[s+j] > x[s+best] {
+					best = j
+				}
+			}
+			out[i] = math.Ceil(d.Lo) + float64(best)
+			continue
+		}
+		v := x[s]
+		if v < d.Lo {
+			v = d.Lo
+		}
+		if v > d.Hi {
+			v = d.Hi
+		}
+		if d.Integer && e.encoding == EncodingRounding {
+			v = math.Round(v)
+			if v < math.Ceil(d.Lo) {
+				v = math.Ceil(d.Lo)
+			}
+			if v > math.Floor(d.Hi) {
+				v = math.Floor(d.Hi)
+			}
+		}
+		out[i] = v
+	}
+}

@@ -1,0 +1,27 @@
+package pso_test
+
+import (
+	"fmt"
+
+	"repro/internal/pso"
+)
+
+// ExampleMinimize tunes a 2-D quadratic with an adaptive inertia schedule.
+func ExampleMinimize() {
+	problem := &pso.Problem{
+		Dims: []pso.Dim{{Lo: -5, Hi: 5}, {Lo: -5, Hi: 5}},
+		Eval: func(x []float64) float64 {
+			return (x[0]-1)*(x[0]-1) + (x[1]+2)*(x[1]+2)
+		},
+	}
+	res, err := pso.Minimize(problem, pso.Options{
+		Seed:    7,
+		MaxIter: 300,
+		Inertia: pso.DefaultAdaptiveInertia(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("x = (%.2f, %.2f), f = %.4f\n", res.X[0], res.X[1], res.F)
+	// Output: x = (1.00, -2.00), f = 0.0000
+}

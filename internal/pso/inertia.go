@@ -1,0 +1,77 @@
+// Package pso implements particle swarm optimization as the paper uses it:
+// the canonical position/velocity dynamics of Eqs. 1–2, pluggable inertia
+// schedules (constant, linearly decaying, and the adaptive weighting the
+// paper's "M-GNU-O" layer provides to fight premature stagnation), two
+// discrete-variable encodings — naive velocity rounding, which the paper
+// notes "creates an artificial paradigm, wherein particles may stagnate
+// prematurely", and the distribution-based encoding of Strasser et al. [9]
+// where "each attribute of a PSO particle is a distribution over its
+// possible values rather than a specific value" — plus stagnation detection
+// and dispersion (Worasucheep [15]).
+package pso
+
+import "fmt"
+
+// InertiaSchedule produces the inertia weight ι(k) for iteration k. state
+// carries swarm feedback so adaptive schedules can react to stagnation.
+type InertiaSchedule interface {
+	// Weight returns the inertia for iteration iter of maxIter given the
+	// number of consecutive iterations without global-best improvement.
+	Weight(iter, maxIter, stagnantIters int) float64
+}
+
+// ConstantInertia is the fixed weight ι(k) = W.
+type ConstantInertia struct {
+	W float64
+}
+
+// Weight implements InertiaSchedule.
+func (c ConstantInertia) Weight(_, _, _ int) float64 { return c.W }
+
+// LinearInertia decays linearly from Start to End over the run — the
+// classic schedule that explores early and exploits late.
+type LinearInertia struct {
+	Start, End float64
+}
+
+// Weight implements InertiaSchedule.
+func (l LinearInertia) Weight(iter, maxIter, _ int) float64 {
+	if maxIter <= 1 {
+		return l.End
+	}
+	f := float64(iter) / float64(maxIter-1)
+	return l.Start + (l.End-l.Start)*f
+}
+
+// AdaptiveInertia implements the stagnation-reactive weighting the paper
+// attributes to its modified numeric platform: the weight sits at Base
+// while the swarm improves and grows by Boost per stagnant iteration (up
+// to Max), giving particles the extra momentum needed to "advance past
+// their current local optimum instead of stagnating prematurely". When
+// improvement resumes the weight snaps back to Base.
+type AdaptiveInertia struct {
+	Base  float64 // default operating weight, e.g. 0.5
+	Boost float64 // additional weight per stagnant iteration, e.g. 0.05
+	Max   float64 // cap, e.g. 0.95
+}
+
+// Weight implements InertiaSchedule.
+func (a AdaptiveInertia) Weight(_, _, stagnantIters int) float64 {
+	w := a.Base + a.Boost*float64(stagnantIters)
+	if w > a.Max {
+		w = a.Max
+	}
+	return w
+}
+
+// DefaultAdaptiveInertia returns the tuning used across the experiments.
+func DefaultAdaptiveInertia() AdaptiveInertia {
+	return AdaptiveInertia{Base: 0.5, Boost: 0.04, Max: 0.95}
+}
+
+func validateSchedule(s InertiaSchedule) error {
+	if s == nil {
+		return fmt.Errorf("pso: nil inertia schedule")
+	}
+	return nil
+}

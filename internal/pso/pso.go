@@ -1,0 +1,293 @@
+package pso
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ErrBadProblem is returned for structurally invalid search spaces.
+var ErrBadProblem = errors.New("pso: invalid problem")
+
+// Dim describes one search dimension. Integer dimensions take the values
+// {ceil(Lo), ..., floor(Hi)}.
+type Dim struct {
+	Lo, Hi  float64
+	Integer bool
+}
+
+// Problem is a minimization over a box of mixed continuous/integer
+// dimensions. Eval receives decoded values: integer dimensions are exact
+// integers (as float64) regardless of encoding.
+type Problem struct {
+	Dims []Dim
+	Eval func(x []float64) float64
+}
+
+// Encoding selects how integer dimensions are handled.
+type Encoding int
+
+// Encodings.
+const (
+	// EncodingContinuous treats every dimension as continuous; integer
+	// dims are rejected.
+	EncodingContinuous Encoding = iota + 1
+	// EncodingRounding runs continuous dynamics and rounds integer dims at
+	// evaluation time — the naive scheme whose premature stagnation the
+	// paper warns about (the velocity keeps shrinking while the rounded
+	// position stops changing).
+	EncodingRounding
+	// EncodingDistribution expands each integer dim into one logit per
+	// admissible value; the decoded value is the argmax logit. This is the
+	// distribution-over-values representation of [9].
+	EncodingDistribution
+)
+
+// Options configures a run. Zero fields take defaults.
+type Options struct {
+	Swarm    int     // particles, default 20
+	MaxIter  int     // default 200
+	C1       float64 // cognitive acceleration α₁, default 1.49445
+	C2       float64 // social acceleration α₂, default 1.49445
+	Inertia  InertiaSchedule
+	Encoding Encoding
+	VelClamp float64 // max |v| as fraction of range per dim, default 0.5
+	Seed     uint64
+	// StagnationWindow is the per-particle stall length that triggers
+	// dispersion (0 disables dispersion).
+	StagnationWindow int
+	// Target stops early when the global best reaches Target (use
+	// -Inf, the default via NaN handling, to disable).
+	Target float64
+	// TrackHistory records the global best per iteration.
+	TrackHistory bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Swarm == 0 {
+		o.Swarm = 20
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	if o.C1 == 0 {
+		o.C1 = 1.49445
+	}
+	if o.C2 == 0 {
+		o.C2 = 1.49445
+	}
+	if o.Inertia == nil {
+		o.Inertia = LinearInertia{Start: 0.9, End: 0.4}
+	}
+	if o.Encoding == 0 {
+		o.Encoding = EncodingContinuous
+	}
+	if o.VelClamp == 0 {
+		o.VelClamp = 0.5
+	}
+	if o.Target == 0 {
+		o.Target = math.Inf(-1)
+	}
+	return o
+}
+
+// Result reports the best point found and run diagnostics.
+type Result struct {
+	X     []float64 // decoded values (integer dims integral)
+	F     float64
+	Evals int
+	// Iterations actually run (may stop early on Target).
+	Iterations int
+	// StagnantIters is the final count of consecutive non-improving
+	// iterations of the global best.
+	StagnantIters int
+	// Dispersions counts particle re-randomizations triggered by
+	// stagnation detection.
+	Dispersions int
+	// History is the global best value per iteration when TrackHistory.
+	History []float64
+}
+
+// Minimize runs PSO on p.
+func Minimize(p *Problem, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if err := validate(p, o); err != nil {
+		return nil, err
+	}
+	enc := newEncoder(p, o.Encoding)
+	n := enc.dim()
+	r := rng.New(o.Seed)
+
+	// Internal-space bounds and velocity clamps.
+	lo, hi := enc.bounds()
+	vmax := make([]float64, n)
+	for i := range vmax {
+		vmax[i] = o.VelClamp * (hi[i] - lo[i])
+	}
+
+	pos := make([][]float64, o.Swarm)
+	vel := make([][]float64, o.Swarm)
+	pbest := make([][]float64, o.Swarm)
+	pbestF := make([]float64, o.Swarm)
+	pStall := make([]int, o.Swarm)
+	var gbest []float64
+	gbestF := math.Inf(1)
+	res := &Result{}
+	decoded := make([]float64, len(p.Dims))
+
+	evalAt := func(x []float64) float64 {
+		enc.decode(x, decoded)
+		res.Evals++
+		return p.Eval(decoded)
+	}
+
+	for i := 0; i < o.Swarm; i++ {
+		pos[i] = make([]float64, n)
+		vel[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			pos[i][j] = r.Uniform(lo[j], hi[j])
+			vel[i][j] = r.Uniform(-vmax[j], vmax[j])
+		}
+		f := evalAt(pos[i])
+		pbest[i] = append([]float64(nil), pos[i]...)
+		pbestF[i] = f
+		if f < gbestF {
+			gbestF = f
+			gbest = append([]float64(nil), pos[i]...)
+		}
+	}
+
+	stagnant := 0
+	for it := 0; it < o.MaxIter; it++ {
+		w := o.Inertia.Weight(it, o.MaxIter, stagnant)
+		improved := false
+		for i := 0; i < o.Swarm; i++ {
+			for j := 0; j < n; j++ {
+				b1 := r.Float64()
+				b2 := r.Float64()
+				v := w*vel[i][j] +
+					o.C1*b1*(pbest[i][j]-pos[i][j]) +
+					o.C2*b2*(gbest[j]-pos[i][j])
+				if v > vmax[j] {
+					v = vmax[j]
+				}
+				if v < -vmax[j] {
+					v = -vmax[j]
+				}
+				vel[i][j] = v
+				x := pos[i][j] + v
+				// Reflecting walls keep particles in the box without
+				// killing their velocity entirely.
+				if x < lo[j] {
+					x = lo[j]
+					vel[i][j] = -0.5 * vel[i][j]
+				}
+				if x > hi[j] {
+					x = hi[j]
+					vel[i][j] = -0.5 * vel[i][j]
+				}
+				pos[i][j] = x
+			}
+			f := evalAt(pos[i])
+			if f < pbestF[i] {
+				pbestF[i] = f
+				copy(pbest[i], pos[i])
+				pStall[i] = 0
+			} else {
+				pStall[i]++
+			}
+			if f < gbestF {
+				gbestF = f
+				copy(gbest, pos[i])
+				improved = true
+			}
+			// Dispersion: re-randomize a particle that has stalled past
+			// the window (stagnation detection of [15]).
+			if o.StagnationWindow > 0 && pStall[i] >= o.StagnationWindow {
+				for j := 0; j < n; j++ {
+					pos[i][j] = r.Uniform(lo[j], hi[j])
+					vel[i][j] = r.Uniform(-vmax[j], vmax[j])
+				}
+				pStall[i] = 0
+				res.Dispersions++
+			}
+		}
+		if improved {
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+		if o.TrackHistory {
+			res.History = append(res.History, gbestF)
+		}
+		res.Iterations = it + 1
+		if gbestF <= o.Target {
+			break
+		}
+	}
+	res.F = gbestF
+	res.X = make([]float64, len(p.Dims))
+	enc.decode(gbest, res.X)
+	res.StagnantIters = stagnant
+	return res, nil
+}
+
+func validate(p *Problem, o Options) error {
+	if p == nil || p.Eval == nil {
+		return fmt.Errorf("%w: nil problem or Eval", ErrBadProblem)
+	}
+	if len(p.Dims) == 0 {
+		return fmt.Errorf("%w: no dimensions", ErrBadProblem)
+	}
+	if err := validateSchedule(o.Inertia); err != nil {
+		return err
+	}
+	for i, d := range p.Dims {
+		if !(d.Lo <= d.Hi) {
+			return fmt.Errorf("%w: dim %d has Lo %g > Hi %g", ErrBadProblem, i, d.Lo, d.Hi)
+		}
+		if d.Integer {
+			if o.Encoding == EncodingContinuous {
+				return fmt.Errorf("%w: dim %d is integer but encoding is continuous", ErrBadProblem, i)
+			}
+			if math.Ceil(d.Lo) > math.Floor(d.Hi) {
+				return fmt.Errorf("%w: dim %d has no integer values in [%g,%g]", ErrBadProblem, i, d.Lo, d.Hi)
+			}
+			if o.Encoding == EncodingDistribution && math.Floor(d.Hi)-math.Ceil(d.Lo) > 256 {
+				return fmt.Errorf("%w: dim %d has too many integer values for distribution encoding", ErrBadProblem, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Diversity returns the mean Euclidean distance of decoded positions to
+// their centroid — a standard swarm-collapse diagnostic. It is exposed for
+// the stagnation experiments.
+func Diversity(points [][]float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	n := len(points[0])
+	centroid := make([]float64, n)
+	for _, p := range points {
+		for j := range p {
+			centroid[j] += p[j]
+		}
+	}
+	for j := range centroid {
+		centroid[j] /= float64(len(points))
+	}
+	var sum float64
+	for _, p := range points {
+		var d float64
+		for j := range p {
+			v := p[j] - centroid[j]
+			d += v * v
+		}
+		sum += math.Sqrt(d)
+	}
+	return sum / float64(len(points))
+}

@@ -1,0 +1,311 @@
+package pso
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// rastrigin is a classic multimodal benchmark; global minimum 0 at origin.
+func rastrigin(x []float64) float64 {
+	s := 10 * float64(len(x))
+	for _, v := range x {
+		s += v*v - 10*math.Cos(2*math.Pi*v)
+	}
+	return s
+}
+
+func boxDims(n int, lo, hi float64) []Dim {
+	ds := make([]Dim, n)
+	for i := range ds {
+		ds[i] = Dim{Lo: lo, Hi: hi}
+	}
+	return ds
+}
+
+func TestSphereConvergence(t *testing.T) {
+	p := &Problem{Dims: boxDims(4, -5, 5), Eval: sphere}
+	res, err := Minimize(p, Options{Seed: 1, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 1e-4 {
+		t.Fatalf("sphere best = %v, want near 0", res.F)
+	}
+}
+
+func TestRastriginSmallSwarmGoodEnough(t *testing.T) {
+	// The paper's claim: "even relatively small swarm sizes are fairly
+	// consistent in providing good-enough near-optimum solutions in
+	// relatively few iterations."
+	p := &Problem{Dims: boxDims(3, -5.12, 5.12), Eval: rastrigin}
+	res, err := Minimize(p, Options{Seed: 2, Swarm: 15, MaxIter: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F > 3 { // within a couple of local basins of the optimum
+		t.Fatalf("rastrigin best = %v, want < 3", res.F)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := &Problem{Dims: boxDims(3, -2, 2), Eval: sphere}
+	a, err := Minimize(p, Options{Seed: 7, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Minimize(p, Options{Seed: 7, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.F != b.F {
+		t.Fatalf("same seed, different results: %v vs %v", a.F, b.F)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("same seed, different X")
+		}
+	}
+}
+
+func TestTargetEarlyStop(t *testing.T) {
+	p := &Problem{Dims: boxDims(2, -5, 5), Eval: sphere}
+	res, err := Minimize(p, Options{Seed: 3, MaxIter: 1000, Target: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 1000 {
+		t.Fatalf("should stop early, ran %d iterations", res.Iterations)
+	}
+	if res.F > 0.1 {
+		t.Fatalf("stopped without reaching target: %v", res.F)
+	}
+}
+
+func TestRoundingEncodingSolvesIntegerProblem(t *testing.T) {
+	// min (x-3)² + (y+2)² with x,y integer in [-10, 10].
+	p := &Problem{
+		Dims: []Dim{
+			{Lo: -10, Hi: 10, Integer: true},
+			{Lo: -10, Hi: 10, Integer: true},
+		},
+		Eval: func(x []float64) float64 {
+			return (x[0]-3)*(x[0]-3) + (x[1]+2)*(x[1]+2)
+		},
+	}
+	res, err := Minimize(p, Options{Seed: 4, Encoding: EncodingRounding, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 3 || res.X[1] != -2 {
+		t.Fatalf("x = %v, want [3 -2]", res.X)
+	}
+	if res.F != 0 {
+		t.Fatalf("f = %v, want 0", res.F)
+	}
+}
+
+func TestDistributionEncodingSolvesIntegerProblem(t *testing.T) {
+	p := &Problem{
+		Dims: []Dim{
+			{Lo: 0, Hi: 9, Integer: true},
+			{Lo: 0, Hi: 9, Integer: true},
+		},
+		Eval: func(x []float64) float64 {
+			return math.Abs(x[0]-7) + math.Abs(x[1]-1)
+		},
+	}
+	res, err := Minimize(p, Options{Seed: 5, Encoding: EncodingDistribution, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.F != 0 {
+		t.Fatalf("f = %v (x=%v), want 0", res.F, res.X)
+	}
+}
+
+func TestIntegerValuesAreIntegral(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := &Problem{
+			Dims: []Dim{
+				{Lo: -4, Hi: 4, Integer: true},
+				{Lo: -1, Hi: 1},
+			},
+			Eval: func(x []float64) float64 {
+				if x[0] != math.Trunc(x[0]) {
+					return math.NaN() // would poison the result below
+				}
+				return sphere(x)
+			},
+		}
+		for _, enc := range []Encoding{EncodingRounding, EncodingDistribution} {
+			res, err := Minimize(p, Options{Seed: seed, Encoding: enc, MaxIter: 30})
+			if err != nil || math.IsNaN(res.F) {
+				return false
+			}
+			if res.X[0] != math.Trunc(res.X[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContinuousEncodingRejectsIntegerDims(t *testing.T) {
+	p := &Problem{
+		Dims: []Dim{{Lo: 0, Hi: 5, Integer: true}},
+		Eval: sphere,
+	}
+	_, err := Minimize(p, Options{})
+	if !errors.Is(err, ErrBadProblem) {
+		t.Fatalf("want ErrBadProblem, got %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Minimize(nil, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("nil problem should fail")
+	}
+	if _, err := Minimize(&Problem{Eval: sphere}, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("no dims should fail")
+	}
+	p := &Problem{Dims: []Dim{{Lo: 2, Hi: 1}}, Eval: sphere}
+	if _, err := Minimize(p, Options{}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("crossed bounds should fail")
+	}
+	empty := &Problem{Dims: []Dim{{Lo: 0.2, Hi: 0.8, Integer: true}}, Eval: sphere}
+	if _, err := Minimize(empty, Options{Encoding: EncodingRounding}); !errors.Is(err, ErrBadProblem) {
+		t.Fatal("integer dim without integer values should fail")
+	}
+}
+
+func TestInertiaSchedules(t *testing.T) {
+	c := ConstantInertia{W: 0.7}
+	if c.Weight(0, 100, 50) != 0.7 {
+		t.Fatal("constant inertia not constant")
+	}
+	l := LinearInertia{Start: 0.9, End: 0.4}
+	if l.Weight(0, 100, 0) != 0.9 {
+		t.Fatal("linear inertia wrong at start")
+	}
+	if math.Abs(l.Weight(99, 100, 0)-0.4) > 1e-12 {
+		t.Fatal("linear inertia wrong at end")
+	}
+	if l.Weight(0, 1, 0) != 0.4 {
+		t.Fatal("linear inertia degenerate maxIter")
+	}
+	a := DefaultAdaptiveInertia()
+	if a.Weight(0, 100, 0) != a.Base {
+		t.Fatal("adaptive inertia should start at base")
+	}
+	if a.Weight(0, 100, 5) <= a.Base {
+		t.Fatal("adaptive inertia should grow under stagnation")
+	}
+	if a.Weight(0, 100, 1000) > a.Max {
+		t.Fatal("adaptive inertia exceeded cap")
+	}
+}
+
+// TestAdaptiveInertiaHelpsDiscreteStagnation reproduces the paper's core
+// PSO claim in miniature: on a discrete multimodal problem with naive
+// rounding, adaptive inertia (plus dispersion) reaches the optimum at
+// least as reliably as a fixed low inertia across seeds.
+func TestAdaptiveInertiaHelpsDiscreteStagnation(t *testing.T) {
+	intRastrigin := func(x []float64) float64 { return rastrigin(x) }
+	dims := []Dim{
+		{Lo: -5, Hi: 5, Integer: true},
+		{Lo: -5, Hi: 5, Integer: true},
+		{Lo: -5, Hi: 5, Integer: true},
+	}
+	success := func(in InertiaSchedule, window int) int {
+		hits := 0
+		for seed := uint64(0); seed < 20; seed++ {
+			p := &Problem{Dims: dims, Eval: intRastrigin}
+			res, err := Minimize(p, Options{
+				Seed:             seed,
+				Swarm:            10,
+				MaxIter:          120,
+				Encoding:         EncodingRounding,
+				Inertia:          in,
+				StagnationWindow: window,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.F == 0 {
+				hits++
+			}
+		}
+		return hits
+	}
+	fixed := success(ConstantInertia{W: 0.3}, 0)
+	adaptive := success(DefaultAdaptiveInertia(), 15)
+	if adaptive < fixed {
+		t.Fatalf("adaptive inertia (%d/20) did worse than fixed low inertia (%d/20)", adaptive, fixed)
+	}
+	if adaptive < 12 {
+		t.Fatalf("adaptive inertia succeeded only %d/20 times", adaptive)
+	}
+}
+
+func TestDispersionCounter(t *testing.T) {
+	// A deliberately flat objective forces stalls and hence dispersions.
+	p := &Problem{Dims: boxDims(2, -1, 1), Eval: func(x []float64) float64 { return 0 }}
+	res, err := Minimize(p, Options{Seed: 9, MaxIter: 60, StagnationWindow: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispersions == 0 {
+		t.Fatal("expected dispersions on a flat objective")
+	}
+}
+
+func TestHistoryTracking(t *testing.T) {
+	p := &Problem{Dims: boxDims(2, -5, 5), Eval: sphere}
+	res, err := Minimize(p, Options{Seed: 10, MaxIter: 40, TrackHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Iterations {
+		t.Fatalf("history length %d, iterations %d", len(res.History), res.Iterations)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-15 {
+			t.Fatal("global best must be monotone non-increasing")
+		}
+	}
+}
+
+func TestDiversity(t *testing.T) {
+	if Diversity(nil) != 0 {
+		t.Fatal("empty diversity should be 0")
+	}
+	same := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	if Diversity(same) != 0 {
+		t.Fatal("identical points should have zero diversity")
+	}
+	spread := [][]float64{{-1, 0}, {1, 0}}
+	if math.Abs(Diversity(spread)-1) > 1e-12 {
+		t.Fatalf("diversity = %v, want 1", Diversity(spread))
+	}
+}
+
+func BenchmarkPSOSphere(b *testing.B) {
+	p := &Problem{Dims: boxDims(5, -5, 5), Eval: sphere}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Minimize(p, Options{Seed: uint64(i), MaxIter: 100})
+	}
+}

@@ -1,0 +1,207 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/minlp"
+)
+
+// This file solves the RRA MINLP in the paper's literal form — "optimally
+// assigning frequency-time blocks (integer variables) ... while
+// simultaneously determining the appropriate transmit powers (continuous
+// variables)" — rather than over a discrete power grid. The Shannon rate
+// B·log2(1+g·p/N) is concave in p, so its upper envelope of tangent cuts
+// is a convex (outer) relaxation that is exact at the tangent points: the
+// branch-and-bound then runs over binary assignment variables with
+// continuous power and rate variables in every node LP.
+
+// ContinuousResult reports the outer-relaxation solve.
+type ContinuousResult struct {
+	// Alloc carries the chosen assignment with the *continuous* powers.
+	Alloc *Allocation
+	// RelaxedRateBps is the tangent-envelope objective — an upper bound on
+	// the true rate of this assignment.
+	RelaxedRateBps float64
+	// TrueRateBps re-evaluates the chosen powers under the exact Shannon
+	// rate; TrueRateBps <= RelaxedRateBps, with equality at tangent points.
+	TrueRateBps float64
+	// BnB carries solver statistics.
+	BnB *minlp.Result
+}
+
+// SolveContinuousExact solves the continuous-power RRA by branch and bound
+// over the tangent-cut relaxation with numTangents cuts per (user, block)
+// pair (default 6). More tangents tighten the relaxation toward the true
+// concave rate.
+func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*ContinuousResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if numTangents <= 0 {
+		numTangents = 6
+	}
+	nU := len(p.Users)
+	nRB := p.Inst.Params.NumRBs
+	// Variable layout: [x (nU*nRB binary)][p (nU*nRB)][r (nU*nRB)].
+	nPairs := nU * nRB
+	total := 3 * nPairs
+	xi := func(u, b int) int { return u*nRB + b }
+	pi := func(u, b int) int { return nPairs + u*nRB + b }
+	ri := func(u, b int) int { return 2*nPairs + u*nRB + b }
+
+	prob := lp.Problem{
+		NumVars:   total,
+		Objective: make([]float64, total),
+		Lo:        make([]float64, total),
+		Hi:        make([]float64, total),
+	}
+	ints := make([]int, 0, nPairs)
+	budget := p.PowerBudgetW
+
+	rate := func(u, b int, pw float64) float64 { return p.Inst.RateBps(u, b, pw) }
+	// d/dp B·log2(1+g·p/N) = B·(g/N) / ((1+g·p/N)·ln 2).
+	rateSlope := func(u, b int, pw float64) float64 {
+		gn := p.Inst.Gain[u][b] / p.Inst.NoiseW
+		return p.Inst.Params.RBBandwidthHz * gn / ((1 + gn*pw) * math.Ln2)
+	}
+	// Minimum power for the class's SNR floor on this block (0 if none).
+	minPower := func(u, b int) float64 {
+		req := p.Reqs[p.Users[u].Class]
+		if req.MinSNRdB == 0 {
+			return 0
+		}
+		snrLin := math.Pow(10, req.MinSNRdB/10)
+		return snrLin * p.Inst.NoiseW / p.Inst.Gain[u][b]
+	}
+
+	for u := 0; u < nU; u++ {
+		for b := 0; b < nRB; b++ {
+			prob.Hi[xi(u, b)] = 1
+			prob.Hi[pi(u, b)] = budget
+			rmax := rate(u, b, budget)
+			prob.Hi[ri(u, b)] = rmax
+			prob.Objective[ri(u, b)] = -1 // maximize Σ r
+			ints = append(ints, xi(u, b))
+
+			pmin := minPower(u, b)
+			if pmin > budget {
+				// The SNR floor is unreachable: forbid the pairing.
+				prob.Hi[xi(u, b)] = 0
+				prob.Hi[pi(u, b)] = 0
+				prob.Hi[ri(u, b)] = 0
+				continue
+			}
+			// Linking: p <= budget·x, r <= rmax·x, p >= pmin·x.
+			rowP := make([]float64, total)
+			rowP[pi(u, b)] = 1
+			rowP[xi(u, b)] = -budget
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: rowP, Sense: lp.LE, RHS: 0})
+			rowR := make([]float64, total)
+			rowR[ri(u, b)] = 1
+			rowR[xi(u, b)] = -rmax
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: rowR, Sense: lp.LE, RHS: 0})
+			if pmin > 0 {
+				rowM := make([]float64, total)
+				rowM[pi(u, b)] = 1
+				rowM[xi(u, b)] = -pmin
+				prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: rowM, Sense: lp.GE, RHS: 0})
+			}
+			// Tangent cuts r <= rate(pk) + slope(pk)·(p - pk).
+			for k := 0; k < numTangents; k++ {
+				pk := budget * (float64(k) + 0.5) / float64(numTangents)
+				row := make([]float64, total)
+				row[ri(u, b)] = 1
+				row[pi(u, b)] = -rateSlope(u, b, pk)
+				rhs := rate(u, b, pk) - rateSlope(u, b, pk)*pk
+				prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: rhs})
+			}
+		}
+	}
+	// One user per block.
+	for b := 0; b < nRB; b++ {
+		row := make([]float64, total)
+		for u := 0; u < nU; u++ {
+			row[xi(u, b)] = 1
+		}
+		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+	}
+	// Per-user power budget and QoS minimum (over relaxed rates).
+	for u := 0; u < nU; u++ {
+		rowP := make([]float64, total)
+		rowR := make([]float64, total)
+		for b := 0; b < nRB; b++ {
+			rowP[pi(u, b)] = 1
+			rowR[ri(u, b)] = 1
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: rowP, Sense: lp.LE, RHS: budget},
+			lp.Constraint{Coeffs: rowR, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps})
+	}
+
+	// Warm start from the discrete-grid solution when it is feasible: grid
+	// powers are admissible continuous powers, and the tangent envelope at
+	// those powers dominates the true rates, so the incumbent satisfies
+	// every constraint of the relaxed model.
+	if o.Incumbent == nil {
+		if inc, obj, ok := p.continuousIncumbent(total, xi, pi, ri, rate, minPower); ok {
+			o.Incumbent = inc
+			o.IncumbentObj = obj
+		}
+	}
+	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	if err != nil && !errors.Is(err, minlp.ErrBudget) {
+		return nil, fmt.Errorf("qos: continuous exact: %w", err)
+	}
+	out := &ContinuousResult{BnB: res}
+	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+		return out, nil
+	}
+	alloc := NewAllocation(nRB)
+	for u := 0; u < nU; u++ {
+		for b := 0; b < nRB; b++ {
+			if res.X[xi(u, b)] > 0.5 {
+				alloc.UserOf[b] = u
+				alloc.PowerW[b] = res.X[pi(u, b)]
+				out.RelaxedRateBps += res.X[ri(u, b)]
+				out.TrueRateBps += rate(u, b, res.X[pi(u, b)])
+			}
+		}
+	}
+	out.Alloc = alloc
+	return out, nil
+}
+
+// continuousIncumbent maps a QoS-feasible discrete-grid solution onto the
+// continuous model's variables (rate variables set to the true rate, which
+// satisfies the tangent cuts since the envelope dominates it).
+func (p *Problem) continuousIncumbent(total int, xi, pi, ri func(int, int) int,
+	rate func(int, int, float64) float64, minPower func(int, int) float64) ([]float64, float64, bool) {
+	alloc, err := p.SolveGreedy()
+	if err != nil {
+		return nil, 0, false
+	}
+	rep, err := p.Evaluate(alloc)
+	if err != nil || !rep.AllQoSMet {
+		return nil, 0, false
+	}
+	x := make([]float64, total)
+	var obj float64
+	for b, u := range alloc.UserOf {
+		if u < 0 {
+			continue
+		}
+		pw := alloc.PowerW[b]
+		if pw < minPower(u, b) {
+			return nil, 0, false
+		}
+		x[xi(u, b)] = 1
+		x[pi(u, b)] = pw
+		r := rate(u, b, pw)
+		x[ri(u, b)] = r
+		obj -= r
+	}
+	return x, obj, true
+}

@@ -1,0 +1,127 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/minlp"
+)
+
+func tinyProblem(t *testing.T, seed uint64) *Problem {
+	t.Helper()
+	p, err := GenerateProblem(1, 1, 1, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestContinuousExactSolves(t *testing.T) {
+	p := tinyProblem(t, 1)
+	res, err := p.SolveContinuousExact(5, minlp.Options{MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc == nil {
+		t.Skipf("status %v", res.BnB.Status)
+	}
+	// The tangent envelope over-estimates the concave rate.
+	if res.TrueRateBps > res.RelaxedRateBps+1e-6 {
+		t.Fatalf("true rate %v exceeds relaxed bound %v", res.TrueRateBps, res.RelaxedRateBps)
+	}
+	// The realized allocation must respect budgets and SNR floors.
+	rep, err := p.Evaluate(res.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BudgetViolated {
+		t.Fatal("continuous solution violates power budget")
+	}
+	if rep.SNRViolated {
+		t.Fatal("continuous solution violates SNR floor")
+	}
+	if res.TrueRateBps <= 0 {
+		t.Fatal("no rate allocated")
+	}
+}
+
+func TestContinuousBeatsDiscreteGrid(t *testing.T) {
+	// Continuous powers subsume the discrete grid (each level is a
+	// feasible power), so the continuous optimum's true rate should be at
+	// least the discrete optimum's minus the tangent-gap slack.
+	p := tinyProblem(t, 7)
+	disc, dRes, err := p.SolveExact(minlp.Options{MaxNodes: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cont, err := p.SolveContinuousExact(8, minlp.Options{MaxNodes: 40000})
+	if err != nil && !errors.Is(err, minlp.ErrBudget) {
+		t.Fatal(err)
+	}
+	if dRes.Status != minlp.StatusOptimal || cont.Alloc == nil || cont.BnB.Status != minlp.StatusOptimal {
+		t.Skip("one of the solvers did not close; nothing to compare")
+	}
+	dRep, err := p.Evaluate(disc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sound dominance property: the discrete-grid optimum is feasible in
+	// the relaxed model (grid powers are admissible, and the tangent
+	// envelope dominates the true rates), so the *relaxed* optimum must be
+	// at least the discrete optimum's true rate. The realized TrueRateBps
+	// of the relaxed argmax carries envelope error and is not ordered
+	// against the discrete optimum in general.
+	if cont.RelaxedRateBps < dRep.TotalRateBps-1e-3 {
+		t.Fatalf("relaxed optimum %v below discrete optimum %v",
+			cont.RelaxedRateBps, dRep.TotalRateBps)
+	}
+	// The realized rate still sits under its own relaxation bound.
+	if cont.TrueRateBps > cont.RelaxedRateBps+1e-6 {
+		t.Fatalf("true rate %v exceeds its relaxation bound %v",
+			cont.TrueRateBps, cont.RelaxedRateBps)
+	}
+}
+
+func TestContinuousMoreTangentsTightens(t *testing.T) {
+	// Evaluate the tangent envelope directly at fixed powers: more
+	// tangents must give a (weakly) tighter over-approximation of the
+	// concave rate, everywhere.
+	p := tinyProblem(t, 3)
+	envelope := func(u, b int, pw float64, k int) float64 {
+		budget := p.PowerBudgetW
+		gn := p.Inst.Gain[u][b] / p.Inst.NoiseW
+		bw := p.Inst.Params.RBBandwidthHz
+		best := math.Inf(1)
+		for i := 0; i < k; i++ {
+			pk := budget * (float64(i) + 0.5) / float64(k)
+			slope := bw * gn / ((1 + gn*pk) * math.Ln2)
+			v := bw*math.Log2(1+gn*pk) + slope*(pw-pk)
+			if v < best {
+				best = v
+			}
+		}
+		return best
+	}
+	// Tangent families are not nested pointwise (a coarse tangent point
+	// can beat a fine family right at that point), so the correct
+	// monotonicity statement is about the mean gap over the power range.
+	meanGap := func(k int) float64 {
+		var gap float64
+		const grid = 200
+		for i := 0; i < grid; i++ {
+			pw := p.PowerBudgetW * (float64(i) + 0.5) / grid
+			truth := p.Inst.RateBps(0, 0, pw)
+			env := envelope(0, 0, pw, k)
+			if truth > env+1e-6 {
+				t.Fatalf("envelope below the true rate at p=%v (k=%d)", pw, k)
+			}
+			gap += env - truth
+		}
+		return gap / grid
+	}
+	g3, g6, g12 := meanGap(3), meanGap(6), meanGap(12)
+	if !(g12 < g6 && g6 < g3) {
+		t.Fatalf("mean envelope gap not decreasing: k=3:%v k=6:%v k=12:%v", g3, g6, g12)
+	}
+}

@@ -1,0 +1,398 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/minlp"
+	"repro/internal/rng"
+)
+
+// The paper's introduction names "Multi-Radio Access Technology (RAT)
+// handling for multi-connectivity (each with its own QoS requirements)" as
+// a second class of QoS MINLPs. This file models it: every user picks at
+// most one RAT; each RAT has limited slots; mmWave offers high rates but
+// covers only nearby users; the objective is total throughput subject to
+// per-user QoS minimum rates.
+
+// ErrMultiRAT is returned for invalid multi-RAT instances.
+var ErrMultiRAT = errors.New("qos: invalid multi-RAT problem")
+
+// RAT is one radio access technology with a slot budget.
+type RAT struct {
+	Name  string
+	Slots int
+}
+
+// MultiRATProblem is a user-to-RAT assignment instance.
+type MultiRATProblem struct {
+	RATs  []RAT
+	Users []User
+	// RateBps[u][r] is user u's achievable rate on RAT r (0 = no
+	// coverage).
+	RateBps [][]float64
+	Reqs    map[Class]Requirement
+	// MaxConnectivity is the number of RATs a user may aggregate
+	// simultaneously (the paper's "multi-connectivity"). 0 means 1.
+	MaxConnectivity int
+}
+
+// maxConn returns the effective per-user connectivity limit.
+func (p *MultiRATProblem) maxConn() int {
+	if p.MaxConnectivity <= 0 {
+		return 1
+	}
+	return p.MaxConnectivity
+}
+
+// Validate checks structural consistency.
+func (p *MultiRATProblem) Validate() error {
+	if len(p.RATs) == 0 || len(p.Users) == 0 {
+		return fmt.Errorf("%w: %d RATs, %d users", ErrMultiRAT, len(p.RATs), len(p.Users))
+	}
+	if len(p.RateBps) != len(p.Users) {
+		return fmt.Errorf("%w: rate matrix has %d rows for %d users", ErrMultiRAT, len(p.RateBps), len(p.Users))
+	}
+	for u, row := range p.RateBps {
+		if len(row) != len(p.RATs) {
+			return fmt.Errorf("%w: rate row %d has %d cols for %d RATs", ErrMultiRAT, u, len(row), len(p.RATs))
+		}
+	}
+	for _, r := range p.RATs {
+		if r.Slots < 0 {
+			return fmt.Errorf("%w: RAT %q has negative slots", ErrMultiRAT, r.Name)
+		}
+	}
+	for _, u := range p.Users {
+		if _, ok := p.Reqs[u.Class]; !ok {
+			return fmt.Errorf("%w: no requirement for class %v", ErrMultiRAT, u.Class)
+		}
+	}
+	return nil
+}
+
+// GenerateMultiRAT builds a reproducible instance: LTE (many slots, low
+// rate), 5G sub-6 (medium), and mmWave (few slots, high rate, partial
+// coverage).
+func GenerateMultiRAT(nEMBB, nURLLC, nMMTC int, seed uint64) (*MultiRATProblem, error) {
+	n := nEMBB + nURLLC + nMMTC
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no users", ErrMultiRAT)
+	}
+	r := rng.New(seed)
+	p := &MultiRATProblem{
+		RATs: []RAT{
+			{Name: "LTE", Slots: n},
+			{Name: "5G-sub6", Slots: (n + 1) / 2},
+			{Name: "mmWave", Slots: 2},
+		},
+		Reqs: DefaultRequirements(),
+	}
+	id := 0
+	add := func(k int, c Class) {
+		for i := 0; i < k; i++ {
+			p.Users = append(p.Users, User{ID: id, Class: c})
+			id++
+		}
+	}
+	add(nEMBB, ClassEMBB)
+	add(nURLLC, ClassURLLC)
+	add(nMMTC, ClassMMTC)
+	p.RateBps = make([][]float64, n)
+	for u := 0; u < n; u++ {
+		lte := 1e6 * (0.5 + r.Float64())  // 0.5-1.5 Mb/s
+		sub6 := 1e6 * (2 + 3*r.Float64()) // 2-5 Mb/s
+		mmw := 0.0
+		if r.Bernoulli(0.4) { // only some users are in mmWave coverage
+			mmw = 1e6 * (20 + 30*r.Float64()) // 20-50 Mb/s
+		}
+		p.RateBps[u] = []float64{lte, sub6, mmw}
+	}
+	return p, p.Validate()
+}
+
+// MultiRATReport scores an assignment.
+type MultiRATReport struct {
+	TotalRateBps float64
+	RatePerUser  []float64
+	QoSMet       []bool
+	AllQoSMet    bool
+	SlotsUsed    []int
+	SlotsOK      bool
+}
+
+// EvaluateMulti scores a multi-connectivity assignment: per user, the set
+// of RATs aggregated (rates add). Slot limits and per-user connectivity
+// limits are enforced.
+func (p *MultiRATProblem) EvaluateMulti(assign [][]int) (*MultiRATReport, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(assign) != len(p.Users) {
+		return nil, fmt.Errorf("%w: assignment over %d users, want %d", ErrMultiRAT, len(assign), len(p.Users))
+	}
+	rep := &MultiRATReport{
+		RatePerUser: make([]float64, len(p.Users)),
+		QoSMet:      make([]bool, len(p.Users)),
+		SlotsUsed:   make([]int, len(p.RATs)),
+		SlotsOK:     true,
+	}
+	for u, rats := range assign {
+		if len(rats) > p.maxConn() {
+			return nil, fmt.Errorf("%w: user %d aggregates %d RATs, limit %d", ErrMultiRAT, u, len(rats), p.maxConn())
+		}
+		seen := map[int]bool{}
+		for _, ra := range rats {
+			if ra < 0 || ra >= len(p.RATs) {
+				return nil, fmt.Errorf("%w: user %d assigned to RAT %d of %d", ErrMultiRAT, u, ra, len(p.RATs))
+			}
+			if seen[ra] {
+				return nil, fmt.Errorf("%w: user %d assigned to RAT %d twice", ErrMultiRAT, u, ra)
+			}
+			seen[ra] = true
+			rep.SlotsUsed[ra]++
+			rep.RatePerUser[u] += p.RateBps[u][ra]
+			rep.TotalRateBps += p.RateBps[u][ra]
+		}
+	}
+	for ri, r := range p.RATs {
+		if rep.SlotsUsed[ri] > r.Slots {
+			rep.SlotsOK = false
+		}
+	}
+	rep.AllQoSMet = rep.SlotsOK
+	for u, usr := range p.Users {
+		ok := rep.RatePerUser[u] >= p.Reqs[usr.Class].MinRateBps-1e-6
+		rep.QoSMet[u] = ok
+		if !ok {
+			rep.AllQoSMet = false
+		}
+	}
+	return rep, nil
+}
+
+// SolveMultiExact solves the multi-connectivity assignment MILP: like
+// SolveAssignExact but with Σ_r x[u][r] <= MaxConnectivity, so a user may
+// aggregate rates across several RATs.
+func (p *MultiRATProblem) SolveMultiExact(o minlp.Options) ([][]int, *minlp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nU, nR := len(p.Users), len(p.RATs)
+	n := nU * nR
+	idx := func(u, r int) int { return u*nR + r }
+	prob := lp.Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Lo:        make([]float64, n),
+		Hi:        make([]float64, n),
+	}
+	ints := make([]int, n)
+	for u := 0; u < nU; u++ {
+		for ri := 0; ri < nR; ri++ {
+			j := idx(u, ri)
+			prob.Objective[j] = -p.RateBps[u][ri]
+			prob.Hi[j] = 1
+			ints[j] = j
+		}
+	}
+	for u := 0; u < nU; u++ {
+		row := make([]float64, n)
+		rate := make([]float64, n)
+		for ri := 0; ri < nR; ri++ {
+			row[idx(u, ri)] = 1
+			rate[idx(u, ri)] = p.RateBps[u][ri]
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: float64(p.maxConn())},
+			lp.Constraint{Coeffs: rate, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
+		)
+	}
+	for ri := 0; ri < nR; ri++ {
+		row := make([]float64, n)
+		for u := 0; u < nU; u++ {
+			row[idx(u, ri)] = 1
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: float64(p.RATs[ri].Slots)})
+	}
+	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	if err != nil && !errors.Is(err, minlp.ErrBudget) {
+		return nil, res, fmt.Errorf("qos: multi-connectivity exact: %w", err)
+	}
+	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+		return nil, res, nil
+	}
+	assign := make([][]int, nU)
+	for u := 0; u < nU; u++ {
+		for ri := 0; ri < nR; ri++ {
+			if res.X[idx(u, ri)] > 0.5 {
+				assign[u] = append(assign[u], ri)
+			}
+		}
+	}
+	return assign, res, nil
+}
+
+// EvaluateAssign scores assign (per user: RAT index or -1).
+func (p *MultiRATProblem) EvaluateAssign(assign []int) (*MultiRATReport, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(assign) != len(p.Users) {
+		return nil, fmt.Errorf("%w: assignment over %d users, want %d", ErrMultiRAT, len(assign), len(p.Users))
+	}
+	rep := &MultiRATReport{
+		RatePerUser: make([]float64, len(p.Users)),
+		QoSMet:      make([]bool, len(p.Users)),
+		SlotsUsed:   make([]int, len(p.RATs)),
+		SlotsOK:     true,
+	}
+	for u, ra := range assign {
+		if ra < 0 {
+			continue
+		}
+		if ra >= len(p.RATs) {
+			return nil, fmt.Errorf("%w: user %d assigned to RAT %d of %d", ErrMultiRAT, u, ra, len(p.RATs))
+		}
+		rep.SlotsUsed[ra]++
+		rep.RatePerUser[u] = p.RateBps[u][ra]
+		rep.TotalRateBps += p.RateBps[u][ra]
+	}
+	for ri, r := range p.RATs {
+		if rep.SlotsUsed[ri] > r.Slots {
+			rep.SlotsOK = false
+		}
+	}
+	rep.AllQoSMet = rep.SlotsOK
+	for u, usr := range p.Users {
+		ok := rep.RatePerUser[u] >= p.Reqs[usr.Class].MinRateBps-1e-6
+		rep.QoSMet[u] = ok
+		if !ok {
+			rep.AllQoSMet = false
+		}
+	}
+	return rep, nil
+}
+
+// SolveAssignGreedy assigns users in descending QoS-deficit order to the
+// cheapest RAT that satisfies their requirement (falling back to the
+// highest-rate RAT with free slots).
+func (p *MultiRATProblem) SolveAssignGreedy() ([]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	assign := make([]int, len(p.Users))
+	free := make([]int, len(p.RATs))
+	for ri, r := range p.RATs {
+		free[ri] = r.Slots
+	}
+	for u := range assign {
+		assign[u] = -1
+	}
+	// eMBB first (largest requirements), then URLLC, then mMTC.
+	order := make([]int, 0, len(p.Users))
+	for _, c := range []Class{ClassEMBB, ClassURLLC, ClassMMTC} {
+		for u, usr := range p.Users {
+			if usr.Class == c {
+				order = append(order, u)
+			}
+		}
+	}
+	for _, u := range order {
+		req := p.Reqs[p.Users[u].Class]
+		// Cheapest (lowest-rate) RAT that satisfies the requirement.
+		best := -1
+		for ri := range p.RATs {
+			if free[ri] == 0 || p.RateBps[u][ri] < req.MinRateBps {
+				continue
+			}
+			if best < 0 || p.RateBps[u][ri] < p.RateBps[u][best] {
+				best = ri
+			}
+		}
+		if best < 0 {
+			// Fall back: highest-rate RAT with a free slot.
+			for ri := range p.RATs {
+				if free[ri] == 0 {
+					continue
+				}
+				if best < 0 || p.RateBps[u][ri] > p.RateBps[u][best] {
+					best = ri
+				}
+			}
+		}
+		if best >= 0 {
+			assign[u] = best
+			free[best]--
+		}
+	}
+	return assign, nil
+}
+
+// SolveAssignExact solves the assignment MILP by branch and bound:
+//
+//	max  Σ rate[u][r]·x[u][r]
+//	s.t. Σ_r x[u][r] <= 1, Σ_u x[u][r] <= slots_r,
+//	     Σ_r rate[u][r]·x[u][r] >= minRate(u).
+func (p *MultiRATProblem) SolveAssignExact(o minlp.Options) ([]int, *minlp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nU, nR := len(p.Users), len(p.RATs)
+	n := nU * nR
+	idx := func(u, r int) int { return u*nR + r }
+	prob := lp.Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Lo:        make([]float64, n),
+		Hi:        make([]float64, n),
+	}
+	ints := make([]int, n)
+	for u := 0; u < nU; u++ {
+		for ri := 0; ri < nR; ri++ {
+			j := idx(u, ri)
+			prob.Objective[j] = -p.RateBps[u][ri]
+			prob.Hi[j] = 1
+			ints[j] = j
+		}
+	}
+	for u := 0; u < nU; u++ {
+		row := make([]float64, n)
+		rate := make([]float64, n)
+		for ri := 0; ri < nR; ri++ {
+			row[idx(u, ri)] = 1
+			rate[idx(u, ri)] = p.RateBps[u][ri]
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1},
+			lp.Constraint{Coeffs: rate, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
+		)
+	}
+	for ri := 0; ri < nR; ri++ {
+		row := make([]float64, n)
+		for u := 0; u < nU; u++ {
+			row[idx(u, ri)] = 1
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: float64(p.RATs[ri].Slots)})
+	}
+	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	if err != nil && !errors.Is(err, minlp.ErrBudget) {
+		return nil, res, fmt.Errorf("qos: multi-RAT exact: %w", err)
+	}
+	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+		return nil, res, nil
+	}
+	assign := make([]int, nU)
+	for u := range assign {
+		assign[u] = -1
+		for ri := 0; ri < nR; ri++ {
+			if res.X[idx(u, ri)] > 0.5 {
+				assign[u] = ri
+			}
+		}
+	}
+	return assign, res, nil
+}

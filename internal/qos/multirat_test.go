@@ -1,0 +1,183 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/minlp"
+)
+
+func TestGenerateMultiRAT(t *testing.T) {
+	p, err := GenerateMultiRAT(2, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Users) != 5 || len(p.RATs) != 3 {
+		t.Fatalf("shape %d users, %d RATs", len(p.Users), len(p.RATs))
+	}
+	// mmWave (index 2) only covers some users; LTE covers all.
+	for u := range p.Users {
+		if p.RateBps[u][0] <= 0 {
+			t.Fatalf("user %d has no LTE coverage", u)
+		}
+	}
+	if _, err := GenerateMultiRAT(0, 0, 0, 1); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("empty instance should fail")
+	}
+}
+
+func TestMultiRATValidate(t *testing.T) {
+	p, _ := GenerateMultiRAT(1, 1, 1, 2)
+	p.RateBps = p.RateBps[:1]
+	if err := p.Validate(); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("truncated rate matrix should fail")
+	}
+}
+
+func TestEvaluateAssign(t *testing.T) {
+	p, err := GenerateMultiRAT(1, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everyone unassigned: zero rate, QoS unmet, slots fine.
+	rep, err := p.EvaluateAssign([]int{-1, -1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRateBps != 0 || rep.AllQoSMet || !rep.SlotsOK {
+		t.Fatalf("unexpected report %+v", rep)
+	}
+	// Out-of-range RAT rejected.
+	if _, err := p.EvaluateAssign([]int{9, -1, -1}); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("want RAT range error")
+	}
+	// Wrong length rejected.
+	if _, err := p.EvaluateAssign([]int{0}); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("want length error")
+	}
+}
+
+func TestEvaluateAssignSlotOverflow(t *testing.T) {
+	p, err := GenerateMultiRAT(3, 0, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three users onto mmWave (2 slots): overflow.
+	rep, err := p.EvaluateAssign([]int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SlotsOK {
+		t.Fatal("slot overflow not detected")
+	}
+}
+
+func TestMultiRATGreedyFeasibleSlots(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		p, err := GenerateMultiRAT(2, 2, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign, err := p.SolveAssignGreedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.EvaluateAssign(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.SlotsOK {
+			t.Fatalf("seed %d: greedy overflowed slots", seed)
+		}
+	}
+}
+
+func TestMultiRATExactDominatesGreedy(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		p, err := GenerateMultiRAT(2, 1, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gAssign, err := p.SolveAssignGreedy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gRep, _ := p.EvaluateAssign(gAssign)
+		eAssign, res, err := p.SolveAssignExact(minlp.Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != minlp.StatusOptimal {
+			continue // QoS-infeasible draw; nothing to compare
+		}
+		eRep, err := p.EvaluateAssign(eAssign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eRep.SlotsOK {
+			t.Fatalf("seed %d: exact overflowed slots", seed)
+		}
+		if !eRep.AllQoSMet {
+			t.Fatalf("seed %d: exact missed QoS despite optimal status", seed)
+		}
+		if gRep.AllQoSMet && eRep.TotalRateBps < gRep.TotalRateBps-1e-6 {
+			t.Fatalf("seed %d: exact (%v) worse than QoS-feasible greedy (%v)",
+				seed, eRep.TotalRateBps, gRep.TotalRateBps)
+		}
+	}
+}
+
+func TestMultiConnectivityDominatesSingle(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		p, err := GenerateMultiRAT(2, 1, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, sRes, err := p.SolveAssignExact(minlp.Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MaxConnectivity = 2
+		multi, mRes, err := p.SolveMultiExact(minlp.Options{MaxNodes: 50000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sRes.Status != minlp.StatusOptimal || mRes.Status != minlp.StatusOptimal {
+			continue
+		}
+		sRep, _ := p.EvaluateAssign(single)
+		mRep, err := p.EvaluateMulti(multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Aggregation can only help: the single-RAT optimum is feasible
+		// for the multi-connectivity problem.
+		if mRep.TotalRateBps < sRep.TotalRateBps-1e-6 {
+			t.Fatalf("seed %d: multi-connectivity (%v) worse than single (%v)",
+				seed, mRep.TotalRateBps, sRep.TotalRateBps)
+		}
+		if !mRep.SlotsOK {
+			t.Fatalf("seed %d: multi-connectivity overflowed slots", seed)
+		}
+	}
+}
+
+func TestEvaluateMultiValidation(t *testing.T) {
+	p, err := GenerateMultiRAT(1, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxConnectivity = 2
+	if _, err := p.EvaluateMulti([][]int{{0, 1, 2}, nil, nil}); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("exceeding connectivity limit should fail")
+	}
+	if _, err := p.EvaluateMulti([][]int{{0, 0}, nil, nil}); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("duplicate RAT should fail")
+	}
+	if _, err := p.EvaluateMulti([][]int{{9}, nil, nil}); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("out-of-range RAT should fail")
+	}
+	if _, err := p.EvaluateMulti([][]int{nil}); !errors.Is(err, ErrMultiRAT) {
+		t.Fatal("short assignment should fail")
+	}
+}

@@ -1,0 +1,267 @@
+// Package qos models the paper's motivating application: Radio Resource
+// Allocation for 5G service classes with diverse QoS requirements. An RRA
+// instance assigns frequency resource blocks (integer variables) and
+// transmit power levels (discretized continuous variables) to users drawn
+// from the three 5G service categories — eMBB (high minimum rate), URLLC
+// (modest rate but a per-block SNR margin as a reliability proxy), and mMTC
+// (low rate) — maximizing total spectral efficiency subject to per-user
+// QoS and a per-user power budget. Exactly the "mixed integer nonlinear
+// programming problem" of the paper's introduction.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/channel"
+)
+
+// ErrProblem is returned for invalid problem instances.
+var ErrProblem = errors.New("qos: invalid problem")
+
+// Class is a 5G service category.
+type Class int
+
+// Service categories.
+const (
+	ClassEMBB Class = iota + 1
+	ClassURLLC
+	ClassMMTC
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassEMBB:
+		return "eMBB"
+	case ClassURLLC:
+		return "URLLC"
+	case ClassMMTC:
+		return "mMTC"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Requirement is a class's QoS contract.
+type Requirement struct {
+	// MinRateBps is the minimum aggregate rate the user must receive.
+	MinRateBps float64
+	// MinSNRdB is a per-assigned-block SNR floor (reliability proxy for
+	// URLLC); blocks below the floor may not be assigned to the user.
+	MinSNRdB float64
+}
+
+// DefaultRequirements returns the per-class contracts used across the
+// experiments (scaled for the synthetic cell).
+func DefaultRequirements() map[Class]Requirement {
+	return map[Class]Requirement{
+		ClassEMBB:  {MinRateBps: 2e6},
+		ClassURLLC: {MinRateBps: 0.3e6, MinSNRdB: 6},
+		ClassMMTC:  {MinRateBps: 0.05e6},
+	}
+}
+
+// User is one served connection.
+type User struct {
+	ID    int
+	Class Class
+}
+
+// Problem is an RRA instance.
+type Problem struct {
+	Inst  *channel.Instance
+	Users []User
+	Reqs  map[Class]Requirement
+	// PowerBudgetW is the per-user total transmit power budget.
+	PowerBudgetW float64
+	// Levels are the admissible per-block power levels (watts) for the
+	// discretized (MILP/PSO) formulations. Must be ascending, first > 0.
+	Levels []float64
+}
+
+// Validate checks structural consistency.
+func (p *Problem) Validate() error {
+	if p.Inst == nil {
+		return fmt.Errorf("%w: nil channel instance", ErrProblem)
+	}
+	if len(p.Users) == 0 || len(p.Users) != p.Inst.Params.NumUsers {
+		return fmt.Errorf("%w: %d users for channel with %d", ErrProblem, len(p.Users), p.Inst.Params.NumUsers)
+	}
+	if p.PowerBudgetW <= 0 {
+		return fmt.Errorf("%w: power budget %g", ErrProblem, p.PowerBudgetW)
+	}
+	if len(p.Levels) == 0 {
+		return fmt.Errorf("%w: no power levels", ErrProblem)
+	}
+	prev := 0.0
+	for i, l := range p.Levels {
+		if l <= prev {
+			return fmt.Errorf("%w: levels must be ascending positive, level %d = %g", ErrProblem, i, l)
+		}
+		prev = l
+	}
+	for _, u := range p.Users {
+		if _, ok := p.Reqs[u.Class]; !ok {
+			return fmt.Errorf("%w: no requirement for class %v", ErrProblem, u.Class)
+		}
+	}
+	return nil
+}
+
+// Allocation maps each RB to a user (or -1) and a transmit power.
+type Allocation struct {
+	UserOf []int     // per RB: user index or -1
+	PowerW []float64 // per RB: transmit power (0 when unassigned)
+}
+
+// NewAllocation returns an empty allocation for n RBs.
+func NewAllocation(n int) *Allocation {
+	a := &Allocation{UserOf: make([]int, n), PowerW: make([]float64, n)}
+	for i := range a.UserOf {
+		a.UserOf[i] = -1
+	}
+	return a
+}
+
+// Report scores an allocation.
+type Report struct {
+	TotalRateBps       float64
+	SpectralEfficiency float64
+	RatePerUser        []float64
+	QoSMet             []bool
+	QoSMetByClass      map[Class]int
+	UsersByClass       map[Class]int
+	BudgetViolated     bool
+	SNRViolated        bool
+	AllQoSMet          bool
+}
+
+// Evaluate scores an allocation against the problem.
+func (p *Problem) Evaluate(a *Allocation) (*Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nRB := p.Inst.Params.NumRBs
+	if len(a.UserOf) != nRB || len(a.PowerW) != nRB {
+		return nil, fmt.Errorf("%w: allocation over %d/%d RBs, want %d", ErrProblem, len(a.UserOf), len(a.PowerW), nRB)
+	}
+	rep := &Report{
+		RatePerUser:   make([]float64, len(p.Users)),
+		QoSMet:        make([]bool, len(p.Users)),
+		QoSMetByClass: make(map[Class]int),
+		UsersByClass:  make(map[Class]int),
+	}
+	usedPower := make([]float64, len(p.Users))
+	for rb := 0; rb < nRB; rb++ {
+		u := a.UserOf[rb]
+		if u < 0 {
+			continue
+		}
+		if u >= len(p.Users) {
+			return nil, fmt.Errorf("%w: RB %d assigned to user %d of %d", ErrProblem, rb, u, len(p.Users))
+		}
+		pw := a.PowerW[rb]
+		if pw <= 0 {
+			continue
+		}
+		usedPower[u] += pw
+		rate := p.Inst.RateBps(u, rb, pw)
+		rep.RatePerUser[u] += rate
+		rep.TotalRateBps += rate
+		req := p.Reqs[p.Users[u].Class]
+		if req.MinSNRdB != 0 {
+			snrDB := 10 * math.Log10(p.Inst.SNR(u, rb, pw))
+			if snrDB < req.MinSNRdB-1e-9 {
+				rep.SNRViolated = true
+			}
+		}
+	}
+	for u := range p.Users {
+		if usedPower[u] > p.PowerBudgetW*(1+1e-9) {
+			rep.BudgetViolated = true
+		}
+	}
+	rep.AllQoSMet = !rep.BudgetViolated && !rep.SNRViolated
+	for u, usr := range p.Users {
+		req := p.Reqs[usr.Class]
+		rep.UsersByClass[usr.Class]++
+		ok := rep.RatePerUser[u] >= req.MinRateBps-1e-6
+		rep.QoSMet[u] = ok
+		if ok {
+			rep.QoSMetByClass[usr.Class]++
+		} else {
+			rep.AllQoSMet = false
+		}
+	}
+	rep.SpectralEfficiency = p.Inst.SpectralEfficiency(rep.TotalRateBps)
+	return rep, nil
+}
+
+// allowed reports whether RB rb may be assigned to user u at power pw,
+// respecting the URLLC SNR floor.
+func (p *Problem) allowed(u, rb int, pw float64) bool {
+	req := p.Reqs[p.Users[u].Class]
+	if req.MinSNRdB == 0 {
+		return true
+	}
+	return 10*math.Log10(p.Inst.SNR(u, rb, pw)) >= req.MinSNRdB
+}
+
+// GenerateProblem builds a reproducible RRA instance with a user mix of
+// the three classes.
+func GenerateProblem(nEMBB, nURLLC, nMMTC, numRBs int, seed uint64) (*Problem, error) {
+	n := nEMBB + nURLLC + nMMTC
+	inst, err := channel.Generate(channel.Params{
+		NumUsers: n,
+		NumRBs:   numRBs,
+		Seed:     seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("qos: channel: %w", err)
+	}
+	p := &Problem{
+		Inst:         inst,
+		Reqs:         DefaultRequirements(),
+		PowerBudgetW: 1.0,
+		Levels:       []float64{0.05, 0.15, 0.4},
+	}
+	id := 0
+	add := func(k int, c Class) {
+		for i := 0; i < k; i++ {
+			p.Users = append(p.Users, User{ID: id, Class: c})
+			id++
+		}
+	}
+	add(nEMBB, ClassEMBB)
+	add(nURLLC, ClassURLLC)
+	add(nMMTC, ClassMMTC)
+	return p, p.Validate()
+}
+
+// CapacityBound returns a simple upper bound on the total rate of any
+// feasible allocation of the discretized model: every block served at the
+// highest admissible power level by its best user. Power budgets and QoS
+// floors can only reduce the achievable rate, so every solver's result
+// must sit at or below this line.
+func (p *Problem) CapacityBound() float64 {
+	if err := p.Validate(); err != nil {
+		return 0
+	}
+	top := p.Levels[len(p.Levels)-1]
+	var total float64
+	for rb := 0; rb < p.Inst.Params.NumRBs; rb++ {
+		var best float64
+		for u := range p.Users {
+			if !p.allowed(u, rb, top) {
+				continue
+			}
+			if r := p.Inst.RateBps(u, rb, top); r > best {
+				best = r
+			}
+		}
+		total += best
+	}
+	return total
+}

@@ -1,0 +1,176 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/minlp"
+)
+
+// The paper's introduction frames network slicing as the mechanism that
+// carries diverse QoS ("the concepts of network slicing and SDNs offer a
+// framework ... ultimately it comes down to the resource management
+// algorithm"). This file implements that outer layer: resource blocks are
+// partitioned into per-class slices, each slice solves its own RRA over
+// its members, and the partition itself is optimized.
+
+// ErrSlicing is returned for invalid slicing configurations.
+var ErrSlicing = errors.New("qos: invalid slicing")
+
+// SlicePlan assigns a contiguous count of RBs to each service class (in
+// the fixed order eMBB, URLLC, mMTC). Counts must sum to the instance's
+// RB total.
+type SlicePlan struct {
+	EMBB, URLLC, MMTC int
+}
+
+// Total returns the RB total of the plan.
+func (sp SlicePlan) Total() int { return sp.EMBB + sp.URLLC + sp.MMTC }
+
+// SliceReport scores a slicing plan.
+type SliceReport struct {
+	Plan         SlicePlan
+	TotalRateBps float64
+	AllQoSMet    bool
+	// PerClass carries each slice's sub-report (nil when the class has no
+	// users or no RBs).
+	PerClass map[Class]*Report
+}
+
+// classOrder is the fixed slice layout order.
+var classOrder = []Class{ClassEMBB, ClassURLLC, ClassMMTC}
+
+// sliceSubProblem extracts the sub-RRA of one class over an RB range
+// [from, to).
+func (p *Problem) sliceSubProblem(c Class, from, to int) (*Problem, []int, error) {
+	var userIdx []int
+	for u, usr := range p.Users {
+		if usr.Class == c {
+			userIdx = append(userIdx, u)
+		}
+	}
+	if len(userIdx) == 0 || to <= from {
+		return nil, userIdx, nil
+	}
+	inst := *p.Inst
+	inst.Params.NumUsers = len(userIdx)
+	inst.Params.NumRBs = to - from
+	inst.Gain = make([][]float64, len(userIdx))
+	for i, u := range userIdx {
+		inst.Gain[i] = append([]float64(nil), p.Inst.Gain[u][from:to]...)
+	}
+	inst.DistanceM = make([]float64, len(userIdx))
+	for i, u := range userIdx {
+		inst.DistanceM[i] = p.Inst.DistanceM[u]
+	}
+	sub := &Problem{
+		Inst:         &inst,
+		Reqs:         p.Reqs,
+		PowerBudgetW: p.PowerBudgetW,
+		Levels:       p.Levels,
+	}
+	for i, u := range userIdx {
+		sub.Users = append(sub.Users, User{ID: i, Class: p.Users[u].Class})
+	}
+	return sub, userIdx, nil
+}
+
+// EvaluateSlicing solves each slice's RRA exactly (within nodeBudget per
+// slice) under the plan and aggregates.
+func (p *Problem) EvaluateSlicing(plan SlicePlan, nodeBudget int) (*SliceReport, *Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if plan.Total() != p.Inst.Params.NumRBs {
+		return nil, nil, fmt.Errorf("%w: plan covers %d RBs, instance has %d", ErrSlicing, plan.Total(), p.Inst.Params.NumRBs)
+	}
+	if plan.EMBB < 0 || plan.URLLC < 0 || plan.MMTC < 0 {
+		return nil, nil, fmt.Errorf("%w: negative slice size", ErrSlicing)
+	}
+	if nodeBudget == 0 {
+		nodeBudget = 20000
+	}
+	counts := map[Class]int{ClassEMBB: plan.EMBB, ClassURLLC: plan.URLLC, ClassMMTC: plan.MMTC}
+	rep := &SliceReport{Plan: plan, AllQoSMet: true, PerClass: make(map[Class]*Report)}
+	alloc := NewAllocation(p.Inst.Params.NumRBs)
+	from := 0
+	for _, c := range classOrder {
+		to := from + counts[c]
+		sub, userIdx, err := p.sliceSubProblem(c, from, to)
+		if err != nil {
+			return nil, nil, err
+		}
+		if sub == nil {
+			if len(userIdx) > 0 {
+				// Users exist but the slice got no RBs: their QoS fails.
+				rep.AllQoSMet = false
+			}
+			from = to
+			continue
+		}
+		subAlloc, res, err := sub.SolveExact(minlp.Options{MaxNodes: nodeBudget})
+		if err != nil && !errors.Is(err, minlp.ErrBudget) {
+			return nil, nil, fmt.Errorf("qos: slice %v: %w", c, err)
+		}
+		if subAlloc == nil {
+			// QoS-infeasible slice: fall back to the greedy fill so the
+			// report still carries rates.
+			subAlloc, err = sub.SolveGreedy()
+			if err != nil {
+				return nil, nil, err
+			}
+			_ = res
+		}
+		subRep, err := sub.Evaluate(subAlloc)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.PerClass[c] = subRep
+		rep.TotalRateBps += subRep.TotalRateBps
+		if !subRep.AllQoSMet {
+			rep.AllQoSMet = false
+		}
+		for rb := 0; rb < to-from; rb++ {
+			if subAlloc.UserOf[rb] >= 0 {
+				alloc.UserOf[from+rb] = userIdx[subAlloc.UserOf[rb]]
+				alloc.PowerW[from+rb] = subAlloc.PowerW[rb]
+			}
+		}
+		from = to
+	}
+	return rep, alloc, nil
+}
+
+// OptimizeSlicing searches slice partitions exhaustively (the partition
+// space is O(RB²), tiny at this scale) and returns the best plan: maximal
+// total rate among QoS-feasible plans, or — when none is feasible — the
+// plan with the fewest QoS misses, rate as tie-break.
+func (p *Problem) OptimizeSlicing(nodeBudget int) (*SliceReport, *Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := p.Inst.Params.NumRBs
+	var bestRep *SliceReport
+	var bestAlloc *Allocation
+	bestKey := math.Inf(-1)
+	for e := 0; e <= n; e++ {
+		for u := 0; u+e <= n; u++ {
+			plan := SlicePlan{EMBB: e, URLLC: u, MMTC: n - e - u}
+			rep, alloc, err := p.EvaluateSlicing(plan, nodeBudget)
+			if err != nil {
+				return nil, nil, err
+			}
+			key := rep.TotalRateBps / 1e6
+			if rep.AllQoSMet {
+				key += 1e6 // feasible plans dominate all infeasible ones
+			}
+			if key > bestKey {
+				bestKey = key
+				bestRep = rep
+				bestAlloc = alloc
+			}
+		}
+	}
+	return bestRep, bestAlloc, nil
+}

@@ -1,0 +1,98 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSlicePlanValidation(t *testing.T) {
+	p := smallProblem(t, 3) // 6 RBs
+	if _, _, err := p.EvaluateSlicing(SlicePlan{EMBB: 2, URLLC: 2, MMTC: 1}, 1000); !errors.Is(err, ErrSlicing) {
+		t.Fatal("plan not covering all RBs should fail")
+	}
+	if _, _, err := p.EvaluateSlicing(SlicePlan{EMBB: 8, URLLC: -1, MMTC: -1}, 1000); !errors.Is(err, ErrSlicing) {
+		t.Fatal("negative slice should fail")
+	}
+}
+
+func TestEvaluateSlicingAggregates(t *testing.T) {
+	p := smallProblem(t, 4)
+	rep, alloc, err := p.EvaluateSlicing(SlicePlan{EMBB: 3, URLLC: 2, MMTC: 1}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRateBps <= 0 {
+		t.Fatal("no rate from sliced allocation")
+	}
+	// The stitched allocation must evaluate consistently on the full
+	// problem (same total rate).
+	full, err := p.Evaluate(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := full.TotalRateBps - rep.TotalRateBps; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("stitched allocation rate %v != aggregated %v", full.TotalRateBps, rep.TotalRateBps)
+	}
+	if full.BudgetViolated || full.SNRViolated {
+		t.Fatal("stitched allocation violates constraints")
+	}
+}
+
+func TestSlicingRespectsClassBoundaries(t *testing.T) {
+	p := smallProblem(t, 5)
+	_, alloc, err := p.EvaluateSlicing(SlicePlan{EMBB: 2, URLLC: 2, MMTC: 2}, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RBs 0-1 may only serve the eMBB user (index 0), 2-3 only URLLC
+	// (index 1), 4-5 only mMTC (index 2).
+	ranges := []struct {
+		from, to int
+		class    Class
+	}{{0, 2, ClassEMBB}, {2, 4, ClassURLLC}, {4, 6, ClassMMTC}}
+	for _, rg := range ranges {
+		for rb := rg.from; rb < rg.to; rb++ {
+			if u := alloc.UserOf[rb]; u >= 0 && p.Users[u].Class != rg.class {
+				t.Fatalf("RB %d (slice %v) serves user of class %v", rb, rg.class, p.Users[u].Class)
+			}
+		}
+	}
+}
+
+func TestOptimizeSlicingFindsFeasiblePlan(t *testing.T) {
+	p := smallProblem(t, 1)
+	rep, alloc, err := p.OptimizeSlicing(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || alloc == nil {
+		t.Fatal("no plan returned")
+	}
+	if rep.Plan.Total() != p.Inst.Params.NumRBs {
+		t.Fatalf("plan %+v does not cover the grid", rep.Plan)
+	}
+	// The optimizer's plan must be at least as good as the naive equal
+	// split on the feasibility-then-rate ordering.
+	equal, _, err := p.EvaluateSlicing(SlicePlan{EMBB: 2, URLLC: 2, MMTC: 2}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equal.AllQoSMet && !rep.AllQoSMet {
+		t.Fatal("optimizer returned infeasible plan although a feasible one exists")
+	}
+	if equal.AllQoSMet == rep.AllQoSMet && rep.TotalRateBps < equal.TotalRateBps-1e-6 {
+		t.Fatalf("optimizer plan (%v bps) worse than equal split (%v bps)",
+			rep.TotalRateBps, equal.TotalRateBps)
+	}
+}
+
+func TestSlicingZeroRBSliceFailsQoSWhenUsersExist(t *testing.T) {
+	p := smallProblem(t, 6)
+	rep, _, err := p.EvaluateSlicing(SlicePlan{EMBB: 0, URLLC: 3, MMTC: 3}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllQoSMet {
+		t.Fatal("eMBB user with zero RBs cannot meet QoS")
+	}
+}

@@ -1,0 +1,308 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+	"repro/internal/minlp"
+	"repro/internal/pso"
+)
+
+// SolveGreedy allocates RBs in two passes: first it serves unmet minimum
+// rates (each round giving the worst-satisfied user its best remaining
+// block at the highest admissible level), then it assigns leftover blocks
+// to whichever user/level pair adds the most rate within budget. It is the
+// baseline heuristic of the T5 experiment.
+func (p *Problem) SolveGreedy() (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nRB := p.Inst.Params.NumRBs
+	alloc := NewAllocation(nRB)
+	usedPower := make([]float64, len(p.Users))
+	rate := make([]float64, len(p.Users))
+	assigned := make([]bool, nRB)
+
+	bestLevel := func(u, rb int) (float64, bool) {
+		for i := len(p.Levels) - 1; i >= 0; i-- {
+			l := p.Levels[i]
+			if usedPower[u]+l <= p.PowerBudgetW && p.allowed(u, rb, l) {
+				return l, true
+			}
+		}
+		return 0, false
+	}
+
+	// Pass 1: satisfy minimum rates, most-deficient user first.
+	for {
+		worst, worstDef := -1, 0.0
+		for u, usr := range p.Users {
+			def := p.Reqs[usr.Class].MinRateBps - rate[u]
+			if def > worstDef {
+				worstDef = def
+				worst = u
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		bestRB, bestGain := -1, 0.0
+		var bestPw float64
+		for rb := 0; rb < nRB; rb++ {
+			if assigned[rb] {
+				continue
+			}
+			if l, ok := bestLevel(worst, rb); ok {
+				if g := p.Inst.RateBps(worst, rb, l); g > bestGain {
+					bestGain = g
+					bestRB = rb
+					bestPw = l
+				}
+			}
+		}
+		if bestRB < 0 {
+			break // cannot improve this user; give up on pass 1
+		}
+		assigned[bestRB] = true
+		alloc.UserOf[bestRB] = worst
+		alloc.PowerW[bestRB] = bestPw
+		usedPower[worst] += bestPw
+		rate[worst] += bestGain
+	}
+
+	// Pass 2: fill remaining blocks by marginal rate.
+	type cand struct {
+		rb, u int
+		pw    float64
+		gain  float64
+	}
+	for {
+		var cands []cand
+		for rb := 0; rb < nRB; rb++ {
+			if assigned[rb] {
+				continue
+			}
+			for u := range p.Users {
+				if l, ok := bestLevel(u, rb); ok {
+					cands = append(cands, cand{rb, u, l, p.Inst.RateBps(u, rb, l)})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+		c := cands[0]
+		assigned[c.rb] = true
+		alloc.UserOf[c.rb] = c.u
+		alloc.PowerW[c.rb] = c.pw
+		usedPower[c.u] += c.pw
+		rate[c.u] += c.gain
+	}
+	return alloc, nil
+}
+
+// milpColumns enumerates the admissible (user, rb, level) columns.
+type milpColumn struct {
+	u, rb, level int
+	rate         float64
+}
+
+func (p *Problem) milpColumns() []milpColumn {
+	var cols []milpColumn
+	for u := range p.Users {
+		for rb := 0; rb < p.Inst.Params.NumRBs; rb++ {
+			for li, l := range p.Levels {
+				if !p.allowed(u, rb, l) {
+					continue
+				}
+				cols = append(cols, milpColumn{u: u, rb: rb, level: li, rate: p.Inst.RateBps(u, rb, l)})
+			}
+		}
+	}
+	return cols
+}
+
+// SolveExact solves the discretized RRA exactly by branch and bound over
+// the binary column-selection MILP:
+//
+//	max  Σ rate_c x_c
+//	s.t. Σ_{c on rb} x_c <= 1            (one user+level per block)
+//	     Σ_{c of u} P_c x_c <= budget    (per-user power)
+//	     Σ_{c of u} rate_c x_c >= minRate(u)
+//
+// Returns the allocation, its report, and BnB statistics.
+func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cols := p.milpColumns()
+	n := len(cols)
+	prob := lp.Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Lo:        make([]float64, n),
+		Hi:        make([]float64, n),
+	}
+	ints := make([]int, n)
+	for i, c := range cols {
+		prob.Objective[i] = -c.rate // maximize
+		prob.Hi[i] = 1
+		ints[i] = i
+	}
+	// One column per RB.
+	for rb := 0; rb < p.Inst.Params.NumRBs; rb++ {
+		row := make([]float64, n)
+		any := false
+		for i, c := range cols {
+			if c.rb == rb {
+				row[i] = 1
+				any = true
+			}
+		}
+		if any {
+			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+		}
+	}
+	// Per-user power budget and minimum rate.
+	for u := range p.Users {
+		pRow := make([]float64, n)
+		rRow := make([]float64, n)
+		for i, c := range cols {
+			if c.u == u {
+				pRow[i] = p.Levels[c.level]
+				rRow[i] = c.rate
+			}
+		}
+		prob.Constraints = append(prob.Constraints,
+			lp.Constraint{Coeffs: pRow, Sense: lp.LE, RHS: p.PowerBudgetW},
+			lp.Constraint{Coeffs: rRow, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
+		)
+	}
+	// Warm start: if the greedy heuristic happens to produce a fully
+	// feasible solution of the discretized model, hand it to the BnB as an
+	// incumbent so dominated subtrees are pruned from the first node.
+	if o.Incumbent == nil {
+		if x0, obj0, ok := p.greedyIncumbent(cols); ok {
+			o.Incumbent = x0
+			o.IncumbentObj = obj0
+		}
+	}
+	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	if err != nil && !errors.Is(err, minlp.ErrBudget) {
+		return nil, res, fmt.Errorf("qos: exact solve: %w", err)
+	}
+	// StatusOptimal carries the proven optimum; StatusBudget carries the
+	// best incumbent found before the node budget ran out (res.BestBound
+	// quantifies the remaining gap). Both decode to an allocation.
+	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+		return nil, res, nil
+	}
+	alloc := NewAllocation(p.Inst.Params.NumRBs)
+	for i, c := range cols {
+		if res.X[i] > 0.5 {
+			alloc.UserOf[c.rb] = c.u
+			alloc.PowerW[c.rb] = p.Levels[c.level]
+		}
+	}
+	return alloc, res, nil
+}
+
+// greedyIncumbent maps the greedy allocation onto the MILP columns and
+// returns it when it satisfies every QoS/budget/SNR constraint.
+func (p *Problem) greedyIncumbent(cols []milpColumn) ([]float64, float64, bool) {
+	alloc, err := p.SolveGreedy()
+	if err != nil {
+		return nil, 0, false
+	}
+	rep, err := p.Evaluate(alloc)
+	if err != nil || !rep.AllQoSMet {
+		return nil, 0, false
+	}
+	x := make([]float64, len(cols))
+	var obj float64
+	matched := 0
+	needed := 0
+	for rb, u := range alloc.UserOf {
+		if u < 0 {
+			continue
+		}
+		needed++
+		for i, c := range cols {
+			if c.rb == rb && c.u == u && p.Levels[c.level] == alloc.PowerW[rb] {
+				x[i] = 1
+				obj -= c.rate
+				matched++
+				break
+			}
+		}
+	}
+	if matched != needed {
+		return nil, 0, false // greedy used a power outside the level grid
+	}
+	return x, obj, true
+}
+
+// SolvePSO solves the discretized RRA with particle swarm optimization:
+// one integer dimension per RB choosing (user+1)*levels combinations
+// (0 = unassigned), with QoS and budget violations penalized. This is the
+// metaheuristic arm of the T5 comparison.
+func (p *Problem) SolvePSO(opts pso.Options) (*Allocation, *pso.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nRB := p.Inst.Params.NumRBs
+	nU := len(p.Users)
+	nL := len(p.Levels)
+	combos := nU*nL + 1 // 0 = unassigned
+	dims := make([]pso.Dim, nRB)
+	for i := range dims {
+		dims[i] = pso.Dim{Lo: 0, Hi: float64(combos - 1), Integer: true}
+	}
+	if opts.Encoding == 0 {
+		opts.Encoding = pso.EncodingRounding
+	}
+	decode := func(x []float64) *Allocation {
+		a := NewAllocation(nRB)
+		for rb, v := range x {
+			c := int(v)
+			if c == 0 {
+				continue
+			}
+			c--
+			a.UserOf[rb] = c / nL
+			a.PowerW[rb] = p.Levels[c%nL]
+		}
+		return a
+	}
+	objective := func(x []float64) float64 {
+		a := decode(x)
+		rep, err := p.Evaluate(a)
+		if err != nil {
+			return math.Inf(1)
+		}
+		// Penalty-augmented negative rate (normalized to Mbps scale).
+		pen := 0.0
+		if rep.BudgetViolated {
+			pen += 50
+		}
+		if rep.SNRViolated {
+			pen += 50
+		}
+		for u, ok := range rep.QoSMet {
+			if !ok {
+				deficit := p.Reqs[p.Users[u].Class].MinRateBps - rep.RatePerUser[u]
+				pen += 10 + deficit/1e6
+			}
+		}
+		return -rep.TotalRateBps/1e6 + pen
+	}
+	res, err := pso.Minimize(&pso.Problem{Dims: dims, Eval: objective}, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qos: pso solve: %w", err)
+	}
+	return decode(res.X), res, nil
+}

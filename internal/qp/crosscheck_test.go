@@ -1,0 +1,118 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/opt"
+	"repro/internal/rng"
+)
+
+// TestBarrierMatchesProjectedGradient cross-checks the interior-point QP
+// against the projected-gradient solver from the opt package on random
+// box-constrained strongly convex QPs.
+func TestBarrierMatchesProjectedGradient(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(3)
+		d := make([]float64, n)
+		q := make([]float64, n)
+		for i := range d {
+			d[i] = 1 + 3*r.Float64()
+			q[i] = 3 * r.Norm()
+		}
+		lo, hi := -1.0, 1.0
+
+		// Barrier formulation with box as affine inequalities.
+		p := &Problem{F0: Quad{P: mat.Diag(d), Q: q}}
+		for i := 0; i < n; i++ {
+			up := make([]float64, n)
+			up[i] = 1
+			p.Ineq = append(p.Ineq, Quad{Q: up, R: -hi})
+			dn := make([]float64, n)
+			dn[i] = -1
+			p.Ineq = append(p.Ineq, Quad{Q: dn, R: lo})
+		}
+		barrier, err := Solve(p, make([]float64, n), Options{})
+		if err != nil {
+			return false
+		}
+
+		// Projected gradient on the same problem.
+		obj := opt.Objective{
+			F: func(x []float64) float64 {
+				var s float64
+				for i := range x {
+					s += 0.5*d[i]*x[i]*x[i] + q[i]*x[i]
+				}
+				return s
+			},
+			Grad: func(x, g []float64) {
+				for i := range x {
+					g[i] = d[i]*x[i] + q[i]
+				}
+			},
+		}
+		loV := make([]float64, n)
+		hiV := make([]float64, n)
+		for i := range loV {
+			loV[i] = lo
+			hiV[i] = hi
+		}
+		pg, err := opt.ProjectedGradient(obj, make([]float64, n), loV, hiV,
+			opt.Options{MaxIter: 30000, GradTol: 1e-10})
+		if err != nil && !errors.Is(err, opt.ErrMaxIter) {
+			// An exhausted iteration budget still returns the best
+			// iterate, which is accurate enough for the comparison.
+			return false
+		}
+		// Projected gradient converges linearly near active bounds, so the
+		// comparison tolerance is generous; the point of the test is that
+		// two unrelated solvers agree on the same optimum.
+		for i := range pg.X {
+			if math.Abs(pg.X[i]-barrier.X[i]) > 5e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQCQPStationarity: at an interior barrier solution the objective
+// gradient must (numerically) vanish; at a boundary solution it must point
+// outward along the active constraint's gradient (KKT with a nonnegative
+// multiplier).
+func TestQCQPStationarity(t *testing.T) {
+	p := &Problem{
+		F0: Quad{Q: []float64{-1, -2}},
+		Ineq: []Quad{
+			{P: mat.Diag([]float64{2, 2}), Q: []float64{0, 0}, R: -1}, // ||x||² <= 1
+		},
+	}
+	res, err := Solve(p, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KKT: ∇f0 + λ∇g = 0 with g active → (-1,-2) + λ·2x = 0 → x ∝ (1,2)/λ,
+	// on the unit circle → x = (1,2)/√5.
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-4 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+	// Multiplier recovery: λ = 1/(2x₁) must make both KKT rows vanish.
+	lambda := 1 / (2 * res.X[0])
+	if lambda < 0 {
+		t.Fatalf("negative multiplier %v", lambda)
+	}
+	if r2 := -2 + lambda*2*res.X[1]; math.Abs(r2) > 1e-3 {
+		t.Fatalf("KKT residual on row 2: %v", r2)
+	}
+}

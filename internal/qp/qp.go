@@ -1,0 +1,393 @@
+// Package qp solves convex quadratic programs and quadratically constrained
+// quadratic programs (the paper's Eq. 7) with a log-barrier interior-point
+// method. The QCQP is the workhorse "step-down" problem class the paper
+// places between the nonconvex MINLP and the SDP relaxation: every
+// constraint matrix Pᵢ must be positive semidefinite for the problem to be
+// convex, and the solver verifies this on request.
+//
+// A phase-1 routine produces the strictly feasible start the barrier needs,
+// by minimizing an infeasibility slack with the same machinery.
+package qp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrInfeasible is returned when phase 1 cannot find a strictly feasible
+// point.
+var ErrInfeasible = errors.New("qp: problem is infeasible")
+
+// ErrNotConvex is returned by CheckConvex when some Pᵢ is not PSD.
+var ErrNotConvex = errors.New("qp: constraint matrix is not positive semidefinite")
+
+// Quad is the quadratic form f(x) = ½ xᵀPx + qᵀx + r. P may be nil for an
+// affine function. P is treated as symmetric.
+type Quad struct {
+	P *mat.Matrix
+	Q []float64
+	R float64
+}
+
+// Eval returns f(x).
+func (f *Quad) Eval(x []float64) float64 {
+	v := f.R
+	for i, qi := range f.Q {
+		v += qi * x[i]
+	}
+	if f.P != nil {
+		px, _ := f.P.MulVec(x)
+		v += 0.5 * mat.VecDot(x, px)
+	}
+	return v
+}
+
+// Grad writes ∇f(x) = Px + q into g.
+func (f *Quad) Grad(x, g []float64) {
+	for i := range g {
+		g[i] = 0
+	}
+	copy(g, f.Q)
+	if f.P != nil {
+		px, _ := f.P.MulVec(x)
+		for i := range g {
+			g[i] += px[i]
+		}
+	}
+}
+
+// Problem is the QCQP
+//
+//	minimize   F0(x)
+//	subject to Ineq[i](x) <= 0
+//	           A x = B        (optional; A nil means no equalities)
+type Problem struct {
+	F0   Quad
+	Ineq []Quad
+	A    *mat.Matrix
+	B    []float64
+}
+
+// CheckConvex verifies that the objective and every constraint matrix is
+// positive semidefinite to within tol.
+func (p *Problem) CheckConvex(tol float64) error {
+	check := func(m *mat.Matrix, what string) error {
+		if m == nil {
+			return nil
+		}
+		ok, err := mat.IsPSD(m.Clone().Symmetrize(), tol)
+		if err != nil {
+			return fmt.Errorf("qp: psd check of %s: %w", what, err)
+		}
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNotConvex, what)
+		}
+		return nil
+	}
+	if err := check(p.F0.P, "objective"); err != nil {
+		return err
+	}
+	for i := range p.Ineq {
+		if err := check(p.Ineq[i].P, fmt.Sprintf("constraint %d", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options configures the barrier method. Zero fields take defaults.
+type Options struct {
+	T0       float64 // initial barrier weight, default 1
+	Mu       float64 // barrier growth factor, default 10
+	Tol      float64 // duality-gap style tolerance m/t, default 1e-8
+	NewtonIt int     // Newton iterations per centering step, default 50
+}
+
+func (o Options) withDefaults() Options {
+	if o.T0 == 0 {
+		o.T0 = 1
+	}
+	if o.Mu == 0 {
+		o.Mu = 10
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.NewtonIt == 0 {
+		o.NewtonIt = 50
+	}
+	return o
+}
+
+// Result is the solver output.
+type Result struct {
+	X         []float64
+	Objective float64
+	// Iterations counts total Newton steps across all centering stages.
+	Iterations int
+}
+
+// Solve minimizes the problem starting from the strictly feasible x0.
+// If x0 is nil, a phase-1 search is run first. The problem must be convex;
+// Solve does not re-verify PSD-ness (call CheckConvex when in doubt).
+func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
+	o = o.withDefaults()
+	n := len(p.F0.Q)
+	if n == 0 && p.F0.P != nil {
+		n = p.F0.P.Rows
+	}
+	if x0 == nil {
+		var err error
+		x0, err = Phase1(p, n, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range p.Ineq {
+		if c.Eval(x0) >= 0 {
+			return nil, fmt.Errorf("qp: start violates constraint %d (value %g); need strict feasibility", i, c.Eval(x0))
+		}
+	}
+	x := append([]float64(nil), x0...)
+	m := len(p.Ineq)
+	res := &Result{}
+	t := o.T0
+	for {
+		it, err := center(p, x, t, o.NewtonIt)
+		res.Iterations += it
+		if err != nil {
+			return nil, err
+		}
+		if m == 0 || float64(m)/t < o.Tol {
+			break
+		}
+		t *= o.Mu
+		if t > 1e16 {
+			break
+		}
+	}
+	res.X = x
+	res.Objective = p.F0.Eval(x)
+	return res, nil
+}
+
+// center Newton-minimizes t·F0(x) - Σ log(-fᵢ(x)) subject to Ax=b, updating
+// x in place. It returns the number of Newton iterations used.
+func center(p *Problem, x []float64, t float64, maxIt int) (int, error) {
+	n := len(x)
+	g := make([]float64, n)
+	gi := make([]float64, n)
+	for it := 0; it < maxIt; it++ {
+		// Gradient and Hessian of the barrier-augmented objective.
+		h := mat.New(n, n)
+		if p.F0.P != nil {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					h.Set(i, j, t*0.5*(p.F0.P.At(i, j)+p.F0.P.At(j, i)))
+				}
+			}
+		}
+		p.F0.Grad(x, g)
+		for i := range g {
+			g[i] *= t
+		}
+		for ci := range p.Ineq {
+			c := &p.Ineq[ci]
+			fi := c.Eval(x)
+			if fi >= 0 {
+				return it, fmt.Errorf("qp: iterate left the feasible region at constraint %d", ci)
+			}
+			inv := -1 / fi // = 1/(-fi) > 0
+			c.Grad(x, gi)
+			for i := range g {
+				g[i] += inv * gi[i]
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := inv * inv * gi[i] * gi[j]
+					if c.P != nil {
+						v += inv * 0.5 * (c.P.At(i, j) + c.P.At(j, i))
+					}
+					h.Add(i, j, v)
+				}
+			}
+		}
+		// Newton step via the KKT system when equalities are present.
+		var dx []float64
+		var err error
+		if p.A != nil && p.A.Rows > 0 {
+			dx, err = kktStep(h, p.A, g)
+		} else {
+			// Regularize lightly for safety.
+			for i := 0; i < n; i++ {
+				h.Add(i, i, 1e-12)
+			}
+			dx, err = mat.Solve(h, mat.VecScale(-1, g))
+		}
+		if err != nil {
+			return it, fmt.Errorf("qp: newton step: %w", err)
+		}
+		lambda2 := -mat.VecDot(g, dx)
+		if lambda2/2 < 1e-12 {
+			return it, nil
+		}
+		// Backtracking line search preserving strict feasibility.
+		step := 1.0
+		phi0 := barrierValue(p, x, t)
+		for ls := 0; ls < 60; ls++ {
+			trial := mat.VecAdd(x, step, dx)
+			if strictlyFeasible(p, trial) && barrierValue(p, trial, t) <= phi0-1e-4*step*lambda2 {
+				copy(x, trial)
+				break
+			}
+			step *= 0.5
+			if ls == 59 {
+				return it, nil // cannot improve further
+			}
+		}
+	}
+	return maxIt, nil
+}
+
+func strictlyFeasible(p *Problem, x []float64) bool {
+	for i := range p.Ineq {
+		if p.Ineq[i].Eval(x) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func barrierValue(p *Problem, x []float64, t float64) float64 {
+	v := t * p.F0.Eval(x)
+	for i := range p.Ineq {
+		fi := p.Ineq[i].Eval(x)
+		if fi >= 0 {
+			return math.Inf(1)
+		}
+		v -= math.Log(-fi)
+	}
+	return v
+}
+
+// kktStep solves [H Aᵀ; A 0] [dx; w] = [-g; 0] and returns dx. The
+// residual A·dx = 0 keeps equality-feasible iterates equality-feasible.
+func kktStep(h, a *mat.Matrix, g []float64) ([]float64, error) {
+	n := h.Rows
+	m := a.Rows
+	k := mat.New(n+m, n+m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k.Set(i, j, h.At(i, j))
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			k.Set(n+i, j, a.At(i, j))
+			k.Set(j, n+i, a.At(i, j))
+		}
+	}
+	rhs := make([]float64, n+m)
+	for i := 0; i < n; i++ {
+		rhs[i] = -g[i]
+	}
+	sol, err := mat.Solve(k, rhs)
+	if err != nil {
+		return nil, err
+	}
+	return sol[:n], nil
+}
+
+// Phase1 finds a strictly feasible point for p's inequality system by
+// minimizing a slack s with fᵢ(x) - s <= 0 from the trivially feasible
+// start (x=0, s = max fᵢ(0) + 1). It stops as soon as s < 0 and returns
+// ErrInfeasible if the optimal slack is nonnegative.
+func Phase1(p *Problem, n int, o Options) ([]float64, error) {
+	if len(p.Ineq) == 0 {
+		x := make([]float64, n)
+		if p.A != nil && p.A.Rows > 0 {
+			sol, err := leastNorm(p.A, p.B)
+			if err != nil {
+				return nil, fmt.Errorf("qp: phase 1 equality solve: %w", err)
+			}
+			copy(x, sol)
+		}
+		return x, nil
+	}
+	// Extended problem over (x, s).
+	ext := &Problem{
+		F0: Quad{Q: appendOne(make([]float64, n), 1)}, // minimize s
+	}
+	for i := range p.Ineq {
+		c := p.Ineq[i]
+		q := make([]float64, n+1)
+		copy(q, c.Q)
+		q[n] = -1 // ... - s <= 0
+		var pm *mat.Matrix
+		if c.P != nil {
+			pm = mat.New(n+1, n+1)
+			for r := 0; r < n; r++ {
+				for cc := 0; cc < n; cc++ {
+					pm.Set(r, cc, c.P.At(r, cc))
+				}
+			}
+		}
+		ext.Ineq = append(ext.Ineq, Quad{P: pm, Q: q, R: c.R})
+	}
+	if p.A != nil && p.A.Rows > 0 {
+		ea := mat.New(p.A.Rows, n+1)
+		for i := 0; i < p.A.Rows; i++ {
+			for j := 0; j < n; j++ {
+				ea.Set(i, j, p.A.At(i, j))
+			}
+		}
+		ext.A = ea
+		ext.B = p.B
+	}
+	x0 := make([]float64, n+1)
+	if p.A != nil && p.A.Rows > 0 {
+		// The barrier's Newton step preserves Ax=b only if the start
+		// satisfies it, so seed with the least-norm equality solution.
+		sol, err := leastNorm(p.A, p.B)
+		if err != nil {
+			return nil, fmt.Errorf("qp: phase 1 equality solve: %w", err)
+		}
+		copy(x0, sol)
+	}
+	var maxF float64 = math.Inf(-1)
+	for i := range p.Ineq {
+		if v := p.Ineq[i].Eval(x0[:n]); v > maxF {
+			maxF = v
+		}
+	}
+	x0[n] = maxF + 1
+	res, err := Solve(ext, x0, o)
+	if err != nil {
+		return nil, fmt.Errorf("qp: phase 1: %w", err)
+	}
+	if res.X[n] >= -1e-10 {
+		return nil, fmt.Errorf("%w: minimal slack %g", ErrInfeasible, res.X[n])
+	}
+	return res.X[:n], nil
+}
+
+func appendOne(xs []float64, v float64) []float64 {
+	return append(xs, v)
+}
+
+// leastNorm returns the minimum-norm solution x = Aᵀ(AAᵀ)⁻¹b of Ax=b.
+func leastNorm(a *mat.Matrix, b []float64) ([]float64, error) {
+	at := a.T()
+	aat, err := a.Mul(at)
+	if err != nil {
+		return nil, err
+	}
+	z, err := mat.Solve(aat, b)
+	if err != nil {
+		return nil, err
+	}
+	return at.MulVec(z)
+}

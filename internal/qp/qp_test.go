@@ -1,0 +1,246 @@
+package qp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func near(t *testing.T, got, want, tolerance float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tolerance {
+		t.Fatalf("%s = %v, want %v (tol %v)", what, got, want, tolerance)
+	}
+}
+
+func TestUnconstrainedQP(t *testing.T) {
+	// min ½xᵀdiag(2,4)x - [2,8]ᵀx  → x = (1, 2).
+	p := &Problem{
+		F0: Quad{P: mat.Diag([]float64{2, 4}), Q: []float64{-2, -8}},
+	}
+	res, err := Solve(p, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, res.X[0], 1, 1e-6, "x0")
+	near(t, res.X[1], 2, 1e-6, "x1")
+}
+
+func TestQPWithActiveLinearConstraint(t *testing.T) {
+	// min ½||x||² s.t. x1 + x2 >= 2 (i.e. 2 - x1 - x2 <= 0).
+	// Optimum x = (1, 1).
+	p := &Problem{
+		F0: Quad{P: mat.Identity(2), Q: []float64{0, 0}},
+		Ineq: []Quad{
+			{Q: []float64{-1, -1}, R: 2},
+		},
+	}
+	res, err := Solve(p, []float64{3, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, res.X[0], 1, 1e-5, "x0")
+	near(t, res.X[1], 1, 1e-5, "x1")
+	near(t, res.Objective, 1, 1e-5, "objective")
+}
+
+func TestQPWithEquality(t *testing.T) {
+	// min ½||x||² s.t. x1 + 2x2 = 3. Optimum x = (3/5, 6/5).
+	a, _ := mat.FromRows([][]float64{{1, 2}})
+	p := &Problem{
+		F0: Quad{P: mat.Identity(2), Q: []float64{0, 0}},
+		A:  a,
+		B:  []float64{3},
+	}
+	res, err := Solve(p, []float64{3, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, res.X[0], 0.6, 1e-6, "x0")
+	near(t, res.X[1], 1.2, 1e-6, "x1")
+}
+
+func TestQCQPBallConstraint(t *testing.T) {
+	// min -x1 - x2 s.t. ½xᵀ(2I)x - 1 <= 0 (i.e. ||x||² <= 1).
+	// Optimum x = (1/√2, 1/√2), objective -√2.
+	p := &Problem{
+		F0: Quad{Q: []float64{-1, -1}},
+		Ineq: []Quad{
+			{P: mat.Diag([]float64{2, 2}), Q: []float64{0, 0}, R: -1},
+		},
+	}
+	res, err := Solve(p, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 1 / math.Sqrt2
+	near(t, res.X[0], s, 1e-4, "x0")
+	near(t, res.X[1], s, 1e-4, "x1")
+	near(t, res.Objective, -math.Sqrt2, 1e-5, "objective")
+}
+
+func TestQCQPTwoBalls(t *testing.T) {
+	// min -x1 with two unit balls centered at 0 and (1,0):
+	// feasible lens; optimum at x=(1,0)... constrained also by first ball
+	// ||x||<=1 → x=(1,0) boundary of both. Objective -1.
+	p := &Problem{
+		F0: Quad{Q: []float64{-1, 0}},
+		Ineq: []Quad{
+			{P: mat.Diag([]float64{2, 2}), Q: []float64{0, 0}, R: -1},
+			{P: mat.Diag([]float64{2, 2}), Q: []float64{-2, 0}, R: 0}, // ||x-(1,0)||²<=1
+		},
+	}
+	res, err := Solve(p, []float64{0.5, 0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, res.X[0], 1, 1e-3, "x0")
+	near(t, res.X[1], 0, 1e-3, "x1")
+}
+
+func TestPhase1FindsFeasible(t *testing.T) {
+	// Feasible region: x in [1, 2] via two affine constraints.
+	p := &Problem{
+		F0: Quad{Q: []float64{1}},
+		Ineq: []Quad{
+			{Q: []float64{-1}, R: 1}, // 1 - x <= 0
+			{Q: []float64{1}, R: -2}, // x - 2 <= 0
+		},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, res.X[0], 1, 1e-5, "x")
+}
+
+func TestPhase1Infeasible(t *testing.T) {
+	p := &Problem{
+		F0: Quad{Q: []float64{1}},
+		Ineq: []Quad{
+			{Q: []float64{1}, R: -1}, // x <= 1
+			{Q: []float64{-1}, R: 3}, // x >= 3
+		},
+	}
+	_, err := Solve(p, nil, Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestStartMustBeStrictlyFeasible(t *testing.T) {
+	p := &Problem{
+		F0:   Quad{Q: []float64{1}},
+		Ineq: []Quad{{Q: []float64{1}, R: -1}},
+	}
+	if _, err := Solve(p, []float64{2}, Options{}); err == nil {
+		t.Fatal("want error for infeasible start")
+	}
+}
+
+func TestCheckConvex(t *testing.T) {
+	indef, _ := mat.FromRows([][]float64{{1, 2}, {2, 1}})
+	p := &Problem{
+		F0:   Quad{P: mat.Identity(2), Q: []float64{0, 0}},
+		Ineq: []Quad{{P: indef, Q: []float64{0, 0}, R: -1}},
+	}
+	if err := p.CheckConvex(1e-9); !errors.Is(err, ErrNotConvex) {
+		t.Fatalf("want ErrNotConvex, got %v", err)
+	}
+	p.Ineq[0].P = mat.Identity(2)
+	if err := p.CheckConvex(1e-9); err != nil {
+		t.Fatalf("convex problem rejected: %v", err)
+	}
+}
+
+func TestQuadEvalGrad(t *testing.T) {
+	f := Quad{P: mat.Diag([]float64{2, 6}), Q: []float64{1, -1}, R: 3}
+	x := []float64{2, -1}
+	// ½(2·4 + 6·1) + (2 + 1) + 3 = 7 + 3 + 3 = 13
+	near(t, f.Eval(x), 13, 1e-12, "eval")
+	g := make([]float64, 2)
+	f.Grad(x, g)
+	near(t, g[0], 5, 1e-12, "g0")  // 2·2 + 1
+	near(t, g[1], -7, 1e-12, "g1") // 6·(-1) - 1
+}
+
+// TestRandomQPAgainstKKT builds random strongly convex QPs with a single
+// active affine constraint set and validates stationarity of the returned
+// point via the KKT residual.
+func TestRandomQPAgainstKKT(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(3)
+		d := make([]float64, n)
+		q := make([]float64, n)
+		for i := range d {
+			d[i] = 1 + 4*r.Float64()
+			q[i] = r.Norm()
+		}
+		p := &Problem{F0: Quad{P: mat.Diag(d), Q: q}}
+		// Box |x_i| <= 10 keeps it compact (never active at optimum here
+		// because the unconstrained optimum is small).
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			p.Ineq = append(p.Ineq, Quad{Q: row, R: -10})
+			neg := make([]float64, n)
+			neg[i] = -1
+			p.Ineq = append(p.Ineq, Quad{Q: neg, R: -10})
+		}
+		x0 := make([]float64, n)
+		res, err := Solve(p, x0, Options{})
+		if err != nil {
+			return false
+		}
+		// Interior optimum: x* = -q/d elementwise.
+		for i := range d {
+			want := -q[i] / d[i]
+			if math.Abs(res.X[i]-want) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhase1WithEqualities(t *testing.T) {
+	// Feasible: x1 + x2 = 4 with x1 <= 3, x2 <= 3 → e.g. (2, 2) inside.
+	a, _ := mat.FromRows([][]float64{{1, 1}})
+	p := &Problem{
+		F0: Quad{Q: []float64{1, 0}},
+		Ineq: []Quad{
+			{Q: []float64{1, 0}, R: -3},
+			{Q: []float64{0, 1}, R: -3},
+		},
+		A: a,
+		B: []float64{4},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, res.X[0]+res.X[1], 4, 1e-6, "equality residual")
+	// min x1 → x1 = 1 (since x2 <= 3).
+	near(t, res.X[0], 1, 1e-4, "x0")
+}
+
+func BenchmarkQCQP(b *testing.B) {
+	p := &Problem{
+		F0: Quad{Q: []float64{-1, -1}},
+		Ineq: []Quad{
+			{P: mat.Diag([]float64{2, 2}), Q: []float64{0, 0}, R: -1},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Solve(p, []float64{0, 0}, Options{})
+	}
+}

@@ -1,0 +1,44 @@
+package relax_test
+
+import (
+	"fmt"
+
+	"repro/internal/relax"
+)
+
+// ExampleMcCormick shows the bilinear envelope sandwiching w = x·y.
+func ExampleMcCormick() {
+	under, over, err := relax.McCormick(
+		relax.Interval{Lo: 0, Hi: 2},
+		relax.Interval{Lo: 1, Hi: 3},
+	)
+	if err != nil {
+		panic(err)
+	}
+	x, y := 1.0, 2.0
+	w := x * y
+	lo, hi := under[0].Eval(x, y), over[0].Eval(x, y)
+	for _, u := range under[1:] {
+		if v := u.Eval(x, y); v > lo {
+			lo = v
+		}
+	}
+	for _, o := range over[1:] {
+		if v := o.Eval(x, y); v < hi {
+			hi = v
+		}
+	}
+	fmt.Printf("%.1f <= %.1f <= %.1f\n", lo, w, hi)
+	// Output: 1.0 <= 2.0 <= 3.0
+}
+
+// ExampleNewReLURelaxation shows the triangle relaxation of an unstable
+// neuron.
+func ExampleNewReLURelaxation() {
+	r, err := relax.NewReLURelaxation(relax.Interval{Lo: -1, Hi: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kind=%v upper(0)=%.2f gap=%.2f\n", r.Kind == relax.ReLUUnstable, r.UpperAt(0), r.AreaGap())
+	// Output: kind=true upper(0)=0.75 gap=1.50
+}

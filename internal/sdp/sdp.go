@@ -1,0 +1,252 @@
+// Package sdp solves semidefinite programs in standard form,
+//
+//	minimize    ⟨C, X⟩
+//	subject to  ⟨Aᵢ, X⟩ = bᵢ    i = 1..m
+//	            X ⪰ 0,
+//
+// with an ADMM splitting: the affine part is handled by projection onto
+// {X : A(X)=b} (one Cholesky of the constraint Gram matrix, reused every
+// iteration) and the conic part by eigenvalue clipping (mat.ProjectPSD).
+// This is the solver class the paper reaches for once the nonconvex QCQP
+// has been relaxed — "there are numerous SDP solvers (e.g., SDPT3 ...)
+// available for these types of problems" — at laptop scale.
+package sdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrDimension is returned when problem matrices disagree in size.
+var ErrDimension = errors.New("sdp: dimension mismatch")
+
+// ErrNoProgress is returned when ADMM stalls before reaching tolerance.
+var ErrNoProgress = errors.New("sdp: solver failed to converge")
+
+// Problem is a standard-form SDP. All matrices are n×n and treated as
+// symmetric.
+type Problem struct {
+	C *mat.Matrix
+	A []*mat.Matrix
+	B []float64
+}
+
+// Options configures the ADMM solver. Zero fields take defaults.
+type Options struct {
+	Rho     float64 // penalty parameter, default 1
+	Tol     float64 // primal/dual residual tolerance, default 1e-7
+	MaxIter int     // default 5000
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rho == 0 {
+		o.Rho = 1
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-7
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 5000
+	}
+	return o
+}
+
+// Result is the solver output.
+type Result struct {
+	X          *mat.Matrix
+	Objective  float64
+	Iterations int
+	PrimalRes  float64
+	DualRes    float64
+	// Y are the equality multipliers recovered from the ADMM iterates;
+	// together with S = C - Σ yᵢAᵢ ⪰ 0 they form a dual certificate:
+	// DualObjective = bᵀy lower-bounds the primal optimum (weak duality)
+	// up to DualFeasError.
+	Y             []float64
+	DualObjective float64
+	// DualFeasError is max(0, -λmin(S)): how far the recovered slack is
+	// from the PSD cone. Zero (to tolerance) at convergence.
+	DualFeasError float64
+}
+
+// Solve runs ADMM on the problem. The returned X is symmetric and PSD to
+// within tolerance; equality constraints hold to within the primal
+// residual. A wrapped ErrNoProgress is returned (with the best iterate)
+// when MaxIter is exhausted above tolerance.
+func Solve(p *Problem, o Options) (*Result, error) {
+	o = o.withDefaults()
+	if p.C == nil || p.C.Rows != p.C.Cols {
+		return nil, fmt.Errorf("%w: C must be square", ErrDimension)
+	}
+	n := p.C.Rows
+	if len(p.A) != len(p.B) {
+		return nil, fmt.Errorf("%w: %d constraint matrices, %d rhs", ErrDimension, len(p.A), len(p.B))
+	}
+	for i, a := range p.A {
+		if a.Rows != n || a.Cols != n {
+			return nil, fmt.Errorf("%w: A[%d] is %dx%d, want %dx%d", ErrDimension, i, a.Rows, a.Cols, n, n)
+		}
+	}
+	m := len(p.A)
+
+	// Precompute the Gram matrix G[i][j] = ⟨Aᵢ, Aⱼ⟩ and its Cholesky.
+	var chol *mat.Matrix
+	if m > 0 {
+		g := mat.New(m, m)
+		for i := 0; i < m; i++ {
+			for j := i; j < m; j++ {
+				v := inner(p.A[i], p.A[j])
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		}
+		// Tiny ridge guards against linearly dependent constraints.
+		for i := 0; i < m; i++ {
+			g.Add(i, i, 1e-12)
+		}
+		var err error
+		chol, err = mat.Cholesky(g)
+		if err != nil {
+			return nil, fmt.Errorf("sdp: constraint Gram factorization: %w", err)
+		}
+	}
+
+	cSym := p.C.Clone().Symmetrize()
+	x := mat.New(n, n)
+	z := mat.New(n, n)
+	u := mat.New(n, n)
+	res := &Result{}
+
+	var lastLam []float64
+	projAffine := func(v *mat.Matrix) (*mat.Matrix, error) {
+		if m == 0 {
+			return v, nil
+		}
+		// X = V - Σ λᵢ Aᵢ with G λ = A(V) - b.
+		r := make([]float64, m)
+		for i := 0; i < m; i++ {
+			r[i] = inner(p.A[i], v) - p.B[i]
+		}
+		lam, err := mat.CholSolve(chol, r)
+		if err != nil {
+			return nil, err
+		}
+		lastLam = lam
+		out := v.Clone()
+		for i := 0; i < m; i++ {
+			for k := range out.Data {
+				out.Data[k] -= lam[i] * p.A[i].Data[k]
+			}
+		}
+		return out, nil
+	}
+
+	for it := 0; it < o.MaxIter; it++ {
+		// X-update: argmin ⟨C,X⟩ + ρ/2 ||X - Z + U||² s.t. A(X)=b
+		// = Proj_affine(Z - U - C/ρ).
+		v := z.Clone()
+		for k := range v.Data {
+			v.Data[k] += -u.Data[k] - cSym.Data[k]/o.Rho
+		}
+		var err error
+		x, err = projAffine(v)
+		if err != nil {
+			return nil, fmt.Errorf("sdp: affine projection: %w", err)
+		}
+		x.Symmetrize()
+
+		// Z-update: PSD projection of X + U.
+		zPrev := z
+		w := x.Clone()
+		for k := range w.Data {
+			w.Data[k] += u.Data[k]
+		}
+		z, err = mat.ProjectPSD(w)
+		if err != nil {
+			return nil, fmt.Errorf("sdp: psd projection: %w", err)
+		}
+
+		// U-update.
+		for k := range u.Data {
+			u.Data[k] += x.Data[k] - z.Data[k]
+		}
+
+		primal := frobDiff(x, z)
+		dual := o.Rho * frobDiff(z, zPrev)
+		res.Iterations = it + 1
+		res.PrimalRes = primal
+		res.DualRes = dual
+		if primal < o.Tol && dual < o.Tol {
+			res.X = z
+			res.Objective = inner(cSym, z)
+			fillDual(res, p, cSym, lastLam, o.Rho)
+			return res, nil
+		}
+	}
+	res.X = z
+	res.Objective = inner(cSym, z)
+	fillDual(res, p, cSym, lastLam, o.Rho)
+	return res, fmt.Errorf("%w: primal %g dual %g after %d iterations",
+		ErrNoProgress, res.PrimalRes, res.DualRes, res.Iterations)
+}
+
+// fillDual recovers the dual certificate from the last affine projection:
+// the ADMM X-update's stationarity gives the equality multipliers
+// μ = ρ·λ, so y = -ρ·λ satisfies Σ yᵢAᵢ + S = C with S the (approximate)
+// dual slack whose PSD defect we report.
+func fillDual(res *Result, p *Problem, cSym *mat.Matrix, lam []float64, rho float64) {
+	if lam == nil {
+		return
+	}
+	res.Y = make([]float64, len(lam))
+	for i, l := range lam {
+		res.Y[i] = -rho * l
+	}
+	var dualObj float64
+	slack := cSym.Clone()
+	for i, y := range res.Y {
+		dualObj += y * p.B[i]
+		for k := range slack.Data {
+			slack.Data[k] -= y * p.A[i].Data[k]
+		}
+	}
+	res.DualObjective = dualObj
+	if lo, err := mat.MinEigenvalue(slack.Symmetrize()); err == nil && lo < 0 {
+		res.DualFeasError = -lo
+	}
+}
+
+// inner returns the Frobenius inner product ⟨a, b⟩ = Σ aᵢⱼ bᵢⱼ.
+func inner(a, b *mat.Matrix) float64 {
+	var s float64
+	for k := range a.Data {
+		s += a.Data[k] * b.Data[k]
+	}
+	return s
+}
+
+func frobDiff(a, b *mat.Matrix) float64 {
+	var s float64
+	for k := range a.Data {
+		d := a.Data[k] - b.Data[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// BasisElem returns the symmetric basis matrix Eᵢⱼ used to pin entry (i,j):
+// for i == j it has a single 1 at (i,i); for i != j it has ½ at (i,j) and
+// (j,i) so that ⟨Eᵢⱼ, X⟩ = Xᵢⱼ for symmetric X.
+func BasisElem(n, i, j int) *mat.Matrix {
+	e := mat.New(n, n)
+	if i == j {
+		e.Set(i, i, 1)
+	} else {
+		e.Set(i, j, 0.5)
+		e.Set(j, i, 0.5)
+	}
+	return e
+}

@@ -1,0 +1,244 @@
+package sdp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func TestDiagonalSDPIsLP(t *testing.T) {
+	// min x11 + 2x22 s.t. x11 + x22 = 1, X PSD. With diagonal structure the
+	// optimum puts all mass on x11: X = diag(1, 0), objective 1.
+	p := &Problem{
+		C: mat.Diag([]float64{1, 2}),
+		A: []*mat.Matrix{mat.Identity(2)},
+		B: []float64{1},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-1) > 1e-5 {
+		t.Fatalf("objective = %v, want 1", res.Objective)
+	}
+	if math.Abs(res.X.At(0, 0)-1) > 1e-4 || math.Abs(res.X.At(1, 1)) > 1e-4 {
+		t.Fatalf("X = \n%v", res.X)
+	}
+}
+
+func TestPSDOfResult(t *testing.T) {
+	r := rng.New(1)
+	n := 4
+	c := mat.New(n, n)
+	for i := range c.Data {
+		c.Data[i] = r.Norm()
+	}
+	c.Symmetrize()
+	p := &Problem{
+		C: c,
+		A: []*mat.Matrix{mat.Identity(n)},
+		B: []float64{2},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := mat.IsPSD(res.X, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("result is not PSD")
+	}
+	tr, _ := res.X.Trace()
+	if math.Abs(tr-2) > 1e-5 {
+		t.Fatalf("trace = %v, want 2", tr)
+	}
+}
+
+// TestMinTraceWithFixedOffDiagonals is the paper's TMP (Eq. 9) in miniature:
+// minimize tr(X) subject to fixed off-diagonal entries and X PSD. With
+// X12 = X21 = 1 fixed, the optimum is X = [[1,1],[1,1]] (trace 2): the
+// smallest diagonal completing a PSD matrix with unit off-diagonal.
+func TestMinTraceWithFixedOffDiagonals(t *testing.T) {
+	p := &Problem{
+		C: mat.Identity(2),
+		A: []*mat.Matrix{BasisElem(2, 0, 1)},
+		B: []float64{1},
+	}
+	res, err := Solve(p, Options{MaxIter: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-2) > 1e-4 {
+		t.Fatalf("min trace = %v, want 2", res.Objective)
+	}
+	if math.Abs(res.X.At(0, 1)-1) > 1e-5 {
+		t.Fatalf("X12 = %v, want 1", res.X.At(0, 1))
+	}
+}
+
+func TestDualBoundSanity(t *testing.T) {
+	// The SDP optimum can never exceed the value of any feasible point.
+	// Feasible by construction: X0 PSD with the right constraint values.
+	r := rng.New(2)
+	n := 3
+	m := 2
+	raw := mat.New(n, n)
+	for i := range raw.Data {
+		raw.Data[i] = r.Norm()
+	}
+	x0t := raw.T()
+	x0, _ := raw.Mul(x0t) // PSD
+	// The trace constraint bounds the feasible set (trace-bounded PSD
+	// matrices form a compact set), so the SDP cannot be unbounded.
+	tr0, _ := x0.Trace()
+	as := []*mat.Matrix{mat.Identity(n)}
+	bs := []float64{tr0}
+	for k := 0; k < m; k++ {
+		a := mat.New(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		a.Symmetrize()
+		as = append(as, a)
+		bs = append(bs, inner(a, x0))
+	}
+	c := mat.New(n, n)
+	for i := range c.Data {
+		c.Data[i] = r.Norm()
+	}
+	c.Symmetrize()
+	p := &Problem{C: c, A: as, B: bs}
+	res, err := Solve(p, Options{MaxIter: 20000, Tol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > inner(c.Clone().Symmetrize(), x0)+1e-4 {
+		t.Fatalf("SDP optimum %v exceeds feasible value %v", res.Objective, inner(c, x0))
+	}
+	// Constraints hold.
+	for k := range as {
+		if v := inner(as[k], res.X); math.Abs(v-bs[k]) > 1e-4 {
+			t.Fatalf("constraint %d: %v != %v", k, v, bs[k])
+		}
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	if _, err := Solve(&Problem{C: mat.New(2, 3)}, Options{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("want ErrDimension, got %v", err)
+	}
+	p := &Problem{C: mat.Identity(2), A: []*mat.Matrix{mat.Identity(3)}, B: []float64{1}}
+	if _, err := Solve(p, Options{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("want ErrDimension for wrong A size, got %v", err)
+	}
+	p2 := &Problem{C: mat.Identity(2), A: []*mat.Matrix{mat.Identity(2)}, B: nil}
+	if _, err := Solve(p2, Options{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("want ErrDimension for mismatched b, got %v", err)
+	}
+}
+
+func TestUnconstrainedPSDMinimum(t *testing.T) {
+	// min ⟨I, X⟩ with X PSD and no equalities: optimum X = 0.
+	p := &Problem{C: mat.Identity(3)}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective) > 1e-6 {
+		t.Fatalf("objective = %v, want 0", res.Objective)
+	}
+}
+
+func TestBasisElem(t *testing.T) {
+	x := mat.New(3, 3)
+	x.Set(0, 1, 2)
+	x.Set(1, 0, 2)
+	x.Set(2, 2, 5)
+	if v := inner(BasisElem(3, 0, 1), x); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("off-diag inner = %v, want 2", v)
+	}
+	if v := inner(BasisElem(3, 2, 2), x); math.Abs(v-5) > 1e-12 {
+		t.Fatalf("diag inner = %v, want 5", v)
+	}
+}
+
+func BenchmarkSDP6(b *testing.B) {
+	r := rng.New(1)
+	n := 6
+	c := mat.New(n, n)
+	for i := range c.Data {
+		c.Data[i] = r.Norm()
+	}
+	c.Symmetrize()
+	p := &Problem{C: c, A: []*mat.Matrix{mat.Identity(n)}, B: []float64{1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Solve(p, Options{Tol: 1e-5})
+	}
+}
+
+func TestDualCertificate(t *testing.T) {
+	// min x11 + 2x22 s.t. tr X = 1, X PSD → primal 1.
+	p := &Problem{
+		C: mat.Diag([]float64{1, 2}),
+		A: []*mat.Matrix{mat.Identity(2)},
+		B: []float64{1},
+	}
+	res, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Y) != 1 {
+		t.Fatalf("dual multipliers missing: %v", res.Y)
+	}
+	// Dual: max y s.t. C - yI ⪰ 0 → y = 1, dual objective 1.
+	if math.Abs(res.DualObjective-1) > 1e-3 {
+		t.Fatalf("dual objective %v, want ~1", res.DualObjective)
+	}
+	// Weak duality within the dual feasibility defect.
+	if res.DualObjective > res.Objective+res.DualFeasError+1e-6 {
+		t.Fatalf("weak duality violated: dual %v > primal %v (+defect %v)",
+			res.DualObjective, res.Objective, res.DualFeasError)
+	}
+	if res.DualFeasError > 1e-3 {
+		t.Fatalf("dual slack far from PSD: defect %v", res.DualFeasError)
+	}
+}
+
+func TestDualGapSmallOnRandomInstances(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 5; trial++ {
+		n := 3
+		raw := mat.New(n, n)
+		for i := range raw.Data {
+			raw.Data[i] = r.Norm()
+		}
+		x0, _ := raw.Mul(raw.T()) // PSD, feasible by construction
+		tr0, _ := x0.Trace()
+		c := mat.New(n, n)
+		for i := range c.Data {
+			c.Data[i] = r.Norm()
+		}
+		c.Symmetrize()
+		p := &Problem{
+			C: c,
+			A: []*mat.Matrix{mat.Identity(n)},
+			B: []float64{tr0},
+		}
+		res, err := Solve(p, Options{MaxIter: 20000, Tol: 1e-8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(res.Objective - res.DualObjective)
+		scale := 1 + math.Abs(res.Objective)
+		if gap/scale > 1e-3+res.DualFeasError {
+			t.Fatalf("trial %d: duality gap %v too large (primal %v dual %v defect %v)",
+				trial, gap, res.Objective, res.DualObjective, res.DualFeasError)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package stft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/fft"
+)
+
+// Convention selects which of the paper's two STFT definitions is computed.
+type Convention int
+
+const (
+	// ConventionSimplified is the paper's Eq. 6 ("Simplified Time-Invariant
+	// STFT"): the window is anchored at g[0], frames cover s[na .. na+Lg-1],
+	// and the signal is NOT treated circularly — only frames fully inside
+	// the signal are produced (n in [0, floor((L-Lg)/a)]).
+	ConventionSimplified Convention = iota + 1
+	// ConventionTimeInvariant is the paper's Eq. 5: the window is centered,
+	// with its peak stored at g[floor(Lg/2)], the signal is extended
+	// circularly, and one frame is produced per hop across the whole
+	// signal. Relative to ConventionSimplified this convention imbues a
+	// delay of floor(Lg/2) samples and a per-bin phase factor
+	// e^{+2πi·m·floor(Lg/2)/M} — the "phase skew that is dependent on the
+	// stored window length" the paper warns about.
+	ConventionTimeInvariant
+)
+
+// String implements fmt.Stringer.
+func (c Convention) String() string {
+	switch c {
+	case ConventionSimplified:
+		return "simplified"
+	case ConventionTimeInvariant:
+		return "time-invariant"
+	default:
+		return fmt.Sprintf("convention(%d)", int(c))
+	}
+}
+
+// Config parameterizes an STFT. The zero value is invalid; fill every field
+// or use DefaultConfig.
+type Config struct {
+	FFTSize    int // M: number of frequency channels (bins)
+	Hop        int // a: time step between frames
+	WinLen     int // Lg: stored window length, WinLen <= FFTSize
+	Window     Window
+	Convention Convention
+}
+
+// DefaultConfig returns a 256-bin Hann analysis at 64-sample hop in the
+// simplified (Librosa-style) convention.
+func DefaultConfig() Config {
+	return Config{FFTSize: 256, Hop: 64, WinLen: 256, Window: WindowHann, Convention: ConventionSimplified}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.FFTSize <= 0:
+		return fmt.Errorf("stft: FFTSize %d must be positive", c.FFTSize)
+	case c.Hop <= 0:
+		return fmt.Errorf("stft: Hop %d must be positive", c.Hop)
+	case c.WinLen <= 0 || c.WinLen > c.FFTSize:
+		return fmt.Errorf("stft: WinLen %d must be in (0, FFTSize=%d]", c.WinLen, c.FFTSize)
+	case c.Convention != ConventionSimplified && c.Convention != ConventionTimeInvariant:
+		return fmt.Errorf("stft: unknown convention %d", int(c.Convention))
+	}
+	return nil
+}
+
+// Result holds STFT coefficients: Coef[n][m] is frame n, frequency bin m,
+// with FFTSize bins per frame.
+type Result struct {
+	Coef [][]complex128
+	Cfg  Config
+}
+
+// NumFrames returns the number of analysis frames.
+func (r *Result) NumFrames() int { return len(r.Coef) }
+
+// Transform computes the STFT of the real signal s under cfg.
+func Transform(s []float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s) == 0 {
+		return &Result{Coef: nil, Cfg: cfg}, nil
+	}
+	win, err := MakeWindow(cfg.Window, cfg.WinLen)
+	if err != nil {
+		return nil, err
+	}
+	var frames int
+	switch cfg.Convention {
+	case ConventionSimplified:
+		if len(s) < cfg.WinLen {
+			frames = 0
+		} else {
+			frames = (len(s)-cfg.WinLen)/cfg.Hop + 1
+		}
+	case ConventionTimeInvariant:
+		frames = (len(s) + cfg.Hop - 1) / cfg.Hop
+	}
+	out := make([][]complex128, frames)
+	buf := make([]complex128, cfg.FFTSize)
+	center := cfg.WinLen / 2
+	for n := 0; n < frames; n++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		start := n * cfg.Hop
+		switch cfg.Convention {
+		case ConventionSimplified:
+			// buf[l] = s[na+l]·g[l], l in [0, Lg).
+			for l := 0; l < cfg.WinLen; l++ {
+				buf[l] = complex(s[start+l]*win[l], 0)
+			}
+		case ConventionTimeInvariant:
+			// buf[(l mod M)] = s[(na+l) mod L]·g[l+center], l in
+			// [-center, Lg-center). Negative l wraps in both the FFT
+			// buffer (modulation identity) and the signal (circular
+			// extension).
+			for l := -center; l < cfg.WinLen-center; l++ {
+				si := mod(start+l, len(s))
+				bi := mod(l, cfg.FFTSize)
+				buf[bi] = complex(s[si]*win[l+center], 0)
+			}
+		}
+		out[n] = fft.FFT(buf)
+	}
+	return &Result{Coef: out, Cfg: cfg}, nil
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// PhaseSkewFactors returns the per-bin factor f[m] = e^{+2πi·m·c/M} with
+// c = floor(winLen/2) that relates the two conventions: multiplying a
+// simplified-convention frame (taken at the time-invariant frame's sample
+// positions) by f yields the time-invariant frame. This is the "a priori
+// determined matrix of phase factors" the paper describes for converting
+// between conventions.
+func PhaseSkewFactors(fftSize, winLen int) []complex128 {
+	c := winLen / 2
+	out := make([]complex128, fftSize)
+	for m := range out {
+		ang := 2 * math.Pi * float64(m) * float64(c) / float64(fftSize)
+		out[m] = cmplx.Exp(complex(0, ang))
+	}
+	return out
+}
+
+// ApplySkew multiplies every frame of r pointwise by factors, returning a
+// new Result. It errors if the factor vector does not match FFTSize.
+func ApplySkew(r *Result, factors []complex128) (*Result, error) {
+	if len(factors) != r.Cfg.FFTSize {
+		return nil, fmt.Errorf("stft: %d skew factors for FFTSize %d", len(factors), r.Cfg.FFTSize)
+	}
+	out := &Result{Cfg: r.Cfg, Coef: make([][]complex128, len(r.Coef))}
+	for n, frame := range r.Coef {
+		nf := make([]complex128, len(frame))
+		for m, v := range frame {
+			nf[m] = v * factors[m]
+		}
+		out.Coef[n] = nf
+	}
+	return out, nil
+}
+
+// Inverse reconstructs a length-n signal from a simplified-convention STFT
+// by windowed overlap-add with squared-window normalization. Samples with
+// (numerically) zero window coverage — e.g. sample 0 under a periodic Hann
+// window, whose first tap is exactly zero — are unrecoverable and left at
+// zero, matching Librosa. It returns an error for the time-invariant
+// convention; convert such frames with ApplySkew first.
+func Inverse(r *Result, n int) ([]float64, error) {
+	cfg := r.Cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Convention != ConventionSimplified {
+		return nil, fmt.Errorf("stft: Inverse supports %v only; convert %v frames with ApplySkew first",
+			ConventionSimplified, cfg.Convention)
+	}
+	win, err := MakeWindow(cfg.Window, cfg.WinLen)
+	if err != nil {
+		return nil, err
+	}
+	sig := make([]float64, n)
+	norm := make([]float64, n)
+	for fi, frame := range r.Coef {
+		t := fft.IFFT(frame)
+		start := fi * cfg.Hop
+		for l := 0; l < cfg.WinLen; l++ {
+			idx := start + l
+			if idx >= n {
+				break
+			}
+			sig[idx] += real(t[l]) * win[l]
+			norm[idx] += win[l] * win[l]
+		}
+	}
+	for i := range sig {
+		if norm[i] < 1e-12 {
+			sig[i] = 0
+			continue
+		}
+		sig[i] /= norm[i]
+	}
+	return sig, nil
+}
+
+// Spectrogram returns the power spectrogram |X[n][m]|² restricted to the
+// nonredundant bins [0, M/2].
+func Spectrogram(r *Result) [][]float64 {
+	half := r.Cfg.FFTSize/2 + 1
+	out := make([][]float64, len(r.Coef))
+	for n, frame := range r.Coef {
+		row := make([]float64, half)
+		for m := 0; m < half; m++ {
+			v := frame[m]
+			row[m] = real(v)*real(v) + imag(v)*imag(v)
+		}
+		out[n] = row
+	}
+	return out
+}
+
+// PhaseDeriv is the output of GabPhaseDeriv: the time derivative of the
+// STFT phase per (frame, bin), measured in radians per hop, plus a
+// reliability mask. Where Reliable is false the coefficient magnitude is
+// within relTol of the noise floor and — as the LTFAT documentation the
+// paper quotes puts it — "the phase of complex numbers close to the machine
+// precision is almost random", so the derivative there is meaningless.
+type PhaseDeriv struct {
+	Deriv    [][]float64
+	Reliable [][]bool
+}
+
+// GabPhaseDeriv computes the discrete time-derivative of the STFT phase
+// (our analog of LTFAT's gabphasederiv used on the paper's M-GNU-O
+// platform). relTol sets the reliability cutoff as a fraction of the
+// maximum coefficient magnitude; values at or below relTol·max|X| are
+// flagged unreliable.
+func GabPhaseDeriv(r *Result, relTol float64) *PhaseDeriv {
+	frames := len(r.Coef)
+	if frames == 0 {
+		return &PhaseDeriv{}
+	}
+	bins := len(r.Coef[0])
+	var maxMag float64
+	for _, frame := range r.Coef {
+		for _, v := range frame {
+			if m := cmplx.Abs(v); m > maxMag {
+				maxMag = m
+			}
+		}
+	}
+	cutoff := relTol * maxMag
+	pd := &PhaseDeriv{
+		Deriv:    make([][]float64, frames),
+		Reliable: make([][]bool, frames),
+	}
+	for n := 0; n < frames; n++ {
+		pd.Deriv[n] = make([]float64, bins)
+		pd.Reliable[n] = make([]bool, bins)
+		prev := n - 1
+		if prev < 0 {
+			prev = 0
+		}
+		for m := 0; m < bins; m++ {
+			cur := r.Coef[n][m]
+			prv := r.Coef[prev][m]
+			pd.Reliable[n][m] = cmplx.Abs(cur) > cutoff && cmplx.Abs(prv) > cutoff
+			d := cmplx.Phase(cur) - cmplx.Phase(prv)
+			// Principal-value unwrap of a single step.
+			for d > math.Pi {
+				d -= 2 * math.Pi
+			}
+			for d < -math.Pi {
+				d += 2 * math.Pi
+			}
+			pd.Deriv[n][m] = d
+		}
+	}
+	return pd
+}

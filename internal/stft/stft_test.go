@@ -1,0 +1,450 @@
+package stft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func randReal(r *rng.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	return x
+}
+
+func TestMakeWindowShapes(t *testing.T) {
+	for _, w := range []Window{WindowHann, WindowHamming, WindowRect, WindowGauss} {
+		win, err := MakeWindow(w, 32)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		if len(win) != 32 {
+			t.Fatalf("%v: length %d", w, len(win))
+		}
+		for i, v := range win {
+			if v < 0 || v > 1+1e-12 {
+				t.Fatalf("%v[%d] = %v outside [0,1]", w, i, v)
+			}
+		}
+	}
+	if _, err := MakeWindow(WindowHann, 0); err == nil {
+		t.Fatal("want error for zero-length window")
+	}
+	if _, err := MakeWindow(Window(99), 8); err == nil {
+		t.Fatal("want error for unknown window")
+	}
+}
+
+func TestHannEndpointsAndPeak(t *testing.T) {
+	win, _ := MakeWindow(WindowHann, 64)
+	if win[0] != 0 {
+		t.Fatalf("periodic Hann should start at 0, got %v", win[0])
+	}
+	if math.Abs(win[32]-1) > 1e-12 {
+		t.Fatalf("periodic Hann peak at n/2 should be 1, got %v", win[32])
+	}
+}
+
+func TestCOLAError(t *testing.T) {
+	win, _ := MakeWindow(WindowHann, 16)
+	if e := COLAError(win, 4); e > 1e-12 {
+		t.Fatalf("Hann² at 75%% overlap should be COLA, error %v", e)
+	}
+	if e := COLAError(win, 6); e < 1e-3 {
+		t.Fatalf("Hann² at hop 6/16 should violate COLA, error %v", e)
+	}
+	rect, _ := MakeWindow(WindowRect, 16)
+	if e := COLAError(rect, 16); e > 1e-12 {
+		t.Fatalf("rect at hop=len should be COLA, error %v", e)
+	}
+	if e := COLAError(nil, 4); !math.IsInf(e, 1) {
+		t.Fatal("empty window should give +Inf COLA error")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"zero fft", Config{FFTSize: 0, Hop: 1, WinLen: 1, Window: WindowHann, Convention: ConventionSimplified}, false},
+		{"zero hop", Config{FFTSize: 8, Hop: 0, WinLen: 8, Window: WindowHann, Convention: ConventionSimplified}, false},
+		{"winlen too big", Config{FFTSize: 8, Hop: 2, WinLen: 9, Window: WindowHann, Convention: ConventionSimplified}, false},
+		{"no convention", Config{FFTSize: 8, Hop: 2, WinLen: 8, Window: WindowHann}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Fatalf("%s: Validate() = %v, ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestFrameCountSimplified(t *testing.T) {
+	cfg := Config{FFTSize: 16, Hop: 4, WinLen: 16, Window: WindowHann, Convention: ConventionSimplified}
+	r := rng.New(1)
+	// L = 16 + 3*4 = 28 -> 4 frames.
+	res, err := Transform(randReal(r, 28), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrames() != 4 {
+		t.Fatalf("frames = %d, want 4", res.NumFrames())
+	}
+	// Too-short signal yields zero frames, not an error.
+	res, err = Transform(randReal(r, 8), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrames() != 0 {
+		t.Fatalf("short signal frames = %d, want 0", res.NumFrames())
+	}
+}
+
+func TestFrameCountTimeInvariantCoversWholeSignal(t *testing.T) {
+	cfg := Config{FFTSize: 16, Hop: 4, WinLen: 16, Window: WindowHann, Convention: ConventionTimeInvariant}
+	r := rng.New(2)
+	res, err := Transform(randReal(r, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.NumFrames(), 8; got != want { // ceil(30/4)
+		t.Fatalf("frames = %d, want %d", got, want)
+	}
+}
+
+func TestRoundTripSimplified(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := Config{FFTSize: 32, Hop: 8, WinLen: 32, Window: WindowHann, Convention: ConventionSimplified}
+		k := 2 + r.Intn(6)
+		n := cfg.WinLen + k*cfg.Hop
+		x := randReal(r, n)
+		res, err := Transform(x, cfg)
+		if err != nil {
+			return false
+		}
+		back, err := Inverse(res, n)
+		if err != nil {
+			return false
+		}
+		// Sample 0 has zero Hann coverage and is unrecoverable by design.
+		for i := 1; i < len(x); i++ {
+			if math.Abs(x[i]-back[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripHop75PercentOverlap(t *testing.T) {
+	r := rng.New(3)
+	cfg := Config{FFTSize: 64, Hop: 16, WinLen: 64, Window: WindowHann, Convention: ConventionSimplified}
+	n := cfg.WinLen + 10*cfg.Hop
+	x := randReal(r, n)
+	res, err := Transform(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Inverse(res, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i := 1; i < len(x); i++ { // sample 0 is uncovered by design
+		if d := math.Abs(x[i] - back[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 1e-9 {
+		t.Fatalf("round trip error %v", maxErr)
+	}
+	if back[0] != 0 {
+		t.Fatalf("uncovered sample should be zero, got %v", back[0])
+	}
+}
+
+func TestInverseRejectsTimeInvariant(t *testing.T) {
+	cfg := Config{FFTSize: 16, Hop: 4, WinLen: 16, Window: WindowHann, Convention: ConventionTimeInvariant}
+	r := rng.New(4)
+	res, err := Transform(randReal(r, 32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inverse(res, 32); err == nil {
+		t.Fatal("Inverse should reject time-invariant frames")
+	}
+}
+
+// TestPhaseSkewIdentity verifies the paper's conversion claim: the
+// time-invariant frame equals the simplified frame of the c-delayed signal
+// multiplied pointwise by the phase-factor matrix e^{+2πi m c / M}.
+func TestPhaseSkewIdentity(t *testing.T) {
+	r := rng.New(5)
+	const (
+		m   = 32
+		lg  = 32
+		hop = 8
+		L   = 128
+	)
+	x := randReal(r, L)
+	c := lg / 2
+
+	ti, err := Transform(x, Config{FFTSize: m, Hop: hop, WinLen: lg, Window: WindowHann, Convention: ConventionTimeInvariant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delayed signal x2[t] = x[(t-c) mod L].
+	x2 := make([]float64, L)
+	for i := range x2 {
+		x2[i] = x[((i-c)%L+L)%L]
+	}
+	simp, err := Transform(x2, Config{FFTSize: m, Hop: hop, WinLen: lg, Window: WindowHann, Convention: ConventionSimplified})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := PhaseSkewFactors(m, lg)
+	converted, err := ApplySkew(simp, skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare frames that exist in both grids and don't wrap in either.
+	nCompare := converted.NumFrames()
+	if ti.NumFrames() < nCompare {
+		nCompare = ti.NumFrames()
+	}
+	if nCompare < 3 {
+		t.Fatalf("too few comparable frames: %d", nCompare)
+	}
+	for n := 1; n < nCompare-1; n++ {
+		for bin := 0; bin < m; bin++ {
+			d := cmplx.Abs(ti.Coef[n][bin] - converted.Coef[n][bin])
+			if d > 1e-9 {
+				t.Fatalf("frame %d bin %d differs by %v after skew conversion", n, bin, d)
+			}
+		}
+	}
+}
+
+// TestSkewIsWindowLengthDependent demonstrates the paper's core warning:
+// using the phase factors for the wrong stored window length leaves a
+// residual phase error.
+func TestSkewIsWindowLengthDependent(t *testing.T) {
+	right := PhaseSkewFactors(64, 32)
+	wrong := PhaseSkewFactors(64, 48)
+	var maxDiff float64
+	for mth := range right {
+		if d := cmplx.Abs(right[mth] - wrong[mth]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff < 0.5 {
+		t.Fatalf("skew factors for different Lg should diverge, max diff %v", maxDiff)
+	}
+}
+
+func TestApplySkewSizeMismatch(t *testing.T) {
+	r := rng.New(6)
+	cfg := DefaultConfig()
+	res, err := Transform(randReal(r, 512), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplySkew(res, make([]complex128, 3)); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+}
+
+func TestSpectrogramTone(t *testing.T) {
+	const (
+		m   = 64
+		f0  = 7
+		L   = 512
+		hop = 16
+	)
+	x := make([]float64, L)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * f0 * float64(i) / m)
+	}
+	res, err := Transform(x, Config{FFTSize: m, Hop: hop, WinLen: m, Window: WindowHann, Convention: ConventionSimplified})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spectrogram(res)
+	if len(spec) == 0 || len(spec[0]) != m/2+1 {
+		t.Fatalf("spectrogram shape %dx%d", len(spec), len(spec[0]))
+	}
+	for n := range spec {
+		best := 0
+		for bin, p := range spec[n] {
+			if p > spec[n][best] {
+				best = bin
+			}
+		}
+		if best != f0 {
+			t.Fatalf("frame %d: peak at bin %d, want %d", n, best, f0)
+		}
+	}
+}
+
+func TestGabPhaseDerivTone(t *testing.T) {
+	const (
+		m   = 64
+		f0  = 3
+		hop = 4
+		L   = 512
+	)
+	x := make([]float64, L)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * f0 * float64(i) / m)
+	}
+	res, err := Transform(x, Config{FFTSize: m, Hop: hop, WinLen: m, Window: WindowHann, Convention: ConventionSimplified})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := GabPhaseDeriv(res, 1e-6)
+	want := 2 * math.Pi * f0 * hop / float64(m) // phase advance per hop
+	for n := 2; n < res.NumFrames()-2; n++ {
+		if !pd.Reliable[n][f0] {
+			t.Fatalf("frame %d bin %d should be reliable", n, f0)
+		}
+		if math.Abs(pd.Deriv[n][f0]-want) > 1e-6 {
+			t.Fatalf("frame %d: phase deriv %v, want %v", n, pd.Deriv[n][f0], want)
+		}
+	}
+}
+
+func TestGabPhaseDerivFlagsLowMagnitude(t *testing.T) {
+	const m = 64
+	x := make([]float64, 512)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 3 * float64(i) / m)
+	}
+	res, err := Transform(x, Config{FFTSize: m, Hop: 4, WinLen: m, Window: WindowHann, Convention: ConventionSimplified})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := GabPhaseDeriv(res, 1e-6)
+	// Bins far from the tone hold only rounding noise and must be flagged.
+	unreliable := 0
+	total := 0
+	for n := 1; n < res.NumFrames(); n++ {
+		for bin := 20; bin < 30; bin++ {
+			total++
+			if !pd.Reliable[n][bin] {
+				unreliable++
+			}
+		}
+	}
+	if unreliable < total*9/10 {
+		t.Fatalf("only %d/%d far-from-tone bins flagged unreliable", unreliable, total)
+	}
+}
+
+func TestGabPhaseDerivEmpty(t *testing.T) {
+	pd := GabPhaseDeriv(&Result{Cfg: DefaultConfig()}, 1e-6)
+	if len(pd.Deriv) != 0 {
+		t.Fatal("empty result should give empty derivative")
+	}
+}
+
+func TestTransformEmptySignal(t *testing.T) {
+	res, err := Transform(nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrames() != 0 {
+		t.Fatal("empty signal should yield no frames")
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	r := rng.New(1)
+	x := randReal(r, 4096)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Transform(x, cfg)
+	}
+}
+
+func TestRoundTripAllWindows(t *testing.T) {
+	// WOLA resynthesis with per-sample normalization is exact for any
+	// window with nonzero coverage, not just Hann.
+	r := rng.New(41)
+	for _, w := range []Window{WindowHann, WindowHamming, WindowRect, WindowGauss} {
+		cfg := Config{FFTSize: 32, Hop: 8, WinLen: 32, Window: w, Convention: ConventionSimplified}
+		n := cfg.WinLen + 6*cfg.Hop
+		x := randReal(r, n)
+		res, err := Transform(x, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		back, err := Inverse(res, n)
+		if err != nil {
+			t.Fatalf("%v: %v", w, err)
+		}
+		start := 0
+		if w == WindowHann { // sample 0 uncovered (w[0] = 0)
+			start = 1
+		}
+		for i := start; i < n; i++ {
+			if math.Abs(x[i]-back[i]) > 1e-8 {
+				t.Fatalf("%v: sample %d error %v", w, i, x[i]-back[i])
+			}
+		}
+	}
+}
+
+func TestZeroPaddedAnalysis(t *testing.T) {
+	// WinLen < FFTSize zero-pads each frame: round trip still exact and
+	// the spectrogram gains frequency interpolation (shape only checked).
+	r := rng.New(43)
+	cfg := Config{FFTSize: 64, Hop: 8, WinLen: 32, Window: WindowHamming, Convention: ConventionSimplified}
+	n := cfg.WinLen + 8*cfg.Hop
+	x := randReal(r, n)
+	res, err := Transform(x, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Coef[0]) != 64 {
+		t.Fatalf("frame width %d, want 64", len(res.Coef[0]))
+	}
+	back, err := Inverse(res, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-back[i]) > 1e-8 {
+			t.Fatalf("sample %d error %v", i, x[i]-back[i])
+		}
+	}
+}
+
+func TestSkewFactorsUnitModulus(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := 8 + r.Intn(120)
+		lg := 1 + r.Intn(m)
+		for _, v := range PhaseSkewFactors(m, lg) {
+			if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

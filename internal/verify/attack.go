@@ -1,0 +1,138 @@
+package verify
+
+import (
+	"math"
+
+	"repro/internal/relax"
+)
+
+// Gradient returns ∇_x (c·f(x) + d) for the piecewise-linear network at x:
+// a forward pass fixes the ReLU activation pattern, and the gradient is
+// the product of the masked weight matrices. Exact except exactly on a
+// kink.
+func Gradient(n *Network, x []float64, spec *Spec) []float64 {
+	// Forward pass recording activation masks.
+	masks := make([][]bool, len(n.Layers)-1)
+	cur := append([]float64(nil), x...)
+	for li := range n.Layers {
+		cur = n.Layers[li].Apply(cur)
+		if li < len(n.Layers)-1 {
+			mask := make([]bool, len(cur))
+			for i, v := range cur {
+				if v > 0 {
+					mask[i] = true
+				} else {
+					cur[i] = 0
+				}
+			}
+			masks[li] = mask
+		}
+	}
+	// Backward pass: g starts as c over the output and is pulled through
+	// Wᵀ and the masks.
+	g := append([]float64(nil), spec.C...)
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		layer := &n.Layers[li]
+		gIn := make([]float64, layer.In())
+		for i, gi := range g {
+			if gi == 0 {
+				continue
+			}
+			for j, w := range layer.W[i] {
+				gIn[j] += gi * w
+			}
+		}
+		if li > 0 {
+			for j := range gIn {
+				if !masks[li-1][j] {
+					gIn[j] = 0
+				}
+			}
+		}
+		g = gIn
+	}
+	return g
+}
+
+// PGDAttack searches the box for a point violating the spec with
+// projected sign-gradient descent from several starts (the center and the
+// box corners implied by the first gradient). It returns a violating point
+// or nil. This is the falsification workhorse the relaxed verifiers use
+// when their bound is negative: a found point upgrades "unknown" to a
+// definitive "falsified".
+func PGDAttack(n *Network, input []relax.Interval, spec *Spec, steps int) []float64 {
+	if steps <= 0 {
+		steps = 30
+	}
+	clip := func(x []float64) {
+		for i := range x {
+			if x[i] < input[i].Lo {
+				x[i] = input[i].Lo
+			}
+			if x[i] > input[i].Hi {
+				x[i] = input[i].Hi
+			}
+		}
+	}
+	// Step size: a fraction of the widest box edge, decayed over steps.
+	var width float64
+	for _, iv := range input {
+		if w := iv.Width(); w > width {
+			width = w
+		}
+	}
+	if width == 0 {
+		x := make([]float64, len(input))
+		for i, iv := range input {
+			x[i] = iv.Lo
+		}
+		if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
+			return x
+		}
+		return nil
+	}
+	starts := [][]float64{make([]float64, len(input))}
+	for i, iv := range input {
+		starts[0][i] = 0.5 * (iv.Lo + iv.Hi)
+	}
+	// A second start at the anti-gradient corner from the center.
+	g0 := Gradient(n, starts[0], spec)
+	corner := make([]float64, len(input))
+	for i, iv := range input {
+		if g0[i] > 0 {
+			corner[i] = iv.Lo
+		} else {
+			corner[i] = iv.Hi
+		}
+	}
+	starts = append(starts, corner)
+
+	for _, start := range starts {
+		x := append([]float64(nil), start...)
+		for s := 0; s < steps; s++ {
+			if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
+				return x
+			}
+			g := Gradient(n, x, spec)
+			step := width * 0.5 * math.Pow(0.8, float64(s))
+			moved := false
+			for i := range x {
+				if g[i] > 0 {
+					x[i] -= step
+					moved = true
+				} else if g[i] < 0 {
+					x[i] += step
+					moved = true
+				}
+			}
+			if !moved {
+				break // zero gradient (fully dead region)
+			}
+			clip(x)
+		}
+		if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
+			return x
+		}
+	}
+	return nil
+}

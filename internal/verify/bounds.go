@@ -1,0 +1,197 @@
+// Package verify implements the robustness-verification stack of the
+// paper's §II-B-2: layer-wise convex relaxations of feedforward ReLU
+// networks and the hybrid exact/relaxed verifier pair.
+//
+//   - Interval bound propagation (IBP): the loosest, cheapest relaxation.
+//   - Triangle LP relaxation: each unstable ReLU is replaced by its convex
+//     hull (relax.ReLURelaxation) and the whole network becomes one LP per
+//     output bound — the "relaxed (incomplete)" verifier, fast but prone to
+//     false negatives (it may fail to certify a robust network).
+//   - Exact verification by branch and bound over ReLU activation phases —
+//     the "exact (complete)" verifier, free of false positives/negatives
+//     but exponential in the number of unstable neurons.
+//
+// Networks are abstracted as affine layers (weights + bias) alternating
+// with ReLUs, which covers the dense form of the paper's MSY3I (convolution
+// is an affine map; the yolo package flattens its networks to this form
+// for verification).
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/relax"
+)
+
+// ErrBadNetwork is returned for structurally invalid networks.
+var ErrBadNetwork = errors.New("verify: invalid network")
+
+// AffineLayer is y = Wx + b with W stored row-major [out][in].
+type AffineLayer struct {
+	W [][]float64
+	B []float64
+}
+
+// Validate checks internal consistency.
+func (l *AffineLayer) Validate() error {
+	if len(l.W) == 0 || len(l.W) != len(l.B) {
+		return fmt.Errorf("%w: %d weight rows, %d biases", ErrBadNetwork, len(l.W), len(l.B))
+	}
+	in := len(l.W[0])
+	for i, row := range l.W {
+		if len(row) != in {
+			return fmt.Errorf("%w: row %d has %d cols, want %d", ErrBadNetwork, i, len(row), in)
+		}
+	}
+	return nil
+}
+
+// In and Out return the layer fan-in/out.
+func (l *AffineLayer) In() int  { return len(l.W[0]) }
+func (l *AffineLayer) Out() int { return len(l.W) }
+
+// Apply returns Wx + b.
+func (l *AffineLayer) Apply(x []float64) []float64 {
+	out := make([]float64, len(l.W))
+	for i, row := range l.W {
+		s := l.B[i]
+		for j, w := range row {
+			s += w * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Network is an alternation of affine layers with ReLU between them (ReLU
+// after every layer except the last).
+type Network struct {
+	Layers []AffineLayer
+}
+
+// Validate checks layer chaining.
+func (n *Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("%w: empty network", ErrBadNetwork)
+	}
+	for i := range n.Layers {
+		if err := n.Layers[i].Validate(); err != nil {
+			return err
+		}
+		if i > 0 && n.Layers[i].In() != n.Layers[i-1].Out() {
+			return fmt.Errorf("%w: layer %d in %d != layer %d out %d",
+				ErrBadNetwork, i, n.Layers[i].In(), i-1, n.Layers[i-1].Out())
+		}
+	}
+	return nil
+}
+
+// Forward evaluates the network (ReLU between layers, linear output).
+func (n *Network) Forward(x []float64) []float64 {
+	for i := range n.Layers {
+		x = n.Layers[i].Apply(x)
+		if i < len(n.Layers)-1 {
+			for j, v := range x {
+				if v < 0 {
+					x[j] = 0
+				}
+			}
+		}
+	}
+	return x
+}
+
+// InputDim and OutputDim return the network fan-in/out.
+func (n *Network) InputDim() int  { return n.Layers[0].In() }
+func (n *Network) OutputDim() int { return n.Layers[len(n.Layers)-1].Out() }
+
+// LayerBounds holds pre-activation bounds for every layer (index 0 = first
+// affine output) plus the implied output bounds of the network.
+type LayerBounds struct {
+	Pre [][]relax.Interval // per layer, per neuron: pre-activation bounds
+	Out []relax.Interval   // network output bounds
+}
+
+// TotalWidth sums the widths of all pre-activation intervals — the
+// bound-tightness figure the RCR loop tracks per layer.
+func (b *LayerBounds) TotalWidth() float64 {
+	var s float64
+	for _, layer := range b.Pre {
+		for _, iv := range layer {
+			s += iv.Width()
+		}
+	}
+	return s
+}
+
+// UnstableCount returns how many hidden neurons have sign-indeterminate
+// pre-activations (the quantity that drives exact-verification cost).
+func (b *LayerBounds) UnstableCount() int {
+	c := 0
+	for li, layer := range b.Pre {
+		if li == len(b.Pre)-1 {
+			break // output layer has no ReLU
+		}
+		for _, iv := range layer {
+			if iv.Lo < 0 && iv.Hi > 0 {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// IBP computes interval bounds through the network for the input box.
+func IBP(n *Network, input []relax.Interval) (*LayerBounds, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(input) != n.InputDim() {
+		return nil, fmt.Errorf("%w: %d input intervals for dim %d", ErrBadNetwork, len(input), n.InputDim())
+	}
+	for i, iv := range input {
+		if !iv.Valid() {
+			return nil, fmt.Errorf("%w: input interval %d invalid", ErrBadNetwork, i)
+		}
+	}
+	cur := append([]relax.Interval(nil), input...)
+	lb := &LayerBounds{}
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		pre := make([]relax.Interval, l.Out())
+		for i, row := range l.W {
+			lo, hi := l.B[i], l.B[i]
+			for j, w := range row {
+				if w >= 0 {
+					lo += w * cur[j].Lo
+					hi += w * cur[j].Hi
+				} else {
+					lo += w * cur[j].Hi
+					hi += w * cur[j].Lo
+				}
+			}
+			pre[i] = relax.Interval{Lo: lo, Hi: hi}
+		}
+		lb.Pre = append(lb.Pre, pre)
+		if li == len(n.Layers)-1 {
+			lb.Out = pre
+			break
+		}
+		cur = make([]relax.Interval, len(pre))
+		for i, iv := range pre {
+			cur[i] = relax.Interval{Lo: math.Max(0, iv.Lo), Hi: math.Max(0, iv.Hi)}
+		}
+	}
+	return lb, nil
+}
+
+// BoxAround returns the ℓ∞ ball of radius eps around x as intervals.
+func BoxAround(x []float64, eps float64) []relax.Interval {
+	out := make([]relax.Interval, len(x))
+	for i, v := range x {
+		out[i] = relax.Interval{Lo: v - eps, Hi: v + eps}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package verify
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relax"
+	"repro/internal/rng"
+)
+
+func TestCROWNSound(t *testing.T) {
+	// Sampled forward values must lie inside CROWN's layer bounds.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		net := randomNet(r, []int{3, 5, 4, 2})
+		box := BoxAround([]float64{r.Norm(), r.Norm(), r.Norm()}, 0.3)
+		lb, err := CROWN(net, box)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 25; trial++ {
+			x := make([]float64, 3)
+			for i := range x {
+				x[i] = r.Uniform(box[i].Lo, box[i].Hi)
+			}
+			// Track pre-activations through a manual forward pass.
+			cur := append([]float64(nil), x...)
+			for li := range net.Layers {
+				z := net.Layers[li].Apply(cur)
+				for i, v := range z {
+					if v < lb.Pre[li][i].Lo-1e-7 || v > lb.Pre[li][i].Hi+1e-7 {
+						return false
+					}
+				}
+				cur = z
+				if li < len(net.Layers)-1 {
+					for i := range cur {
+						if cur[i] < 0 {
+							cur[i] = 0
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCROWNTighterThanIBP(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		net := randomNet(r, []int{2, 6, 6, 1})
+		box := BoxAround([]float64{r.Norm(), r.Norm()}, 0.4)
+		ibp, err := IBP(net, box)
+		if err != nil {
+			return false
+		}
+		crown, err := CROWN(net, box)
+		if err != nil {
+			return false
+		}
+		// Every CROWN interval is contained in the IBP interval
+		// (within rounding).
+		for li := range ibp.Pre {
+			for i := range ibp.Pre[li] {
+				if crown.Pre[li][i].Lo < ibp.Pre[li][i].Lo-1e-7 {
+					return false
+				}
+				if crown.Pre[li][i].Hi > ibp.Pre[li][i].Hi+1e-7 {
+					return false
+				}
+			}
+		}
+		// And total width strictly improves on nontrivial nets most of the
+		// time; require non-strict here for robustness.
+		return crown.TotalWidth() <= ibp.TotalWidth()+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCROWNExactOnSingleLayer(t *testing.T) {
+	// With no ReLU between input and output, CROWN is exact interval
+	// arithmetic on an affine map.
+	net := &Network{Layers: []AffineLayer{
+		{W: [][]float64{{2, -1}}, B: []float64{0.5}},
+	}}
+	box := []relax.Interval{{Lo: -1, Hi: 1}, {Lo: 0, Hi: 2}}
+	lb, err := CROWN(net, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x - y + 0.5 over the box: min = -2 - 2 + 0.5 = -3.5, max = 2 + 0.5.
+	if math.Abs(lb.Out[0].Lo-(-3.5)) > 1e-12 || math.Abs(lb.Out[0].Hi-2.5) > 1e-12 {
+		t.Fatalf("bounds %+v", lb.Out[0])
+	}
+}
+
+func TestVerifyCROWNHierarchy(t *testing.T) {
+	// Whenever IBP certifies, CROWN must certify; CROWN robust answers
+	// must be confirmed by the exact verifier.
+	r := rng.New(21)
+	for trial := 0; trial < 25; trial++ {
+		net := randomNet(r, []int{2, 5, 1})
+		box := BoxAround([]float64{r.Norm() * 0.3, r.Norm() * 0.3}, 0.25)
+		spec := &Spec{C: []float64{1}, D: 1.5}
+		ibp, err := VerifyIBP(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crown, err := VerifyCROWN(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crown.LowerBound < ibp.LowerBound-1e-7 {
+			t.Fatalf("CROWN bound %v looser than IBP %v", crown.LowerBound, ibp.LowerBound)
+		}
+		if ibp.Verdict == VerdictRobust && crown.Verdict != VerdictRobust {
+			t.Fatal("CROWN failed where IBP certified")
+		}
+		if crown.Verdict == VerdictRobust {
+			ex, err := VerifyExact(net, box, spec, ExactOptions{MaxNodes: 3000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ex.Verdict != VerdictRobust {
+				t.Fatal("CROWN certified a non-robust instance (unsound)")
+			}
+		}
+	}
+}
+
+func TestVerifyCROWNFalsifies(t *testing.T) {
+	net := tinyNet()
+	box := BoxAround([]float64{0, 0}, 1)
+	spec := &Spec{C: []float64{1}}
+	res, err := VerifyCROWN(net, box, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictFalsified {
+		t.Fatalf("verdict %v, want falsified", res.Verdict)
+	}
+	if spec.Eval(net.Forward(append([]float64(nil), res.Counterexample...))) >= 0 {
+		t.Fatal("counterexample does not violate")
+	}
+}
+
+func TestVerifyCROWNSpecMismatch(t *testing.T) {
+	net := tinyNet()
+	box := BoxAround([]float64{0, 0}, 1)
+	if _, err := VerifyCROWN(net, box, &Spec{C: []float64{1, 2}}); err == nil {
+		t.Fatal("want spec dim error")
+	}
+}
+
+func BenchmarkCROWN(b *testing.B) {
+	r := rng.New(1)
+	net := randomNet(r, []int{4, 16, 16, 2})
+	box := BoxAround(make([]float64, 4), 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = CROWN(net, box)
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	r := rng.New(31)
+	net := randomNet(r, []int{3, 6, 4, 2})
+	spec := &Spec{C: []float64{1.5, -0.5}}
+	for trial := 0; trial < 10; trial++ {
+		x := []float64{r.Norm(), r.Norm(), r.Norm()}
+		g := Gradient(net, x, spec)
+		const h = 1e-6
+		for i := range x {
+			xp := append([]float64(nil), x...)
+			xm := append([]float64(nil), x...)
+			xp[i] += h
+			xm[i] -= h
+			num := (spec.Eval(net.Forward(xp)) - spec.Eval(net.Forward(xm))) / (2 * h)
+			if math.Abs(num-g[i]) > 1e-5*(1+math.Abs(num)) {
+				t.Fatalf("trial %d dim %d: analytic %v numeric %v", trial, i, g[i], num)
+			}
+		}
+	}
+}
+
+func TestPGDAttackFindsViolations(t *testing.T) {
+	// On falsifiable instances, PGD (via the verifiers' counterexample
+	// search) should usually produce a concrete violation instead of
+	// "unknown": count definitive answers from the relaxed verifier.
+	r := rng.New(33)
+	definitive := 0
+	total := 0
+	for trial := 0; trial < 30; trial++ {
+		net := randomNet(r, []int{2, 6, 1})
+		box := BoxAround([]float64{r.Norm() * 0.2, r.Norm() * 0.2}, 0.8)
+		spec := &Spec{C: []float64{1}} // y >= 0: often falsifiable
+		ex, err := VerifyExact(net, box, spec, ExactOptions{MaxNodes: 3000})
+		if err != nil {
+			continue
+		}
+		if ex.Verdict != VerdictFalsified {
+			continue
+		}
+		total++
+		crown, err := VerifyCROWN(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crown.Verdict == VerdictFalsified {
+			definitive++
+			if spec.Eval(net.Forward(append([]float64(nil), crown.Counterexample...))) >= 0 {
+				t.Fatal("reported counterexample does not violate")
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no falsifiable instances drawn")
+	}
+	if definitive*10 < total*8 { // at least 80%
+		t.Fatalf("PGD resolved only %d/%d falsifiable instances", definitive, total)
+	}
+}
+
+func TestPGDAttackDegenerateBox(t *testing.T) {
+	net := tinyNet()
+	// Zero-width box at a violating point: y(0.5,-0.5) = -1.
+	box := BoxAround([]float64{0.5, -0.5}, 0)
+	cx := PGDAttack(net, box, &Spec{C: []float64{1}}, 10)
+	if cx == nil {
+		t.Fatal("point-box violation not detected")
+	}
+	// Zero-width box at a satisfying point.
+	box = BoxAround([]float64{1, 1}, 0)
+	if cx := PGDAttack(net, box, &Spec{C: []float64{1}}, 10); cx != nil {
+		t.Fatal("false counterexample on satisfying point")
+	}
+}

@@ -1,0 +1,25 @@
+package verify_test
+
+import (
+	"fmt"
+
+	"repro/internal/relax"
+	"repro/internal/verify"
+)
+
+// ExampleVerifyExact certifies a margin property of a tiny ReLU network.
+func ExampleVerifyExact() {
+	// y = relu(x1+x2) - relu(x1-x2); over x ∈ [2,3]×[0,0.5] both ReLUs are
+	// active and y = 2·x2 >= 0.
+	net := &verify.Network{Layers: []verify.AffineLayer{
+		{W: [][]float64{{1, 1}, {1, -1}}, B: []float64{0, 0}},
+		{W: [][]float64{{1, -1}}, B: []float64{0}},
+	}}
+	box := []relax.Interval{{Lo: 2, Hi: 3}, {Lo: 0, Hi: 0.5}}
+	res, err := verify.VerifyExact(net, box, &verify.Spec{C: []float64{1}}, verify.ExactOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Verdict)
+	// Output: robust
+}

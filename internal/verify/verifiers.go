@@ -1,0 +1,372 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/relax"
+)
+
+// Spec is a linear robustness property: certify that c·y + d >= 0 for all
+// network outputs y reachable from the input region. (For classification,
+// c = e_true - e_other certifies "class true beats class other".)
+type Spec struct {
+	C []float64
+	D float64
+}
+
+// Eval returns c·y + d.
+func (s *Spec) Eval(y []float64) float64 {
+	v := s.D
+	for i, c := range s.C {
+		v += c * y[i]
+	}
+	return v
+}
+
+// Verdict is a verification outcome.
+type Verdict int
+
+// Outcomes. A relaxed verifier that cannot certify returns VerdictUnknown —
+// the "false negative" the paper attributes to MILP/MICP-style relaxed
+// verifiers when the true answer is robust.
+const (
+	VerdictRobust Verdict = iota + 1
+	VerdictFalsified
+	VerdictUnknown
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictRobust:
+		return "robust"
+	case VerdictFalsified:
+		return "falsified"
+	case VerdictUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Result reports a verification run.
+type Result struct {
+	Verdict        Verdict
+	LowerBound     float64 // certified lower bound on c·y + d (valid when != NaN)
+	Counterexample []float64
+	Nodes          int // BnB nodes (exact verifier)
+	LPs            int // LP solves
+}
+
+// ErrBudget is returned when the exact verifier exceeds its node budget.
+var ErrBudget = errors.New("verify: node budget exhausted")
+
+// VerifyIBP certifies the spec with pure interval arithmetic: cheapest and
+// loosest. It can falsify only via the concrete center point.
+func VerifyIBP(n *Network, input []relax.Interval, spec *Spec) (*Result, error) {
+	lb, err := IBP(n, input)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.C) != n.OutputDim() {
+		return nil, fmt.Errorf("%w: spec dim %d for output %d", ErrBadNetwork, len(spec.C), n.OutputDim())
+	}
+	bound := spec.D
+	for i, c := range spec.C {
+		if c >= 0 {
+			bound += c * lb.Out[i].Lo
+		} else {
+			bound += c * lb.Out[i].Hi
+		}
+	}
+	res := &Result{LowerBound: bound}
+	if bound >= 0 {
+		res.Verdict = VerdictRobust
+		return res, nil
+	}
+	if cx := concreteCounterexample(n, input, spec); cx != nil {
+		res.Verdict = VerdictFalsified
+		res.Counterexample = cx
+		return res, nil
+	}
+	res.Verdict = VerdictUnknown
+	return res, nil
+}
+
+// concreteCounterexample probes the box center and corners of the two most
+// influential inputs for a violating point.
+func concreteCounterexample(n *Network, input []relax.Interval, spec *Spec) []float64 {
+	center := make([]float64, len(input))
+	for i, iv := range input {
+		center[i] = 0.5 * (iv.Lo + iv.Hi)
+	}
+	if spec.Eval(n.Forward(append([]float64(nil), center...))) < 0 {
+		return center
+	}
+	// Probe axis-aligned extremes one coordinate at a time.
+	for i := range input {
+		for _, v := range []float64{input[i].Lo, input[i].Hi} {
+			probe := append([]float64(nil), center...)
+			probe[i] = v
+			if spec.Eval(n.Forward(append([]float64(nil), probe...))) < 0 {
+				return probe
+			}
+		}
+	}
+	// Projected sign-gradient search (PGD) as the strongest cheap attack.
+	return PGDAttack(n, input, spec, 30)
+}
+
+// phase is a per-hidden-neuron ReLU state used by the exact verifier.
+type phase int8
+
+const (
+	phaseFree     phase = 0
+	phaseActive   phase = 1
+	phaseInactive phase = -1
+)
+
+// buildLP constructs the triangle-relaxation LP for the network under the
+// given pre-activation bounds and (optionally) fixed phases. It returns the
+// LP and the index of the first input variable (always 0) plus the offset
+// of the output pre-activation variables.
+func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]phase, spec *Spec) (*lp.Problem, int) {
+	// Variable layout: [input a0][z0 a0'][z1 a1'] ... [zK-1 (output)]
+	nIn := n.InputDim()
+	numVars := nIn
+	zOff := make([]int, len(n.Layers))
+	aOff := make([]int, len(n.Layers))
+	for l := range n.Layers {
+		zOff[l] = numVars
+		numVars += n.Layers[l].Out()
+		if l < len(n.Layers)-1 {
+			aOff[l] = numVars
+			numVars += n.Layers[l].Out()
+		}
+	}
+	p := &lp.Problem{NumVars: numVars}
+	p.Lo = make([]float64, numVars)
+	p.Hi = make([]float64, numVars)
+	for i := range p.Lo {
+		p.Lo[i] = math.Inf(-1)
+		p.Hi[i] = math.Inf(1)
+	}
+	for i, iv := range input {
+		p.Lo[i] = iv.Lo
+		p.Hi[i] = iv.Hi
+	}
+	// Affine equalities and ReLU constraints.
+	for l := range n.Layers {
+		layer := &n.Layers[l]
+		prevOff := 0
+		prevDim := nIn
+		if l > 0 {
+			prevOff = aOff[l-1]
+			prevDim = n.Layers[l-1].Out()
+		}
+		for i := 0; i < layer.Out(); i++ {
+			// z_{l,i} - Σ w_ij a_{l-1,j} = b_i
+			row := make([]float64, numVars)
+			row[zOff[l]+i] = 1
+			for j := 0; j < prevDim; j++ {
+				row[prevOff+j] = -layer.W[i][j]
+			}
+			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: layer.B[i]})
+			// z bounds from propagation tighten the LP.
+			iv := lb.Pre[l][i]
+			p.Lo[zOff[l]+i] = iv.Lo
+			p.Hi[zOff[l]+i] = iv.Hi
+			if l == len(n.Layers)-1 {
+				continue
+			}
+			zv := zOff[l] + i
+			av := aOff[l] + i
+			ph := phaseFree
+			if phases != nil {
+				ph = phases[l][i]
+			}
+			r, _ := relax.NewReLURelaxation(iv)
+			switch {
+			case ph == phaseInactive || r.Kind == relax.ReLUDead:
+				// a = 0, z <= 0.
+				p.Lo[av], p.Hi[av] = 0, 0
+				if p.Hi[zv] > 0 {
+					p.Hi[zv] = 0
+				}
+			case ph == phaseActive || r.Kind == relax.ReLUActive:
+				// a = z, z >= 0.
+				if p.Lo[zv] < 0 {
+					p.Lo[zv] = 0
+				}
+				eq := make([]float64, numVars)
+				eq[av] = 1
+				eq[zv] = -1
+				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: eq, Sense: lp.EQ, RHS: 0})
+				p.Lo[av] = 0
+				p.Hi[av] = math.Max(0, iv.Hi)
+			default:
+				// Triangle: a >= 0, a >= z, a <= slope·z + offset.
+				p.Lo[av] = 0
+				p.Hi[av] = math.Max(0, iv.Hi)
+				ge := make([]float64, numVars)
+				ge[av] = 1
+				ge[zv] = -1
+				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: ge, Sense: lp.GE, RHS: 0})
+				le := make([]float64, numVars)
+				le[av] = 1
+				le[zv] = -r.Slope
+				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: le, Sense: lp.LE, RHS: r.Offset})
+			}
+		}
+	}
+	// Objective: minimize c·z_out (+ d added by caller).
+	p.Objective = make([]float64, numVars)
+	outOff := zOff[len(n.Layers)-1]
+	for i, c := range spec.C {
+		p.Objective[outOff+i] = c
+	}
+	return p, outOff
+}
+
+// VerifyTriangle certifies the spec with one triangle-relaxation LP — the
+// relaxed (incomplete) verifier. The LP's pre-activation bounds come from
+// backward linear propagation (CROWN), so the triangle relaxation is at
+// least as tight as the one interval arithmetic would give.
+func VerifyTriangle(n *Network, input []relax.Interval, spec *Spec) (*Result, error) {
+	lb, err := CROWN(n, input)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.C) != n.OutputDim() {
+		return nil, fmt.Errorf("%w: spec dim %d for output %d", ErrBadNetwork, len(spec.C), n.OutputDim())
+	}
+	prob, _ := buildLP(n, input, lb, nil, spec)
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("verify: triangle LP: %w", err)
+	}
+	res := &Result{LPs: 1, LowerBound: math.Inf(-1)}
+	if sol.Status != lp.StatusOptimal {
+		// The relaxation includes the true reachable set, so infeasibility
+		// can only mean an empty input box.
+		res.Verdict = VerdictUnknown
+		return res, nil
+	}
+	res.LowerBound = sol.Objective + spec.D
+	if res.LowerBound >= -1e-9 {
+		res.Verdict = VerdictRobust
+		return res, nil
+	}
+	// Try the LP minimizer's input as a concrete counterexample.
+	x := sol.X[:n.InputDim()]
+	if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
+		res.Verdict = VerdictFalsified
+		res.Counterexample = append([]float64(nil), x...)
+		return res, nil
+	}
+	if cx := concreteCounterexample(n, input, spec); cx != nil {
+		res.Verdict = VerdictFalsified
+		res.Counterexample = cx
+		return res, nil
+	}
+	res.Verdict = VerdictUnknown
+	return res, nil
+}
+
+// ExactOptions configures the exact verifier.
+type ExactOptions struct {
+	MaxNodes int // default 10000
+}
+
+// VerifyExact runs complete branch-and-bound over ReLU phases: every
+// answer is definitive (no false positives or negatives), at worst-case
+// exponential cost in the number of unstable neurons.
+func VerifyExact(n *Network, input []relax.Interval, spec *Spec, o ExactOptions) (*Result, error) {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 10000
+	}
+	// CROWN pre-activation bounds shrink the set of unstable neurons the
+	// search must branch on.
+	lb, err := CROWN(n, input)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.C) != n.OutputDim() {
+		return nil, fmt.Errorf("%w: spec dim %d for output %d", ErrBadNetwork, len(spec.C), n.OutputDim())
+	}
+	hidden := len(n.Layers) - 1
+	root := make([][]phase, hidden)
+	for l := 0; l < hidden; l++ {
+		root[l] = make([]phase, n.Layers[l].Out())
+	}
+	res := &Result{LowerBound: math.Inf(1)}
+	stack := [][][]phase{root}
+	for len(stack) > 0 {
+		if res.Nodes >= o.MaxNodes {
+			return res, fmt.Errorf("%w after %d nodes", ErrBudget, res.Nodes)
+		}
+		phases := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+		prob, _ := buildLP(n, input, lb, phases, spec)
+		sol, err := lp.Solve(prob)
+		res.LPs++
+		if err != nil {
+			return res, fmt.Errorf("verify: node LP: %w", err)
+		}
+		if sol.Status != lp.StatusOptimal {
+			continue // empty phase region
+		}
+		nodeBound := sol.Objective + spec.D
+		if nodeBound >= -1e-9 {
+			if nodeBound < res.LowerBound {
+				res.LowerBound = nodeBound
+			}
+			continue // subtree certified
+		}
+		// Check the LP minimizer as a concrete counterexample.
+		x := sol.X[:n.InputDim()]
+		if spec.Eval(n.Forward(append([]float64(nil), x...))) < -1e-12 {
+			res.Verdict = VerdictFalsified
+			res.Counterexample = append([]float64(nil), x...)
+			res.LowerBound = nodeBound
+			return res, nil
+		}
+		// Branch on the first still-free unstable neuron.
+		bl, bi := -1, -1
+	findBranch:
+		for l := 0; l < hidden; l++ {
+			for i := range phases[l] {
+				iv := lb.Pre[l][i]
+				if phases[l][i] == phaseFree && iv.Lo < 0 && iv.Hi > 0 {
+					bl, bi = l, i
+					break findBranch
+				}
+			}
+		}
+		if bl < 0 {
+			// All phases fixed: the LP was exact, and its minimum is
+			// negative, so the phase region contains a true violation.
+			res.Verdict = VerdictFalsified
+			res.Counterexample = append([]float64(nil), x...)
+			res.LowerBound = nodeBound
+			return res, nil
+		}
+		for _, ph := range []phase{phaseActive, phaseInactive} {
+			child := make([][]phase, hidden)
+			for l := range phases {
+				child[l] = append([]phase(nil), phases[l]...)
+			}
+			child[bl][bi] = ph
+			stack = append(stack, child)
+		}
+	}
+	res.Verdict = VerdictRobust
+	if math.IsInf(res.LowerBound, 1) {
+		res.LowerBound = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,335 @@
+package verify
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/relax"
+	"repro/internal/rng"
+)
+
+// tinyNet is a hand-checkable 2-2-1 ReLU network:
+//
+//	z1 = [x1+x2, x1-x2], a = relu(z1), y = a1 - a2.
+func tinyNet() *Network {
+	return &Network{Layers: []AffineLayer{
+		{W: [][]float64{{1, 1}, {1, -1}}, B: []float64{0, 0}},
+		{W: [][]float64{{1, -1}}, B: []float64{0}},
+	}}
+}
+
+func randomNet(r *rng.Rand, dims []int) *Network {
+	n := &Network{}
+	for l := 0; l+1 < len(dims); l++ {
+		layer := AffineLayer{B: make([]float64, dims[l+1])}
+		for i := 0; i < dims[l+1]; i++ {
+			row := make([]float64, dims[l])
+			for j := range row {
+				row[j] = r.Norm() / math.Sqrt(float64(dims[l]))
+			}
+			layer.W = append(layer.W, row)
+			layer.B[i] = 0.1 * r.Norm()
+		}
+		n.Layers = append(n.Layers, layer)
+	}
+	return n
+}
+
+func TestForward(t *testing.T) {
+	n := tinyNet()
+	y := n.Forward([]float64{2, 1})
+	// z = [3, 1], a = [3, 1], y = 2.
+	if y[0] != 2 {
+		t.Fatalf("forward = %v, want 2", y[0])
+	}
+	y = n.Forward([]float64{-1, 0})
+	// z = [-1, -1], a = [0, 0], y = 0.
+	if y[0] != 0 {
+		t.Fatalf("forward = %v, want 0", y[0])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Network{Layers: []AffineLayer{
+		{W: [][]float64{{1, 1}}, B: []float64{0}},
+		{W: [][]float64{{1, 2}}, B: []float64{0}}, // fan-in 2 != fan-out 1
+	}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadNetwork) {
+		t.Fatalf("want ErrBadNetwork, got %v", err)
+	}
+	if err := (&Network{}).Validate(); !errors.Is(err, ErrBadNetwork) {
+		t.Fatal("empty network should fail")
+	}
+	ragged := &Network{Layers: []AffineLayer{{W: [][]float64{{1, 1}, {1}}, B: []float64{0, 0}}}}
+	if err := ragged.Validate(); !errors.Is(err, ErrBadNetwork) {
+		t.Fatal("ragged rows should fail")
+	}
+}
+
+func TestIBPSoundness(t *testing.T) {
+	// Property: for random nets and random points in the box, the forward
+	// value lies inside the IBP output bounds.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		net := randomNet(r, []int{3, 5, 4, 2})
+		center := []float64{r.Norm(), r.Norm(), r.Norm()}
+		eps := 0.1 + 0.4*r.Float64()
+		box := BoxAround(center, eps)
+		lb, err := IBP(net, box)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, 3)
+			for i := range x {
+				x[i] = r.Uniform(box[i].Lo, box[i].Hi)
+			}
+			y := net.Forward(x)
+			for i, iv := range lb.Out {
+				if y[i] < iv.Lo-1e-9 || y[i] > iv.Hi+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIBPTinyNetExact(t *testing.T) {
+	// Box [0,1]×[0,1]: z1 in [0,2] (active), z2 in [-1,1] (unstable).
+	lb, err := IBP(tinyNet(), []relax.Interval{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb.Pre[0][0] != (relax.Interval{Lo: 0, Hi: 2}) {
+		t.Fatalf("pre[0][0] = %+v", lb.Pre[0][0])
+	}
+	if lb.Pre[0][1] != (relax.Interval{Lo: -1, Hi: 1}) {
+		t.Fatalf("pre[0][1] = %+v", lb.Pre[0][1])
+	}
+	if lb.UnstableCount() != 1 {
+		t.Fatalf("unstable = %d, want 1", lb.UnstableCount())
+	}
+	if lb.TotalWidth() <= 0 {
+		t.Fatal("total width should be positive")
+	}
+}
+
+func TestTriangleTighterThanIBP(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 10; trial++ {
+		net := randomNet(r, []int{2, 6, 6, 1})
+		box := BoxAround([]float64{r.Norm(), r.Norm()}, 0.5)
+		spec := &Spec{C: []float64{1}, D: 0}
+		ibp, err := VerifyIBP(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tri, err := VerifyTriangle(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(tri.LowerBound, -1) {
+			t.Fatal("triangle LP should produce a bound")
+		}
+		if tri.LowerBound < ibp.LowerBound-1e-6 {
+			t.Fatalf("triangle bound %v looser than IBP %v", tri.LowerBound, ibp.LowerBound)
+		}
+	}
+}
+
+func TestTriangleSound(t *testing.T) {
+	// The triangle lower bound never exceeds the true minimum (sampled).
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		net := randomNet(r, []int{2, 4, 1})
+		box := BoxAround([]float64{0, 0}, 1)
+		spec := &Spec{C: []float64{1}}
+		res, err := VerifyTriangle(net, box, spec)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1)}
+			if spec.Eval(net.Forward(x)) < res.LowerBound-1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRobustCase(t *testing.T) {
+	// y = a1 - a2 over box x ∈ [2,3]×[0,0.5]: z1=x1+x2 ∈ [2,3.5] (active),
+	// z2=x1-x2 ∈ [1.5,3] (active) → y = (x1+x2)-(x1-x2) = 2x2 ∈ [0,1] ≥ 0.
+	net := tinyNet()
+	box := []relax.Interval{{Lo: 2, Hi: 3}, {Lo: 0, Hi: 0.5}}
+	spec := &Spec{C: []float64{1}}
+	res, err := VerifyExact(net, box, spec, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictRobust {
+		t.Fatalf("verdict = %v, want robust", res.Verdict)
+	}
+	if res.LowerBound < -1e-9 {
+		t.Fatalf("lower bound %v", res.LowerBound)
+	}
+}
+
+func TestExactFalsifiedCase(t *testing.T) {
+	// Over [-1,1]²: pick x2 < 0 < x1, e.g. x=(0.5,-0.5): z=[0,1], a=[0,1],
+	// y=-1 < 0 — the property y >= 0 must be falsified.
+	net := tinyNet()
+	box := BoxAround([]float64{0, 0}, 1)
+	spec := &Spec{C: []float64{1}}
+	res, err := VerifyExact(net, box, spec, ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictFalsified {
+		t.Fatalf("verdict = %v, want falsified", res.Verdict)
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample returned")
+	}
+	if v := spec.Eval(net.Forward(append([]float64(nil), res.Counterexample...))); v >= 0 {
+		t.Fatalf("counterexample does not violate: %v", v)
+	}
+}
+
+// TestExactAgreesWithSampling cross-validates the exact verifier against
+// dense sampling on random 2-input networks.
+func TestExactAgreesWithSampling(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		net := randomNet(r, []int{2, 4, 1})
+		box := BoxAround([]float64{0.3 * r.Norm(), 0.3 * r.Norm()}, 0.6)
+		spec := &Spec{C: []float64{1}, D: 0.05}
+		res, err := VerifyExact(net, box, spec, ExactOptions{MaxNodes: 5000})
+		if err != nil {
+			return false
+		}
+		// Dense grid sampling for the empirical minimum.
+		minVal := math.Inf(1)
+		const g = 40
+		for i := 0; i <= g; i++ {
+			for j := 0; j <= g; j++ {
+				x := []float64{
+					box[0].Lo + (box[0].Hi-box[0].Lo)*float64(i)/g,
+					box[1].Lo + (box[1].Hi-box[1].Lo)*float64(j)/g,
+				}
+				if v := spec.Eval(net.Forward(x)); v < minVal {
+					minVal = v
+				}
+			}
+		}
+		switch res.Verdict {
+		case VerdictRobust:
+			// No sampled point may violate.
+			return minVal >= -1e-6
+		case VerdictFalsified:
+			// There must really be a violation at the counterexample.
+			cx := append([]float64(nil), res.Counterexample...)
+			return spec.Eval(net.Forward(cx)) < 0
+		default:
+			return false // exact verifier never answers unknown
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactBudget(t *testing.T) {
+	r := rng.New(7)
+	net := randomNet(r, []int{3, 10, 10, 1})
+	box := BoxAround([]float64{0, 0, 0}, 2) // wide box → many unstable neurons
+	spec := &Spec{C: []float64{1}, D: 100}  // easily robust but budget tiny
+	_, err := VerifyExact(net, box, spec, ExactOptions{MaxNodes: 1})
+	// Either it certifies at the root in one LP (possible) or runs out.
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSpecDimMismatch(t *testing.T) {
+	net := tinyNet()
+	box := BoxAround([]float64{0, 0}, 1)
+	bad := &Spec{C: []float64{1, 2}}
+	if _, err := VerifyIBP(net, box, bad); err == nil {
+		t.Fatal("want spec dim error (ibp)")
+	}
+	if _, err := VerifyTriangle(net, box, bad); err == nil {
+		t.Fatal("want spec dim error (triangle)")
+	}
+	if _, err := VerifyExact(net, box, bad, ExactOptions{}); err == nil {
+		t.Fatal("want spec dim error (exact)")
+	}
+}
+
+func TestVerifierHierarchy(t *testing.T) {
+	// Whenever IBP certifies, triangle must certify; whenever triangle
+	// certifies, exact must certify (monotone tightness).
+	r := rng.New(11)
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		net := randomNet(r, []int{2, 5, 1})
+		box := BoxAround([]float64{r.Norm(), r.Norm()}, 0.3)
+		spec := &Spec{C: []float64{1}, D: 2}
+		ibp, err := VerifyIBP(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tri, err := VerifyTriangle(net, box, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := VerifyExact(net, box, spec, ExactOptions{MaxNodes: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ibp.Verdict == VerdictRobust && tri.Verdict != VerdictRobust {
+			t.Fatal("triangle failed where IBP certified")
+		}
+		if tri.Verdict == VerdictRobust && ex.Verdict != VerdictRobust {
+			t.Fatal("exact failed where triangle certified")
+		}
+		if ibp.Verdict == VerdictRobust {
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Log("no IBP-certifiable instance drawn; hierarchy vacuously held")
+	}
+}
+
+func BenchmarkTriangleLP(b *testing.B) {
+	r := rng.New(1)
+	net := randomNet(r, []int{4, 12, 12, 2})
+	box := BoxAround(make([]float64, 4), 0.5)
+	spec := &Spec{C: []float64{1, -1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = VerifyTriangle(net, box, spec)
+	}
+}
+
+func BenchmarkExactSmall(b *testing.B) {
+	r := rng.New(2)
+	net := randomNet(r, []int{2, 6, 1})
+	box := BoxAround([]float64{0, 0}, 0.5)
+	spec := &Spec{C: []float64{1}, D: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = VerifyExact(net, box, spec, ExactOptions{MaxNodes: 5000})
+	}
+}

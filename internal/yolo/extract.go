@@ -1,0 +1,131 @@
+package yolo
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/verify"
+)
+
+// blockAtom is one affine stage inside a block: a closure running a
+// layer (or fire sub-map) in eval mode.
+type blockAtom func(*nn.Tensor) (*nn.Tensor, error)
+
+// ToVerifyNetwork converts a trained nn.Sequential into the affine/ReLU
+// chain the verify package certifies. Supported: Dense, Conv2D, Flatten,
+// BatchNorm (eval mode) inside affine blocks; plain ReLU (LeakyReLU
+// alpha=0) as block boundaries; and Fire/SpecialFire modules, which
+// decompose exactly into affine→ReLU→affine→ReLU because their parallel
+// expand convolutions read the same input (channel concatenation of
+// parallel affine maps is one affine map). Pooling and nonzero leaky
+// slopes have no affine/ReLU form and are rejected.
+//
+// Each affine block's matrix is materialized by basis probing: a batch of
+// dim+1 inputs (zero plus each unit vector) is pushed through the block in
+// eval mode, recovering b = f(0) and columns A_j = f(e_j) - b. This is
+// exact because the block is affine. Flattening between blocks follows the
+// tensors' row-major layout, so chained blocks compose consistently.
+func ToVerifyNetwork(net *nn.Sequential, inShape []int) (*verify.Network, error) {
+	if len(inShape) == 0 {
+		return nil, fmt.Errorf("%w: empty input shape", ErrSpec)
+	}
+	var out verify.Network
+	var block []blockAtom
+	shape := append([]int(nil), inShape...)
+
+	flush := func() error {
+		if len(block) == 0 {
+			return fmt.Errorf("%w: two consecutive ReLUs or leading ReLU", ErrSpec)
+		}
+		layer, outShape, err := materialize(block, shape)
+		if err != nil {
+			return err
+		}
+		out.Layers = append(out.Layers, *layer)
+		shape = outShape
+		block = nil
+		return nil
+	}
+	layerAtom := func(l nn.Layer) blockAtom {
+		return func(x *nn.Tensor) (*nn.Tensor, error) { return l.Forward(x, false) }
+	}
+
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *nn.Dense, *nn.Conv2D, *nn.Flatten, *nn.BatchNorm:
+			block = append(block, layerAtom(l))
+		case *nn.LeakyReLU:
+			if v.Alpha != 0 {
+				return nil, fmt.Errorf("%w: leaky ReLU (alpha=%g) is not affine/ReLU form", ErrSpec, v.Alpha)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case *nn.Fire:
+			if err := appendFire(&block, flush, v); err != nil {
+				return nil, err
+			}
+		case *nn.SpecialFire:
+			if err := appendFire(&block, flush, &v.Fire); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: layer %s unsupported for verification", ErrSpec, l.Name())
+		}
+	}
+	if len(block) > 0 {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	if len(out.Layers) == 0 {
+		return nil, fmt.Errorf("%w: network reduced to zero affine layers", ErrSpec)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// appendFire decomposes a fire module into squeeze-affine | ReLU |
+// expand-affine | ReLU on the running block list.
+func appendFire(block *[]blockAtom, flush func() error, f *nn.Fire) error {
+	*block = append(*block, func(x *nn.Tensor) (*nn.Tensor, error) { return f.SqueezeAffine(x, false) })
+	if err := flush(); err != nil {
+		return err
+	}
+	*block = append(*block, func(x *nn.Tensor) (*nn.Tensor, error) { return f.ExpandAffine(x, false) })
+	return flush()
+}
+
+// materialize probes an affine block and returns the equivalent layer plus
+// the block's tensor output shape (without the batch axis).
+func materialize(block []blockAtom, inShape []int) (*verify.AffineLayer, []int, error) {
+	dim := 1
+	for _, s := range inShape {
+		dim *= s
+	}
+	probe := nn.NewTensor(append([]int{dim + 1}, inShape...)...)
+	for j := 0; j < dim; j++ {
+		probe.Data[(j+1)*dim+j] = 1
+	}
+	x := probe
+	var err error
+	for i, fwd := range block {
+		x, err = fwd(x)
+		if err != nil {
+			return nil, nil, fmt.Errorf("yolo: probing block atom %d: %w", i, err)
+		}
+	}
+	outDim := x.Len() / (dim + 1)
+	layer := &verify.AffineLayer{B: make([]float64, outDim)}
+	copy(layer.B, x.Data[:outDim])
+	layer.W = make([][]float64, outDim)
+	for i := 0; i < outDim; i++ {
+		layer.W[i] = make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			layer.W[i][j] = x.Data[(j+1)*outDim+i] - layer.B[i]
+		}
+	}
+	return layer, append([]int(nil), x.Shape[1:]...), nil
+}

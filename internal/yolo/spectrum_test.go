@@ -1,0 +1,96 @@
+package yolo
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSpectrumTaskValidation(t *testing.T) {
+	if _, err := NewSpectrumTask(1, 8, 2, 1); !errors.Is(err, ErrSpec) {
+		t.Fatal("bands=1 should fail")
+	}
+	if _, err := NewSpectrumTask(4, 2, 2, 1); !errors.Is(err, ErrSpec) {
+		t.Fatal("img=2 should fail")
+	}
+	if _, err := NewSpectrumTask(4, 8, 0, 1); !errors.Is(err, ErrSpec) {
+		t.Fatal("snr=0 should fail")
+	}
+}
+
+func TestSpectrumBatchShapes(t *testing.T) {
+	task, err := NewSpectrumTask(4, 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := task.Batch(16)
+	if x.Shape[0] != 16 || x.Shape[1] != 1 || x.Shape[2] != 8 || x.Shape[3] != 8 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d", l)
+		}
+	}
+	for _, v := range x.Data {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("bad spectrogram value %v", v)
+		}
+	}
+}
+
+// TestSpectrumIsLearnable: the tone's band must be recoverable from the
+// pooled spectrogram — a linear probe of the energy column already works,
+// so the MSY3I certainly should.
+func TestSpectrumIsLearnable(t *testing.T) {
+	task, err := NewSpectrumTask(4, 8, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy-column heuristic: the frequency column (x axis) with maximal
+	// total energy indicates the band.
+	x, labels := task.Batch(200)
+	correct := 0
+	for i := 0; i < 200; i++ {
+		bestCol, bestE := 0, -1.0
+		for col := 0; col < 8; col++ {
+			var e float64
+			for row := 0; row < 8; row++ {
+				e += x.At4(i, 0, row, col)
+			}
+			if e > bestE {
+				bestE = e
+				bestCol = col
+			}
+		}
+		// Columns 0..7 over half-spectrum map to bands 0..3 roughly two
+		// columns per band.
+		pred := bestCol * 4 / 8
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	if correct < 120 { // 60%; chance is 25%
+		t.Fatalf("energy heuristic only %d/200 — task may be unlearnable", correct)
+	}
+}
+
+func TestMSY3ILearnsSpectrumSensing(t *testing.T) {
+	task, err := NewSpectrumTask(4, 8, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Variant: VariantSqueezed, InC: 1, In: 8, Stages: 2, Width: 6,
+		SqueezeRatio: 0.33, GridClasses: task.Classes()}
+	net, err := Build(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainEvalSpectrum(net, task, 150, 16, 200, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.7 {
+		t.Fatalf("spectrum-sensing accuracy %v, want >= 0.7", res.Accuracy)
+	}
+}

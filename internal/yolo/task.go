@@ -1,0 +1,118 @@
+package yolo
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// DetectionTask is the synthetic proxy workload: single-channel images
+// containing one bright blob; the label is the grid cell the blob falls in.
+// This exercises exactly what a one-scale YOLO head does — classify which
+// cell contains the object — at a size trainable in milliseconds.
+type DetectionTask struct {
+	In    int // image size (square)
+	Grid  int // label grid (Grid*Grid classes)
+	Noise float64
+	r     *rng.Rand
+}
+
+// NewDetectionTask builds a task; in must be divisible by grid.
+func NewDetectionTask(in, grid int, noise float64, seed uint64) (*DetectionTask, error) {
+	if in < 4 || grid < 2 || in%grid != 0 {
+		return nil, fmt.Errorf("%w: task in=%d grid=%d", ErrSpec, in, grid)
+	}
+	return &DetectionTask{In: in, Grid: grid, Noise: noise, r: rng.New(seed)}, nil
+}
+
+// Classes returns the number of labels.
+func (t *DetectionTask) Classes() int { return t.Grid * t.Grid }
+
+// Batch draws n labelled images.
+func (t *DetectionTask) Batch(n int) (*nn.Tensor, []int) {
+	x := nn.NewTensor(n, 1, t.In, t.In)
+	labels := make([]int, n)
+	cell := t.In / t.Grid
+	for i := 0; i < n; i++ {
+		gy := t.r.Intn(t.Grid)
+		gx := t.r.Intn(t.Grid)
+		labels[i] = gy*t.Grid + gx
+		// Blob center inside the cell, away from its border.
+		cy := gy*cell + 1 + t.r.Intn(cell-1)
+		cx := gx*cell + 1 + t.r.Intn(cell-1)
+		for y := 0; y < t.In; y++ {
+			for xx := 0; xx < t.In; xx++ {
+				v := t.Noise * t.r.Norm()
+				dy, dx := y-cy, xx-cx
+				if dy*dy+dx*dx <= 2 {
+					v += 1.0
+				}
+				x.Set4(i, 0, y, xx, v)
+			}
+		}
+	}
+	return x, labels
+}
+
+// TrainResult reports a short training run.
+type TrainResult struct {
+	FinalLoss float64
+	Accuracy  float64
+	Params    int
+}
+
+// TrainEval trains net on the task for the given number of steps and
+// returns held-out accuracy. It is the inner loop of the PSO
+// hyperparameter tuner and of the squeeze-tradeoff experiment.
+func TrainEval(net *nn.Sequential, task *DetectionTask, steps, batch, evalN int, lr float64) (*TrainResult, error) {
+	if lr == 0 {
+		lr = 1e-2
+	}
+	if batch == 0 {
+		batch = 16
+	}
+	if evalN == 0 {
+		evalN = 200
+	}
+	opt := nn.NewAdam(lr)
+	res := &TrainResult{Params: net.NumParams()}
+	for s := 0; s < steps; s++ {
+		x, labels := task.Batch(batch)
+		net.ZeroGrad()
+		out, err := net.Forward(x, true)
+		if err != nil {
+			return nil, fmt.Errorf("yolo: train step %d: %w", s, err)
+		}
+		loss, grad, err := nn.SoftmaxCrossEntropy(out, labels)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := net.Backward(grad); err != nil {
+			return nil, err
+		}
+		opt.Step(net.Params())
+		res.FinalLoss = loss
+	}
+	// Held-out evaluation.
+	x, labels := task.Batch(evalN)
+	out, err := net.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	correct := 0
+	k := out.Shape[1]
+	for i := 0; i < evalN; i++ {
+		best := 0
+		for j := 1; j < k; j++ {
+			if out.At2(i, j) > out.At2(i, best) {
+				best = j
+			}
+		}
+		if best == labels[i] {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(evalN)
+	return res, nil
+}

@@ -1,0 +1,341 @@
+package yolo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/verify"
+)
+
+func TestSpecValidation(t *testing.T) {
+	good := Spec{Variant: VariantPlain, InC: 1, In: 8, Stages: 2, Width: 4, GridClasses: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Spec{
+		{},
+		{Variant: VariantPlain, InC: 0, In: 8, Stages: 1, Width: 4, GridClasses: 4},
+		{Variant: VariantPlain, InC: 1, In: 8, Stages: 9, Width: 4, GridClasses: 4},
+		{Variant: VariantSqueezed, InC: 1, In: 8, Stages: 1, Width: 4, SqueezeRatio: 0, GridClasses: 4},
+		{Variant: VariantPlain, InC: 1, In: 8, Stages: 1, Width: 4, GridClasses: 1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); !errors.Is(err, ErrSpec) {
+			t.Fatalf("case %d: want ErrSpec, got %v", i, err)
+		}
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	for _, v := range []Variant{VariantPlain, VariantSqueezed} {
+		s := Spec{Variant: v, InC: 1, In: 8, Stages: 2, Width: 4, SqueezeRatio: 0.25, GridClasses: 16}
+		net, err := Build(s, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		x := nn.NewTensor(2, 1, 8, 8)
+		out, err := net.Forward(x, true)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if out.Shape[0] != 2 || out.Shape[1] != 16 {
+			t.Fatalf("%v: output shape %v", v, out.Shape)
+		}
+	}
+}
+
+func TestSqueezedHasFewerParams(t *testing.T) {
+	plain := Spec{Variant: VariantPlain, InC: 1, In: 16, Stages: 3, Width: 8, GridClasses: 16}
+	squeezed := plain
+	squeezed.Variant = VariantSqueezed
+	squeezed.SqueezeRatio = 0.25
+	pPlain, err := ParamCount(plain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSq, err := ParamCount(squeezed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSq >= pPlain {
+		t.Fatalf("squeezed (%d) should have fewer params than plain (%d)", pSq, pPlain)
+	}
+}
+
+func TestDetectionTaskLabels(t *testing.T) {
+	task, err := NewDetectionTask(8, 2, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels := task.Batch(64)
+	if x.Shape[0] != 64 || x.Shape[2] != 8 {
+		t.Fatalf("batch shape %v", x.Shape)
+	}
+	for _, l := range labels {
+		if l < 0 || l >= task.Classes() {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	if _, err := NewDetectionTask(8, 3, 0, 1); !errors.Is(err, ErrSpec) {
+		t.Fatal("non-divisible grid should fail")
+	}
+}
+
+func TestTrainingLearnsTask(t *testing.T) {
+	task, err := NewDetectionTask(8, 2, 0.05, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Spec{Variant: VariantSqueezed, InC: 1, In: 8, Stages: 2, Width: 6, SqueezeRatio: 0.33, GridClasses: task.Classes()}
+	net, err := Build(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainEval(net, task, 150, 16, 200, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-way task, random = 0.25; trained should be far better.
+	if res.Accuracy < 0.7 {
+		t.Fatalf("accuracy %v after training, want >= 0.7", res.Accuracy)
+	}
+}
+
+func TestSpecFromParams(t *testing.T) {
+	dims := SearchSpace()
+	if len(dims) != 3 {
+		t.Fatalf("search space size %d", len(dims))
+	}
+	s, err := SpecFromParams([]float64{8, 2, 0.25}, 1, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width != 8 || s.Stages != 2 || s.SqueezeRatio != 0.25 {
+		t.Fatalf("decoded spec %+v", s)
+	}
+	if _, err := SpecFromParams([]float64{8, 2}, 1, 8, 4); !errors.Is(err, ErrSpec) {
+		t.Fatal("want param-count error")
+	}
+}
+
+// TestToVerifyNetworkExact checks the extracted affine/ReLU network
+// reproduces the original's outputs exactly (eval mode) on random inputs.
+func TestToVerifyNetworkExact(t *testing.T) {
+	r := rng.New(7)
+	net := nn.NewSequential(
+		nn.NewConv2D(1, 2, 3, 2, 1, r),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(2*4*4, 5, r),
+		nn.NewReLU(),
+		nn.NewDense(5, 3, r),
+	)
+	vn, err := ToVerifyNetwork(net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vn.Layers) != 3 {
+		t.Fatalf("extracted %d affine layers, want 3", len(vn.Layers))
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := nn.NewTensor(1, 1, 8, 8)
+		flat := make([]float64, 64)
+		for i := range flat {
+			flat[i] = r.Norm()
+			x.Data[i] = flat[i]
+		}
+		want, err := net.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := vn.Forward(flat)
+		for i := range got {
+			if math.Abs(got[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("trial %d output %d: %v vs %v", trial, i, got[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestToVerifyNetworkWithBatchNorm(t *testing.T) {
+	r := rng.New(8)
+	bn := nn.NewBatchNorm(4)
+	net := nn.NewSequential(
+		nn.NewDense(3, 4, r),
+		bn,
+		nn.NewReLU(),
+		nn.NewDense(4, 2, r),
+	)
+	// Push some data through in train mode so running stats are non-trivial.
+	for i := 0; i < 50; i++ {
+		x := nn.NewTensor(8, 3)
+		for j := range x.Data {
+			x.Data[j] = r.Norm()*2 + 1
+		}
+		if _, err := net.Forward(x, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vn, err := ToVerifyNetwork(net, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -1.2, 0.8}
+	xt, _ := nn.FromSlice(x, 1, 3)
+	want, err := net.Forward(xt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vn.Forward(append([]float64(nil), x...))
+	for i := range got {
+		if math.Abs(got[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("output %d: %v vs %v", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestToVerifyNetworkRejectsUnsupported(t *testing.T) {
+	r := rng.New(9)
+	withPool := nn.NewSequential(nn.NewConv2D(1, 1, 3, 1, 1, r), nn.NewMaxPool2D(2))
+	if _, err := ToVerifyNetwork(withPool, []int{1, 4, 4}); !errors.Is(err, ErrSpec) {
+		t.Fatalf("want ErrSpec for maxpool, got %v", err)
+	}
+	withLeaky := nn.NewSequential(nn.NewDense(2, 2, r), nn.NewLeakyReLU(0.1))
+	if _, err := ToVerifyNetwork(withLeaky, []int{2}); !errors.Is(err, ErrSpec) {
+		t.Fatalf("want ErrSpec for leaky, got %v", err)
+	}
+}
+
+// TestVerifyTrainedMSY3I runs the full pipeline: build, train briefly,
+// extract, and verify a margin property around a concrete input — the
+// bound-tightening substrate of the RCR loop.
+func TestVerifyTrainedMSY3I(t *testing.T) {
+	r := rng.New(10)
+	net := nn.NewSequential(
+		nn.NewDense(4, 8, r),
+		nn.NewReLU(),
+		nn.NewDense(8, 2, r),
+	)
+	vn, err := ToVerifyNetwork(net, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -0.2, 0.1, 0.9}
+	y := vn.Forward(append([]float64(nil), x...))
+	margin := y[0] - y[1]
+	spec := &verify.Spec{C: []float64{1, -1}, D: -margin + 0.5}
+	box := verify.BoxAround(x, 0.01)
+	res, err := verify.VerifyExact(vn, box, spec, verify.ExactOptions{MaxNodes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a +0.5 slack and a tiny box, the property must hold.
+	if res.Verdict != verify.VerdictRobust {
+		t.Fatalf("verdict %v", res.Verdict)
+	}
+}
+
+// TestToVerifyNetworkFire checks the fire-module decomposition is exact.
+func TestToVerifyNetworkFire(t *testing.T) {
+	r := rng.New(12)
+	fire := nn.NewFire(1, 2, 2, 2, r)
+	net := nn.NewSequential(
+		fire,
+		nn.NewFlatten(),
+		nn.NewDense(4*4*4, 3, r),
+	)
+	vn, err := ToVerifyNetwork(net, []int{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// squeeze | expand | head = 3 affine layers.
+	if len(vn.Layers) != 3 {
+		t.Fatalf("extracted %d layers, want 3", len(vn.Layers))
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := nn.NewTensor(1, 1, 4, 4)
+		flat := make([]float64, 16)
+		for i := range flat {
+			flat[i] = r.Norm()
+			x.Data[i] = flat[i]
+		}
+		want, err := net.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := vn.Forward(flat)
+		for i := range got {
+			if math.Abs(got[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("trial %d output %d: %v vs %v", trial, i, got[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestToVerifyNetworkConsecutiveConvs checks shape tracking across plain
+// conv stages (the un-squeezed backbone form).
+func TestToVerifyNetworkConsecutiveConvs(t *testing.T) {
+	r := rng.New(13)
+	net := nn.NewSequential(
+		nn.NewConv2D(1, 2, 3, 2, 1, r),
+		nn.NewReLU(),
+		nn.NewConv2D(2, 4, 3, 2, 1, r),
+		nn.NewReLU(),
+		nn.NewFlatten(),
+		nn.NewDense(4*2*2, 2, r),
+	)
+	vn, err := ToVerifyNetwork(net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := nn.NewTensor(1, 1, 8, 8)
+	flat := make([]float64, 64)
+	for i := range flat {
+		flat[i] = r.Norm()
+		x.Data[i] = flat[i]
+	}
+	want, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vn.Forward(flat)
+	for i := range got {
+		if math.Abs(got[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("output %d: %v vs %v", i, got[i], want.Data[i])
+		}
+	}
+}
+
+// TestToVerifyMSY3IBuild extracts a full squeezed MSY3I from Build.
+func TestToVerifyMSY3IBuild(t *testing.T) {
+	s := Spec{Variant: VariantSqueezed, InC: 1, In: 8, Stages: 2, Width: 4, SqueezeRatio: 0.5, GridClasses: 4}
+	net, err := Build(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vn, err := ToVerifyNetwork(net, []int{1, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 fires → 4 affine layers, plus head = 5.
+	if len(vn.Layers) != 5 {
+		t.Fatalf("extracted %d layers, want 5", len(vn.Layers))
+	}
+	r := rng.New(3)
+	x := nn.NewTensor(1, 1, 8, 8)
+	flat := make([]float64, 64)
+	for i := range flat {
+		flat[i] = r.Norm()
+		x.Data[i] = flat[i]
+	}
+	want, _ := net.Forward(x, false)
+	got := vn.Forward(flat)
+	for i := range got {
+		if math.Abs(got[i]-want.Data[i]) > 1e-9 {
+			t.Fatalf("output %d: %v vs %v", i, got[i], want.Data[i])
+		}
+	}
+}
