@@ -6,9 +6,11 @@ package rcr_test
 // binary for the full-budget tables recorded in EXPERIMENTS.md.
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/numerics"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -91,3 +93,35 @@ func BenchmarkA4_SpectrumSensing(b *testing.B) { benchExperiment(b, "a4") }
 // BenchmarkA5_NetworkSlicing measures what per-class slice isolation costs
 // against the global RRA optimum.
 func BenchmarkA5_NetworkSlicing(b *testing.B) { benchExperiment(b, "a5") }
+
+// The Pow micro-benchmarks below back the powsquare lint rule: they compare
+// the general math.Pow against the specialized forms that replaced it in
+// internal/channel, internal/nn, internal/qos, and internal/verify. The
+// inputs cover the two shapes that actually occur there: dB-to-linear
+// conversions (base 10) and small integer exponents.
+
+var powSink float64
+
+func BenchmarkPowDB_MathPow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		powSink = math.Pow(10, float64(i%60-30)/10)
+	}
+}
+
+func BenchmarkPowDB_FromDB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		powSink = numerics.FromDB(float64(i%60 - 30))
+	}
+}
+
+func BenchmarkPowInt_MathPow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		powSink = math.Pow(0.8, float64(i%16))
+	}
+}
+
+func BenchmarkPowInt_PowInt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		powSink = numerics.PowInt(0.8, i%16)
+	}
+}

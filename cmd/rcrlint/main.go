@@ -1,0 +1,119 @@
+// Command rcrlint runs the repository's numerics static analyzers (see
+// internal/lint) over a Go module and prints every finding as
+//
+//	file:line: [rule] message
+//
+// It exits 0 when every finding is fixed or suppressed with a reasoned
+// //lint:ignore directive, 1 when unsuppressed findings remain, and 2 on
+// load or usage errors — so it is directly scriptable from ci.sh.
+//
+// Usage:
+//
+//	rcrlint [flags] [./... | dir ...]
+//
+// With "./..." (or no arguments) every package under the enclosing module
+// is analyzed. Explicit directories restrict analysis to those packages;
+// the rest of the module is still loaded for type information.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rcrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		chdir   = fs.String("C", "", "analyze the module rooted at this `dir` instead of the working directory")
+		modPath = fs.String("module", "", "module `path` override for trees without a go.mod (fixtures)")
+		rules   = fs.String("rules", "", "comma-separated `list` of rules to run (default: all)")
+		verbose = fs.Bool("v", false, "also print suppressed findings with their reasons")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := lint.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	root := *chdir
+	if root == "" {
+		root = "."
+	}
+	root, err = filepath.Abs(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	cfg := lint.Config{Root: root, ModulePath: *modPath}
+	if *modPath == "" {
+		var err error
+		if cfg.Root, cfg.ModulePath, err = lint.FindModuleRoot(root); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	// Positional args: "./..." (or nothing) means the whole module;
+	// explicit directories narrow the analyzed set.
+	for _, arg := range fs.Args() {
+		if arg == "./..." || arg == "..." {
+			cfg.Dirs = nil
+			break
+		}
+		arg = strings.TrimSuffix(arg, "/...")
+		abs, err := filepath.Abs(filepath.Join(root, arg))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		rel, err := filepath.Rel(cfg.Root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fmt.Fprintf(stderr, "rcrlint: %s is outside module root %s\n", arg, cfg.Root)
+			return 2
+		}
+		cfg.Dirs = append(cfg.Dirs, rel)
+	}
+
+	fset, pkgs, err := lint.Load(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	// A narrowed run that matches nothing is a typo'd path, not a clean tree.
+	if len(cfg.Dirs) > 0 && len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "rcrlint: no packages in %s\n", strings.Join(cfg.Dirs, ", "))
+		return 2
+	}
+
+	diags := lint.Run(fset, pkgs, analyzers)
+	live := 0
+	for _, d := range diags {
+		if d.Suppressed && !*verbose {
+			continue
+		}
+		if !d.Suppressed {
+			live++
+		}
+		fmt.Fprintln(stdout, d.Format(cfg.Root))
+	}
+	if live > 0 {
+		fmt.Fprintf(stderr, "rcrlint: %d unsuppressed finding(s)\n", live)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/lint/testdata/src"
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+// TestSeededViolationsFail checks the acceptance criterion directly: rcrlint
+// must exit non-zero on the fixture tree, which seeds violations of every
+// rule.
+func TestSeededViolationsFail(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "floateq", "floateq")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[floateq]") {
+		t.Errorf("stdout missing [floateq] findings:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "unsuppressed finding(s)") {
+		t.Errorf("stderr missing finding count:\n%s", stderr)
+	}
+}
+
+// TestCleanPackagePasses checks exit 0 on a fixture package with no findings
+// for the selected rule (internal/rng is the exempt façade).
+func TestCleanPackagePasses(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "rawrand", "internal/rng")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no output, got:\n%s", stdout)
+	}
+}
+
+// TestVerbosePrintsSuppressed checks that -v lists suppressed findings with
+// reasons without affecting the exit code.
+func TestVerbosePrintsSuppressed(t *testing.T) {
+	code, stdout, _ := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "mutseed", "-v", "mutseed")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (fixture has live findings)", code)
+	}
+	if !strings.Contains(stdout, "(suppressed: fixture:") {
+		t.Errorf("-v output missing suppressed finding:\n%s", stdout)
+	}
+}
+
+func TestUnknownRuleUsageError(t *testing.T) {
+	code, _, stderr := runCLI(t, "-rules", "bogus")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("stderr missing unknown-rule message:\n%s", stderr)
+	}
+}
+
+// TestTypoDirIsError checks that narrowing to a directory with no packages
+// is a usage error, not a silently clean run.
+func TestTypoDirIsError(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "nonexistent")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no packages in nonexistent") {
+		t.Errorf("stderr missing no-packages message:\n%s", stderr)
+	}
+}
+
+func TestDirOutsideModule(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "../../..")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "outside module root") {
+		t.Errorf("stderr missing out-of-root message:\n%s", stderr)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/numerics"
 	"repro/internal/rng"
 )
 
@@ -94,7 +95,7 @@ func Generate(p Params) (*Instance, error) {
 		inst.DistanceM[u] = d
 		plDB := p.RefLossDB + 10*p.PathLossExp*math.Log10(d)
 		shadowDB := p.ShadowSigmaDB * r.Norm()
-		base := math.Pow(10, -(plDB+shadowDB)/10)
+		base := numerics.FromDB(-(plDB + shadowDB))
 		inst.Gain[u] = make([]float64, p.NumRBs)
 		for rb := 0; rb < p.NumRBs; rb++ {
 			// Rayleigh amplitude → exponential power fading, unit mean.
@@ -106,7 +107,7 @@ func Generate(p Params) (*Instance, error) {
 }
 
 func dbmToWatt(dbm float64) float64 {
-	return math.Pow(10, (dbm-30)/10)
+	return numerics.FromDB(dbm - 30)
 }
 
 // SNR returns the linear signal-to-noise ratio of user u on RB b at the

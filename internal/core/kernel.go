@@ -106,6 +106,7 @@ func FitAdaptiveInertia(wMin, wMax, tau float64, horizon int) (*InertiaFit, erro
 func mustMat(rows [][]float64) *mat.Matrix {
 	m, err := mat.FromRows(rows)
 	if err != nil {
+		//lint:ignore naivepanic static literal matrices validated at package init; failure is a build-time bug
 		panic(err) // static literals only
 	}
 	return m

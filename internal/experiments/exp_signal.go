@@ -42,10 +42,11 @@ func A4SpectrumSensing(seed uint64, quick bool) (*Table, error) {
 	if quick {
 		steps = 50
 	}
-	for _, snr := range []float64{3, 1.5} {
-		if quick && snr != 3 {
-			break
-		}
+	snrs := []float64{3, 1.5}
+	if quick {
+		snrs = snrs[:1]
+	}
+	for _, snr := range snrs {
 		task, err := yolo.NewSpectrumTask(4, 8, snr, seed)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// exprString renders a (small) expression for message text and textual
+// guard matching. It covers the expression shapes the analyzers care about;
+// anything else renders as "?".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprString(a)
+		}
+		return exprString(e.Fun) + "(" + strings.Join(args, ", ") + ")"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.BinaryExpr:
+		return exprString(e.X) + " " + e.Op.String() + " " + exprString(e.Y)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	default:
+		return "?"
+	}
+}
+
+// calleeName returns the bare name of a call's target: "Pow" for math.Pow,
+// "Solve" for lp.Solve or a local Solve. Empty for non-name callees.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// calleePkgPath resolves the import path of the package a selector call
+// targets ("math" for math.Pow). It returns "" for non-package selectors or
+// when type information is missing.
+func calleePkgPath(p *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := p.ObjectOf(id)
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// selectorIs reports (syntactically) whether the call target is pkg.name,
+// e.g. selectorIs(call, "time", "Now"). Used on parsed-only test files where
+// no type information exists.
+func selectorIs(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg && sel.Sel.Name == name
+}
+
+// constFloat returns the exact value of e when it is a typed or untyped
+// numeric constant, with ok=false otherwise.
+func constFloat(p *Pass, e ast.Expr) (constant.Value, bool) {
+	if p.Info == nil {
+		return nil, false
+	}
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return nil, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return tv.Value, true
+	}
+	return nil, false
+}
+
+// isFloatOrComplex reports whether t's underlying type is a floating-point
+// or complex basic type (including untyped constants of those kinds).
+func isFloatOrComplex(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isLibraryPackage reports whether the import path names library code:
+// anything that is not a main package under cmd/ or examples/.
+func isLibraryPackage(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return false
+		}
+	}
+	return true
+}
+
+// funcReturnsError reports whether the enclosing function declaration has an
+// error result.
+func funcReturnsError(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, f := range fn.Type.Results.List {
+		if id, ok := f.Type.(*ast.Ident); ok && id.Name == "error" {
+			return true
+		}
+	}
+	return false
+}

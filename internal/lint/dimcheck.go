@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDimCheck flags element loops that drive one slice's index with
+// another object's dimensions without any visible length relationship: a
+// `for i := range xs` body indexing `ys[i]` where the function neither
+// checks len(ys) nor derives ys from xs. Off-by-dimension indexing is how
+// the Fig. 3 signature bugs (window length vs FFT size, rows vs cols)
+// surface at runtime — as a panic deep inside a kernel, or worse, as a
+// silently truncated loop.
+//
+// A companion slice ys is considered guarded when the enclosing function
+//
+//   - mentions len(ys) anywhere (a guard, a min-length clamp, a make), or
+//   - assigns ys from an expression involving make(...), append(...), or a
+//     slice of the ranged value (provenance ties the lengths together), or
+//   - ranges over ys itself elsewhere.
+//
+// Everything subtler must carry a //lint:ignore dimcheck with the reason
+// the dimensions agree.
+var AnalyzerDimCheck = &Analyzer{
+	Name:     "dimcheck",
+	Doc:      "loop indexes a slice by another object's dimensions without a guard",
+	Severity: Error,
+	Run:      runDimCheck,
+}
+
+func runDimCheck(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDimFunc(p, fn)
+		}
+	}
+}
+
+func checkDimFunc(p *Pass, fn *ast.FuncDecl) {
+	guarded := map[string]bool{}
+
+	// Collect absolutions over the whole function body first.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" && len(n.Args) == 1 {
+				if arg, ok := ast.Unparen(n.Args[0]).(*ast.Ident); ok {
+					guarded[arg.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				// Multi-value call: every result is freshly shaped by the
+				// callee (e.g. lo, hi := enc.bounds()).
+				if derivedExpr(n.Rhs[0]) {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							guarded[id.Name] = true
+						}
+					}
+				}
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if derivedExpr(rhs) {
+					guarded[id.Name] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				guarded[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		key, ok := rs.Key.(*ast.Ident)
+		if !ok || key.Name == "_" {
+			return true
+		}
+		keyObj := p.ObjectOf(key)
+		if keyObj == nil {
+			return true
+		}
+		// Only integer range keys index anything (maps/channels excluded).
+		if b, ok := keyObj.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsInteger == 0 {
+			return true
+		}
+		rangedName := ""
+		if id, ok := ast.Unparen(rs.X).(*ast.Ident); ok {
+			rangedName = id.Name
+		}
+		rangedStr := exprString(rs.X)
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			idx, ok := m.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			iid, ok := ast.Unparen(idx.Index).(*ast.Ident)
+			if !ok || p.ObjectOf(iid) != keyObj {
+				return true
+			}
+			base, ok := ast.Unparen(idx.X).(*ast.Ident)
+			if !ok || base.Name == rangedName || guarded[base.Name] {
+				return true
+			}
+			bt := p.TypeOf(base)
+			if bt == nil {
+				return true
+			}
+			// Only slices and arrays are dimension-coupled; map[int] lookups
+			// by the same key are fine.
+			switch bt.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Pointer:
+			default:
+				return true
+			}
+			p.Reportf(idx.Pos(),
+				"%s[%s] indexed by range over %s without a length guard; check len(%s) or derive it from %s",
+				base.Name, iid.Name, rangedStr, base.Name, rangedStr)
+			// One report per offending slice per loop is enough.
+			guarded[base.Name] = true
+			return true
+		})
+		return true
+	})
+}
+
+// derivedExpr reports whether rhs visibly ties the assigned slice's length
+// to another object: make/append calls, slice expressions, or calls that
+// return freshly shaped data (conservatively, any call).
+func derivedExpr(rhs ast.Expr) bool {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.CallExpr, *ast.SliceExpr:
+		return true
+	}
+	return false
+}

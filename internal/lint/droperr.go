@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDropErr flags discarded error returns from solver entry points:
+// functions named Solve*, Factor*, or Decompose*. These functions report
+// singularity, infeasibility, and rank deficiency through their error
+// result; ignoring it means consuming an allocation, factorization, or
+// relaxation that was never computed — the silent-corruption class of
+// Fig. 3. Test files are exempt (they assert on errors their own way).
+var AnalyzerDropErr = &Analyzer{
+	Name:     "droperr",
+	Doc:      "dropped error returns from Solve*/Factor*/Decompose* entry points",
+	Severity: Error,
+	Run:      runDropErr,
+}
+
+// solverPrefixes are the entry-point naming conventions the rule enforces.
+var solverPrefixes = []string{"Solve", "Factor", "Decompose"}
+
+func runDropErr(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if name, idx := solverErrorResult(p, call); idx >= 0 {
+						p.Reportf(call.Pos(), "result of %s discarded, including its error; handle the error", name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(st.Rhs) != 1 {
+					return true
+				}
+				call, ok := st.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, idx := solverErrorResult(p, call)
+				if idx < 0 || idx >= len(st.Lhs) {
+					return true
+				}
+				if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					p.Reportf(id.Pos(), "error from %s assigned to _; handle the error", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// solverErrorResult reports whether call targets a Solve*/Factor*/Decompose*
+// function returning an error, and at which result index the error sits.
+// idx is -1 when the rule does not apply.
+func solverErrorResult(p *Pass, call *ast.CallExpr) (name string, idx int) {
+	name = calleeName(call)
+	matched := false
+	for _, pre := range solverPrefixes {
+		if strings.HasPrefix(name, pre) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return name, -1
+	}
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return name, -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return name, i
+		}
+	}
+	return name, -1
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerFFTNorm enforces the repository's transform normalization
+// convention: forward FFT/RFFT/STFT is unnormalized, inverse IFFT/IRFFT
+// applies 1/N exactly once, inside internal/fft. Two violation shapes are
+// flagged:
+//
+//  1. rescaling a transform result by a length-derived factor (manual 1/N
+//     on top of — or instead of — the package's convention), and
+//  2. composing two same-direction transforms (FFT of an FFT, IFFT of an
+//     IFFT), the phase/scale skew class of Fig. 3.
+//
+// The internal/fft package itself is exempt: it implements the convention
+// and necessarily contains the one legitimate 1/N.
+var AnalyzerFFTNorm = &Analyzer{
+	Name:     "fftnorm",
+	Doc:      "transform results mixed with manual 1/N normalization or same-direction composition",
+	Severity: Error,
+	Run:      runFFTNorm,
+}
+
+// transformDirection classifies a callee name as a forward or inverse
+// transform; ok is false for everything else.
+func transformDirection(name string) (inverse, ok bool) {
+	switch name {
+	case "FFT", "RFFT", "NaiveDFT":
+		return false, true
+	case "IFFT", "IRFFT":
+		return true, true
+	}
+	return false, false
+}
+
+func runFFTNorm(p *Pass) {
+	if strings.HasSuffix(p.Pkg.ImportPath, "internal/fft") {
+		return
+	}
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFFTNormFunc(p, fn)
+		}
+	}
+}
+
+func checkFFTNormFunc(p *Pass, fn *ast.FuncDecl) {
+	// Names of locals holding transform output, and of locals derived from
+	// len(...) (the usual spelling of a manual 1/N factor: n := len(x);
+	// ... / float64(n)).
+	transformed := map[string]bool{}
+	lenDerived := map[string]bool{}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if _, isT := transformDirection(calleeName(call)); isT {
+						transformed[id.Name] = true
+						continue
+					}
+				}
+				if strings.Contains(exprString(rhs), "len(") {
+					lenDerived[id.Name] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Same-direction composition: FFT(FFT(x)), IFFT(IFFT(x)).
+			outerInv, ok := transformDirection(calleeName(n))
+			if !ok || len(n.Args) == 0 {
+				return true
+			}
+			if inner, ok := ast.Unparen(n.Args[0]).(*ast.CallExpr); ok {
+				if innerInv, isT := transformDirection(calleeName(inner)); isT && innerInv == outerInv {
+					dir := "forward"
+					if outerInv {
+						dir = "inverse"
+					}
+					p.Reportf(n.Pos(),
+						"%s(%s(...)): two %s transforms composed; round trips must pair forward with inverse",
+						calleeName(n), calleeName(inner), dir)
+				}
+			}
+		}
+		return true
+	})
+
+	// Second walk: length-derived rescaling of transform output. The first
+	// walk has already collected every assignment in the function, so
+	// forward references (rare in straight-line numeric code) are covered.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		idx, ok := ast.Unparen(as.Lhs[0]).(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(idx.X).(*ast.Ident)
+		if !ok || !transformed[base.Name] {
+			return true
+		}
+		var factor ast.Expr
+		switch as.Tok {
+		case token.MUL_ASSIGN, token.QUO_ASSIGN:
+			factor = as.Rhs[0]
+		case token.ASSIGN:
+			be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+			if !ok || (be.Op != token.MUL && be.Op != token.QUO) {
+				return true
+			}
+			factor = be.Y
+		default:
+			return true
+		}
+		fs := exprString(factor)
+		if strings.Contains(fs, "len(") || mentionsAny(fs, lenDerived) {
+			p.Reportf(as.Pos(),
+				"manual length-derived rescale of transform output %s; IFFT already applies the documented 1/N",
+				base.Name)
+		}
+		return true
+	})
+}
+
+// mentionsAny reports whether rendered expression s contains any of the
+// names as a whole identifier token.
+func mentionsAny(s string, names map[string]bool) bool {
+	tok := strings.FieldsFunc(s, func(r rune) bool {
+		return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
+	for _, t := range tok {
+		if names[t] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// AnalyzerFloatEq flags direct ==/!= comparisons between floating-point or
+// complex operands in non-test code. Computed floats almost never compare
+// exactly equal (the Fig. 3 audit's tolerance-vs-equality bug class);
+// library code must use numerics.AlmostEqual, numerics.RelErr, or an
+// explicit tolerance. Comparisons against an exact zero constant are
+// exempt: IEEE-754 defines them precisely and they are the idiomatic Go
+// zero-value/sentinel check (e.g. "if cfg.Tol == 0 { cfg.Tol = def }").
+var AnalyzerFloatEq = &Analyzer{
+	Name:     "floateq",
+	Doc:      "direct ==/!= on float or complex operands outside tests",
+	Severity: Error,
+	Run:      runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.TypeOf(be.X), p.TypeOf(be.Y)
+			if tx == nil || ty == nil || !isFloatOrComplex(tx) || !isFloatOrComplex(ty) {
+				return true
+			}
+			if isExactZero(p, be.X) || isExactZero(p, be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos,
+				"float %s comparison of %s and %s; use numerics.AlmostEqual/RelErr or an explicit tolerance",
+				be.Op, exprString(be.X), exprString(be.Y))
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether e is a constant with exact value zero.
+func isExactZero(p *Pass, e ast.Expr) bool {
+	v, ok := constFloat(p, e)
+	if !ok {
+		return false
+	}
+	if v.Kind() == constant.Complex {
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return constant.Sign(v) == 0
+}

@@ -1,0 +1,315 @@
+// Package lint implements rcrlint, the repository's numerics-focused static
+// analyzer. The paper's Fig. 3 is itself a static audit: it catalogs
+// signature, convention, and phase-skew bugs in numerically delicate kernels
+// (FFT/STFT, SDP solvers) that silently corrupt certification results. This
+// package encodes those failure classes — plus the reproducibility and
+// error-discipline invariants the rest of the repository relies on — as a
+// pluggable set of analyzers built only on the standard library's go/ast,
+// go/parser, go/token, and go/types.
+//
+// Diagnostics are reported as "file:line: [rule] message" and can be
+// suppressed at the offending line (or the line directly above it) with
+//
+//	//lint:ignore <rule> <reason>
+//
+// A suppression without a reason is itself a diagnostic: every exception to
+// a numerics invariant must say why it is safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic. Both severities fail a lint run; the
+// level only signals how the finding should be read (Error: correctness,
+// Warning: robustness/performance convention).
+type Severity int
+
+const (
+	// Warning marks convention and performance findings.
+	Warning Severity = iota
+	// Error marks findings that can corrupt numerical results.
+	Error
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Position token.Position
+	Rule     string
+	Severity Severity
+	Message  string
+	// Suppressed is true when a valid //lint:ignore directive covers the
+	// finding; Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
+// Format renders the diagnostic in the canonical "file:line: [rule] message"
+// form, with the filename relative to root when possible.
+func (d Diagnostic) Format(root string) string {
+	name := d.Position.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+	}
+	s := fmt.Sprintf("%s:%d: [%s] %s", name, d.Position.Line, d.Rule, d.Message)
+	if d.Suppressed {
+		s += fmt.Sprintf(" (suppressed: %s)", d.Reason)
+	}
+	return s
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Severity is attached to every diagnostic the analyzer reports.
+	Severity Severity
+	// Tests, when true, runs the analyzer over *_test.go files as well.
+	// Test files are parsed but not type-checked, so analyzers that opt in
+	// must degrade to syntactic matching when Pass.Info is nil.
+	Tests bool
+	Run   func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package to its Run function.
+type Pass struct {
+	Fset     *token.FileSet
+	Pkg      *Package
+	Analyzer *Analyzer
+
+	// Info is the package's type information; nil for parsed-only units.
+	Info *types.Info
+
+	diags []Diagnostic
+}
+
+// Files returns the files the current analyzer should inspect: the
+// type-checked compilation unit, plus test files when the analyzer opts in.
+func (p *Pass) Files() []*ast.File {
+	fs := append([]*ast.File(nil), p.Pkg.Files...)
+	if p.Analyzer.Tests {
+		fs = append(fs, p.Pkg.TestFiles...)
+	}
+	return fs
+}
+
+// IsTestFile reports whether f is one of the package's *_test.go files.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	for _, tf := range p.Pkg.TestFiles {
+		if tf == f {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeOf returns the type of e, or nil when unavailable (parsed-only files).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by id, or nil when unavailable.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.ObjectOf(id)
+}
+
+// Reportf records a diagnostic at pos with the analyzer's severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Rule:     p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreDirective matches "//lint:ignore <rule> <reason>".
+var ignoreDirective = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	rule   string
+	reason string
+	// line the directive covers (its own line for trailing comments, the
+	// following line for comments on their own line).
+	line int
+	pos  token.Pos
+}
+
+// collectSuppressions parses every //lint:ignore directive in f. Directives
+// with an empty reason are reported as lintdirective diagnostics through
+// report.
+func collectSuppressions(fset *token.FileSet, f *ast.File, report func(Diagnostic)) []suppression {
+	var out []suppression
+	// Lines that hold non-comment code, to distinguish trailing directives
+	// (cover their own line) from standalone ones (cover the next line).
+	codeLines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			// Doc comments are attached to their declarations and walked
+			// here; they are not code lines.
+			return false
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := ignoreDirective.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rule, reason := m[1], strings.TrimSpace(m[2])
+			if reason == "" {
+				report(Diagnostic{
+					Position: pos,
+					Rule:     "lintdirective",
+					Severity: Error,
+					Message:  fmt.Sprintf("//lint:ignore %s directive is missing a reason", rule),
+				})
+				continue
+			}
+			covered := pos.Line
+			if !codeLines[pos.Line] {
+				covered = pos.Line + 1
+			}
+			out = append(out, suppression{rule: rule, reason: reason, line: covered, pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over pkgs and returns all diagnostics (both
+// live and suppressed) ordered by position. The caller decides what to do
+// with suppressed findings; Unsuppressed filters them.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+
+	// Suppressions are collected per file across all packages up front so
+	// malformed directives surface even in packages with no findings.
+	supByFile := map[string][]suppression{}
+	for _, pkg := range pkgs {
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+			name := fset.Position(f.Pos()).Filename
+			supByFile[name] = append(supByFile[name], collectSuppressions(fset, f, func(d Diagnostic) {
+				diags = append(diags, d)
+			})...)
+		}
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Fset: fset, Pkg: pkg, Analyzer: a, Info: pkg.Info}
+			a.Run(pass)
+			diags = append(diags, pass.diags...)
+		}
+	}
+
+	// Apply suppressions.
+	for i := range diags {
+		d := &diags[i]
+		if d.Rule == "lintdirective" {
+			continue
+		}
+		for _, s := range supByFile[d.Position.Filename] {
+			if s.line == d.Position.Line && (s.rule == d.Rule) {
+				d.Suppressed = true
+				d.Reason = s.reason
+				break
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// Unsuppressed returns the subset of diags not covered by a directive.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// All returns every registered analyzer, in rule-name order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDimCheck,
+		AnalyzerDropErr,
+		AnalyzerFFTNorm,
+		AnalyzerFloatEq,
+		AnalyzerMutSeed,
+		AnalyzerNaivePanic,
+		AnalyzerPowSquare,
+		AnalyzerRawRand,
+	}
+}
+
+// ByName returns the analyzers whose names appear in the comma-separated
+// list, or an error naming the first unknown rule.
+func ByName(list string) ([]*Analyzer, error) {
+	if list == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

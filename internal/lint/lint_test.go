@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// loadFixture loads the fixture module under testdata/src restricted to the
+// given directories.
+func loadFixture(t *testing.T, dirs ...string) (*token.FileSet, []*Package) {
+	t.Helper()
+	fs, ps, err := Load(Config{Root: filepath.Join("testdata", "src"), ModulePath: "fixture", Dirs: dirs})
+	if err != nil {
+		t.Fatalf("Load fixture %v: %v", dirs, err)
+	}
+	if len(ps) == 0 {
+		t.Fatalf("Load fixture %v: no packages", dirs)
+	}
+	return fs, ps
+}
+
+func TestGolden(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rule string
+		dirs []string
+	}{
+		{"dimcheck", []string{"dimcheck"}},
+		{"droperr", []string{"droperr"}},
+		{"fftnorm", []string{"fftnorm"}},
+		{"floateq", []string{"floateq"}},
+		{"mutseed", []string{"mutseed"}},
+		{"naivepanic", []string{"naivepanic"}},
+		{"powsquare", []string{"powsquare"}},
+		// internal/rng is loaded alongside rawrand to exercise the facade
+		// exemption: its math/rand import must NOT appear in the golden file.
+		{"rawrand", []string{"rawrand", "internal/rng"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			analyzers, err := ByName(tc.rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fset, pkgs := loadFixture(t, tc.dirs...)
+			diags := Run(fset, pkgs, analyzers)
+
+			var lines []string
+			var live, suppressed int
+			for _, d := range diags {
+				lines = append(lines, d.Format(root))
+				if d.Suppressed {
+					suppressed++
+				} else {
+					live++
+				}
+			}
+			got := strings.Join(lines, "\n") + "\n"
+
+			goldenPath := filepath.Join("testdata", tc.rule+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to generate): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+
+			// Every rule's fixture must exercise all three outcomes: a live
+			// finding, a suppressed finding, and (implicitly, by the golden
+			// file not listing them) clean negative cases.
+			if live == 0 {
+				t.Errorf("fixture for %s has no unsuppressed finding", tc.rule)
+			}
+			if suppressed == 0 {
+				t.Errorf("fixture for %s has no suppressed finding", tc.rule)
+			}
+		})
+	}
+}
+
+// TestBadDirective checks that a //lint:ignore without a reason is reported
+// as lintdirective and suppresses nothing.
+func TestBadDirective(t *testing.T) {
+	analyzers, err := ByName("floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, pkgs := loadFixture(t, "baddirective")
+	diags := Run(fset, pkgs, analyzers)
+
+	var sawDirective, sawLiveFloatEq bool
+	for _, d := range diags {
+		switch d.Rule {
+		case "lintdirective":
+			sawDirective = true
+			if d.Severity != Error {
+				t.Errorf("lintdirective severity = %v, want error", d.Severity)
+			}
+		case "floateq":
+			if d.Suppressed {
+				t.Errorf("floateq finding at %s was suppressed by a reason-less directive", d.Position)
+			} else {
+				sawLiveFloatEq = true
+			}
+		}
+	}
+	if !sawDirective {
+		t.Error("missing lintdirective diagnostic for reason-less //lint:ignore")
+	}
+	if !sawLiveFloatEq {
+		t.Error("missing live floateq finding under the malformed directive")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("floateq,rawrand"); err != nil {
+		t.Errorf("ByName(floateq,rawrand): %v", err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus): expected error, got nil")
+	}
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Errorf("ByName(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+}
+
+// TestSuppressedStillListed checks Unsuppressed filters only the covered
+// findings.
+func TestSuppressedStillListed(t *testing.T) {
+	analyzers, err := ByName("powsquare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset, pkgs := loadFixture(t, "powsquare")
+	diags := Run(fset, pkgs, analyzers)
+	live := Unsuppressed(diags)
+	if len(live) == 0 || len(live) >= len(diags) {
+		t.Errorf("Unsuppressed kept %d of %d diagnostics; want a strict non-empty subset", len(live), len(diags))
+	}
+}

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded compilation unit.
+type Package struct {
+	// ImportPath is the package's path inside the loaded module tree.
+	ImportPath string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the non-test files, fully type-checked.
+	Files []*ast.File
+	// TestFiles are the *_test.go files, parsed but not type-checked
+	// (external _test packages would need a second check pass; the rules
+	// that run on tests are syntactic).
+	TestFiles []*ast.File
+	// Types and Info hold the check results; nil for test-only directories.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config parameterizes Load.
+type Config struct {
+	// Root is the directory holding the module tree to analyze.
+	Root string
+	// ModulePath is the import-path prefix mapped onto Root. When empty it
+	// is read from Root's go.mod.
+	ModulePath string
+	// Dirs, when non-empty, restricts the returned packages to these
+	// root-relative directories ("." for the root package). Dependencies
+	// outside the list are still loaded for type information.
+	Dirs []string
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod and returns it with the module path parsed from the file.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks every package under cfg.Root, resolving
+// module-internal imports from source and standard-library imports through
+// the compiler's source importer. It returns the shared FileSet and the
+// packages in deterministic (import path) order.
+func Load(cfg Config) (*token.FileSet, []*Package, error) {
+	root, err := filepath.Abs(cfg.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	modPath := cfg.ModulePath
+	if modPath == "" {
+		if root, modPath, err = FindModuleRoot(root); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	ld := &moduleLoader{
+		fset:    token.NewFileSet(),
+		root:    root,
+		modPath: modPath,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	dirs, err := goDirs(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, dir := range dirs {
+		if _, err := ld.load(ld.pathFor(dir)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	keep := func(p *Package) bool { return true }
+	if len(cfg.Dirs) > 0 {
+		want := map[string]bool{}
+		for _, d := range cfg.Dirs {
+			want[filepath.ToSlash(filepath.Clean(d))] = true
+		}
+		keep = func(p *Package) bool {
+			rel, err := filepath.Rel(root, p.Dir)
+			if err != nil {
+				return false
+			}
+			return want[filepath.ToSlash(filepath.Clean(rel))]
+		}
+	}
+	var out []*Package
+	for _, p := range ld.pkgs {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return ld.fset, out, nil
+}
+
+// goDirs returns every directory under root containing .go files, skipping
+// testdata, hidden, and underscore-prefixed directories.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// moduleLoader resolves module-internal imports from source, memoizing each
+// package, and delegates everything else to the stdlib source importer.
+type moduleLoader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// pathFor maps an absolute directory under root to its import path.
+func (l *moduleLoader) pathFor(dir string) string {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// dirFor maps an import path inside the module back to its directory.
+func (l *moduleLoader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.root
+	}
+	return filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modPath+"/")))
+}
+
+// Import implements types.Importer for the type-checker: module-internal
+// paths load recursively from source, the rest goes to the source importer.
+func (l *moduleLoader) Import(path string) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: package %s has no buildable Go files", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package at the given module-internal
+// import path, memoized.
+func (l *moduleLoader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{ImportPath: path, Dir: dir}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			pkg.Files = append(pkg.Files, f)
+		}
+	}
+	if len(pkg.Files) > 0 {
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: l}
+		tpkg, err := conf.Check(path, l.fset, pkg.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

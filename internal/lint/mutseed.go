@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerMutSeed flags RNG construction from wall-clock time or the
+// math/rand global generator. An experiment seeded from time.Now cannot be
+// replayed, so its tables (EXPERIMENTS.md) cannot be audited; seeds must
+// flow from one root seed through rng.New/rng.Split. The rule matches
+// seed-shaped calls (New*, Seed) whose arguments contain a time.Now call,
+// and any use of the math/rand package-level Seed. It runs over test files
+// too, syntactically, because test reproducibility is part of the contract.
+var AnalyzerMutSeed = &Analyzer{
+	Name:     "mutseed",
+	Doc:      "RNG seeded from wall-clock time or global state",
+	Severity: Error,
+	Tests:    true,
+	Run:      runMutSeed,
+}
+
+func runMutSeed(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if name == "Seed" && isRandSelector(p, call) {
+				p.Reportf(call.Pos(), "math/rand global Seed; derive streams from the experiment root seed via internal/rng")
+				return true
+			}
+			if !seedShaped(name) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, ok := containsTimeNow(p, arg); ok {
+					p.Reportf(pos, "%s seeded from time.Now; derive seeds from the experiment root seed (rng.Split) for reproducibility", name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seedShaped reports whether a callee name looks like an RNG constructor or
+// seeding entry point.
+func seedShaped(name string) bool {
+	return name == "Seed" || name == "Split" || strings.HasPrefix(name, "New")
+}
+
+// isRandSelector reports whether the call targets the math/rand package,
+// using types when available and the "rand." spelling otherwise.
+func isRandSelector(p *Pass, call *ast.CallExpr) bool {
+	if p.Info != nil {
+		if path := calleePkgPath(p, call); path != "" {
+			return path == "math/rand" || path == "math/rand/v2"
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "rand"
+}
+
+// containsTimeNow scans e for a call to time.Now, returning its position.
+// With type information the receiver package is verified; on parsed-only
+// test files the "time.Now" spelling is trusted.
+func containsTimeNow(p *Pass, e ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(call) != "Now" {
+			return true
+		}
+		// Trust type information when the callee resolves (an empty path
+		// also covers test-file nodes, which are parsed but not checked);
+		// otherwise fall back to the "time.Now" spelling.
+		isTime := false
+		switch calleePkgPath(p, call) {
+		case "time":
+			isTime = true
+		case "":
+			isTime = selectorIs(call, "time", "Now")
+		}
+		if isTime {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

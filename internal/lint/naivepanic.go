@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerNaivePanic flags panic calls in library packages. A panic in the
+// kernel, solver, or model layers tears down an entire experiment sweep for
+// a condition the caller could have handled as an error (singular input,
+// bad dimensions, invalid configuration). Functions that already return an
+// error have no excuse; for the remainder the panic must either be
+// converted to an error return or suppressed with a justification that it
+// guards a true programming-error invariant. main packages (cmd/, examples/)
+// and test files are exempt.
+var AnalyzerNaivePanic = &Analyzer{
+	Name:     "naivepanic",
+	Doc:      "panic in library code where an error return is possible",
+	Severity: Warning,
+	Run:      runNaivePanic,
+}
+
+func runNaivePanic(p *Pass) {
+	if p.Info == nil || !isLibraryPackage(p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			returnsErr := funcReturnsError(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := p.ObjectOf(id).(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if returnsErr {
+					p.Reportf(call.Pos(),
+						"panic in %s, which already returns an error; return the error instead", fn.Name.Name)
+				} else {
+					p.Reportf(call.Pos(),
+						"panic in library function %s; prefer an error return, or suppress with the invariant it guards",
+						fn.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}

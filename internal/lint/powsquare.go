@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerPowSquare flags math.Pow calls whose exponent or base makes a
+// cheaper, more accurate form available. math.Pow is a general-purpose
+// routine that decomposes its argument; in the hot paths of the channel,
+// NN, QoS, and verification layers the specialized forms are both faster
+// and tighter:
+//
+//	math.Pow(x, 2)            -> x*x
+//	math.Pow(x, 0.5)          -> math.Sqrt(x)
+//	math.Pow(10, x)           -> numerics.FromDB-style exp (dB conversions)
+//	math.Pow(x, float64(n))   -> numerics.PowInt (exponentiation by squaring)
+var AnalyzerPowSquare = &Analyzer{
+	Name:     "powsquare",
+	Doc:      "math.Pow where a specialized form (x*x, Sqrt, FromDB, PowInt) is required",
+	Severity: Warning,
+	Run:      runPowSquare,
+}
+
+func runPowSquare(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			if calleeName(call) != "Pow" || calleePkgPath(p, call) != "math" {
+				return true
+			}
+			base, exp := call.Args[0], call.Args[1]
+			if v, ok := constFloat(p, exp); ok {
+				switch {
+				case constEquals(v, constant.MakeInt64(2)):
+					p.Reportf(call.Pos(), "math.Pow(%s, 2): square directly (x*x) in hot paths", exprString(base))
+					return true
+				case constEquals(v, constant.MakeInt64(3)):
+					p.Reportf(call.Pos(), "math.Pow(%s, 3): cube directly (x*x*x) in hot paths", exprString(base))
+					return true
+				case constEquals(v, constant.MakeFloat64(0.5)):
+					p.Reportf(call.Pos(), "math.Pow(%s, 0.5): use math.Sqrt", exprString(base))
+					return true
+				}
+			}
+			if v, ok := constFloat(p, base); ok && constEquals(v, constant.MakeInt64(10)) {
+				p.Reportf(call.Pos(),
+					"math.Pow(10, %s): decibel conversion; use numerics.FromDB/numerics.Exp10", exprString(exp))
+				return true
+			}
+			if conv, ok := intConversion(p, exp); ok {
+				p.Reportf(call.Pos(),
+					"math.Pow(%s, float64(%s)): integer exponent; use numerics.PowInt (exponentiation by squaring)",
+					exprString(base), exprString(conv))
+			}
+			return true
+		})
+	}
+}
+
+// constEquals reports exact numeric equality of two constant values.
+func constEquals(a, b constant.Value) bool {
+	return constant.Compare(a, token.EQL, b)
+}
+
+// intConversion matches float64(e) where e has integer type, returning e.
+func intConversion(p *Pass, expr ast.Expr) (ast.Expr, bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "float64" {
+		return nil, false
+	}
+	t := p.TypeOf(call.Args[0])
+	if t == nil {
+		return nil, false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return call.Args[0], ok && b.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// AnalyzerRawRand flags imports of math/rand (and math/rand/v2) anywhere
+// except the internal/rng façade. Every experiment, benchmark, and test in
+// this repository must be reproducible bit-for-bit from one root seed;
+// math/rand's global generator and Source types bypass the splittable
+// seeded streams internal/rng provides.
+var AnalyzerRawRand = &Analyzer{
+	Name:     "rawrand",
+	Doc:      "import of math/rand outside the internal/rng façade",
+	Severity: Error,
+	Tests:    true,
+	Run:      runRawRand,
+}
+
+func runRawRand(p *Pass) {
+	if strings.HasSuffix(p.Pkg.ImportPath, "internal/rng") {
+		return
+	}
+	for _, f := range p.Files() {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"import of %s outside internal/rng; use the seeded repro/internal/rng façade for reproducibility",
+					path)
+			}
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestRepoIsLintClean runs every analyzer over the repository's own source
+// tree. Any future unsuppressed finding fails tier-1 `go test ./...`, so the
+// numerics invariants are enforced without a separate CI step.
+func TestRepoIsLintClean(t *testing.T) {
+	root, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	fset, pkgs, err := Load(Config{Root: root, ModulePath: modPath})
+	if err != nil {
+		t.Fatalf("loading %s: %v", modPath, err)
+	}
+	diags := Unsuppressed(Run(fset, pkgs, All()))
+	for _, d := range diags {
+		t.Errorf("%s", d.Format(root))
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d unsuppressed finding(s); fix them or add a //lint:ignore <rule> <reason> directive", len(diags))
+	}
+}

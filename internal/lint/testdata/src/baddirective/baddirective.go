@@ -1,0 +1,10 @@
+// Package baddirective exercises directive validation: a //lint:ignore
+// without a reason is itself reported and suppresses nothing.
+package baddirective
+
+// BadMissingReason carries a malformed directive; the floateq finding below
+// it must stay live.
+func BadMissingReason(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}

@@ -1,0 +1,59 @@
+// Package dimcheck exercises the dimcheck rule: companion-slice indexing
+// with and without a visible length relationship.
+package dimcheck
+
+// BadCompanion indexes ys with xs's range and no guard.
+func BadCompanion(xs, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		s += xs[i] * ys[i]
+	}
+	return s
+}
+
+// GoodGuarded checks the lengths first.
+func GoodGuarded(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		return 0
+	}
+	var s float64
+	for i := range xs {
+		s += xs[i] * ys[i]
+	}
+	return s
+}
+
+// GoodDerived allocates the companion from the ranged slice's length.
+func GoodDerived(xs []float64) []float64 {
+	ys := make([]float64, len(xs))
+	for i := range xs {
+		ys[i] = 2 * xs[i]
+	}
+	return ys
+}
+
+// GoodTuple gets both slices from one call; the callee shapes them.
+func GoodTuple(n int) float64 {
+	lo, hi := bounds(n)
+	var s float64
+	for i := range lo {
+		s += hi[i] - lo[i]
+	}
+	return s
+}
+
+func bounds(n int) (lo, hi []float64) {
+	lo = make([]float64, n)
+	hi = make([]float64, n)
+	return lo, hi
+}
+
+// SuppressedCompanion documents the out-of-band length contract.
+func SuppressedCompanion(xs, ys []float64) float64 {
+	var s float64
+	for i := range xs {
+		//lint:ignore dimcheck fixture: caller contract guarantees len(ys) == len(xs)
+		s += ys[i]
+	}
+	return s
+}

@@ -1,0 +1,67 @@
+// Package droperr exercises the droperr rule: discarded errors from
+// Solve*/Factor*/Decompose* entry points.
+package droperr
+
+import "errors"
+
+var errSingular = errors.New("singular")
+
+// SolveLinear is a solver entry point with an error result.
+func SolveLinear(n int) ([]float64, error) {
+	if n < 0 {
+		return nil, errSingular
+	}
+	return make([]float64, n), nil
+}
+
+// FactorLU is a factorization entry point.
+func FactorLU(n int) error {
+	if n < 0 {
+		return errSingular
+	}
+	return nil
+}
+
+// DecomposeQR returns a value and an error.
+func DecomposeQR(n int) (int, error) {
+	if n < 0 {
+		return 0, errSingular
+	}
+	return n, nil
+}
+
+// SolveNoErr has a matching name but no error result; out of scope.
+func SolveNoErr(n int) int {
+	return n
+}
+
+// BadDiscard drops every result of a solver call.
+func BadDiscard() {
+	FactorLU(3)
+}
+
+// BadUnderscore routes the error to the blank identifier.
+func BadUnderscore() int {
+	v, _ := DecomposeQR(3)
+	return v
+}
+
+// GoodHandled propagates the error.
+func GoodHandled() ([]float64, error) {
+	xs, err := SolveLinear(4)
+	if err != nil {
+		return nil, err
+	}
+	return xs, nil
+}
+
+// GoodNoErrResult calls a solver-named function without an error result.
+func GoodNoErrResult() int {
+	return SolveNoErr(2)
+}
+
+// SuppressedDiscard documents a best-effort call.
+func SuppressedDiscard() {
+	//lint:ignore droperr fixture: best-effort cache warm-up, failure is benign
+	FactorLU(1)
+}

@@ -1,0 +1,60 @@
+// Package fftnorm exercises the fftnorm rule with local stand-ins for the
+// transform API (the rule matches callee names, so the fixture needs no
+// import of internal/fft).
+package fftnorm
+
+// FFT is a stand-in forward transform.
+func FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	return out
+}
+
+// IFFT is a stand-in inverse transform.
+func IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	return out
+}
+
+// BadManualRescale re-applies 1/N on top of the convention.
+func BadManualRescale(x []complex128) []complex128 {
+	spec := FFT(x)
+	n := float64(len(spec))
+	for i := range spec {
+		spec[i] /= complex(n, 0)
+	}
+	return spec
+}
+
+// BadDoubleForward composes two forward transforms.
+func BadDoubleForward(x []complex128) []complex128 {
+	return FFT(FFT(x))
+}
+
+// BadDoubleInverse composes two inverse transforms.
+func BadDoubleInverse(x []complex128) []complex128 {
+	return IFFT(IFFT(x))
+}
+
+// GoodRoundTrip pairs forward with inverse.
+func GoodRoundTrip(x []complex128) []complex128 {
+	return IFFT(FFT(x))
+}
+
+// GoodGainScale rescales by a non-length factor (window gain compensation).
+func GoodGainScale(x []complex128, gain complex128) []complex128 {
+	spec := FFT(x)
+	for i := range spec {
+		spec[i] *= gain
+	}
+	return spec
+}
+
+// SuppressedUnitary documents an intentional convention change.
+func SuppressedUnitary(x []complex128) []complex128 {
+	spec := FFT(x)
+	//lint:ignore fftnorm fixture: exporting to a tool that expects the unitary convention
+	spec[0] /= complex(float64(len(spec)), 0)
+	return spec
+}

@@ -1,0 +1,46 @@
+// Package floateq exercises the floateq rule: positive (direct comparison
+// of computed floats), negative (zero sentinel, tolerance, integer), and
+// suppressed cases.
+package floateq
+
+const tol = 1e-9
+
+// BadEqual compares computed floats directly.
+func BadEqual(a, b float64) bool {
+	return a == b
+}
+
+// BadNotEqualComplex compares complex values directly.
+func BadNotEqualComplex(a, b complex128) bool {
+	return a != b
+}
+
+// BadConstant compares against a nonzero constant.
+func BadConstant(x float64) bool {
+	return x == 1.5
+}
+
+// GoodZeroSentinel uses the exempt exact-zero check.
+func GoodZeroSentinel(x float64) bool {
+	return x == 0
+}
+
+// GoodTolerance compares with an explicit tolerance.
+func GoodTolerance(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// GoodInt compares integers, outside the rule.
+func GoodInt(a, b int) bool {
+	return a == b
+}
+
+// SuppressedEqual documents an intentional exact comparison.
+func SuppressedEqual(a, b float64) bool {
+	//lint:ignore floateq fixture: intentional exact comparison on copied values
+	return a == b
+}

@@ -1,0 +1,11 @@
+// Package rng is the fixture stand-in for the repository's seeded RNG
+// façade: the one place allowed to import math/rand (negative case for the
+// rawrand rule).
+package rng
+
+import "math/rand"
+
+// New wraps a seeded source.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,37 @@
+// Package mutseed exercises the mutseed rule: RNG construction from
+// wall-clock time versus a propagated root seed.
+package mutseed
+
+import "time"
+
+// Gen is a stand-in deterministic generator.
+type Gen struct {
+	seed uint64
+}
+
+// NewGen constructs a generator from an explicit seed.
+func NewGen(seed uint64) *Gen {
+	return &Gen{seed: seed}
+}
+
+// BadWallClock seeds from time.Now; the run cannot be replayed.
+func BadWallClock() *Gen {
+	return NewGen(uint64(time.Now().UnixNano()))
+}
+
+// GoodRootSeed derives from the experiment's root seed.
+func GoodRootSeed(root uint64) *Gen {
+	return NewGen(root + 1)
+}
+
+// GoodTiming uses time.Now for measurement, not seeding.
+func GoodTiming() int64 {
+	start := time.Now()
+	return time.Since(start).Nanoseconds()
+}
+
+// SuppressedEntropy documents a deliberate fresh-entropy seed.
+func SuppressedEntropy() *Gen {
+	//lint:ignore mutseed fixture: interactive demo explicitly wants a fresh seed each launch
+	return NewGen(uint64(time.Now().UnixNano()))
+}

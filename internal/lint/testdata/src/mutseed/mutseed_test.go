@@ -1,0 +1,17 @@
+package mutseed
+
+// Test files are not exempt from mutseed: reproducibility covers tests too.
+// This file is parsed without type information, exercising the analyzer's
+// syntactic fallback.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBadSeedInTest(t *testing.T) {
+	g := NewGen(uint64(time.Now().UnixNano()))
+	if g == nil {
+		t.Fatal("nil generator")
+	}
+}

@@ -1,0 +1,40 @@
+// Package naivepanic exercises the naivepanic rule: panics in library code
+// with and without an available error return.
+package naivepanic
+
+import "errors"
+
+var errNegative = errors.New("negative input")
+
+// BadPanicWithErrReturn panics although the signature already has an error.
+func BadPanicWithErrReturn(n int) (int, error) {
+	if n < 0 {
+		panic("negative input")
+	}
+	return n, nil
+}
+
+// BadPanicPlain panics where an error return could be added.
+func BadPanicPlain(n int) int {
+	if n < 0 {
+		panic("negative input")
+	}
+	return n
+}
+
+// GoodErrorReturn reports the condition as an error.
+func GoodErrorReturn(n int) (int, error) {
+	if n < 0 {
+		return 0, errNegative
+	}
+	return n, nil
+}
+
+// SuppressedInvariant documents a true programming-error guard.
+func SuppressedInvariant(n int) int {
+	if n < 0 {
+		//lint:ignore naivepanic fixture: index precomputed by the caller, negative means memory corruption
+		panic("negative input")
+	}
+	return n
+}

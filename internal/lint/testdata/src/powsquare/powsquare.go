@@ -1,0 +1,46 @@
+// Package powsquare exercises the powsquare rule's four patterns plus
+// negative and suppressed cases.
+package powsquare
+
+import "math"
+
+// BadSquare should be x*x.
+func BadSquare(x float64) float64 {
+	return math.Pow(x, 2)
+}
+
+// BadCube should be x*x*x.
+func BadCube(x float64) float64 {
+	return math.Pow(x, 3)
+}
+
+// BadRoot should be math.Sqrt.
+func BadRoot(x float64) float64 {
+	return math.Pow(x, 0.5)
+}
+
+// BadDB should be a FromDB-style exp.
+func BadDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// BadIntExp should be exponentiation by squaring.
+func BadIntExp(x float64, n int) float64 {
+	return math.Pow(x, float64(n))
+}
+
+// GoodGeneral is a genuinely variable exponent; math.Pow is correct.
+func GoodGeneral(x, y float64) float64 {
+	return math.Pow(x, y)
+}
+
+// GoodDirect squares without math.Pow.
+func GoodDirect(x float64) float64 {
+	return x * x
+}
+
+// SuppressedSquare keeps math.Pow for documented clarity in a cold path.
+func SuppressedSquare(x float64) float64 {
+	//lint:ignore powsquare fixture: cold path, keeps the formula shape of the paper
+	return math.Pow(x, 2)
+}

@@ -1,0 +1,12 @@
+// Package rawrand exercises the rawrand rule: importing math/rand outside
+// the internal/rng façade.
+package rawrand
+
+import (
+	"math/rand"
+)
+
+// Draw uses the forbidden global generator.
+func Draw() int {
+	return rand.Int()
+}

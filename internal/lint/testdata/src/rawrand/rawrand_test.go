@@ -1,0 +1,14 @@
+package rawrand
+
+// Test files are not exempt from rawrand: reproducibility covers tests too.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDraw(t *testing.T) {
+	if rand.Intn(2) > 1 {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,11 @@
+package rawrand
+
+import (
+	//lint:ignore rawrand fixture: legacy shim retained for benchmark comparison only
+	mrand "math/rand"
+)
+
+// DrawLegacy uses the suppressed legacy import.
+func DrawLegacy() int {
+	return mrand.Int()
+}

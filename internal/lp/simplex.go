@@ -165,6 +165,7 @@ func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (flo
 			if cb == 0 {
 				continue
 			}
+			//lint:ignore dimcheck tableau invariant: len(rhs) == len(t) == len(basis) == m, established by newStandard
 			obj += cb * rhs[i]
 			row := t[i]
 			for j := 0; j < total; j++ {
@@ -266,6 +267,7 @@ func pivot(t [][]float64, rhs []float64, basis []int, row, col int) {
 		for j := range t[i] {
 			t[i][j] -= f * t[row][j]
 		}
+		//lint:ignore dimcheck tableau invariant: len(rhs) == len(t) == m, established by newStandard
 		rhs[i] -= f * rhs[row]
 	}
 	basis[row] = col

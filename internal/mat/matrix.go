@@ -38,6 +38,7 @@ type Matrix struct {
 // New returns a zero matrix with the given shape.
 func New(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
+		//lint:ignore naivepanic negative dimension is a programming error; mirrors the built-in make contract
 		panic("mat: negative dimension")
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
@@ -247,6 +248,7 @@ func (m *Matrix) IsSymmetric(tol float64) bool {
 // for non-square matrices, which indicate a programming error.
 func (m *Matrix) Symmetrize() *Matrix {
 	if m.Rows != m.Cols {
+		//lint:ignore naivepanic documented invariant of the chained-call API; non-square input is a programming error
 		panic("mat: Symmetrize on non-square matrix")
 	}
 	for i := 0; i < m.Rows; i++ {
@@ -288,6 +290,7 @@ func OuterProduct(x, y []float64) *Matrix {
 // VecDot returns the dot product of a and b; it panics on length mismatch.
 func VecDot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:ignore naivepanic hot-path vector kernel with a documented length contract, mirroring numerics.Dot
 		panic("mat: VecDot length mismatch")
 	}
 	var s float64
@@ -300,6 +303,7 @@ func VecDot(a, b []float64) float64 {
 // VecAdd returns a + s*b as a new slice; it panics on length mismatch.
 func VecAdd(a []float64, s float64, b []float64) []float64 {
 	if len(a) != len(b) {
+		//lint:ignore naivepanic hot-path vector kernel with a documented length contract, mirroring numerics.Dot
 		panic("mat: VecAdd length mismatch")
 	}
 	out := make([]float64, len(a))
@@ -330,6 +334,7 @@ func VecNorm(a []float64) float64 {
 // VecSub returns a - b as a new slice; it panics on length mismatch.
 func VecSub(a, b []float64) []float64 {
 	if len(a) != len(b) {
+		//lint:ignore naivepanic hot-path vector kernel with a documented length contract, mirroring numerics.Dot
 		panic("mat: VecSub length mismatch")
 	}
 	out := make([]float64, len(a))

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/numerics"
 )
 
 // Sequential chains layers.
@@ -209,16 +211,19 @@ func NewAdam(lr float64) *Adam {
 // Step implements Optimizer.
 func (a *Adam) Step(params []*Param) {
 	a.t++
-	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
-	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	bc1 := 1 - numerics.PowInt(a.Beta1, a.t)
+	bc2 := 1 - numerics.PowInt(a.Beta2, a.t)
 	for _, p := range params {
 		m, ok := a.m[p]
 		if !ok {
 			m = make([]float64, len(p.W))
 			a.m[p] = m
-			a.v[p] = make([]float64, len(p.W))
 		}
-		v := a.v[p]
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.W))
+			a.v[p] = v
+		}
 		for i := range p.W {
 			g := p.G[i]
 			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g

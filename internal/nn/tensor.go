@@ -31,6 +31,7 @@ func NewTensor(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		if s < 0 {
+			//lint:ignore naivepanic negative dimension is a programming error; mirrors the built-in make contract
 			panic("nn: negative dimension")
 		}
 		n *= s

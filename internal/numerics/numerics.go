@@ -49,6 +49,7 @@ func KahanSum(xs []float64) float64 {
 // lengths differ, as that is a programming error.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
+		//lint:ignore naivepanic documented contract: a length mismatch is a programming error in the caller
 		panic("numerics: Dot length mismatch")
 	}
 	var sum, comp float64
@@ -188,6 +189,7 @@ func orderedBits(f float64) int64 {
 // values of each other, treating exact equality (including both zero signs)
 // as equal.
 func AlmostEqual(a, b float64, maxULPs int64) bool {
+	//lint:ignore floateq exact-equality fast path of the tolerance helper itself (infinities and signed zeros)
 	if a == b {
 		return true
 	}
@@ -265,6 +267,37 @@ func Norm2(xs []float64) float64 {
 		return 0
 	}
 	return scale * math.Sqrt(ssq)
+}
+
+// Exp10 returns 10^x computed as exp(x·ln 10). A single exp evaluation is
+// substantially cheaper than math.Pow's general decomposition and is the
+// required form for the hot-path decibel conversions (see the powsquare
+// lint rule).
+func Exp10(x float64) float64 {
+	return math.Exp(x * math.Ln10)
+}
+
+// FromDB converts a decibel quantity to its linear power ratio, 10^(db/10).
+func FromDB(db float64) float64 {
+	return Exp10(db / 10)
+}
+
+// PowInt returns x^n for an integer exponent by binary exponentiation —
+// O(log n) multiplications with exact handling of small powers, versus
+// math.Pow's log/exp decomposition. Negative exponents return 1/x^(-n).
+func PowInt(x float64, n int) float64 {
+	if n < 0 {
+		return 1 / PowInt(x, -n)
+	}
+	result := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			result *= x
+		}
+		x *= x
+		n >>= 1
+	}
+	return result
 }
 
 // MaxAbs returns the maximum absolute value in xs, or 0 for empty input.

@@ -68,6 +68,7 @@ func (e *encoder) decode(x []float64, out []float64) {
 					best = j
 				}
 			}
+			//lint:ignore dimcheck decode contract: out is allocated by the solver loop with enc.dim() == len(e.dims) entries
 			out[i] = math.Ceil(d.Lo) + float64(best)
 			continue
 		}

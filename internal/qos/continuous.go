@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/lp"
 	"repro/internal/minlp"
+	"repro/internal/numerics"
 )
 
 // This file solves the RRA MINLP in the paper's literal form — "optimally
@@ -73,7 +74,7 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 		if req.MinSNRdB == 0 {
 			return 0
 		}
-		snrLin := math.Pow(10, req.MinSNRdB/10)
+		snrLin := numerics.FromDB(req.MinSNRdB)
 		return snrLin * p.Inst.NoiseW / p.Inst.Gain[u][b]
 	}
 

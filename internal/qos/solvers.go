@@ -232,6 +232,7 @@ func (p *Problem) greedyIncumbent(cols []milpColumn) ([]float64, float64, bool) 
 		}
 		needed++
 		for i, c := range cols {
+			//lint:ignore floateq PowerW is copied verbatim from p.Levels in discretize; bitwise re-identification is intended
 			if c.rb == rb && c.u == u && p.Levels[c.level] == alloc.PowerW[rb] {
 				x[i] = 1
 				obj -= c.rate

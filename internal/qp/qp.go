@@ -36,6 +36,7 @@ type Quad struct {
 func (f *Quad) Eval(x []float64) float64 {
 	v := f.R
 	for i, qi := range f.Q {
+		//lint:ignore dimcheck Quad contract: x carries one entry per quadratic term; shapes are validated by Solve
 		v += qi * x[i]
 	}
 	if f.P != nil {

@@ -66,6 +66,7 @@ func (r *Rand) Float64() float64 {
 // math/rand; callers own the argument.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
+		//lint:ignore naivepanic mirrors the math/rand Intn contract; callers own the argument
 		panic("rng: Intn called with non-positive n")
 	}
 	// Lemire's nearly-divisionless bounded generation.

@@ -1,8 +1,7 @@
 package verify
 
 import (
-	"math"
-
+	"repro/internal/numerics"
 	"repro/internal/relax"
 )
 
@@ -114,7 +113,7 @@ func PGDAttack(n *Network, input []relax.Interval, spec *Spec, steps int) []floa
 				return x
 			}
 			g := Gradient(n, x, spec)
-			step := width * 0.5 * math.Pow(0.8, float64(s))
+			step := width * 0.5 * numerics.PowInt(0.8, s)
 			moved := false
 			for i := range x {
 				if g[i] > 0 {

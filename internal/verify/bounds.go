@@ -58,6 +58,7 @@ func (l *AffineLayer) Apply(x []float64) []float64 {
 	for i, row := range l.W {
 		s := l.B[i]
 		for j, w := range row {
+			//lint:ignore dimcheck Apply contract: len(x) == In() == len(row); layer shapes are checked at network build
 			s += w * x[j]
 		}
 		out[i] = s

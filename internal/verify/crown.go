@@ -99,6 +99,7 @@ func crownBackward(n *Network, lb *LayerBounds, target int, form *linForm, input
 		v := cur.C[t]
 		for j, a := range row {
 			if (a >= 0) == upper {
+				//lint:ignore dimcheck input box has one interval per layer-0 input == row width; shapes are validated upstream
 				v += a * input[j].Hi
 			} else {
 				v += a * input[j].Lo
@@ -124,6 +125,7 @@ func substituteAffine(form *linForm, layer *AffineLayer) *linForm {
 			wj := layer.W[j]
 			row := out.A[t]
 			for i, w := range wj {
+				//lint:ignore dimcheck out was allocated by newLinForm with layer.In() columns == len(wj)
 				row[i] += alpha * w
 			}
 		}

@@ -21,6 +21,7 @@ type Spec struct {
 func (s *Spec) Eval(y []float64) float64 {
 	v := s.D
 	for i, c := range s.C {
+		//lint:ignore dimcheck Spec contract: y is the network output vector, len(y) == len(s.C)
 		v += c * y[i]
 	}
 	return v
@@ -186,6 +187,7 @@ func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 			av := aOff[l] + i
 			ph := phaseFree
 			if phases != nil {
+				//lint:ignore dimcheck phases carries one row per hidden layer, built alongside n.Layers by the branching loop
 				ph = phases[l][i]
 			}
 			r, _ := relax.NewReLURelaxation(iv)

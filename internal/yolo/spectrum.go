@@ -43,8 +43,10 @@ func NewSpectrumTask(bands, img int, snr float64, seed uint64) (*SpectrumTask, e
 // Classes returns the number of labels.
 func (t *SpectrumTask) Classes() int { return t.Bands }
 
-// Batch draws n labelled spectrogram images of shape [n, 1, Img, Img].
-func (t *SpectrumTask) Batch(n int) (*nn.Tensor, []int) {
+// Batch draws n labelled spectrogram images of shape [n, 1, Img, Img]. It
+// returns an error if the fixed STFT configuration is rejected, which
+// indicates a task-construction bug rather than bad input.
+func (t *SpectrumTask) Batch(n int) (*nn.Tensor, []int, error) {
 	x := nn.NewTensor(n, 1, t.Img, t.Img)
 	labels := make([]int, n)
 	half := t.fftSize/2 + 1
@@ -64,8 +66,7 @@ func (t *SpectrumTask) Batch(n int) (*nn.Tensor, []int) {
 			Window: stft.WindowHann, Convention: stft.ConventionSimplified,
 		})
 		if err != nil {
-			// Configuration is fixed and valid; a failure here is a bug.
-			panic(fmt.Sprintf("yolo: spectrum task stft: %v", err))
+			return nil, nil, fmt.Errorf("yolo: spectrum task stft: %w", err)
 		}
 		spec := stft.Spectrogram(res)
 		// Pool the (frames × half) grid down to Img × Img, log-compressed.
@@ -93,7 +94,7 @@ func (t *SpectrumTask) Batch(n int) (*nn.Tensor, []int) {
 			}
 		}
 	}
-	return x, labels
+	return x, labels, nil
 }
 
 // TrainEvalSpectrum trains net on the spectrum task and reports held-out
@@ -111,7 +112,10 @@ func TrainEvalSpectrum(net *nn.Sequential, task *SpectrumTask, steps, batch, eva
 	opt := nn.NewAdam(lr)
 	res := &TrainResult{Params: net.NumParams()}
 	for s := 0; s < steps; s++ {
-		x, labels := task.Batch(batch)
+		x, labels, err := task.Batch(batch)
+		if err != nil {
+			return nil, err
+		}
 		net.ZeroGrad()
 		out, err := net.Forward(x, true)
 		if err != nil {
@@ -127,7 +131,10 @@ func TrainEvalSpectrum(net *nn.Sequential, task *SpectrumTask, steps, batch, eva
 		opt.Step(net.Params())
 		res.FinalLoss = loss
 	}
-	x, labels := task.Batch(evalN)
+	x, labels, err := task.Batch(evalN)
+	if err != nil {
+		return nil, err
+	}
 	out, err := net.Forward(x, false)
 	if err != nil {
 		return nil, err

@@ -23,7 +23,10 @@ func TestSpectrumBatchShapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, labels := task.Batch(16)
+	x, labels, err := task.Batch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if x.Shape[0] != 16 || x.Shape[1] != 1 || x.Shape[2] != 8 || x.Shape[3] != 8 {
 		t.Fatalf("batch shape %v", x.Shape)
 	}
@@ -49,7 +52,10 @@ func TestSpectrumIsLearnable(t *testing.T) {
 	}
 	// Energy-column heuristic: the frequency column (x axis) with maximal
 	// total energy indicates the band.
-	x, labels := task.Batch(200)
+	x, labels, err := task.Batch(200)
+	if err != nil {
+		t.Fatal(err)
+	}
 	correct := 0
 	for i := 0; i < 200; i++ {
 		bestCol, bestE := 0, -1.0
