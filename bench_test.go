@@ -10,7 +10,12 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/fft"
+	"repro/internal/mat"
 	"repro/internal/numerics"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/stft"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -125,3 +130,107 @@ func BenchmarkPowInt_PowInt(b *testing.B) {
 		powSink = numerics.PowInt(0.8, i%16)
 	}
 }
+
+// The kernel benchmarks below back the parallel-numerics PR: plan caching
+// (FFT twiddle/permutation/chirp tables built once per length) and the
+// internal/par fan-out (STFT frames, mat row blocks). Each pair compares
+// the shipped fast path against its predecessor under identical inputs —
+// *_PerCallPlan rebuilds the trig tables on every transform, which is the
+// work the seed implementation redid per call, and *_Workers1 pins the
+// worker pool to one lane. BENCH_pre.json/BENCH_post.json record the same
+// kernels via cmd/rcrbench -baseline. Note the worker-count pairs can only
+// separate on a multi-core host (GOMAXPROCS is recorded in the baselines).
+
+var (
+	fftSink  []complex128
+	matSink  *mat.Matrix
+	stftSink *stft.Result
+)
+
+func benchSignal(n int) []complex128 {
+	r := rng.New(77)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+	}
+	return x
+}
+
+func benchFFTCached(b *testing.B, n int) {
+	x := benchSignal(n)
+	fftSink = fft.FFT(x) // warm the plan cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fftSink = fft.FFT(x)
+	}
+}
+
+func benchFFTPerCallPlan(b *testing.B, n int) {
+	x := benchSignal(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fftSink = fft.NewPlan(n).FFT(x)
+	}
+}
+
+// BenchmarkFFT_Pow2_Cached / _PerCallPlan: repeated power-of-two transform
+// with and without plan reuse (bit-reversal permutation + stage twiddles).
+func BenchmarkFFT_Pow2_Cached(b *testing.B)      { benchFFTCached(b, 4096) }
+func BenchmarkFFT_Pow2_PerCallPlan(b *testing.B) { benchFFTPerCallPlan(b, 4096) }
+
+// BenchmarkFFT_Bluestein_Cached / _PerCallPlan: repeated arbitrary-length
+// transform; the cached plan reuses the chirp and its forward spectrum,
+// the per-call plan redoes both inner-length transforms of setup work.
+func BenchmarkFFT_Bluestein_Cached(b *testing.B)      { benchFFTCached(b, 4095) }
+func BenchmarkFFT_Bluestein_PerCallPlan(b *testing.B) { benchFFTPerCallPlan(b, 4095) }
+
+func benchSTFT(b *testing.B, workers string) {
+	b.Setenv(par.EnvWorkers, workers)
+	r := rng.New(78)
+	sig := make([]float64, 1<<14)
+	for i := range sig {
+		sig[i] = r.Float64()*2 - 1
+	}
+	cfg := stft.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := stft.Transform(sig, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stftSink = res
+	}
+}
+
+// BenchmarkSTFT_Workers1 / _Workers4: frame-parallel analysis of a 16k
+// signal (253 frames) pinned to one vs four pool lanes.
+func BenchmarkSTFT_Workers1(b *testing.B) { benchSTFT(b, "1") }
+func BenchmarkSTFT_Workers4(b *testing.B) { benchSTFT(b, "4") }
+
+func benchMatMul(b *testing.B, workers string) {
+	b.Setenv(par.EnvWorkers, workers)
+	r := rng.New(79)
+	const n = 192
+	am := mat.New(n, n)
+	bm := mat.New(n, n)
+	for i := range am.Data {
+		am.Data[i] = r.Float64()*2 - 1
+		bm.Data[i] = r.Float64()*2 - 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := am.Mul(bm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matSink = p
+	}
+}
+
+// BenchmarkMatMul_Workers1 / _Workers4: row-blocked 192x192 product pinned
+// to one vs four pool lanes.
+func BenchmarkMatMul_Workers1(b *testing.B) { benchMatMul(b, "1") }
+func BenchmarkMatMul_Workers4(b *testing.B) { benchMatMul(b, "4") }

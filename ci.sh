@@ -4,12 +4,20 @@
 # Stages:
 #   1. go vet        — stdlib vet checks.
 #   2. go build      — every package compiles.
-#   3. go test -race — unit + golden + selfcheck tests under the race
-#                      detector. The code base is deliberately single-
-#                      threaded (no goroutines outside the stdlib), and a
-#                      full -race run on 2026-08-06 reported zero races;
-#                      keeping the flag here guards that property against
-#                      future concurrency.
+#   3. go test        — the full suite at full budget (matches the tier-1
+#                      gate in ROADMAP.md).
+#   3b. go test -race -cpu 1,4 -short
+#                    — the race detector over the whole module at one and
+#                      four procs, so the internal/par fan-out (FFT plan
+#                      sharing, STFT frames, mat row blocks, PSO particle
+#                      evaluation) is exercised both serially and with
+#                      real parallelism; the determinism tests assert
+#                      bit-identical results either way. -short trims only
+#                      the full-budget experiment sweeps (they rerun what
+#                      stage 3 already covered, and under the race
+#                      detector's 10-20x slowdown times two CPU counts
+#                      they take the better part of an hour on a small
+#                      host); every concurrency-bearing test runs.
 #   4. rcrlint       — the numerics static analyzers (internal/lint). Exits
 #                      non-zero on any finding not suppressed by a reasoned
 #                      //lint:ignore directive. This duplicates the
@@ -26,8 +34,11 @@ go vet ./...
 echo "ci: go build"
 go build ./...
 
-echo "ci: go test -race"
-go test -race ./...
+echo "ci: go test"
+go test ./...
+
+echo "ci: go test -race -cpu 1,4 -short"
+go test -race -cpu 1,4 -short ./...
 
 echo "ci: rcrlint"
 go run ./cmd/rcrlint ./...

@@ -1,0 +1,214 @@
+package main
+
+// Baseline capture: `rcrbench -baseline <label>` writes BENCH_<label>.json,
+// a machine-readable performance snapshot of the numeric kernel's hot paths
+// plus quick-mode wall times for every registered experiment. Committing the
+// files produced before and after a performance PR records the repository's
+// perf trajectory next to the code that produced it (see DESIGN.md §8).
+//
+// The kernel probes deliberately use only API that predates the plan-cached
+// kernel (fft.FFT, stft.Transform, Matrix.Mul, pso.Minimize), so baselines
+// taken at different commits measure the same operations.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fft"
+	"repro/internal/mat"
+	"repro/internal/pso"
+	"repro/internal/rng"
+	"repro/internal/stft"
+)
+
+// Baseline is the schema of a BENCH_<label>.json file.
+type Baseline struct {
+	Label      string          `json:"label"`
+	CapturedAt string          `json:"captured_at"` // RFC 3339, UTC
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	RCRWorkers string          `json:"rcr_workers"` // RCR_WORKERS env, "" = unset
+	Kernels    []KernelTiming  `json:"kernels"`
+	Exps       []ExperimentRun `json:"experiments"`
+}
+
+// KernelTiming is one micro-benchmark result.
+type KernelTiming struct {
+	Name    string  `json:"name"`
+	Size    int     `json:"size"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// ExperimentRun is one quick-mode experiment wall time.
+type ExperimentRun struct {
+	ID   string  `json:"id"`
+	Ms   float64 `json:"ms"`
+	Rows int     `json:"rows"`
+}
+
+// captureBaseline measures every probe and experiment and writes the
+// baseline file into dir.
+func captureBaseline(label, dir string, seed uint64) (string, error) {
+	if label == "" {
+		return "", fmt.Errorf("baseline label must be non-empty")
+	}
+	b := &Baseline{
+		Label:      label,
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RCRWorkers: os.Getenv("RCR_WORKERS"),
+	}
+	kernels, err := kernelProbes(seed)
+	if err != nil {
+		return "", err
+	}
+	for _, p := range kernels {
+		iters, ns := timeProbe(p.fn)
+		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
+	}
+	reg := experiments.Registry()
+	for _, id := range experiments.Order() {
+		start := time.Now()
+		table, err := reg[id](seed, true)
+		if err != nil {
+			return "", fmt.Errorf("experiment %s: %w", id, err)
+		}
+		b.Exps = append(b.Exps, ExperimentRun{
+			ID:   id,
+			Ms:   float64(time.Since(start).Microseconds()) / 1e3,
+			Rows: len(table.Rows),
+		})
+	}
+	path := filepath.Join(dir, "BENCH_"+label+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+type probe struct {
+	name string
+	size int
+	fn   func() error
+}
+
+// kernelProbes builds the closed set of hot-path micro-benchmarks. Inputs
+// are deterministic (seeded); only the timing varies between runs.
+func kernelProbes(seed uint64) ([]probe, error) {
+	r := rng.New(seed)
+	sig4096 := make([]complex128, 4096)
+	for i := range sig4096 {
+		sig4096[i] = complex(r.Norm(), r.Norm())
+	}
+	sig4095 := sig4096[:4095]
+
+	audio := make([]float64, 16384)
+	for i := range audio {
+		audio[i] = r.Norm()
+	}
+	stftCfg := stft.DefaultConfig()
+
+	const mm = 192
+	a, bm := mat.New(mm, mm), mat.New(mm, mm)
+	for i := range a.Data {
+		a.Data[i] = r.Norm()
+		bm.Data[i] = r.Norm()
+	}
+	const mv = 512
+	mvec := mat.New(mv, mv)
+	for i := range mvec.Data {
+		mvec.Data[i] = r.Norm()
+	}
+	x := make([]float64, mv)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+
+	sphere := func(v []float64) float64 {
+		var s float64
+		for _, u := range v {
+			s += u * u
+		}
+		return s
+	}
+	psoDims := make([]pso.Dim, 6)
+	for i := range psoDims {
+		psoDims[i] = pso.Dim{Lo: -5, Hi: 5}
+	}
+
+	return []probe{
+		{"fft_pow2_repeated", 4096, func() error {
+			_ = fft.FFT(sig4096)
+			return nil
+		}},
+		{"fft_bluestein_repeated", 4095, func() error {
+			_ = fft.FFT(sig4095)
+			return nil
+		}},
+		{"stft_transform", len(audio), func() error {
+			_, err := stft.Transform(audio, stftCfg)
+			return err
+		}},
+		{"mat_mul", mm, func() error {
+			_, err := a.Mul(bm)
+			return err
+		}},
+		{"mat_mulvec", mv, func() error {
+			_, err := mvec.MulVec(x)
+			return err
+		}},
+		{"pso_sphere", 6, func() error {
+			_, err := pso.Minimize(&pso.Problem{Dims: psoDims, Eval: sphere},
+				pso.Options{Seed: seed, Swarm: 16, MaxIter: 60})
+			return err
+		}},
+	}, nil
+}
+
+// timeProbe runs fn enough times to pass a fixed wall-clock target and
+// reports the iteration count and mean ns/op (testing.B-style calibration).
+func timeProbe(fn func() error) (iters int, nsPerOp float64) {
+	const target = 150 * time.Millisecond
+	if err := fn(); err != nil { // warm up and surface configuration errors
+		return 0, 0
+	}
+	iters = 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return 0, 0
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= target || iters >= 1<<22 {
+			return iters, float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+		next := iters * 2
+		if elapsed > 0 {
+			est := int(float64(iters) * float64(target) / float64(elapsed) * 12 / 10)
+			if est > next {
+				next = est
+			}
+		}
+		iters = next
+	}
+}

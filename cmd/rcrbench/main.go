@@ -9,6 +9,7 @@
 //	rcrbench -exp all           # everything (slow)
 //	rcrbench -exp t1 -quick     # reduced budget
 //	rcrbench -list
+//	rcrbench -baseline pre      # write BENCH_pre.json perf snapshot
 package main
 
 import (
@@ -35,8 +36,18 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced budgets")
 	list := fs.Bool("list", false, "list experiments")
 	asJSON := fs.Bool("json", false, "emit JSON instead of tables")
+	baseline := fs.String("baseline", "", "capture a perf baseline, writing BENCH_<label>.json")
+	benchDir := fs.String("benchdir", ".", "directory for -baseline output")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *baseline != "" {
+		path, err := captureBaseline(*baseline, *benchDir, *seed)
+		if err != nil {
+			return fmt.Errorf("baseline %q: %w", *baseline, err)
+		}
+		fmt.Printf("baseline written to %s\n", path)
+		return nil
 	}
 	reg := experiments.Registry()
 	if *list || *exp == "" {

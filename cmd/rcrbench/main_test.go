@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestRunList(t *testing.T) {
@@ -22,6 +27,44 @@ func TestRunUnknownExp(t *testing.T) {
 	err := run([]string{"-exp", "zz"})
 	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
 		t.Fatalf("want unknown experiment error, got %v", err)
+	}
+}
+
+func TestBaselineRejectsEmptyLabelViaCapture(t *testing.T) {
+	if _, err := captureBaseline("", t.TempDir(), 1); err == nil {
+		t.Fatal("want error for empty baseline label")
+	}
+}
+
+func TestBaselineWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping baseline capture in -short mode")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-baseline", "testlbl", "-benchdir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_testlbl.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Label != "testlbl" || b.GOMAXPROCS < 1 {
+		t.Fatalf("bad metadata: %+v", b)
+	}
+	if len(b.Kernels) == 0 {
+		t.Fatal("no kernel timings captured")
+	}
+	for _, k := range b.Kernels {
+		if k.Iters <= 0 || k.NsPerOp <= 0 {
+			t.Fatalf("kernel %s has empty timing: %+v", k.Name, k)
+		}
+	}
+	if len(b.Exps) != len(experiments.Order()) {
+		t.Fatalf("captured %d experiments, want %d", len(b.Exps), len(experiments.Order()))
 	}
 }
 

@@ -128,6 +128,9 @@ func RunStack(cfg StackConfig) (*StackReport, error) {
 	for i, d := range space {
 		dims[i] = pso.Dim{Lo: d.Lo, Hi: d.Hi, Integer: d.Integer}
 	}
+	// The objective derives each candidate's training seed from a shared
+	// eval counter, so evaluation order is load-bearing: it must stay
+	// serial (Options.Parallel left false).
 	evalCount := 0
 	objective := func(x []float64) float64 {
 		evalCount++

@@ -67,6 +67,7 @@ func T1PSOStagnation(seed uint64, quick bool) (*Table, error) {
 				Inertia:          cfg.inertia,
 				Encoding:         cfg.encoding,
 				StagnationWindow: cfg.window,
+				Parallel:         true, // intRastrigin is pure
 			})
 			if err != nil {
 				return nil, err
@@ -125,6 +126,7 @@ func T1PSOStagnation(seed uint64, quick bool) (*Table, error) {
 				Inertia:          pso.DefaultAdaptiveInertia(),
 				Encoding:         pso.EncodingRounding,
 				StagnationWindow: 15,
+				Parallel:         true, // intRastrigin is pure
 			})
 			if err != nil {
 				return nil, err

@@ -6,6 +6,12 @@
 // arbitrary lengths fall back to Bluestein's chirp-z algorithm so that every
 // length is supported exactly (several toolkit bugs the paper cites stem
 // from silently restricting or zero-padding non-power-of-two inputs).
+//
+// All transforms execute through a Plan (see plan.go): precomputed
+// bit-reversal permutation, twiddle tables, and cached Bluestein chirp
+// spectra. The package-level FFT/IFFT/RFFT/IRFFT are thin wrappers over a
+// global plan cache keyed by length, so repeated transforms of one size pay
+// the planning cost once.
 package fft
 
 import (
@@ -30,114 +36,13 @@ func (e *ErrLength) Error() string {
 // FFT returns the forward DFT of x: X[k] = Σ_n x[n] e^{-2πi kn/N}.
 // The input is not modified. Any length (including 0 and 1) is accepted.
 func FFT(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
-	copy(out, x)
-	transform(out, false)
-	return out
+	return PlanFor(len(x)).FFT(x)
 }
 
 // IFFT returns the inverse DFT with 1/N normalization, so IFFT(FFT(x)) == x
 // up to rounding.
 func IFFT(x []complex128) []complex128 {
-	out := make([]complex128, len(x))
-	copy(out, x)
-	transform(out, true)
-	n := float64(len(out))
-	if n > 0 {
-		for i := range out {
-			out[i] /= complex(n, 0)
-		}
-	}
-	return out
-}
-
-// transform runs an in-place DFT (or unnormalized inverse when inv is true),
-// choosing radix-2 or Bluestein by length.
-func transform(x []complex128, inv bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	if n&(n-1) == 0 {
-		radix2(x, inv)
-		return
-	}
-	bluestein(x, inv)
-}
-
-// radix2 is the iterative Cooley-Tukey transform for power-of-two lengths.
-func radix2(x []complex128, inv bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	for i, j := 1, 0; i < n; i++ {
-		bit := n >> 1
-		for ; j&bit != 0; bit >>= 1 {
-			j ^= bit
-		}
-		j ^= bit
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inv {
-		sign = 1.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * 2 * math.Pi / float64(length)
-		wl := cmplx.Exp(complex(0, ang))
-		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
-			for k := 0; k < half; k++ {
-				u := x[start+k]
-				v := x[start+k+half] * w
-				x[start+k] = u + v
-				x[start+k+half] = u - v
-				w *= wl
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution executed with
-// padded radix-2 transforms (chirp-z).
-func bluestein(x []complex128, inv bool) {
-	n := len(x)
-	sign := -1.0
-	if inv {
-		sign = 1.0
-	}
-	// Chirp: w[k] = e^{sign * iπ k² / n}. Reduce k² mod 2n to keep the
-	// argument small — direct k² overflows precision for large n.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	scale := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * scale * chirp[k]
-	}
+	return PlanFor(len(x)).IFFT(x)
 }
 
 // NaiveDFT computes the DFT by the O(n²) definition. It is the oracle the

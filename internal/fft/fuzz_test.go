@@ -26,6 +26,31 @@ func FuzzRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzPlanNaiveParity checks a freshly built Plan agrees with the O(n²)
+// NaiveDFT oracle for arbitrary lengths and contents — the planned kernel
+// (table twiddles, cached Bluestein spectra) must change performance, never
+// values beyond rounding. Seeds cover power-of-two, odd, and prime lengths.
+func FuzzPlanNaiveParity(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})                    // n=8: radix-2
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1})                 // n=9: Bluestein
+	f.Add([]byte{200, 100, 50, 25, 12, 6, 3})                // n=7: prime
+	f.Add([]byte{0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 1}) // n=11: prime
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 128 {
+			t.Skip()
+		}
+		x := make([]complex128, len(data))
+		for i, b := range data {
+			x[i] = complex(float64(b)/255-0.5, float64(b%31)/31-0.5)
+		}
+		got := NewPlan(len(x)).FFT(x)
+		want := NaiveDFT(x)
+		if e := MaxAbsError(got, want); e > 1e-8*float64(len(x)) || math.IsNaN(e) {
+			t.Fatalf("plan differs from naive DFT by %v at n=%d", e, len(x))
+		}
+	})
+}
+
 // FuzzRFFTConsistency checks the real transform agrees with the complex
 // transform for arbitrary real signals.
 func FuzzRFFTConsistency(f *testing.F) {

@@ -1,0 +1,248 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Plan holds every input-independent precomputation for a DFT of one fixed
+// length, FFTW-planner style: the bit-reversal permutation, forward and
+// inverse twiddle tables (table lookups replace the error-accumulating
+// w *= wl recurrence the seed implementation used), and — for non-power-of-
+// two lengths — the Bluestein chirp together with the forward transform of
+// its padded conjugate, which is identical for every call at a given
+// (length, direction) and therefore computed exactly once.
+//
+// A Plan is immutable after construction and safe for concurrent use; the
+// Bluestein work buffers come from an internal sync.Pool, so frame-parallel
+// consumers (internal/stft) share one plan across workers without
+// contention. Build plans directly with NewPlan, or let the package-level
+// FFT/IFFT/RFFT/IRFFT wrappers reuse them through the global plan cache.
+type Plan struct {
+	n    int
+	perm []int32      // bit-reversal permutation of [0, n), power-of-two only
+	twf  []complex128 // twf[k] = e^{-2πik/n}, k < n/2 (forward)
+	twi  []complex128 // twi[k] = conj(twf[k]) (inverse)
+	bs   *bluesteinPlan
+}
+
+// bluesteinPlan is the per-length chirp-z state for arbitrary-length DFTs.
+type bluesteinPlan struct {
+	m     int          // convolution length: next power of two >= 2n-1
+	chirp []complex128 // chirp[k] = e^{-iπk²/n} (forward sign; conj for inverse)
+	btFwd []complex128 // FFT of the padded conj(chirp): the forward B spectrum
+	btInv []complex128 // FFT of the padded chirp: the inverse B spectrum
+	inner *Plan        // radix-2 plan of length m
+	pool  sync.Pool    // *[]complex128 scratch of length m
+}
+
+// NewPlan precomputes a transform plan for length n. Constructing a plan
+// performs all trigonometric and permutation work up front; executing it
+// does none. n must be >= 0 (a programming error otherwise).
+func NewPlan(n int) *Plan {
+	if n < 0 {
+		//lint:ignore naivepanic negative length is a programming error; mirrors the built-in make contract
+		panic("fft: NewPlan with negative length")
+	}
+	p := &Plan{n: n}
+	if n <= 1 {
+		return p
+	}
+	if n&(n-1) == 0 {
+		p.initRadix2(n)
+		return p
+	}
+	p.initBluestein(n)
+	return p
+}
+
+func (p *Plan) initRadix2(n int) {
+	p.perm = make([]int32, n)
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		p.perm[i] = int32(j)
+	}
+	half := n / 2
+	p.twf = make([]complex128, half)
+	p.twi = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		w := cmplx.Exp(complex(0, ang))
+		p.twf[k] = w
+		p.twi[k] = cmplx.Conj(w)
+	}
+}
+
+func (p *Plan) initBluestein(n int) {
+	bs := &bluesteinPlan{}
+	// Chirp: e^{-iπk²/n} with k² reduced mod 2n to keep the argument small
+	// (direct k² loses precision for large n).
+	bs.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		bs.chirp[k] = cmplx.Exp(complex(0, -math.Pi*float64(kk)/float64(n)))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	bs.m = m
+	bs.inner = NewPlan(m)
+	// B spectra: the FFT of the padded conjugate chirp (forward direction)
+	// and of the padded chirp itself (inverse direction). These were
+	// recomputed on every call in the seed implementation even though they
+	// depend only on (n, direction).
+	bFwd := make([]complex128, m)
+	bInv := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		c := bs.chirp[k]
+		bFwd[k] = cmplx.Conj(c)
+		bInv[k] = c
+		if k > 0 {
+			bFwd[m-k] = cmplx.Conj(c)
+			bInv[m-k] = c
+		}
+	}
+	bs.inner.Do(bFwd, false)
+	bs.inner.Do(bInv, false)
+	bs.btFwd = bFwd
+	bs.btInv = bInv
+	bs.pool.New = func() any {
+		s := make([]complex128, m)
+		return &s
+	}
+	p.bs = bs
+}
+
+// Len returns the transform length the plan was built for.
+func (p *Plan) Len() int { return p.n }
+
+// Do executes the plan in place on x: the forward DFT, or the unnormalized
+// inverse when inv is true (callers divide by n, as IFFT does). len(x) must
+// equal Len(); a mismatch is a programming error.
+func (p *Plan) Do(x []complex128, inv bool) {
+	if len(x) != p.n {
+		//lint:ignore naivepanic hot-path kernel with a documented length contract, mirroring mat.VecDot
+		panic("fft: Plan.Do length mismatch")
+	}
+	if p.n <= 1 {
+		return
+	}
+	if p.bs == nil {
+		p.radix2(x, inv)
+		return
+	}
+	p.bluestein(x, inv)
+}
+
+// FFT returns the forward DFT of x without modifying it.
+func (p *Plan) FFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Do(out, false)
+	return out
+}
+
+// IFFT returns the inverse DFT of x (1/N normalized) without modifying it.
+func (p *Plan) IFFT(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Do(out, true)
+	n := float64(p.n)
+	if n > 0 {
+		for i := range out {
+			out[i] /= complex(n, 0)
+		}
+	}
+	return out
+}
+
+// radix2 is the iterative Cooley-Tukey transform over the precomputed
+// permutation and twiddle tables. Stage `length` uses every (n/length)-th
+// table entry, so no twiddle is ever computed by recurrence.
+func (p *Plan) radix2(x []complex128, inv bool) {
+	n := len(x) // == p.n == len(p.perm), validated by Do
+	for i, j := range p.perm {
+		if i < int(j) {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := p.twf
+	if inv {
+		tw = p.twi
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		step := n / length
+		for start := 0; start < n; start += length {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				u := x[k]
+				v := x[k+half] * tw[ti]
+				x[k] = u + v
+				x[k+half] = u - v
+				ti += step
+			}
+		}
+	}
+}
+
+// bluestein executes the chirp-z convolution using the cached chirp and B
+// spectra; the only per-call transforms are the two of length m over the
+// input-dependent sequence.
+func (p *Plan) bluestein(x []complex128, inv bool) {
+	bs := p.bs
+	n, m := p.n, bs.m
+	bt := bs.btFwd
+	if inv {
+		bt = bs.btInv
+	}
+	ap := bs.pool.Get().(*[]complex128)
+	a := (*ap)[:m] // pooled scratch is always length m
+	for k := 0; k < n; k++ {
+		c := bs.chirp[k]
+		if inv {
+			c = cmplx.Conj(c)
+		}
+		a[k] = x[k] * c
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
+	bs.inner.Do(a, false)
+	for i, b := range bt {
+		a[i] *= b
+	}
+	bs.inner.Do(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		c := bs.chirp[k]
+		if inv {
+			c = cmplx.Conj(c)
+		}
+		x[k] = a[k] * scale * c
+	}
+	bs.pool.Put(ap)
+}
+
+// planCache is the global length -> *Plan cache behind the package-level
+// transform functions. Plans are O(n) memory and immutable, so caching one
+// per distinct length trades a small, bounded footprint for never paying
+// the planning cost twice — the FFTW "wisdom" model in miniature.
+var planCache sync.Map
+
+// PlanFor returns the shared plan for length n, building and caching it on
+// first use. Concurrent first calls may both build; one wins the cache and
+// the duplicate is discarded.
+func PlanFor(n int) *Plan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan)
+	}
+	v, _ := planCache.LoadOrStore(n, NewPlan(n))
+	return v.(*Plan)
+}

@@ -35,3 +35,34 @@ func SuppressedEntropy() *Gen {
 	//lint:ignore mutseed fixture: interactive demo explicitly wants a fresh seed each launch
 	return NewGen(uint64(time.Now().UnixNano()))
 }
+
+// Split derives an independent child stream, mirroring rng.Split: the
+// mutseed-approved way to hand each goroutine its own generator.
+func (g *Gen) Split() *Gen {
+	g.seed++
+	return &Gen{seed: g.seed * 0x9e3779b97f4a7c15}
+}
+
+// BadGoroutineWallClock re-seeds inside each worker goroutine from the
+// wall clock — the fan-out anti-pattern: results depend on launch time and
+// cannot be replayed at any worker count.
+func BadGoroutineWallClock(workers int) {
+	for w := 0; w < workers; w++ {
+		go func() {
+			g := NewGen(uint64(time.Now().UnixNano()))
+			_ = g
+		}()
+	}
+}
+
+// GoodGoroutineStreams splits one child stream per goroutine from the
+// parent before launch; every draw is a pure function of the root seed.
+func GoodGoroutineStreams(root uint64, workers int) {
+	parent := NewGen(root)
+	for w := 0; w < workers; w++ {
+		stream := parent.Split()
+		go func() {
+			_ = stream
+		}()
+	}
+}

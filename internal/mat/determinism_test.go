@@ -1,0 +1,55 @@
+package mat
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// mulAtWorkers computes a product and a matrix-vector product big enough to
+// fan out (rowGrain yields multiple chunks) under a pinned worker count.
+func mulAtWorkers(t *testing.T, workers string) (*Matrix, []float64) {
+	t.Helper()
+	t.Setenv(par.EnvWorkers, workers)
+	r := rng.New(505)
+	const n = 160
+	a := New(n, n)
+	b := New(n, n)
+	x := make([]float64, n)
+	for i := range a.Data {
+		a.Data[i] = r.Float64()*2 - 1
+		b.Data[i] = r.Float64()*2 - 1
+	}
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, v
+}
+
+// TestMulDeterministicAcrossWorkerCounts pins the row-blocking contract:
+// each output row is owned by exactly one chunk and accumulated in the same
+// order as the serial loop, so the product must be bit-identical at any
+// RCR_WORKERS.
+func TestMulDeterministicAcrossWorkerCounts(t *testing.T) {
+	p1, v1 := mulAtWorkers(t, "1")
+	p8, v8 := mulAtWorkers(t, "8")
+	for i := range p1.Data {
+		if p1.Data[i] != p8.Data[i] {
+			t.Fatalf("Mul element %d differs across worker counts", i)
+		}
+	}
+	for i := range v1 {
+		if v1[i] != v8[i] {
+			t.Fatalf("MulVec element %d differs across worker counts", i)
+		}
+	}
+}

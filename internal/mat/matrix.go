@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // ErrShape is returned when operand dimensions are incompatible.
@@ -153,42 +155,65 @@ func (m *Matrix) SubM(b *Matrix) (*Matrix, error) {
 	return out, nil
 }
 
-// Mul returns the matrix product m*b.
+// rowGrain returns the number of output rows per parallel chunk, sized so
+// one chunk performs on the order of 2^15 scalar multiply-adds. Small
+// products collapse to a single chunk and run inline; big ones fan out
+// over internal/par. Because each output row is computed by exactly one
+// chunk with the same per-row accumulation order as the serial loop, the
+// product is bit-identical at any worker count.
+func rowGrain(opsPerRow int) int {
+	const targetOps = 1 << 15
+	if opsPerRow <= 0 {
+		return targetOps
+	}
+	g := targetOps / opsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Mul returns the matrix product m*b, row-blocked across the worker pool.
 func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
 	if m.Cols != b.Rows {
 		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
 	}
 	out := New(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
-		oi := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, mik := range mi {
-			if mik == 0 {
-				continue
-			}
-			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bkj := range bk {
-				oi[j] += mik * bkj
+	par.For(m.Rows, rowGrain(m.Cols*b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+			oi := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k, mik := range mi {
+				if mik == 0 {
+					continue
+				}
+				bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bkj := range bk {
+					oi[j] += mik * bkj
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
-// MulVec returns the matrix-vector product m*x.
+// MulVec returns the matrix-vector product m*x, row-blocked across the
+// worker pool.
 func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	if m.Cols != len(x) {
 		return nil, fmt.Errorf("%w: mulvec %dx%d by %d", ErrShape, m.Rows, m.Cols, len(x))
 	}
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var s float64
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, v := range row {
-			s += v * x[j]
+	par.For(m.Rows, rowGrain(m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, v := range row {
+				s += v * x[j]
+			}
+			out[i] = s
 		}
-		out[i] = s
-	}
+	})
 	return out, nil
 }
 

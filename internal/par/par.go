@@ -1,0 +1,125 @@
+// Package par is the repository's data-parallel fan-out primitive: a
+// bounded fork/join worker pool with deterministic chunking.
+//
+// The contract every consumer (fft, stft, mat, pso) relies on is
+// worker-count invariance: chunk boundaries depend only on the problem size
+// and the grain, never on how many workers execute them, and MapReduce folds
+// chunk results in ascending chunk order. A computation whose chunks write
+// disjoint outputs (or that reduces through MapReduce) therefore produces
+// bit-identical results at RCR_WORKERS=1 and RCR_WORKERS=64 — floating-point
+// summation order never depends on scheduling. This is what lets the
+// experiment tables in EXPERIMENTS.md stay reproducible on any machine.
+//
+// Width is sized from GOMAXPROCS and can be overridden (e.g. for the
+// determinism tests, or to pin benchmarks) with the RCR_WORKERS environment
+// variable.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the worker count.
+const EnvWorkers = "RCR_WORKERS"
+
+// Workers returns the fan-out width: the value of RCR_WORKERS when it
+// parses as an integer >= 1, else GOMAXPROCS. It is consulted on every
+// parallel call, so tests may flip the variable with t.Setenv.
+func Workers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits [0, n) into contiguous chunks of grain indices (the last chunk
+// may be shorter) and calls body(lo, hi) once per chunk, using up to
+// Workers() goroutines. Chunk boundaries are multiples of grain and depend
+// only on n and grain. Chunks run in arbitrary order; body must write only
+// outputs owned by its index range. A panic in body is re-raised on the
+// calling goroutine after all workers stop.
+func For(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			body(c*grain, minInt((c+1)*grain, n))
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[panicValue]
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &panicValue{v: r})
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				body(c*grain, minInt((c+1)*grain, n))
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		//lint:ignore naivepanic re-raising a worker panic on the caller's goroutine preserves the serial panic contract
+		panic(p.v)
+	}
+}
+
+type panicValue struct{ v any }
+
+// MapReduce maps every chunk of [0, n) to a partial result in parallel and
+// folds the partials in ascending chunk order: fold(...fold(fold(zero, m0),
+// m1)..., mk). Because the fold is sequential and ordered, floating-point
+// reductions are bit-identical at any worker count.
+func MapReduce[T any](n, grain int, mapChunk func(lo, hi int) T, fold func(acc, chunk T) T, zero T) T {
+	if n <= 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	parts := make([]T, chunks)
+	For(n, grain, func(lo, hi int) {
+		parts[lo/grain] = mapChunk(lo, hi)
+	})
+	acc := zero
+	for _, p := range parts {
+		acc = fold(acc, p)
+	}
+	return acc
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

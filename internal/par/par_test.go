@@ -1,0 +1,149 @@
+package par
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "7")
+	if w := Workers(); w != 7 {
+		t.Fatalf("Workers() = %d with RCR_WORKERS=7", w)
+	}
+	t.Setenv(EnvWorkers, "0") // invalid: must fall back to GOMAXPROCS
+	if w := Workers(); w < 1 {
+		t.Fatalf("Workers() = %d with invalid override", w)
+	}
+	t.Setenv(EnvWorkers, "banana")
+	if w := Workers(); w < 1 {
+		t.Fatalf("Workers() = %d with garbage override", w)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []string{"1", "3", "8"} {
+		t.Setenv(EnvWorkers, workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{0, 1, 3, 64, 2000} {
+				hits := make([]int32, n)
+				For(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad chunk [%d,%d) for n=%d grain=%d", lo, hi, n, grain)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						hits[i]++ // disjoint chunks: no synchronization needed
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%s n=%d grain=%d: index %d visited %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// chunkSet records the chunk boundaries an invocation produced, in sorted
+// order (execution order is scheduling-dependent; boundaries must not be).
+func chunkSet(t *testing.T, n, grain int) [][2]int {
+	t.Helper()
+	var mu sync.Mutex
+	var got [][2]int
+	For(n, grain, func(lo, hi int) {
+		mu.Lock()
+		got = append(got, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	return got
+}
+
+func TestChunkBoundariesIndependentOfWorkerCount(t *testing.T) {
+	const n, grain = 1003, 17
+	t.Setenv(EnvWorkers, "1")
+	serial := chunkSet(t, n, grain)
+	t.Setenv(EnvWorkers, "8")
+	parallel := chunkSet(t, n, grain)
+	if len(serial) != len(parallel) {
+		t.Fatalf("chunk count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("chunk %d differs: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestMapReduceBitIdenticalAcrossWorkerCounts feeds a float sum whose value
+// depends on accumulation order (alternating magnitudes) and demands exact
+// equality between 1 and 8 workers.
+func TestMapReduceBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		if i%2 == 0 {
+			vals[i] = 1e16
+		} else {
+			vals[i] = 1.0 + float64(i)
+		}
+	}
+	sum := func() float64 {
+		return MapReduce(n, 64,
+			func(lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(a, b float64) float64 { return a + b }, 0)
+	}
+	t.Setenv(EnvWorkers, "1")
+	a := sum()
+	t.Setenv(EnvWorkers, "8")
+	b := sum()
+	if a != b || math.IsNaN(a) {
+		t.Fatalf("MapReduce not worker-count invariant: %v vs %v", a, b)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, 8,
+		func(lo, hi int) int { return 1 },
+		func(a, b int) int { return a + b }, 42)
+	if got != 42 {
+		t.Fatalf("empty MapReduce = %d, want zero value 42", got)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	t.Setenv(EnvWorkers, "4")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in body did not propagate to caller")
+		}
+	}()
+	For(100, 1, func(lo, hi int) {
+		if lo == 50 {
+			//lint:ignore naivepanic the test exercises the panic re-raise path
+			panic("boom")
+		}
+	})
+}
+
+func TestForSerialPanicPropagates(t *testing.T) {
+	t.Setenv(EnvWorkers, "1")
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic in serial body did not propagate")
+		}
+	}()
+	For(10, 1, func(lo, hi int) {
+		//lint:ignore naivepanic the test exercises the serial panic path
+		panic("boom")
+	})
+}

@@ -1,0 +1,76 @@
+package pso
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// runAtWorkers runs one representative PSO optimization (integer dims,
+// dispersion enabled, history tracked) with concurrent evaluation under a
+// pinned worker count.
+func runAtWorkers(t *testing.T, workers string, parallel bool) *Result {
+	t.Helper()
+	t.Setenv(par.EnvWorkers, workers)
+	rastrigin := func(x []float64) float64 {
+		s := 10 * float64(len(x))
+		for _, v := range x {
+			s += v*v - 10*math.Cos(2*math.Pi*v)
+		}
+		return s
+	}
+	res, err := Minimize(&Problem{
+		Dims: []Dim{
+			{Lo: -5.12, Hi: 5.12},
+			{Lo: -5.12, Hi: 5.12},
+			{Lo: -5, Hi: 5, Integer: true},
+		},
+		Eval: rastrigin,
+	}, Options{
+		Seed:             909,
+		Swarm:            16,
+		MaxIter:          60,
+		Encoding:         EncodingRounding,
+		StagnationWindow: 10,
+		TrackHistory:     true,
+		Parallel:         parallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.F != b.F {
+		t.Fatalf("%s: best value differs: %v vs %v", label, a.F, b.F)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatalf("%s: best point dim %d differs: %v vs %v", label, i, a.X[i], b.X[i])
+		}
+	}
+	if a.Evals != b.Evals || a.Iterations != b.Iterations ||
+		a.Dispersions != b.Dispersions || a.StagnantIters != b.StagnantIters {
+		t.Fatalf("%s: diagnostics differ: %+v vs %+v", label, a, b)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("%s: history iter %d differs: %v vs %v", label, i, a.History[i], b.History[i])
+		}
+	}
+}
+
+// TestMinimizeDeterministicAcrossWorkerCounts pins the concurrency
+// contract of the synchronous swarm: per-particle RNG streams plus the
+// ordered reduction make a Parallel run bit-identical at any RCR_WORKERS,
+// and identical to the serial path.
+func TestMinimizeDeterministicAcrossWorkerCounts(t *testing.T) {
+	par1 := runAtWorkers(t, "1", true)
+	par8 := runAtWorkers(t, "8", true)
+	serial := runAtWorkers(t, "8", false)
+	sameResult(t, "parallel 1 vs 8 workers", par1, par8)
+	sameResult(t, "serial vs parallel", serial, par8)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/par"
 	"repro/internal/rng"
 )
 
@@ -63,6 +64,14 @@ type Options struct {
 	Target float64
 	// TrackHistory records the global best per iteration.
 	TrackHistory bool
+	// Parallel fans particle evaluation out over the internal/par worker
+	// pool. The swarm dynamics are synchronous and every particle owns a
+	// private RNG stream split from Seed, so the result is bit-identical
+	// to the serial path at any RCR_WORKERS — but Eval is then called
+	// concurrently and must be safe for that (pure functions are; closures
+	// that mutate captured state, e.g. eval counters feeding per-candidate
+	// seeds, are not and must leave Parallel false).
+	Parallel bool
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +120,15 @@ type Result struct {
 }
 
 // Minimize runs PSO on p.
+//
+// The swarm is synchronous: every particle updates its velocity and
+// position against the global best of the *previous* iteration, all
+// particles are evaluated (concurrently when Options.Parallel), and the
+// personal/global bests are then folded in ascending particle order.
+// Every particle owns a private RNG stream split from the master seed, so
+// no random draw ever depends on evaluation scheduling. Together these
+// make the run bit-for-bit reproducible at any worker count — the mutseed
+// discipline extended to concurrency.
 func Minimize(p *Problem, o Options) (*Result, error) {
 	o = o.withDefaults()
 	if err := validate(p, o); err != nil {
@@ -118,7 +136,14 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	}
 	enc := newEncoder(p, o.Encoding)
 	n := enc.dim()
-	r := rng.New(o.Seed)
+	// Per-particle streams: Split derives statistically independent
+	// children from the one master seed, so reproducibility survives the
+	// fan-out (see internal/rng).
+	root := rng.New(o.Seed)
+	streams := make([]*rng.Rand, o.Swarm)
+	for i := range streams {
+		streams[i] = root.Split()
+	}
 
 	// Internal-space bounds and velocity clamps.
 	lo, hi := enc.bounds()
@@ -132,29 +157,52 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	pbest := make([][]float64, o.Swarm)
 	pbestF := make([]float64, o.Swarm)
 	pStall := make([]int, o.Swarm)
+	fvals := make([]float64, o.Swarm)
+	decoded := make([][]float64, o.Swarm)
+	for i := range decoded {
+		decoded[i] = make([]float64, len(p.Dims))
+	}
 	var gbest []float64
 	gbestF := math.Inf(1)
 	res := &Result{}
-	decoded := make([]float64, len(p.Dims))
 
-	evalAt := func(x []float64) float64 {
-		enc.decode(x, decoded)
-		res.Evals++
-		return p.Eval(decoded)
+	evalParticle := func(i int) {
+		enc.decode(pos[i], decoded[i])
+		fvals[i] = p.Eval(decoded[i])
+	}
+	// eachParticle runs body once per particle index. The parallel and
+	// serial paths produce identical state: body(i) touches only
+	// particle i's slots and stream.
+	eachParticle := func(body func(i int)) {
+		if o.Parallel {
+			par.For(o.Swarm, 1, func(plo, phi int) {
+				for i := plo; i < phi; i++ {
+					body(i)
+				}
+			})
+			return
+		}
+		for i := 0; i < o.Swarm; i++ {
+			body(i)
+		}
 	}
 
-	for i := 0; i < o.Swarm; i++ {
+	eachParticle(func(i int) {
+		r := streams[i]
 		pos[i] = make([]float64, n)
 		vel[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
 			pos[i][j] = r.Uniform(lo[j], hi[j])
 			vel[i][j] = r.Uniform(-vmax[j], vmax[j])
 		}
-		f := evalAt(pos[i])
+		evalParticle(i)
+	})
+	for i := 0; i < o.Swarm; i++ { // ordered init reduction
+		res.Evals++
 		pbest[i] = append([]float64(nil), pos[i]...)
-		pbestF[i] = f
-		if f < gbestF {
-			gbestF = f
+		pbestF[i] = fvals[i]
+		if fvals[i] < gbestF {
+			gbestF = fvals[i]
 			gbest = append([]float64(nil), pos[i]...)
 		}
 	}
@@ -162,8 +210,8 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	stagnant := 0
 	for it := 0; it < o.MaxIter; it++ {
 		w := o.Inertia.Weight(it, o.MaxIter, stagnant)
-		improved := false
-		for i := 0; i < o.Swarm; i++ {
+		eachParticle(func(i int) {
+			r := streams[i]
 			for j := 0; j < n; j++ {
 				b1 := r.Float64()
 				b2 := r.Float64()
@@ -190,7 +238,15 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 				}
 				pos[i][j] = x
 			}
-			f := evalAt(pos[i])
+			evalParticle(i)
+		})
+		// Ordered reduction: personal/global bests, stall bookkeeping,
+		// and dispersion fold serially in particle order, so the global
+		// best never depends on which worker finished first.
+		improved := false
+		for i := 0; i < o.Swarm; i++ {
+			res.Evals++
+			f := fvals[i]
 			if f < pbestF[i] {
 				pbestF[i] = f
 				copy(pbest[i], pos[i])
@@ -204,8 +260,10 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 				improved = true
 			}
 			// Dispersion: re-randomize a particle that has stalled past
-			// the window (stagnation detection of [15]).
+			// the window (stagnation detection of [15]), drawing from the
+			// particle's own stream.
 			if o.StagnationWindow > 0 && pStall[i] >= o.StagnationWindow {
+				r := streams[i]
 				for j := 0; j < n; j++ {
 					pos[i][j] = r.Uniform(lo[j], hi[j])
 					vel[i][j] = r.Uniform(-vmax[j], vmax[j])

@@ -266,6 +266,9 @@ func (p *Problem) SolvePSO(opts pso.Options) (*Allocation, *pso.Result, error) {
 	if opts.Encoding == 0 {
 		opts.Encoding = pso.EncodingRounding
 	}
+	// The objective below decodes into a fresh Allocation per call and
+	// p.Evaluate only reads the problem, so concurrent evaluation is safe.
+	opts.Parallel = true
 	decode := func(x []float64) *Allocation {
 		a := NewAllocation(nRB)
 		for rb, v := range x {

@@ -1,0 +1,69 @@
+package stft
+
+import (
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// transformAtWorkers runs the full analysis chain (Transform, ApplySkew,
+// Spectrogram, Inverse) under a pinned worker count and returns everything
+// it produced.
+func transformAtWorkers(t *testing.T, workers string) (*Result, *Result, [][]float64, []float64) {
+	t.Helper()
+	t.Setenv(par.EnvWorkers, workers)
+	r := rng.New(404)
+	sig := make([]float64, 8192)
+	for i := range sig {
+		sig[i] = r.Float64()*2 - 1
+	}
+	cfg := DefaultConfig()
+	res, err := Transform(sig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := ApplySkew(res, PhaseSkewFactors(cfg.FFTSize, cfg.WinLen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spectrogram(res)
+	back, err := Inverse(res, len(sig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, skewed, spec, back
+}
+
+// TestTransformDeterministicAcrossWorkerCounts pins the package's
+// parallelism contract: the frame fan-out over internal/par must be
+// bit-for-bit invisible. Every coefficient, skewed coefficient, power
+// value, and reconstructed sample must be identical at 1 and 8 workers.
+func TestTransformDeterministicAcrossWorkerCounts(t *testing.T) {
+	res1, skew1, spec1, back1 := transformAtWorkers(t, "1")
+	res8, skew8, spec8, back8 := transformAtWorkers(t, "8")
+
+	if len(res1.Coef) != len(res8.Coef) {
+		t.Fatalf("frame count differs: %d vs %d", len(res1.Coef), len(res8.Coef))
+	}
+	for n := range res1.Coef {
+		for m := range res1.Coef[n] {
+			if res1.Coef[n][m] != res8.Coef[n][m] {
+				t.Fatalf("Transform frame %d bin %d differs across worker counts", n, m)
+			}
+			if skew1.Coef[n][m] != skew8.Coef[n][m] {
+				t.Fatalf("ApplySkew frame %d bin %d differs across worker counts", n, m)
+			}
+		}
+		for m := range spec1[n] {
+			if spec1[n][m] != spec8[n][m] {
+				t.Fatalf("Spectrogram frame %d bin %d differs across worker counts", n, m)
+			}
+		}
+	}
+	for i := range back1 {
+		if back1[i] != back8[i] {
+			t.Fatalf("Inverse sample %d differs across worker counts", i)
+		}
+	}
+}

@@ -6,7 +6,15 @@ import (
 	"math/cmplx"
 
 	"repro/internal/fft"
+	"repro/internal/par"
 )
+
+// frameGrain is the number of STFT frames processed per parallel chunk.
+// Frames are independent (each writes only its own coefficient row), so the
+// fan-out over internal/par is bit-deterministic at any worker count; the
+// grain just keeps per-chunk work (~8 FFTs) comfortably above the fork/join
+// overhead.
+const frameGrain = 8
 
 // Convention selects which of the paper's two STFT definitions is computed.
 type Convention int
@@ -104,32 +112,38 @@ func Transform(s []float64, cfg Config) (*Result, error) {
 		frames = (len(s) + cfg.Hop - 1) / cfg.Hop
 	}
 	out := make([][]complex128, frames)
-	buf := make([]complex128, cfg.FFTSize)
 	center := cfg.WinLen / 2
-	for n := 0; n < frames; n++ {
-		for i := range buf {
-			buf[i] = 0
-		}
-		start := n * cfg.Hop
-		switch cfg.Convention {
-		case ConventionSimplified:
-			// buf[l] = s[na+l]·g[l], l in [0, Lg).
-			for l := 0; l < cfg.WinLen; l++ {
-				buf[l] = complex(s[start+l]*win[l], 0)
+	plan := fft.PlanFor(cfg.FFTSize)
+	// Frame-parallel analysis: every chunk owns a private window buffer
+	// (the seed implementation shared one `buf` across the whole loop,
+	// which would race under fan-out) and writes disjoint rows of out.
+	par.For(frames, frameGrain, func(nLo, nHi int) {
+		buf := make([]complex128, cfg.FFTSize)
+		for n := nLo; n < nHi; n++ {
+			for i := range buf {
+				buf[i] = 0
 			}
-		case ConventionTimeInvariant:
-			// buf[(l mod M)] = s[(na+l) mod L]·g[l+center], l in
-			// [-center, Lg-center). Negative l wraps in both the FFT
-			// buffer (modulation identity) and the signal (circular
-			// extension).
-			for l := -center; l < cfg.WinLen-center; l++ {
-				si := mod(start+l, len(s))
-				bi := mod(l, cfg.FFTSize)
-				buf[bi] = complex(s[si]*win[l+center], 0)
+			start := n * cfg.Hop
+			switch cfg.Convention {
+			case ConventionSimplified:
+				// buf[l] = s[na+l]·g[l], l in [0, Lg).
+				for l := 0; l < cfg.WinLen; l++ {
+					buf[l] = complex(s[start+l]*win[l], 0)
+				}
+			case ConventionTimeInvariant:
+				// buf[(l mod M)] = s[(na+l) mod L]·g[l+center], l in
+				// [-center, Lg-center). Negative l wraps in both the FFT
+				// buffer (modulation identity) and the signal (circular
+				// extension).
+				for l := -center; l < cfg.WinLen-center; l++ {
+					si := mod(start+l, len(s))
+					bi := mod(l, cfg.FFTSize)
+					buf[bi] = complex(s[si]*win[l+center], 0)
+				}
 			}
+			out[n] = plan.FFT(buf)
 		}
-		out[n] = fft.FFT(buf)
-	}
+	})
 	return &Result{Coef: out, Cfg: cfg}, nil
 }
 
@@ -164,13 +178,16 @@ func ApplySkew(r *Result, factors []complex128) (*Result, error) {
 		return nil, fmt.Errorf("stft: %d skew factors for FFTSize %d", len(factors), r.Cfg.FFTSize)
 	}
 	out := &Result{Cfg: r.Cfg, Coef: make([][]complex128, len(r.Coef))}
-	for n, frame := range r.Coef {
-		nf := make([]complex128, len(frame))
-		for m, v := range frame {
-			nf[m] = v * factors[m]
+	par.For(len(r.Coef), frameGrain, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			frame := r.Coef[n]
+			nf := make([]complex128, len(frame))
+			for m, v := range frame {
+				nf[m] = v * factors[m]
+			}
+			out.Coef[n] = nf
 		}
-		out.Coef[n] = nf
-	}
+	})
 	return out, nil
 }
 
@@ -193,10 +210,25 @@ func Inverse(r *Result, n int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Stage 1, frame-parallel: invert every frame (the FFT work dominates).
+	// Stage 2, serial: overlap-add in frame order, so the floating-point
+	// accumulation order — and therefore the result — is identical at any
+	// worker count. Overlapping frames write the same samples, so the
+	// accumulation itself cannot be fanned out without changing sums.
+	frames := len(r.Coef)
+	inv := make([][]complex128, frames)
+	par.For(frames, frameGrain, func(lo, hi int) {
+		for fi := lo; fi < hi; fi++ {
+			// The cache wrapper (not the cfg-sized plan) keeps the seed
+			// behaviour for hand-built Results whose rows differ from
+			// cfg.FFTSize.
+			inv[fi] = fft.IFFT(r.Coef[fi])
+		}
+	})
 	sig := make([]float64, n)
 	norm := make([]float64, n)
-	for fi, frame := range r.Coef {
-		t := fft.IFFT(frame)
+	for fi := 0; fi < frames; fi++ {
+		t := inv[fi]
 		start := fi * cfg.Hop
 		for l := 0; l < cfg.WinLen; l++ {
 			idx := start + l
@@ -222,14 +254,17 @@ func Inverse(r *Result, n int) ([]float64, error) {
 func Spectrogram(r *Result) [][]float64 {
 	half := r.Cfg.FFTSize/2 + 1
 	out := make([][]float64, len(r.Coef))
-	for n, frame := range r.Coef {
-		row := make([]float64, half)
-		for m := 0; m < half; m++ {
-			v := frame[m]
-			row[m] = real(v)*real(v) + imag(v)*imag(v)
+	par.For(len(r.Coef), frameGrain, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			frame := r.Coef[n]
+			row := make([]float64, half)
+			for m := 0; m < half; m++ {
+				v := frame[m]
+				row[m] = real(v)*real(v) + imag(v)*imag(v)
+			}
+			out[n] = row
 		}
-		out[n] = row
-	}
+	})
 	return out
 }
 
