@@ -18,6 +18,14 @@
 #                      detector's 10-20x slowdown times two CPU counts
 #                      they take the better part of an hour on a small
 #                      host); every concurrency-bearing test runs.
+#   3c. go test -tags faultinject -race -short
+#                    — the deterministic fault-injection suite
+#                      (internal/qos/fault_test.go): NaN-poisoned
+#                      objectives, eval starvation, and cancellation at
+#                      iteration k, injected from a master seed into every
+#                      qos solve path. Pins "typed status, finite outputs,
+#                      no panic" and bit-identical degraded results at
+#                      RCR_WORKERS=1 vs 8, under the race detector.
 #   4. rcrlint       — the numerics static analyzers (internal/lint). Exits
 #                      non-zero on any finding not suppressed by a reasoned
 #                      //lint:ignore directive. This duplicates the
@@ -39,6 +47,9 @@ go test ./...
 
 echo "ci: go test -race -cpu 1,4 -short"
 go test -race -cpu 1,4 -short ./...
+
+echo "ci: go test -tags faultinject -race -short"
+go test -tags faultinject -race -short ./...
 
 echo "ci: rcrlint"
 go run ./cmd/rcrlint ./...

@@ -3,23 +3,74 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/guard"
 )
 
 func TestRunGreedy(t *testing.T) {
-	if err := run([]string{"-solver", "greedy", "-rbs", "5"}); err != nil {
+	st, err := run([]string{"-solver", "greedy", "-rbs", "5"})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if st != guard.StatusConverged {
+		t.Fatalf("status = %v, want converged", st)
+	}
+}
+
+func TestRunRobust(t *testing.T) {
+	st, err := run([]string{"-solver", "robust", "-rbs", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exitCode(st) != 0 && exitCode(st) != 2 {
+		t.Fatalf("robust solve status %v (exit %d)", st, exitCode(st))
 	}
 }
 
 func TestRunUnknownSolver(t *testing.T) {
-	err := run([]string{"-solver", "magic"})
+	_, err := run([]string{"-solver", "magic"})
 	if err == nil || !strings.Contains(err.Error(), "unknown solver") {
 		t.Fatalf("want unknown solver error, got %v", err)
 	}
 }
 
 func TestRunRejectsBadInstance(t *testing.T) {
-	if err := run([]string{"-embb", "0", "-urllc", "0", "-mmtc", "0"}); err == nil {
+	if _, err := run([]string{"-embb", "0", "-urllc", "0", "-mmtc", "0"}); err == nil {
 		t.Fatal("want error for empty instance")
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := map[guard.Status]int{
+		guard.StatusOK:         0,
+		guard.StatusConverged:  0,
+		guard.StatusInfeasible: 2,
+		guard.StatusMaxIter:    3,
+		guard.StatusTimeout:    4,
+		guard.StatusCanceled:   5,
+		guard.StatusDiverged:   6,
+		guard.StatusUnbounded:  6,
+		guard.Status(42):       1,
+	}
+	for st, want := range cases {
+		if got := exitCode(st); got != want {
+			t.Errorf("exitCode(%v) = %d, want %d", st, got, want)
+		}
+	}
+}
+
+// TestRunTimeoutTyped pins the -timeout flag: an unmeetable deadline on the
+// exact solver must surface as a typed budget/timeout status, not a generic
+// failure, and the robust ladder must still exit 0-or-degraded.
+func TestRunTimeoutTyped(t *testing.T) {
+	st, err := run([]string{"-solver", "exact", "-rbs", "8", "-embb", "2", "-mmtc", "2", "-timeout", "1ns"})
+	if err != nil {
+		t.Fatalf("exact with timeout errored hard: %v", err)
+	}
+	if st != guard.StatusTimeout {
+		t.Fatalf("status = %v, want timeout", st)
+	}
+	if exitCode(st) != 4 {
+		t.Fatalf("exit = %d, want 4", exitCode(st))
 	}
 }

@@ -11,7 +11,9 @@ package main
 // taken at different commits measure the same operations.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -20,9 +22,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fft"
+	"repro/internal/guard"
 	"repro/internal/mat"
+	"repro/internal/opt"
 	"repro/internal/pso"
 	"repro/internal/rng"
+	"repro/internal/sdp"
 	"repro/internal/stft"
 )
 
@@ -76,6 +81,12 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 	for _, p := range kernels {
 		iters, ns := timeProbe(p.fn)
 		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
+	}
+	for _, gp := range guardPairs(seed) {
+		iters, nsU, nsG := timePair(gp.unguarded, gp.guarded)
+		b.Kernels = append(b.Kernels,
+			KernelTiming{Name: gp.name + "_unguarded", Size: gp.size, Iters: iters, NsPerOp: nsU},
+			KernelTiming{Name: gp.name + "_guarded", Size: gp.size, Iters: iters, NsPerOp: nsG})
 	}
 	reg := experiments.Registry()
 	for _, id := range experiments.Order() {
@@ -154,7 +165,7 @@ func kernelProbes(seed uint64) ([]probe, error) {
 		psoDims[i] = pso.Dim{Lo: -5, Hi: 5}
 	}
 
-	return []probe{
+	probes := []probe{
 		{"fft_pow2_repeated", 4096, func() error {
 			_ = fft.FFT(sig4096)
 			return nil
@@ -176,15 +187,201 @@ func kernelProbes(seed uint64) ([]probe, error) {
 			return err
 		}},
 		{"pso_sphere", 6, func() error {
+			//lint:ignore dropstatus timing probe: only wall-clock matters, the iterate is discarded
 			_, err := pso.Minimize(&pso.Problem{Dims: psoDims, Eval: sphere},
 				pso.Options{Seed: seed, Swarm: 16, MaxIter: 60})
 			return err
 		}},
-	}, nil
+	}
+	return probes, nil
+}
+
+// guardPair is one solver hot loop run twice: with the zero budget and with
+// a fully armed monitor.
+type guardPair struct {
+	name      string
+	size      int
+	unguarded func() error
+	guarded   func() error
+}
+
+// guardPairs pairs guarded and unguarded runs of the same solver hot loops
+// (SDP ADMM iterations, PSO swarm steps, BFGS line-search descent) so a
+// baseline can bound the overhead of an *armed* guard.Monitor — context
+// poll, wall-deadline check, and eval accounting at every iteration
+// boundary — against the identical zero-budget run. The robustness contract
+// is that the guarded column stays within 2% of the unguarded one; timePair
+// interleaves the two sides so host-load drift cancels out of the ratio.
+func guardPairs(seed uint64) []guardPair {
+	// A fully armed budget that never fires: every check path (cancelable
+	// ctx select, deadline clock, eval cap) is exercised. A plain
+	// context.Background would skip the select — its done channel is nil.
+	armed := func() guard.Budget {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = cancel // deliberately never canceled: the monitor stays armed for the probe's lifetime
+		return guard.Budget{Ctx: ctx, Deadline: time.Hour, MaxEvals: 1 << 40}
+	}
+
+	r := rng.New(seed + 1)
+	const n = 12
+	c := mat.New(n, n)
+	for i := range c.Data {
+		c.Data[i] = r.Norm()
+	}
+	c.Symmetrize()
+	sdpProblem := func() *sdp.Problem {
+		return &sdp.Problem{C: c, A: []*mat.Matrix{mat.Identity(n)}, B: []float64{2}}
+	}
+	sdpOpts := sdp.Options{MaxIter: 400, Tol: 1e-9} // tolerance kept unreachable: fixed 400 iterations
+
+	sphere := func(v []float64) float64 {
+		var s float64
+		for _, u := range v {
+			s += u * u
+		}
+		return s
+	}
+	psoDims := make([]pso.Dim, 6)
+	for i := range psoDims {
+		psoDims[i] = pso.Dim{Lo: -5, Hi: 5}
+	}
+
+	// Extended Rosenbrock in 32 dimensions: each BFGS iteration does O(n²)
+	// work, so the probe measures the solver's hot loop rather than
+	// per-iteration bookkeeping (a 2-D toy would).
+	const rn = 32
+	rosen := opt.Objective{
+		F: func(x []float64) float64 {
+			var s float64
+			for i := 0; i+1 < len(x); i++ {
+				a := 1 - x[i]
+				b := x[i+1] - x[i]*x[i]
+				s += a*a + 100*b*b
+			}
+			return s
+		},
+		Grad: func(x, g []float64) {
+			for i := range g {
+				g[i] = 0
+			}
+			for i := 0; i+1 < len(x); i++ {
+				a := 1 - x[i]
+				b := x[i+1] - x[i]*x[i]
+				g[i] += -2*a - 400*x[i]*b
+				g[i+1] += 200 * b
+			}
+		},
+	}
+	rosenX0 := make([]float64, rn)
+	for i := range rosenX0 {
+		rosenX0[i] = -1.2
+	}
+
+	sdpRun := func(b guard.Budget) func() error {
+		return func() error {
+			o := sdpOpts
+			o.Budget = b
+			//lint:ignore dropstatus timing probe: only wall-clock matters, the iterate is discarded
+			_, err := sdp.Solve(sdpProblem(), o)
+			if err != nil && !errors.Is(err, sdp.ErrNoProgress) {
+				return err
+			}
+			return nil // ErrNoProgress is the point: a fixed 400-iteration loop
+		}
+	}
+	psoRun := func(b guard.Budget) func() error {
+		return func() error {
+			//lint:ignore dropstatus timing probe: only wall-clock matters, the iterate is discarded
+			_, err := pso.Minimize(&pso.Problem{Dims: psoDims, Eval: sphere},
+				pso.Options{Seed: seed, Swarm: 16, MaxIter: 60, Budget: b})
+			return err
+		}
+	}
+	bfgsRun := func(b guard.Budget) func() error {
+		return func() error {
+			//lint:ignore dropstatus timing probe: only wall-clock matters, the iterate is discarded
+			_, err := opt.BFGS(rosen, rosenX0, opt.Options{MaxIter: 200, Budget: b})
+			return err
+		}
+	}
+	return []guardPair{
+		{"sdp_admm", n, sdpRun(guard.Budget{}), sdpRun(armed())},
+		{"pso_sphere", 6, psoRun(guard.Budget{}), psoRun(armed())},
+		{"bfgs_rosenbrock", rn, bfgsRun(guard.Budget{}), bfgsRun(armed())},
+	}
+}
+
+// timePair measures a guarded/unguarded pair with interleaved rounds:
+// calibrate an iteration count on the unguarded side, then alternate
+// unguarded and guarded rounds ten times and keep each side's minimum.
+// Interleaving means both sides sample the same host-load conditions, so
+// slow drift cancels out of the guarded/unguarded ratio — sequential
+// 150 ms probes on a busy host show ±5% swings that would swamp the <2%
+// overhead bound this pair exists to check.
+func timePair(unguarded, guarded func() error) (iters int, nsUnguarded, nsGuarded float64) {
+	const roundTarget = 40 * time.Millisecond
+	if err := unguarded(); err != nil {
+		return 0, 0, 0
+	}
+	if err := guarded(); err != nil {
+		return 0, 0, 0
+	}
+	iters = 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := unguarded(); err != nil {
+				return 0, 0, 0
+			}
+		}
+		elapsed := time.Since(start)
+		if elapsed >= roundTarget || iters >= 1<<22 {
+			break
+		}
+		next := iters * 2
+		if elapsed > 0 {
+			est := int(float64(iters) * float64(roundTarget) / float64(elapsed) * 12 / 10)
+			if est > next {
+				next = est
+			}
+		}
+		iters = next
+	}
+	round := func(fn func() error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	bestU, bestG := time.Duration(0), time.Duration(0)
+	for r := 0; r < 10; r++ {
+		eu, err := round(unguarded)
+		if err != nil {
+			return 0, 0, 0
+		}
+		eg, err := round(guarded)
+		if err != nil {
+			return 0, 0, 0
+		}
+		if bestU == 0 || eu < bestU {
+			bestU = eu
+		}
+		if bestG == 0 || eg < bestG {
+			bestG = eg
+		}
+	}
+	return iters, float64(bestU.Nanoseconds()) / float64(iters), float64(bestG.Nanoseconds()) / float64(iters)
 }
 
 // timeProbe runs fn enough times to pass a fixed wall-clock target and
-// reports the iteration count and mean ns/op (testing.B-style calibration).
+// reports the iteration count and ns/op (testing.B-style calibration).
+// Once calibrated it takes the best of three measurement rounds: on a
+// shared host the minimum is the least contaminated estimate of the true
+// cost, and the guarded/unguarded probe pairs need single-percent
+// resolution that one round cannot deliver.
 func timeProbe(fn func() error) (iters int, nsPerOp float64) {
 	const target = 150 * time.Millisecond
 	if err := fn(); err != nil { // warm up and surface configuration errors
@@ -200,7 +397,19 @@ func timeProbe(fn func() error) (iters int, nsPerOp float64) {
 		}
 		elapsed := time.Since(start)
 		if elapsed >= target || iters >= 1<<22 {
-			return iters, float64(elapsed.Nanoseconds()) / float64(iters)
+			best := elapsed
+			for round := 0; round < 2; round++ {
+				start = time.Now()
+				for i := 0; i < iters; i++ {
+					if err := fn(); err != nil {
+						return 0, 0
+					}
+				}
+				if e := time.Since(start); e < best {
+					best = e
+				}
+			}
+			return iters, float64(best.Nanoseconds()) / float64(iters)
 		}
 		next := iters * 2
 		if elapsed > 0 {

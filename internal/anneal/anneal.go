@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/rng"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	Seed     uint64
 	// Restarts > 0 re-seeds the walker that many times, keeping the best.
 	Restarts int
+	// Budget bounds the run: cancellation and deadline are checked at
+	// iteration boundaries, MaxEvals counts objective evaluations. The zero
+	// budget imposes nothing.
+	Budget guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +72,15 @@ type Result struct {
 	// Accepted counts accepted Metropolis moves (diagnostic for premature
 	// freezing: a low acceptance ratio late in the run).
 	Accepted int
+	// BadEvals counts NaN objective values, each treated as +Inf so the
+	// Metropolis rule and best-so-far comparisons are never frozen by a NaN
+	// (which fails every comparison, silently pinning the walker).
+	BadEvals int
+	// Status is the typed termination cause: Converged when the cooling
+	// schedule completed with a finite best, Diverged when it did not, and
+	// MaxIter / Timeout / Canceled when the budget interrupted the run (X
+	// then holds the best point seen so far).
+	Status guard.Status
 }
 
 // Minimize runs simulated annealing (with optional restarts) on p.
@@ -82,15 +96,40 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	}
 	r := rng.New(o.Seed)
 	res := &Result{F: math.Inf(1)}
+	mon := o.Budget.Start()
+	// sanitized maps NaN objective values to +Inf (counted) so the
+	// Metropolis comparisons below stay meaningful; ±Inf passes through.
+	sanitized := func(f float64) float64 {
+		if math.IsNaN(f) {
+			res.BadEvals++
+			return math.Inf(1)
+		}
+		return f
+	}
+	// record folds the current walker into the best-so-far; "<=" with a nil
+	// check guarantees res.X is always populated, even when every
+	// evaluation was non-finite.
+	record := func(x []float64, fx float64) {
+		if res.X == nil || fx < res.F {
+			res.F = fx
+			res.X = decode(p, x)
+		}
+	}
 	runs := o.Restarts + 1
 	for run := 0; run < runs; run++ {
 		x := randomPoint(p, r)
-		fx := p.Eval(decode(p, x))
+		fx := sanitized(p.Eval(decode(p, x)))
 		res.Evals++
 		temp := o.T0
 		for it := 0; it < o.Iters; it++ {
+			mon.AddEvals(res.Evals - mon.Evals())
+			if st := mon.Check(run*o.Iters + it); st != guard.StatusOK {
+				record(x, fx)
+				res.Status = st
+				return res, guard.Err(st, "anneal: stopped after %d evaluations", res.Evals)
+			}
 			trial := propose(p, x, o.StepFrac, r)
-			ft := p.Eval(decode(p, trial))
+			ft := sanitized(p.Eval(decode(p, trial)))
 			res.Evals++
 			if ft <= fx || r.Float64() < math.Exp(-(ft-fx)/math.Max(temp, 1e-300)) {
 				x, fx = trial, ft
@@ -98,11 +137,14 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 			}
 			temp *= o.Alpha
 		}
-		if fx < res.F {
-			res.F = fx
-			res.X = decode(p, x)
-		}
+		record(x, fx)
 	}
+	if !guard.Finite(res.F) {
+		res.Status = guard.StatusDiverged
+		return res, guard.Err(guard.StatusDiverged,
+			"anneal: non-finite best (%g) after %d evaluations", res.F, res.Evals)
+	}
+	res.Status = guard.StatusConverged
 	return res, nil
 }
 

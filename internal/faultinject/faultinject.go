@@ -1,0 +1,122 @@
+// Package faultinject provides deterministic fault injection for the solver
+// stack: NaN injection into objective evaluations, eval-budget exhaustion,
+// and cancellation at a chosen iteration, all derived from a master seed.
+//
+// Determinism is the point. NaN injection is keyed off the *input bits* of
+// each evaluation (hashed with the seed), not off a call counter, so the
+// same point always faults regardless of evaluation order — the injected
+// world is bit-reproducible under parallel evaluation at any RCR_WORKERS.
+// Cancellation and eval budgets ride the guard.Budget hook seam, which
+// solvers consult at iteration boundaries, so those faults fire at the same
+// iteration on every run too.
+//
+// The package is pure plumbing over internal/guard; it is always compiled
+// (no build tags) so production code can never accidentally depend on a
+// stub, while the heavyweight fault suites live behind the faultinject test
+// tag.
+package faultinject
+
+import (
+	"math"
+
+	"repro/internal/guard"
+)
+
+// Plan describes the faults to inject into one solver run. The zero Plan
+// injects nothing.
+type Plan struct {
+	// Seed keys the input-bit hash for NaN injection. Two plans with the
+	// same Seed and NaNRate fault exactly the same evaluation points.
+	Seed uint64
+	// NaNRate is the probability (0..1) that an objective evaluation
+	// returns NaN instead of its true value.
+	NaNRate float64
+	// CancelAtIter, when >= 0, makes Budget()'s hook report Canceled at
+	// every iteration boundary >= CancelAtIter. Use -1 (or any negative)
+	// to disable; note 0 cancels before the first iteration.
+	CancelAtIter int
+	// MaxEvals, when > 0, is forwarded as the budget's eval cap.
+	MaxEvals int
+}
+
+// NewPlan returns a Plan with cancellation disabled (CancelAtIter -1);
+// literal Plan{...} values should set CancelAtIter explicitly.
+func NewPlan(seed uint64) Plan {
+	return Plan{Seed: seed, CancelAtIter: -1}
+}
+
+// Budget converts the plan's iteration/eval faults into a guard.Budget:
+// the hook fires Canceled at CancelAtIter, MaxEvals caps evaluations. The
+// NaN fault does not appear here — wrap the objective with WrapObjective.
+func (p Plan) Budget() guard.Budget {
+	b := guard.Budget{MaxEvals: p.MaxEvals}
+	if p.CancelAtIter >= 0 {
+		at := p.CancelAtIter
+		b.Hook = func(iter, evals int) guard.Status {
+			if iter >= at {
+				return guard.StatusCanceled
+			}
+			return guard.StatusOK
+		}
+	}
+	return b
+}
+
+// WrapObjective returns f with NaN injection: evaluations whose input
+// hashes below NaNRate return NaN. With NaNRate 0 the original function is
+// returned untouched (zero overhead), so call sites can wrap
+// unconditionally. The wrapper is stateless and safe for concurrent use
+// whenever f is.
+func (p Plan) WrapObjective(f func(x []float64) float64) func(x []float64) float64 {
+	if p.NaNRate <= 0 {
+		return f
+	}
+	threshold := uint64(p.NaNRate * float64(1<<63) * 2)
+	if p.NaNRate >= 1 {
+		threshold = math.MaxUint64
+	}
+	seed := p.Seed
+	return func(x []float64) float64 {
+		if hashPoint(seed, x) < threshold {
+			return math.NaN()
+		}
+		return f(x)
+	}
+}
+
+// ShouldFault reports whether the plan's NaN fault fires at x — exposed so
+// tests can predict exactly which evaluations were poisoned.
+func (p Plan) ShouldFault(x []float64) bool {
+	if p.NaNRate <= 0 {
+		return false
+	}
+	threshold := uint64(p.NaNRate * float64(1<<63) * 2)
+	if p.NaNRate >= 1 {
+		threshold = math.MaxUint64
+	}
+	return hashPoint(p.Seed, x) < threshold
+}
+
+// hashPoint mixes the seed and the bit patterns of x with an FNV-1a core
+// and a splitmix64 finalizer. Only the input bits matter — no call order,
+// no shared state — which is what makes injection order-independent.
+func hashPoint(seed uint64, x []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	for _, v := range x {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= (b >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	// splitmix64 finalizer: FNV alone is too regular in its low bits for
+	// threshold comparison.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}

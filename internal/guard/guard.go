@@ -1,0 +1,267 @@
+// Package guard is the solver-hardening layer shared by every iterative
+// solver in the repository (sdp, minlp, lp, opt, pso, anneal, and the qos
+// fallback ladder built on them). It provides three things:
+//
+//   - a unified Status taxonomy so "why did the solver stop" is a typed
+//     answer rather than a stringly error or — worse — a silent NaN;
+//   - a Budget (context cancellation, wall-clock deadline, evaluation cap)
+//     checked at iteration boundaries through a nil-safe Monitor whose
+//     zero-budget fast path costs a single pointer comparison; and
+//   - Retry, a perturbed-restart loop with bounded backoff whose random
+//     perturbation streams are derived from internal/rng, so retries are
+//     bit-reproducible at any RCR_WORKERS setting.
+//
+// The paper's premise is *robust* convex relaxation: the exact/relaxed
+// verifier chain must degrade gracefully under pressure. This package is
+// where "gracefully" is defined — every solver loop checks a Monitor at its
+// iteration boundary and runs NaN/Inf sentinels on its iterates, so
+// divergence, timeout, and cancellation all surface as a Status alongside
+// the last good iterate.
+package guard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Status classifies why a solver stopped. The zero value StatusOK means "no
+// guard condition has triggered" — an in-flight monitor or a result whose
+// producer predates the guard layer.
+type Status int
+
+// Status values. StatusConverged and StatusOK are the two non-failure
+// outcomes; everything else names a specific degradation.
+const (
+	// StatusOK is the zero value: no guard condition triggered (yet).
+	StatusOK Status = iota
+	// StatusConverged: the solver met its tolerance.
+	StatusConverged
+	// StatusMaxIter: an iteration, node, or evaluation budget ran out
+	// before convergence. The result carries the best iterate found.
+	StatusMaxIter
+	// StatusDiverged: a NaN/Inf sentinel tripped on an iterate or
+	// objective value. The result carries the last finite iterate.
+	StatusDiverged
+	// StatusTimeout: the wall-clock deadline expired.
+	StatusTimeout
+	// StatusCanceled: the context was canceled (or a fault-injection hook
+	// requested cancellation).
+	StatusCanceled
+	// StatusInfeasible: the problem was proven to have no feasible point.
+	StatusInfeasible
+	// StatusUnbounded: the objective was proven unbounded below.
+	StatusUnbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusConverged:
+		return "converged"
+	case StatusMaxIter:
+		return "budget-exhausted"
+	case StatusDiverged:
+		return "diverged"
+	case StatusTimeout:
+		return "timeout"
+	case StatusCanceled:
+		return "canceled"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Failure reports whether s names a degradation (anything other than OK or
+// Converged).
+func (s Status) Failure() bool {
+	return s != StatusOK && s != StatusConverged
+}
+
+// Error is the error form of a non-converged Status, so solver entry points
+// can keep their (result, error) contracts while carrying a typed cause.
+// Use AsStatus (or errors.As) to recover the Status from a wrapped chain.
+type Error struct {
+	Status Status
+	// Detail is optional human context ("primal residual 3.2e-2", "after
+	// 412 nodes").
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return "guard: " + e.Status.String()
+	}
+	return "guard: " + e.Status.String() + ": " + e.Detail
+}
+
+// Err returns a *Error carrying s, or nil when s is not a failure. detail
+// is formatted with fmt.Sprintf when args are given.
+func Err(s Status, detail string, args ...any) error {
+	if !s.Failure() {
+		return nil
+	}
+	if len(args) > 0 {
+		detail = fmt.Sprintf(detail, args...)
+	}
+	return &Error{Status: s, Detail: detail}
+}
+
+// AsStatus extracts the Status carried by err's chain. ok is false when no
+// *Error is present.
+func AsStatus(err error) (Status, bool) {
+	var ge *Error
+	if errors.As(err, &ge) {
+		return ge.Status, true
+	}
+	return StatusOK, false
+}
+
+// Hook is a deterministic check invoked by Monitor.Check with the current
+// iteration and cumulative evaluation count. A non-OK return stops the
+// solver with that status. Hooks are the seam the fault-injection harness
+// (internal/faultinject) uses to cancel at iteration k or exhaust budgets
+// reproducibly; production budgets leave it nil.
+type Hook func(iter, evals int) Status
+
+// Budget bounds a solver run. The zero value imposes no bounds and costs
+// (effectively) nothing: Start returns a nil *Monitor whose methods are
+// nil-safe no-ops.
+type Budget struct {
+	// Ctx, when non-nil, is checked for cancellation at iteration
+	// boundaries. Its deadline (if any) also applies.
+	Ctx context.Context
+	// Deadline, when positive, caps wall-clock time from Start.
+	Deadline time.Duration
+	// MaxEvals, when positive, caps objective/relaxation evaluations.
+	MaxEvals int
+	// Hook, when non-nil, is consulted on every Check. See Hook.
+	Hook Hook
+}
+
+// active reports whether the budget imposes any bound.
+func (b Budget) active() bool {
+	return b.Ctx != nil || b.Deadline > 0 || b.MaxEvals > 0 || b.Hook != nil
+}
+
+// Start begins monitoring the budget. A zero budget returns nil, which
+// every Monitor method treats as "unbounded".
+func (b Budget) Start() *Monitor {
+	if !b.active() {
+		return nil
+	}
+	m := &Monitor{budget: b}
+	if b.Deadline > 0 {
+		m.deadline = time.Now().Add(b.Deadline)
+	}
+	if b.Ctx != nil {
+		// Cache the done channel: one interface call here instead of one
+		// per Check, and a never-cancelable context (nil channel, e.g.
+		// context.Background) skips the select entirely.
+		m.done = b.Ctx.Done()
+	}
+	return m
+}
+
+// Monitor tracks one solver run against its Budget. All methods are
+// nil-safe; solvers call them unconditionally.
+type Monitor struct {
+	budget   Budget
+	deadline time.Time
+	done     <-chan struct{}
+	evals    int
+	ticks    int
+}
+
+// AddEvals records n objective/relaxation evaluations.
+func (m *Monitor) AddEvals(n int) {
+	if m != nil {
+		m.evals += n
+	}
+}
+
+// Evals returns the cumulative evaluation count.
+func (m *Monitor) Evals() int {
+	if m == nil {
+		return 0
+	}
+	return m.evals
+}
+
+// Check returns the first triggered budget condition, or StatusOK. It is
+// designed for iteration boundaries: the hook and eval cap are pure
+// arithmetic, the context check is a non-blocking select, and the wall
+// deadline consults the clock on the first call and then every 8th — a
+// sub-microsecond inner loop must not pay a time.Now per iteration, and a
+// slow loop overshoots its deadline by at most 8 iterations.
+func (m *Monitor) Check(iter int) Status {
+	if m == nil {
+		return StatusOK
+	}
+	if m.budget.Hook != nil {
+		if s := m.budget.Hook(iter, m.evals); s != StatusOK {
+			return s
+		}
+	}
+	if m.budget.MaxEvals > 0 && m.evals >= m.budget.MaxEvals {
+		return StatusMaxIter
+	}
+	if m.done != nil {
+		select {
+		case <-m.done:
+			if errors.Is(m.budget.Ctx.Err(), context.DeadlineExceeded) {
+				return StatusTimeout
+			}
+			return StatusCanceled
+		default:
+		}
+	}
+	if !m.deadline.IsZero() {
+		m.ticks++
+		if m.ticks&7 == 1 && time.Now().After(m.deadline) {
+			return StatusTimeout
+		}
+	}
+	return StatusOK
+}
+
+// Finite reports whether v is neither NaN nor ±Inf.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// AllFinite reports whether every element of xs is finite. It is the
+// divergence sentinel solvers run on their iterates.
+func AllFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sanitize replaces NaN with +Inf in place and returns the number of
+// replacements. Minimizers use it so an injected or genuine NaN objective
+// value compares as "worst possible" instead of poisoning comparisons
+// (every comparison against NaN is false, which silently freezes
+// best-so-far bookkeeping).
+func Sanitize(xs []float64) int {
+	n := 0
+	for i, v := range xs {
+		if math.IsNaN(v) {
+			xs[i] = math.Inf(1)
+			n++
+		}
+	}
+	return n
+}

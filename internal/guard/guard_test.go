@@ -1,0 +1,224 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		StatusOK:         "ok",
+		StatusConverged:  "converged",
+		StatusMaxIter:    "budget-exhausted",
+		StatusDiverged:   "diverged",
+		StatusTimeout:    "timeout",
+		StatusCanceled:   "canceled",
+		StatusInfeasible: "infeasible",
+		StatusUnbounded:  "unbounded",
+		Status(99):       "status(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestFailure(t *testing.T) {
+	if StatusOK.Failure() || StatusConverged.Failure() {
+		t.Errorf("OK/Converged must not be failures")
+	}
+	for _, s := range []Status{StatusMaxIter, StatusDiverged, StatusTimeout, StatusCanceled, StatusInfeasible, StatusUnbounded} {
+		if !s.Failure() {
+			t.Errorf("%v.Failure() = false, want true", s)
+		}
+	}
+}
+
+func TestErrRoundTrip(t *testing.T) {
+	if Err(StatusConverged, "x") != nil {
+		t.Fatalf("Err(converged) must be nil")
+	}
+	err := Err(StatusDiverged, "residual %g", 0.5)
+	if err == nil {
+		t.Fatalf("Err(diverged) = nil")
+	}
+	if got := err.Error(); got != "guard: diverged: residual 0.5" {
+		t.Errorf("Error() = %q", got)
+	}
+	// Status survives wrapping.
+	wrapped := errors.Join(errors.New("outer"), err)
+	if s, ok := AsStatus(wrapped); !ok || s != StatusDiverged {
+		t.Errorf("AsStatus(wrapped) = %v, %v", s, ok)
+	}
+	if _, ok := AsStatus(errors.New("plain")); ok {
+		t.Errorf("AsStatus(plain) must report false")
+	}
+}
+
+func TestNilMonitorIsUnbounded(t *testing.T) {
+	var m *Monitor // also what a zero Budget's Start returns
+	if got := (Budget{}).Start(); got != nil {
+		t.Fatalf("zero Budget Start() = %v, want nil", got)
+	}
+	m.AddEvals(1000)
+	if m.Evals() != 0 {
+		t.Errorf("nil monitor Evals() = %d", m.Evals())
+	}
+	for i := 0; i < 3; i++ {
+		if s := m.Check(i); s != StatusOK {
+			t.Fatalf("nil monitor Check = %v", s)
+		}
+	}
+}
+
+func TestMonitorEvalBudget(t *testing.T) {
+	m := Budget{MaxEvals: 5}.Start()
+	m.AddEvals(4)
+	if s := m.Check(0); s != StatusOK {
+		t.Fatalf("under budget: %v", s)
+	}
+	m.AddEvals(1)
+	if s := m.Check(1); s != StatusMaxIter {
+		t.Fatalf("at budget: %v, want budget-exhausted", s)
+	}
+}
+
+func TestMonitorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := Budget{Ctx: ctx}.Start()
+	if s := m.Check(0); s != StatusOK {
+		t.Fatalf("before cancel: %v", s)
+	}
+	cancel()
+	if s := m.Check(1); s != StatusCanceled {
+		t.Fatalf("after cancel: %v, want canceled", s)
+	}
+}
+
+func TestMonitorContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	m := Budget{Ctx: ctx}.Start()
+	if s := m.Check(0); s != StatusTimeout {
+		t.Fatalf("expired ctx deadline: %v, want timeout", s)
+	}
+}
+
+func TestMonitorWallDeadline(t *testing.T) {
+	m := Budget{Deadline: time.Nanosecond}.Start()
+	time.Sleep(2 * time.Millisecond)
+	if s := m.Check(0); s != StatusTimeout {
+		t.Fatalf("expired wall deadline: %v, want timeout", s)
+	}
+}
+
+func TestMonitorHook(t *testing.T) {
+	hook := func(iter, evals int) Status {
+		if iter >= 3 {
+			return StatusCanceled
+		}
+		return StatusOK
+	}
+	m := Budget{Hook: hook}.Start()
+	for i := 0; i < 3; i++ {
+		if s := m.Check(i); s != StatusOK {
+			t.Fatalf("iter %d: %v", i, s)
+		}
+	}
+	if s := m.Check(3); s != StatusCanceled {
+		t.Fatalf("iter 3: %v, want canceled", s)
+	}
+}
+
+func TestFiniteSentinels(t *testing.T) {
+	if !Finite(1.5) || Finite(math.NaN()) || Finite(math.Inf(1)) || Finite(math.Inf(-1)) {
+		t.Errorf("Finite misclassifies")
+	}
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Errorf("AllFinite rejects finite slice")
+	}
+	if AllFinite([]float64{1, math.NaN()}) || AllFinite([]float64{math.Inf(-1)}) {
+		t.Errorf("AllFinite accepts non-finite slice")
+	}
+	xs := []float64{1, math.NaN(), math.Inf(1), math.NaN()}
+	if n := Sanitize(xs); n != 2 {
+		t.Errorf("Sanitize replaced %d, want 2", n)
+	}
+	if !math.IsInf(xs[1], 1) || !math.IsInf(xs[3], 1) || xs[0] != 1 {
+		t.Errorf("Sanitize result %v", xs)
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	st, n := Retry(RetryOptions{Attempts: 5, Seed: 7}, func(try int, r *rng.Rand) Status {
+		calls++
+		if try == 2 {
+			return StatusConverged
+		}
+		return StatusDiverged
+	})
+	if st != StatusConverged || n != 3 || calls != 3 {
+		t.Fatalf("Retry = %v after %d (calls %d), want converged after 3", st, n, calls)
+	}
+}
+
+func TestRetryFinalStatuses(t *testing.T) {
+	for _, final := range []Status{StatusInfeasible, StatusCanceled, StatusUnbounded} {
+		calls := 0
+		st, n := Retry(RetryOptions{Attempts: 4, Seed: 1}, func(try int, r *rng.Rand) Status {
+			calls++
+			return final
+		})
+		if st != final || n != 1 || calls != 1 {
+			t.Errorf("final %v: got %v after %d attempts", final, st, n)
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	st, n := Retry(RetryOptions{Attempts: 3, Seed: 1}, func(try int, r *rng.Rand) Status {
+		return StatusDiverged
+	})
+	if st != StatusDiverged || n != 3 {
+		t.Fatalf("Retry = %v after %d, want diverged after 3", st, n)
+	}
+}
+
+// TestRetryStreamsReproducible pins the perturbed-restart determinism
+// contract: attempt k's rng stream depends only on (Seed, k) — not on what
+// earlier attempts drew, nor on timing.
+func TestRetryStreamsReproducible(t *testing.T) {
+	capture := func(drain bool) [][]uint64 {
+		var streams [][]uint64
+		Retry(RetryOptions{Attempts: 3, Seed: 42}, func(try int, r *rng.Rand) Status {
+			draws := []uint64{r.Uint64(), r.Uint64()}
+			streams = append(streams, draws)
+			if drain && try == 0 {
+				for i := 0; i < 100; i++ { // extra draws must not shift attempt 1
+					r.Uint64()
+				}
+			}
+			return StatusDiverged
+		})
+		return streams
+	}
+	a, b := capture(false), capture(true)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("attempts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Errorf("attempt %d streams differ: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if a[0][0] == a[1][0] {
+		t.Errorf("attempts 0 and 1 share a stream")
+	}
+}

@@ -1,0 +1,76 @@
+package guard
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// RetryOptions configures Retry. The zero value retries twice more after
+// the first failure with no backoff sleep.
+type RetryOptions struct {
+	// Attempts is the total number of attempts, default 3.
+	Attempts int
+	// Seed is the master seed for the per-attempt perturbation streams.
+	Seed uint64
+	// Backoff is the sleep before the second attempt; it doubles per
+	// attempt up to MaxBackoff. Zero disables sleeping (the deterministic
+	// test configuration).
+	Backoff time.Duration
+	// MaxBackoff caps the backoff growth, default 8×Backoff.
+	MaxBackoff time.Duration
+	// RetryOn decides which statuses warrant another attempt. Nil retries
+	// StatusDiverged, StatusMaxIter, and StatusTimeout; infeasibility,
+	// unboundedness, and cancellation are final by default (retrying
+	// cannot change the first two, and the second was asked for).
+	RetryOn func(Status) bool
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 8 * o.Backoff
+	}
+	if o.RetryOn == nil {
+		o.RetryOn = func(s Status) bool {
+			return s == StatusDiverged || s == StatusMaxIter || s == StatusTimeout
+		}
+	}
+	return o
+}
+
+// Retry runs attempt up to o.Attempts times, stopping early on the first
+// status RetryOn rejects (success, infeasibility, cancellation, ...). Each
+// attempt receives its index and a private rng stream split from the
+// master seed — the perturbed-restart discipline: the attempt draws its
+// restart perturbation from that stream, so the k-th retry sees the same
+// perturbation bits regardless of wall-clock timing, worker count, or how
+// long earlier attempts ran. Between attempts Retry sleeps the bounded
+// exponential backoff (timing only; no random draw depends on it).
+//
+// It returns the last status and the number of attempts made.
+func Retry(o RetryOptions, attempt func(try int, r *rng.Rand) Status) (Status, int) {
+	o = o.withDefaults()
+	root := rng.New(o.Seed)
+	status := StatusOK
+	backoff := o.Backoff
+	for try := 0; try < o.Attempts; try++ {
+		if try > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > o.MaxBackoff {
+				backoff = o.MaxBackoff
+			}
+		}
+		// Split unconditionally so attempt k's stream is identical whether
+		// or not earlier attempts consumed theirs.
+		r := root.Split()
+		status = attempt(try, r)
+		if !o.RetryOn(status) {
+			return status, try + 1
+		}
+	}
+	return status, o.Attempts
+}

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDropStatus flags solver results whose typed termination status is
+// discarded. Guarded solvers (Solve*/Minimize* entry points) report budget
+// exhaustion, timeouts, and divergence through a Status or Guard field on
+// their result struct; assigning that result to the blank identifier keeps
+// the iterate but silently drops the information that it is a degraded,
+// interrupted, or diverged answer. Callers must inspect the status (or at
+// minimum the error) before trusting the value. Test files are exempt.
+var AnalyzerDropStatus = &Analyzer{
+	Name:     "dropstatus",
+	Doc:      "discarded solver results carrying a typed Status/Guard field",
+	Severity: Warning,
+	Run:      runDropStatus,
+}
+
+// statusPrefixes are the guarded entry-point naming conventions.
+var statusPrefixes = []string{"Solve", "Minimize"}
+
+func runDropStatus(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, idx, field := statusResult(p, call)
+			if idx < 0 || idx >= len(st.Lhs) {
+				return true
+			}
+			if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+				p.Reportf(id.Pos(), "result of %s discarded; its %s field types the termination (budget, timeout, divergence)", name, field)
+			}
+			return true
+		})
+	}
+}
+
+// statusResult reports whether call targets a Solve*/Minimize* function
+// returning a result struct with a typed Status or Guard field, and at which
+// result index that struct sits. idx is -1 when the rule does not apply.
+func statusResult(p *Pass, call *ast.CallExpr) (name string, idx int, field string) {
+	name = calleeName(call)
+	matched := false
+	for _, pre := range statusPrefixes {
+		if strings.HasPrefix(name, pre) {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return name, -1, ""
+	}
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return name, -1, ""
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if f := statusField(res.At(i).Type()); f != "" {
+			return name, i, f
+		}
+	}
+	return name, -1, ""
+}
+
+// statusField returns the name of the typed termination field ("Status" or
+// "Guard") carried by t — a struct, or pointer to struct — whose field type
+// is a named Status enum, or "" when t carries none.
+func statusField(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "Status" && f.Name() != "Guard" {
+			continue
+		}
+		if named, ok := f.Type().(*types.Named); ok && named.Obj().Name() == "Status" {
+			return f.Name()
+		}
+	}
+	return ""
+}

@@ -280,6 +280,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerDimCheck,
 		AnalyzerDropErr,
+		AnalyzerDropStatus,
 		AnalyzerFFTNorm,
 		AnalyzerFloatEq,
 		AnalyzerMutSeed,

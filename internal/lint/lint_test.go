@@ -36,6 +36,7 @@ func TestGolden(t *testing.T) {
 	}{
 		{"dimcheck", []string{"dimcheck"}},
 		{"droperr", []string{"droperr"}},
+		{"dropstatus", []string{"dropstatus"}},
 		{"fftnorm", []string{"fftnorm"}},
 		{"floateq", []string{"floateq"}},
 		{"mutseed", []string{"mutseed"}},

@@ -1,0 +1,78 @@
+// Package dropstatus exercises the dropstatus rule: discarded solver
+// results whose struct carries a typed Status/Guard termination field.
+package dropstatus
+
+// Status is the typed termination enum the rule keys on.
+type Status int
+
+// StatusOK is the zero (untyped) status.
+const StatusOK Status = iota
+
+// Result carries the iterate and its typed termination status.
+type Result struct {
+	X      []float64
+	Status Status
+}
+
+// BnBResult types its termination through a Guard field instead.
+type BnBResult struct {
+	Incumbent []float64
+	Guard     Status
+}
+
+// PlainResult has no typed status field; out of scope.
+type PlainResult struct {
+	X []float64
+}
+
+// Minimize is a guarded solver entry point.
+func Minimize(n int) (*Result, error) {
+	return &Result{X: make([]float64, n)}, nil
+}
+
+// SolveExact returns the allocation and guarded search statistics.
+func SolveExact(n int) ([]float64, *BnBResult, error) {
+	return make([]float64, n), &BnBResult{}, nil
+}
+
+// SolvePlain returns a result without a status field; out of scope.
+func SolvePlain(n int) (*PlainResult, error) {
+	return &PlainResult{}, nil
+}
+
+// BadDropMinimize keeps only the error and drops the typed status.
+func BadDropMinimize() error {
+	_, err := Minimize(3)
+	return err
+}
+
+// BadDropGuard keeps the allocation but drops the guarded statistics.
+func BadDropGuard() []float64 {
+	xs, _, err := SolveExact(4)
+	if err != nil {
+		return nil
+	}
+	return xs
+}
+
+// GoodInspected reads the status before trusting the iterate.
+func GoodInspected() []float64 {
+	res, err := Minimize(3)
+	if err != nil || res.Status == StatusOK {
+		return nil
+	}
+	return res.X
+}
+
+// GoodNoStatusResult discards a result that carries no status; out of scope.
+func GoodNoStatusResult() error {
+	_, err := SolvePlain(2)
+	return err
+}
+
+// SuppressedDrop documents a call where only feasibility matters.
+func SuppressedDrop() error {
+	//lint:ignore dropstatus fixture: warm-start probe, any iterate is usable
+	_, err := Minimize(1)
+	return err
+}

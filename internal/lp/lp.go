@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/guard"
 )
 
 // Sense is the direction of a linear constraint.
@@ -90,6 +92,11 @@ type Solution struct {
 	Status    Status
 	X         []float64
 	Objective float64
+	// Guard is the typed termination cause: Converged / Infeasible /
+	// Unbounded mirror Status; Canceled, Timeout, MaxIter (pivot budget),
+	// and Diverged (non-finite tableau) mark interrupted runs, which also
+	// return a *guard.Error from SolveBudget.
+	Guard guard.Status
 }
 
 // ErrBadProblem is returned for structurally invalid problems.
@@ -100,10 +107,17 @@ const (
 	maxIter = 200000
 )
 
-// Solve solves the problem. A non-nil error indicates a malformed problem
-// or an internal failure, not infeasibility — infeasible and unbounded
-// outcomes are reported through Solution.Status.
+// Solve solves the problem with no budget. See SolveBudget.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveBudget(p, guard.Budget{})
+}
+
+// SolveBudget solves the problem under the given guard budget, checked at
+// pivot boundaries. A non-nil error indicates a malformed problem or an
+// interrupted/diverged run (a *guard.Error carrying the cause), not
+// infeasibility — infeasible and unbounded outcomes are reported through
+// Solution.Status. One budget eval is charged per simplex pivot.
+func SolveBudget(p *Problem, b guard.Budget) (*Solution, error) {
 	if p.NumVars < 0 {
 		return nil, fmt.Errorf("%w: NumVars=%d", ErrBadProblem, p.NumVars)
 	}
@@ -122,7 +136,10 @@ func Solve(p *Problem) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	sol := std.solve()
+	sol := std.solve(b.Start())
+	if sol.Guard.Failure() && sol.Guard != guard.StatusInfeasible && sol.Guard != guard.StatusUnbounded {
+		return sol, guard.Err(sol.Guard, "lp: simplex interrupted")
+	}
 	if sol.Status != StatusOptimal {
 		return sol, nil
 	}
@@ -131,7 +148,7 @@ func Solve(p *Problem) (*Solution, error) {
 	for j := 0; j < len(p.Objective); j++ {
 		obj += p.Objective[j] * x[j]
 	}
-	return &Solution{Status: StatusOptimal, X: x, Objective: obj}, nil
+	return &Solution{Status: StatusOptimal, X: x, Objective: obj, Guard: guard.StatusConverged}, nil
 }
 
 // standard is a problem in the form min cᵀy, A y = b, y >= 0, b >= 0, plus

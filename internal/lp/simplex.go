@@ -1,10 +1,16 @@
 package lp
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/guard"
+)
 
 // solve runs two-phase primal simplex on the standard-form data. Rows carry
-// senses; slack, surplus, and artificial columns are appended here.
-func (s *standard) solve() *Solution {
+// senses; slack, surplus, and artificial columns are appended here. mon may
+// be nil (unbounded run); interruptions and divergence are reported through
+// Solution.Guard with X left nil.
+func (s *standard) solve(mon *guard.Monitor) *Solution {
 	m := len(s.a)
 	ny := len(s.c)
 
@@ -79,9 +85,15 @@ func (s *standard) solve() *Solution {
 		for j := artStart; j < total; j++ {
 			phase1[j] = 1
 		}
-		val, ok := simplexCore(t, rhs, basis, phase1)
-		if !ok || val > 1e-7 {
-			return &Solution{Status: StatusInfeasible}
+		val, st := simplexCore(t, rhs, basis, phase1, mon)
+		if st.Failure() && st != guard.StatusUnbounded {
+			return &Solution{Guard: st}
+		}
+		// Phase-1 objective is a sum of nonnegative variables, so an
+		// "unbounded" report can only mean numerical trouble; both it and a
+		// positive optimum mean no feasible point was found.
+		if st == guard.StatusUnbounded || val > 1e-7 {
+			return &Solution{Status: StatusInfeasible, Guard: guard.StatusInfeasible}
 		}
 		// Drive remaining artificials out of the basis where possible.
 		for i := 0; i < m; i++ {
@@ -121,9 +133,12 @@ func (s *standard) solve() *Solution {
 	// Phase 2: minimize the real objective.
 	phase2 := make([]float64, total)
 	copy(phase2, s.c)
-	_, ok := simplexCore(t, rhs, basis, phase2)
-	if !ok {
-		return &Solution{Status: StatusUnbounded}
+	_, st := simplexCore(t, rhs, basis, phase2, mon)
+	if st.Failure() && st != guard.StatusUnbounded {
+		return &Solution{Guard: st}
+	}
+	if st == guard.StatusUnbounded {
+		return &Solution{Status: StatusUnbounded, Guard: guard.StatusUnbounded}
 	}
 	x := make([]float64, total)
 	for i, bv := range basis {
@@ -135,16 +150,19 @@ func (s *standard) solve() *Solution {
 	for j := range phase2 {
 		obj += phase2[j] * x[j]
 	}
-	return &Solution{Status: StatusOptimal, X: x[:len(s.c)], Objective: obj}
+	return &Solution{Status: StatusOptimal, X: x[:len(s.c)], Objective: obj, Guard: guard.StatusConverged}
 }
 
 // simplexCore runs primal simplex to optimality on the tableau (t, rhs)
-// with the given basis and cost vector. It returns the optimal cost and
-// false if the problem is unbounded. The reduced-cost row is maintained
-// incrementally across pivots (full-tableau simplex) and recomputed from
-// scratch periodically to shed rounding drift. Dantzig pricing with a
-// Bland fallback after a stall guards against cycling.
-func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (float64, bool) {
+// with the given basis and cost vector. It returns the optimal cost and a
+// guard status: StatusOK at optimality, StatusUnbounded when no leaving row
+// exists, StatusDiverged when the maintained objective goes non-finite, and
+// the monitor's status (Canceled/Timeout/MaxIter) when the budget trips at
+// a pivot boundary. The reduced-cost row is maintained incrementally across
+// pivots (full-tableau simplex) and recomputed from scratch periodically to
+// shed rounding drift. Dantzig pricing with a Bland fallback after a stall
+// guards against cycling.
+func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64, mon *guard.Monitor) (float64, guard.Status) {
 	m := len(t)
 	total := len(cost)
 	r := make([]float64, total)
@@ -182,6 +200,19 @@ func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (flo
 		if iter%512 == 511 {
 			refresh() // shed accumulated rounding error
 		}
+		// Guard checks at the pivot boundary: the budget every 64 pivots
+		// (a non-blocking select is still too hot for every pivot of a
+		// dense tableau), the divergence sentinel every pivot (one float
+		// comparison on the incrementally maintained objective).
+		if iter%64 == 0 {
+			if st := mon.Check(iter); st != guard.StatusOK {
+				return obj, st
+			}
+		}
+		mon.AddEvals(1)
+		if !guard.Finite(obj) {
+			return obj, guard.StatusDiverged
+		}
 		entering := -1
 		if useBland {
 			for j := 0; j < total; j++ {
@@ -200,7 +231,7 @@ func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (flo
 			}
 		}
 		if entering < 0 {
-			return obj, true
+			return obj, guard.StatusOK
 		}
 		// Ratio test.
 		leaving := -1
@@ -215,7 +246,7 @@ func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (flo
 			}
 		}
 		if leaving < 0 {
-			return 0, false // unbounded
+			return 0, guard.StatusUnbounded
 		}
 		oldBasic := basis[leaving]
 		pivot(t, rhs, basis, leaving, entering)
@@ -246,7 +277,7 @@ func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64) (flo
 	// Iteration limit: report current point as optimal-so-far; callers at
 	// this scale never hit this in practice.
 	refresh()
-	return obj, true
+	return obj, guard.StatusOK
 }
 
 // pivot performs a Gauss-Jordan pivot at (row, col) and updates the basis.

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/lp"
 )
 
-// ErrBudget is returned when the node budget is exhausted before the tree
-// is closed; the incumbent (if any) is still reported.
+// ErrBudget is returned when any budget — node cap, eval cap, deadline, or
+// cancellation — stops the search before the tree is closed; the incumbent
+// (if any) is still reported, and Result.Guard carries the specific cause.
 var ErrBudget = errors.New("minlp: node budget exhausted")
 
 // Status classifies the outcome.
@@ -65,9 +67,20 @@ type RelaxSolver func(lo, hi []float64) (x []float64, obj float64, st RelaxStatu
 
 // Options configures branch and bound. Zero fields take defaults.
 type Options struct {
-	MaxNodes int     // default 100000
+	// MaxNodes caps relaxations solved AND open-heap growth (the heap
+	// holds at most one pending sibling per solved node, so the cap bounds
+	// memory too). Non-positive values take the default; the cap is always
+	// enforced — an infeasible or loose instance stops with a typed
+	// budget status rather than growing the tree until OOM.
+	MaxNodes int
 	IntTol   float64 // integrality tolerance, default 1e-6
 	GapTol   float64 // absolute optimality gap for pruning, default 1e-9
+	// Budget bounds the search beyond MaxNodes: cancellation and deadline
+	// are checked at node boundaries, MaxEvals caps node relaxations, and
+	// the hook seam serves the fault-injection harness. SolveMILP forwards
+	// Budget.Ctx into every node LP so cancellation is prompt even inside
+	// a long simplex run.
+	Budget guard.Budget
 	// Incumbent warm-starts the search with a known feasible solution:
 	// subtrees whose relaxation bound cannot beat IncumbentObj are pruned
 	// immediately. The caller is responsible for feasibility.
@@ -76,7 +89,7 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxNodes == 0 {
+	if o.MaxNodes <= 0 {
 		o.MaxNodes = 100000
 	}
 	if o.IntTol == 0 {
@@ -95,6 +108,16 @@ type Result struct {
 	Objective float64
 	BestBound float64 // global lower bound at termination
 	Nodes     int     // relaxations solved
+	// Guard refines Status with the typed termination cause: Converged /
+	// Infeasible / Unbounded on clean exits; MaxIter, Timeout, or Canceled
+	// when a budget stopped the search (Status is then StatusBudget);
+	// Diverged when node relaxations produced non-finite bounds that had
+	// to be discarded.
+	Guard guard.Status
+	// BadNodes counts node relaxations discarded because their objective
+	// or minimizer was non-finite. Non-zero BadNodes with no incumbent
+	// yields Guard == StatusDiverged rather than a false "infeasible".
+	BadNodes int
 }
 
 type node struct {
@@ -140,17 +163,31 @@ func Solve(n int, intVars []int, lo, hi []float64, relax RelaxSolver, o Options)
 	open := &nodeHeap{root}
 	heap.Init(open)
 
+	mon := o.Budget.Start()
+	// budgetExit finalizes an interrupted search: the incumbent (if any)
+	// stays in res, Status flags the budget, and Guard carries the cause.
+	budgetExit := func(st guard.Status) (*Result, error) {
+		res.Status = StatusBudget
+		res.Guard = st
+		if open.Len() > 0 {
+			res.BestBound = (*open)[0].bound
+		}
+		return res, fmt.Errorf("%w: %v after %d nodes", ErrBudget, st, res.Nodes)
+	}
+
 	// dive implements depth-first plunging: after branching, the more
 	// promising child is processed immediately (finding integral
 	// incumbents early) while its sibling joins the best-first queue.
 	var dive *node
 	for open.Len() > 0 || dive != nil {
+		// MaxNodes caps both relaxations and heap growth (each processed
+		// node pushes at most one sibling), so this check is the OOM guard
+		// for infeasible/loose instances as well as the work cap.
 		if res.Nodes >= o.MaxNodes {
-			res.Status = StatusBudget
-			if open.Len() > 0 {
-				res.BestBound = (*open)[0].bound
-			}
-			return res, fmt.Errorf("%w after %d nodes", ErrBudget, res.Nodes)
+			return budgetExit(guard.StatusMaxIter)
+		}
+		if st := mon.Check(res.Nodes); st != guard.StatusOK {
+			return budgetExit(st)
 		}
 		var nd *node
 		if dive != nil {
@@ -164,7 +201,19 @@ func Solve(n int, intVars []int, lo, hi []float64, relax RelaxSolver, o Options)
 		}
 		x, obj, st, err := relax(nd.lo, nd.hi)
 		res.Nodes++
+		mon.AddEvals(1)
 		if err != nil {
+			// A budget tripping inside the node solver (e.g. the context
+			// forwarded into a long LP) is an interruption, not a broken
+			// relaxation: keep the incumbent and classify it.
+			if gs, ok := guard.AsStatus(err); ok {
+				res.Status = StatusBudget
+				res.Guard = gs
+				if open.Len() > 0 {
+					res.BestBound = (*open)[0].bound
+				}
+				return res, fmt.Errorf("%w: %v after %d nodes", ErrBudget, gs, res.Nodes)
+			}
 			return res, fmt.Errorf("minlp: node relaxation: %w", err)
 		}
 		switch st {
@@ -175,7 +224,15 @@ func Solve(n int, intVars []int, lo, hi []float64, relax RelaxSolver, o Options)
 			// the MINLP itself may be unbounded; deeper in the tree it
 			// still prevents bounding, so surface it.
 			res.Status = StatusUnbounded
+			res.Guard = guard.StatusUnbounded
 			return res, nil
+		}
+		// Divergence sentinel: a non-finite node bound or minimizer would
+		// poison every pruning comparison from here on (NaN compares false
+		// against everything), so discard the node and record it.
+		if !guard.Finite(obj) || !guard.AllFinite(x) {
+			res.BadNodes++
+			continue
 		}
 		if obj >= res.Objective-o.GapTol {
 			continue
@@ -224,8 +281,16 @@ func Solve(n int, intVars []int, lo, hi []float64, relax RelaxSolver, o Options)
 			dive = down
 		}
 	}
-	if res.Status == StatusOptimal {
+	switch {
+	case res.Status == StatusOptimal:
 		res.BestBound = res.Objective
+		res.Guard = guard.StatusConverged
+	case res.BadNodes > 0:
+		// Every surviving node was discarded for non-finite relaxations:
+		// "infeasible" would be a lie — the search diverged.
+		res.Guard = guard.StatusDiverged
+	default:
+		res.Guard = guard.StatusInfeasible
 	}
 	return res, nil
 }
@@ -266,7 +331,10 @@ func SolveMILP(m *MILP, o Options) (*Result, error) {
 			Lo:          lo,
 			Hi:          hi,
 		}
-		sol, err := lp.Solve(&sub)
+		// Only the context is forwarded into node LPs: deadline and eval
+		// accounting stay at the tree level (one eval per node), but a
+		// canceled context must interrupt even a long simplex run promptly.
+		sol, err := lp.SolveBudget(&sub, guard.Budget{Ctx: o.Budget.Ctx})
 		if err != nil {
 			return nil, 0, RelaxInfeasible, err
 		}

@@ -1,0 +1,158 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// poisoned builds an objective that behaves like ½‖x‖² inside radius r and
+// returns bad beyond it; r = 0 poisons every evaluation. The gradient stays
+// that of the clean quadratic so descent directions remain plausible and the
+// line search is what meets the poison first.
+func poisoned(bad float64, r float64) Objective {
+	return Objective{
+		F: func(x []float64) float64 {
+			var s float64
+			for _, v := range x {
+				s += v * v
+			}
+			if math.Sqrt(s) > r {
+				return bad
+			}
+			return 0.5 * s
+		},
+		Grad: func(x, g []float64) {
+			copy(g, x)
+		},
+	}
+}
+
+// TestLineSearchDivergenceTable feeds NaN/Inf objectives straight into the
+// armijo and wolfe searches. The contract: a poisoned trial point is never
+// *accepted* — the search either errs out or returns a step whose objective
+// value is finite. (−Inf is the one deliberate exception for armijo: an
+// unbounded-below objective satisfies any decrease condition, and the caller's
+// post-step sentinel types it as divergence; wolfe rejects it in the
+// curvature branch because the −Inf gradient evaluation is still the clean
+// quadratic's.)
+func TestLineSearchDivergenceTable(t *testing.T) {
+	type search func(obj Objective, x, d, g []float64, fx, t0 float64) (float64, int, error)
+	armijoAt := func(obj Objective, x, d, g []float64, fx, t0 float64) (float64, int, error) {
+		return armijo(obj, x, d, g, fx, t0)
+	}
+	wolfeAt := func(obj Objective, x, d, g []float64, fx, _ float64) (float64, int, error) {
+		return wolfe(obj, x, d, g, fx)
+	}
+	cases := []struct {
+		name     string
+		obj      Objective
+		search   search
+		wantErr  bool // the search must fail outright
+		allowInf bool // an accepted step may evaluate to −Inf (caller's sentinel catches it)
+	}{
+		{"armijo/all-NaN", poisoned(math.NaN(), -1), armijoAt, true, false},
+		{"wolfe/all-NaN", poisoned(math.NaN(), -1), wolfeAt, true, false},
+		{"armijo/NaN-past-radius", poisoned(math.NaN(), 1.5), armijoAt, false, false},
+		{"wolfe/NaN-past-radius", poisoned(math.NaN(), 1.5), wolfeAt, false, false},
+		{"armijo/neg-inf-past-radius", poisoned(math.Inf(-1), 1.5), armijoAt, false, true},
+		{"wolfe/neg-inf-past-radius", poisoned(math.Inf(-1), 1.5), wolfeAt, false, false},
+		{"armijo/pos-inf-everywhere-but-descent", poisoned(math.Inf(1), 1.5), armijoAt, false, false},
+		{"wolfe/pos-inf-past-radius", poisoned(math.Inf(1), 1.5), wolfeAt, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := []float64{1, 1} // ‖x‖ ≈ 1.41, inside radius 1.5
+			g := make([]float64, 2)
+			tc.obj.Grad(x, g)
+			d := []float64{-g[0], -g[1]}
+			fx := tc.obj.F(x)
+			if math.IsNaN(fx) {
+				fx = math.Inf(1) // callers sanitize a poisoned f(x0) before searching
+			}
+			step, _, err := tc.search(tc.obj, x, d, g, fx, 1)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("accepted step %g on a fully poisoned objective", step)
+				}
+				return
+			}
+			if err != nil {
+				return // refusing to step is always sound
+			}
+			trial := []float64{x[0] + step*d[0], x[1] + step*d[1]}
+			ft := tc.obj.F(trial)
+			if math.IsNaN(ft) {
+				t.Fatalf("accepted step %g lands on NaN objective", step)
+			}
+			if math.IsInf(ft, 0) && !tc.allowInf {
+				t.Fatalf("accepted step %g lands on %g", step, ft)
+			}
+		})
+	}
+}
+
+// TestOptimizerDivergenceTable drives each guarded optimizer into a poisoned
+// region and pins the outer contract: a typed Diverged status, a finite
+// last-good iterate, and no panic — never silent NaN output.
+func TestOptimizerDivergenceTable(t *testing.T) {
+	lo := []float64{-10, -10}
+	hi := []float64{10, 10}
+	type run func(obj Objective, x0 []float64) (*Result, error)
+	optimizers := []struct {
+		name string
+		run  run
+	}{
+		{"gd", func(obj Objective, x0 []float64) (*Result, error) {
+			return GradientDescent(obj, x0, Options{MaxIter: 50})
+		}},
+		{"bfgs", func(obj Objective, x0 []float64) (*Result, error) {
+			return BFGS(obj, x0, Options{MaxIter: 50})
+		}},
+		{"lbfgs", func(obj Objective, x0 []float64) (*Result, error) {
+			return LBFGS(obj, x0, 5, Options{MaxIter: 50})
+		}},
+		{"pg", func(obj Objective, x0 []float64) (*Result, error) {
+			return ProjectedGradient(obj, x0, lo, hi, Options{MaxIter: 50})
+		}},
+	}
+	objectives := []struct {
+		name string
+		obj  Objective
+		x0   []float64
+	}{
+		{"NaN-at-x0", poisoned(math.NaN(), 1), []float64{3, 3}},
+		{"all-NaN", poisoned(math.NaN(), -1), []float64{1, 1}},
+		{"neg-inf-well", poisoned(math.Inf(-1), 1), []float64{0.9, 0}},
+		{"pos-inf-wall", poisoned(math.Inf(1), 0.2), []float64{0.3, 0.3}},
+	}
+	for _, o := range optimizers {
+		for _, tc := range objectives {
+			t.Run(o.name+"/"+tc.name, func(t *testing.T) {
+				res, err := o.run(tc.obj, tc.x0)
+				if res == nil {
+					t.Fatalf("nil result (err=%v)", err)
+				}
+				if res.Status == guard.StatusOK {
+					t.Fatalf("untyped status (err=%v)", err)
+				}
+				for i, v := range res.X {
+					if !guard.Finite(v) {
+						t.Fatalf("non-finite iterate X[%d]=%g (status %v)", i, v, res.Status)
+					}
+				}
+				if math.IsNaN(res.F) {
+					t.Fatalf("NaN objective reported (status %v)", res.Status)
+				}
+				// A poisoned start or a run that met the poison must be typed
+				// Diverged and carry the typed error.
+				if res.Status == guard.StatusDiverged {
+					if s, ok := guard.AsStatus(err); !ok || s != guard.StatusDiverged {
+						t.Fatalf("diverged status with untyped error %v", err)
+					}
+				}
+			})
+		}
+	}
+}

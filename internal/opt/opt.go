@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/mat"
 )
 
@@ -41,6 +42,13 @@ type Result struct {
 	GradNorm   float64
 	Iterations int
 	Evals      int
+	// Status is the typed termination cause: Converged on any clean stop
+	// (gradient tolerance, step stall, machine-precision line-search stall),
+	// MaxIter when the iteration budget ran out, Diverged when the objective
+	// or gradient went non-finite or a line search broke down numerically
+	// (X then holds the last iterate with finite objective), and Timeout /
+	// Canceled for budget interruptions.
+	Status guard.Status
 }
 
 // Options configures the iterative minimizers. Zero fields take defaults.
@@ -48,6 +56,10 @@ type Options struct {
 	MaxIter int     // default 200
 	GradTol float64 // default 1e-8: stop when ||g||∞ <= GradTol
 	StepTol float64 // default 1e-12: stop when the step stalls
+	// Budget bounds the run: cancellation and deadline are checked at
+	// iteration boundaries, MaxEvals counts objective/gradient evaluations
+	// (mirroring Result.Evals). The zero budget imposes nothing.
+	Budget guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +135,10 @@ func wolfe(obj Objective, x, d, g []float64, fx float64) (t float64, evals int, 
 		trial := mat.VecAdd(x, t, d)
 		ft := obj.F(trial)
 		evals++
-		if ft > fx+c1*t*gd {
+		// A NaN objective must shrink the bracket like an over-long step:
+		// NaN fails every comparison, so without the explicit test it would
+		// fall through to the curvature branch and could be *accepted*.
+		if math.IsNaN(ft) || ft > fx+c1*t*gd {
 			hi = t
 		} else {
 			obj.Grad(trial, gt)
@@ -152,42 +167,69 @@ func GradientDescent(obj Objective, x0 []float64, o Options) (*Result, error) {
 	x := append([]float64(nil), x0...)
 	g := make([]float64, len(x))
 	res := &Result{}
+	mon := o.Budget.Start()
 	fx := obj.F(x)
 	res.Evals++
+	if !guard.Finite(fx) {
+		return finish(res, x, fx, g, 0, guard.StatusDiverged),
+			guard.Err(guard.StatusDiverged, "opt: non-finite objective at x0")
+	}
 	for k := 0; k < o.MaxIter; k++ {
+		mon.AddEvals(res.Evals - mon.Evals())
+		if st := mon.Check(k); st != guard.StatusOK {
+			return finish(res, x, fx, g, k, st), guard.Err(st, "opt: stopped at iteration %d", k)
+		}
 		obj.Grad(x, g)
 		res.Evals++
+		if !guard.AllFinite(g) {
+			return finish(res, x, fx, g, k, guard.StatusDiverged),
+				guard.Err(guard.StatusDiverged, "opt: non-finite gradient at iteration %d", k)
+		}
 		if infNorm(g) <= o.GradTol {
-			return finish(res, x, fx, g, k), nil
+			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
 		d := mat.VecScale(-1, g)
 		t, ev, err := armijo(obj, x, d, g, fx, 1.0)
 		res.Evals += ev
 		if err != nil {
 			if stalled(g, fx) {
-				return finish(res, x, fx, g, k), nil
+				return finish(res, x, fx, g, k, guard.StatusConverged), nil
 			}
-			return finish(res, x, fx, g, k), err
+			return finish(res, x, fx, g, k, guard.StatusDiverged), err
 		}
-		x = mat.VecAdd(x, t, d)
-		newF := obj.F(x)
+		xNew := mat.VecAdd(x, t, d)
+		newF := obj.F(xNew)
 		res.Evals++
-		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
-			fx = newF
-			obj.Grad(x, g)
-			return finish(res, x, fx, g, k+1), nil
+		// Armijo rejects NaN trials (NaN fails every comparison), but a
+		// -Inf objective is "accepted"; keep the last finite iterate.
+		if !guard.Finite(newF) {
+			return finish(res, x, fx, g, k+1, guard.StatusDiverged),
+				guard.Err(guard.StatusDiverged, "opt: non-finite objective at iteration %d", k)
 		}
-		fx = newF
+		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
+			x, fx = xNew, newF
+			obj.Grad(x, g)
+			return finish(res, x, fx, g, k+1, guard.StatusConverged), nil
+		}
+		x, fx = xNew, newF
 	}
 	obj.Grad(x, g)
-	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+	return finish(res, x, fx, g, o.MaxIter, guard.StatusMaxIter),
+		fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
 }
 
-func finish(res *Result, x []float64, fx float64, g []float64, iters int) *Result {
+func finish(res *Result, x []float64, fx float64, g []float64, iters int, st guard.Status) *Result {
 	res.X = append([]float64(nil), x...)
+	// A NaN objective is reported as +Inf (mirroring pso/anneal): the typed
+	// Diverged status carries the diagnosis, and +Inf orders correctly under
+	// any caller's "keep the best" comparison where NaN would poison it.
+	if math.IsNaN(fx) {
+		fx = math.Inf(1)
+	}
 	res.F = fx
 	res.GradNorm = infNorm(g)
 	res.Iterations = iters
+	res.Status = st
 	return res
 }
 
@@ -200,17 +242,26 @@ func BFGS(obj Objective, x0 []float64, o Options) (*Result, error) {
 	g := make([]float64, n)
 	h := mat.Identity(n) // inverse Hessian approximation
 	res := &Result{}
+	mon := o.Budget.Start()
 	fx := obj.F(x)
 	res.Evals++
 	obj.Grad(x, g)
 	res.Evals++
+	if !guard.Finite(fx) || !guard.AllFinite(g) {
+		return finish(res, x, fx, g, 0, guard.StatusDiverged),
+			guard.Err(guard.StatusDiverged, "opt: non-finite objective or gradient at x0")
+	}
 	for k := 0; k < o.MaxIter; k++ {
+		mon.AddEvals(res.Evals - mon.Evals())
+		if st := mon.Check(k); st != guard.StatusOK {
+			return finish(res, x, fx, g, k, st), guard.Err(st, "opt: stopped at iteration %d", k)
+		}
 		if infNorm(g) <= o.GradTol {
-			return finish(res, x, fx, g, k), nil
+			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
 		d, err := h.MulVec(mat.VecScale(-1, g))
 		if err != nil {
-			return finish(res, x, fx, g, k), err
+			return finish(res, x, fx, g, k, guard.StatusDiverged), err
 		}
 		if mat.VecDot(d, g) >= 0 {
 			// Reset a corrupted approximation to steepest descent.
@@ -221,14 +272,22 @@ func BFGS(obj Objective, x0 []float64, o Options) (*Result, error) {
 		res.Evals += ev
 		if err != nil {
 			if stalled(g, fx) {
-				return finish(res, x, fx, g, k), nil
+				return finish(res, x, fx, g, k, guard.StatusConverged), nil
 			}
-			return finish(res, x, fx, g, k), err
+			return finish(res, x, fx, g, k, guard.StatusDiverged), err
 		}
 		xNew := mat.VecAdd(x, t, d)
 		gNew := make([]float64, n)
 		obj.Grad(xNew, gNew)
 		res.Evals++
+		newF := obj.F(xNew)
+		res.Evals++
+		// Divergence sentinel: keep the last iterate with finite data out of
+		// the curvature update and the report.
+		if !guard.Finite(newF) || !guard.AllFinite(gNew) {
+			return finish(res, x, fx, g, k+1, guard.StatusDiverged),
+				guard.Err(guard.StatusDiverged, "opt: non-finite objective or gradient at iteration %d", k)
+		}
 		s := mat.VecSub(xNew, x)
 		y := mat.VecSub(gNew, g)
 		sy := mat.VecDot(s, y)
@@ -236,15 +295,14 @@ func BFGS(obj Objective, x0 []float64, o Options) (*Result, error) {
 			updateInverseBFGS(h, s, y, sy)
 		}
 		x, g = xNew, gNew
-		newF := obj.F(x)
-		res.Evals++
 		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
 			fx = newF
-			return finish(res, x, fx, g, k+1), nil
+			return finish(res, x, fx, g, k+1, guard.StatusConverged), nil
 		}
 		fx = newF
 	}
-	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+	return finish(res, x, fx, g, o.MaxIter, guard.StatusMaxIter),
+		fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
 }
 
 // updateInverseBFGS applies H ← (I - ρsyᵀ) H (I - ρysᵀ) + ρssᵀ in place.
@@ -277,17 +335,26 @@ func LBFGS(obj Objective, x0 []float64, mem int, o Options) (*Result, error) {
 	x := append([]float64(nil), x0...)
 	g := make([]float64, n)
 	res := &Result{}
+	mon := o.Budget.Start()
 	fx := obj.F(x)
 	res.Evals++
 	obj.Grad(x, g)
 	res.Evals++
+	if !guard.Finite(fx) || !guard.AllFinite(g) {
+		return finish(res, x, fx, g, 0, guard.StatusDiverged),
+			guard.Err(guard.StatusDiverged, "opt: non-finite objective or gradient at x0")
+	}
 
 	var sHist, yHist [][]float64
 	var rhoHist []float64
 
 	for k := 0; k < o.MaxIter; k++ {
+		mon.AddEvals(res.Evals - mon.Evals())
+		if st := mon.Check(k); st != guard.StatusOK {
+			return finish(res, x, fx, g, k, st), guard.Err(st, "opt: stopped at iteration %d", k)
+		}
 		if infNorm(g) <= o.GradTol {
-			return finish(res, x, fx, g, k), nil
+			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
 		d := twoLoop(g, sHist, yHist, rhoHist)
 		for i := range d {
@@ -301,14 +368,22 @@ func LBFGS(obj Objective, x0 []float64, mem int, o Options) (*Result, error) {
 		res.Evals += ev
 		if err != nil {
 			if stalled(g, fx) {
-				return finish(res, x, fx, g, k), nil
+				return finish(res, x, fx, g, k, guard.StatusConverged), nil
 			}
-			return finish(res, x, fx, g, k), err
+			return finish(res, x, fx, g, k, guard.StatusDiverged), err
 		}
 		xNew := mat.VecAdd(x, t, d)
 		gNew := make([]float64, n)
 		obj.Grad(xNew, gNew)
 		res.Evals++
+		newF := obj.F(xNew)
+		res.Evals++
+		// Divergence sentinel: a non-finite pair must not enter the history
+		// (a single NaN would poison the two-loop recursion for mem steps).
+		if !guard.Finite(newF) || !guard.AllFinite(gNew) {
+			return finish(res, x, fx, g, k+1, guard.StatusDiverged),
+				guard.Err(guard.StatusDiverged, "opt: non-finite objective or gradient at iteration %d", k)
+		}
 		s := mat.VecSub(xNew, x)
 		y := mat.VecSub(gNew, g)
 		if sy := mat.VecDot(s, y); sy > 1e-12 {
@@ -322,15 +397,14 @@ func LBFGS(obj Objective, x0 []float64, mem int, o Options) (*Result, error) {
 			}
 		}
 		x, g = xNew, gNew
-		newF := obj.F(x)
-		res.Evals++
 		if math.Abs(newF-fx) < o.StepTol*(1+math.Abs(fx)) {
 			fx = newF
-			return finish(res, x, fx, g, k+1), nil
+			return finish(res, x, fx, g, k+1, guard.StatusConverged), nil
 		}
 		fx = newF
 	}
-	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+	return finish(res, x, fx, g, o.MaxIter, guard.StatusMaxIter),
+		fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
 }
 
 // twoLoop returns H·g via the L-BFGS two-loop recursion.
@@ -383,17 +457,30 @@ func ProjectedGradient(obj Objective, x0, lo, hi []float64, o Options) (*Result,
 	clip(x)
 	g := make([]float64, n)
 	res := &Result{}
+	mon := o.Budget.Start()
 	fx := obj.F(x)
 	res.Evals++
+	if !guard.Finite(fx) {
+		return finish(res, x, fx, g, 0, guard.StatusDiverged),
+			guard.Err(guard.StatusDiverged, "opt: non-finite objective at x0")
+	}
 	step := 1.0
 	for k := 0; k < o.MaxIter; k++ {
+		mon.AddEvals(res.Evals - mon.Evals())
+		if st := mon.Check(k); st != guard.StatusOK {
+			return finish(res, x, fx, g, k, st), guard.Err(st, "opt: stopped at iteration %d", k)
+		}
 		obj.Grad(x, g)
 		res.Evals++
+		if !guard.AllFinite(g) {
+			return finish(res, x, fx, g, k, guard.StatusDiverged),
+				guard.Err(guard.StatusDiverged, "opt: non-finite gradient at iteration %d", k)
+		}
 		// Projected gradient optimality: ||x - P(x - g)||∞.
 		probe := mat.VecAdd(x, -1, g)
 		clip(probe)
 		if infNorm(mat.VecSub(x, probe)) <= o.GradTol {
-			return finish(res, x, fx, g, k), nil
+			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
 		improved := false
 		t := step
@@ -402,6 +489,13 @@ func ProjectedGradient(obj Objective, x0, lo, hi []float64, o Options) (*Result,
 			clip(trial)
 			ft := obj.F(trial)
 			res.Evals++
+			// The sufficient-decrease test below rejects NaN trials (NaN
+			// fails every comparison) but would accept -Inf — an unbounded
+			// objective, reported as divergence from the last finite point.
+			if math.IsInf(ft, -1) {
+				return finish(res, x, fx, g, k, guard.StatusDiverged),
+					guard.Err(guard.StatusDiverged, "opt: objective unbounded below at iteration %d", k)
+			}
 			// Projected-Armijo sufficient decrease: accept only when the
 			// improvement is proportional to ||x - trial||²/t; accepting
 			// any decrease lets overshooting steps zigzag indefinitely.
@@ -415,9 +509,10 @@ func ProjectedGradient(obj Objective, x0, lo, hi []float64, o Options) (*Result,
 			t *= 0.5
 		}
 		if !improved {
-			return finish(res, x, fx, g, k), nil
+			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
 	}
 	obj.Grad(x, g)
-	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+	return finish(res, x, fx, g, o.MaxIter, guard.StatusMaxIter),
+		fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
 }

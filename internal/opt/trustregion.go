@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/mat"
 )
 
@@ -55,7 +56,7 @@ func TrustRegionDogleg(obj Objective, x0 []float64, o TrustRegionOptions) (*Resu
 
 	for k := 0; k < o.MaxIter; k++ {
 		if infNorm(g) <= o.GradTol {
-			return finish(res, x, fx, g, k), nil
+			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
 		p := doglegStep(b, g, radius)
 		trial := mat.VecAdd(x, 1, p)
@@ -85,10 +86,11 @@ func TrustRegionDogleg(obj Objective, x0 []float64, o TrustRegionOptions) (*Resu
 			x, g, fx = trial, gNew, ft
 		}
 		if radius < 1e-14 {
-			return finish(res, x, fx, g, k+1), nil
+			return finish(res, x, fx, g, k+1, guard.StatusConverged), nil
 		}
 	}
-	return finish(res, x, fx, g, o.MaxIter), fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
+	return finish(res, x, fx, g, o.MaxIter, guard.StatusMaxIter),
+		fmt.Errorf("%w after %d iterations", ErrMaxIter, o.MaxIter)
 }
 
 // doglegStep returns the dogleg step for model m(p) = gᵀp + ½pᵀBp within

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/par"
 	"repro/internal/rng"
 )
@@ -72,6 +73,10 @@ type Options struct {
 	// that mutate captured state, e.g. eval counters feeding per-candidate
 	// seeds, are not and must leave Parallel false).
 	Parallel bool
+	// Budget bounds the run: cancellation and deadline are checked at
+	// swarm-iteration boundaries, MaxEvals counts objective evaluations.
+	// The zero budget imposes nothing.
+	Budget guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +122,17 @@ type Result struct {
 	Dispersions int
 	// History is the global best value per iteration when TrackHistory.
 	History []float64
+	// BadEvals counts NaN objective values, each treated as +Inf so the
+	// best-so-far bookkeeping is never poisoned (NaN fails every comparison
+	// and would silently freeze it). The mapping is per-particle, so it is
+	// scheduling-independent and preserves bit-reproducibility.
+	BadEvals int
+	// Status is the typed termination cause: Converged on any clean stop
+	// (Target reached or the iteration schedule completed with a finite
+	// best), Diverged when no evaluation ever produced a finite value, and
+	// MaxIter / Timeout / Canceled when the budget interrupted the run (X
+	// then holds the best point seen so far).
+	Status guard.Status
 }
 
 // Minimize runs PSO on p.
@@ -165,6 +181,17 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	var gbest []float64
 	gbestF := math.Inf(1)
 	res := &Result{}
+	mon := o.Budget.Start()
+
+	// sanitized maps a raw objective value into the reduction: NaN becomes
+	// +Inf (counted) so comparisons behave; ±Inf passes through.
+	sanitized := func(f float64) float64 {
+		if math.IsNaN(f) {
+			res.BadEvals++
+			return math.Inf(1)
+		}
+		return f
+	}
 
 	evalParticle := func(i int) {
 		enc.decode(pos[i], decoded[i])
@@ -199,16 +226,29 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	})
 	for i := 0; i < o.Swarm; i++ { // ordered init reduction
 		res.Evals++
+		f := sanitized(fvals[i])
 		pbest[i] = append([]float64(nil), pos[i]...)
-		pbestF[i] = fvals[i]
-		if fvals[i] < gbestF {
-			gbestF = fvals[i]
+		pbestF[i] = f
+		if f < gbestF {
+			gbestF = f
 			gbest = append([]float64(nil), pos[i]...)
 		}
 	}
+	if gbest == nil {
+		// Every initial evaluation was non-finite: anchor the global best at
+		// particle 0 (deterministic) so the velocity update has a target and
+		// the swarm can still recover if later evaluations turn finite.
+		gbest = append([]float64(nil), pos[0]...)
+	}
 
 	stagnant := 0
+	interrupted := guard.StatusOK
 	for it := 0; it < o.MaxIter; it++ {
+		mon.AddEvals(res.Evals - mon.Evals())
+		if st := mon.Check(it); st != guard.StatusOK {
+			interrupted = st
+			break
+		}
 		w := o.Inertia.Weight(it, o.MaxIter, stagnant)
 		eachParticle(func(i int) {
 			r := streams[i]
@@ -246,7 +286,7 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 		improved := false
 		for i := 0; i < o.Swarm; i++ {
 			res.Evals++
-			f := fvals[i]
+			f := sanitized(fvals[i])
 			if f < pbestF[i] {
 				pbestF[i] = f
 				copy(pbest[i], pos[i])
@@ -289,6 +329,16 @@ func Minimize(p *Problem, o Options) (*Result, error) {
 	res.X = make([]float64, len(p.Dims))
 	enc.decode(gbest, res.X)
 	res.StagnantIters = stagnant
+	if interrupted != guard.StatusOK {
+		res.Status = interrupted
+		return res, guard.Err(interrupted, "pso: stopped after %d iterations", res.Iterations)
+	}
+	if !guard.Finite(gbestF) {
+		res.Status = guard.StatusDiverged
+		return res, guard.Err(guard.StatusDiverged,
+			"pso: non-finite global best (%g) after %d evaluations", gbestF, res.Evals)
+	}
+	res.Status = guard.StatusConverged
 	return res, nil
 }
 

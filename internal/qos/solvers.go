@@ -134,11 +134,10 @@ func (p *Problem) milpColumns() []milpColumn {
 //	     Σ_{c of u} P_c x_c <= budget    (per-user power)
 //	     Σ_{c of u} rate_c x_c >= minRate(u)
 //
-// Returns the allocation, its report, and BnB statistics.
-func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
+// columnModel builds the column-selection MILP shared by the exact (BnB)
+// and relaxed (LP + rounding) solvers: the columns, the LP over them, and
+// the integrality list.
+func (p *Problem) columnModel() ([]milpColumn, lp.Problem, []int) {
 	cols := p.milpColumns()
 	n := len(cols)
 	prob := lp.Problem{
@@ -182,6 +181,15 @@ func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error
 			lp.Constraint{Coeffs: rRow, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
 		)
 	}
+	return cols, prob, ints
+}
+
+// Returns the allocation, its report, and BnB statistics.
+func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cols, prob, ints := p.columnModel()
 	// Warm start: if the greedy heuristic happens to produce a fully
 	// feasible solution of the discretized model, hand it to the BnB as an
 	// incumbent so dominated subtrees are pruned from the first node.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/mat"
 )
 
@@ -39,6 +40,9 @@ type Options struct {
 	Rho     float64 // penalty parameter, default 1
 	Tol     float64 // primal/dual residual tolerance, default 1e-7
 	MaxIter int     // default 5000
+	// Budget bounds the run (cancellation, deadline, eval cap — one eval
+	// per ADMM iteration). The zero budget imposes nothing.
+	Budget guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -70,12 +74,19 @@ type Result struct {
 	// DualFeasError is max(0, -λmin(S)): how far the recovered slack is
 	// from the PSD cone. Zero (to tolerance) at convergence.
 	DualFeasError float64
+	// Status is the typed termination cause: Converged, MaxIter (budget
+	// exhausted above tolerance), Diverged (non-finite iterate; X is the
+	// last finite one), Timeout, or Canceled.
+	Status guard.Status
 }
 
 // Solve runs ADMM on the problem. The returned X is symmetric and PSD to
 // within tolerance; equality constraints hold to within the primal
 // residual. A wrapped ErrNoProgress is returned (with the best iterate)
-// when MaxIter is exhausted above tolerance.
+// when MaxIter is exhausted above tolerance. Budget terminations
+// (cancellation, deadline, eval cap) and divergence (non-finite iterate)
+// return a *guard.Error alongside the last finite iterate, with the cause
+// in Result.Status — never a silent NaN X.
 func Solve(p *Problem, o Options) (*Result, error) {
 	o = o.withDefaults()
 	if p.C == nil || p.C.Rows != p.C.Cols {
@@ -144,7 +155,25 @@ func Solve(p *Problem, o Options) (*Result, error) {
 		return out, nil
 	}
 
+	// finalize fills the result from the given iterate and classifies the
+	// termination. fillDual is skipped when the multipliers are non-finite
+	// (a diverged affine projection must not leak NaN into the report).
+	finalize := func(zOut *mat.Matrix, st guard.Status) {
+		res.X = zOut
+		res.Objective = inner(cSym, zOut)
+		if lastLam == nil || guard.AllFinite(lastLam) {
+			fillDual(res, p, cSym, lastLam, o.Rho)
+		}
+		res.Status = st
+	}
+
+	mon := o.Budget.Start()
+	lastGood := z // most recent iterate with finite residuals
 	for it := 0; it < o.MaxIter; it++ {
+		if st := mon.Check(it); st != guard.StatusOK {
+			finalize(lastGood, st)
+			return res, guard.Err(st, "sdp: stopped after %d iterations", it)
+		}
 		// X-update: argmin ⟨C,X⟩ + ρ/2 ||X - Z + U||² s.t. A(X)=b
 		// = Proj_affine(Z - U - C/ρ).
 		v := z.Clone()
@@ -174,21 +203,26 @@ func Solve(p *Problem, o Options) (*Result, error) {
 			u.Data[k] += x.Data[k] - z.Data[k]
 		}
 
+		mon.AddEvals(1)
 		primal := frobDiff(x, z)
 		dual := o.Rho * frobDiff(z, zPrev)
 		res.Iterations = it + 1
+		// Divergence sentinel: a NaN/Inf residual means x or z went
+		// non-finite; report the last finite iterate, never the bad one.
+		if !guard.Finite(primal) || !guard.Finite(dual) {
+			finalize(lastGood, guard.StatusDiverged)
+			return res, guard.Err(guard.StatusDiverged,
+				"sdp: non-finite iterate at iteration %d", it)
+		}
 		res.PrimalRes = primal
 		res.DualRes = dual
+		lastGood = z
 		if primal < o.Tol && dual < o.Tol {
-			res.X = z
-			res.Objective = inner(cSym, z)
-			fillDual(res, p, cSym, lastLam, o.Rho)
+			finalize(z, guard.StatusConverged)
 			return res, nil
 		}
 	}
-	res.X = z
-	res.Objective = inner(cSym, z)
-	fillDual(res, p, cSym, lastLam, o.Rho)
+	finalize(z, guard.StatusMaxIter)
 	return res, fmt.Errorf("%w: primal %g dual %g after %d iterations",
 		ErrNoProgress, res.PrimalRes, res.DualRes, res.Iterations)
 }

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"repro/internal/guard"
 	"repro/internal/numerics"
 	"repro/internal/relax"
 )
@@ -60,8 +61,25 @@ func Gradient(n *Network, x []float64, spec *Spec) []float64 {
 // when their bound is negative: a found point upgrades "unknown" to a
 // definitive "falsified".
 func PGDAttack(n *Network, input []relax.Interval, spec *Spec, steps int) []float64 {
+	x, _ := PGDAttackBudget(n, input, spec, steps, guard.Budget{})
+	return x
+}
+
+// PGDAttackBudget is PGDAttack under a guard.Budget: every network forward
+// pass (spec evaluation or gradient) counts as one evaluation, and the
+// budget is checked at step boundaries. An interrupted attack returns a nil
+// point with the typed cause (Canceled / Timeout / MaxIter); a completed
+// attack returns Converged with the violating point, or OK with nil when no
+// violation was found — an attack is falsification-only, so running out of
+// budget never claims robustness, it just stops looking.
+func PGDAttackBudget(n *Network, input []relax.Interval, spec *Spec, steps int, b guard.Budget) ([]float64, guard.Status) {
 	if steps <= 0 {
 		steps = 30
+	}
+	mon := b.Start()
+	eval := func(x []float64) float64 {
+		mon.AddEvals(1)
+		return spec.Eval(n.Forward(append([]float64(nil), x...)))
 	}
 	clip := func(x []float64) {
 		for i := range x {
@@ -85,16 +103,17 @@ func PGDAttack(n *Network, input []relax.Interval, spec *Spec, steps int) []floa
 		for i, iv := range input {
 			x[i] = iv.Lo
 		}
-		if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
-			return x
+		if eval(x) < 0 {
+			return x, guard.StatusConverged
 		}
-		return nil
+		return nil, guard.StatusOK
 	}
 	starts := [][]float64{make([]float64, len(input))}
 	for i, iv := range input {
 		starts[0][i] = 0.5 * (iv.Lo + iv.Hi)
 	}
 	// A second start at the anti-gradient corner from the center.
+	mon.AddEvals(1)
 	g0 := Gradient(n, starts[0], spec)
 	corner := make([]float64, len(input))
 	for i, iv := range input {
@@ -106,12 +125,16 @@ func PGDAttack(n *Network, input []relax.Interval, spec *Spec, steps int) []floa
 	}
 	starts = append(starts, corner)
 
-	for _, start := range starts {
+	for si, start := range starts {
 		x := append([]float64(nil), start...)
 		for s := 0; s < steps; s++ {
-			if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
-				return x
+			if st := mon.Check(si*steps + s); st != guard.StatusOK {
+				return nil, st
 			}
+			if eval(x) < 0 {
+				return x, guard.StatusConverged
+			}
+			mon.AddEvals(1)
 			g := Gradient(n, x, spec)
 			step := width * 0.5 * numerics.PowInt(0.8, s)
 			moved := false
@@ -129,9 +152,9 @@ func PGDAttack(n *Network, input []relax.Interval, spec *Spec, steps int) []floa
 			}
 			clip(x)
 		}
-		if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
-			return x
+		if eval(x) < 0 {
+			return x, guard.StatusConverged
 		}
 	}
-	return nil
+	return nil, guard.StatusOK
 }

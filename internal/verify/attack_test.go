@@ -1,0 +1,65 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// TestPGDAttackBudgetExhausted pins the attack's behavior when its eval
+// budget runs out mid-search: a typed budget status, a nil point (an attack
+// out of budget has found nothing — it must not fabricate a counterexample),
+// and no panic. Falsification-only semantics mean an interrupted attack
+// never claims robustness either; the caller sees MaxIter, not OK.
+func TestPGDAttackBudgetExhausted(t *testing.T) {
+	net := tinyNet()
+	// A violating region exists (y(0.5,-0.5) = -1) but the budget dies first.
+	box := BoxAround([]float64{0.5, -0.5}, 0.3)
+	spec := &Spec{C: []float64{1}}
+	x, st := PGDAttackBudget(net, box, spec, 30, guard.Budget{MaxEvals: 1})
+	if st != guard.StatusMaxIter {
+		t.Fatalf("status = %v, want budget-exhausted", st)
+	}
+	if x != nil {
+		t.Fatalf("exhausted attack returned a point %v", x)
+	}
+}
+
+// TestPGDAttackBudgetCancel checks hook-driven cancellation at step k.
+func TestPGDAttackBudgetCancel(t *testing.T) {
+	net := tinyNet()
+	box := BoxAround([]float64{1, 1}, 0.5) // satisfying region: attack would run long
+	spec := &Spec{C: []float64{1}}
+	b := guard.Budget{Hook: func(iter, evals int) guard.Status {
+		if iter >= 2 {
+			return guard.StatusCanceled
+		}
+		return guard.StatusOK
+	}}
+	x, st := PGDAttackBudget(net, box, spec, 30, b)
+	if st != guard.StatusCanceled {
+		t.Fatalf("status = %v, want canceled", st)
+	}
+	if x != nil {
+		t.Fatalf("canceled attack returned a point %v", x)
+	}
+}
+
+// TestPGDAttackBudgetCompletes checks the typed terminal statuses of an
+// unconstrained attack: Converged with a genuine violation, OK with nil when
+// the box is robust.
+func TestPGDAttackBudgetCompletes(t *testing.T) {
+	net := tinyNet()
+	spec := &Spec{C: []float64{1}}
+	x, st := PGDAttackBudget(net, BoxAround([]float64{0.5, -0.5}, 0), spec, 10, guard.Budget{})
+	if st != guard.StatusConverged || x == nil {
+		t.Fatalf("violating point box: x=%v st=%v", x, st)
+	}
+	if spec.Eval(net.Forward(append([]float64(nil), x...))) >= 0 {
+		t.Fatalf("reported counterexample does not violate")
+	}
+	x, st = PGDAttackBudget(net, BoxAround([]float64{1, 1}, 0), spec, 10, guard.Budget{})
+	if st != guard.StatusOK || x != nil {
+		t.Fatalf("satisfying point box: x=%v st=%v", x, st)
+	}
+}
