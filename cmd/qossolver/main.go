@@ -113,7 +113,12 @@ func run(args []string) (guard.Status, error) {
 		var res *minlp.Result
 		alloc, res, err = p.SolveExact(minlp.Options{MaxNodes: 300000, Budget: budget})
 		if res != nil {
+			// One mapping end to end: interruption causes from the budget
+			// guard, solver outcomes through the canonical Status→guard table.
 			st = res.Guard
+			if st == guard.StatusOK {
+				st = res.Status.Guard()
+			}
 			if err == nil && alloc == nil {
 				note = "exact solver: " + res.Status.String()
 			}

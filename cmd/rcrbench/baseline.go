@@ -88,6 +88,12 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 			KernelTiming{Name: gp.name + "_unguarded", Size: gp.size, Iters: iters, NsPerOp: nsU},
 			KernelTiming{Name: gp.name + "_guarded", Size: gp.size, Iters: iters, NsPerOp: nsG})
 	}
+	for _, pp := range probPairs(seed) {
+		iters, nsA, nsB := timePair(pp.a, pp.b)
+		b.Kernels = append(b.Kernels,
+			KernelTiming{Name: pp.nameA, Size: pp.size, Iters: iters, NsPerOp: nsA},
+			KernelTiming{Name: pp.nameB, Size: pp.size, Iters: iters, NsPerOp: nsB})
+	}
 	reg := experiments.Registry()
 	for _, id := range experiments.Order() {
 		start := time.Now()
@@ -230,6 +236,7 @@ func guardPairs(seed uint64) []guardPair {
 	}
 	c.Symmetrize()
 	sdpProblem := func() *sdp.Problem {
+		//lint:ignore rawproblem guard-overhead baseline measures the raw ADMM backend; routing through the prob IR would fold lowering cost into the guarded/unguarded ratio
 		return &sdp.Problem{C: c, A: []*mat.Matrix{mat.Identity(n)}, B: []float64{2}}
 	}
 	sdpOpts := sdp.Options{MaxIter: 400, Tol: 1e-9} // tolerance kept unreachable: fixed 400 iterations

@@ -1,0 +1,147 @@
+package main
+
+// Probe pairs for the prob IR layer (DESIGN.md §10). Each pair times two
+// sides of one cache/lowering contract with timePair's interleaved rounds,
+// so host-load drift cancels out of the ratio:
+//
+//	prob_milp_compile / prob_milp_fingerprint — full lowering+compilation
+//	  vs the structural fingerprint that lets the cache skip it; caching
+//	  pays off only while the second stays well under the first.
+//	prob_solve_uncached / prob_solve_cached — repeated bit-identical
+//	  same-shape solves, re-lowered every call vs reusing the compiled
+//	  backend form verbatim (Result.CacheHit).
+//	prob_resolve_cold / prob_resolve_warm — same-shape re-solves with
+//	  perturbed coefficients, from scratch vs seeded from the cached
+//	  incumbent (Result.WarmStarted).
+
+import (
+	"fmt"
+
+	"repro/internal/guard"
+	"repro/internal/prob"
+	"repro/internal/rng"
+)
+
+// pairProbe is one two-sided comparison; unlike guardPair the sides carry
+// their own baseline names.
+type pairProbe struct {
+	nameA, nameB string
+	size         int
+	a, b         func() error
+}
+
+// rraColumnIR builds a synthetic column-selection MILP shaped like the qos
+// RRA model — binary columns, one-per-RB rows, per-user power and min-rate
+// rows — sized to solve in well under a millisecond so the probes measure
+// registry overhead, not branch-and-bound search. jitter perturbs the rate
+// coefficients (content) without touching the structure (shape).
+func rraColumnIR(r *rng.Rand, jitter float64) *prob.Problem {
+	const (
+		nU, nRB, nL = 2, 4, 2
+		budgetW     = 0.5
+		minRate     = 0.5
+	)
+	levels := []float64{0.1, 0.2}
+	n := nU * nRB * nL
+	idx := func(u, rb, l int) int { return (u*nRB+rb)*nL + l }
+	ir := &prob.Problem{
+		NumVars: n,
+		Obj:     prob.Objective{Maximize: true, Lin: make([]float64, n)},
+		Hi:      make([]float64, n),
+		Integer: make([]int, n),
+	}
+	for u := 0; u < nU; u++ {
+		for rb := 0; rb < nRB; rb++ {
+			for l := 0; l < nL; l++ {
+				i := idx(u, rb, l)
+				ir.Obj.Lin[i] = (1 + float64(l)) * (1 + jitter*r.Float64())
+				ir.Hi[i] = 1
+				ir.Integer[i] = i
+			}
+		}
+	}
+	for rb := 0; rb < nRB; rb++ {
+		row := make([]float64, n)
+		for u := 0; u < nU; u++ {
+			for l := 0; l < nL; l++ {
+				row[idx(u, rb, l)] = 1
+			}
+		}
+		ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: row, Sense: prob.LE, RHS: 1})
+	}
+	for u := 0; u < nU; u++ {
+		pRow := make([]float64, n)
+		rRow := make([]float64, n)
+		for rb := 0; rb < nRB; rb++ {
+			for l := 0; l < nL; l++ {
+				pRow[idx(u, rb, l)] = levels[l]
+				rRow[idx(u, rb, l)] = ir.Obj.Lin[idx(u, rb, l)]
+			}
+		}
+		ir.Lin = append(ir.Lin,
+			prob.LinCon{Coeffs: pRow, Sense: prob.LE, RHS: budgetW},
+			prob.LinCon{Coeffs: rRow, Sense: prob.GE, RHS: minRate},
+		)
+	}
+	return ir
+}
+
+// probPairs builds the IR-layer probe pairs.
+func probPairs(seed uint64) []pairProbe {
+	fixed := rraColumnIR(rng.New(seed+2), 0)
+	n := fixed.NumVars
+
+	solved := func(res *prob.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		if res.Status != guard.StatusConverged {
+			return fmt.Errorf("probe solve ended %v", res.Status)
+		}
+		return nil
+	}
+
+	// Side A lowers and compiles every call; side B computes the two-level
+	// fingerprint — the whole cost of a cache hit's lookup key.
+	compileSide := func() error {
+		_, err := fixed.MILP()
+		return err
+	}
+	fingerprintSide := func() error {
+		fp := fixed.Fingerprint()
+		if fp.Shape == 0 && fp.Content == 0 {
+			return fmt.Errorf("degenerate fingerprint")
+		}
+		return nil
+	}
+
+	// Bit-identical repeated solves: uncached re-lowers per call, cached
+	// reuses the compiled backend form after the first.
+	hitCache := prob.NewCache()
+	uncachedSide := func() error {
+		return solved(prob.Solve(fixed, prob.Options{}))
+	}
+	cachedSide := func() error {
+		return solved(prob.Solve(fixed, prob.Options{Cache: hitCache}))
+	}
+
+	// Same-shape re-solves with perturbed coefficients: cold starts BnB from
+	// nothing, warm seeds it with the previous (re-verified) incumbent. Both
+	// sides draw from identically seeded perturbation streams so they solve
+	// the same instance sequence.
+	warmCache := prob.NewCache()
+	coldRNG := rng.New(seed + 3)
+	warmRNG := rng.New(seed + 3)
+	coldSide := func() error {
+		return solved(prob.Solve(rraColumnIR(coldRNG, 0.01), prob.Options{}))
+	}
+	warmSide := func() error {
+		return solved(prob.Solve(rraColumnIR(warmRNG, 0.01), prob.Options{Cache: warmCache}))
+	}
+
+	return []pairProbe{
+		{"prob_milp_compile", "prob_milp_fingerprint", n, compileSide, fingerprintSide},
+		{"prob_solve_uncached", "prob_solve_cached", n, uncachedSide, cachedSide},
+		{"prob_resolve_cold", "prob_resolve_warm", n, coldSide, warmSide},
+	}
+}

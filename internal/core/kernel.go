@@ -24,8 +24,8 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/prob"
 	"repro/internal/pso"
-	"repro/internal/qp"
 )
 
 // ErrKernel is returned when the inertia fit is misconfigured.
@@ -72,21 +72,27 @@ func FitAdaptiveInertia(wMin, wMax, tau float64, horizon int) (*InertiaFit, erro
 		t0 += target[s]
 		t1 += fs * target[s]
 	}
-	p := &qp.Problem{
-		F0: qp.Quad{
-			P: mustMat([][]float64{
+	// Stated as IR: both variables are genuinely free (explicit ±Inf bounds —
+	// the feasible box comes from the linear rows, which compile to the exact
+	// barrier inequalities the hand-built QP historically used).
+	ir := &prob.Problem{
+		NumVars: 2,
+		Obj: prob.Objective{
+			Quad: mustMat([][]float64{
 				{2 * float64(n), 2 * s1},
 				{2 * s1, 2 * s2},
 			}),
-			Q: []float64{-2 * t0, -2 * t1},
+			Lin: []float64{-2 * t0, -2 * t1},
 		},
-		Ineq: []qp.Quad{
-			{Q: []float64{-1, 0}, R: wMin - 1e-9}, // base >= wMin
-			{Q: []float64{1, 0}, R: -wMax},        // base <= wMax
-			{Q: []float64{0, -1}, R: -1e-9},       // boost >= 0
+		Lo: []float64{math.Inf(-1), math.Inf(-1)},
+		Hi: []float64{math.Inf(1), math.Inf(1)},
+		Lin: []prob.LinCon{
+			{Coeffs: []float64{-1, 0}, Sense: prob.LE, RHS: -(wMin - 1e-9)}, // base >= wMin
+			{Coeffs: []float64{1, 0}, Sense: prob.LE, RHS: wMax},            // base <= wMax
+			{Coeffs: []float64{0, -1}, Sense: prob.LE, RHS: 1e-9},           // boost >= 0
 		},
 	}
-	res, err := qp.Solve(p, []float64{0.5 * (wMin + wMax), 0.01}, qp.Options{})
+	res, err := prob.Solve(ir, prob.Options{X0: []float64{0.5 * (wMin + wMax), 0.01}})
 	if err != nil {
 		return nil, fmt.Errorf("core: inertia QP: %w", err)
 	}

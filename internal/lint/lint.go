@@ -286,6 +286,7 @@ func All() []*Analyzer {
 		AnalyzerMutSeed,
 		AnalyzerNaivePanic,
 		AnalyzerPowSquare,
+		AnalyzerRawProblem,
 		AnalyzerRawRand,
 	}
 }

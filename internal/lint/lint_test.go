@@ -42,6 +42,11 @@ func TestGolden(t *testing.T) {
 		{"mutseed", []string{"mutseed"}},
 		{"naivepanic", []string{"naivepanic"}},
 		{"powsquare", []string{"powsquare"}},
+		// The backend stand-ins and the prob facade are loaded alongside the
+		// call-site fixture: prob's own lp.Problem compile must NOT appear in
+		// the golden file (package-path exemption), and neither may the
+		// minlp.Result literal (only problem inputs are restricted).
+		{"rawproblem", []string{"rawproblem", "internal/lp", "internal/qp", "internal/sdp", "internal/minlp", "internal/prob"}},
 		// internal/rng is loaded alongside rawrand to exercise the facade
 		// exemption: its math/rand import must NOT appear in the golden file.
 		{"rawrand", []string{"rawrand", "internal/rng"}},

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerRawProblem flags composite-literal construction of the backend
+// solver input types — lp.Problem, qp.Problem, sdp.Problem, minlp.MILP —
+// outside internal/prob and the solver packages themselves. Every call site
+// must state its model as a prob.Problem and obtain backend inputs by
+// lowering through the Eq. 7–10 registry: hand-built backend problems bypass
+// the IR's validation, provenance trail, budget threading, and fingerprint
+// cache, and silently fork the single formulation chain the experiments are
+// pinned to. Test files are exempt (golden tests legitimately hand-build
+// backend problems to pin compilation bit-for-bit against them).
+var AnalyzerRawProblem = &Analyzer{
+	Name:     "rawproblem",
+	Doc:      "direct backend problem construction outside internal/prob and the solver packages",
+	Severity: Warning,
+	Run:      runRawProblem,
+}
+
+// rawProblemTypes maps each backend package-path suffix to the raw problem
+// type it exports.
+var rawProblemTypes = map[string]string{
+	"internal/lp":    "Problem",
+	"internal/qp":    "Problem",
+	"internal/sdp":   "Problem",
+	"internal/minlp": "MILP",
+}
+
+// rawProblemExempt lists the package-path suffixes allowed to build backend
+// problems directly: the IR compiler and the solver packages.
+var rawProblemExempt = []string{
+	"internal/prob", "internal/lp", "internal/qp", "internal/sdp", "internal/minlp",
+}
+
+// pkgPathHasSuffix reports whether path is suf or ends in "/"+suf (so
+// internal/minlp never matches internal/lp).
+func pkgPathHasSuffix(path, suf string) bool {
+	return path == suf || strings.HasSuffix(path, "/"+suf)
+}
+
+func runRawProblem(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	for _, suf := range rawProblemExempt {
+		if pkgPathHasSuffix(p.Pkg.ImportPath, suf) {
+			return
+		}
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			named, ok := p.TypeOf(lit).(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			for suf, typeName := range rawProblemTypes {
+				if obj.Name() == typeName && pkgPathHasSuffix(path, suf) {
+					p.Reportf(lit.Pos(),
+						"direct %s.%s construction bypasses the prob IR; state the model as a prob.Problem and lower it through the Eq. 7-10 registry",
+						path[strings.LastIndex(path, "/")+1:], typeName)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

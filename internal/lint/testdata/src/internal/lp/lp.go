@@ -1,0 +1,12 @@
+// Package lp is the fixture stand-in for the simplex backend: exporter of
+// the raw Problem type the rawproblem rule guards.
+package lp
+
+// Problem is the raw LP input.
+type Problem struct {
+	NumVars   int
+	Objective []float64
+}
+
+// Solve is a stub so the fixture call sites look realistic.
+func Solve(p *Problem) float64 { return 0 }

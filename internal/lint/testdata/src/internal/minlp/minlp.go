@@ -1,0 +1,13 @@
+// Package minlp is the fixture stand-in for the branch-and-bound backend.
+package minlp
+
+// MILP is the raw mixed-integer input.
+type MILP struct {
+	Integer []int
+}
+
+// Result is an unguarded type the rule must NOT flag (only the problem
+// inputs are restricted).
+type Result struct {
+	X []float64
+}

@@ -1,0 +1,15 @@
+// Package prob is the fixture stand-in for the IR: the one modeling layer
+// allowed to compile raw backend problems (negative case for rawproblem).
+package prob
+
+import "fixture/internal/lp"
+
+// Problem is the fixture IR type.
+type Problem struct {
+	NumVars int
+}
+
+// LP compiles the IR to the raw backend form — exempt by package path.
+func (p *Problem) LP() *lp.Problem {
+	return &lp.Problem{NumVars: p.NumVars}
+}

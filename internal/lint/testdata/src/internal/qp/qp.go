@@ -1,0 +1,7 @@
+// Package qp is the fixture stand-in for the barrier backend.
+package qp
+
+// Problem is the raw QP input.
+type Problem struct {
+	R float64
+}

@@ -1,0 +1,7 @@
+// Package sdp is the fixture stand-in for the ADMM backend.
+package sdp
+
+// Problem is the raw SDP input.
+type Problem struct {
+	B []float64
+}

@@ -1,0 +1,39 @@
+// Package rawproblem is the positive fixture for the rawproblem rule:
+// call-site code hand-building backend solver inputs instead of lowering a
+// prob.Problem.
+package rawproblem
+
+import (
+	"fixture/internal/lp"
+	"fixture/internal/minlp"
+	"fixture/internal/prob"
+	"fixture/internal/qp"
+	"fixture/internal/sdp"
+)
+
+// SolveDirect hand-builds an lp.Problem — flagged.
+func SolveDirect(n int) float64 {
+	p := lp.Problem{NumVars: n}
+	return lp.Solve(&p)
+}
+
+// BuildAll hand-builds every backend type — all flagged, value and pointer
+// literals alike.
+func BuildAll() (*qp.Problem, *sdp.Problem, minlp.MILP) {
+	q := &qp.Problem{R: 1}
+	s := &sdp.Problem{B: []float64{2}}
+	m := minlp.MILP{Integer: []int{0}}
+	return q, s, m
+}
+
+// ViaIR states the model through the IR — the blessed path, not flagged.
+func ViaIR(n int) *lp.Problem {
+	ir := prob.Problem{NumVars: n}
+	return ir.LP()
+}
+
+// ResultsAreFine builds a backend *result* type — not flagged (only the
+// problem inputs are restricted).
+func ResultsAreFine() minlp.Result {
+	return minlp.Result{X: []float64{1}}
+}

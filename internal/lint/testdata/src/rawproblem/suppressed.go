@@ -1,0 +1,10 @@
+package rawproblem
+
+import "fixture/internal/sdp"
+
+// BaselineProbe hand-builds a backend problem with a reasoned suppression —
+// the microbenchmark pattern that measures the raw solver itself.
+func BaselineProbe() *sdp.Problem {
+	//lint:ignore rawproblem fixture: baseline probe measures the raw backend, bypassing the IR on purpose
+	return &sdp.Problem{B: []float64{1}}
+}

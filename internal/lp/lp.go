@@ -87,6 +87,24 @@ func (s Status) String() string {
 	}
 }
 
+// Guard is the canonical one-way mapping onto the shared guard taxonomy:
+// every exit-code or cross-solver comparison of an lp outcome must flow
+// through this single function (cmd/qossolver and internal/prob do). For
+// interrupted runs Solution.Guard carries the finer cause (timeout,
+// cancellation, pivot budget); prefer it when non-zero.
+func (s Status) Guard() guard.Status {
+	switch s {
+	case StatusOptimal:
+		return guard.StatusConverged
+	case StatusInfeasible:
+		return guard.StatusInfeasible
+	case StatusUnbounded:
+		return guard.StatusUnbounded
+	default:
+		return guard.StatusOK
+	}
+}
+
 // Solution is the solver output. X is populated only for StatusOptimal.
 type Solution struct {
 	Status    Status

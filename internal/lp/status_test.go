@@ -1,0 +1,38 @@
+package lp
+
+import (
+	"testing"
+
+	"repro/internal/guard"
+)
+
+// TestStatusGuardExhaustive pins the one-way lp.Status → guard.Status
+// mapping for every declared status plus the undefined zero and
+// out-of-range values. The mapping is the single seam cmd exit codes and
+// the prob registry route through, so silently adding a Status without
+// extending Guard() must fail here.
+func TestStatusGuardExhaustive(t *testing.T) {
+	cases := []struct {
+		in   Status
+		want guard.Status
+	}{
+		{StatusOptimal, guard.StatusConverged},
+		{StatusInfeasible, guard.StatusInfeasible},
+		{StatusUnbounded, guard.StatusUnbounded},
+		{Status(0), guard.StatusOK},
+		{Status(99), guard.StatusOK},
+	}
+	covered := map[Status]bool{}
+	for _, c := range cases {
+		if got := c.in.Guard(); got != c.want {
+			t.Errorf("Status(%d).Guard() = %v, want %v", int(c.in), got, c.want)
+		}
+		covered[c.in] = true
+	}
+	// Exhaustiveness: every declared status value must appear in the table.
+	for s := StatusOptimal; s <= StatusUnbounded; s++ {
+		if !covered[s] {
+			t.Errorf("declared status %v missing from the Guard() table", s)
+		}
+	}
+}

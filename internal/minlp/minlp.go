@@ -51,6 +51,27 @@ func (s Status) String() string {
 	}
 }
 
+// Guard is the canonical one-way mapping onto the shared guard taxonomy:
+// every exit-code or cross-solver comparison of a minlp outcome must flow
+// through this single function (cmd/qossolver and internal/prob do).
+// StatusBudget maps to the generic StatusMaxIter; when a finer cause is
+// known (timeout vs cancellation) the Result.Guard field already carries
+// it, so callers should prefer Result.Guard when it is non-zero.
+func (s Status) Guard() guard.Status {
+	switch s {
+	case StatusOptimal:
+		return guard.StatusConverged
+	case StatusInfeasible:
+		return guard.StatusInfeasible
+	case StatusUnbounded:
+		return guard.StatusUnbounded
+	case StatusBudget:
+		return guard.StatusMaxIter
+	default:
+		return guard.StatusOK
+	}
+}
+
 // RelaxStatus is what a node relaxation reports.
 type RelaxStatus int
 
@@ -139,12 +160,39 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
-// Solve runs best-first branch and bound. n is the number of variables,
-// intVars the indices required integral, [lo, hi] the root box (entries may
-// be ±Inf for continuous variables; integer variables should be given
-// finite bounds or acquire them through the relaxation's constraints).
+// Problem is the typed MINLP: the root box, the integrality marks, and the
+// caller-supplied convex node relaxation. It mirrors the vector part of the
+// internal/prob IR (bounds + integer marks), which is what produces these
+// values in the lowered pipeline; the relaxation closure carries whatever
+// convex surrogate the lowering chose.
+type Problem struct {
+	// NumVars is the variable count; Lo and Hi must have exactly this
+	// length (entries may be ±Inf for continuous variables; integer
+	// variables should be given finite bounds or acquire them through the
+	// relaxation's constraints).
+	NumVars int
+	// Integer lists the indices required integral.
+	Integer []int
+	Lo, Hi  []float64
+	// Relax solves the continuous relaxation on a node box.
+	Relax RelaxSolver
+}
+
+// Solve runs best-first branch and bound over the positional arguments.
+//
+// Deprecated: use SolveProblem with a typed Problem; this wrapper survives
+// for compatibility with pre-IR call sites.
 func Solve(n int, intVars []int, lo, hi []float64, relax RelaxSolver, o Options) (*Result, error) {
+	return SolveProblem(&Problem{NumVars: n, Integer: intVars, Lo: lo, Hi: hi, Relax: relax}, o)
+}
+
+// SolveProblem runs best-first branch and bound on the typed problem.
+func SolveProblem(p *Problem, o Options) (*Result, error) {
 	o = o.withDefaults()
+	n, intVars, lo, hi, relax := p.NumVars, p.Integer, p.Lo, p.Hi, p.Relax
+	if relax == nil {
+		return nil, fmt.Errorf("minlp: nil relaxation solver")
+	}
 	if len(lo) != n || len(hi) != n {
 		return nil, fmt.Errorf("minlp: bounds length %d/%d for n=%d", len(lo), len(hi), n)
 	}
@@ -347,7 +395,7 @@ func SolveMILP(m *MILP, o Options) (*Result, error) {
 			return nil, 0, RelaxUnbounded, nil
 		}
 	}
-	return Solve(n, m.Integer, rootLo, rootHi, relax, o)
+	return SolveProblem(&Problem{NumVars: n, Integer: m.Integer, Lo: rootLo, Hi: rootHi, Relax: relax}, o)
 }
 
 func boundAt(bs []float64, j int, def float64) float64 {

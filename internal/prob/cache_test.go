@@ -1,0 +1,206 @@
+package prob_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/prob"
+)
+
+// knapsackIR builds the binary knapsack used throughout the cache tests;
+// rates parameterizes the objective so content can change under a fixed
+// shape.
+func knapsackIR(rates []float64) *prob.Problem {
+	return &prob.Problem{
+		NumVars: 3,
+		Obj:     prob.Objective{Maximize: true, Lin: rates},
+		Hi:      []float64{1, 1, 1},
+		Integer: []int{0, 1, 2},
+		Lin:     []prob.LinCon{{Coeffs: []float64{3, 4, 2}, Sense: prob.LE, RHS: 6}},
+	}
+}
+
+func TestFingerprintShapeContentContract(t *testing.T) {
+	base := knapsackIR([]float64{10, 13, 7}).Fingerprint()
+
+	// Identical problems hash identically at both precisions.
+	if again := knapsackIR([]float64{10, 13, 7}).Fingerprint(); again != base {
+		t.Fatalf("identical problems diverge: %+v vs %+v", base, again)
+	}
+
+	// A coefficient change preserves Shape and moves Content.
+	coeff := knapsackIR([]float64{10, 13, 8}).Fingerprint()
+	if coeff.Shape != base.Shape {
+		t.Fatal("coefficient change moved the Shape hash")
+	}
+	if coeff.Content == base.Content {
+		t.Fatal("coefficient change left the Content hash unchanged")
+	}
+
+	// Structural edits move the Shape hash.
+	structural := map[string]*prob.Problem{
+		"extra row": func() *prob.Problem {
+			p := knapsackIR([]float64{10, 13, 7})
+			p.Lin = append(p.Lin, prob.LinCon{Coeffs: []float64{1, 0, 0}, Sense: prob.LE, RHS: 1})
+			return p
+		}(),
+		"sense flip": func() *prob.Problem {
+			p := knapsackIR([]float64{10, 13, 7})
+			p.Lin[0].Sense = prob.GE
+			return p
+		}(),
+		"integrality dropped": func() *prob.Problem {
+			p := knapsackIR([]float64{10, 13, 7})
+			p.Integer = nil
+			return p
+		}(),
+		"maximize flipped": func() *prob.Problem {
+			p := knapsackIR([]float64{10, 13, 7})
+			p.Obj.Maximize = false
+			return p
+		}(),
+		"bound kind": func() *prob.Problem {
+			p := knapsackIR([]float64{10, 13, 7})
+			p.Hi[2] = math.Inf(1) // finite → infinite flips the boundKind word
+			return p
+		}(),
+	}
+	for name, p := range structural {
+		if fp := p.Fingerprint(); fp.Shape == base.Shape {
+			t.Errorf("%s: Shape hash unchanged", name)
+		}
+	}
+
+	// A bound *value* change (same finiteness pattern) is content-only: the
+	// lp standard-form conversion branches on finiteness, not magnitude.
+	p := knapsackIR([]float64{10, 13, 7})
+	p.Hi[2] = 2
+	if fp := p.Fingerprint(); fp.Shape != base.Shape || fp.Content == base.Content {
+		t.Error("finite bound value change should move Content only")
+	}
+}
+
+// TestCacheHitOnIdenticalContent pins the first leg of the cache contract:
+// equal Shape and Content reuse the compiled backend form verbatim.
+func TestCacheHitOnIdenticalContent(t *testing.T) {
+	cache := prob.NewCache()
+	first, err := prob.Solve(knapsackIR([]float64{10, 13, 7}), prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first solve reported a cache hit")
+	}
+	second, err := prob.Solve(knapsackIR([]float64{10, 13, 7}), prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical re-solve missed the cache")
+	}
+	if second.Objective != first.Objective || second.Status != first.Status {
+		t.Fatalf("cached solve diverged: %+v vs %+v", second, first)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestCacheWarmStartOnShapeMatch pins the second leg: same Shape with new
+// coefficients re-lowers but seeds the solve from the previous solution. For
+// the minlp backend that seed is the incumbent, which Solve must verify
+// feasible against the *new* instance before trusting it.
+func TestCacheWarmStartOnShapeMatch(t *testing.T) {
+	cache := prob.NewCache()
+	if _, err := prob.Solve(knapsackIR([]float64{10, 13, 7}), prob.Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, perturbed objective: the previous optimum (0,1,1) is still
+	// feasible (constraints unchanged), so it must seed branch and bound.
+	res, err := prob.Solve(knapsackIR([]float64{10, 14, 7}), prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("perturbed problem reported a verbatim cache hit")
+	}
+	if !res.WarmStarted {
+		t.Fatal("same-shape re-solve was not warm-started")
+	}
+	if res.Status != guard.StatusConverged || math.Abs(res.Objective-21) > 1e-9 {
+		t.Fatalf("warm-started solve: status %v obj %g, want Converged 21", res.Status, res.Objective)
+	}
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses != 2 || st.WarmStarts != 1 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses / 1 warm start", st)
+	}
+}
+
+// TestCacheInfeasibleIncumbentRejected: when the constraint set tightens so
+// the cached solution is no longer feasible, it must NOT seed the solve (an
+// infeasible incumbent would prune the true optimum).
+func TestCacheInfeasibleIncumbentRejected(t *testing.T) {
+	cache := prob.NewCache()
+	if _, err := prob.Solve(knapsackIR([]float64{10, 13, 7}), prob.Options{Cache: cache}); err != nil {
+		t.Fatal(err) // optimum (0,1,1), weight 6
+	}
+	tight := knapsackIR([]float64{10, 13, 7})
+	tight.Lin[0].RHS = 3 // weight cap 3: (0,1,1) now violates the row
+	res, err := prob.Solve(tight, prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarted {
+		t.Fatal("infeasible cached incumbent seeded the solve")
+	}
+	if res.Status != guard.StatusConverged || math.Abs(res.Objective-10) > 1e-9 {
+		t.Fatalf("tightened solve: status %v obj %g, want Converged 10", res.Status, res.Objective)
+	}
+}
+
+// TestCacheSDPWarmStart covers the matrix-variable arm: a same-shape
+// trace-min re-solve seeds ADMM from the previous iterate.
+func TestCacheSDPWarmStart(t *testing.T) {
+	cache := prob.NewCache()
+	rs1 := mustMat(t, [][]float64{{2, 1}, {1, 2}})
+	rs2 := mustMat(t, [][]float64{{2, 0.5}, {0.5, 2}})
+	rmp1, err := prob.NewDiagLowRankRMP(rs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prob.Solve(rmp1, prob.Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	rmp2, err := prob.NewDiagLowRankRMP(rs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prob.Solve(rmp2, prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmStarted {
+		t.Fatal("same-shape SDP was not warm-started")
+	}
+	if math.Abs(res.XMat.At(0, 1)-0.5) > 1e-4 {
+		t.Fatalf("warm-started Rc off-diagonal = %g, want 0.5", res.XMat.At(0, 1))
+	}
+}
+
+// TestNilCacheIsNoop: Solve with no cache behaves identically and the
+// nil-safe Cache methods never panic.
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *prob.Cache
+	if st := c.Stats(); st != (prob.CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	res, err := prob.Solve(knapsackIR([]float64{10, 13, 7}), prob.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || res.WarmStarted {
+		t.Fatalf("cacheless solve claims reuse: %+v", res)
+	}
+}

@@ -1,0 +1,205 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/mat"
+	"repro/internal/minlp"
+	"repro/internal/qp"
+	"repro/internal/sdp"
+)
+
+// This file compiles fully lowered Problems into the concrete backend
+// forms. Compilation is mechanical — no relaxation happens here — and is
+// deliberately bit-faithful: a Problem built from a formerly hand-assembled
+// lp/sdp/qp problem compiles to an element-identical structure, which the
+// golden tests in golden_test.go pin.
+
+// LP compiles a continuous, purely linear Problem into the lp backend's
+// natural form. Maximize objectives are negated into minimization; the
+// caller owns the sign flip of the reported objective (Solve does this).
+func (p *Problem) LP() (*lp.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cl := p.Classify(); cl != ClassLP {
+		return nil, fmt.Errorf("%w: cannot compile %v to LP (lower it first)", ErrBadProblem, cl)
+	}
+	out := &lp.Problem{
+		NumVars:   p.NumVars,
+		Objective: objVector(p.Obj),
+		Lo:        p.Lo,
+		Hi:        p.Hi,
+	}
+	for _, c := range p.Lin {
+		out.Constraints = append(out.Constraints, lp.Constraint{
+			Coeffs: c.Coeffs,
+			Sense:  lpSense(c.Sense),
+			RHS:    c.RHS,
+		})
+	}
+	return out, nil
+}
+
+// MILP compiles an integral, purely linear Problem into the minlp backend's
+// MILP form.
+func (p *Problem) MILP() (*minlp.MILP, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cl := p.Classify(); cl != ClassMILP && cl != ClassLP {
+		return nil, fmt.Errorf("%w: cannot compile %v to MILP (lower it first)", ErrBadProblem, cl)
+	}
+	relaxed := p.Clone()
+	relaxed.Integer = nil
+	core, err := relaxed.LP()
+	if err != nil {
+		return nil, err
+	}
+	return &minlp.MILP{LP: *core, Integer: append([]int(nil), p.Integer...)}, nil
+}
+
+// QP compiles a continuous QCQP into the qp backend's barrier form:
+// the quadratic objective maps onto F0, quadratic LE rows onto Ineq,
+// linear LE/GE rows onto affine Ineq members, and linear EQ rows onto the
+// stacked equality system A x = B. Box bounds become affine inequality
+// rows (the barrier has no native bound handling). Maximize objectives are
+// negated into minimization.
+func (p *Problem) QP() (*qp.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Matrix != nil || len(p.Integer) > 0 || len(p.Bilin) > 0 {
+		return nil, fmt.Errorf("%w: cannot compile %v to QP (lower it first)", ErrBadProblem, p.Classify())
+	}
+	n := p.NumVars
+	out := &qp.Problem{F0: qp.Quad{P: p.Obj.Quad, Q: objVector(p.Obj), R: p.Obj.Const}}
+	if p.Obj.Maximize {
+		out.F0.R = -p.Obj.Const
+		if p.Obj.Quad != nil {
+			out.F0.P = p.Obj.Quad.Clone().Scale(-1)
+		}
+	}
+	var eqRows [][]float64
+	var eqRHS []float64
+	addIneq := func(coeffs []float64, rhs float64) {
+		// a·x <= b  ⇒  a·x - b <= 0.
+		q := make([]float64, n)
+		copy(q, coeffs)
+		out.Ineq = append(out.Ineq, qp.Quad{Q: q, R: -rhs})
+	}
+	for _, c := range p.Lin {
+		switch c.Sense {
+		case LE:
+			addIneq(c.Coeffs, c.RHS)
+		case GE:
+			neg := make([]float64, n)
+			for j, v := range c.Coeffs {
+				neg[j] = -v
+			}
+			addIneq(neg, -c.RHS)
+		case EQ:
+			row := make([]float64, n)
+			copy(row, c.Coeffs)
+			eqRows = append(eqRows, row)
+			eqRHS = append(eqRHS, c.RHS)
+		}
+	}
+	for _, c := range p.Quad {
+		if c.Sense == EQ {
+			return nil, fmt.Errorf("%w: quadratic equalities are not barrier-representable (lift them instead)", ErrBadProblem)
+		}
+		out.Ineq = append(out.Ineq, qp.Quad{P: c.P, Q: c.Q, R: c.R})
+	}
+	// Bounds follow the IR convention uniformly (nil Lo ⇒ 0, nil Hi ⇒ +Inf):
+	// a genuinely free variable needs an explicit ±Inf bound.
+	for j := 0; j < n; j++ {
+		lo, hi := p.Bound(j)
+		if !math.IsInf(lo, -1) {
+			row := make([]float64, n)
+			row[j] = -1
+			addIneq(row, -lo)
+		}
+		if !math.IsInf(hi, 1) {
+			row := make([]float64, n)
+			row[j] = 1
+			addIneq(row, hi)
+		}
+	}
+	if len(eqRows) > 0 {
+		a, err := mat.FromRows(eqRows)
+		if err != nil {
+			return nil, fmt.Errorf("prob: equality system: %w", err)
+		}
+		out.A = a
+		out.B = eqRHS
+	}
+	return out, nil
+}
+
+// SDP compiles a standard-form matrix Problem (MatrixObjInner) into the sdp
+// backend's shape. Rank and trace objectives must be lowered first
+// (TraceSurrogate, ToSDP).
+func (p *Problem) SDP() (*sdp.Problem, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Matrix == nil || p.Matrix.Obj != MatrixObjInner {
+		return nil, fmt.Errorf("%w: cannot compile %v to SDP (apply TraceSurrogate/ToSDP first)", ErrBadProblem, p.Classify())
+	}
+	if !p.Matrix.PSD {
+		return nil, fmt.Errorf("%w: the sdp backend requires the PSD cone", ErrBadProblem)
+	}
+	return &sdp.Problem{C: p.Matrix.C, A: p.Matrix.A, B: p.Matrix.B}, nil
+}
+
+// objVector returns the minimize-normalized linear objective.
+func objVector(o Objective) []float64 {
+	if !o.Maximize {
+		return o.Lin
+	}
+	out := make([]float64, len(o.Lin))
+	for j, v := range o.Lin {
+		out[j] = -v
+	}
+	return out
+}
+
+func lpSense(s Sense) lp.Sense {
+	switch s {
+	case LE:
+		return lp.LE
+	case EQ:
+		return lp.EQ
+	default:
+		return lp.GE
+	}
+}
+
+// NewDiagLowRankRMP states the paper's Eq. 8 rank-minimization problem for
+// the diagonal-plus-low-rank split Rs = Rc + Rn (Rc ⪰ 0 and low rank, Rn
+// diagonal) as a matrix-block Problem:
+//
+//	min rank(Rc)  s.t.  (Rc)ᵢⱼ = (Rs)ᵢⱼ for all i < j,  Rc ⪰ 0.
+//
+// The unconstrained diagonal Rn is already eliminated here — the equality
+// Rc + Rn = Rs with Rn free on the diagonal is exactly "the off-diagonal of
+// Rc equals the off-diagonal of Rs" — so the RMP, its TMP surrogate
+// (TraceSurrogate), and the standard-form SDP (ToSDP) all share one
+// constraint set, and Rn is read off the diagonal residual after recovery.
+func NewDiagLowRankRMP(rs *mat.Matrix) (*Problem, error) {
+	n := rs.Rows
+	if rs.Cols != n {
+		return nil, fmt.Errorf("%w: Rs is %dx%d, want square", ErrBadProblem, rs.Rows, rs.Cols)
+	}
+	blk := &MatrixBlock{Dim: n, Obj: MatrixObjRank, PSD: true}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			blk.A = append(blk.A, sdp.BasisElem(n, i, j))
+			blk.B = append(blk.B, rs.At(i, j))
+		}
+	}
+	return &Problem{Matrix: blk}, nil
+}

@@ -1,0 +1,408 @@
+package prob
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/guard"
+	"repro/internal/lp"
+	"repro/internal/mat"
+	"repro/internal/minlp"
+	"repro/internal/qp"
+	"repro/internal/sdp"
+)
+
+// Options configures Solve. The zero value is usable.
+type Options struct {
+	// Budget bounds whichever backend runs. It is threaded uniformly: simplex
+	// pivots (lp), branch-and-bound nodes and node LPs (minlp), Newton steps
+	// (qp), and ADMM iterations (sdp) all check the same budget.
+	Budget guard.Budget
+
+	// MILP knobs (forwarded to minlp.Options; zero fields take its defaults).
+	MaxNodes int
+	IntTol   float64
+	GapTol   float64
+	// Incumbent warm-starts branch and bound with a known feasible point in
+	// the problem's own variable space. Solve verifies feasibility against
+	// the lowered problem and computes the backend-sense objective itself,
+	// so callers never hand-negate maximize objectives.
+	Incumbent []float64
+
+	// QP is the barrier configuration; its Budget field is overwritten with
+	// Options.Budget. X0, when non-nil, is the strictly feasible barrier
+	// start (otherwise phase 1 or a cached warm start supplies one).
+	QP qp.Options
+	X0 []float64
+
+	// SDP is the ADMM configuration; its Budget field is overwritten with
+	// Options.Budget, and its X0 field — when nil — is filled from the
+	// cache's warm start.
+	SDP sdp.Options
+
+	// Cache, when non-nil, memoizes lowered forms and warm starts across
+	// solves keyed by structural fingerprint (see Cache).
+	Cache *Cache
+}
+
+// Result is the unified solver output.
+type Result struct {
+	// X is the solution in the space of the problem handed to Solve (vector
+	// problems), after the recovery trail has lifted the backend solution
+	// back up the pass chain. Nil when the backend found no point.
+	X []float64
+	// XMat is the matrix solution (matrix problems). Nil for vector problems.
+	XMat *mat.Matrix
+	// Objective is the objective value in the problem's own sense: for
+	// vector problems it is re-evaluated from the IR at the lifted X (so a
+	// maximize problem reports the maximize value, constants included); for
+	// matrix problems it is the backend's ⟨C, X⟩. When X is nil it carries
+	// the backend's sentinel (±Inf) — check Status first.
+	Objective float64
+	// Status is the typed termination cause mapped onto the shared guard
+	// taxonomy through the backends' canonical Guard() mappings.
+	Status guard.Status
+	// Backend names the solver that ran: "lp", "minlp", "qp", or "sdp".
+	Backend string
+	// Trail is the per-pass provenance: the lowering passes applied in
+	// order, then "backend:<name>".
+	Trail []string
+	// CacheHit reports that the compiled backend form was reused verbatim;
+	// WarmStarted that a previous solution seeded this solve.
+	CacheHit    bool
+	WarmStarted bool
+
+	// Backend-specific results, populated for the backend that ran. These
+	// carry the raw (pre-lift, minimize-sense) numbers — bounds, node
+	// counts, residuals, dual certificates.
+	LP   *lp.Solution
+	MILP *minlp.Result
+	QP   *qp.Result
+	SDP  *sdp.Result
+}
+
+// loweredForm is a compiled, dispatch-ready problem: the implicit lowering
+// passes Solve applied, the final IR, and the backend form it compiled to.
+type loweredForm struct {
+	backend string
+	trail   Trail
+	final   *Problem
+	lp      *lp.Problem
+	milp    *minlp.MILP
+	qp      *qp.Problem
+	sdp     *sdp.Problem
+}
+
+// Solve dispatches the problem to the lp/qp/sdp/minlp backend selected by
+// inspecting its constraint blocks, applying the convex lowering passes that
+// need no modeling decision first:
+//
+//	RMP  → TraceSurrogate → ToSDP → sdp     (Eq. 8 → 9 → 10)
+//	TMP  → ToSDP → sdp                      (Eq. 9 → 10)
+//	SDP  → sdp                              (Eq. 10)
+//	bilinear blocks → McCormick, then:
+//	MILP → minlp        QCQP → qp        LP → lp
+//
+// A MINLP (integrality plus quadratics) has no backend: the caller must
+// choose the Eq. 7 step explicitly (RelaxIntegrality) because dropping
+// integrality changes what "solution" means. Solutions are lifted back to
+// the input space through the recovery trail; Result.Trail records the
+// passes. Errors from interrupted runs are *guard.Error values returned
+// alongside a usable partial Result, mirroring the backends.
+func Solve(p *Problem, o Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var fp Fingerprint
+	var ent *cacheEntry
+	if o.Cache != nil {
+		fp = p.Fingerprint()
+		ent = o.Cache.lookup(fp.Shape)
+	}
+	var low *loweredForm
+	hit := false
+	if ent != nil && ent.content == fp.Content && ent.low != nil {
+		low, hit = ent.low, true
+	} else {
+		var err error
+		low, err = lowerForBackend(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := dispatch(low, o, ent)
+	if res == nil {
+		o.Cache.record(hit, false)
+		return nil, err
+	}
+	res.CacheHit = hit
+	res.Trail = append(low.trail.Passes(), "backend:"+low.backend)
+	o.Cache.record(hit, res.WarmStarted)
+
+	// Capture the backend-space solution before lifting mutates X in place.
+	backendX := cloneF(res.X)
+	backendXMat := res.XMat
+	low.trail.Lift(res)
+	if p.Matrix == nil && res.X != nil {
+		// Report the objective of the problem as stated (own sense,
+		// constants included) at the lifted point; the raw backend value
+		// survives in the backend-specific result.
+		res.Objective = p.EvalObjective(res.X)
+	}
+	if (backendX != nil || backendXMat != nil) && res.Status != guard.StatusDiverged {
+		o.Cache.store(fp, low, backendX, backendXMat)
+	}
+	return res, err
+}
+
+// lowerForBackend applies the implicit (decision-free) lowering passes and
+// compiles the result for its backend.
+func lowerForBackend(p *Problem) (*loweredForm, error) {
+	var passes []Pass
+	if p.Matrix != nil {
+		switch p.Matrix.Obj {
+		case MatrixObjRank:
+			passes = append(passes, TraceSurrogate, ToSDP)
+		case MatrixObjTrace:
+			passes = append(passes, ToSDP)
+		}
+	} else if len(p.Bilin) > 0 {
+		passes = append(passes, McCormick)
+	}
+	q, trail, err := Lower(p, passes...)
+	if err != nil {
+		return nil, err
+	}
+	lf := &loweredForm{trail: trail, final: q}
+	switch cl := q.Classify(); cl {
+	case ClassSDP:
+		lf.backend = "sdp"
+		lf.sdp, err = q.SDP()
+	case ClassMILP:
+		lf.backend = "minlp"
+		lf.milp, err = q.MILP()
+	case ClassQCQP:
+		lf.backend = "qp"
+		lf.qp, err = q.QP()
+	case ClassLP:
+		lf.backend = "lp"
+		lf.lp, err = q.LP()
+	default:
+		return nil, fmt.Errorf("%w: no backend for %v — apply RelaxIntegrality (Eq. 7) or LiftRank (Eq. 8) first", ErrBadProblem, cl)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return lf, nil
+}
+
+// dispatch runs the backend for the lowered form. The returned Result holds
+// the backend-space solution (X cloned so recovery lifts never alias the raw
+// backend result); err mirrors the backend's error contract.
+func dispatch(low *loweredForm, o Options, ent *cacheEntry) (*Result, error) {
+	switch low.backend {
+	case "lp":
+		sol, err := lp.SolveBudget(low.lp, o.Budget)
+		if sol == nil {
+			return nil, err
+		}
+		res := &Result{Backend: "lp", LP: sol, X: cloneF(sol.X), Objective: sol.Objective}
+		res.Status = sol.Guard
+		if res.Status == guard.StatusOK {
+			res.Status = sol.Status.Guard()
+		}
+		return res, err
+
+	case "minlp":
+		mo := minlp.Options{
+			MaxNodes: o.MaxNodes,
+			IntTol:   o.IntTol,
+			GapTol:   o.GapTol,
+			Budget:   o.Budget,
+		}
+		warm := false
+		// Candidate incumbents: the caller's, then the cache's previous
+		// solution. Each must be feasible for the *lowered* problem being
+		// solved (an infeasible incumbent would prune the true optimum);
+		// the backend-sense objective is computed here, never by callers.
+		best := math.Inf(1)
+		consider := func(x []float64, fromCache bool) {
+			if x == nil || !low.final.feasible(x, incumbentTol) {
+				return
+			}
+			if v := backendLinObj(low.final, x); v < best {
+				best = v
+				mo.Incumbent = cloneF(x)
+				mo.IncumbentObj = v
+				warm = fromCache
+			}
+		}
+		consider(o.Incumbent, false)
+		if ent != nil {
+			consider(ent.x, true)
+		}
+		r, err := minlp.SolveMILP(low.milp, mo)
+		if r == nil {
+			return nil, err
+		}
+		res := &Result{Backend: "minlp", MILP: r, X: cloneF(r.X), Objective: r.Objective, WarmStarted: warm}
+		res.Status = r.Guard
+		if res.Status == guard.StatusOK {
+			res.Status = r.Status.Guard()
+		}
+		return res, err
+
+	case "qp":
+		qo := o.QP
+		qo.Budget = o.Budget
+		x0 := o.X0
+		warm := false
+		if x0 == nil && ent != nil && qpStrictlyFeasible(low.qp, ent.x) {
+			x0 = cloneF(ent.x)
+			warm = true
+		}
+		r, err := qp.Solve(low.qp, x0, qo)
+		if r == nil {
+			return nil, err
+		}
+		res := &Result{Backend: "qp", QP: r, X: cloneF(r.X), Objective: r.Objective, WarmStarted: warm}
+		res.Status = r.Status
+		if res.Status == guard.StatusOK {
+			res.Status = guard.StatusConverged
+		}
+		return res, err
+
+	default: // "sdp"
+		so := o.SDP
+		so.Budget = o.Budget
+		warm := false
+		if so.X0 == nil && ent != nil && ent.xMat != nil {
+			so.X0 = ent.xMat
+			warm = true
+		}
+		r, err := sdp.Solve(low.sdp, so)
+		if r == nil {
+			return nil, err
+		}
+		res := &Result{Backend: "sdp", SDP: r, XMat: r.X, Objective: r.Objective, WarmStarted: warm}
+		res.Status = r.Status
+		if res.Status == guard.StatusOK {
+			res.Status = guard.StatusConverged
+		}
+		return res, err
+	}
+}
+
+// incumbentTol is the feasibility slack (relative to 1+|rhs|) accepted when
+// verifying a warm-start incumbent against the lowered problem.
+const incumbentTol = 1e-6
+
+// EvalObjective returns the vector objective ½xᵀQx + cᵀx + const at x, in
+// the problem's own sense (no maximize negation).
+func (p *Problem) EvalObjective(x []float64) float64 {
+	return p.Obj.Const + evalQuadForm(p.Obj.Quad, p.Obj.Lin, x)
+}
+
+// backendLinObj returns the minimize-sense linear objective the backend
+// optimizes (maximize problems are negated, constants dropped) — the units
+// minlp incumbent pruning compares node bounds against.
+func backendLinObj(p *Problem, x []float64) float64 {
+	var v float64
+	for j, c := range p.Obj.Lin {
+		//lint:ignore dimcheck feasible() has already checked len(x) == NumVars >= len(Obj.Lin)
+		v += c * x[j]
+	}
+	if p.Obj.Maximize {
+		v = -v
+	}
+	return v
+}
+
+// feasible reports whether x satisfies the vector problem's bounds,
+// integrality marks, and constraint rows to within tol (relative to 1+|rhs|).
+func (p *Problem) feasible(x []float64, tol float64) bool {
+	if p.Matrix != nil || len(x) != p.NumVars || !guard.AllFinite(x) {
+		return false
+	}
+	for j := range x {
+		lo, hi := p.Bound(j)
+		if x[j] < lo-tol || x[j] > hi+tol {
+			return false
+		}
+	}
+	for _, j := range p.Integer {
+		if math.Abs(x[j]-math.Round(x[j])) > tol {
+			return false
+		}
+	}
+	rowOK := func(v, rhs float64, s Sense) bool {
+		slack := tol * (1 + math.Abs(rhs))
+		switch s {
+		case LE:
+			return v <= rhs+slack
+		case GE:
+			return v >= rhs-slack
+		default:
+			return math.Abs(v-rhs) <= slack
+		}
+	}
+	for _, c := range p.Lin {
+		var v float64
+		for j, a := range c.Coeffs {
+			v += a * x[j]
+		}
+		if !rowOK(v, c.RHS, c.Sense) {
+			return false
+		}
+	}
+	for _, c := range p.Quad {
+		v := c.R + evalQuadForm(c.P, c.Q, x)
+		s := c.Sense
+		if s == 0 {
+			s = LE
+		}
+		if !rowOK(v, 0, s) {
+			return false
+		}
+	}
+	for _, b := range p.Bilin {
+		if math.Abs(x[b.W]-x[b.X]*x[b.Y]) > tol*(1+math.Abs(x[b.W])) {
+			return false
+		}
+	}
+	return true
+}
+
+// qpStrictlyFeasible reports whether x is a valid barrier start for the
+// compiled QP: strictly inside every inequality and on the equality
+// manifold (the Newton/KKT step preserves Ax=b only from a point that
+// satisfies it).
+func qpStrictlyFeasible(q *qp.Problem, x []float64) bool {
+	if x == nil || !guard.AllFinite(x) {
+		return false
+	}
+	n := len(q.F0.Q)
+	if n == 0 && q.F0.P != nil {
+		n = q.F0.P.Rows
+	}
+	if len(x) != n {
+		return false
+	}
+	for i := range q.Ineq {
+		if q.Ineq[i].Eval(x) >= 0 {
+			return false
+		}
+	}
+	if q.A != nil && q.A.Rows > 0 {
+		ax, err := q.A.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i, v := range ax {
+			if math.Abs(v-q.B[i]) > 1e-8*(1+math.Abs(q.B[i])) {
+				return false
+			}
+		}
+	}
+	return true
+}

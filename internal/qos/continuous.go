@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/lp"
 	"repro/internal/minlp"
 	"repro/internal/numerics"
+	"repro/internal/prob"
 )
 
 // This file solves the RRA MINLP in the paper's literal form — "optimally
@@ -53,13 +53,13 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 	pi := func(u, b int) int { return nPairs + u*nRB + b }
 	ri := func(u, b int) int { return 2*nPairs + u*nRB + b }
 
-	prob := lp.Problem{
-		NumVars:   total,
-		Objective: make([]float64, total),
-		Lo:        make([]float64, total),
-		Hi:        make([]float64, total),
+	ir := &prob.Problem{
+		NumVars: total,
+		Obj:     prob.Objective{Maximize: true, Lin: make([]float64, total)},
+		Lo:      make([]float64, total),
+		Hi:      make([]float64, total),
+		Integer: make([]int, 0, nPairs),
 	}
-	ints := make([]int, 0, nPairs)
 	budget := p.PowerBudgetW
 
 	rate := func(u, b int, pw float64) float64 { return p.Inst.RateBps(u, b, pw) }
@@ -80,35 +80,35 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 
 	for u := 0; u < nU; u++ {
 		for b := 0; b < nRB; b++ {
-			prob.Hi[xi(u, b)] = 1
-			prob.Hi[pi(u, b)] = budget
+			ir.Hi[xi(u, b)] = 1
+			ir.Hi[pi(u, b)] = budget
 			rmax := rate(u, b, budget)
-			prob.Hi[ri(u, b)] = rmax
-			prob.Objective[ri(u, b)] = -1 // maximize Σ r
-			ints = append(ints, xi(u, b))
+			ir.Hi[ri(u, b)] = rmax
+			ir.Obj.Lin[ri(u, b)] = 1 // maximize Σ r
+			ir.Integer = append(ir.Integer, xi(u, b))
 
 			pmin := minPower(u, b)
 			if pmin > budget {
 				// The SNR floor is unreachable: forbid the pairing.
-				prob.Hi[xi(u, b)] = 0
-				prob.Hi[pi(u, b)] = 0
-				prob.Hi[ri(u, b)] = 0
+				ir.Hi[xi(u, b)] = 0
+				ir.Hi[pi(u, b)] = 0
+				ir.Hi[ri(u, b)] = 0
 				continue
 			}
 			// Linking: p <= budget·x, r <= rmax·x, p >= pmin·x.
 			rowP := make([]float64, total)
 			rowP[pi(u, b)] = 1
 			rowP[xi(u, b)] = -budget
-			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: rowP, Sense: lp.LE, RHS: 0})
+			ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: rowP, Sense: prob.LE, RHS: 0})
 			rowR := make([]float64, total)
 			rowR[ri(u, b)] = 1
 			rowR[xi(u, b)] = -rmax
-			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: rowR, Sense: lp.LE, RHS: 0})
+			ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: rowR, Sense: prob.LE, RHS: 0})
 			if pmin > 0 {
 				rowM := make([]float64, total)
 				rowM[pi(u, b)] = 1
 				rowM[xi(u, b)] = -pmin
-				prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: rowM, Sense: lp.GE, RHS: 0})
+				ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: rowM, Sense: prob.GE, RHS: 0})
 			}
 			// Tangent cuts r <= rate(pk) + slope(pk)·(p - pk).
 			for k := 0; k < numTangents; k++ {
@@ -117,7 +117,7 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 				row[ri(u, b)] = 1
 				row[pi(u, b)] = -rateSlope(u, b, pk)
 				rhs := rate(u, b, pk) - rateSlope(u, b, pk)*pk
-				prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: rhs})
+				ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: row, Sense: prob.LE, RHS: rhs})
 			}
 		}
 	}
@@ -127,7 +127,7 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 		for u := 0; u < nU; u++ {
 			row[xi(u, b)] = 1
 		}
-		prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+		ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: row, Sense: prob.LE, RHS: 1})
 	}
 	// Per-user power budget and QoS minimum (over relaxed rates).
 	for u := 0; u < nU; u++ {
@@ -137,27 +137,38 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 			rowP[pi(u, b)] = 1
 			rowR[ri(u, b)] = 1
 		}
-		prob.Constraints = append(prob.Constraints,
-			lp.Constraint{Coeffs: rowP, Sense: lp.LE, RHS: budget},
-			lp.Constraint{Coeffs: rowR, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps})
+		ir.Lin = append(ir.Lin,
+			prob.LinCon{Coeffs: rowP, Sense: prob.LE, RHS: budget},
+			prob.LinCon{Coeffs: rowR, Sense: prob.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps})
 	}
 
 	// Warm start from the discrete-grid solution when it is feasible: grid
 	// powers are admissible continuous powers, and the tangent envelope at
 	// those powers dominates the true rates, so the incumbent satisfies
-	// every constraint of the relaxed model.
-	if o.Incumbent == nil {
-		if inc, obj, ok := p.continuousIncumbent(total, xi, pi, ri, rate, minPower); ok {
-			o.Incumbent = inc
-			o.IncumbentObj = obj
+	// every constraint of the relaxed model (prob.Solve re-verifies and
+	// computes the backend objective).
+	incumbent := o.Incumbent
+	if incumbent == nil {
+		if inc, ok := p.continuousIncumbent(total, xi, pi, ri, rate, minPower); ok {
+			incumbent = inc
 		}
 	}
-	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	sol, err := prob.Solve(ir, prob.Options{
+		Budget:    o.Budget,
+		MaxNodes:  o.MaxNodes,
+		IntTol:    o.IntTol,
+		GapTol:    o.GapTol,
+		Incumbent: incumbent,
+	})
+	var res *minlp.Result
+	if sol != nil {
+		res = sol.MILP
+	}
 	if err != nil && !errors.Is(err, minlp.ErrBudget) {
 		return nil, fmt.Errorf("qos: continuous exact: %w", err)
 	}
 	out := &ContinuousResult{BnB: res}
-	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+	if res == nil || res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
 		return out, nil
 	}
 	alloc := NewAllocation(nRB)
@@ -179,30 +190,27 @@ func (p *Problem) SolveContinuousExact(numTangents int, o minlp.Options) (*Conti
 // continuous model's variables (rate variables set to the true rate, which
 // satisfies the tangent cuts since the envelope dominates it).
 func (p *Problem) continuousIncumbent(total int, xi, pi, ri func(int, int) int,
-	rate func(int, int, float64) float64, minPower func(int, int) float64) ([]float64, float64, bool) {
+	rate func(int, int, float64) float64, minPower func(int, int) float64) ([]float64, bool) {
 	alloc, err := p.SolveGreedy()
 	if err != nil {
-		return nil, 0, false
+		return nil, false
 	}
 	rep, err := p.Evaluate(alloc)
 	if err != nil || !rep.AllQoSMet {
-		return nil, 0, false
+		return nil, false
 	}
 	x := make([]float64, total)
-	var obj float64
 	for b, u := range alloc.UserOf {
 		if u < 0 {
 			continue
 		}
 		pw := alloc.PowerW[b]
 		if pw < minPower(u, b) {
-			return nil, 0, false
+			return nil, false
 		}
 		x[xi(u, b)] = 1
 		x[pi(u, b)] = pw
-		r := rate(u, b, pw)
-		x[ri(u, b)] = r
-		obj -= r
+		x[ri(u, b)] = rate(u, b, pw)
 	}
-	return x, obj, true
+	return x, true
 }

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/minlp"
+	"repro/internal/prob"
 	"repro/internal/rng"
 )
 
@@ -172,29 +172,28 @@ func (p *MultiRATProblem) EvaluateMulti(assign [][]int) (*MultiRATReport, error)
 	return rep, nil
 }
 
-// SolveMultiExact solves the multi-connectivity assignment MILP: like
-// SolveAssignExact but with Σ_r x[u][r] <= MaxConnectivity, so a user may
-// aggregate rates across several RATs.
-func (p *MultiRATProblem) SolveMultiExact(o minlp.Options) ([][]int, *minlp.Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
+// assignModel states the user-to-RAT assignment MILP as a prob.Problem over
+// the x[u][r] grid (idx(u,r) = u*nR + r): maximize total rate subject to a
+// per-user connectivity cap, per-user QoS minimum rate, and per-RAT slot
+// limits. The single-RAT (SolveAssignExact) and multi-connectivity
+// (SolveMultiExact) solvers share this builder and differ only in maxPerUser.
+func (p *MultiRATProblem) assignModel(maxPerUser float64) *prob.Problem {
 	nU, nR := len(p.Users), len(p.RATs)
 	n := nU * nR
 	idx := func(u, r int) int { return u*nR + r }
-	prob := lp.Problem{
-		NumVars:   n,
-		Objective: make([]float64, n),
-		Lo:        make([]float64, n),
-		Hi:        make([]float64, n),
+	ir := &prob.Problem{
+		NumVars: n,
+		Obj:     prob.Objective{Maximize: true, Lin: make([]float64, n)},
+		Lo:      make([]float64, n),
+		Hi:      make([]float64, n),
+		Integer: make([]int, n),
 	}
-	ints := make([]int, n)
 	for u := 0; u < nU; u++ {
 		for ri := 0; ri < nR; ri++ {
 			j := idx(u, ri)
-			prob.Objective[j] = -p.RateBps[u][ri]
-			prob.Hi[j] = 1
-			ints[j] = j
+			ir.Obj.Lin[j] = p.RateBps[u][ri]
+			ir.Hi[j] = 1
+			ir.Integer[j] = j
 		}
 	}
 	for u := 0; u < nU; u++ {
@@ -204,9 +203,9 @@ func (p *MultiRATProblem) SolveMultiExact(o minlp.Options) ([][]int, *minlp.Resu
 			row[idx(u, ri)] = 1
 			rate[idx(u, ri)] = p.RateBps[u][ri]
 		}
-		prob.Constraints = append(prob.Constraints,
-			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: float64(p.maxConn())},
-			lp.Constraint{Coeffs: rate, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
+		ir.Lin = append(ir.Lin,
+			prob.LinCon{Coeffs: row, Sense: prob.LE, RHS: maxPerUser},
+			prob.LinCon{Coeffs: rate, Sense: prob.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
 		)
 	}
 	for ri := 0; ri < nR; ri++ {
@@ -214,14 +213,45 @@ func (p *MultiRATProblem) SolveMultiExact(o minlp.Options) ([][]int, *minlp.Resu
 		for u := 0; u < nU; u++ {
 			row[idx(u, ri)] = 1
 		}
-		prob.Constraints = append(prob.Constraints,
-			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: float64(p.RATs[ri].Slots)})
+		ir.Lin = append(ir.Lin,
+			prob.LinCon{Coeffs: row, Sense: prob.LE, RHS: float64(p.RATs[ri].Slots)})
 	}
-	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	return ir
+}
+
+// solveAssignMILP lowers and solves an assignment IR through the registry.
+func solveAssignMILP(ir *prob.Problem, o minlp.Options, what string) (*minlp.Result, error) {
+	sol, err := prob.Solve(ir, prob.Options{
+		Budget:    o.Budget,
+		MaxNodes:  o.MaxNodes,
+		IntTol:    o.IntTol,
+		GapTol:    o.GapTol,
+		Incumbent: o.Incumbent,
+	})
+	var res *minlp.Result
+	if sol != nil {
+		res = sol.MILP
+	}
 	if err != nil && !errors.Is(err, minlp.ErrBudget) {
-		return nil, res, fmt.Errorf("qos: multi-connectivity exact: %w", err)
+		return res, fmt.Errorf("qos: %s exact: %w", what, err)
 	}
-	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+	return res, nil
+}
+
+// SolveMultiExact solves the multi-connectivity assignment MILP: like
+// SolveAssignExact but with Σ_r x[u][r] <= MaxConnectivity, so a user may
+// aggregate rates across several RATs.
+func (p *MultiRATProblem) SolveMultiExact(o minlp.Options) ([][]int, *minlp.Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	nU, nR := len(p.Users), len(p.RATs)
+	idx := func(u, r int) int { return u*nR + r }
+	res, err := solveAssignMILP(p.assignModel(float64(p.maxConn())), o, "multi-connectivity")
+	if err != nil {
+		return nil, res, err
+	}
+	if res == nil || res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
 		return nil, res, nil
 	}
 	assign := make([][]int, nU)
@@ -341,48 +371,12 @@ func (p *MultiRATProblem) SolveAssignExact(o minlp.Options) ([]int, *minlp.Resul
 		return nil, nil, err
 	}
 	nU, nR := len(p.Users), len(p.RATs)
-	n := nU * nR
 	idx := func(u, r int) int { return u*nR + r }
-	prob := lp.Problem{
-		NumVars:   n,
-		Objective: make([]float64, n),
-		Lo:        make([]float64, n),
-		Hi:        make([]float64, n),
+	res, err := solveAssignMILP(p.assignModel(1), o, "multi-RAT")
+	if err != nil {
+		return nil, res, err
 	}
-	ints := make([]int, n)
-	for u := 0; u < nU; u++ {
-		for ri := 0; ri < nR; ri++ {
-			j := idx(u, ri)
-			prob.Objective[j] = -p.RateBps[u][ri]
-			prob.Hi[j] = 1
-			ints[j] = j
-		}
-	}
-	for u := 0; u < nU; u++ {
-		row := make([]float64, n)
-		rate := make([]float64, n)
-		for ri := 0; ri < nR; ri++ {
-			row[idx(u, ri)] = 1
-			rate[idx(u, ri)] = p.RateBps[u][ri]
-		}
-		prob.Constraints = append(prob.Constraints,
-			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1},
-			lp.Constraint{Coeffs: rate, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
-		)
-	}
-	for ri := 0; ri < nR; ri++ {
-		row := make([]float64, n)
-		for u := 0; u < nU; u++ {
-			row[idx(u, ri)] = 1
-		}
-		prob.Constraints = append(prob.Constraints,
-			lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: float64(p.RATs[ri].Slots)})
-	}
-	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
-	if err != nil && !errors.Is(err, minlp.ErrBudget) {
-		return nil, res, fmt.Errorf("qos: multi-RAT exact: %w", err)
-	}
-	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+	if res == nil || res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
 		return nil, res, nil
 	}
 	assign := make([]int, nU)

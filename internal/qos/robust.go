@@ -8,6 +8,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/lp"
 	"repro/internal/minlp"
+	"repro/internal/prob"
 	"repro/internal/pso"
 	"repro/internal/rng"
 )
@@ -40,8 +41,21 @@ func (p *Problem) SolveRelaxed(b guard.Budget) (*Allocation, *RelaxedResult, err
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
-	cols, prob, _ := p.columnModel()
-	sol, err := lp.SolveBudget(&prob, b)
+	cols, ir := p.columnModel()
+	return p.solveRelaxedIR(cols, ir, b, nil)
+}
+
+// solveRelaxedIR runs the relaxed rung on an already-built column model. The
+// Eq. 7 move is the explicit prob.RelaxIntegrality pass; its Recovery is
+// deliberately dropped — its nearest-integer rounding is not what this rung
+// wants, since the deterministic largest-weight rounding plus power repair
+// below needs the fractional LP weights.
+func (p *Problem) solveRelaxedIR(cols []milpColumn, ir *prob.Problem, b guard.Budget, cache *prob.Cache) (*Allocation, *RelaxedResult, error) {
+	relaxed, _, err := prob.RelaxIntegrality(ir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qos: relaxed solve: %w", err)
+	}
+	res, err := prob.Solve(relaxed, prob.Options{Budget: b, Cache: cache})
 	if err != nil {
 		st := guard.StatusDiverged
 		if s, ok := guard.AsStatus(err); ok {
@@ -49,11 +63,13 @@ func (p *Problem) SolveRelaxed(b guard.Budget) (*Allocation, *RelaxedResult, err
 		}
 		return nil, &RelaxedResult{Guard: st}, fmt.Errorf("qos: relaxed solve: %w", err)
 	}
-	if sol.Status != lp.StatusOptimal {
-		return nil, &RelaxedResult{Guard: sol.Guard},
-			fmt.Errorf("qos: relaxed solve: LP %v", sol.Status)
+	if res.LP == nil || res.LP.Status != lp.StatusOptimal {
+		return nil, &RelaxedResult{Guard: res.Status},
+			fmt.Errorf("qos: relaxed solve: LP %v", res.LP.Status)
 	}
-	res := &RelaxedResult{Objective: -sol.Objective, Guard: sol.Guard}
+	// res.Objective is the IR's maximize-sense value at the LP optimum —
+	// bit-identical to the historical -sol.Objective sign correction.
+	rr := &RelaxedResult{Objective: res.Objective, Guard: res.Status}
 
 	// Rounding: per block, the column with the largest fractional weight
 	// (ties broken by column order — deterministic).
@@ -64,7 +80,7 @@ func (p *Problem) SolveRelaxed(b guard.Budget) (*Allocation, *RelaxedResult, err
 		bestCol[i] = -1
 	}
 	for i, c := range cols {
-		if w := sol.X[i]; w > bestW[c.rb]+1e-12 {
+		if w := res.X[i]; w > bestW[c.rb]+1e-12 {
 			bestW[c.rb] = w
 			bestCol[c.rb] = i
 		}
@@ -111,7 +127,7 @@ func (p *Problem) SolveRelaxed(b guard.Budget) (*Allocation, *RelaxedResult, err
 			alloc.PowerW[pk.rb] = 0
 		}
 	}
-	return alloc, res, nil
+	return alloc, rr, nil
 }
 
 // Rung names the ladder stages.
@@ -192,6 +208,11 @@ type RobustOptions struct {
 	// Seed drives the perturbed restarts (deterministic at any RCR_WORKERS;
 	// see internal/rng).
 	Seed uint64
+	// Cache, when non-nil, shares lowered-form and warm-start state across
+	// calls (batch RRA instances of the same shape reuse each other's
+	// compiled models and incumbents). When nil the ladder still builds a
+	// per-call cache so its own rungs share the column model's lowerings.
+	Cache *prob.Cache
 }
 
 func (o RobustOptions) withDefaults() RobustOptions {
@@ -217,6 +238,15 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 	o = o.withDefaults()
 	deg := &Degradation{}
 	mon := o.Budget.Start()
+	// One column model for the whole ladder: the exact and relaxed rungs
+	// solve the same IR (modulo the Eq. 7 integrality drop), and the shared
+	// fingerprint cache lets repeated same-shape solves — within this ladder
+	// or across batch calls via o.Cache — reuse lowered forms and warm starts.
+	cols, ir := p.columnModel()
+	cache := o.Cache
+	if cache == nil {
+		cache = prob.NewCache()
+	}
 
 	// score evaluates a rung's allocation; a nil report means unusable.
 	score := func(a *Allocation) *Report {
@@ -260,7 +290,7 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 
 	// Rung 1: exact branch and bound.
 	if !interrupted(RungExact) {
-		alloc, res, err := p.SolveExact(minlp.Options{MaxNodes: o.MaxNodes, Budget: o.Budget})
+		alloc, res, err := p.solveExactIR(cols, ir, minlp.Options{MaxNodes: o.MaxNodes, Budget: o.Budget}, cache)
 		rr := RungReport{Attempts: 1}
 		if res != nil {
 			rr.Status = res.Guard
@@ -279,7 +309,7 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 	// Rung 2: LP relaxation + deterministic rounding (the MILP → LP move of
 	// the paper's relaxed verifiers).
 	if !interrupted(RungRelaxed) {
-		alloc, res, err := p.SolveRelaxed(o.Budget)
+		alloc, res, err := p.solveRelaxedIR(cols, ir, o.Budget, cache)
 		rr := RungReport{Attempts: 1}
 		if res != nil {
 			rr.Status = res.Guard

@@ -6,8 +6,8 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/lp"
 	"repro/internal/minlp"
+	"repro/internal/prob"
 	"repro/internal/pso"
 )
 
@@ -134,23 +134,26 @@ func (p *Problem) milpColumns() []milpColumn {
 //	     Σ_{c of u} P_c x_c <= budget    (per-user power)
 //	     Σ_{c of u} rate_c x_c >= minRate(u)
 //
-// columnModel builds the column-selection MILP shared by the exact (BnB)
-// and relaxed (LP + rounding) solvers: the columns, the LP over them, and
-// the integrality list.
-func (p *Problem) columnModel() ([]milpColumn, lp.Problem, []int) {
+// columnModel states the column-selection RRA as a prob.Problem — the IR
+// whose MILP lowering is shared by the exact (BnB) and relaxed (LP +
+// rounding) solvers. The objective is the natural maximize over positive
+// rates; compilation negates it into the backends' minimize form, producing
+// a MILP element-identical to the historically hand-built one (pinned by
+// the golden tests).
+func (p *Problem) columnModel() ([]milpColumn, *prob.Problem) {
 	cols := p.milpColumns()
 	n := len(cols)
-	prob := lp.Problem{
-		NumVars:   n,
-		Objective: make([]float64, n),
-		Lo:        make([]float64, n),
-		Hi:        make([]float64, n),
+	ir := &prob.Problem{
+		NumVars: n,
+		Obj:     prob.Objective{Maximize: true, Lin: make([]float64, n)},
+		Lo:      make([]float64, n),
+		Hi:      make([]float64, n),
+		Integer: make([]int, n),
 	}
-	ints := make([]int, n)
 	for i, c := range cols {
-		prob.Objective[i] = -c.rate // maximize
-		prob.Hi[i] = 1
-		ints[i] = i
+		ir.Obj.Lin[i] = c.rate
+		ir.Hi[i] = 1
+		ir.Integer[i] = i
 	}
 	// One column per RB.
 	for rb := 0; rb < p.Inst.Params.NumRBs; rb++ {
@@ -163,7 +166,7 @@ func (p *Problem) columnModel() ([]milpColumn, lp.Problem, []int) {
 			}
 		}
 		if any {
-			prob.Constraints = append(prob.Constraints, lp.Constraint{Coeffs: row, Sense: lp.LE, RHS: 1})
+			ir.Lin = append(ir.Lin, prob.LinCon{Coeffs: row, Sense: prob.LE, RHS: 1})
 		}
 	}
 	// Per-user power budget and minimum rate.
@@ -176,12 +179,12 @@ func (p *Problem) columnModel() ([]milpColumn, lp.Problem, []int) {
 				rRow[i] = c.rate
 			}
 		}
-		prob.Constraints = append(prob.Constraints,
-			lp.Constraint{Coeffs: pRow, Sense: lp.LE, RHS: p.PowerBudgetW},
-			lp.Constraint{Coeffs: rRow, Sense: lp.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
+		ir.Lin = append(ir.Lin,
+			prob.LinCon{Coeffs: pRow, Sense: prob.LE, RHS: p.PowerBudgetW},
+			prob.LinCon{Coeffs: rRow, Sense: prob.GE, RHS: p.Reqs[p.Users[u].Class].MinRateBps},
 		)
 	}
-	return cols, prob, ints
+	return cols, ir
 }
 
 // Returns the allocation, its report, and BnB statistics.
@@ -189,24 +192,43 @@ func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
-	cols, prob, ints := p.columnModel()
+	cols, ir := p.columnModel()
+	return p.solveExactIR(cols, ir, o, nil)
+}
+
+// solveExactIR runs the exact rung on an already-built column model,
+// optionally sharing a lowering/warm-start cache with other rungs or batch
+// instances.
+func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Options, cache *prob.Cache) (*Allocation, *minlp.Result, error) {
+	po := prob.Options{
+		Budget:    o.Budget,
+		MaxNodes:  o.MaxNodes,
+		IntTol:    o.IntTol,
+		GapTol:    o.GapTol,
+		Incumbent: o.Incumbent,
+		Cache:     cache,
+	}
 	// Warm start: if the greedy heuristic happens to produce a fully
 	// feasible solution of the discretized model, hand it to the BnB as an
-	// incumbent so dominated subtrees are pruned from the first node.
-	if o.Incumbent == nil {
-		if x0, obj0, ok := p.greedyIncumbent(cols); ok {
-			o.Incumbent = x0
-			o.IncumbentObj = obj0
+	// incumbent so dominated subtrees are pruned from the first node
+	// (prob.Solve verifies feasibility and computes the backend objective).
+	if po.Incumbent == nil {
+		if x0, ok := p.greedyIncumbent(cols); ok {
+			po.Incumbent = x0
 		}
 	}
-	res, err := minlp.SolveMILP(&minlp.MILP{LP: prob, Integer: ints}, o)
+	sol, err := prob.Solve(ir, po)
+	var res *minlp.Result
+	if sol != nil {
+		res = sol.MILP
+	}
 	if err != nil && !errors.Is(err, minlp.ErrBudget) {
 		return nil, res, fmt.Errorf("qos: exact solve: %w", err)
 	}
 	// StatusOptimal carries the proven optimum; StatusBudget carries the
 	// best incumbent found before the node budget ran out (res.BestBound
 	// quantifies the remaining gap). Both decode to an allocation.
-	if res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
+	if res == nil || res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
 		return nil, res, nil
 	}
 	alloc := NewAllocation(p.Inst.Params.NumRBs)
@@ -221,17 +243,16 @@ func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error
 
 // greedyIncumbent maps the greedy allocation onto the MILP columns and
 // returns it when it satisfies every QoS/budget/SNR constraint.
-func (p *Problem) greedyIncumbent(cols []milpColumn) ([]float64, float64, bool) {
+func (p *Problem) greedyIncumbent(cols []milpColumn) ([]float64, bool) {
 	alloc, err := p.SolveGreedy()
 	if err != nil {
-		return nil, 0, false
+		return nil, false
 	}
 	rep, err := p.Evaluate(alloc)
 	if err != nil || !rep.AllQoSMet {
-		return nil, 0, false
+		return nil, false
 	}
 	x := make([]float64, len(cols))
-	var obj float64
 	matched := 0
 	needed := 0
 	for rb, u := range alloc.UserOf {
@@ -243,16 +264,15 @@ func (p *Problem) greedyIncumbent(cols []milpColumn) ([]float64, float64, bool) 
 			//lint:ignore floateq PowerW is copied verbatim from p.Levels in discretize; bitwise re-identification is intended
 			if c.rb == rb && c.u == u && p.Levels[c.level] == alloc.PowerW[rb] {
 				x[i] = 1
-				obj -= c.rate
 				matched++
 				break
 			}
 		}
 	}
 	if matched != needed {
-		return nil, 0, false // greedy used a power outside the level grid
+		return nil, false // greedy used a power outside the level grid
 	}
-	return x, obj, true
+	return x, true
 }
 
 // SolvePSO solves the discretized RRA with particle swarm optimization:

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/mat"
 )
 
@@ -105,6 +106,10 @@ type Options struct {
 	Mu       float64 // barrier growth factor, default 10
 	Tol      float64 // duality-gap style tolerance m/t, default 1e-8
 	NewtonIt int     // Newton iterations per centering step, default 50
+	// Budget bounds the run (cancellation, deadline, eval cap — one eval per
+	// Newton step), checked at centering-stage boundaries. The zero budget
+	// imposes nothing. Phase 1 runs under the same budget.
+	Budget guard.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -129,6 +134,11 @@ type Result struct {
 	Objective float64
 	// Iterations counts total Newton steps across all centering stages.
 	Iterations int
+	// Status is the typed termination cause: Converged on a clean exit;
+	// Timeout, Canceled, or MaxIter when the budget interrupted the barrier
+	// (X is then the last centered iterate — strictly feasible but not yet
+	// at tolerance), which also returns a *guard.Error.
+	Status guard.Status
 }
 
 // Solve minimizes the problem starting from the strictly feasible x0.
@@ -156,9 +166,20 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 	m := len(p.Ineq)
 	res := &Result{}
 	t := o.T0
+	mon := o.Budget.Start()
 	for {
+		// Budget is checked at centering-stage boundaries: every iterate is
+		// strictly feasible, so an interrupted run still returns a usable
+		// (suboptimal) point rather than nothing.
+		if st := mon.Check(res.Iterations); st != guard.StatusOK {
+			res.X = x
+			res.Objective = p.F0.Eval(x)
+			res.Status = st
+			return res, guard.Err(st, "qp: barrier interrupted after %d newton steps", res.Iterations)
+		}
 		it, err := center(p, x, t, o.NewtonIt)
 		res.Iterations += it
+		mon.AddEvals(it)
 		if err != nil {
 			return nil, err
 		}
@@ -172,6 +193,7 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 	}
 	res.X = x
 	res.Objective = p.F0.Eval(x)
+	res.Status = guard.StatusConverged
 	return res, nil
 }
 

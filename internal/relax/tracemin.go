@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/prob"
 	"repro/internal/sdp"
 )
 
@@ -52,19 +53,19 @@ func DecomposeDiagLowRank(rs *mat.Matrix, o TraceMinOptions) (*Decomposition, er
 	if o.RankTol == 0 {
 		o.RankTol = 1e-6
 	}
-	// Build: min ⟨I, X⟩ s.t. X_{ij} = Rs_{ij} for all i < j, X ⪰ 0.
-	prob := &sdp.Problem{C: mat.Identity(n)}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			prob.A = append(prob.A, sdp.BasisElem(n, i, j))
-			prob.B = append(prob.B, rs.At(i, j))
-		}
-	}
-	res, err := sdp.Solve(prob, o.SDP)
+	// State the RMP (Eq. 8) and let the registry run the explicit lowering
+	// chain rank → trace (Eq. 9) → standard form ⟨I, X⟩ (Eq. 10) → sdp
+	// backend. The compiled SDP is element-identical to the historically
+	// hand-built one (pinned by the prob golden tests).
+	ir, err := prob.NewDiagLowRankRMP(rs)
 	if err != nil {
 		return nil, fmt.Errorf("relax: trace minimization: %w", err)
 	}
-	rc := res.X
+	res, err := prob.Solve(ir, prob.Options{Budget: o.SDP.Budget, SDP: o.SDP})
+	if err != nil {
+		return nil, fmt.Errorf("relax: trace minimization: %w", err)
+	}
+	rc := res.XMat
 	rn := mat.New(n, n)
 	for i := 0; i < n; i++ {
 		rn.Set(i, i, rs.At(i, i)-rc.At(i, i))
@@ -79,7 +80,7 @@ func DecomposeDiagLowRank(rs *mat.Matrix, o TraceMinOptions) (*Decomposition, er
 		Rn:         rn,
 		RankRc:     rank,
 		Trace:      tr,
-		Iterations: res.Iterations,
+		Iterations: res.SDP.Iterations,
 	}, nil
 }
 

@@ -43,6 +43,12 @@ type Options struct {
 	// Budget bounds the run (cancellation, deadline, eval cap — one eval
 	// per ADMM iteration). The zero budget imposes nothing.
 	Budget guard.Budget
+	// X0, when non-nil and of matching dimension, warm-starts the ADMM
+	// splitting variable Z (the PSD-projected iterate). ADMM converges from
+	// any start, so a prior solution of a same-shape problem only shortens
+	// the run — this is the warm-start seam internal/prob's fingerprint
+	// cache uses for repeated solves.
+	X0 *mat.Matrix
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +134,9 @@ func Solve(p *Problem, o Options) (*Result, error) {
 	cSym := p.C.Clone().Symmetrize()
 	x := mat.New(n, n)
 	z := mat.New(n, n)
+	if o.X0 != nil && o.X0.Rows == n && o.X0.Cols == n && guard.AllFinite(o.X0.Data) {
+		z = o.X0.Clone().Symmetrize()
+	}
 	u := mat.New(n, n)
 	res := &Result{}
 

@@ -1,0 +1,115 @@
+//go:build faultinject
+
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+	"repro/internal/relax"
+	"repro/internal/rng"
+)
+
+// This file pins the budgeted verifier paths under deterministic fault
+// injection (build tag: faultinject, run by ci.sh's fault stage). The
+// contract: a canceled verification surfaces as a typed guard error — never
+// as a weakened verdict, never as an untyped failure, never as a panic.
+
+// faultNet is a network large enough that its triangle LP needs several
+// simplex pivots, so mid-run cancellation actually lands mid-run.
+func faultNet(t *testing.T) (*Network, []relax.Interval, *Spec) {
+	t.Helper()
+	n := randomNet(rng.New(9), []int{3, 6, 6, 2})
+	input := []relax.Interval{{Lo: -0.4, Hi: 0.4}, {Lo: -0.4, Hi: 0.4}, {Lo: -0.4, Hi: 0.4}}
+	return n, input, &Spec{C: []float64{1, -1}, D: 2}
+}
+
+// TestFaultTriangleCancelAtIterK cancels the triangle LP at pivot k for a
+// range of k. Every outcome must be one of exactly two shapes: a typed
+// Canceled error with no result, or (when the LP finished before pivot k) a
+// definitive verdict identical to the unbudgeted run's.
+func TestFaultTriangleCancelAtIterK(t *testing.T) {
+	n, input, spec := faultNet(t)
+	ref, err := VerifyTriangle(n, input, spec)
+	if err != nil {
+		t.Fatalf("unbudgeted reference: %v", err)
+	}
+	canceled := 0
+	for _, k := range []int{0, 1, 2, 5, 50, 100000} {
+		label := fmt.Sprintf("cancel at pivot %d", k)
+		plan := faultinject.Plan{Seed: 1, CancelAtIter: k}
+		res, err := VerifyTriangleBudget(n, input, spec, plan.Budget())
+		if err != nil {
+			if s, ok := guard.AsStatus(err); !ok || s != guard.StatusCanceled {
+				t.Fatalf("%s: untyped or mistyped error %v", label, err)
+			}
+			if res != nil {
+				t.Fatalf("%s: canceled run returned a result (verdict %v)", label, res.Verdict)
+			}
+			canceled++
+			continue
+		}
+		if res.Verdict != ref.Verdict || res.LowerBound != ref.LowerBound {
+			t.Fatalf("%s: survived cancellation but diverged from reference: %v/%g vs %v/%g",
+				label, res.Verdict, res.LowerBound, ref.Verdict, ref.LowerBound)
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no k canceled the LP — faultNet is too small to exercise the budget seam")
+	}
+}
+
+// TestFaultExactCancelTyped runs the exact verifier with node LPs canceled
+// mid-pivot and demands the typed error path (partial result allowed, the
+// verdict still unset — an interrupted complete verifier proves nothing).
+// Node LPs that finish under k pivots legitimately escape the fault, so the
+// test only requires that some k cancels and that every cancellation is
+// typed.
+func TestFaultExactCancelTyped(t *testing.T) {
+	n, input, spec := faultNet(t)
+	ref, err := VerifyExact(n, input, spec, ExactOptions{})
+	if err != nil {
+		t.Fatalf("unbudgeted reference: %v", err)
+	}
+	canceled := 0
+	for _, k := range []int{0, 1, 2, 5} {
+		plan := faultinject.Plan{Seed: 2, CancelAtIter: k}
+		res, err := VerifyExact(n, input, spec, ExactOptions{Budget: plan.Budget()})
+		if err == nil {
+			if res.Verdict != ref.Verdict {
+				t.Fatalf("cancel at pivot %d: survived cancellation but verdict %v != reference %v", k, res.Verdict, ref.Verdict)
+			}
+			continue
+		}
+		if errors.Is(err, ErrBudget) {
+			t.Fatalf("cancel at pivot %d: cancellation misreported as node budget: %v", k, err)
+		}
+		if s, ok := guard.AsStatus(err); !ok || s != guard.StatusCanceled {
+			t.Fatalf("cancel at pivot %d: untyped or mistyped error %v", k, err)
+		}
+		if res != nil && res.Verdict != 0 {
+			t.Fatalf("cancel at pivot %d: interrupted run carries verdict %v", k, res.Verdict)
+		}
+		canceled++
+	}
+	if canceled == 0 {
+		t.Fatal("no k canceled a node LP — the budget seam never fired")
+	}
+}
+
+// TestFaultExactEvalStarvation caps simplex objective evaluations instead of
+// cancelling, exercising the MaxEvals arm of the same budget seam.
+func TestFaultExactEvalStarvation(t *testing.T) {
+	n, input, spec := faultNet(t)
+	plan := faultinject.Plan{Seed: 3, CancelAtIter: -1, MaxEvals: 1}
+	_, err := VerifyExact(n, input, spec, ExactOptions{Budget: plan.Budget()})
+	if err == nil {
+		t.Fatal("exact verifier completed under 1-eval starvation")
+	}
+	if s, ok := guard.AsStatus(err); !ok || s == guard.StatusOK {
+		t.Fatalf("untyped starvation error %v", err)
+	}
+}

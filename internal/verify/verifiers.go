@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/lp"
+	"repro/internal/prob"
 	"repro/internal/relax"
 )
 
@@ -130,11 +132,12 @@ const (
 	phaseInactive phase = -1
 )
 
-// buildLP constructs the triangle-relaxation LP for the network under the
-// given pre-activation bounds and (optionally) fixed phases. It returns the
-// LP and the index of the first input variable (always 0) plus the offset
-// of the output pre-activation variables.
-func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]phase, spec *Spec) (*lp.Problem, int) {
+// buildIR states the triangle-relaxation LP for the network under the given
+// pre-activation bounds and (optionally) fixed phases as a prob.Problem (the
+// registry lowers it to the lp backend). It returns the IR plus the offset
+// of the output pre-activation variables. Free variables carry explicit ±Inf
+// bounds, per the IR's bound convention.
+func buildIR(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]phase, spec *Spec) (*prob.Problem, int) {
 	// Variable layout: [input a0][z0 a0'][z1 a1'] ... [zK-1 (output)]
 	nIn := n.InputDim()
 	numVars := nIn
@@ -148,7 +151,7 @@ func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 			numVars += n.Layers[l].Out()
 		}
 	}
-	p := &lp.Problem{NumVars: numVars}
+	p := &prob.Problem{NumVars: numVars}
 	p.Lo = make([]float64, numVars)
 	p.Hi = make([]float64, numVars)
 	for i := range p.Lo {
@@ -175,7 +178,7 @@ func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 			for j := 0; j < prevDim; j++ {
 				row[prevOff+j] = -layer.W[i][j]
 			}
-			p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: row, Sense: lp.EQ, RHS: layer.B[i]})
+			p.Lin = append(p.Lin, prob.LinCon{Coeffs: row, Sense: prob.EQ, RHS: layer.B[i]})
 			// z bounds from propagation tighten the LP.
 			iv := lb.Pre[l][i]
 			p.Lo[zOff[l]+i] = iv.Lo
@@ -206,7 +209,7 @@ func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 				eq := make([]float64, numVars)
 				eq[av] = 1
 				eq[zv] = -1
-				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: eq, Sense: lp.EQ, RHS: 0})
+				p.Lin = append(p.Lin, prob.LinCon{Coeffs: eq, Sense: prob.EQ, RHS: 0})
 				p.Lo[av] = 0
 				p.Hi[av] = math.Max(0, iv.Hi)
 			default:
@@ -216,19 +219,19 @@ func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 				ge := make([]float64, numVars)
 				ge[av] = 1
 				ge[zv] = -1
-				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: ge, Sense: lp.GE, RHS: 0})
+				p.Lin = append(p.Lin, prob.LinCon{Coeffs: ge, Sense: prob.GE, RHS: 0})
 				le := make([]float64, numVars)
 				le[av] = 1
 				le[zv] = -r.Slope
-				p.Constraints = append(p.Constraints, lp.Constraint{Coeffs: le, Sense: lp.LE, RHS: r.Offset})
+				p.Lin = append(p.Lin, prob.LinCon{Coeffs: le, Sense: prob.LE, RHS: r.Offset})
 			}
 		}
 	}
 	// Objective: minimize c·z_out (+ d added by caller).
-	p.Objective = make([]float64, numVars)
+	p.Obj.Lin = make([]float64, numVars)
 	outOff := zOff[len(n.Layers)-1]
 	for i, c := range spec.C {
-		p.Objective[outOff+i] = c
+		p.Obj.Lin[outOff+i] = c
 	}
 	return p, outOff
 }
@@ -236,8 +239,17 @@ func buildLP(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 // VerifyTriangle certifies the spec with one triangle-relaxation LP — the
 // relaxed (incomplete) verifier. The LP's pre-activation bounds come from
 // backward linear propagation (CROWN), so the triangle relaxation is at
-// least as tight as the one interval arithmetic would give.
+// least as tight as the one interval arithmetic would give. It runs
+// unbudgeted; deadline-bound callers use VerifyTriangleBudget.
 func VerifyTriangle(n *Network, input []relax.Interval, spec *Spec) (*Result, error) {
+	return VerifyTriangleBudget(n, input, spec, guard.Budget{})
+}
+
+// VerifyTriangleBudget is VerifyTriangle with the LP solve under a budget:
+// on interruption (cancellation, pivot cap, deadline) the typed guard error
+// is returned and the verdict is never weakened — an interrupted certifier
+// answers nothing, not "robust".
+func VerifyTriangleBudget(n *Network, input []relax.Interval, spec *Spec, b guard.Budget) (*Result, error) {
 	lb, err := CROWN(n, input)
 	if err != nil {
 		return nil, err
@@ -245,25 +257,25 @@ func VerifyTriangle(n *Network, input []relax.Interval, spec *Spec) (*Result, er
 	if len(spec.C) != n.OutputDim() {
 		return nil, fmt.Errorf("%w: spec dim %d for output %d", ErrBadNetwork, len(spec.C), n.OutputDim())
 	}
-	prob, _ := buildLP(n, input, lb, nil, spec)
-	sol, err := lp.Solve(prob)
+	ir, _ := buildIR(n, input, lb, nil, spec)
+	sol, err := prob.Solve(ir, prob.Options{Budget: b})
 	if err != nil {
 		return nil, fmt.Errorf("verify: triangle LP: %w", err)
 	}
 	res := &Result{LPs: 1, LowerBound: math.Inf(-1)}
-	if sol.Status != lp.StatusOptimal {
+	if sol.LP.Status != lp.StatusOptimal {
 		// The relaxation includes the true reachable set, so infeasibility
 		// can only mean an empty input box.
 		res.Verdict = VerdictUnknown
 		return res, nil
 	}
-	res.LowerBound = sol.Objective + spec.D
+	res.LowerBound = sol.LP.Objective + spec.D
 	if res.LowerBound >= -1e-9 {
 		res.Verdict = VerdictRobust
 		return res, nil
 	}
 	// Try the LP minimizer's input as a concrete counterexample.
-	x := sol.X[:n.InputDim()]
+	x := sol.LP.X[:n.InputDim()]
 	if spec.Eval(n.Forward(append([]float64(nil), x...))) < 0 {
 		res.Verdict = VerdictFalsified
 		res.Counterexample = append([]float64(nil), x...)
@@ -281,6 +293,10 @@ func VerifyTriangle(n *Network, input []relax.Interval, spec *Spec) (*Result, er
 // ExactOptions configures the exact verifier.
 type ExactOptions struct {
 	MaxNodes int // default 10000
+	// Budget bounds every node LP (simplex pivots, cancellation, deadline).
+	// A tripped budget surfaces as a typed guard error from the node solve —
+	// never as a weakened verdict.
+	Budget guard.Budget
 }
 
 // VerifyExact runs complete branch-and-bound over ReLU phases: every
@@ -313,16 +329,16 @@ func VerifyExact(n *Network, input []relax.Interval, spec *Spec, o ExactOptions)
 		phases := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		res.Nodes++
-		prob, _ := buildLP(n, input, lb, phases, spec)
-		sol, err := lp.Solve(prob)
+		ir, _ := buildIR(n, input, lb, phases, spec)
+		sol, err := prob.Solve(ir, prob.Options{Budget: o.Budget})
 		res.LPs++
 		if err != nil {
 			return res, fmt.Errorf("verify: node LP: %w", err)
 		}
-		if sol.Status != lp.StatusOptimal {
+		if sol.LP.Status != lp.StatusOptimal {
 			continue // empty phase region
 		}
-		nodeBound := sol.Objective + spec.D
+		nodeBound := sol.LP.Objective + spec.D
 		if nodeBound >= -1e-9 {
 			if nodeBound < res.LowerBound {
 				res.LowerBound = nodeBound
@@ -330,7 +346,7 @@ func VerifyExact(n *Network, input []relax.Interval, spec *Spec, o ExactOptions)
 			continue // subtree certified
 		}
 		// Check the LP minimizer as a concrete counterexample.
-		x := sol.X[:n.InputDim()]
+		x := sol.LP.X[:n.InputDim()]
 		if spec.Eval(n.Forward(append([]float64(nil), x...))) < -1e-12 {
 			res.Verdict = VerdictFalsified
 			res.Counterexample = append([]float64(nil), x...)
