@@ -18,14 +18,19 @@
 #                      detector's 10-20x slowdown times two CPU counts
 #                      they take the better part of an hour on a small
 #                      host); every concurrency-bearing test runs.
-#   3c. go test -tags faultinject -race -short
-#                    — the deterministic fault-injection suite
-#                      (internal/qos/fault_test.go): NaN-poisoned
-#                      objectives, eval starvation, and cancellation at
-#                      iteration k, injected from a master seed into every
-#                      qos solve path. Pins "typed status, finite outputs,
-#                      no panic" and bit-identical degraded results at
-#                      RCR_WORKERS=1 vs 8, under the race detector.
+#   3c. go test -tags faultinject -race -cpu 1,4 -short
+#                    — the deterministic fault-injection and chaos-soak
+#                      suites. internal/qos/fault_test.go injects
+#                      NaN-poisoned objectives, eval starvation, and
+#                      cancellation at iteration k from a master seed into
+#                      every qos solve path; internal/prob/chaos_test.go
+#                      injects seeded solver-internal corruption (bit-flips,
+#                      relative perturbations, forged convergence) into
+#                      every backend through the Tamper seam and asserts
+#                      100% certificate detection with cache quarantine.
+#                      Both pin "typed status, no silently-wrong answer, no
+#                      panic" and bit-identical outcomes at RCR_WORKERS=1
+#                      vs 8, under the race detector at one and four procs.
 #   4. rcrlint       — the numerics static analyzers (internal/lint). Exits
 #                      non-zero on any finding not suppressed by a reasoned
 #                      //lint:ignore directive. This duplicates the
@@ -48,8 +53,8 @@ go test ./...
 echo "ci: go test -race -cpu 1,4 -short"
 go test -race -cpu 1,4 -short ./...
 
-echo "ci: go test -tags faultinject -race -short"
-go test -tags faultinject -race -short ./...
+echo "ci: go test -tags faultinject -race -cpu 1,4 -short"
+go test -tags faultinject -race -cpu 1,4 -short ./...
 
 echo "ci: rcrlint"
 go run ./cmd/rcrlint ./...

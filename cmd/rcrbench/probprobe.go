@@ -13,6 +13,10 @@ package main
 //	prob_resolve_cold / prob_resolve_warm — same-shape re-solves with
 //	  perturbed coefficients, from scratch vs seeded from the cached
 //	  incumbent (Result.WarmStarted).
+//	prob_solve_certified / prob_solve_uncertified — the same solve with the
+//	  a-posteriori certifier armed (the default) vs disabled; the ratio is
+//	  the certificate's overhead on an honest converged solve, which the
+//	  robustness budget in ISSUE/DESIGN.md §11 caps at 5%.
 
 import (
 	"fmt"
@@ -139,9 +143,20 @@ func probPairs(seed uint64) []pairProbe {
 		return solved(prob.Solve(rraColumnIR(warmRNG, 0.01), prob.Options{Cache: warmCache}))
 	}
 
+	// Certifier overhead on a clean converged solve: side A runs the default
+	// armed certificate (feasibility residuals + objective/gap/bound checks),
+	// side B disables it — the one legitimate use of CertConfig.Disable.
+	certifiedSide := func() error {
+		return solved(prob.Solve(fixed, prob.Options{}))
+	}
+	uncertifiedSide := func() error {
+		return solved(prob.Solve(fixed, prob.Options{Cert: prob.CertConfig{Disable: true}}))
+	}
+
 	return []pairProbe{
 		{"prob_milp_compile", "prob_milp_fingerprint", n, compileSide, fingerprintSide},
 		{"prob_solve_uncached", "prob_solve_cached", n, uncachedSide, cachedSide},
 		{"prob_resolve_cold", "prob_resolve_warm", n, coldSide, warmSide},
+		{"prob_solve_certified", "prob_solve_uncertified", n, certifiedSide, uncertifiedSide},
 	}
 }

@@ -1,0 +1,198 @@
+// Package cert defines the vocabulary of a-posteriori solve certificates:
+// named scalar checks, verdicts, and the tolerance policy the certifier in
+// internal/prob applies to every backend answer before it is accepted,
+// cached, or propagated.
+//
+// The paper's framework never trusts a relaxed solve on its own — Sec. III
+// pairs every relaxation with a certification step, and the sequential SDP
+// verification line of work treats a solver's answer as untrusted until an
+// independent residual/gap check passes. This package is the solver-agnostic
+// half of that contract: it knows nothing about problems or backends, only
+// how to accumulate checks of the form "this residual must not exceed this
+// tolerance" into a verdict. The problem-aware half (which residuals to
+// compute, against which space) lives next to the IR in internal/prob, which
+// is also what keeps this package a leaf — backends and the IR may import it
+// freely without cycles.
+package cert
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies a certificate.
+type Verdict int
+
+const (
+	// VerdictNone means certification did not run (disabled, or the result
+	// carried a typed failure status with nothing to certify).
+	VerdictNone Verdict = iota
+	// VerdictPass means every check passed.
+	VerdictPass
+	// VerdictFail means at least one check failed.
+	VerdictFail
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictFail:
+		return "fail"
+	default:
+		return "none"
+	}
+}
+
+// Check is one named scalar test: Value must be finite and must not exceed
+// Tol. A NaN or +Inf Value always fails — a check that cannot be evaluated
+// is treated as a failed check, never a passed one.
+type Check struct {
+	Name  string
+	Value float64
+	Tol   float64
+	OK    bool
+}
+
+// Certificate is the outcome of certifying one solve attempt.
+type Certificate struct {
+	Verdict Verdict
+	Checks  []Check
+	// Retries counts the escalation re-solves consumed before this verdict
+	// (0 for a first-attempt verdict).
+	Retries int
+}
+
+// Failures returns the names of the failed checks, in check order.
+func (c *Certificate) Failures() []string {
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, ch := range c.Checks {
+		if !ch.OK {
+			out = append(out, ch.Name)
+		}
+	}
+	return out
+}
+
+// Check returns the named check and whether it was recorded.
+func (c *Certificate) Check(name string) (Check, bool) {
+	if c == nil {
+		return Check{}, false
+	}
+	for _, ch := range c.Checks {
+		if ch.Name == name {
+			return ch, true
+		}
+	}
+	return Check{}, false
+}
+
+// String renders the certificate as "pass", "none", or
+// "fail(name1,name2,...)" with the failed check names sorted — the compact
+// form recorded in provenance trails.
+func (c *Certificate) String() string {
+	if c == nil {
+		return Verdict(VerdictNone).String()
+	}
+	if c.Verdict != VerdictFail {
+		return c.Verdict.String()
+	}
+	fails := c.Failures()
+	sort.Strings(fails)
+	return fmt.Sprintf("fail(%s)", strings.Join(fails, ","))
+}
+
+// Tolerances is the certificate tolerance policy. Every bound is applied to
+// a relative quantity (violations are scaled by 1+|reference| before
+// comparison), so one policy serves problems at any magnitude. The zero
+// value takes defaults via WithDefaults; the defaults are deliberately
+// looser than the backends' own convergence tolerances — a certificate is a
+// corruption detector, not a second convergence test — but far tighter than
+// any corruption worth detecting.
+type Tolerances struct {
+	// Feas bounds primal feasibility residuals (constraint rows, bounds,
+	// conic membership). Default 1e-6.
+	Feas float64
+	// Obj bounds the relative disagreement between a reported objective and
+	// its recomputation from the returned point. Default 1e-6.
+	Obj float64
+	// Gap bounds backend-surfaced duality gaps where dual information
+	// exists. It is a coarse sanity bound (dual recovery is approximate),
+	// not a convergence test. Default 1e-2.
+	Gap float64
+	// Int bounds integrality violations of MINLP incumbents. Default 1e-6.
+	Int float64
+}
+
+// WithDefaults fills zero fields with the default policy.
+func (t Tolerances) WithDefaults() Tolerances {
+	if t.Feas == 0 {
+		t.Feas = 1e-6
+	}
+	if t.Obj == 0 {
+		t.Obj = 1e-6
+	}
+	if t.Gap == 0 {
+		t.Gap = 1e-2
+	}
+	if t.Int == 0 {
+		t.Int = 1e-6
+	}
+	return t
+}
+
+// RelGap returns |a-b| / (1 + max(|a|,|b|)), the symmetric relative
+// disagreement used by objective-consistency and duality-gap checks.
+func RelGap(a, b float64) float64 {
+	d := math.Abs(a - b)
+	s := math.Abs(a)
+	if ab := math.Abs(b); ab > s {
+		s = ab
+	}
+	return d / (1 + s)
+}
+
+// Builder accumulates checks into a certificate.
+type Builder struct {
+	c Certificate
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add records one check: pass iff value is finite and value <= tol.
+// It returns whether the check passed.
+func (b *Builder) Add(name string, value, tol float64) bool {
+	ok := !math.IsNaN(value) && !math.IsInf(value, 0) && value <= tol
+	b.c.Checks = append(b.c.Checks, Check{Name: name, Value: value, Tol: tol, OK: ok})
+	return ok
+}
+
+// Fail records an unconditionally failed check (used when the quantity to
+// test is structurally absent — e.g. a "converged" result with no solution).
+func (b *Builder) Fail(name string) {
+	b.c.Checks = append(b.c.Checks, Check{Name: name, Value: math.Inf(1), OK: false})
+}
+
+// Done seals the builder into a certificate: VerdictPass when every check
+// passed, VerdictFail when any failed, VerdictNone when no checks ran.
+func (b *Builder) Done() *Certificate {
+	if len(b.c.Checks) == 0 {
+		return &Certificate{Verdict: VerdictNone}
+	}
+	b.c.Verdict = VerdictPass
+	for _, ch := range b.c.Checks {
+		if !ch.OK {
+			b.c.Verdict = VerdictFail
+			break
+		}
+	}
+	out := b.c
+	return &out
+}

@@ -1,0 +1,122 @@
+package cert
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVerdictStrings(t *testing.T) {
+	cases := map[Verdict]string{VerdictNone: "none", VerdictPass: "pass", VerdictFail: "fail"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestBuilderAllPass(t *testing.T) {
+	b := NewBuilder()
+	if !b.Add("primal", 1e-9, 1e-6) {
+		t.Fatal("passing check reported as failed")
+	}
+	b.Add("objective", 0, 1e-6)
+	c := b.Done()
+	if c.Verdict != VerdictPass {
+		t.Fatalf("verdict = %v, want pass", c.Verdict)
+	}
+	if c.String() != "pass" {
+		t.Fatalf("String() = %q, want pass", c.String())
+	}
+	if fails := c.Failures(); fails != nil {
+		t.Fatalf("Failures() = %v, want nil", fails)
+	}
+}
+
+func TestBuilderFailure(t *testing.T) {
+	b := NewBuilder()
+	b.Add("primal", 3e-4, 1e-6)
+	b.Add("objective", 0, 1e-6)
+	b.Fail("solution")
+	c := b.Done()
+	if c.Verdict != VerdictFail {
+		t.Fatalf("verdict = %v, want fail", c.Verdict)
+	}
+	// Failed names are sorted in the trail form.
+	if got := c.String(); got != "fail(primal,solution)" {
+		t.Fatalf("String() = %q, want fail(primal,solution)", got)
+	}
+	ch, ok := c.Check("primal")
+	if !ok || ch.OK || ch.Value != 3e-4 {
+		t.Fatalf("Check(primal) = %+v, %v", ch, ok)
+	}
+}
+
+// A check exactly at tolerance passes; one just beyond fails — the boundary
+// is inclusive so "within tolerance" means what the docs say.
+func TestBuilderBoundary(t *testing.T) {
+	b := NewBuilder()
+	b.Add("at", 1e-6, 1e-6)
+	c := b.Done()
+	if c.Verdict != VerdictPass {
+		t.Fatalf("value == tol should pass, got %v", c.Verdict)
+	}
+	b = NewBuilder()
+	b.Add("over", math.Nextafter(1e-6, 1), 1e-6)
+	if c := b.Done(); c.Verdict != VerdictFail {
+		t.Fatalf("value just over tol should fail, got %v", c.Verdict)
+	}
+}
+
+// Non-finite check values must fail: a residual that cannot be evaluated is
+// never evidence of correctness.
+func TestBuilderNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1)} {
+		b := NewBuilder()
+		b.Add("primal", v, math.Inf(1))
+		if c := b.Done(); c.Verdict != VerdictFail {
+			t.Fatalf("non-finite value %v passed", v)
+		}
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	if c := NewBuilder().Done(); c.Verdict != VerdictNone {
+		t.Fatalf("empty builder verdict = %v, want none", c.Verdict)
+	}
+}
+
+func TestNilCertificate(t *testing.T) {
+	var c *Certificate
+	if c.String() != "none" || c.Failures() != nil {
+		t.Fatalf("nil certificate: String=%q Failures=%v", c.String(), c.Failures())
+	}
+	if _, ok := c.Check("x"); ok {
+		t.Fatal("nil certificate reported a check")
+	}
+}
+
+func TestTolerancesDefaults(t *testing.T) {
+	d := Tolerances{}.WithDefaults()
+	if d.Feas != 1e-6 || d.Obj != 1e-6 || d.Gap != 1e-2 || d.Int != 1e-6 {
+		t.Fatalf("unexpected defaults: %+v", d)
+	}
+	// Explicit fields survive.
+	c := Tolerances{Feas: 1e-3}.WithDefaults()
+	if c.Feas != 1e-3 || c.Obj != 1e-6 {
+		t.Fatalf("explicit field overwritten: %+v", c)
+	}
+}
+
+func TestRelGap(t *testing.T) {
+	if g := RelGap(1, 1); g != 0 {
+		t.Fatalf("RelGap(1,1) = %g", g)
+	}
+	// Symmetric.
+	if RelGap(3, 5) != RelGap(5, 3) {
+		t.Fatal("RelGap not symmetric")
+	}
+	// Scales relatively: a 1e-7 absolute difference at magnitude 1e6 is tiny.
+	if g := RelGap(1e6, 1e6+0.1); g > 1e-6 {
+		t.Fatalf("RelGap at large scale = %g", g)
+	}
+}

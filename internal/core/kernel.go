@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/mat"
 	"repro/internal/prob"
 	"repro/internal/pso"
@@ -95,6 +96,11 @@ func FitAdaptiveInertia(wMin, wMax, tau float64, horizon int) (*InertiaFit, erro
 	res, err := prob.Solve(ir, prob.Options{X0: []float64{0.5 * (wMin + wMax), 0.01}})
 	if err != nil {
 		return nil, fmt.Errorf("core: inertia QP: %w", err)
+	}
+	if res.Status != guard.StatusConverged {
+		// A nil error can still carry a degraded or uncertified partial
+		// result; the inertia schedule must come from a certified solve.
+		return nil, guard.Err(res.Status, "core: inertia QP did not certify")
 	}
 	base, boost := res.X[0], res.X[1]
 	var resid float64

@@ -1,6 +1,8 @@
 // Package faultinject provides deterministic fault injection for the solver
 // stack: NaN injection into objective evaluations, eval-budget exhaustion,
-// and cancellation at a chosen iteration, all derived from a master seed.
+// cancellation at a chosen iteration, and solver-internal corruption of
+// returned iterates (seeded bit-flips, relative perturbations, and forged
+// convergence), all derived from a master seed.
 //
 // Determinism is the point. NaN injection is keyed off the *input bits* of
 // each evaluation (hashed with the seed), not off a call counter, so the
@@ -37,6 +39,57 @@ type Plan struct {
 	CancelAtIter int
 	// MaxEvals, when > 0, is forwarded as the budget's eval cap.
 	MaxEvals int
+
+	// Corrupt selects the solver-internal corruption fault applied to
+	// returned iterates (see CorruptMode); CorruptNone injects nothing.
+	Corrupt CorruptMode
+	// CorruptRate is the probability (0..1) that a given solution vector
+	// is corrupted. Like NaNRate it is keyed off the vector's input bits
+	// hashed with the seed, so the same solution is always corrupted (or
+	// spared) regardless of evaluation order or worker count.
+	CorruptRate float64
+	// CorruptMag is the relative magnitude of CorruptPerturb faults,
+	// default 0.05 (5% of 1+|coordinate|).
+	CorruptMag float64
+}
+
+// CorruptMode selects the solver-internal corruption fault. The modes model
+// the two ways a backend hands back a wrong answer: a damaged iterate
+// (memory corruption, an aliasing bug, a race) and a forged termination
+// cause (an interrupted run reported as converged).
+type CorruptMode int
+
+const (
+	// CorruptNone disables iterate corruption.
+	CorruptNone CorruptMode = iota
+	// CorruptBitFlip flips a high-order mantissa bit of one seeded nonzero
+	// coordinate — single-bit memory corruption. The relative change is in
+	// (2^-2, 2^-1] of that coordinate, far above any certificate tolerance
+	// yet invisible to finiteness checks.
+	CorruptBitFlip
+	// CorruptPerturb adds a seeded relative perturbation of magnitude
+	// CorruptMag to every coordinate — a solver returning a near-miss
+	// iterate that drifted off the feasible set or optimum.
+	CorruptPerturb
+	// CorruptPremature forges convergence: the harness flips a typed
+	// non-converged status to converged without touching the iterate.
+	// CorruptVector is deliberately a no-op in this mode — the fault lives
+	// at the result level, not in the vector.
+	CorruptPremature
+)
+
+// String implements fmt.Stringer.
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptBitFlip:
+		return "bitflip"
+	case CorruptPerturb:
+		return "perturb"
+	case CorruptPremature:
+		return "premature"
+	default:
+		return "none"
+	}
 }
 
 // NewPlan returns a Plan with cancellation disabled (CancelAtIter -1);
@@ -95,6 +148,76 @@ func (p Plan) ShouldFault(x []float64) bool {
 		threshold = math.MaxUint64
 	}
 	return hashPoint(p.Seed, x) < threshold
+}
+
+// corruptSalt decorrelates the corruption hash from the NaN-injection hash
+// so the two faults fire on independent subsets of points under one seed.
+const corruptSalt = 0xc02b1e5c0441c7a5
+
+// ShouldCorrupt reports whether the plan's iterate-corruption fault fires
+// for the solution vector x. Like ShouldFault it depends only on the seed
+// and x's bit patterns, so injection is order-independent and
+// bit-reproducible at any worker count.
+func (p Plan) ShouldCorrupt(x []float64) bool {
+	if p.Corrupt == CorruptNone || p.CorruptRate <= 0 || len(x) == 0 {
+		return false
+	}
+	threshold := uint64(p.CorruptRate * float64(1<<63) * 2)
+	if p.CorruptRate >= 1 {
+		threshold = math.MaxUint64
+	}
+	return hashPoint(p.Seed^corruptSalt, x) < threshold
+}
+
+// CorruptVector applies the plan's corruption mode to x in place and
+// reports whether a fault fired. CorruptPremature never mutates x (that
+// mode forges a status, not an iterate — the harness applies it at the
+// result level after consulting ShouldCorrupt).
+func (p Plan) CorruptVector(x []float64) bool {
+	if !p.ShouldCorrupt(x) {
+		return false
+	}
+	h := hashPoint(p.Seed^corruptSalt, x)
+	switch p.Corrupt {
+	case CorruptBitFlip:
+		// Flip mantissa bit 51 of one seeded coordinate: a relative change
+		// of 1/4..1/2 — gross, but finite and sign-preserving, the kind of
+		// damage AllFinite can never see. Zero coordinates carry no
+		// magnitude to flip, so advance deterministically to the next
+		// nonzero one; an all-zero vector is corrupted by planting a 1.
+		n := len(x)
+		idx := int(h % uint64(n))
+		for off := 0; off < n; off++ {
+			j := (idx + off) % n
+			if x[j] != 0 {
+				x[j] = math.Float64frombits(math.Float64bits(x[j]) ^ (1 << 51))
+				return true
+			}
+		}
+		x[idx] = 1
+		return true
+	case CorruptPerturb:
+		mag := p.CorruptMag
+		if mag <= 0 {
+			mag = 0.05
+		}
+		// One splitmix64 stream seeded from the input bits: additive
+		// perturbations scaled by 1+|xᵢ| so zero coordinates (binary vars
+		// at their bound) are damaged too.
+		s := h
+		for i := range x {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			u := 2*float64(z>>11)/(1<<53) - 1 // uniform in [-1, 1)
+			x[i] += mag * u * (1 + math.Abs(x[i]))
+		}
+		return true
+	default: // CorruptPremature: status-level fault, vector untouched.
+		return true
+	}
 }
 
 // hashPoint mixes the seed and the bit patterns of x with an FNV-1a core

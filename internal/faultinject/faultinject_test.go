@@ -103,3 +103,129 @@ func TestMaxEvalsBudget(t *testing.T) {
 		t.Fatalf("at eval cap: %v, want budget-exhausted", st)
 	}
 }
+
+// --- iterate-corruption modes -----------------------------------------------
+
+func TestCorruptVectorDeterministic(t *testing.T) {
+	p := Plan{Seed: 7, CancelAtIter: -1, Corrupt: CorruptPerturb, CorruptRate: 1}
+	a := []float64{1, 0, -3, 2.5}
+	b := []float64{1, 0, -3, 2.5}
+	if !p.CorruptVector(a) || !p.CorruptVector(b) {
+		t.Fatal("rate-1 corruption did not fire")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same input corrupted differently: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCorruptVectorRateZeroNoop(t *testing.T) {
+	p := Plan{Seed: 7, CancelAtIter: -1, Corrupt: CorruptBitFlip}
+	x := []float64{1, 2, 3}
+	if p.CorruptVector(x) || p.ShouldCorrupt(x) {
+		t.Fatal("zero-rate plan fired")
+	}
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Fatalf("zero-rate plan mutated x: %v", x)
+	}
+}
+
+// Corruption and NaN injection must fire on decorrelated point sets under
+// one seed: a plan with both faults at rate 0.5 should disagree on some
+// points.
+func TestCorruptDecorrelatedFromNaN(t *testing.T) {
+	p := Plan{Seed: 3, CancelAtIter: -1, NaNRate: 0.5, Corrupt: CorruptPerturb, CorruptRate: 0.5}
+	agree := 0
+	for i := 0; i < 64; i++ {
+		x := []float64{float64(i), float64(i) * 1.5}
+		if p.ShouldFault(x) == p.ShouldCorrupt(x) {
+			agree++
+		}
+	}
+	if agree == 64 {
+		t.Fatal("NaN and corruption faults fire on identical point sets")
+	}
+}
+
+// Bit flips must change exactly one coordinate by a large relative amount
+// while staying finite — damage AllFinite can never see.
+func TestCorruptBitFlipMagnitude(t *testing.T) {
+	p := Plan{Seed: 11, CancelAtIter: -1, Corrupt: CorruptBitFlip, CorruptRate: 1}
+	x := []float64{0.5, 1.25, -2}
+	orig := append([]float64(nil), x...)
+	if !p.CorruptVector(x) {
+		t.Fatal("did not fire")
+	}
+	changed := 0
+	for i := range x {
+		if x[i] == orig[i] {
+			continue
+		}
+		changed++
+		if !guard.Finite(x[i]) {
+			t.Fatalf("bit flip produced non-finite %g", x[i])
+		}
+		rel := math.Abs(x[i]-orig[i]) / math.Abs(orig[i])
+		if rel <= 0.25-1e-12 || rel > 0.5 {
+			t.Fatalf("bit-flip relative change %g outside (1/4, 1/2]", rel)
+		}
+	}
+	if changed != 1 {
+		t.Fatalf("bit flip changed %d coordinates, want 1", changed)
+	}
+}
+
+// An all-zero vector still gets detectably corrupted.
+func TestCorruptBitFlipAllZero(t *testing.T) {
+	p := Plan{Seed: 11, CancelAtIter: -1, Corrupt: CorruptBitFlip, CorruptRate: 1}
+	x := []float64{0, 0}
+	if !p.CorruptVector(x) {
+		t.Fatal("did not fire")
+	}
+	if x[0] == 0 && x[1] == 0 {
+		t.Fatal("all-zero vector survived bit-flip corruption unchanged")
+	}
+}
+
+// CorruptPerturb must damage zero coordinates too (binary variables at
+// their bound are exactly the ones whose corruption matters downstream).
+func TestCorruptPerturbHitsZeros(t *testing.T) {
+	p := Plan{Seed: 5, CancelAtIter: -1, Corrupt: CorruptPerturb, CorruptRate: 1, CorruptMag: 0.05}
+	x := []float64{0, 1, 0}
+	if !p.CorruptVector(x) {
+		t.Fatal("did not fire")
+	}
+	if x[0] == 0 && x[2] == 0 {
+		t.Fatalf("zero coordinates untouched: %v", x)
+	}
+	for i, v := range x {
+		if math.Abs(v-[]float64{0, 1, 0}[i]) > 0.05*2+1e-12 {
+			t.Fatalf("perturbation exceeded magnitude bound: %v", x)
+		}
+	}
+}
+
+// CorruptPremature is a status-level fault: the vector must never change.
+func TestCorruptPrematureLeavesVector(t *testing.T) {
+	p := Plan{Seed: 5, CancelAtIter: -1, Corrupt: CorruptPremature, CorruptRate: 1}
+	x := []float64{3, 4}
+	if !p.CorruptVector(x) {
+		t.Fatal("premature mode should report firing")
+	}
+	if x[0] != 3 || x[1] != 4 {
+		t.Fatalf("premature mode mutated the vector: %v", x)
+	}
+}
+
+func TestCorruptModeStrings(t *testing.T) {
+	want := map[CorruptMode]string{
+		CorruptNone: "none", CorruptBitFlip: "bitflip",
+		CorruptPerturb: "perturb", CorruptPremature: "premature",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("CorruptMode(%d).String() = %q, want %q", int(m), m.String(), s)
+		}
+	}
+}

@@ -288,6 +288,7 @@ func All() []*Analyzer {
 		AnalyzerPowSquare,
 		AnalyzerRawProblem,
 		AnalyzerRawRand,
+		AnalyzerUncertified,
 	}
 }
 

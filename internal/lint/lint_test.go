@@ -50,6 +50,9 @@ func TestGolden(t *testing.T) {
 		// internal/rng is loaded alongside rawrand to exercise the facade
 		// exemption: its math/rand import must NOT appear in the golden file.
 		{"rawrand", []string{"rawrand", "internal/rng"}},
+		// internal/prob rides along both as the Result definition and as the
+		// package-path exemption: its own field reads must NOT appear.
+		{"uncertified", []string{"uncertified", "internal/prob", "internal/lp"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

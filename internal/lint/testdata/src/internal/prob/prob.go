@@ -13,3 +13,30 @@ type Problem struct {
 func (p *Problem) LP() *lp.Problem {
 	return &lp.Problem{NumVars: p.NumVars}
 }
+
+// Status is the typed termination cause stand-in.
+type Status int
+
+// StatusConverged marks a certified, completed solve.
+const StatusConverged Status = 1
+
+// Certificate is the a-posteriori certificate stand-in.
+type Certificate struct {
+	Verdict int
+}
+
+// Result is the unified solver output stand-in the uncertified rule keys on.
+type Result struct {
+	X         []float64
+	XMat      *[][]float64
+	Objective float64
+	Status    Status
+	Trail     []string
+	Cert      *Certificate
+}
+
+// Solve is the guarded entry point stand-in; like the real one it can return
+// a usable partial Result alongside a typed error.
+func Solve(p *Problem) (*Result, error) {
+	return &Result{}, nil
+}

@@ -1,0 +1,64 @@
+// Package uncertified exercises the uncertified rule: prob.Result solution
+// fields read without a Status or Cert check on the same variable.
+package uncertified
+
+import "fixture/internal/prob"
+
+// BadErrOnlyCheck trusts the iterate on the strength of a nil error alone;
+// Solve returns usable partial results alongside typed errors.
+func BadErrOnlyCheck(p *prob.Problem) []float64 {
+	res, err := prob.Solve(p)
+	if err != nil {
+		return nil
+	}
+	return res.X
+}
+
+// BadObjectiveNoCheck reads the objective with no inspection at all.
+func BadObjectiveNoCheck(p *prob.Problem) float64 {
+	res, _ := prob.Solve(p)
+	return res.Objective
+}
+
+// GoodStatusChecked gates the solution on the typed status.
+func GoodStatusChecked(p *prob.Problem) []float64 {
+	res, err := prob.Solve(p)
+	if err != nil || res.Status != prob.StatusConverged {
+		return nil
+	}
+	return res.X
+}
+
+// GoodCertChecked gates the solution on the certificate instead.
+func GoodCertChecked(p *prob.Problem) float64 {
+	res, _ := prob.Solve(p)
+	if res.Cert == nil || res.Cert.Verdict == 0 {
+		return 0
+	}
+	return res.Objective
+}
+
+// GoodEscapes hands the whole result to a consumer; the check may live there.
+func GoodEscapes(p *prob.Problem, sink func(*prob.Result)) {
+	res, _ := prob.Solve(p)
+	sink(res)
+}
+
+// GoodReturned returns the result whole for the caller to certify.
+func GoodReturned(p *prob.Problem) (*prob.Result, error) {
+	return prob.Solve(p)
+}
+
+// GoodNeutralFields reads only provenance fields; nothing is trusted.
+func GoodNeutralFields(p *prob.Problem) int {
+	res, _ := prob.Solve(p)
+	return len(res.Trail)
+}
+
+// SuppressedUse documents a measurement probe where degraded answers are
+// the point.
+func SuppressedUse(p *prob.Problem) float64 {
+	res, _ := prob.Solve(p)
+	//lint:ignore uncertified fixture: overhead probe, the value is discarded
+	return res.Objective
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerUncertified flags code that reads a solution field (X, XMat,
+// Objective) off a prob.Result without ever consulting the result's Status
+// or Cert on the same variable. prob.Solve returns a usable partial Result
+// alongside typed errors, and a result whose certificate failed carries a
+// degraded status — trusting the iterate on the strength of a nil error
+// alone re-opens exactly the silent-wrong-answer hole the a-posteriori
+// certifier closes (DESIGN.md §11). A result that escapes the function
+// whole (passed on, returned, stored) is not flagged: the check may
+// legitimately live with the consumer. Test files are exempt, as is
+// internal/prob itself (the certifier must read the fields it certifies).
+var AnalyzerUncertified = &Analyzer{
+	Name:     "uncertified",
+	Doc:      "prob.Result solution fields read without a Status or Cert check",
+	Severity: Warning,
+	Run:      runUncertified,
+}
+
+// uncertifiedSolutionFields are the fields that carry the answer; reading
+// any of them is "trusting the solution".
+var uncertifiedSolutionFields = map[string]bool{
+	"X": true, "XMat": true, "Objective": true,
+}
+
+// uncertifiedCheckFields are the fields whose inspection counts as
+// certifying the answer before use.
+var uncertifiedCheckFields = map[string]bool{
+	"Status": true, "Cert": true,
+}
+
+func runUncertified(p *Pass) {
+	if p.Info == nil || pkgPathHasSuffix(p.Pkg.ImportPath, "internal/prob") {
+		return
+	}
+	for _, f := range p.Files() {
+		// Idents that appear as the operand of a selector, and idents that
+		// are pure write targets (definitions/assignments); any remaining
+		// occurrence means the whole Result escapes the local analysis.
+		selOf := map[*ast.Ident]*ast.SelectorExpr{}
+		written := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if id, ok := n.X.(*ast.Ident); ok {
+					selOf[id] = n
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						written[id] = true
+					}
+				}
+			case *ast.ValueSpec:
+				for _, id := range n.Names {
+					written[id] = true
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					written[id] = true
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					written[id] = true
+				}
+			}
+			return true
+		})
+
+		type state struct {
+			usePos   ast.Node // first solution-field selector
+			useField string
+			checked  bool
+			escaped  bool
+		}
+		vars := map[types.Object]*state{}
+		order := []types.Object{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.ObjectOf(id)
+			if obj == nil || !isProbResult(obj.Type()) {
+				return true
+			}
+			if _, ok := obj.(*types.Var); !ok {
+				return true
+			}
+			st := vars[obj]
+			if st == nil {
+				st = &state{}
+				vars[obj] = st
+				order = append(order, obj)
+			}
+			switch sel := selOf[id]; {
+			case sel != nil && uncertifiedCheckFields[sel.Sel.Name]:
+				st.checked = true
+			case sel != nil && uncertifiedSolutionFields[sel.Sel.Name]:
+				if st.usePos == nil {
+					st.usePos = sel
+					st.useField = sel.Sel.Name
+				}
+			case sel != nil:
+				// Other fields (Trail, Backend, cache flags, backend
+				// results) neither certify nor trust the solution.
+			case written[id]:
+				// Pure (re)definition.
+			default:
+				st.escaped = true
+			}
+			return true
+		})
+		for _, obj := range order {
+			st := vars[obj]
+			if st.usePos != nil && !st.checked && !st.escaped {
+				p.Reportf(st.usePos.Pos(),
+					"%s of a prob.Result used without checking Status or Cert; a nil error still delivers degraded or uncertified partial results",
+					st.useField)
+			}
+		}
+	}
+}
+
+// isProbResult reports whether t is prob.Result or *prob.Result (by package
+// path suffix, so the rule works on any module embedding the repo layout).
+func isProbResult(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Result" && obj.Pkg() != nil && pkgPathHasSuffix(obj.Pkg().Path(), "internal/prob")
+}

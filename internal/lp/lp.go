@@ -115,6 +115,12 @@ type Solution struct {
 	// and Diverged (non-finite tableau) mark interrupted runs, which also
 	// return a *guard.Error from SolveBudget.
 	Guard guard.Status
+	// Residual is the maximum relative violation of the natural-form rows
+	// and bounds at X, computed once at recovery time for optimal runs (0
+	// otherwise). The simplex keeps standard-form rows satisfied exactly,
+	// so this measures only the shift/split/slack bookkeeping error —
+	// a-posteriori certifiers can report it without re-deriving it.
+	Residual float64
 }
 
 // ErrBadProblem is returned for structurally invalid problems.
@@ -166,7 +172,60 @@ func SolveBudget(p *Problem, b guard.Budget) (*Solution, error) {
 	for j := 0; j < len(p.Objective); j++ {
 		obj += p.Objective[j] * x[j]
 	}
-	return &Solution{Status: StatusOptimal, X: x, Objective: obj, Guard: guard.StatusConverged}, nil
+	return &Solution{
+		Status:    StatusOptimal,
+		X:         x,
+		Objective: obj,
+		Guard:     guard.StatusConverged,
+		Residual:  Residual(p, x),
+	}, nil
+}
+
+// Residual returns the maximum relative violation of p's constraint rows
+// and bounds at x: row slack and bound overshoot are scaled by 1+|rhs|
+// (resp. 1+|bound|) so one number serves problems at any magnitude. A
+// non-finite or wrong-length x yields +Inf.
+func Residual(p *Problem, x []float64) float64 {
+	if len(x) != p.NumVars || !guard.AllFinite(x) {
+		return math.Inf(1)
+	}
+	var worst float64
+	viol := func(v, scale float64) {
+		if r := v / (1 + math.Abs(scale)); r > worst {
+			worst = r
+		}
+	}
+	for j := 0; j < p.NumVars; j++ {
+		lo := bound(p.Lo, j, 0)
+		hi := bound(p.Hi, j, math.Inf(1))
+		if p.Lo == nil {
+			lo = 0
+		}
+		if p.Hi == nil {
+			hi = math.Inf(1)
+		}
+		if !math.IsInf(lo, -1) {
+			viol(lo-x[j], lo)
+		}
+		if !math.IsInf(hi, 1) {
+			viol(x[j]-hi, hi)
+		}
+	}
+	for _, c := range p.Constraints {
+		var v float64
+		for j, a := range c.Coeffs {
+			v += a * x[j]
+		}
+		switch c.Sense {
+		case LE:
+			viol(v-c.RHS, c.RHS)
+		case GE:
+			viol(c.RHS-v, c.RHS)
+		default:
+			viol(math.Abs(v-c.RHS), c.RHS)
+		}
+	}
+	return worst
 }
 
 // standard is a problem in the form min cᵀy, A y = b, y >= 0, b >= 0, plus

@@ -141,6 +141,14 @@ type Result struct {
 	BadNodes int
 }
 
+// Gap returns Objective - BestBound, the absolute optimality gap of the
+// incumbent: at most GapTol on optimal exits, possibly large on budget
+// exits, and meaningless (±Inf arithmetic) when no incumbent exists —
+// check Status first. A-posteriori certifiers use it for the
+// bound-consistency check: a valid incumbent can never beat the global
+// lower bound, so a materially negative Gap marks a corrupted result.
+func (r *Result) Gap() float64 { return r.Objective - r.BestBound }
+
 type node struct {
 	lo, hi []float64
 	bound  float64

@@ -163,7 +163,11 @@ func boolWord(b bool) uint64 {
 //     must be verified feasible for the new instance (a wrong incumbent would
 //     prune the true optimum), a QP start must be strictly feasible (the
 //     barrier requires it), while an SDP seed needs no check (ADMM converges
-//     from any start).
+//     from any start);
+//   - a cached solution that fails its warm-start check — or whose own solve
+//     later fails the a-posteriori certificate — is quarantined: evicted
+//     once (CacheStats.Quarantined) instead of being re-checked or reused on
+//     every subsequent same-shape lookup.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[uint64]*cacheEntry
@@ -188,6 +192,12 @@ type CacheStats struct {
 	Misses int
 	// WarmStarts counts solves seeded from a previous solution.
 	WarmStarts int
+	// Quarantined counts cached solutions evicted because they failed
+	// warm-start re-verification or an a-posteriori certificate. Each
+	// eviction is counted once: the compiled form stays cached, but the
+	// poisoned solution is gone, so it is never re-checked (or worse,
+	// reused) on later same-shape lookups.
+	Quarantined int
 }
 
 // NewCache returns an empty cache.
@@ -224,6 +234,30 @@ func (c *Cache) store(fp Fingerprint, low *loweredForm, x []float64, xMat *mat.M
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[fp.Shape] = &cacheEntry{content: fp.Content, low: low, x: x, xMat: xMat}
+}
+
+// quarantine evicts the cached solution for a shape — after a warm-start
+// re-verification failure or a failed certificate — while keeping the
+// compiled lowered form (the form is a function of the problem, not of any
+// solver run, so it cannot be poisoned by a bad solve). It reports whether
+// a solution was actually evicted; the Quarantined counter advances only
+// then, so repeated same-shape failures count once per poisoned solution.
+// Nil-safe.
+func (c *Cache) quarantine(shape uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent := c.entries[shape]
+	if ent == nil || (ent.x == nil && ent.xMat == nil) {
+		return false
+	}
+	// Entries are immutable once stored (readers hold them outside the
+	// lock), so eviction replaces the entry rather than clearing fields.
+	c.entries[shape] = &cacheEntry{content: ent.content, low: ent.low}
+	c.stats.Quarantined++
+	return true
 }
 
 // record updates the effectiveness counters for one solve. Nil-safe.

@@ -158,6 +158,26 @@ func TestCacheInfeasibleIncumbentRejected(t *testing.T) {
 	if res.Status != guard.StatusConverged || math.Abs(res.Objective-10) > 1e-9 {
 		t.Fatalf("tightened solve: status %v obj %g, want Converged 10", res.Status, res.Objective)
 	}
+	// The rejected incumbent is quarantined — evicted and counted once, not
+	// re-checked on every same-shape lookup.
+	if st := cache.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want Quarantined 1", st)
+	}
+	// The tightened solve's own (certified) solution replaced the poisoned
+	// one, so the next same-shape solve warm-starts from it without another
+	// rejection.
+	perturbed := knapsackIR([]float64{10, 13, 8})
+	perturbed.Lin[0].RHS = 3
+	res, err = prob.Solve(perturbed, prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarmStarted {
+		t.Fatal("solve after quarantine did not warm-start from the replacement solution")
+	}
+	if st := cache.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats after recovery = %+v, want Quarantined still 1", st)
+	}
 }
 
 // TestCacheSDPWarmStart covers the matrix-variable arm: a same-shape

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cert"
 	"repro/internal/guard"
 	"repro/internal/lp"
 	"repro/internal/mat"
@@ -43,6 +44,20 @@ type Options struct {
 	// Cache, when non-nil, memoizes lowered forms and warm starts across
 	// solves keyed by structural fingerprint (see Cache).
 	Cache *Cache
+
+	// Cert configures the a-posteriori certificate every converged result
+	// must pass before it leaves Solve (internal/cert; DESIGN.md §11). The
+	// zero value arms the certifier with the default tolerance policy and
+	// the full escalation ladder.
+	Cert CertConfig
+
+	// Tamper, when non-nil, mutates the backend-space result between
+	// dispatch and certification. It is the fault-injection seam the chaos
+	// suites use to model solver-internal corruption (see the
+	// internal/faultinject CorruptMode plans); production callers leave it
+	// nil. Escalation re-solves pass through Tamper again — an injected
+	// fault stays armed for the whole ladder.
+	Tamper func(*Result)
 }
 
 // Result is the unified solver output.
@@ -71,6 +86,23 @@ type Result struct {
 	// WarmStarted that a previous solution seeded this solve.
 	CacheHit    bool
 	WarmStarted bool
+
+	// Cert is the a-posteriori certificate of the returned solution (nil
+	// only when Options.Cert.Disable was set). VerdictNone marks results
+	// whose typed status already signals failure — there is nothing to
+	// certify. A certificate that fails or escalates is also recorded in
+	// the Trail ("cert:fail(...)", "cert:retry(n)", "cert:pass"); a clean
+	// first-attempt pass keeps the trail as-is.
+	Cert *cert.Certificate
+	// Residual is the certifier's recomputed primal feasibility residual
+	// (maximum relative violation against the lowered problem) at the
+	// backend solution; 0 when certification did not run.
+	Residual float64
+	// Gap is the backend-surfaced optimality evidence, in backend units:
+	// the barrier bound m/t (qp), the primal-dual objective disagreement
+	// (sdp), or the incumbent-vs-bound gap (minlp). 0 for lp (the simplex
+	// surfaces no dual information).
+	Gap float64
 
 	// Backend-specific results, populated for the backend that ran. These
 	// carry the raw (pre-lift, minimize-sense) numbers — bounds, node
@@ -115,8 +147,10 @@ func Solve(p *Problem, o Options) (*Result, error) {
 	}
 	var fp Fingerprint
 	var ent *cacheEntry
+	fpDone := false
 	if o.Cache != nil {
 		fp = p.Fingerprint()
+		fpDone = true
 		ent = o.Cache.lookup(fp.Shape)
 	}
 	var low *loweredForm
@@ -130,26 +164,92 @@ func Solve(p *Problem, o Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	res, err := dispatch(low, o, ent)
+
+	// attempt runs one dispatch under ao: backend solve, the fault-injection
+	// seam, then recovery lifting. The backend-space solution is captured
+	// before lifting mutates X in place — it is what certification checks
+	// against the lowered problem and what the cache stores.
+	attempt := func(ao Options, aent *cacheEntry) (res *Result, backendX []float64, backendXMat *mat.Matrix, rejected bool, err error) {
+		res, rejected, err = dispatch(low, ao, aent)
+		if res == nil {
+			return nil, nil, nil, rejected, err
+		}
+		if ao.Tamper != nil {
+			ao.Tamper(res)
+		}
+		res.CacheHit = hit
+		res.Trail = append(low.trail.Passes(), "backend:"+low.backend)
+		backendX = cloneF(res.X)
+		backendXMat = res.XMat
+		low.trail.Lift(res)
+		if p.Matrix == nil && res.X != nil {
+			// Report the objective of the problem as stated (own sense,
+			// constants included) at the lifted point; the raw backend
+			// value survives in the backend-specific result.
+			res.Objective = p.EvalObjective(res.X)
+		}
+		return res, backendX, backendXMat, rejected, err
+	}
+
+	res, backendX, backendXMat, rejected, err := attempt(o, ent)
+	if rejected {
+		// The cached solution failed warm-start re-verification against
+		// this instance: evict it once instead of re-checking (and
+		// re-rejecting) it on every future same-shape lookup.
+		o.Cache.quarantine(fp.Shape)
+	}
 	if res == nil {
 		o.Cache.record(hit, false)
 		return nil, err
 	}
-	res.CacheHit = hit
-	res.Trail = append(low.trail.Passes(), "backend:"+low.backend)
 	o.Cache.record(hit, res.WarmStarted)
 
-	// Capture the backend-space solution before lifting mutates X in place.
-	backendX := cloneF(res.X)
-	backendXMat := res.XMat
-	low.trail.Lift(res)
-	if p.Matrix == nil && res.X != nil {
-		// Report the objective of the problem as stated (own sense,
-		// constants included) at the lifted point; the raw backend value
-		// survives in the backend-specific result.
-		res.Objective = p.EvalObjective(res.X)
+	if !o.Cert.Disable {
+		c := certifyAttempt(p, low, o, res, backendX)
+		res.Cert = c
+		if c.Verdict == cert.VerdictFail {
+			// A poisoned answer must never warm-start another solve, even
+			// if a later rung recovers: the cached solution predates the
+			// failure and shares its provenance.
+			o.Cache.quarantine(fp.Shape)
+			certTrail := []string{"cert:" + c.String()}
+			if !fpDone {
+				// Content bits seed the perturbed-restart rung even when
+				// no cache is attached.
+				fp = p.Fingerprint()
+				fpDone = true
+			}
+			for r := 1; r <= o.Cert.retries() && c.Verdict == cert.VerdictFail; r++ {
+				ro := escalated(o, r, fp.Content)
+				res2, bx2, bxm2, _, err2 := attempt(ro, nil)
+				if res2 == nil {
+					certTrail = append(certTrail, fmt.Sprintf("cert:retry(%d):error", r))
+					continue
+				}
+				c = certifyAttempt(p, low, ro, res2, bx2)
+				c.Retries = r
+				res2.Cert = c
+				certTrail = append(certTrail, fmt.Sprintf("cert:retry(%d)", r), "cert:"+c.String())
+				res, backendX, backendXMat, err = res2, bx2, bxm2, err2
+			}
+			res.Trail = append(res.Trail, certTrail...)
+			if c.Verdict == cert.VerdictFail {
+				// Degrade: a converged status must never leave Solve with
+				// an uncertified solution attached. StatusDiverged is the
+				// taxonomy's "numbers cannot be trusted" cause; the qos
+				// ladder treats it as a rung failure and falls through.
+				if res.Status == guard.StatusConverged || res.Status == guard.StatusOK {
+					res.Status = guard.StatusDiverged
+				}
+				if err == nil {
+					err = guard.Err(guard.StatusDiverged, "prob: result failed certification: %s", c)
+				}
+			}
+		}
 	}
-	if (backendX != nil || backendXMat != nil) && res.Status != guard.StatusDiverged {
+
+	certOK := res.Cert == nil || res.Cert.Verdict != cert.VerdictFail
+	if (backendX != nil || backendXMat != nil) && res.Status != guard.StatusDiverged && certOK {
 		o.Cache.store(fp, low, backendX, backendXMat)
 	}
 	return res, err
@@ -198,20 +298,23 @@ func lowerForBackend(p *Problem) (*loweredForm, error) {
 
 // dispatch runs the backend for the lowered form. The returned Result holds
 // the backend-space solution (X cloned so recovery lifts never alias the raw
-// backend result); err mirrors the backend's error contract.
-func dispatch(low *loweredForm, o Options, ent *cacheEntry) (*Result, error) {
+// backend result); err mirrors the backend's error contract. rejected
+// reports that the cache entry's solution was offered as a warm start and
+// failed its re-verification — the caller quarantines it so the check is
+// never repeated against the same poisoned solution.
+func dispatch(low *loweredForm, o Options, ent *cacheEntry) (res *Result, rejected bool, err error) {
 	switch low.backend {
 	case "lp":
 		sol, err := lp.SolveBudget(low.lp, o.Budget)
 		if sol == nil {
-			return nil, err
+			return nil, false, err
 		}
 		res := &Result{Backend: "lp", LP: sol, X: cloneF(sol.X), Objective: sol.Objective}
 		res.Status = sol.Guard
 		if res.Status == guard.StatusOK {
 			res.Status = sol.Status.Guard()
 		}
-		return res, err
+		return res, false, err
 
 	case "minlp":
 		mo := minlp.Options{
@@ -227,7 +330,13 @@ func dispatch(low *loweredForm, o Options, ent *cacheEntry) (*Result, error) {
 		// the backend-sense objective is computed here, never by callers.
 		best := math.Inf(1)
 		consider := func(x []float64, fromCache bool) {
-			if x == nil || !low.final.feasible(x, incumbentTol) {
+			if x == nil {
+				return
+			}
+			if !low.final.feasible(x, incumbentTol) {
+				if fromCache {
+					rejected = true
+				}
 				return
 			}
 			if v := backendLinObj(low.final, x); v < best {
@@ -243,34 +352,41 @@ func dispatch(low *loweredForm, o Options, ent *cacheEntry) (*Result, error) {
 		}
 		r, err := minlp.SolveMILP(low.milp, mo)
 		if r == nil {
-			return nil, err
+			return nil, rejected, err
 		}
 		res := &Result{Backend: "minlp", MILP: r, X: cloneF(r.X), Objective: r.Objective, WarmStarted: warm}
+		if r.X != nil && guard.Finite(r.Gap()) {
+			res.Gap = r.Gap()
+		}
 		res.Status = r.Guard
 		if res.Status == guard.StatusOK {
 			res.Status = r.Status.Guard()
 		}
-		return res, err
+		return res, rejected, err
 
 	case "qp":
 		qo := o.QP
 		qo.Budget = o.Budget
 		x0 := o.X0
 		warm := false
-		if x0 == nil && ent != nil && qpStrictlyFeasible(low.qp, ent.x) {
-			x0 = cloneF(ent.x)
-			warm = true
+		if x0 == nil && ent != nil && ent.x != nil {
+			if qpStrictlyFeasible(low.qp, ent.x) {
+				x0 = cloneF(ent.x)
+				warm = true
+			} else {
+				rejected = true
+			}
 		}
 		r, err := qp.Solve(low.qp, x0, qo)
 		if r == nil {
-			return nil, err
+			return nil, rejected, err
 		}
-		res := &Result{Backend: "qp", QP: r, X: cloneF(r.X), Objective: r.Objective, WarmStarted: warm}
+		res := &Result{Backend: "qp", QP: r, X: cloneF(r.X), Objective: r.Objective, WarmStarted: warm, Gap: r.Gap}
 		res.Status = r.Status
 		if res.Status == guard.StatusOK {
 			res.Status = guard.StatusConverged
 		}
-		return res, err
+		return res, rejected, err
 
 	default: // "sdp"
 		so := o.SDP
@@ -282,14 +398,14 @@ func dispatch(low *loweredForm, o Options, ent *cacheEntry) (*Result, error) {
 		}
 		r, err := sdp.Solve(low.sdp, so)
 		if r == nil {
-			return nil, err
+			return nil, false, err
 		}
-		res := &Result{Backend: "sdp", SDP: r, XMat: r.X, Objective: r.Objective, WarmStarted: warm}
+		res := &Result{Backend: "sdp", SDP: r, XMat: r.X, Objective: r.Objective, WarmStarted: warm, Gap: r.Gap}
 		res.Status = r.Status
 		if res.Status == guard.StatusOK {
 			res.Status = guard.StatusConverged
 		}
-		return res, err
+		return res, false, err
 	}
 }
 

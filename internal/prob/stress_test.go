@@ -1,0 +1,103 @@
+package prob_test
+
+// Concurrency stress for the cache/certifier interplay: many goroutines
+// share one Cache across hit, miss, warm-start, and quarantine paths while a
+// deterministic subset of solves is corrupted through the Tamper seam. Run
+// under -race (ci.sh does), this pins that quarantine never poisons a
+// concurrent clean solve — a corrupted answer is never stored, so warm
+// starts only ever come from certified solutions — and that the stats
+// counters stay coherent.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/guard"
+	"repro/internal/prob"
+)
+
+func TestConcurrentSolvesSharedCache(t *testing.T) {
+	// Three same-shape knapsack variants (content churn → warm starts) with
+	// known optima; repeats of the same rates exercise verbatim hits.
+	type variant struct {
+		rates []float64
+		opt   float64
+	}
+	vars := []variant{
+		{[]float64{10, 13, 7}, 20}, // (0,1,1)
+		{[]float64{10, 14, 7}, 21}, // (0,1,1)
+		{[]float64{12, 13, 7}, 20}, // (0,1,1); (1,0,1) ties at 19
+	}
+	cache := prob.NewCache()
+	const goroutines = 8
+	const iters = 24
+	var wg sync.WaitGroup
+	var corrupted, clean atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := vars[(g+i)%len(vars)]
+				opts := prob.Options{Cache: cache}
+				poison := (g*iters+i)%5 == 0
+				if poison {
+					// Hand back a known-infeasible point; MaxRetries -1 keeps
+					// the ladder off so the stress stays fast and every
+					// poisoned solve ends in a typed degradation.
+					opts.Cert = prob.CertConfig{MaxRetries: -1}
+					opts.Tamper = func(r *prob.Result) {
+						if r.X != nil {
+							r.X = []float64{1, 1, 1}
+						}
+					}
+				}
+				res, err := prob.Solve(knapsackIR(v.rates), opts)
+				if res == nil {
+					t.Errorf("goroutine %d iter %d: nil result (err %v)", g, i, err)
+					continue
+				}
+				if poison {
+					corrupted.Add(1)
+					if err == nil || res.Status == guard.StatusConverged {
+						t.Errorf("goroutine %d iter %d: poisoned solve accepted: %v %v", g, i, res.Status, err)
+					}
+					if res.Cert == nil || res.Cert.Verdict != cert.VerdictFail {
+						t.Errorf("goroutine %d iter %d: poisoned solve certificate %v", g, i, res.Cert)
+					}
+					continue
+				}
+				clean.Add(1)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: clean solve failed: %v", g, i, err)
+					continue
+				}
+				// The safety property under concurrent quarantine: every
+				// clean solve converges to its variant's true optimum with a
+				// passing certificate, no matter which poisoned entries were
+				// being evicted around it.
+				if res.Status != guard.StatusConverged || math.Abs(res.Objective-v.opt) > 1e-9 {
+					t.Errorf("goroutine %d iter %d: rates %v → status %v obj %g, want Converged %g",
+						g, i, v.rates, res.Status, res.Objective, v.opt)
+				}
+				if res.Cert == nil || res.Cert.Verdict != cert.VerdictPass {
+					t.Errorf("goroutine %d iter %d: clean solve certificate %v", g, i, res.Cert)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if total := int(corrupted.Load() + clean.Load()); st.Hits+st.Misses != total {
+		t.Errorf("stats %+v: hits+misses = %d, want %d (one record per solve)", st, st.Hits+st.Misses, total)
+	}
+	if st.Hits == 0 || st.WarmStarts == 0 {
+		t.Errorf("stress never exercised reuse: %+v", st)
+	}
+	if st.Quarantined == 0 {
+		t.Errorf("stress never exercised quarantine: %+v", st)
+	}
+}

@@ -28,6 +28,10 @@ type RelaxedResult struct {
 	Objective float64
 	// Guard is the LP's typed termination cause.
 	Guard guard.Status
+	// Cert is the a-posteriori certificate verdict of the underlying solve
+	// ("pass", "none", or "fail(...)"; see internal/cert). Empty when the
+	// solve never produced a result to certify.
+	Cert string
 }
 
 // SolveRelaxed solves the LP relaxation of the column-selection MILP (the
@@ -64,12 +68,12 @@ func (p *Problem) solveRelaxedIR(cols []milpColumn, ir *prob.Problem, b guard.Bu
 		return nil, &RelaxedResult{Guard: st}, fmt.Errorf("qos: relaxed solve: %w", err)
 	}
 	if res.LP == nil || res.LP.Status != lp.StatusOptimal {
-		return nil, &RelaxedResult{Guard: res.Status},
+		return nil, &RelaxedResult{Guard: res.Status, Cert: res.Cert.String()},
 			fmt.Errorf("qos: relaxed solve: LP %v", res.LP.Status)
 	}
 	// res.Objective is the IR's maximize-sense value at the LP optimum —
 	// bit-identical to the historical -sol.Objective sign correction.
-	rr := &RelaxedResult{Objective: res.Objective, Guard: res.Status}
+	rr := &RelaxedResult{Objective: res.Objective, Guard: res.Status, Cert: res.Cert.String()}
 
 	// Rounding: per block, the column with the largest fractional weight
 	// (ties broken by column order — deterministic).
@@ -152,7 +156,11 @@ type RungReport struct {
 	// when the rung produced none).
 	TotalRateBps float64
 	AllQoSMet    bool
-	Detail       string
+	// Cert is the a-posteriori certificate verdict of the rung's underlying
+	// prob solve ("pass", "none", "fail(...)"); empty for the heuristic
+	// rungs (PSO, greedy), which run no certified solver.
+	Cert   string
+	Detail string
 }
 
 // Degradation is the ladder's audit trail: every rung tried, in order, and
@@ -174,6 +182,9 @@ func (d *Degradation) String() string {
 			mark = "✓"
 		}
 		fmt.Fprintf(&sb, "%s %-8s status=%-16s", mark, r.Rung, r.Status)
+		if r.Cert != "" {
+			fmt.Fprintf(&sb, " cert=%s", r.Cert)
+		}
 		if r.Attempts > 1 {
 			fmt.Fprintf(&sb, " attempts=%d", r.Attempts)
 		}
@@ -290,11 +301,14 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 
 	// Rung 1: exact branch and bound.
 	if !interrupted(RungExact) {
-		alloc, res, err := p.solveExactIR(cols, ir, minlp.Options{MaxNodes: o.MaxNodes, Budget: o.Budget}, cache)
+		alloc, sol, err := p.solveExactIR(cols, ir, minlp.Options{MaxNodes: o.MaxNodes, Budget: o.Budget}, cache)
 		rr := RungReport{Attempts: 1}
-		if res != nil {
-			rr.Status = res.Guard
-			rr.Detail = fmt.Sprintf("%d nodes", res.Nodes)
+		if sol != nil && sol.MILP != nil {
+			rr.Status = sol.MILP.Guard
+			rr.Detail = fmt.Sprintf("%d nodes", sol.MILP.Nodes)
+		}
+		if sol != nil {
+			rr.Cert = sol.Cert.String()
 		}
 		if err != nil && rr.Status == guard.StatusOK {
 			rr.Status = guard.StatusDiverged
@@ -313,6 +327,7 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 		rr := RungReport{Attempts: 1}
 		if res != nil {
 			rr.Status = res.Guard
+			rr.Cert = res.Cert
 		}
 		if err != nil && rr.Status == guard.StatusOK {
 			rr.Status = guard.StatusDiverged

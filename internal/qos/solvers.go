@@ -193,13 +193,19 @@ func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error
 		return nil, nil, err
 	}
 	cols, ir := p.columnModel()
-	return p.solveExactIR(cols, ir, o, nil)
+	alloc, sol, err := p.solveExactIR(cols, ir, o, nil)
+	var res *minlp.Result
+	if sol != nil {
+		res = sol.MILP
+	}
+	return alloc, res, err
 }
 
 // solveExactIR runs the exact rung on an already-built column model,
 // optionally sharing a lowering/warm-start cache with other rungs or batch
-// instances.
-func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Options, cache *prob.Cache) (*Allocation, *minlp.Result, error) {
+// instances. The full prob.Result is returned (not just the BnB statistics)
+// so ladder callers can audit the a-posteriori certificate verdict.
+func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Options, cache *prob.Cache) (*Allocation, *prob.Result, error) {
 	po := prob.Options{
 		Budget:    o.Budget,
 		MaxNodes:  o.MaxNodes,
@@ -223,13 +229,13 @@ func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Opti
 		res = sol.MILP
 	}
 	if err != nil && !errors.Is(err, minlp.ErrBudget) {
-		return nil, res, fmt.Errorf("qos: exact solve: %w", err)
+		return nil, sol, fmt.Errorf("qos: exact solve: %w", err)
 	}
 	// StatusOptimal carries the proven optimum; StatusBudget carries the
 	// best incumbent found before the node budget ran out (res.BestBound
 	// quantifies the remaining gap). Both decode to an allocation.
 	if res == nil || res.X == nil || (res.Status != minlp.StatusOptimal && res.Status != minlp.StatusBudget) {
-		return nil, res, nil
+		return nil, sol, nil
 	}
 	alloc := NewAllocation(p.Inst.Params.NumRBs)
 	for i, c := range cols {
@@ -238,7 +244,7 @@ func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Opti
 			alloc.PowerW[c.rb] = p.Levels[c.level]
 		}
 	}
-	return alloc, res, nil
+	return alloc, sol, nil
 }
 
 // greedyIncumbent maps the greedy allocation onto the MILP columns and

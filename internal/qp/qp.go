@@ -139,6 +139,13 @@ type Result struct {
 	// (X is then the last centered iterate — strictly feasible but not yet
 	// at tolerance), which also returns a *guard.Error.
 	Status guard.Status
+	// Gap is the barrier duality-gap bound m/t at termination: for a
+	// centered iterate, F0(X) is within Gap of the optimum. Below Tol on
+	// converged exits; a-posteriori certifiers read it instead of
+	// re-deriving dual multipliers.
+	Gap float64
+	// BarrierT is the final barrier weight t behind Gap.
+	BarrierT float64
 }
 
 // Solve minimizes the problem starting from the strictly feasible x0.
@@ -166,6 +173,16 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 	m := len(p.Ineq)
 	res := &Result{}
 	t := o.T0
+	// setGap surfaces the barrier's own optimality evidence: with m
+	// inequalities and barrier weight t, a centered iterate is within m/t
+	// of optimal (0 when there are no inequalities — the Newton step then
+	// solves the equality-constrained problem directly).
+	setGap := func() {
+		res.BarrierT = t
+		if m > 0 {
+			res.Gap = float64(m) / t
+		}
+	}
 	mon := o.Budget.Start()
 	for {
 		// Budget is checked at centering-stage boundaries: every iterate is
@@ -175,6 +192,7 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 			res.X = x
 			res.Objective = p.F0.Eval(x)
 			res.Status = st
+			setGap()
 			return res, guard.Err(st, "qp: barrier interrupted after %d newton steps", res.Iterations)
 		}
 		it, err := center(p, x, t, o.NewtonIt)
@@ -194,6 +212,7 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 	res.X = x
 	res.Objective = p.F0.Eval(x)
 	res.Status = guard.StatusConverged
+	setGap()
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/mat"
 	"repro/internal/prob"
 	"repro/internal/sdp"
@@ -64,6 +65,11 @@ func DecomposeDiagLowRank(rs *mat.Matrix, o TraceMinOptions) (*Decomposition, er
 	res, err := prob.Solve(ir, prob.Options{Budget: o.SDP.Budget, SDP: o.SDP})
 	if err != nil {
 		return nil, fmt.Errorf("relax: trace minimization: %w", err)
+	}
+	if res.Status != guard.StatusConverged {
+		// A nil error can still carry a degraded or uncertified partial
+		// result; the decomposition must come from a certified solve.
+		return nil, guard.Err(res.Status, "relax: trace minimization did not certify")
 	}
 	rc := res.XMat
 	rn := mat.New(n, n)

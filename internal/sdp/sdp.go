@@ -80,6 +80,12 @@ type Result struct {
 	// DualFeasError is max(0, -λmin(S)): how far the recovered slack is
 	// from the PSD cone. Zero (to tolerance) at convergence.
 	DualFeasError float64
+	// Gap is |Objective - DualObjective|, the primal-dual objective
+	// disagreement of the recovered certificate. Only meaningful together
+	// with DualFeasError (weak duality holds exactly only for a feasible
+	// dual point); a-posteriori certifiers read the pair instead of
+	// re-deriving multipliers.
+	Gap float64
 	// Status is the typed termination cause: Converged, MaxIter (budget
 	// exhausted above tolerance), Diverged (non-finite iterate; X is the
 	// last finite one), Timeout, or Canceled.
@@ -257,6 +263,7 @@ func fillDual(res *Result, p *Problem, cSym *mat.Matrix, lam []float64, rho floa
 		}
 	}
 	res.DualObjective = dualObj
+	res.Gap = math.Abs(res.Objective - dualObj)
 	if lo, err := mat.MinEigenvalue(slack.Symmetrize()); err == nil && lo < 0 {
 		res.DualFeasError = -lo
 	}

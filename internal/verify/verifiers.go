@@ -263,9 +263,11 @@ func VerifyTriangleBudget(n *Network, input []relax.Interval, spec *Spec, b guar
 		return nil, fmt.Errorf("verify: triangle LP: %w", err)
 	}
 	res := &Result{LPs: 1, LowerBound: math.Inf(-1)}
-	if sol.LP.Status != lp.StatusOptimal {
+	if sol.Status != guard.StatusConverged || sol.LP.Status != lp.StatusOptimal {
 		// The relaxation includes the true reachable set, so infeasibility
-		// can only mean an empty input box.
+		// can only mean an empty input box; any other non-certified outcome
+		// (degraded status, failed a-posteriori certificate) likewise
+		// answers Unknown — never "robust" on uncertified numbers.
 		res.Verdict = VerdictUnknown
 		return res, nil
 	}
@@ -335,8 +337,14 @@ func VerifyExact(n *Network, input []relax.Interval, spec *Spec, o ExactOptions)
 		if err != nil {
 			return res, fmt.Errorf("verify: node LP: %w", err)
 		}
-		if sol.LP.Status != lp.StatusOptimal {
+		if sol.Status == guard.StatusInfeasible || sol.LP.Status == lp.StatusInfeasible {
 			continue // empty phase region
+		}
+		if sol.Status != guard.StatusConverged || sol.LP.Status != lp.StatusOptimal {
+			// A node LP that is neither certified optimal nor provably empty
+			// cannot be skipped (that would silently drop a subtree from the
+			// exact search) — surface it as a typed failure instead.
+			return res, guard.Err(sol.Status, "verify: node LP ended %v without certifying", sol.Status)
 		}
 		nodeBound := sol.LP.Objective + spec.D
 		if nodeBound >= -1e-9 {
