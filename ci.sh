@@ -38,6 +38,21 @@
 #                      enforces cleanliness under plain `go test ./...`,
 #                      while this stage gives scripts and pre-push hooks a
 #                      direct, greppable report.
+#   4b. rcrlint -json — the same findings as a machine-readable artifact
+#                      (rcrlint.json, overwritten each run; includes
+#                      suppressed findings with their reasons so the
+#                      suppression debt is reviewable). The artifact is also
+#                      what `rcrlint -baseline` consumes when a branch wants
+#                      to fail only on NEW findings relative to a committed
+#                      snapshot.
+#   4c. rcrlint -escapes
+#                    — compiler cross-check of the allochot rule: parses
+#                      `go build -gcflags=-m` and fails if the compiler's
+#                      escape analysis reports a heap allocation inside any
+#                      //rcr:hot function or rcrlint.hotroots entry. The AST
+#                      rule over-approximates reachability; this audit
+#                      catches what it cannot see (escaping locals, boxing
+#                      the compiler introduces).
 set -eu
 cd "$(dirname "$0")"
 
@@ -58,5 +73,17 @@ go test -tags faultinject -race -cpu 1,4 -short ./...
 
 echo "ci: rcrlint"
 go run ./cmd/rcrlint ./...
+
+echo "ci: rcrlint -json artifact"
+go run ./cmd/rcrlint -json ./... > rcrlint.json || {
+	status=$?
+	# exit 1 means live findings (stage 4 would have caught them); only a
+	# usage/load error (2) is fatal here since stage 4 just passed.
+	[ "$status" -ge 2 ] && exit "$status"
+}
+echo "ci: wrote rcrlint.json"
+
+echo "ci: rcrlint -escapes audit"
+go run ./cmd/rcrlint -escapes ./...
 
 echo "ci: OK"

@@ -41,6 +41,7 @@ type Baseline struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	RCRWorkers string          `json:"rcr_workers"` // RCR_WORKERS env, "" = unset
 	Kernels    []KernelTiming  `json:"kernels"`
+	HotAllocs  []AllocProbe    `json:"hot_allocs"` // exported //rcr:hot roots, must all be 0
 	Exps       []ExperimentRun `json:"experiments"`
 }
 
@@ -87,6 +88,11 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 		b.Kernels = append(b.Kernels,
 			KernelTiming{Name: gp.name + "_unguarded", Size: gp.size, Iters: iters, NsPerOp: nsU},
 			KernelTiming{Name: gp.name + "_guarded", Size: gp.size, Iters: iters, NsPerOp: nsG})
+	}
+	hotAllocs, err := allocProbes(seed)
+	b.HotAllocs = hotAllocs
+	if err != nil {
+		return "", err
 	}
 	for _, pp := range probPairs(seed) {
 		iters, nsA, nsB := timePair(pp.a, pp.b)

@@ -68,6 +68,25 @@ func TestBaselineWritesSnapshot(t *testing.T) {
 	}
 }
 
+// TestHotRootsAllocFree pins the allochot contract at runtime: every
+// exported //rcr:hot root must do zero allocations per op. This runs even
+// in -short mode — the probes are microseconds, and a regression here is
+// exactly what the lint rule exists to prevent.
+func TestHotRootsAllocFree(t *testing.T) {
+	probes, err := allocProbes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) < 4 {
+		t.Fatalf("expected probes for all exported hot roots, got %d", len(probes))
+	}
+	for _, p := range probes {
+		if p.AllocsPerOp != 0 {
+			t.Errorf("%s: %g allocs/op, want 0", p.Name, p.AllocsPerOp)
+		}
+	}
+}
+
 func TestRunQuickExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping experiment execution in -short mode")

@@ -3,25 +3,47 @@
 //
 //	file:line: [rule] message
 //
-// It exits 0 when every finding is fixed or suppressed with a reasoned
-// //lint:ignore directive, 1 when unsuppressed findings remain, and 2 on
-// load or usage errors — so it is directly scriptable from ci.sh.
+// Exit codes are scriptable from ci.sh:
+//
+//	0  every finding is fixed, suppressed with a reasoned //lint:ignore
+//	   directive, or already present in the -baseline artifact
+//	1  unsuppressed (and, with -baseline, new) findings remain
+//	2  load, build, or usage error
 //
 // Usage:
 //
-//	rcrlint [flags] [./... | dir ...]
+//	rcrlint [flags] [./... | dir | dir/... ...]
 //
 // With "./..." (or no arguments) every package under the enclosing module
-// is analyzed. Explicit directories restrict analysis to those packages;
-// the rest of the module is still loaded for type information.
+// reports findings. Explicit directories narrow which packages report;
+// "dir/..." includes their subtrees. The whole module is always loaded and
+// analyzed regardless — the interprocedural rules (allochot, nondet,
+// budgetless) need the full call graph, so a narrowed run sees the same
+// graph and only filters what is printed. Overlapping patterns report each
+// package once.
+//
+// -json emits the findings (suppressed ones included, marked) as a JSON
+// array for CI artifacts. -baseline compares against a previous -json
+// artifact and fails only on findings not present in it, keyed by
+// (file, rule, message) so pure line motion does not break CI.
+//
+// -escapes cross-checks the allochot rule against the compiler: it runs
+// `go build -gcflags=-m`, keeps the "escapes to heap"/"moved to heap"
+// diagnostics that land inside functions reachable from //rcr:hot roots,
+// and reports them under the allochot rule (suppressions apply as usual).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 
 	"repro/internal/lint"
@@ -35,11 +57,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rcrlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		chdir   = fs.String("C", "", "analyze the module rooted at this `dir` instead of the working directory")
-		modPath = fs.String("module", "", "module `path` override for trees without a go.mod (fixtures)")
-		rules   = fs.String("rules", "", "comma-separated `list` of rules to run (default: all)")
-		verbose = fs.Bool("v", false, "also print suppressed findings with their reasons")
+		chdir    = fs.String("C", "", "analyze the module rooted at this `dir` instead of the working directory")
+		modPath  = fs.String("module", "", "module `path` override for trees without a go.mod (fixtures)")
+		rules    = fs.String("rules", "", "comma-separated `list` of rules to run (default: all)")
+		verbose  = fs.Bool("v", false, "also print suppressed and baselined findings")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array (suppressed ones included, marked)")
+		baseline = fs.String("baseline", "", "JSON artifact from a previous -json run; fail only on findings not in `file`")
+		escapes  = fs.Bool("escapes", false, "cross-check hot-path allocations against `go build -gcflags=-m` output")
 	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: rcrlint [flags] [./... | dir | dir/... ...]")
+		fmt.Fprintln(stderr, "exit codes: 0 clean (or no new findings vs -baseline), 1 findings, 2 load/usage error")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,25 +98,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	// Positional args: "./..." (or nothing) means the whole module;
-	// explicit directories narrow the analyzed set.
+	// Positional args: "./..." (or nothing) means the whole module reports;
+	// explicit directories narrow reporting, with "dir/..." spanning the
+	// subtree. The full module is loaded either way.
 	for _, arg := range fs.Args() {
 		if arg == "./..." || arg == "..." {
 			cfg.Dirs = nil
 			break
 		}
-		arg = strings.TrimSuffix(arg, "/...")
-		abs, err := filepath.Abs(filepath.Join(root, arg))
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
+		dirs, errCode := expandPattern(cfg.Root, root, arg, stderr)
+		if errCode != 0 {
+			return errCode
 		}
-		rel, err := filepath.Rel(cfg.Root, abs)
-		if err != nil || strings.HasPrefix(rel, "..") {
-			fmt.Fprintf(stderr, "rcrlint: %s is outside module root %s\n", arg, cfg.Root)
-			return 2
-		}
-		cfg.Dirs = append(cfg.Dirs, rel)
+		cfg.Dirs = append(cfg.Dirs, dirs...)
 	}
 
 	fset, pkgs, err := lint.Load(cfg)
@@ -94,26 +118,274 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	reported := 0
+	for _, p := range pkgs {
+		if p.Report {
+			reported++
+		}
+	}
 	// A narrowed run that matches nothing is a typo'd path, not a clean tree.
-	if len(cfg.Dirs) > 0 && len(pkgs) == 0 {
+	if len(cfg.Dirs) > 0 && reported == 0 {
 		fmt.Fprintf(stderr, "rcrlint: no packages in %s\n", strings.Join(cfg.Dirs, ", "))
 		return 2
 	}
 
-	diags := lint.Run(fset, pkgs, analyzers)
-	live := 0
-	for _, d := range diags {
-		if d.Suppressed && !*verbose {
+	var diags []lint.Diagnostic
+	if *escapes {
+		diags, err = escapeDiagnostics(cfg, fset, pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		diags = lint.Run(fset, pkgs, analyzers)
+	}
+
+	base, err := loadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	live, baselined := 0, 0
+	isNew := make([]bool, len(diags))
+	for i, d := range diags {
+		if d.Suppressed {
 			continue
 		}
-		if !d.Suppressed {
-			live++
+		if base.covers(d, cfg.Root) {
+			baselined++
+			continue
 		}
-		fmt.Fprintln(stdout, d.Format(cfg.Root))
+		isNew[i] = true
+		live++
+	}
+
+	if *jsonOut {
+		if err := writeJSON(stdout, diags, cfg.Root); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for i, d := range diags {
+			if !*verbose && (d.Suppressed || !isNew[i]) {
+				continue
+			}
+			fmt.Fprintln(stdout, d.Format(cfg.Root))
+		}
 	}
 	if live > 0 {
-		fmt.Fprintf(stderr, "rcrlint: %d unsuppressed finding(s)\n", live)
+		if baselined > 0 {
+			fmt.Fprintf(stderr, "rcrlint: %d new finding(s) (%d more in baseline)\n", live, baselined)
+		} else {
+			fmt.Fprintf(stderr, "rcrlint: %d unsuppressed finding(s)\n", live)
+		}
 		return 1
 	}
 	return 0
+}
+
+// expandPattern maps one positional argument to root-relative directories.
+// "dir" is that directory; "dir/..." is every directory under it containing
+// .go files (testdata, hidden, and underscore-prefixed directories are
+// skipped, as in loading).
+func expandPattern(modRoot, cwd, arg string, stderr io.Writer) ([]string, int) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+		recursive = true
+		arg = rest
+	}
+	abs, err := filepath.Abs(filepath.Join(cwd, arg))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return nil, 2
+	}
+	rel, err := filepath.Rel(modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		fmt.Fprintf(stderr, "rcrlint: %s is outside module root %s\n", arg, modRoot)
+		return nil, 2
+	}
+	if !recursive {
+		return []string{rel}, 0
+	}
+	var out []string
+	err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				r, err := filepath.Rel(modRoot, path)
+				if err != nil {
+					return err
+				}
+				out = append(out, r)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "rcrlint: %s: %v\n", arg, err)
+		return nil, 2
+	}
+	return out, 0
+}
+
+// jsonFinding is the machine-readable form of one diagnostic, stable for
+// CI artifacts and -baseline diffs.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Rule       string `json:"rule"`
+	Severity   string `json:"severity"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func toJSON(d lint.Diagnostic, root string) jsonFinding {
+	name := d.Position.Filename
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return jsonFinding{
+		File:       name,
+		Line:       d.Position.Line,
+		Rule:       d.Rule,
+		Severity:   d.Severity.String(),
+		Message:    d.Message,
+		Suppressed: d.Suppressed,
+		Reason:     d.Reason,
+	}
+}
+
+func writeJSON(w io.Writer, diags []lint.Diagnostic, root string) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, toJSON(d, root))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// baselineSet counts accepted findings keyed by (file, rule, message) —
+// line numbers are deliberately excluded so unrelated edits that move a
+// finding do not break CI.
+type baselineSet struct {
+	counts map[string]int
+}
+
+func baselineKey(file, rule, message string) string {
+	return file + "\x00" + rule + "\x00" + message
+}
+
+// loadBaseline parses a previous -json artifact. An empty path yields an
+// empty set (every unsuppressed finding is new).
+func loadBaseline(path string) (*baselineSet, error) {
+	b := &baselineSet{counts: map[string]int{}}
+	if path == "" {
+		return b, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("rcrlint: baseline: %w", err)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		return nil, fmt.Errorf("rcrlint: baseline %s: %w", path, err)
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		b.counts[baselineKey(f.File, f.Rule, f.Message)]++
+	}
+	return b, nil
+}
+
+// covers consumes one baseline slot for the diagnostic, reporting whether
+// one was available.
+func (b *baselineSet) covers(d lint.Diagnostic, root string) bool {
+	f := toJSON(d, root)
+	k := baselineKey(f.File, f.Rule, f.Message)
+	if b.counts[k] > 0 {
+		b.counts[k]--
+		return true
+	}
+	return false
+}
+
+// escapeLine matches one compiler escape diagnostic, e.g.
+// "internal/mat/qr.go:21:12: make([]float64, n) escapes to heap".
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): ((?:.+ )?(?:escapes to heap|moved to heap).*)$`)
+
+// constEscape matches escape messages about untyped constants ("..."
+// escapes to heap): those become static interface data, not per-call heap
+// allocations, mirroring the AST rule's constant exemption.
+var constEscape = regexp.MustCompile(`^".*" escapes to heap$`)
+
+// escapeDiagnostics runs the compiler's escape analysis over the module and
+// keeps the diagnostics landing inside hot regions (functions reachable
+// from //rcr:hot roots), so the AST-level allochot rule and the compiler
+// must agree on the hot path.
+func escapeDiagnostics(cfg lint.Config, fset *token.FileSet, pkgs []*lint.Package) ([]lint.Diagnostic, error) {
+	prog := lint.NewProgram(fset, pkgs)
+	regions := prog.HotRegions()
+	if len(regions) == 0 {
+		return nil, nil
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = cfg.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// -m diagnostics land on stderr on success too; a failure means the
+		// module does not build.
+		return nil, fmt.Errorf("rcrlint: go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	var diags []lint.Diagnostic
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if constEscape.MatchString(msg) {
+			continue
+		}
+		lineNo, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(cfg.Root, file)
+		}
+		for _, r := range regions {
+			if r.File == file && lineNo >= r.StartLine && lineNo <= r.EndLine {
+				diags = append(diags, lint.Diagnostic{
+					Position: token.Position{Filename: file, Line: lineNo},
+					Rule:     "allochot",
+					Severity: lint.Warning,
+					Message:  fmt.Sprintf("compiler escape analysis: %s in hot function %s; hot kernels must not allocate per call", msg, r.Func),
+				})
+				break
+			}
+		}
+	}
+	return lint.ApplySuppressions(fset, pkgs, diags), nil
 }

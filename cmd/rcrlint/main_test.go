@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -78,6 +81,127 @@ func TestTypoDirIsError(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "no packages in nonexistent") {
 		t.Errorf("stderr missing no-packages message:\n%s", stderr)
+	}
+}
+
+// TestJSONAndBaselineDiff checks the machine-readable pipeline end to end:
+// -json emits a parseable artifact, and feeding that artifact back through
+// -baseline turns the same findings into a clean exit while a fresh
+// finding set still fails.
+func TestJSONAndBaselineDiff(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "budgetless", "-json", "budgetless")
+	if code != 1 {
+		t.Fatalf("-json exit = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	var live, suppressed int
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Rule != "budgetless" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if f.Suppressed {
+			if f.Reason == "" {
+				t.Errorf("suppressed finding without reason: %+v", f)
+			}
+			suppressed++
+		} else {
+			live++
+		}
+	}
+	if live == 0 || suppressed == 0 {
+		t.Fatalf("want live and suppressed findings in JSON, got %d/%d", live, suppressed)
+	}
+
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(base, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr = runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "budgetless", "-baseline", base, "budgetless")
+	if code != 0 {
+		t.Errorf("baselined run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("baselined run should print no new findings, got:\n%s", stdout)
+	}
+
+	// A baseline for a different rule covers nothing: everything is new.
+	code, _, stderr = runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "allochot", "-baseline", base, "allochot")
+	if code != 1 {
+		t.Errorf("unrelated baseline exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "new finding(s)") && !strings.Contains(stderr, "unsuppressed finding(s)") {
+		t.Errorf("stderr missing finding count:\n%s", stderr)
+	}
+}
+
+// TestOverlappingPatternsDedupe checks a package named by several patterns
+// reports its findings once.
+func TestOverlappingPatternsDedupe(t *testing.T) {
+	_, once, _ := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "floateq", "floateq")
+	_, overlapped, _ := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "floateq", "floateq", "floateq/...", "floateq")
+	if once != overlapped {
+		t.Errorf("overlapping patterns changed output\n--- once ---\n%s--- overlapped ---\n%s", once, overlapped)
+	}
+	if strings.Count(once, "[floateq]") == 0 {
+		t.Fatalf("fixture produced no findings:\n%s", once)
+	}
+}
+
+// TestRecursivePattern checks dir/... reports the subtree.
+func TestRecursivePattern(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-C", fixtureRoot, "-module", "fixture", "-rules", "nondet", "internal/...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (internal/pso seeds nondet findings)\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "internal/pso/pso.go") {
+		t.Errorf("recursive pattern missed internal/pso:\n%s", stdout)
+	}
+}
+
+// TestEscapesModeCleanOnRepo runs the compiler cross-check over the real
+// module: the committed hot roots must be allocation-free per the
+// compiler's own escape analysis, not just the AST over-approximation.
+func TestEscapesModeCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module with -gcflags=-m")
+	}
+	code, stdout, stderr := runCLI(t, "-C", "../..", "-escapes", "./...")
+	if code != 0 {
+		t.Errorf("-escapes exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestEscapeLineParsing pins the -gcflags=-m output shapes the cross-check
+// consumes.
+func TestEscapeLineParsing(t *testing.T) {
+	cases := []struct {
+		line string
+		want bool
+	}{
+		{"internal/mat/qr.go:21:12: make([]float64, n) escapes to heap", true},
+		{"internal/fft/plan.go:7:9: moved to heap: x", true},
+		{"internal/mat/qr.go:21:12: can inline VecDot", false},
+		{"<autogenerated>:1: leaking param: m", false},
+	}
+	for _, tc := range cases {
+		if got := escapeLine.MatchString(tc.line); got != tc.want {
+			t.Errorf("escapeLine(%q) = %v, want %v", tc.line, got, tc.want)
+		}
+	}
+	if !constEscape.MatchString(`"mat: negative dimension" escapes to heap`) {
+		t.Error("constEscape should match constant-string escapes")
+	}
+	if constEscape.MatchString("make([]float64, n) escapes to heap") {
+		t.Error("constEscape must not match real allocations")
 	}
 }
 

@@ -48,8 +48,17 @@ type InertiaFit struct {
 // stagnation levels s = 0..horizon, subject to wMin <= base and boost >= 0
 // (the cap is wMax). The problem is a two-variable convex QP solved by the
 // barrier method — deliberately so: this is the paper's point that even
-// the tooling layer spawns convex optimization problems.
+// the tooling layer spawns convex optimization problems. It runs with no
+// wall-clock budget; deadline-bound callers use FitAdaptiveInertiaBudget.
 func FitAdaptiveInertia(wMin, wMax, tau float64, horizon int) (*InertiaFit, error) {
+	//lint:ignore budgetless documented unbudgeted convenience entry, mirroring lp.Solve; deadline-bound callers use FitAdaptiveInertiaBudget
+	return FitAdaptiveInertiaBudget(guard.Budget{}, wMin, wMax, tau, horizon)
+}
+
+// FitAdaptiveInertiaBudget is FitAdaptiveInertia with the inertia QP solved
+// under the caller's guard.Budget, so a budgeted stack run cannot stall in
+// its layer-1 fit.
+func FitAdaptiveInertiaBudget(b guard.Budget, wMin, wMax, tau float64, horizon int) (*InertiaFit, error) {
 	if !(wMin > 0 && wMax > wMin && wMax < 1.5) {
 		return nil, fmt.Errorf("%w: wMin=%g wMax=%g", ErrKernel, wMin, wMax)
 	}
@@ -93,7 +102,7 @@ func FitAdaptiveInertia(wMin, wMax, tau float64, horizon int) (*InertiaFit, erro
 			{Coeffs: []float64{0, -1}, Sense: prob.LE, RHS: 1e-9},           // boost >= 0
 		},
 	}
-	res, err := prob.Solve(ir, prob.Options{X0: []float64{0.5 * (wMin + wMax), 0.01}})
+	res, err := prob.Solve(ir, prob.Options{X0: []float64{0.5 * (wMin + wMax), 0.01}, Budget: b})
 	if err != nil {
 		return nil, fmt.Errorf("core: inertia QP: %w", err)
 	}

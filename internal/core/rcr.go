@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/guard"
 	"repro/internal/nn"
 	"repro/internal/pso"
 	"repro/internal/relax"
@@ -33,6 +34,11 @@ type StackConfig struct {
 	// BoundLambda weighs relaxation tightness against accuracy in the
 	// tuning objective.
 	BoundLambda float64 // default 0.1
+
+	// Budget bounds the whole stack run: the layer-1 inertia QP, the
+	// layer-2 PSO tuning loop, and the layer-3 exact verification all
+	// draw down the same deadline and cancellation. Zero means unbudgeted.
+	Budget guard.Budget
 
 	Seed uint64
 }
@@ -111,7 +117,7 @@ func RunStack(cfg StackConfig) (*StackReport, error) {
 	rep := &StackReport{}
 
 	// ---- Layer 1: numeric kernel fits the adaptive inertia. ----
-	fit, err := FitAdaptiveInertia(0.4, 0.95, 4, 20)
+	fit, err := FitAdaptiveInertiaBudget(cfg.Budget, 0.4, 0.95, 4, 20)
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +153,7 @@ func RunStack(cfg StackConfig) (*StackReport, error) {
 		Inertia:          fit.Schedule,
 		Encoding:         pso.EncodingRounding,
 		StagnationWindow: 6,
+		Budget:           cfg.Budget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: pso tuning: %w", err)
@@ -226,13 +233,13 @@ func RunStack(cfg StackConfig) (*StackReport, error) {
 	spec2.C[bestC] = 1
 	spec2.C[secondC] = -1
 	box := verify.BoxAround(flatProbe, cfg.Eps)
-	tri, err := verify.VerifyTriangle(vn, box, spec2)
+	tri, err := verify.VerifyTriangleBudget(vn, box, spec2, cfg.Budget)
 	if err != nil {
 		return nil, err
 	}
 	rep.TriangleVerdict = tri.Verdict
 	rep.CertifiedBound = tri.LowerBound
-	ex, err := verify.VerifyExact(vn, box, spec2, verify.ExactOptions{MaxNodes: 400})
+	ex, err := verify.VerifyExact(vn, box, spec2, verify.ExactOptions{MaxNodes: 400, Budget: cfg.Budget})
 	if err != nil {
 		// Budget exhaustion is an expected outcome for large nets; report
 		// unknown rather than failing the stack.

@@ -125,6 +125,8 @@ func (p *Plan) Len() int { return p.n }
 // Do executes the plan in place on x: the forward DFT, or the unnormalized
 // inverse when inv is true (callers divide by n, as IFFT does). len(x) must
 // equal Len(); a mismatch is a programming error.
+//
+//rcr:hot
 func (p *Plan) Do(x []complex128, inv bool) {
 	if len(x) != p.n {
 		//lint:ignore naivepanic hot-path kernel with a documented length contract, mirroring mat.VecDot

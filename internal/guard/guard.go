@@ -161,6 +161,7 @@ func (b Budget) Start() *Monitor {
 	}
 	m := &Monitor{budget: b}
 	if b.Deadline > 0 {
+		//lint:ignore nondet deadline arming gates control flow only; budget outcomes surface as typed statuses, never as silent result data
 		m.deadline = time.Now().Add(b.Deadline)
 	}
 	if b.Ctx != nil {
@@ -227,6 +228,7 @@ func (m *Monitor) Check(iter int) Status {
 	}
 	if !m.deadline.IsZero() {
 		m.ticks++
+		//lint:ignore nondet strided deadline check gates control flow only; a timeout is reported as StatusTimeout, not folded into numeric results
 		if m.ticks&7 == 1 && time.Now().After(m.deadline) {
 			return StatusTimeout
 		}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerAllocHot flags per-call heap allocation in hot code: any function
+// reachable over the call graph from a declared hot root (a //rcr:hot
+// directive on the declaration, or an entry in the committed
+// rcrlint.hotroots list). The ≥3x mat overhaul (ROADMAP item 4) budgets
+// zero allocations per solve iteration for the inner kernels every backend
+// spins on — simplex pivots, barrier steps, Jacobi sweeps, FFT butterflies
+// — and an allocation introduced three calls below a kernel is invisible to
+// per-file review. The rule is an AST over-approximation of the compiler's
+// escape analysis; `rcrlint -escapes` cross-checks it against the real
+// `-gcflags=-m` output so the two must agree on hot regions.
+var AnalyzerAllocHot = &Analyzer{
+	Name:     "allochot",
+	Doc:      "per-call allocation in functions reachable from //rcr:hot roots",
+	Severity: Warning,
+	Run:      runAllocHot,
+}
+
+func runAllocHot(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	roots := p.Prog.HotRoots(func(d Diagnostic) { p.diags = append(p.diags, d) })
+	if len(roots) == 0 {
+		return
+	}
+	reach, via := hotReach(roots)
+	for _, n := range p.Prog.CallGraph().pkgNodes(p.Pkg) {
+		if !reach[n] || n.Decl.Body == nil {
+			continue
+		}
+		root := via[n]
+		checkAllocSites(p, n, root)
+	}
+}
+
+// hotReach runs one BFS over all roots, returning the reachable set and,
+// for each node, the root whose expansion first reached it (for messages).
+func hotReach(roots []*CGNode) (map[*CGNode]bool, map[*CGNode]*CGNode) {
+	seen := map[*CGNode]bool{}
+	via := map[*CGNode]*CGNode{}
+	var queue []*CGNode
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				via[e.Callee] = via[n]
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen, via
+}
+
+// checkAllocSites walks one hot function body and reports every syntactic
+// allocation: make, new, append growth, escaping composite literals,
+// closures, fmt calls, interface boxing at call boundaries, and allocating
+// conversions.
+func checkAllocSites(p *Pass, n *CGNode, root *CGNode) {
+	rootName := root.String()
+	report := func(pos ast.Node, what string) {
+		p.Reportf(pos.Pos(), "%s in hot function %s (reachable from //rcr:hot root %s); hot kernels must not allocate per call",
+			what, n.Fn.Name(), rootName)
+	}
+	addrTaken := map[*ast.CompositeLit]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if u, ok := node.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+			if cl, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+				addrTaken[cl] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(p, node, report)
+		case *ast.CompositeLit:
+			t := p.TypeOf(node)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(node, "slice literal allocates its backing array")
+			case *types.Map:
+				report(node, "map literal allocates")
+			default:
+				if addrTaken[node] {
+					report(node, "address-taken composite literal escapes to the heap")
+				}
+			}
+		case *ast.FuncLit:
+			report(node, "function literal allocates a closure")
+			// The literal's body is still walked: allocations inside the
+			// closure run on the hot path too.
+		}
+		return true
+	})
+}
+
+// checkAllocCall classifies one call expression in a hot body.
+func checkAllocCall(p *Pass, call *ast.CallExpr, report func(ast.Node, string)) {
+	// Conversions: []byte(s), []rune(s), string(bs) allocate.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := p.TypeOf(call.Args[0])
+		if src != nil {
+			switch dst.(type) {
+			case *types.Slice:
+				if isStringType(src) {
+					report(call, "string-to-slice conversion allocates")
+				}
+			case *types.Basic:
+				if isStringType(tv.Type) && !isStringType(src) {
+					if _, ok := src.Underlying().(*types.Slice); ok {
+						report(call, "slice-to-string conversion allocates")
+					}
+				}
+			}
+		}
+		return
+	}
+
+	switch calleeName(call) {
+	case "make":
+		if isBuiltin(p, call, "make") {
+			report(call, "make allocates")
+			return
+		}
+	case "new":
+		if isBuiltin(p, call, "new") {
+			report(call, "new allocates")
+			return
+		}
+	case "append":
+		if isBuiltin(p, call, "append") {
+			report(call, "append may grow and reallocate its backing array")
+			return
+		}
+	}
+
+	if pkg := calleePkgPath(p, call); pkg == "fmt" {
+		report(call, "fmt call boxes its arguments and allocates")
+		return
+	}
+
+	// Interface boxing: a concrete-typed argument passed to an
+	// interface-typed parameter is heap-boxed when it escapes.
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0 && !call.Ellipsis.IsValid():
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := p.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isNilLiteral(p, arg) || isPointerShaped(at) {
+			continue
+		}
+		// Constants box to compiler-generated static interface data, not a
+		// per-call heap allocation (e.g. panic("message")).
+		if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil {
+			continue
+		}
+		report(arg, "argument boxes a concrete value into an interface parameter")
+	}
+}
+
+// isBuiltin reports whether the call target resolves to the named builtin
+// (not a shadowing user function).
+func isBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj := p.ObjectOf(id)
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}
+
+// isPointerShaped reports whether a value of type t fits the interface data
+// word directly (pointer, channel, map, func, unsafe.Pointer): converting it
+// to an interface stores the word and does not allocate.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isNilLiteral(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerBudgetless enforces the budget-discipline contract: guard.Budget
+// (deadline, eval cap, cancellation) must thread from every entry point all
+// the way into the backend Solve it reaches. A frame that receives a budget
+// (directly, via a context, or inside an options struct) and then hands a
+// backend a fresh context.Background() or an empty guard.Budget{} silently
+// detaches the solve from its caller's deadline — the qos fallback ladder's
+// latency guarantees and the a-posteriori certifier's escalation budget
+// both assume this never happens. A per-file matcher cannot see it: the
+// fabrication is typically three frames below the entry point that owned
+// the budget.
+//
+// The rule computes, over the call graph:
+//
+//   - sinks: exported Solve entry points of the backend packages
+//     (lp/qp/sdp/minlp/prob);
+//   - the backward closure that can reach a sink; and
+//   - the forward closure of every budget-carrying function (one with a
+//     guard.Budget, context.Context, or budget-bearing options parameter).
+//
+// A fabrication site — context.Background(), context.TODO(), an empty
+// guard.Budget{} literal, or a backend options literal whose type has a
+// Budget field the literal omits (and that is never assigned afterwards) —
+// is flagged when its function can reach a sink and either carries a budget
+// itself (it dropped it), sits below a budget-carrying frame (someone above
+// already owned one), or is an exported library entry point (the API
+// surface through which deadline-bound callers arrive). Top-level
+// convenience wrappers that legitimately run unbudgeted are the documented
+// exceptions and carry reasoned suppressions; cmd/, examples/, and
+// internal/experiments are exempt from the exported-entry gate because they
+// are the top of the stack by construction (experiments run deliberately
+// unbudgeted so their tables are budget-independent).
+var AnalyzerBudgetless = &Analyzer{
+	Name:     "budgetless",
+	Doc:      "guard.Budget dropped or fabricated on a path into a backend Solve",
+	Severity: Warning,
+	Run:      runBudgetless,
+}
+
+// budgetlessSinkPkgs are the backend package suffixes whose exported
+// Solve entry points are the sinks.
+var budgetlessSinkPkgs = []string{
+	"internal/lp", "internal/qp", "internal/sdp", "internal/minlp", "internal/prob",
+}
+
+func runBudgetless(p *Pass) {
+	if p.Info == nil || pkgPathHasSuffix(p.Pkg.ImportPath, "internal/guard") {
+		return
+	}
+	prog := p.Prog
+	g := prog.CallGraph()
+
+	var sinks []*CGNode
+	for _, n := range prog.exportedFuncs(func(importPath string) bool {
+		return pkgPathHasAnySuffix(importPath, budgetlessSinkPkgs)
+	}) {
+		if strings.HasPrefix(n.Fn.Name(), "Solve") {
+			sinks = append(sinks, n)
+		}
+	}
+	if len(sinks) == 0 {
+		return
+	}
+	canReachSink := Backward(sinks)
+
+	var carriers []*CGNode
+	for _, n := range g.All {
+		if n.Decl != nil && carriesBudget(n.Fn) {
+			carriers = append(carriers, n)
+		}
+	}
+	belowBudget := Forward(carriers)
+
+	exportedGate := isLibraryPackage(p.Pkg.ImportPath) &&
+		!pkgPathHasSuffix(p.Pkg.ImportPath, "internal/experiments")
+
+	for _, n := range g.pkgNodes(p.Pkg) {
+		if !canReachSink[n] || n.Decl.Body == nil {
+			continue
+		}
+		hasOwn := carriesBudget(n.Fn)
+		exported := exportedGate && ast.IsExported(n.Fn.Name())
+		if !hasOwn && !belowBudget[n] && !exported {
+			// An unexported top-level helper with no budget anywhere above
+			// it may legitimately construct one.
+			continue
+		}
+		// Variables whose Budget field is assigned somewhere in the body:
+		// an options literal flowing into one of these is budgeted late,
+		// not dropped.
+		budgetAssigned := map[types.Object]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			as, ok := node.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Budget" && sel.Sel.Name != "Ctx" {
+					continue
+				}
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					if obj := p.ObjectOf(id); obj != nil {
+						budgetAssigned[obj] = true
+					}
+				}
+			}
+			return true
+		})
+		skipLit := map[*ast.CompositeLit]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				if pkg := calleePkgPath(p, node); pkg == "context" {
+					if name := calleeName(node); name == "Background" || name == "TODO" {
+						p.Reportf(node.Pos(), budgetlessMessage(n, hasOwn, "fresh context."+name+"()"))
+					}
+				}
+			case *ast.AssignStmt:
+				// Options literal assigned to a variable whose Budget field
+				// is set later in the body: budgeted, skip the literal.
+				if len(node.Lhs) == len(node.Rhs) {
+					for i, rhs := range node.Rhs {
+						cl, ok := ast.Unparen(rhs).(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						if id, ok := ast.Unparen(node.Lhs[i]).(*ast.Ident); ok {
+							if obj := p.ObjectOf(id); obj != nil && budgetAssigned[obj] {
+								skipLit[cl] = true
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if skipLit[node] {
+					return true
+				}
+				t := p.TypeOf(node)
+				if t == nil {
+					return true
+				}
+				if isGuardBudget(t) && len(node.Elts) == 0 {
+					p.Reportf(node.Pos(), budgetlessMessage(n, hasOwn, "empty guard.Budget{}"))
+					return true
+				}
+				if name, omitted := omitsBudgetField(node, t); omitted {
+					p.Reportf(node.Pos(), budgetlessMessage(n, hasOwn, name+" literal with no Budget"))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// omitsBudgetField reports whether cl is a keyed, non-empty composite
+// literal of a struct type that declares a guard.Budget field the literal
+// omits. Positional literals fill every field and empty literals mean
+// "all defaults" (the empty guard.Budget{} case has its own check), so
+// only keyed literals that set some fields but not Budget are fabrication
+// sites: the author configured the solve and dropped its deadline.
+func omitsBudgetField(cl *ast.CompositeLit, t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	hasBudget := false
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Budget" && isGuardBudget(st.Field(i).Type()) {
+			hasBudget = true
+			break
+		}
+	}
+	if !hasBudget || len(cl.Elts) == 0 {
+		return "", false
+	}
+	for _, e := range cl.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			return "", false
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Budget" {
+			return "", false
+		}
+	}
+	name := named.Obj().Name()
+	if pkg := named.Obj().Pkg(); pkg != nil {
+		name = pkg.Name() + "." + name
+	}
+	return name, true
+}
+
+func budgetlessMessage(n *CGNode, hasOwn bool, what string) string {
+	article := "a "
+	if strings.HasPrefix(what, "empty") {
+		article = "an "
+	}
+	if hasOwn {
+		return n.Fn.Name() + " receives a budget but fabricates " + article + what +
+			" on a path into a backend Solve; thread the caller's guard.Budget through"
+	}
+	return n.Fn.Name() + " fabricates " + article + what +
+		" on a path into a backend Solve; accept and thread guard.Budget instead"
+}
+
+// carriesBudget reports whether fn's signature (parameters or receiver)
+// carries a guard.Budget, a context.Context, or an options struct with a
+// guard.Budget field.
+func carriesBudget(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if r := sig.Recv(); r != nil && typeCarriesBudget(r.Type()) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if typeCarriesBudget(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeCarriesBudget reports whether t is guard.Budget, context.Context, or
+// a (pointer to) struct with a guard.Budget field one level down.
+func typeCarriesBudget(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if isGuardBudget(t) || isContextContext(t) {
+		return true
+	}
+	if st, ok := t.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if isGuardBudget(st.Field(i).Type()) || isContextContext(st.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isGuardBudget(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Budget" && obj.Pkg() != nil && pkgPathHasSuffix(obj.Pkg().Path(), "internal/guard")
+}
+
+func isContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,546 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the whole-program layer the interprocedural rules
+// (allochot, nondet, budgetless) are built on: a call graph over every
+// package handed to Run, constructed from go/types information only (no
+// x/tools dependency, per the stdlib-only rule).
+//
+// Design decisions, all deliberately conservative (over-approximate):
+//
+//   - Nodes are declared functions and methods (*types.Func with a body in
+//     the loaded set), plus body-less externals (stdlib targets such as
+//     time.Now) so rules can ask "does X reach time.Now" without parsing
+//     the standard library, plus one synthetic init node per package that
+//     owns package-level variable initializer expressions.
+//   - Function literals are attributed to their enclosing declared
+//     function: a closure's calls and allocation sites count against the
+//     function that created it. For the hot-path and determinism rules this
+//     is the sound direction — creating a closure on a hot path is itself a
+//     finding, and whatever the closure does is at least as reachable as
+//     its creator.
+//   - Interface method calls expand by class-hierarchy analysis: an edge to
+//     the interface method, plus edges to every concrete method of a loaded
+//     named type that implements the interface.
+//   - Calls through function-typed values (variables, fields, parameters)
+//     resolve to every loaded function whose address is taken somewhere in
+//     the program and whose signature matches the call site's.
+//
+// The graph is deterministic: nodes and edges are collected in sorted
+// package/file/position order, so diagnostics derived from it are stable
+// run to run.
+
+// EdgeKind classifies how a call site resolves to its callee.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call of a named function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeInterface is a method call through an interface; the callee is
+	// either the interface method itself or a CHA-derived implementation.
+	EdgeInterface
+	// EdgeDynamic is a call through a function-typed value, resolved by
+	// signature match against address-taken functions.
+	EdgeDynamic
+	// EdgeGo marks a call launched with a go statement (any of the above
+	// resolutions, flagged separately so rules can see fan-out points).
+	EdgeGo
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeInterface:
+		return "interface"
+	case EdgeDynamic:
+		return "dynamic"
+	case EdgeGo:
+		return "go"
+	default:
+		return fmt.Sprintf("edgekind(%d)", int(k))
+	}
+}
+
+// CGNode is one function in the call graph.
+type CGNode struct {
+	// Fn is the type-checker object; nil only for synthetic package-init
+	// nodes.
+	Fn *types.Func
+	// Decl is the function's syntax; nil for externals (stdlib) and
+	// synthetic nodes.
+	Decl *ast.FuncDecl
+	// Pkg is the loaded package owning the body; nil for externals.
+	Pkg *Package
+	// Out and In are the call edges, in construction (deterministic) order.
+	Out []*CGEdge
+	In  []*CGEdge
+
+	name string // cached String()
+}
+
+// CGEdge is one resolved call site.
+type CGEdge struct {
+	Caller, Callee *CGNode
+	// Site is the call expression (or the go statement's call).
+	Site ast.Node
+	Kind EdgeKind
+}
+
+// String renders the node as pkgpath.Name or pkgpath.(Recv).Name, e.g.
+// "repro/internal/mat.VecDot" or "repro/internal/fft.(*Plan).Do".
+func (n *CGNode) String() string {
+	if n.name != "" {
+		return n.name
+	}
+	if n.Fn == nil {
+		if n.Pkg != nil {
+			n.name = n.Pkg.ImportPath + ".<init>"
+		} else {
+			n.name = "<init>"
+		}
+		return n.name
+	}
+	pkgPath := ""
+	if p := n.Fn.Pkg(); p != nil {
+		pkgPath = p.Path()
+	}
+	sig, _ := n.Fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" })
+		recv = strings.ReplaceAll(recv, ".", "")
+		n.name = fmt.Sprintf("%s.(%s).%s", pkgPath, recv, n.Fn.Name())
+	} else {
+		n.name = pkgPath + "." + n.Fn.Name()
+	}
+	return n.name
+}
+
+// Matches reports whether the node is named by entry, which may spell the
+// package path in full ("repro/internal/mat.VecDot") or by suffix
+// ("internal/mat.VecDot", "mat.VecDot") — the forms a committed roots list
+// uses so it survives module renames.
+func (n *CGNode) Matches(entry string) bool {
+	s := n.String()
+	if s == entry {
+		return true
+	}
+	return strings.HasSuffix(s, "/"+entry)
+}
+
+// CallGraph is the whole-program call graph.
+type CallGraph struct {
+	// Nodes maps every known function object to its node. Generic origins
+	// are the keys (instantiations are folded into their origin).
+	Nodes map[*types.Func]*CGNode
+	// All lists the nodes in deterministic construction order: loaded
+	// packages sorted by import path, declarations in file/position order,
+	// externals in first-reference order.
+	All []*CGNode
+}
+
+// NodeOf returns the node for fn (folding generic instantiations onto
+// their origin), or nil.
+func (g *CallGraph) NodeOf(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn.Origin()]
+}
+
+// Program is the whole-program view shared by every analyzer in one Run:
+// the loaded packages plus the lazily built call graph.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	cg *CallGraph
+}
+
+// NewProgram wraps the loaded packages for whole-program queries.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{Fset: fset, Pkgs: pkgs}
+}
+
+// CallGraph returns the program's call graph, building it on first use.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg == nil {
+		p.cg = buildCallGraph(p.Fset, p.Pkgs)
+	}
+	return p.cg
+}
+
+// cgBuilder carries the state of one graph construction.
+type cgBuilder struct {
+	fset  *token.FileSet
+	graph *CallGraph
+
+	// addrTaken maps a normalized signature key to the functions whose
+	// address is taken with that signature (targets of dynamic calls).
+	addrTaken map[string][]*CGNode
+	// dynSites records every dynamic call site for post-pass resolution.
+	dynSites []dynSite
+	// named collects all named types defined by loaded packages, for CHA.
+	named []*types.Named
+	// chaCache memoizes interface-method -> implementations.
+	chaCache map[*types.Func][]*CGNode
+}
+
+type dynSite struct {
+	caller *CGNode
+	call   *ast.CallExpr
+	sigKey string
+	kind   EdgeKind
+}
+
+func buildCallGraph(fset *token.FileSet, pkgs []*Package) *CallGraph {
+	b := &cgBuilder{
+		fset:      fset,
+		graph:     &CallGraph{Nodes: map[*types.Func]*CGNode{}},
+		addrTaken: map[string][]*CGNode{},
+		chaCache:  map[*types.Func][]*CGNode{},
+	}
+
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+
+	// Pass 1: create a node per declared function and collect named types.
+	type declOwner struct {
+		node *CGNode
+		pkg  *Package
+		body ast.Node
+	}
+	var owners []declOwner
+	for _, pkg := range sorted {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			var initNode *CGNode
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					fn, _ := pkg.Info.Defs[d.Name].(*types.Func)
+					if fn == nil {
+						continue
+					}
+					n := &CGNode{Fn: fn, Decl: d, Pkg: pkg}
+					b.graph.Nodes[fn] = n
+					b.graph.All = append(b.graph.All, n)
+					if d.Body != nil {
+						owners = append(owners, declOwner{node: n, pkg: pkg, body: d.Body})
+					}
+				case *ast.GenDecl:
+					// Package-level initializer expressions (including any
+					// function literals) belong to a synthetic init node.
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || len(vs.Values) == 0 {
+							continue
+						}
+						if initNode == nil {
+							initNode = &CGNode{Pkg: pkg}
+							b.graph.All = append(b.graph.All, initNode)
+						}
+						for _, v := range vs.Values {
+							owners = append(owners, declOwner{node: initNode, pkg: pkg, body: v})
+						}
+					}
+				}
+			}
+		}
+		if pkg.Types != nil {
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() { // Names() is sorted
+				if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+					if named, ok := tn.Type().(*types.Named); ok {
+						b.named = append(b.named, named)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: walk every body, adding edges and recording address-taken
+	// functions and dynamic sites.
+	for _, o := range owners {
+		b.walkBody(o.node, o.pkg, o.body)
+	}
+
+	// Pass 3: resolve dynamic sites against the address-taken index.
+	for _, site := range b.dynSites {
+		for _, callee := range b.addrTaken[site.sigKey] {
+			b.addEdge(site.caller, callee, site.call, site.kind)
+		}
+	}
+	return b.graph
+}
+
+// externalNode returns (creating on demand) the node for a function with no
+// syntax in the loaded set — typically a standard-library function.
+func (b *cgBuilder) externalNode(fn *types.Func) *CGNode {
+	fn = fn.Origin()
+	if n, ok := b.graph.Nodes[fn]; ok {
+		return n
+	}
+	n := &CGNode{Fn: fn}
+	b.graph.Nodes[fn] = n
+	b.graph.All = append(b.graph.All, n)
+	return n
+}
+
+func (b *cgBuilder) addEdge(from, to *CGNode, site ast.Node, kind EdgeKind) {
+	e := &CGEdge{Caller: from, Callee: to, Site: site, Kind: kind}
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+}
+
+// sigKey normalizes a signature to a receiver-less comparison key so method
+// values and plain functions with the same shape unify.
+func sigKey(sig *types.Signature) string {
+	var sb strings.Builder
+	qual := func(p *types.Package) string { return p.Path() }
+	sb.WriteByte('(')
+	for i := 0; i < sig.Params().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Params().At(i).Type(), qual))
+	}
+	sb.WriteByte(')')
+	if sig.Variadic() {
+		sb.WriteString("...")
+	}
+	sb.WriteByte('(')
+	for i := 0; i < sig.Results().Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(types.TypeString(sig.Results().At(i).Type(), qual))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// walkBody collects edges, address-taken functions, and dynamic sites from
+// one function body (or package-level initializer expression). Nested
+// function literals are walked in place and attributed to owner.
+func (b *cgBuilder) walkBody(owner *CGNode, pkg *Package, body ast.Node) {
+	info := pkg.Info
+
+	// funPositions: expressions appearing in call position, so a later
+	// identifier walk can tell references from calls.
+	funPositions := map[ast.Expr]bool{}
+	goCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			funPositions[fun] = true
+			// Generic instantiation in call position: unwrap the index.
+			switch f := fun.(type) {
+			case *ast.IndexExpr:
+				funPositions[ast.Unparen(f.X)] = true
+			case *ast.IndexListExpr:
+				funPositions[ast.Unparen(f.X)] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			kind := EdgeStatic
+			if goCalls[n] {
+				kind = EdgeGo
+			}
+			b.addCall(owner, pkg, n, kind)
+		case *ast.Ident:
+			// Address-taken named function?
+			if funPositions[n] {
+				return true
+			}
+			if fn, ok := info.Uses[n].(*types.Func); ok {
+				if node := b.nodeFor(fn); node != nil {
+					if sig, ok := fn.Origin().Type().(*types.Signature); ok {
+						key := sigKey(sig)
+						b.recordAddrTaken(key, node)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// Method value used as a value: x.M with a method selection not
+			// in call position.
+			if funPositions[n] {
+				return true
+			}
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					if node := b.nodeFor(fn); node != nil {
+						// The method value's type is the receiver-bound
+						// signature, which is what a dynamic site sees.
+						if sig, ok := info.TypeOf(n).(*types.Signature); ok {
+							b.recordAddrTaken(sigKey(sig), node)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (b *cgBuilder) recordAddrTaken(key string, node *CGNode) {
+	for _, existing := range b.addrTaken[key] {
+		if existing == node {
+			return
+		}
+	}
+	b.addrTaken[key] = append(b.addrTaken[key], node)
+}
+
+// nodeFor returns the graph node for fn, creating an external node when fn
+// has no declaration in the loaded set. Builtins yield nil.
+func (b *cgBuilder) nodeFor(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	if n, ok := b.graph.Nodes[fn.Origin()]; ok {
+		return n
+	}
+	return b.externalNode(fn)
+}
+
+// addCall resolves one call expression into edges.
+func (b *cgBuilder) addCall(owner *CGNode, pkg *Package, call *ast.CallExpr, kind EdgeKind) {
+	info := pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions (T(x)) are not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	// Generic instantiations: resolve through the index expression.
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(f.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(f.X)
+	}
+
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Func:
+			b.addEdge(owner, b.nodeFor(obj), call, kind)
+			return
+		case *types.Builtin, *types.TypeName, nil:
+			return
+		}
+		// A variable or parameter of function type: dynamic.
+		b.addDynamic(owner, info, call, kind)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn, _ := sel.Obj().(*types.Func)
+				if fn == nil {
+					return
+				}
+				recv := sel.Recv()
+				if types.IsInterface(recv) {
+					ik := kind
+					if ik != EdgeGo {
+						ik = EdgeInterface
+					}
+					b.addEdge(owner, b.nodeFor(fn), call, ik)
+					for _, impl := range b.implementations(fn, recv) {
+						b.addEdge(owner, impl, call, ik)
+					}
+					return
+				}
+				b.addEdge(owner, b.nodeFor(fn), call, kind)
+				return
+			case types.FieldVal:
+				// Function-typed struct field: dynamic.
+				b.addDynamic(owner, info, call, kind)
+				return
+			}
+		}
+		// Qualified reference pkg.F or a package-level func-typed var.
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			b.addEdge(owner, b.nodeFor(fn), call, kind)
+			return
+		}
+		b.addDynamic(owner, info, call, kind)
+	case *ast.FuncLit:
+		// Immediately invoked literal: already attributed to owner.
+		return
+	default:
+		// Call of an arbitrary expression (slice element, map value,
+		// function return): dynamic.
+		b.addDynamic(owner, info, call, kind)
+	}
+}
+
+// addDynamic records a call through a function value for pass-3 resolution.
+func (b *cgBuilder) addDynamic(owner *CGNode, info *types.Info, call *ast.CallExpr, kind EdgeKind) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	dk := kind
+	if dk != EdgeGo {
+		dk = EdgeDynamic
+	}
+	b.dynSites = append(b.dynSites, dynSite{caller: owner, call: call, sigKey: sigKey(sig), kind: dk})
+}
+
+// implementations returns, by class-hierarchy analysis, the concrete loaded
+// methods that an interface-method call could dispatch to.
+func (b *cgBuilder) implementations(ifaceMethod *types.Func, recv types.Type) []*CGNode {
+	ifaceMethod = ifaceMethod.Origin()
+	if impls, ok := b.chaCache[ifaceMethod]; ok {
+		return impls
+	}
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		b.chaCache[ifaceMethod] = nil
+		return nil
+	}
+	var impls []*CGNode
+	for _, named := range b.named {
+		if types.IsInterface(named) {
+			continue
+		}
+		var recvT types.Type
+		switch {
+		case types.Implements(named, iface):
+			recvT = named
+		case types.Implements(types.NewPointer(named), iface):
+			recvT = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recvT, true, ifaceMethod.Pkg(), ifaceMethod.Name())
+		if m, ok := obj.(*types.Func); ok {
+			if node, ok := b.graph.Nodes[m.Origin()]; ok {
+				impls = append(impls, node)
+			}
+		}
+	}
+	b.chaCache[ifaceMethod] = impls
+	return impls
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"testing"
+)
+
+// findNode resolves a node by its suffix-matched name, failing the test if
+// it is absent from the graph.
+func findNode(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	for _, n := range g.All {
+		if n.Matches(name) {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node matching %q", name)
+	return nil
+}
+
+// edgeKinds returns the set of edge kinds from caller to callee.
+func edgeKinds(caller, callee *CGNode) map[EdgeKind]bool {
+	kinds := map[EdgeKind]bool{}
+	for _, e := range caller.Out {
+		if e.Callee == callee {
+			kinds[e.Kind] = true
+		}
+	}
+	return kinds
+}
+
+func TestCallGraphDispatch(t *testing.T) {
+	fset, pkgs := loadFixture(t, "callgraph")
+	prog := NewProgram(fset, pkgs)
+	g := prog.CallGraph()
+
+	callIface := findNode(t, g, "callgraph.CallIface")
+	aDo := findNode(t, g, "callgraph.(A).Do")
+	bDo := findNode(t, g, "callgraph.(B).Do")
+	if !edgeKinds(callIface, aDo)[EdgeInterface] {
+		t.Errorf("CallIface lacks an interface edge to (A).Do")
+	}
+	if !edgeKinds(callIface, bDo)[EdgeInterface] {
+		t.Errorf("CallIface lacks an interface edge to (B).Do")
+	}
+
+	// Function-typed struct field: h.fn() resolves dynamically to the
+	// address-taken target by signature.
+	callField := findNode(t, g, "callgraph.CallField")
+	target := findNode(t, g, "callgraph.target")
+	if !edgeKinds(callField, target)[EdgeDynamic] {
+		t.Errorf("CallField lacks a dynamic edge to target")
+	}
+
+	// Method value: a.Do passed into apply makes (A).Do a dynamic callee
+	// of apply's f() call.
+	apply := findNode(t, g, "callgraph.apply")
+	if !edgeKinds(apply, aDo)[EdgeDynamic] {
+		t.Errorf("apply lacks a dynamic edge to (A).Do via the method value")
+	}
+
+	// Generic instantiations fold onto one origin node.
+	callGeneric := findNode(t, g, "callgraph.CallGeneric")
+	identity := findNode(t, g, "callgraph.identity")
+	if !edgeKinds(callGeneric, identity)[EdgeStatic] {
+		t.Errorf("CallGeneric lacks a static edge to identity's origin")
+	}
+	seen := 0
+	for _, n := range g.All {
+		if n.Matches("callgraph.identity") {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("identity has %d nodes; instantiations must fold onto 1", seen)
+	}
+
+	// Reachability: Forward from CallIface covers both implementations;
+	// Backward from target reaches CallField.
+	fwd := Forward([]*CGNode{callIface})
+	if !fwd[aDo] || !fwd[bDo] {
+		t.Errorf("Forward(CallIface) misses an implementation: A=%v B=%v", fwd[aDo], fwd[bDo])
+	}
+	back := Backward([]*CGNode{target})
+	if !back[callField] {
+		t.Errorf("Backward(target) does not reach CallField")
+	}
+	if path := WitnessPath([]*CGNode{callField}, target); len(path) != 2 {
+		t.Errorf("WitnessPath(CallField→target) = %v; want a 2-hop path", path)
+	}
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the dataflow/reachability layer over the call graph:
+// forward/backward closures, the //rcr:hot root set (directives plus the
+// committed rcrlint.hotroots list), and the hot-region table the
+// compiler-escape cross-check (rcrlint -escapes) consumes.
+
+// HotRootsFile is the committed hot-roots list, looked up at the analyzed
+// module's root. Lines name functions ("internal/mat.VecDot",
+// "internal/fft.(*Plan).Do"); blank lines and #-comments are skipped.
+const HotRootsFile = "rcrlint.hotroots"
+
+// HotDirective marks a function declaration as a hot allocation root when
+// it appears as a line of the declaration's doc comment.
+const HotDirective = "//rcr:hot"
+
+// Forward returns the forward-reachable closure of start: every node
+// reachable through any edge kind, including start itself.
+func Forward(start []*CGNode) map[*CGNode]bool {
+	seen := map[*CGNode]bool{}
+	var queue []*CGNode
+	for _, n := range start {
+		if n != nil && !seen[n] {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// Backward returns the backward-reachable closure of start: every node
+// that can reach one of start through any edge kind, including start.
+func Backward(start []*CGNode) map[*CGNode]bool {
+	seen := map[*CGNode]bool{}
+	var queue []*CGNode
+	for _, n := range start {
+		if n != nil && !seen[n] {
+			seen[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			if !seen[e.Caller] {
+				seen[e.Caller] = true
+				queue = append(queue, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
+// WitnessPath returns a shortest call path (as node names) from any node in
+// roots to target, for diagnostic messages. Empty when unreachable.
+func WitnessPath(roots []*CGNode, target *CGNode) []string {
+	type hop struct {
+		node *CGNode
+		prev *hop
+	}
+	seen := map[*CGNode]bool{}
+	var queue []*hop
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, &hop{node: r})
+		}
+	}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if h.node == target {
+			var path []string
+			for ; h != nil; h = h.prev {
+				path = append([]string{h.node.String()}, path...)
+			}
+			return path
+		}
+		for _, e := range h.node.Out {
+			if !seen[e.Callee] {
+				seen[e.Callee] = true
+				queue = append(queue, &hop{node: e.Callee, prev: h})
+			}
+		}
+	}
+	return nil
+}
+
+// HotRoots returns the declared hot allocation roots: functions whose doc
+// comment carries //rcr:hot, plus entries of the module's rcrlint.hotroots
+// file. The returned slice is in deterministic graph order. Unmatched list
+// entries are reported through report (they indicate a stale list).
+func (p *Program) HotRoots(report func(Diagnostic)) []*CGNode {
+	g := p.CallGraph()
+	var roots []*CGNode
+	seen := map[*CGNode]bool{}
+	add := func(n *CGNode) {
+		if n != nil && !seen[n] {
+			seen[n] = true
+			roots = append(roots, n)
+		}
+	}
+
+	for _, n := range g.All {
+		if n.Decl != nil && n.Decl.Doc != nil {
+			for _, c := range n.Decl.Doc.List {
+				if strings.TrimSpace(c.Text) == HotDirective {
+					add(n)
+					break
+				}
+			}
+		}
+	}
+
+	for _, entry := range p.hotRootEntries() {
+		var found *CGNode
+		for _, n := range g.All {
+			if n.Fn != nil && n.Matches(entry.name) {
+				found = n
+				break
+			}
+		}
+		if found == nil {
+			if report != nil {
+				report(Diagnostic{
+					Position: entry.pos,
+					Rule:     "allochot",
+					Severity: Error,
+					Message:  fmt.Sprintf("hot-roots list names %q but no loaded function matches it", entry.name),
+				})
+			}
+			continue
+		}
+		add(found)
+	}
+	return roots
+}
+
+type hotRootEntry struct {
+	name string
+	pos  token.Position
+}
+
+// hotRootEntries parses rcrlint.hotroots from each distinct module root of
+// the loaded packages (fixtures and the real module never mix, so this is
+// one file in practice).
+func (p *Program) hotRootEntries() []hotRootEntry {
+	roots := map[string]bool{}
+	for _, pkg := range p.Pkgs {
+		if pkg.ModRoot != "" {
+			roots[pkg.ModRoot] = true
+		}
+	}
+	var dirs []string
+	for d := range roots {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+
+	var out []hotRootEntry
+	for _, dir := range dirs {
+		path := filepath.Join(dir, HotRootsFile)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, hotRootEntry{
+				name: line,
+				pos:  token.Position{Filename: path, Line: i + 1},
+			})
+		}
+	}
+	return out
+}
+
+// HotRegion is the source span of one function on the hot path, consumed by
+// the -escapes compiler cross-check.
+type HotRegion struct {
+	Func      string `json:"func"`
+	File      string `json:"file"`
+	StartLine int    `json:"start_line"`
+	EndLine   int    `json:"end_line"`
+	Root      bool   `json:"root"` // true for declared roots, false for reachable callees
+}
+
+// HotRegions returns the source spans of every function reachable from the
+// hot roots (roots included), sorted by file then line. The -escapes mode
+// intersects compiler escape diagnostics with these spans.
+func (p *Program) HotRegions() []HotRegion {
+	roots := p.HotRoots(nil)
+	reach := Forward(roots)
+	isRoot := map[*CGNode]bool{}
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+	var out []HotRegion
+	for n := range reach {
+		if n.Decl == nil || n.Pkg == nil {
+			continue
+		}
+		start := p.Fset.Position(n.Decl.Pos())
+		end := p.Fset.Position(n.Decl.End())
+		out = append(out, HotRegion{
+			Func:      n.String(),
+			File:      start.Filename,
+			StartLine: start.Line,
+			EndLine:   end.Line,
+			Root:      isRoot[n],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].StartLine < out[j].StartLine
+	})
+	return out
+}
+
+// exportedFuncs returns the nodes of exported functions and methods whose
+// package import path satisfies keep, in graph order.
+func (p *Program) exportedFuncs(keep func(importPath string) bool) []*CGNode {
+	var out []*CGNode
+	for _, n := range p.CallGraph().All {
+		if n.Fn == nil || n.Pkg == nil || n.Decl == nil {
+			continue
+		}
+		if !keep(n.Pkg.ImportPath) || !ast.IsExported(n.Fn.Name()) {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// pkgNodes returns the nodes declared in pkg, in file/position order.
+func (g *CallGraph) pkgNodes(pkg *Package) []*CGNode {
+	var out []*CGNode
+	for _, n := range g.All {
+		if n.Pkg == pkg && n.Decl != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}

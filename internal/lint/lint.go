@@ -97,6 +97,12 @@ type Pass struct {
 	// Info is the package's type information; nil for parsed-only units.
 	Info *types.Info
 
+	// Prog is the whole-program view shared by every pass of one Run; the
+	// interprocedural rules (allochot, nondet, budgetless) query its call
+	// graph. The graph covers exactly the packages handed to Run, so a
+	// narrowed run analyzes a partial graph (see cmd/rcrlint usage).
+	Prog *Program
+
 	diags []Diagnostic
 }
 
@@ -153,10 +159,12 @@ var ignoreDirective = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
 type suppression struct {
 	rule   string
 	reason string
-	// line the directive covers (its own line for trailing comments, the
-	// following line for comments on their own line).
-	line int
-	pos  token.Pos
+	// [fromLine, toLine] is the inclusive line range the directive covers:
+	// the full span of the statement (or declaration) it is attached to, so
+	// a directive above a multi-line expression suppresses findings on
+	// every line of that statement, not just its first.
+	fromLine, toLine int
+	pos              token.Pos
 }
 
 // collectSuppressions parses every //lint:ignore directive in f. Directives
@@ -180,6 +188,7 @@ func collectSuppressions(fset *token.FileSet, f *ast.File, report func(Diagnosti
 		codeLines[fset.Position(n.Pos()).Line] = true
 		return true
 	})
+	spans := statementSpans(fset, f)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			m := ignoreDirective.FindStringSubmatch(c.Text)
@@ -201,10 +210,49 @@ func collectSuppressions(fset *token.FileSet, f *ast.File, report func(Diagnosti
 			if !codeLines[pos.Line] {
 				covered = pos.Line + 1
 			}
-			out = append(out, suppression{rule: rule, reason: reason, line: covered, pos: c.Pos()})
+			from, to := covered, covered
+			// Extend coverage to the whole statement that starts on the
+			// covered line, so multi-line expressions are fully covered.
+			if end, ok := spans[covered]; ok && end > to {
+				to = end
+			}
+			out = append(out, suppression{rule: rule, reason: reason, fromLine: from, toLine: to, pos: c.Pos()})
 		}
 	}
 	return out
+}
+
+// statementSpans maps each line on which a statement (or non-function
+// declaration) starts to the last line of the smallest such node. Statement
+// granularity keeps directives scoped: a directive above one statement of a
+// block never covers its siblings, and function declarations are excluded
+// so a directive above a func only covers its signature lines, not the
+// whole body.
+func statementSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := map[int]int{}
+	record := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if cur, ok := spans[start]; !ok || end < cur {
+			spans[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt, *ast.FuncDecl, nil:
+			// Not coverage units themselves; keep walking children.
+		case ast.Stmt:
+			record(n)
+		case *ast.GenDecl:
+			record(n)
+		case ast.Spec:
+			record(n)
+		case *ast.Field:
+			record(n)
+		}
+		return true
+	})
+	return spans
 }
 
 // Run executes the analyzers over pkgs and returns all diagnostics (both
@@ -217,17 +265,23 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 	// malformed directives surface even in packages with no findings.
 	supByFile := map[string][]suppression{}
 	for _, pkg := range pkgs {
+		reportMalformed := func(d Diagnostic) {}
+		if pkg.Report {
+			reportMalformed = func(d Diagnostic) { diags = append(diags, d) }
+		}
 		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
 			name := fset.Position(f.Pos()).Filename
-			supByFile[name] = append(supByFile[name], collectSuppressions(fset, f, func(d Diagnostic) {
-				diags = append(diags, d)
-			})...)
+			supByFile[name] = append(supByFile[name], collectSuppressions(fset, f, reportMalformed)...)
 		}
 	}
 
+	prog := NewProgram(fset, pkgs)
 	for _, pkg := range pkgs {
+		if !pkg.Report {
+			continue
+		}
 		for _, a := range analyzers {
-			pass := &Pass{Fset: fset, Pkg: pkg, Analyzer: a, Info: pkg.Info}
+			pass := &Pass{Fset: fset, Pkg: pkg, Analyzer: a, Info: pkg.Info, Prog: prog}
 			a.Run(pass)
 			diags = append(diags, pass.diags...)
 		}
@@ -239,15 +293,44 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		if d.Rule == "lintdirective" {
 			continue
 		}
-		for _, s := range supByFile[d.Position.Filename] {
-			if s.line == d.Position.Line && (s.rule == d.Rule) {
-				d.Suppressed = true
-				d.Reason = s.reason
-				break
-			}
-		}
+		applySuppression(d, supByFile[d.Position.Filename])
 	}
 
+	sortDiagnostics(diags)
+	return dedupeDiagnostics(diags)
+}
+
+// applySuppression marks d suppressed when a directive for its rule covers
+// its line.
+func applySuppression(d *Diagnostic, sups []suppression) {
+	for _, s := range sups {
+		if d.Position.Line >= s.fromLine && d.Position.Line <= s.toLine && s.rule == d.Rule {
+			d.Suppressed = true
+			d.Reason = s.reason
+			return
+		}
+	}
+}
+
+// ApplySuppressions applies the //lint:ignore directives found in pkgs to
+// externally produced diagnostics (the compiler-escape cross-check in
+// cmd/rcrlint -escapes). It returns diags sorted and deduplicated.
+func ApplySuppressions(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	supByFile := map[string][]suppression{}
+	for _, pkg := range pkgs {
+		for _, f := range append(append([]*ast.File(nil), pkg.Files...), pkg.TestFiles...) {
+			name := fset.Position(f.Pos()).Filename
+			supByFile[name] = append(supByFile[name], collectSuppressions(fset, f, func(Diagnostic) {})...)
+		}
+	}
+	for i := range diags {
+		applySuppression(&diags[i], supByFile[diags[i].Position.Filename])
+	}
+	sortDiagnostics(diags)
+	return dedupeDiagnostics(diags)
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -259,9 +342,29 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		if a.Position.Column != b.Position.Column {
 			return a.Position.Column < b.Position.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return diags
+}
+
+// dedupeDiagnostics drops identical findings (same position, rule, and
+// message). Duplicates arise when a package is analyzed through multiple
+// patterns, or when a program-level fact (a stale hot-roots entry) is
+// reported once per pass. diags must already be sorted.
+func dedupeDiagnostics(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if len(out) > 0 {
+			p := out[len(out)-1]
+			if p.Position == d.Position && p.Rule == d.Rule && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Unsuppressed returns the subset of diags not covered by a directive.
@@ -278,6 +381,8 @@ func Unsuppressed(diags []Diagnostic) []Diagnostic {
 // All returns every registered analyzer, in rule-name order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AnalyzerAllocHot,
+		AnalyzerBudgetless,
 		AnalyzerDimCheck,
 		AnalyzerDropErr,
 		AnalyzerDropStatus,
@@ -285,6 +390,7 @@ func All() []*Analyzer {
 		AnalyzerFloatEq,
 		AnalyzerMutSeed,
 		AnalyzerNaivePanic,
+		AnalyzerNonDet,
 		AnalyzerPowSquare,
 		AnalyzerRawProblem,
 		AnalyzerRawRand,

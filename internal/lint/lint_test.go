@@ -34,6 +34,13 @@ func TestGolden(t *testing.T) {
 		rule string
 		dirs []string
 	}{
+		// allochot's roots come from //rcr:hot directives plus the fixture
+		// module's rcrlint.hotroots list (ListedRoot).
+		{"allochot", []string{"allochot"}},
+		// The budgetless fixture reaches the lp and minlp stand-in sinks;
+		// the whole module is loaded regardless, so only the fixture
+		// package itself needs to report.
+		{"budgetless", []string{"budgetless"}},
 		{"dimcheck", []string{"dimcheck"}},
 		{"droperr", []string{"droperr"}},
 		{"dropstatus", []string{"dropstatus"}},
@@ -41,6 +48,9 @@ func TestGolden(t *testing.T) {
 		{"floateq", []string{"floateq"}},
 		{"mutseed", []string{"mutseed"}},
 		{"naivepanic", []string{"naivepanic"}},
+		// The nondet fixture lives at a kernel-package path (internal/pso)
+		// so its exported functions seed the numeric surface.
+		{"nondet", []string{"internal/pso"}},
 		{"powsquare", []string{"powsquare"}},
 		// The backend stand-ins and the prob facade are loaded alongside the
 		// call-site fixture: prob's own lp.Problem compile must NOT appear in

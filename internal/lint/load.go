@@ -19,6 +19,9 @@ type Package struct {
 	ImportPath string
 	// Dir is the absolute directory the package was loaded from.
 	Dir string
+	// ModRoot is the root directory of the module tree the package was
+	// loaded from (Config.Root); the hot-roots list is resolved against it.
+	ModRoot string
 	// Files are the non-test files, fully type-checked.
 	Files []*ast.File
 	// TestFiles are the *_test.go files, parsed but not type-checked
@@ -28,6 +31,11 @@ type Package struct {
 	// Types and Info hold the check results; nil for test-only directories.
 	Types *types.Package
 	Info  *types.Info
+	// Report marks packages diagnostics are reported for. Load always
+	// loads and returns the whole module — interprocedural rules need the
+	// full call graph even in a narrowed run — and Config.Dirs narrows
+	// which packages report, not which are analyzed.
+	Report bool
 }
 
 // Config parameterizes Load.
@@ -37,9 +45,10 @@ type Config struct {
 	// ModulePath is the import-path prefix mapped onto Root. When empty it
 	// is read from Root's go.mod.
 	ModulePath string
-	// Dirs, when non-empty, restricts the returned packages to these
-	// root-relative directories ("." for the root package). Dependencies
-	// outside the list are still loaded for type information.
+	// Dirs, when non-empty, restricts which packages report diagnostics to
+	// these root-relative directories ("." for the root package). The whole
+	// module is still loaded and analyzed so call-graph rules see every
+	// caller and callee.
 	Dirs []string
 }
 
@@ -104,13 +113,13 @@ func Load(cfg Config) (*token.FileSet, []*Package, error) {
 		}
 	}
 
-	keep := func(p *Package) bool { return true }
+	report := func(p *Package) bool { return true }
 	if len(cfg.Dirs) > 0 {
 		want := map[string]bool{}
 		for _, d := range cfg.Dirs {
 			want[filepath.ToSlash(filepath.Clean(d))] = true
 		}
-		keep = func(p *Package) bool {
+		report = func(p *Package) bool {
 			rel, err := filepath.Rel(root, p.Dir)
 			if err != nil {
 				return false
@@ -120,9 +129,8 @@ func Load(cfg Config) (*token.FileSet, []*Package, error) {
 	}
 	var out []*Package
 	for _, p := range ld.pkgs {
-		if keep(p) {
-			out = append(out, p)
-		}
+		p.Report = report(p)
+		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
 	return ld.fset, out, nil
@@ -219,7 +227,7 @@ func (l *moduleLoader) load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &Package{ImportPath: path, Dir: dir}
+	pkg := &Package{ImportPath: path, Dir: dir, ModRoot: l.root}
 	for _, e := range ents {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||

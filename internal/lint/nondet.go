@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerNonDet protects the bit-identical determinism contract: every
+// result in this repository must be reproducible bit-for-bit at any
+// RCR_WORKERS setting (internal/par's ordered-reduction contract), and the
+// fingerprint cache and distributed-solve plans (ROADMAP item 3) extend
+// that contract across processes. The rule computes the "numeric surface" —
+// everything reachable over the call graph from the exported entry points
+// of the kernel and solver packages — and flags, inside it:
+//
+//   - range over a map: iteration order varies run to run, so any value,
+//     reduction, slice, or fingerprint it feeds diverges between workers;
+//   - wall-clock reads (time.Now and friends): an iterate or fingerprint
+//     derived from the clock is unreproducible (guard's deadline checks
+//     carry reasoned suppressions — they gate control flow, and budget
+//     outcomes are part of the recorded status, not silent data);
+//   - randomness outside the internal/rng façade (math/rand, crypto/rand):
+//     interprocedural teeth behind the per-file rawrand import rule;
+//   - raw goroutine launches outside internal/par: ad-hoc fan-out has no
+//     deterministic chunking or ordered reduction, so scheduling order
+//     leaks into results.
+var AnalyzerNonDet = &Analyzer{
+	Name:     "nondet",
+	Doc:      "nondeterminism (map order, clock, raw rand, raw goroutines) reachable from solve/kernel entry points",
+	Severity: Error,
+	Run:      runNonDet,
+}
+
+// nondetSurfacePkgs are the package-path suffixes whose exported functions
+// seed the numeric surface.
+var nondetSurfacePkgs = []string{
+	"internal/mat", "internal/fft", "internal/stft", "internal/par",
+	"internal/lp", "internal/qp", "internal/sdp", "internal/minlp",
+	"internal/prob", "internal/opt", "internal/pso", "internal/anneal",
+	"internal/relax", "internal/core", "internal/qos", "internal/verify",
+}
+
+func pkgPathHasAnySuffix(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNonDet(p *Pass) {
+	if p.Info == nil {
+		return
+	}
+	prog := p.Prog
+	entries := prog.exportedFuncs(func(importPath string) bool {
+		return pkgPathHasAnySuffix(importPath, nondetSurfacePkgs)
+	})
+	if len(entries) == 0 {
+		return
+	}
+	surface := Forward(entries)
+
+	inPar := pkgPathHasSuffix(p.Pkg.ImportPath, "internal/par")
+	inRng := pkgPathHasSuffix(p.Pkg.ImportPath, "internal/rng")
+
+	for _, n := range prog.CallGraph().pkgNodes(p.Pkg) {
+		if !surface[n] || n.Decl.Body == nil {
+			continue
+		}
+		// Call edges out of this node: clock and randomness sinks.
+		for _, e := range n.Out {
+			callee := e.Callee
+			if callee.Fn == nil || callee.Fn.Pkg() == nil {
+				continue
+			}
+			path, name := callee.Fn.Pkg().Path(), callee.Fn.Name()
+			switch {
+			case path == "time" && name == "Now":
+				p.Reportf(e.Site.Pos(),
+					"time.Now reachable from solve/kernel entry points (via %s); results derived from the clock are unreproducible", n.Fn.Name())
+			case (path == "math/rand" || path == "math/rand/v2" || path == "crypto/rand") && !inRng:
+				p.Reportf(e.Site.Pos(),
+					"%s.%s on the numeric surface (via %s); draw randomness from the seeded internal/rng façade", path, name, n.Fn.Name())
+			}
+		}
+		// Syntactic sites: map ranges and raw goroutine launches.
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.RangeStmt:
+				if t := p.TypeOf(node.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						p.Reportf(node.Pos(),
+							"map iteration order is nondeterministic and %s is on the solve/kernel surface; iterate a sorted key slice so reductions, result slices, and fingerprints are worker-count invariant", n.Fn.Name())
+					}
+				}
+			case *ast.GoStmt:
+				if !inPar {
+					p.Reportf(node.Pos(),
+						"raw goroutine launch in %s bypasses internal/par's deterministic chunking and ordered reduction; use par.For or par.MapReduce", n.Fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,67 @@
+// Package allochot exercises the hot-path allocation rule: functions
+// reachable from //rcr:hot roots (directives or the module's
+// rcrlint.hotroots list) must not allocate per call.
+package allochot
+
+import "fmt"
+
+// Kernel is the directive-marked hot root; everything it reaches is hot.
+//
+//rcr:hot
+func Kernel(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s + step(len(xs))
+}
+
+// step is two calls below the root and carries the allocation sites.
+func step(n int) float64 {
+	buf := make([]float64, n) // want allochot (make)
+	buf = append(buf, 1)      // want allochot (append growth)
+	pair := []float64{1, 2}   // want allochot (slice literal)
+	f := func() float64 {     // want allochot (closure)
+		return pair[0]
+	}
+	msg := fmt.Sprintf("n=%d", n) // want allochot (fmt boxes)
+	_ = msg
+	return buf[0] + f() + boxed(n)
+}
+
+// boxed passes a non-constant concrete value to an interface parameter.
+func boxed(n int) float64 {
+	accept(n + 1) // want allochot (interface boxing)
+	return 0
+}
+
+func accept(v any) {}
+
+// ListedRoot is named by the module's rcrlint.hotroots list rather than a
+// directive; its conversion allocation is flagged through that path.
+func ListedRoot(s string) int {
+	bs := []byte(s) // want allochot (string-to-slice conversion)
+	return len(bs)
+}
+
+// Cold allocates freely but is reachable from no hot root: not flagged.
+func Cold(n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+// cleanHot is hot but allocation-free: constant panics box to static data
+// and pointer-shaped values fit the interface word, so neither is flagged.
+//
+//rcr:hot
+func cleanHot(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("allochot: length mismatch")
+	}
+	for i := range src {
+		dst[i] = src[i]
+	}
+	accept(&dst)
+}
+
+var _ = cleanHot

@@ -1,0 +1,15 @@
+package allochot
+
+// PooledRoot's workspace literal spans multiple lines below the directive —
+// the regression case for statement-scoped suppression: the finding lands
+// two lines after the directive and must still be covered.
+//
+//rcr:hot
+func PooledRoot(n int) float64 {
+	//lint:ignore allochot one-time pool seeding amortized across every later call; the steady state reuses the workspace
+	ws := [][]float64{
+		make([]float64, 4),
+		make([]float64, 4),
+	}
+	return ws[0][0] + float64(n)
+}

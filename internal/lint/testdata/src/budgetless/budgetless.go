@@ -1,0 +1,69 @@
+// Package budgetless exercises the budget-discipline rule: guard.Budget
+// must thread from every entry point into the backend Solve it reaches.
+package budgetless
+
+import (
+	"context"
+
+	"fixture/internal/guard"
+	"fixture/internal/lp"
+	"fixture/internal/minlp"
+)
+
+// DropsOwnBudget receives a budget and then hands the backend a keyed
+// options literal with no Budget key: flagged (hasOwn).
+func DropsOwnBudget(b guard.Budget, n int) {
+	m := &minlp.MILP{}
+	_, _ = minlp.SolveExact(m, minlp.Options{MaxNodes: n}) // want budgetless
+}
+
+// Run is a budget-carrying entry point; the helper below it fabricates.
+func Run(b guard.Budget) float64 {
+	return helperBelowBudget()
+}
+
+// helperBelowBudget sits below Run's budget and fabricates an empty
+// guard.Budget{} before reaching the LP sink: flagged (belowBudget).
+func helperBelowBudget() float64 {
+	_ = guard.Budget{} // want budgetless
+	return lp.Solve(&lp.Problem{NumVars: 1})
+}
+
+// ExportedEntry carries no budget at all but is an exported library entry
+// point reaching a sink; its fresh context is flagged (exported gate).
+func ExportedEntry() float64 {
+	ctx := context.Background() // want budgetless
+	_ = ctx
+	return lp.Solve(&lp.Problem{NumVars: 2})
+}
+
+// ThreadsBudget is the clean positive-control: the options literal carries
+// the Budget key, so nothing is flagged.
+func ThreadsBudget(b guard.Budget, n int) {
+	m := &minlp.MILP{}
+	_, _ = minlp.SolveExact(m, minlp.Options{MaxNodes: n, Budget: b})
+}
+
+// AssignsBudgetLater builds the literal first and sets Budget before the
+// solve — the later-assignment escape hatch, not flagged.
+func AssignsBudgetLater(b guard.Budget, n int) {
+	opts := minlp.Options{MaxNodes: n}
+	opts.Budget = b
+	_, _ = minlp.SolveExact(&minlp.MILP{}, opts)
+}
+
+// unexportedTopLevel has no budget anywhere above it and is not exported:
+// a true top of the stack may legitimately construct a budget, not flagged.
+func unexportedTopLevel() float64 {
+	b := guard.Budget{}
+	_ = b
+	return lp.Solve(&lp.Problem{NumVars: 3})
+}
+
+// NoSinkPath fabricates a context but never reaches a backend Solve: not
+// flagged.
+func NoSinkPath() context.Context {
+	return context.Background()
+}
+
+var _ = unexportedTopLevel

@@ -1,0 +1,26 @@
+package budgetless
+
+import (
+	"fixture/internal/guard"
+	"fixture/internal/lp"
+	"fixture/internal/minlp"
+)
+
+// Quick is the documented unbudgeted convenience entry; the fabrication is
+// suppressed with a reason.
+func Quick() float64 {
+	//lint:ignore budgetless documented unbudgeted convenience entry; deadline-bound callers pass their own guard.Budget
+	_ = guard.Budget{}
+	return lp.Solve(&lp.Problem{NumVars: 4})
+}
+
+// MultilineSuppressed regression-tests directive scope: the directive sits
+// above a statement whose flagged literal spans several lines, and the
+// finding (reported two lines below the directive) must still be covered.
+func MultilineSuppressed(b guard.Budget) {
+	//lint:ignore budgetless exploratory probe solve; the caller's budget bounds the enclosing loop, not each probe
+	_, _ = minlp.SolveExact(&minlp.MILP{},
+		minlp.Options{
+			MaxNodes: 7,
+		})
+}

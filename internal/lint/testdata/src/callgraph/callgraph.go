@@ -1,0 +1,55 @@
+// Package callgraph exercises the call-graph builder's dispatch handling:
+// interface calls (CHA over implementations), method values, and calls
+// through function-typed struct fields.
+package callgraph
+
+// Doer has two implementations; an interface call site must edge to both.
+type Doer interface {
+	Do() int
+}
+
+// A is one implementation.
+type A struct{}
+
+// Do returns a constant.
+func (A) Do() int { return 1 }
+
+// B is the other implementation.
+type B struct{}
+
+// Do returns a constant.
+func (B) Do() int { return 2 }
+
+// CallIface dispatches through the interface.
+func CallIface(d Doer) int { return d.Do() }
+
+type holder struct {
+	fn func() int
+}
+
+func target() int { return 3 }
+
+// CallField stores target in a function-typed field and calls through it.
+func CallField() int {
+	h := holder{fn: target}
+	return h.fn()
+}
+
+// apply calls a function value; the method value below makes (A).Do a
+// candidate callee by signature.
+func apply(f func() int) int { return f() }
+
+// MethodValue passes a bound method as a value.
+func MethodValue() int {
+	var a A
+	f := a.Do
+	return apply(f)
+}
+
+// Generic instantiations must fold onto the origin declaration.
+func identity[T any](v T) T { return v }
+
+// CallGeneric instantiates identity twice.
+func CallGeneric() (int, string) {
+	return identity(1), identity("x")
+}

@@ -1,0 +1,8 @@
+// Package guard is the fixture stand-in for the budget/status layer: the
+// Budget type the budgetless rule tracks through the call graph.
+package guard
+
+// Budget bounds a solve (stand-in: field names only matter to the rule).
+type Budget struct {
+	MaxEvals int
+}

@@ -1,9 +1,24 @@
 // Package minlp is the fixture stand-in for the branch-and-bound backend.
 package minlp
 
+import "fixture/internal/guard"
+
 // MILP is the raw mixed-integer input.
 type MILP struct {
 	Integer []int
+}
+
+// Options configures the exact solve; Budget is the field the budgetless
+// rule checks keyed literals for.
+type Options struct {
+	MaxNodes int
+	Budget   guard.Budget
+}
+
+// SolveExact is the budget-sink stand-in (exported, Solve-prefixed, in a
+// backend package).
+func SolveExact(p *MILP, opts Options) (*Result, error) {
+	return &Result{}, nil
 }
 
 // Result is an unguarded type the rule must NOT flag (only the problem

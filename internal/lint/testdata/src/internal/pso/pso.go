@@ -1,0 +1,76 @@
+// Package pso is a kernel-package fixture (its import-path suffix is on the
+// nondet surface list): everything reachable from its exported functions
+// must be deterministic.
+package pso
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Optimize is an exported surface entry; the helpers it reaches carry the
+// nondeterminism the rule must flag.
+func Optimize(weights map[string]float64) float64 {
+	return reduce(weights) + jitter()
+}
+
+// reduce folds a map in iteration order — worker-count-variant output.
+func reduce(weights map[string]float64) float64 {
+	var s float64
+	for _, w := range weights { // want nondet
+		s += w
+	}
+	return s
+}
+
+// jitter mixes the clock and raw randomness into the result.
+func jitter() float64 {
+	t := float64(time.Now().UnixNano()) // want nondet
+	return t * rand.Float64()           // want nondet
+}
+
+// Fan launches raw goroutines instead of going through internal/par.
+func Fan(xs []float64) {
+	for range xs {
+		go func() {}() // want nondet
+	}
+}
+
+// ReduceSorted is the clean counterpart: iterating a sorted key slice is
+// deterministic. The key-collection range itself is flagged conservatively
+// (the rule cannot prove the order is laundered away) and carries a
+// reasoned suppression.
+func ReduceSorted(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	//lint:ignore nondet key-collection range; order is discarded by the sort.Strings below
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += weights[k]
+	}
+	return s
+}
+
+// RangesSlice iterates a slice — ordered, not flagged.
+func RangesSlice(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// unreachable is never called from an exported surface entry; its map range
+// is off-surface and not flagged.
+func unreachable(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+
+var sink = unreachable

@@ -133,6 +133,7 @@ const (
 
 // Solve solves the problem with no budget. See SolveBudget.
 func Solve(p *Problem) (*Solution, error) {
+	//lint:ignore budgetless documented unbudgeted convenience entry; deadline-bound callers use SolveBudget
 	return SolveBudget(p, guard.Budget{})
 }
 

@@ -217,6 +217,28 @@ func (m *Matrix) MulVec(x []float64) ([]float64, error) {
 	return out, nil
 }
 
+// MulVecInto computes the matrix-vector product m*x into the caller's out
+// slice, serially and without allocating — the in-place counterpart of
+// MulVec for solver inner loops that multiply every iteration and hold a
+// reusable workspace. It panics on shape mismatch (a programming error in
+// kernel code, mirroring VecDot's contract).
+//
+//rcr:hot
+func (m *Matrix) MulVecInto(out, x []float64) {
+	if m.Cols != len(x) || m.Rows != len(out) {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring VecDot
+		panic("mat: MulVecInto shape mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+}
+
 // Trace returns the sum of diagonal entries. It returns an error for
 // non-square matrices.
 func (m *Matrix) Trace() (float64, error) {
@@ -313,6 +335,8 @@ func OuterProduct(x, y []float64) *Matrix {
 }
 
 // VecDot returns the dot product of a and b; it panics on length mismatch.
+//
+//rcr:hot
 func VecDot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		//lint:ignore naivepanic hot-path vector kernel with a documented length contract, mirroring numerics.Dot

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/guard"
 	"repro/internal/minlp"
 )
 
@@ -77,8 +78,18 @@ func (p *Problem) sliceSubProblem(c Class, from, to int) (*Problem, []int, error
 }
 
 // EvaluateSlicing solves each slice's RRA exactly (within nodeBudget per
-// slice) under the plan and aggregates.
+// slice) under the plan and aggregates. It runs with no wall-clock budget;
+// deadline-bound callers use EvaluateSlicingBudget.
 func (p *Problem) EvaluateSlicing(plan SlicePlan, nodeBudget int) (*SliceReport, *Allocation, error) {
+	//lint:ignore budgetless documented unbudgeted convenience entry, mirroring lp.Solve; deadline-bound callers use EvaluateSlicingBudget
+	return p.EvaluateSlicingBudget(plan, nodeBudget, guard.Budget{})
+}
+
+// EvaluateSlicingBudget is EvaluateSlicing with every per-slice exact solve
+// under the shared guard.Budget: the node budget still caps branch-and-bound
+// work per slice, while b's deadline and cancellation bound the whole
+// evaluation so a slicing sweep cannot overrun its caller's latency window.
+func (p *Problem) EvaluateSlicingBudget(plan SlicePlan, nodeBudget int, b guard.Budget) (*SliceReport, *Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -109,7 +120,7 @@ func (p *Problem) EvaluateSlicing(plan SlicePlan, nodeBudget int) (*SliceReport,
 			from = to
 			continue
 		}
-		subAlloc, res, err := sub.SolveExact(minlp.Options{MaxNodes: nodeBudget})
+		subAlloc, res, err := sub.SolveExact(minlp.Options{MaxNodes: nodeBudget, Budget: b})
 		if err != nil && !errors.Is(err, minlp.ErrBudget) {
 			return nil, nil, fmt.Errorf("qos: slice %v: %w", c, err)
 		}
@@ -145,8 +156,19 @@ func (p *Problem) EvaluateSlicing(plan SlicePlan, nodeBudget int) (*SliceReport,
 // OptimizeSlicing searches slice partitions exhaustively (the partition
 // space is O(RB²), tiny at this scale) and returns the best plan: maximal
 // total rate among QoS-feasible plans, or — when none is feasible — the
-// plan with the fewest QoS misses, rate as tie-break.
+// plan with the fewest QoS misses, rate as tie-break. It runs with no
+// wall-clock budget; deadline-bound callers use OptimizeSlicingBudget.
 func (p *Problem) OptimizeSlicing(nodeBudget int) (*SliceReport, *Allocation, error) {
+	//lint:ignore budgetless documented unbudgeted convenience entry, mirroring lp.Solve; deadline-bound callers use OptimizeSlicingBudget
+	return p.OptimizeSlicingBudget(nodeBudget, guard.Budget{})
+}
+
+// OptimizeSlicingBudget is OptimizeSlicing with the whole partition search
+// under one shared guard.Budget. The budget spans the entire sweep — every
+// candidate plan's per-slice exact solves draw down the same deadline — so
+// exhausting it aborts the search with the guard status error rather than
+// returning a silently under-searched plan.
+func (p *Problem) OptimizeSlicingBudget(nodeBudget int, b guard.Budget) (*SliceReport, *Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -157,7 +179,7 @@ func (p *Problem) OptimizeSlicing(nodeBudget int) (*SliceReport, *Allocation, er
 	for e := 0; e <= n; e++ {
 		for u := 0; u+e <= n; u++ {
 			plan := SlicePlan{EMBB: e, URLLC: u, MMTC: n - e - u}
-			rep, alloc, err := p.EvaluateSlicing(plan, nodeBudget)
+			rep, alloc, err := p.EvaluateSlicingBudget(plan, nodeBudget, b)
 			if err != nil {
 				return nil, nil, err
 			}

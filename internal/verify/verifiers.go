@@ -242,6 +242,7 @@ func buildIR(n *Network, input []relax.Interval, lb *LayerBounds, phases [][]pha
 // least as tight as the one interval arithmetic would give. It runs
 // unbudgeted; deadline-bound callers use VerifyTriangleBudget.
 func VerifyTriangle(n *Network, input []relax.Interval, spec *Spec) (*Result, error) {
+	//lint:ignore budgetless documented unbudgeted convenience entry; deadline-bound callers use VerifyTriangleBudget
 	return VerifyTriangleBudget(n, input, spec, guard.Budget{})
 }
 
