@@ -79,6 +79,11 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	matKernels, err := matProbes(seed)
+	if err != nil {
+		return "", err
+	}
+	kernels = append(kernels, matKernels...)
 	for _, p := range kernels {
 		iters, ns := timeProbe(p.fn)
 		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
