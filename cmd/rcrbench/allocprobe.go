@@ -45,6 +45,24 @@ func allocProbes(seed uint64) ([]AllocProbe, error) {
 	}
 	out := make([]float64, n)
 
+	// Plan fixtures: the factorization plans promise allocation-free
+	// Factor/SolveInto/Decompose/ProjectPSDInto once constructed. The size
+	// keeps ProjectPSDInto's internal GEMM within one par chunk so the
+	// measurement pins the kernels, not the fan-out machinery.
+	const pn = 32
+	spd, err := spdMatrix(r, pn)
+	if err != nil {
+		return nil, err
+	}
+	sym := randSym(r, pn)
+	rhs := randVec(r, pn)
+	sol := make([]float64, pn)
+	cholPlan := mat.NewCholPlan(pn)
+	ldlPlan := mat.NewLDLPlan(pn)
+	luPlan := mat.NewLUPlan(pn)
+	eigPlan := mat.NewEigPlan(pn)
+	psd := mat.New(pn, pn)
+
 	const fn = 1024
 	plan := fft.NewPlan(fn)
 	buf := make([]complex128, fn)
@@ -61,6 +79,34 @@ func allocProbes(seed uint64) ([]AllocProbe, error) {
 		{"mat.VecDot", n, func() { sink += mat.VecDot(a, b) }},
 		{"mat.VecNorm", n, func() { sink += mat.VecNorm(a) }},
 		{"mat.Matrix.MulVecInto", n, func() { m.MulVecInto(out, a) }},
+		{"mat.CholPlan.Factor+SolveInto", pn, func() {
+			if cholPlan.Factor(spd) != nil {
+				panic("alloc probe: cholesky factor failed")
+			}
+			cholPlan.SolveInto(sol, rhs)
+		}},
+		{"mat.LDLPlan.Factor+SolveInto", pn, func() {
+			if ldlPlan.Factor(spd) != nil {
+				panic("alloc probe: ldl factor failed")
+			}
+			ldlPlan.SolveInto(sol, rhs)
+		}},
+		{"mat.LUPlan.Factor+SolveInto", pn, func() {
+			if luPlan.Factor(spd) != nil {
+				panic("alloc probe: lu factor failed")
+			}
+			luPlan.SolveInto(sol, rhs)
+		}},
+		{"mat.EigPlan.Decompose", pn, func() {
+			if eigPlan.Decompose(sym) != nil {
+				panic("alloc probe: eig decompose failed")
+			}
+		}},
+		{"mat.EigPlan.ProjectPSDInto", pn, func() {
+			if eigPlan.ProjectPSDInto(psd, sym) != nil {
+				panic("alloc probe: psd projection failed")
+			}
+		}},
 		{"fft.Plan.Do", fn, func() { plan.Do(buf, false); plan.Do(buf, true) }},
 	}
 

@@ -6,9 +6,12 @@ package main
 // files produced before and after a performance PR records the repository's
 // perf trajectory next to the code that produced it (see DESIGN.md §8).
 //
-// The kernel probes deliberately use only API that predates the plan-cached
-// kernel (fft.FFT, stft.Transform, Matrix.Mul, pso.Minimize), so baselines
-// taken at different commits measure the same operations.
+// kernelProbes deliberately uses only long-stable API (fft.FFT,
+// stft.Transform, Matrix.Mul, pso.Minimize), so those timings are
+// comparable across any pair of commits. The matProbes series instead
+// tracks the factorization plans (CholPlan, EigPlan, mat.BatchSolve) — the
+// interface the solver inner loops hold — timing the same logical
+// operations the pre-plan wrappers performed.
 
 import (
 	"context"

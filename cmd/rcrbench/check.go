@@ -1,0 +1,84 @@
+package main
+
+// Perf regression gate: `rcrbench -check BENCH_<label>.json` re-times the
+// mat/qp/sdp probe series against the kernel timings recorded in a committed
+// baseline and fails when any probe regresses past the noise allowance. This
+// is what keeps a later PR from silently giving back the plan-kernel
+// speedups: ci.sh runs it against the committed BENCH_post.json, so a
+// regression has to either fix itself or recapture the baseline in a
+// reviewable diff.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// checkFactor is the allowed slowdown before -check fails. Shared hosts
+// show 30-50% swings under load — a compile sharing the host pushes single
+// probes near 2x — so the gate is deliberately loose: it cannot rank
+// commits, but losing a plan-kernel win (3x and up) still clears the bar
+// by a wide margin.
+const checkFactor = 2.5
+
+// checkBaseline re-times the mat probe series and compares each probe to
+// the baseline entry with the same name and size. Probes absent from the
+// baseline are reported as new and skipped; alloc probes are re-measured
+// and must still be zero.
+func checkBaseline(path string, seed uint64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	ref := make(map[string]float64, len(base.Kernels))
+	for _, k := range base.Kernels {
+		ref[fmt.Sprintf("%s/%d", k.Name, k.Size)] = k.NsPerOp
+	}
+
+	probes, err := matProbes(seed)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	for _, p := range probes {
+		key := fmt.Sprintf("%s/%d", p.name, p.size)
+		want, ok := ref[key]
+		if !ok || want <= 0 {
+			fmt.Printf("check %-24s not in baseline, skipped\n", key)
+			continue
+		}
+		_, got := timeProbe(p.fn)
+		if got == 0 {
+			return fmt.Errorf("probe %s failed to run", key)
+		}
+		ratio := got / want
+		status := "ok"
+		if ratio > checkFactor {
+			status = "REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s %.0fns -> %.0fns (%.2fx)", key, want, got, ratio))
+		}
+		fmt.Printf("check %-24s %12.0f ns/op  baseline %12.0f  (%.2fx) %s\n", key, got, want, ratio, status)
+	}
+
+	allocs, err := allocProbes(seed)
+	if err != nil {
+		return err
+	}
+	for _, a := range allocs {
+		if a.AllocsPerOp != 0 {
+			regressions = append(regressions, fmt.Sprintf("%s allocates %g/op", a.Name, a.AllocsPerOp))
+		}
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf regression vs %s (allowance %.1fx):\n  %s",
+			path, checkFactor, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("check: all probes within %.1fx of %s\n", checkFactor, path)
+	return nil
+}

@@ -38,8 +38,12 @@ func run(args []string) error {
 	asJSON := fs.Bool("json", false, "emit JSON instead of tables")
 	baseline := fs.String("baseline", "", "capture a perf baseline, writing BENCH_<label>.json")
 	benchDir := fs.String("benchdir", ".", "directory for -baseline output")
+	check := fs.String("check", "", "re-time the mat probes against a BENCH_*.json baseline; fail on regression")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *check != "" {
+		return checkBaseline(*check, *seed)
 	}
 	if *baseline != "" {
 		path, err := captureBaseline(*baseline, *benchDir, *seed)

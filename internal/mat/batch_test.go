@@ -1,0 +1,170 @@
+package mat
+
+// Tests for the batched small-matrix APIs: bit-identity with the serial
+// per-item calls, worker-count invariance of the deterministic chunking,
+// and the per-item error contract.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// batchFixtures returns a mixed-shape batch of SPD systems with right-hand
+// sides, sized so batchGrain produces multiple chunks.
+func batchFixtures() ([]*Matrix, [][]float64) {
+	r := rng.New(411)
+	ns := []int{3, 8, 16, 5, 12, 16, 7, 20, 4, 9, 16, 11}
+	as := make([]*Matrix, len(ns))
+	bs := make([][]float64, len(ns))
+	for i, n := range ns {
+		as[i] = randSPD(n, uint64(500+i))
+		bs[i] = make([]float64, n)
+		for j := range bs[i] {
+			bs[i][j] = r.Norm()
+		}
+	}
+	return as, bs
+}
+
+// TestBatchMatchesSerial pins that each batched result is bitwise what the
+// serial per-item call produces.
+func TestBatchMatchesSerial(t *testing.T) {
+	t.Setenv(par.EnvWorkers, "8")
+	as, bs := batchFixtures()
+
+	ls, errs := BatchCholesky(as)
+	for i, a := range as {
+		if errs[i] != nil {
+			t.Fatalf("cholesky item %d: %v", i, errs[i])
+		}
+		want, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Data {
+			if ls[i].Data[j] != want.Data[j] {
+				t.Fatalf("cholesky item %d differs from serial at %d", i, j)
+			}
+		}
+	}
+
+	xs, errs := BatchSolve(as, bs)
+	for i, a := range as {
+		if errs[i] != nil {
+			t.Fatalf("solve item %d: %v", i, errs[i])
+		}
+		want, err := Solve(a, bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if xs[i][j] != want[j] {
+				t.Fatalf("solve item %d differs from serial at %d", i, j)
+			}
+		}
+	}
+
+	es, errs := BatchSymEig(as)
+	for i, a := range as {
+		if errs[i] != nil {
+			t.Fatalf("symeig item %d: %v", i, errs[i])
+		}
+		want, err := SymEig(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.Values {
+			if es[i].Values[j] != want.Values[j] {
+				t.Fatalf("symeig item %d eigenvalue %d differs from serial", i, j)
+			}
+		}
+		for j := range want.V.Data {
+			if es[i].V.Data[j] != want.V.Data[j] {
+				t.Fatalf("symeig item %d eigenvector data differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestBatchDeterministicAcrossWorkerCounts pins the chunking contract: each
+// item is processed entirely within one chunk, so batch results are
+// bit-identical at any RCR_WORKERS.
+func TestBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers string) ([]*Matrix, [][]float64, []*Eig) {
+		t.Setenv(par.EnvWorkers, workers)
+		as, bs := batchFixtures()
+		ls, errs := BatchCholesky(as)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("workers=%s cholesky item %d: %v", workers, i, err)
+			}
+		}
+		xs, errs := BatchSolve(as, bs)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("workers=%s solve item %d: %v", workers, i, err)
+			}
+		}
+		es, errs := BatchSymEig(as)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("workers=%s symeig item %d: %v", workers, i, err)
+			}
+		}
+		return ls, xs, es
+	}
+	l1, x1, e1 := run("1")
+	l8, x8, e8 := run("8")
+	for i := range l1 {
+		for j := range l1[i].Data {
+			if l1[i].Data[j] != l8[i].Data[j] {
+				t.Fatalf("cholesky item %d differs across worker counts", i)
+			}
+		}
+		for j := range x1[i] {
+			if x1[i][j] != x8[i][j] {
+				t.Fatalf("solve item %d differs across worker counts", i)
+			}
+		}
+		for j := range e1[i].Values {
+			if e1[i].Values[j] != e8[i].Values[j] {
+				t.Fatalf("symeig item %d differs across worker counts", i)
+			}
+		}
+	}
+}
+
+// TestBatchErrorContract pins the per-item error slice: failures are
+// isolated to their index, nil items are reported as shape errors, and a
+// length mismatch in BatchSolve returns a single-element error slice.
+func TestBatchErrorContract(t *testing.T) {
+	good := randSPD(6, 600)
+	indef := randSym(6, 601)
+	indef.Set(2, 2, -5)
+
+	ls, errs := BatchCholesky([]*Matrix{good, indef, nil, good})
+	if errs[0] != nil || errs[3] != nil {
+		t.Fatalf("good items reported errors: %v, %v", errs[0], errs[3])
+	}
+	if !errors.Is(errs[1], ErrNotPD) {
+		t.Fatalf("indefinite item: got %v, want ErrNotPD", errs[1])
+	}
+	if !errors.Is(errs[2], ErrShape) {
+		t.Fatalf("nil item: got %v, want ErrShape", errs[2])
+	}
+	if ls[1] != nil || ls[2] != nil {
+		t.Fatal("failed items should have nil results")
+	}
+
+	if xs, errs := BatchSolve([]*Matrix{good}, nil); xs != nil || len(errs) != 1 || !errors.Is(errs[0], ErrShape) {
+		t.Fatalf("length mismatch: got %v, %v", xs, errs)
+	}
+
+	_, errs = BatchSymEig([]*Matrix{good, nil})
+	if errs[0] != nil || !errors.Is(errs[1], ErrShape) {
+		t.Fatalf("symeig errors: %v", errs)
+	}
+}

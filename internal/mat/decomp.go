@@ -1,6 +1,12 @@
 package mat
 
+// Compatibility wrappers over the factorization plans in plan.go: one-shot
+// helpers that keep the original allocate-and-return signatures while the
+// actual factorization runs in a pooled, workspace-reusing plan. Hot loops
+// that factor every iteration should hold a plan directly.
+
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -9,56 +15,32 @@ import (
 // symmetric positive definite A. It returns ErrNotPD if a non-positive
 // pivot is encountered.
 func Cholesky(a *Matrix) (*Matrix, error) {
-	n := a.Rows
-	if a.Cols != n {
+	if a.Cols != a.Rows {
 		return nil, fmt.Errorf("%w: cholesky of %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	l := New(n, n)
-	for j := 0; j < n; j++ {
-		var d float64 = a.At(j, j)
-		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
+	p := CholPlanFor(a.Rows)
+	defer p.Release()
+	if err := p.Factor(a); err != nil {
+		if errors.Is(err, ErrNotPD) {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPD, p.badPiv, p.badVal)
 		}
-		if d <= 0 {
-			return nil, fmt.Errorf("%w: pivot %d is %g", ErrNotPD, j, d)
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/ljj)
-		}
+		return nil, err
 	}
-	return l, nil
+	return p.L.Clone(), nil
 }
 
 // CholSolve solves A x = b given the Cholesky factor L of A.
 func CholSolve(l *Matrix, b []float64) ([]float64, error) {
 	n := l.Rows
+	if l.Cols != n {
+		return nil, fmt.Errorf("%w: cholsolve factor %dx%d", ErrShape, l.Rows, l.Cols)
+	}
 	if len(b) != n {
 		return nil, fmt.Errorf("%w: cholsolve rhs %d for %dx%d", ErrShape, len(b), n, n)
 	}
-	// Forward solve L y = b.
 	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
-		}
-		y[i] = s / l.At(i, i)
-	}
-	// Back solve Lᵀ x = y.
 	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
-		}
-		x[i] = s / l.At(i, i)
-	}
+	cholForwardBack(l.Data, n, x, y, b)
 	return x, nil
 }
 
@@ -66,33 +48,20 @@ func CholSolve(l *Matrix, b []float64) ([]float64, error) {
 // L unit lower triangular and D diagonal (returned as a slice). Unlike
 // Cholesky it tolerates indefinite matrices but fails on zero pivots.
 func LDL(a *Matrix) (l *Matrix, d []float64, err error) {
-	n := a.Rows
-	if a.Cols != n {
+	if a.Cols != a.Rows {
 		return nil, nil, fmt.Errorf("%w: ldl of %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	l = Identity(n)
-	d = make([]float64, n)
-	for j := 0; j < n; j++ {
-		dj := a.At(j, j)
-		for k := 0; k < j; k++ {
-			dj -= l.At(j, k) * l.At(j, k) * d[k]
+	p := LDLPlanFor(a.Rows)
+	defer p.Release()
+	if err := p.Factor(a); err != nil {
+		if errors.Is(err, ErrSingular) {
+			return nil, nil, fmt.Errorf("%w: zero pivot at %d", ErrSingular, p.badPiv)
 		}
-		d[j] = dj
-		if dj == 0 {
-			if allBelowZero(a, l, d, j, n) {
-				continue
-			}
-			return nil, nil, fmt.Errorf("%w: zero pivot at %d", ErrSingular, j)
-		}
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k) * d[k]
-			}
-			l.Set(i, j, s/dj)
-		}
+		return nil, nil, err
 	}
-	return l, d, nil
+	d = make([]float64, a.Rows)
+	copy(d, p.D)
+	return p.L.Clone(), d, nil
 }
 
 // allBelowZero reports whether every would-be multiplier below pivot j is
@@ -121,52 +90,17 @@ type LU struct {
 // NewLU factorizes a with partial pivoting. It returns ErrSingular when a
 // pivot column is exactly zero.
 func NewLU(a *Matrix) (*LU, error) {
-	n := a.Rows
-	if a.Cols != n {
+	if a.Cols != a.Rows {
 		return nil, fmt.Errorf("%w: lu of %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	lu := a.Clone()
-	piv := make([]int, n)
-	for i := range piv {
-		piv[i] = i
+	p := LUPlanFor(a.Rows)
+	defer p.Release()
+	if err := p.Factor(a); err != nil {
+		return nil, fmt.Errorf("%w: column %d", ErrSingular, p.badCol)
 	}
-	sign := 1
-	for k := 0; k < n; k++ {
-		// Find pivot.
-		p := k
-		maxv := math.Abs(lu.At(k, k))
-		for i := k + 1; i < n; i++ {
-			if v := math.Abs(lu.At(i, k)); v > maxv {
-				maxv = v
-				p = i
-			}
-		}
-		if maxv == 0 {
-			return nil, fmt.Errorf("%w: column %d", ErrSingular, k)
-		}
-		if p != k {
-			swapRows(lu, p, k)
-			piv[p], piv[k] = piv[k], piv[p]
-			sign = -sign
-		}
-		pivot := lu.At(k, k)
-		for i := k + 1; i < n; i++ {
-			m := lu.At(i, k) / pivot
-			lu.Set(i, k, m)
-			for j := k + 1; j < n; j++ {
-				lu.Add(i, j, -m*lu.At(k, j))
-			}
-		}
-	}
-	return &LU{lu: lu, piv: piv, sign: sign}, nil
-}
-
-func swapRows(m *Matrix, a, b int) {
-	ra := m.Data[a*m.Cols : (a+1)*m.Cols]
-	rb := m.Data[b*m.Cols : (b+1)*m.Cols]
-	for i := range ra {
-		ra[i], rb[i] = rb[i], ra[i]
-	}
+	piv := make([]int, a.Rows)
+	copy(piv, p.piv)
+	return &LU{lu: p.lu.Clone(), piv: piv, sign: p.sign}, nil
 }
 
 // Solve solves A x = b using the factorization.
@@ -176,22 +110,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("%w: lu solve rhs %d for n=%d", ErrShape, len(b), n)
 	}
 	x := make([]float64, n)
-	for i := 0; i < n; i++ {
-		x[i] = b[f.piv[i]]
-	}
-	// Forward substitute through unit-lower L.
-	for i := 0; i < n; i++ {
-		for k := 0; k < i; k++ {
-			x[i] -= f.lu.At(i, k) * x[k]
-		}
-	}
-	// Back substitute through U.
-	for i := n - 1; i >= 0; i-- {
-		for k := i + 1; k < n; k++ {
-			x[i] -= f.lu.At(i, k) * x[k]
-		}
-		x[i] /= f.lu.At(i, i)
-	}
+	luSolveInto(f.lu.Data, n, f.piv, x, b)
 	return x, nil
 }
 
@@ -207,31 +126,42 @@ func (f *LU) Det() float64 {
 
 // Solve solves the square linear system A x = b via pivoted LU.
 func Solve(a *Matrix, b []float64) ([]float64, error) {
-	f, err := NewLU(a)
-	if err != nil {
-		return nil, err
+	if a.Cols != a.Rows {
+		return nil, fmt.Errorf("%w: lu of %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	return f.Solve(b)
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("%w: lu solve rhs %d for n=%d", ErrShape, len(b), a.Rows)
+	}
+	p := LUPlanFor(a.Rows)
+	defer p.Release()
+	if err := p.Factor(a); err != nil {
+		return nil, fmt.Errorf("%w: column %d", ErrSingular, p.badCol)
+	}
+	x := make([]float64, a.Rows)
+	p.SolveInto(x, b)
+	return x, nil
 }
 
 // Inverse returns A⁻¹ via pivoted LU, or ErrSingular.
 func Inverse(a *Matrix) (*Matrix, error) {
 	n := a.Rows
-	f, err := NewLU(a)
-	if err != nil {
-		return nil, err
+	if a.Cols != n {
+		return nil, fmt.Errorf("%w: lu of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	p := LUPlanFor(n)
+	defer p.Release()
+	if err := p.Factor(a); err != nil {
+		return nil, fmt.Errorf("%w: column %d", ErrSingular, p.badCol)
 	}
 	inv := New(n, n)
 	e := make([]float64, n)
+	col := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		col, err := f.Solve(e)
-		if err != nil {
-			return nil, err
-		}
+		p.SolveInto(col, e)
 		for i := 0; i < n; i++ {
 			inv.Set(i, j, col[i])
 		}

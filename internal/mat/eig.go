@@ -1,9 +1,13 @@
 package mat
 
+// Symmetric eigendecomposition wrappers over EigPlan (plan.go). The
+// algorithm itself — Householder tridiagonalization followed by the
+// implicit-shift QL iteration — lives in EigPlan.Decompose; these helpers
+// keep the original one-shot signatures on top of pooled plans.
+
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Eig holds the eigendecomposition A = V diag(Values) Vᵀ of a symmetric
@@ -14,102 +18,32 @@ type Eig struct {
 	V      *Matrix
 }
 
-// SymEig computes the eigendecomposition of a symmetric matrix using the
-// cyclic Jacobi method. The input is symmetrized first; callers passing a
-// grossly asymmetric matrix get the decomposition of (A+Aᵀ)/2.
+// SymEig computes the eigendecomposition of a symmetric matrix via
+// Householder tridiagonalization and implicit-shift QL iteration. The input
+// is symmetrized first; callers passing a grossly asymmetric matrix get the
+// decomposition of (A+Aᵀ)/2.
 func SymEig(a *Matrix) (*Eig, error) {
 	n := a.Rows
 	if a.Cols != n {
 		return nil, fmt.Errorf("%w: symeig of %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	w := a.Clone().Symmetrize()
-	v := Identity(n)
-
-	const maxSweeps = 100
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		off := offDiagNorm(w)
-		if off < 1e-13*(1+w.FrobNorm()) {
-			break
-		}
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				apq := w.At(p, q)
-				if math.Abs(apq) < 1e-300 {
-					continue
-				}
-				app := w.At(p, p)
-				aqq := w.At(q, q)
-				theta := (aqq - app) / (2 * apq)
-				var t float64
-				if theta >= 0 {
-					t = 1 / (theta + math.Sqrt(1+theta*theta))
-				} else {
-					t = -1 / (-theta + math.Sqrt(1+theta*theta))
-				}
-				c := 1 / math.Sqrt(1+t*t)
-				s := t * c
-				applyJacobiRotation(w, v, p, q, c, s)
-			}
-		}
+	p := EigPlanFor(n)
+	defer p.Release()
+	if err := p.Decompose(a); err != nil {
+		return nil, err
 	}
-
 	vals := make([]float64, n)
-	for i := 0; i < n; i++ {
-		vals[i] = w.At(i, i)
-	}
-	// Sort eigenpairs descending by eigenvalue.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
-	sortedVals := make([]float64, n)
-	sortedV := New(n, n)
-	for newCol, oldCol := range idx {
-		sortedVals[newCol] = vals[oldCol]
-		for r := 0; r < n; r++ {
-			sortedV.Set(r, newCol, v.At(r, oldCol))
+	copy(vals, p.Values)
+	// The plan stores eigenvectors as rows; the public type exposes them as
+	// columns of V.
+	v := New(n, n)
+	for c := 0; c < n; c++ {
+		row := p.sv.RowView(c)
+		for r, x := range row {
+			v.Data[r*n+c] = x
 		}
 	}
-	return &Eig{Values: sortedVals, V: sortedV}, nil
-}
-
-// applyJacobiRotation applies the rotation G(p,q,c,s) as W ← GᵀWG and
-// accumulates V ← VG.
-func applyJacobiRotation(w, v *Matrix, p, q int, c, s float64) {
-	n := w.Rows
-	for i := 0; i < n; i++ {
-		wip := w.At(i, p)
-		wiq := w.At(i, q)
-		w.Set(i, p, c*wip-s*wiq)
-		w.Set(i, q, s*wip+c*wiq)
-	}
-	for j := 0; j < n; j++ {
-		wpj := w.At(p, j)
-		wqj := w.At(q, j)
-		w.Set(p, j, c*wpj-s*wqj)
-		w.Set(q, j, s*wpj+c*wqj)
-	}
-	for i := 0; i < n; i++ {
-		vip := v.At(i, p)
-		viq := v.At(i, q)
-		v.Set(i, p, c*vip-s*viq)
-		v.Set(i, q, s*vip+c*viq)
-	}
-}
-
-func offDiagNorm(m *Matrix) float64 {
-	var s float64
-	n := m.Rows
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				v := m.At(i, j)
-				s += v * v
-			}
-		}
-	}
-	return math.Sqrt(s)
+	return &Eig{Values: vals, V: v}, nil
 }
 
 // Reconstruct returns V diag(Values) Vᵀ, useful for testing.
@@ -131,27 +65,34 @@ func (e *Eig) Reconstruct() *Matrix {
 // ProjectPSD returns the nearest (Frobenius) positive semidefinite matrix
 // to a symmetric input: eigenvalues are clipped at zero and the matrix
 // reassembled. This is the projection step used by the ADMM-style SDP
-// solver and the PSD safeguards in the QCQP relaxations.
+// solver and the PSD safeguards in the QCQP relaxations. Iterating callers
+// should hold an EigPlan and use ProjectPSDInto.
 func ProjectPSD(a *Matrix) (*Matrix, error) {
-	e, err := SymEig(a)
-	if err != nil {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("%w: symeig of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	p := EigPlanFor(n)
+	defer p.Release()
+	out := New(n, n)
+	if err := p.ProjectPSDInto(out, a); err != nil {
 		return nil, err
 	}
-	for i, v := range e.Values {
-		if v < 0 {
-			e.Values[i] = 0
-		}
-	}
-	return e.Reconstruct().Symmetrize(), nil
+	return out, nil
 }
 
 // MinEigenvalue returns the smallest eigenvalue of a symmetric matrix.
 func MinEigenvalue(a *Matrix) (float64, error) {
-	e, err := SymEig(a)
-	if err != nil {
+	n := a.Rows
+	if a.Cols != n {
+		return 0, fmt.Errorf("%w: symeig of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	p := EigPlanFor(n)
+	defer p.Release()
+	if err := p.Decompose(a); err != nil {
 		return 0, err
 	}
-	return e.Values[len(e.Values)-1], nil
+	return p.MinEig(), nil
 }
 
 // IsPSD reports whether a symmetric matrix is positive semidefinite to
@@ -167,12 +108,17 @@ func IsPSD(a *Matrix, tol float64) (bool, error) {
 // NumericalRank returns the number of eigenvalues of a symmetric matrix
 // whose magnitude exceeds tol times the largest magnitude eigenvalue.
 func NumericalRank(a *Matrix, tol float64) (int, error) {
-	e, err := SymEig(a)
-	if err != nil {
+	n := a.Rows
+	if a.Cols != n {
+		return 0, fmt.Errorf("%w: symeig of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	p := EigPlanFor(n)
+	defer p.Release()
+	if err := p.Decompose(a); err != nil {
 		return 0, err
 	}
 	var maxAbs float64
-	for _, v := range e.Values {
+	for _, v := range p.Values {
 		if m := math.Abs(v); m > maxAbs {
 			maxAbs = m
 		}
@@ -181,7 +127,7 @@ func NumericalRank(a *Matrix, tol float64) (int, error) {
 		return 0, nil
 	}
 	r := 0
-	for _, v := range e.Values {
+	for _, v := range p.Values {
 		if math.Abs(v) > tol*maxAbs {
 			r++
 		}
@@ -193,13 +139,18 @@ func NumericalRank(a *Matrix, tol float64) (int, error) {
 // matrix (ratio of extreme absolute eigenvalues). Returns +Inf when the
 // smallest magnitude eigenvalue is zero.
 func ConditionNumberSym(a *Matrix) (float64, error) {
-	e, err := SymEig(a)
-	if err != nil {
+	n := a.Rows
+	if a.Cols != n {
+		return 0, fmt.Errorf("%w: symeig of %dx%d", ErrShape, a.Rows, a.Cols)
+	}
+	p := EigPlanFor(n)
+	defer p.Release()
+	if err := p.Decompose(a); err != nil {
 		return 0, err
 	}
 	var maxAbs, minAbs float64
 	minAbs = math.Inf(1)
-	for _, v := range e.Values {
+	for _, v := range p.Values {
 		m := math.Abs(v)
 		if m > maxAbs {
 			maxAbs = m

@@ -1,0 +1,400 @@
+package mat
+
+// Blocked GEMM layer (DESIGN.md §13).
+//
+// Contraction-order contract: every output element is accumulated as a
+// k-ascending chain fl(fl(a_k·b_k) + s) starting from s = 0 — the same order
+// a naive triple loop uses. The AVX microkernels (gemm_amd64.s) vectorize
+// across OUTPUT COLUMNS, never across k, so each lane carries exactly one
+// element's chain and the AVX path, the scalar path (any gemmKPanel), and
+// the naive reference produce bit-identical float64 results. The parallel
+// wrappers split OUTPUT ROWS over internal/par with each row owned by one
+// chunk, so results are also bit-identical at any RCR_WORKERS.
+//
+// The *Into variants are serial, allocation-free //rcr:hot kernels for
+// solver inner loops holding reusable workspaces; they panic on shape
+// mismatch (a programming error in kernel code, mirroring MulVecInto).
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// gemmKPanel is the k-panel depth of the scalar saxpy kernel. It is a
+// variable so equivalence tests can sweep block sizes; the per-element
+// contraction order is k-ascending at any value, so results are
+// bit-identical across settings.
+var gemmKPanel = 64
+
+// zeroRows clears rows [lo, hi) of out.
+func zeroRows(out *Matrix, lo, hi int) {
+	seg := out.Data[lo*out.Cols : hi*out.Cols]
+	for i := range seg {
+		seg[i] = 0
+	}
+}
+
+// Mul returns the matrix product m*b, row-blocked across the worker pool.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := New(m.Rows, b.Cols)
+	par.For(m.Rows, rowGrain(m.Cols*b.Cols), func(lo, hi int) {
+		mulRows(out, m, b, lo, hi)
+	})
+	return out, nil
+}
+
+// MulInto computes out = m*b serially and without allocating — the in-place
+// counterpart of Mul for solver inner loops.
+//
+//rcr:hot
+func (m *Matrix) MulInto(out, b *Matrix) {
+	if m.Cols != b.Rows || out.Rows != m.Rows || out.Cols != b.Cols {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: MulInto shape mismatch")
+	}
+	mulRows(out, m, b, 0, m.Rows)
+}
+
+// MulABT returns a*bᵀ without materializing the transpose: a is m×k, b is
+// n×k, and the result is m×n. Row-blocked across the worker pool.
+func MulABT(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("%w: mulabt %dx%d by %dx%d transposed", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Rows)
+	par.For(a.Rows, rowGrain(a.Cols*b.Rows), func(lo, hi int) {
+		abtRows(out, a, b, lo, hi)
+	})
+	return out, nil
+}
+
+// MulABTInto computes out = a*bᵀ serially and without allocating.
+//
+//rcr:hot
+func MulABTInto(out, a, b *Matrix) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: MulABTInto shape mismatch")
+	}
+	abtRows(out, a, b, 0, a.Rows)
+}
+
+// MulATB returns aᵀ*b without materializing the transpose: a is k×m, b is
+// k×n, and the result is m×n. Row-blocked across the worker pool.
+func MulATB(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("%w: mulatb %dx%d transposed by %dx%d", ErrShape, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Cols, b.Cols)
+	par.For(a.Cols, rowGrain(a.Rows*b.Cols), func(lo, hi int) {
+		atbRows(out, a, b, lo, hi)
+	})
+	return out, nil
+}
+
+// MulATBInto computes out = aᵀ*b serially and without allocating.
+//
+//rcr:hot
+func MulATBInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: MulATBInto shape mismatch")
+	}
+	atbRows(out, a, b, 0, a.Cols)
+}
+
+// MulTVecInto computes out = mᵀ*x serially and without allocating, walking
+// rows of m so no transpose is ever materialized.
+//
+//rcr:hot
+func (m *Matrix) MulTVecInto(out, x []float64) {
+	if m.Rows != len(x) || m.Cols != len(out) {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: MulTVecInto shape mismatch")
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+		ro := out[:len(ri)]
+		for j, v := range ri {
+			ro[j] += v * xi
+		}
+	}
+}
+
+// mulRows computes output rows [lo, hi) of out = a*b. AVX path: per output
+// row, 16- then 4-column axpy lane groups accumulate in registers (a advances
+// one element, b advances one row per k step); scalar tail columns use the
+// same k-ascending chain.
+func mulRows(out, a, b *Matrix, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	if n == 0 || lo >= hi {
+		return
+	}
+	if k == 0 {
+		zeroRows(out, lo, hi)
+		return
+	}
+	if useAVX {
+		bs := uintptr(n) * 8
+		for i := lo; i < hi; i++ {
+			ap := &a.Data[i*k]
+			ai := a.Data[i*k : i*k+k]
+			j := 0
+			for ; j+16 <= n; j += 16 {
+				axpyK16(&out.Data[i*n+j], ap, &b.Data[j], uintptr(k), 8, bs)
+			}
+			for ; j+4 <= n; j += 4 {
+				axpyK4(&out.Data[i*n+j], ap, &b.Data[j], uintptr(k), 8, bs)
+			}
+			for ; j < n; j++ {
+				var s float64
+				for kk, av := range ai {
+					s += av * b.Data[kk*n+j]
+				}
+				out.Data[i*n+j] = s
+			}
+		}
+		return
+	}
+	mulRowsScalar(out, a, b, lo, hi)
+}
+
+// mulRowsScalar is the portable kernel: 2-row register tiles in saxpy form
+// with k-panel blocking. Panels ascend and rows never interleave k within an
+// element, so the per-element order stays k-ascending.
+func mulRowsScalar(out, a, b *Matrix, lo, hi int) {
+	k, n := a.Cols, b.Cols
+	zeroRows(out, lo, hi)
+	kp := gemmKPanel
+	if kp < 1 {
+		kp = k
+	}
+	for k0 := 0; k0 < k; k0 += kp {
+		k1 := k0 + kp
+		if k1 > k {
+			k1 = k
+		}
+		i := lo
+		for ; i+2 <= hi; i += 2 {
+			a0 := a.Data[i*k : i*k+k]
+			a1 := a.Data[(i+1)*k : (i+1)*k+k]
+			o0 := out.Data[i*n : i*n+n]
+			o1 := out.Data[(i+1)*n : (i+1)*n+n]
+			for kk := k0; kk < k1; kk++ {
+				m0, m1 := a0[kk], a1[kk]
+				bk := b.Data[kk*n : kk*n+n]
+				t0 := o0[:len(bk)]
+				t1 := o1[:len(bk)]
+				for j, bv := range bk {
+					t0[j] += m0 * bv
+					t1[j] += m1 * bv
+				}
+			}
+		}
+		for ; i < hi; i++ {
+			a0 := a.Data[i*k : i*k+k]
+			o0 := out.Data[i*n : i*n+n]
+			for kk := k0; kk < k1; kk++ {
+				m0 := a0[kk]
+				bk := b.Data[kk*n : kk*n+n]
+				t0 := o0[:len(bk)]
+				for j, bv := range bk {
+					t0[j] += m0 * bv
+				}
+			}
+		}
+	}
+}
+
+// atbRows computes output rows [lo, hi) of out = aᵀ*b; output row i reads
+// column i of a (stride a.Cols) while b rows stream contiguously, so the
+// same axpy microkernels apply with a strided a step.
+func atbRows(out, a, b *Matrix, lo, hi int) {
+	k := a.Rows
+	m, n := a.Cols, b.Cols
+	if n == 0 || lo >= hi {
+		return
+	}
+	if k == 0 {
+		zeroRows(out, lo, hi)
+		return
+	}
+	if useAVX {
+		as := uintptr(m) * 8
+		bs := uintptr(n) * 8
+		for i := lo; i < hi; i++ {
+			ap := &a.Data[i]
+			j := 0
+			for ; j+16 <= n; j += 16 {
+				axpyK16(&out.Data[i*n+j], ap, &b.Data[j], uintptr(k), as, bs)
+			}
+			for ; j+4 <= n; j += 4 {
+				axpyK4(&out.Data[i*n+j], ap, &b.Data[j], uintptr(k), as, bs)
+			}
+			for ; j < n; j++ {
+				var s float64
+				for kk := 0; kk < k; kk++ {
+					s += a.Data[kk*m+i] * b.Data[kk*n+j]
+				}
+				out.Data[i*n+j] = s
+			}
+		}
+		return
+	}
+	zeroRows(out, lo, hi)
+	for kk := 0; kk < k; kk++ {
+		ak := a.Data[kk*m : kk*m+m]
+		bk := b.Data[kk*n : kk*n+n]
+		for i := lo; i < hi; i++ {
+			av := ak[i]
+			oi := out.Data[i*n : i*n+n]
+			oi = oi[:len(bk)]
+			for j, bv := range bk {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// abtRows computes output rows [lo, hi) of out = a*bᵀ: both operands are
+// walked along contiguous rows (dot products), tiled 4 output rows by 2
+// output columns for eight independent k-ascending chains.
+func abtRows(out, a, b *Matrix, lo, hi int) {
+	k := a.Cols
+	n := b.Rows
+	if n == 0 || lo >= hi {
+		return
+	}
+	if k == 0 {
+		zeroRows(out, lo, hi)
+		return
+	}
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		a0 := a.Data[i*k : i*k+k]
+		a1 := a.Data[(i+1)*k : (i+1)*k+k]
+		a2 := a.Data[(i+2)*k : (i+2)*k+k]
+		a3 := a.Data[(i+3)*k : (i+3)*k+k]
+		a1 = a1[:len(a0)]
+		a2 = a2[:len(a0)]
+		a3 = a3[:len(a0)]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := b.Data[j*k : j*k+k]
+			b1 := b.Data[(j+1)*k : (j+1)*k+k]
+			b0 = b0[:len(a0)]
+			b1 = b1[:len(a0)]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			for kk, av0 := range a0 {
+				bv0, bv1 := b0[kk], b1[kk]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				av1 := a1[kk]
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				av2 := a2[kk]
+				s20 += av2 * bv0
+				s21 += av2 * bv1
+				av3 := a3[kk]
+				s30 += av3 * bv0
+				s31 += av3 * bv1
+			}
+			out.Data[i*n+j], out.Data[i*n+j+1] = s00, s01
+			out.Data[(i+1)*n+j], out.Data[(i+1)*n+j+1] = s10, s11
+			out.Data[(i+2)*n+j], out.Data[(i+2)*n+j+1] = s20, s21
+			out.Data[(i+3)*n+j], out.Data[(i+3)*n+j+1] = s30, s31
+		}
+		for ; j < n; j++ {
+			bj := b.Data[j*k : j*k+k]
+			bj = bj[:len(a0)]
+			var s0, s1, s2, s3 float64
+			for kk, bv := range bj {
+				s0 += a0[kk] * bv
+				s1 += a1[kk] * bv
+				s2 += a2[kk] * bv
+				s3 += a3[kk] * bv
+			}
+			out.Data[i*n+j] = s0
+			out.Data[(i+1)*n+j] = s1
+			out.Data[(i+2)*n+j] = s2
+			out.Data[(i+3)*n+j] = s3
+		}
+	}
+	for ; i < hi; i++ {
+		a0 := a.Data[i*k : i*k+k]
+		j := 0
+		for ; j+2 <= n; j += 2 {
+			b0 := b.Data[j*k : j*k+k]
+			b1 := b.Data[(j+1)*k : (j+1)*k+k]
+			b0 = b0[:len(a0)]
+			b1 = b1[:len(a0)]
+			var s0, s1 float64
+			for kk, av := range a0 {
+				s0 += av * b0[kk]
+				s1 += av * b1[kk]
+			}
+			out.Data[i*n+j], out.Data[i*n+j+1] = s0, s1
+		}
+		for ; j < n; j++ {
+			bj := b.Data[j*k : j*k+k]
+			bj = bj[:len(a0)]
+			var s float64
+			for kk, av := range a0 {
+				s += av * bj[kk]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+}
+
+// axpySub subtracts s*x from dst elementwise (dst[k] -= s*x[k], k
+// ascending): the fused elimination kernel shared by the right-looking
+// Cholesky and the LU row updates. The AVX path performs the identical
+// per-element multiply-then-subtract, so both paths are bit-identical.
+//
+//rcr:hot
+func axpySub(dst, x []float64, s float64) {
+	if useAVX && len(dst) >= 8 {
+		axpyMinusAVX(&dst[0], &x[0], s, uintptr(len(dst)))
+		return
+	}
+	x = x[:len(dst)]
+	for k, v := range x {
+		dst[k] -= s * v
+	}
+}
+
+// axpySub4 applies four axpy subtractions to dst in fixed s0..s3 order:
+// dst[k] -= s0*x0[k]; ...; dst[k] -= s3*x3[k]. Each multiply and subtract
+// rounds individually, so the result is bit-identical to four sequential
+// axpySub calls — the fusion is purely a memory-traffic optimization (one
+// dst load and store per element instead of four), the rank-4 trailing
+// update kernel of the panelled Cholesky.
+//
+//rcr:hot
+func axpySub4(dst, x0, x1, x2, x3 []float64, s0, s1, s2, s3 float64) {
+	if useAVX && len(dst) >= 8 {
+		axpyMinus4AVX(&dst[0], &x0[0], &x1[0], &x2[0], &x3[0], s0, s1, s2, s3, uintptr(len(dst)))
+		return
+	}
+	x0 = x0[:len(dst)]
+	x1 = x1[:len(dst)]
+	x2 = x2[:len(dst)]
+	x3 = x3[:len(dst)]
+	for k := range dst {
+		v := dst[k]
+		v -= s0 * x0[k]
+		v -= s1 * x1[k]
+		v -= s2 * x2[k]
+		v -= s3 * x3[k]
+		dst[k] = v
+	}
+}

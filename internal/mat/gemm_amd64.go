@@ -1,0 +1,44 @@
+//go:build amd64
+
+package mat
+
+// useAVX gates the AVX microkernels in gemm_amd64.s. It is a variable (not
+// a constant) so equivalence tests can force the scalar path and assert both
+// paths agree bitwise; production code never mutates it after init.
+var useAVX = cpuHasAVX()
+
+// cpuHasAVX reports whether the CPU and OS support AVX YMM state.
+func cpuHasAVX() bool
+
+// axpyK16 accumulates o[0:16] = Σ_{kk<k} a[kk]·b[kk][0:16] with a advancing
+// astride bytes and b advancing bstride bytes per kk. Implemented in
+// gemm_amd64.s; bit-identical to the scalar k-ascending mul-then-add chain.
+//
+//go:noescape
+func axpyK16(o, a, b *float64, k, astride, bstride uintptr)
+
+// axpyK4 is axpyK16 for a single 4-column group.
+//
+//go:noescape
+func axpyK4(o, a, b *float64, k, astride, bstride uintptr)
+
+// rotPairAVX applies a Givens plane rotation to two contiguous rows:
+// p[j], q[j] = c*p[j]-s*q[j], s*p[j]+c*q[j] — the QL iteration's
+// eigenvector accumulation kernel.
+//
+//go:noescape
+func rotPairAVX(p, q *float64, c, s float64, n uintptr)
+
+// axpyMinusAVX computes dst[k] -= s*x[k] for k in [0, n), one multiply and
+// one subtract per element in k-ascending order — bit-identical to the
+// scalar loop in axpySub.
+//
+//go:noescape
+func axpyMinusAVX(dst, x *float64, s float64, n uintptr)
+
+// axpyMinus4AVX applies four axpy subtractions per element in fixed s0..s3
+// order — bit-identical to four sequential axpyMinusAVX passes, with one
+// dst load/store per element instead of four.
+//
+//go:noescape
+func axpyMinus4AVX(dst, x0, x1, x2, x3 *float64, s0, s1, s2, s3 float64, n uintptr)

@@ -1,0 +1,319 @@
+// AVX microkernels for the blocked GEMM layer (DESIGN.md §13).
+//
+// Contraction-order contract: each of the 16 (or 4) output columns owns one
+// SIMD lane, and that lane accumulates fl(fl(a_k*b_k) + s) for k ascending
+// from s = 0 — exactly the scalar naive order. VMULPD+VADDPD are used (never
+// FMA), so the AVX path, the scalar fallback in gemm.go, and a naive triple
+// loop produce bit-identical float64 results on every input.
+//
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+//
+// AVX needs CPUID.1:ECX bit 28 (AVX) and bit 27 (OSXSAVE), plus XCR0
+// indicating the OS saves XMM+YMM state (XGETBV(0) & 6 == 6).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, AX
+	ANDL $(1<<27 | 1<<28), AX
+	CMPL AX, $(1<<27 | 1<<28)
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpyK16(o, a, b *float64, k, astride, bstride uintptr)
+//
+// o[0:16] = Σ_{kk<k} a[kk]·b[kk][0:16], where a advances astride BYTES and
+// b advances bstride BYTES per kk. Four YMM accumulators hold the 16 lanes;
+// k == 0 stores zeros (matching the naive zero-initialized accumulation).
+TEXT ·axpyK16(SB), NOSPLIT, $0-48
+	MOVQ o+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ astride+32(FP), R8
+	MOVQ bstride+40(FP), R9
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	TESTQ CX, CX
+	JE    store16
+loop16:
+	VBROADCASTSD (SI), Y4
+	VMULPD (DX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	VMULPD 32(DX), Y4, Y6
+	VADDPD Y6, Y1, Y1
+	VMULPD 64(DX), Y4, Y7
+	VADDPD Y7, Y2, Y2
+	VMULPD 96(DX), Y4, Y8
+	VADDPD Y8, Y3, Y3
+	ADDQ  R8, SI
+	ADDQ  R9, DX
+	DECQ  CX
+	JNE   loop16
+store16:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	VZEROUPPER
+	RET
+
+// func axpyK4(o, a, b *float64, k, astride, bstride uintptr)
+//
+// As axpyK16 for a single 4-column lane group (row remainders).
+TEXT ·axpyK4(SB), NOSPLIT, $0-48
+	MOVQ o+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ k+24(FP), CX
+	MOVQ astride+32(FP), R8
+	MOVQ bstride+40(FP), R9
+	VXORPD Y0, Y0, Y0
+	TESTQ CX, CX
+	JE    store4
+loop4:
+	VBROADCASTSD (SI), Y4
+	VMULPD (DX), Y4, Y5
+	VADDPD Y5, Y0, Y0
+	ADDQ  R8, SI
+	ADDQ  R9, DX
+	DECQ  CX
+	JNE   loop4
+store4:
+	VMOVUPD Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func rotPairAVX(p, q *float64, c, s float64, n uintptr)
+//
+// The Jacobi plane rotation applied to two contiguous length-n rows:
+//
+//	p[j], q[j] = c*p[j] - s*q[j], s*p[j] + c*q[j]
+//
+// Elementwise with no cross-element accumulation, so lanes are independent
+// and the result is bit-identical to the scalar loop. The tail (n%4) is
+// handled with scalar SSE ops in the same formula order.
+TEXT ·rotPairAVX(SB), NOSPLIT, $0-40
+	MOVQ p+0(FP), DI
+	MOVQ q+8(FP), SI
+	VBROADCASTSD c+16(FP), Y2
+	VBROADCASTSD s+24(FP), Y3
+	MOVQ n+32(FP), CX
+	SHRQ $2, CX
+	TESTQ CX, CX
+	JE   tail
+loopr:
+	VMOVUPD (DI), Y0
+	VMOVUPD (SI), Y1
+	VMULPD Y0, Y2, Y4
+	VMULPD Y1, Y3, Y5
+	VSUBPD Y5, Y4, Y4
+	VMULPD Y0, Y3, Y6
+	VMULPD Y1, Y2, Y7
+	VADDPD Y7, Y6, Y6
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y6, (SI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	DECQ CX
+	JNE  loopr
+tail:
+	MOVQ n+32(FP), CX
+	ANDQ $3, CX
+	TESTQ CX, CX
+	JE   doner
+loopt:
+	VMOVSD (DI), X0
+	VMOVSD (SI), X1
+	VMULSD X0, X2, X4
+	VMULSD X1, X3, X5
+	VSUBSD X5, X4, X4
+	VMULSD X0, X3, X6
+	VMULSD X1, X2, X7
+	VADDSD X7, X6, X6
+	VMOVSD X4, (DI)
+	VMOVSD X6, (SI)
+	ADDQ $8, DI
+	ADDQ $8, SI
+	DECQ CX
+	JNE  loopt
+doner:
+	VZEROUPPER
+	RET
+
+// func axpyMinusAVX(dst, x *float64, s float64, n uintptr)
+// dst[k] -= s*x[k] for k in [0, n), one VMULPD+VSUBPD (or MULSD+SUBSD tail)
+// per element — the same rounding sequence as the scalar loop in axpySub.
+TEXT ·axpyMinusAVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	VBROADCASTSD s+16(FP), Y0
+	MOVQ n+24(FP), CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   axm_tail8
+axm_loop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y3
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y3, Y3
+	VMOVUPD (DI), Y2
+	VMOVUPD 32(DI), Y4
+	VSUBPD  Y1, Y2, Y2
+	VSUBPD  Y3, Y4, Y4
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y4, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ DX
+	JNZ  axm_loop8
+axm_tail8:
+	MOVQ CX, DX
+	ANDQ $7, DX
+	SHRQ $2, DX
+	JZ   axm_scalar
+	VMOVUPD (SI), Y1
+	VMULPD  Y0, Y1, Y1
+	VMOVUPD (DI), Y2
+	VSUBPD  Y1, Y2, Y2
+	VMOVUPD Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+axm_scalar:
+	VZEROUPPER
+	ANDQ $3, CX
+	JZ   axm_done
+axm_sloop:
+	MOVSD (SI), X1
+	MULSD X0, X1
+	MOVSD (DI), X2
+	SUBSD X1, X2
+	MOVSD X2, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  axm_sloop
+axm_done:
+	RET
+
+// func axpyMinus4AVX(dst, x0, x1, x2, x3 *float64, s0, s1, s2, s3 float64, n uintptr)
+// dst[k] -= s0*x0[k]; dst[k] -= s1*x1[k]; dst[k] -= s2*x2[k]; dst[k] -= s3*x3[k]
+// for k in [0, n). Each multiply and subtract rounds individually in that
+// fixed order, so the result is bit-identical to four sequential axpySub
+// passes — the fusion only saves three dst loads and stores per element.
+TEXT ·axpyMinus4AVX(SB), NOSPLIT, $0-80
+	MOVQ dst+0(FP), DI
+	MOVQ x0+8(FP), R8
+	MOVQ x1+16(FP), R9
+	MOVQ x2+24(FP), R10
+	MOVQ x3+32(FP), R11
+	VBROADCASTSD s0+40(FP), Y12
+	VBROADCASTSD s1+48(FP), Y13
+	VBROADCASTSD s2+56(FP), Y14
+	VBROADCASTSD s3+64(FP), Y15
+	MOVQ n+72(FP), CX
+	MOVQ CX, DX
+	SHRQ $3, DX
+	JZ   ax4_tail8
+ax4_loop8:
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y2
+	VMOVUPD (R8), Y1
+	VMOVUPD 32(R8), Y3
+	VMULPD  Y12, Y1, Y1
+	VMULPD  Y12, Y3, Y3
+	VSUBPD  Y1, Y0, Y0
+	VSUBPD  Y3, Y2, Y2
+	VMOVUPD (R9), Y1
+	VMOVUPD 32(R9), Y3
+	VMULPD  Y13, Y1, Y1
+	VMULPD  Y13, Y3, Y3
+	VSUBPD  Y1, Y0, Y0
+	VSUBPD  Y3, Y2, Y2
+	VMOVUPD (R10), Y1
+	VMOVUPD 32(R10), Y3
+	VMULPD  Y14, Y1, Y1
+	VMULPD  Y14, Y3, Y3
+	VSUBPD  Y1, Y0, Y0
+	VSUBPD  Y3, Y2, Y2
+	VMOVUPD (R11), Y1
+	VMOVUPD 32(R11), Y3
+	VMULPD  Y15, Y1, Y1
+	VMULPD  Y15, Y3, Y3
+	VSUBPD  Y1, Y0, Y0
+	VSUBPD  Y3, Y2, Y2
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, DI
+	ADDQ $64, R8
+	ADDQ $64, R9
+	ADDQ $64, R10
+	ADDQ $64, R11
+	DECQ DX
+	JNZ  ax4_loop8
+ax4_tail8:
+	MOVQ CX, DX
+	ANDQ $7, DX
+	SHRQ $2, DX
+	JZ   ax4_scalar
+	VMOVUPD (DI), Y0
+	VMOVUPD (R8), Y1
+	VMULPD  Y12, Y1, Y1
+	VSUBPD  Y1, Y0, Y0
+	VMOVUPD (R9), Y1
+	VMULPD  Y13, Y1, Y1
+	VSUBPD  Y1, Y0, Y0
+	VMOVUPD (R10), Y1
+	VMULPD  Y14, Y1, Y1
+	VSUBPD  Y1, Y0, Y0
+	VMOVUPD (R11), Y1
+	VMULPD  Y15, Y1, Y1
+	VSUBPD  Y1, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+ax4_scalar:
+	VZEROUPPER
+	ANDQ $3, CX
+	JZ   ax4_done
+ax4_sloop:
+	MOVSD (DI), X0
+	MOVSD (R8), X1
+	MULSD X12, X1
+	SUBSD X1, X0
+	MOVSD (R9), X1
+	MULSD X13, X1
+	SUBSD X1, X0
+	MOVSD (R10), X1
+	MULSD X14, X1
+	SUBSD X1, X0
+	MOVSD (R11), X1
+	MULSD X15, X1
+	SUBSD X1, X0
+	MOVSD X0, (DI)
+	ADDQ $8, DI
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ CX
+	JNZ  ax4_sloop
+ax4_done:
+	RET

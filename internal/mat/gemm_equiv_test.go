@@ -1,0 +1,194 @@
+package mat
+
+// Equivalence tests for the blocked GEMM kernels (DESIGN.md §13): every
+// variant — AVX or scalar, straight, ABT, ATB, and the Into forms — must be
+// bit-identical to the naive triple loop, because the blocking only hoists
+// bounds checks and reorders memory traffic, never the per-element
+// k-ascending accumulation chain.
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// naiveMulRef is the reference product: plain triple loop, k ascending.
+func naiveMulRef(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+// TestGemmMatchesNaiveReference pins the bit-identity contract of the
+// blocked multiply across shapes that exercise all microkernel tails
+// (16-wide, 4-wide, scalar remainder) and both the AVX and scalar paths.
+func TestGemmMatchesNaiveReference(t *testing.T) {
+	r := rng.New(99)
+	shapes := [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {5, 7, 3}, {16, 16, 16}, {17, 19, 23},
+		{40, 40, 40}, {64, 64, 64}, {33, 1, 50}, {1, 64, 1}, {48, 31, 65},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := New(m, k)
+		b := New(k, n)
+		for i := range a.Data {
+			a.Data[i] = r.Norm()
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Norm()
+		}
+		want := naiveMulRef(a, b)
+
+		got, err := a.Mul(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("Mul %v mismatch at %d: %g vs %g", sh, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		// Forced scalar path must agree bitwise with the AVX path (a no-op
+		// comparison on builds without AVX, where both runs are scalar).
+		old := useAVX
+		useAVX = false
+		got2, err := a.Mul(b)
+		useAVX = old
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got2.Data {
+			if got2.Data[i] != want.Data[i] {
+				t.Fatalf("scalar Mul %v mismatch at %d", sh, i)
+			}
+		}
+
+		// a·(bᵀ)ᵀ == a·b through the transpose-free ABT kernel.
+		bt := b.T()
+		got3, err := MulABT(a, bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got3.Data {
+			if got3.Data[i] != want.Data[i] {
+				t.Fatalf("MulABT %v mismatch at %d: %g vs %g", sh, i, got3.Data[i], want.Data[i])
+			}
+		}
+
+		// (aᵀ)ᵀ·b == a·b through the transpose-free ATB kernel.
+		at := a.T()
+		got4, err := MulATB(at, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got4.Data {
+			if got4.Data[i] != want.Data[i] {
+				t.Fatalf("MulATB %v mismatch at %d: %g vs %g", sh, i, got4.Data[i], want.Data[i])
+			}
+		}
+
+		// Into variants write the same bits into caller storage.
+		o := New(m, n)
+		a.MulInto(o, b)
+		for i := range o.Data {
+			if o.Data[i] != want.Data[i] {
+				t.Fatalf("MulInto %v mismatch at %d", sh, i)
+			}
+		}
+		MulABTInto(o, a, bt)
+		for i := range o.Data {
+			if o.Data[i] != want.Data[i] {
+				t.Fatalf("MulABTInto %v mismatch at %d", sh, i)
+			}
+		}
+		MulATBInto(o, at, b)
+		for i := range o.Data {
+			if o.Data[i] != want.Data[i] {
+				t.Fatalf("MulATBInto %v mismatch at %d", sh, i)
+			}
+		}
+
+		// MulTVecInto against the naive column dot.
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		outv := make([]float64, k)
+		a.MulTVecInto(outv, x)
+		for j := 0; j < k; j++ {
+			var s float64
+			for i := 0; i < m; i++ {
+				s += a.At(i, j) * x[i]
+			}
+			if outv[j] != s {
+				t.Fatalf("MulTVecInto %v mismatch at %d", sh, j)
+			}
+		}
+	}
+}
+
+// TestAxpySubKernelsBitIdentical pins the two axpy-subtract kernels across
+// every tail length: the AVX path must match the scalar loop bitwise, and
+// the fused rank-4 kernel must match four sequential rank-1 passes exactly
+// (it applies the same four subtractions per element in the same s0..s3
+// order, just with one dst load/store).
+func TestAxpySubKernelsBitIdentical(t *testing.T) {
+	r := rng.New(131)
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 64, 100}
+	for _, n := range lengths {
+		dst := make([]float64, n)
+		xs := make([][]float64, 4)
+		for s := range xs {
+			xs[s] = make([]float64, n)
+			for i := range xs[s] {
+				xs[s][i] = r.Norm()
+			}
+		}
+		for i := range dst {
+			dst[i] = r.Norm()
+		}
+		scalars := [4]float64{r.Norm(), r.Norm(), r.Norm(), r.Norm()}
+		clone := func(v []float64) []float64 { return append([]float64(nil), v...) }
+
+		// axpySub: current path vs forced scalar.
+		d1, d2 := clone(dst), clone(dst)
+		axpySub(d1, xs[0], scalars[0])
+		old := useAVX
+		useAVX = false
+		axpySub(d2, xs[0], scalars[0])
+		useAVX = old
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("axpySub n=%d: AVX and scalar differ at %d", n, i)
+			}
+		}
+
+		// axpySub4: fused vs four sequential passes, and vs forced scalar.
+		fused, seq, fscal := clone(dst), clone(dst), clone(dst)
+		axpySub4(fused, xs[0], xs[1], xs[2], xs[3], scalars[0], scalars[1], scalars[2], scalars[3])
+		for s := 0; s < 4; s++ {
+			axpySub(seq, xs[s], scalars[s])
+		}
+		useAVX = false
+		axpySub4(fscal, xs[0], xs[1], xs[2], xs[3], scalars[0], scalars[1], scalars[2], scalars[3])
+		useAVX = old
+		for i := range fused {
+			if fused[i] != seq[i] {
+				t.Fatalf("axpySub4 n=%d: fused differs from sequential at %d: %g vs %g", n, i, fused[i], seq[i])
+			}
+			if fused[i] != fscal[i] {
+				t.Fatalf("axpySub4 n=%d: AVX and scalar differ at %d", n, i)
+			}
+		}
+	}
+}

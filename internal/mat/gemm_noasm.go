@@ -1,0 +1,32 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds always take the scalar kernels, which produce bit-identical
+// results to the AVX path (same per-element k-ascending mul-then-add chains).
+var useAVX = false
+
+func axpyK16(o, a, b *float64, k, astride, bstride uintptr) {
+	//lint:ignore naivepanic unreachable: useAVX is false on non-amd64 builds
+	panic("mat: axpyK16 without asm support")
+}
+
+func axpyK4(o, a, b *float64, k, astride, bstride uintptr) {
+	//lint:ignore naivepanic unreachable: useAVX is false on non-amd64 builds
+	panic("mat: axpyK4 without asm support")
+}
+
+func rotPairAVX(p, q *float64, c, s float64, n uintptr) {
+	//lint:ignore naivepanic unreachable: useAVX is false on non-amd64 builds
+	panic("mat: rotPairAVX without asm support")
+}
+
+func axpyMinusAVX(dst, x *float64, s float64, n uintptr) {
+	//lint:ignore naivepanic unreachable: useAVX is false on non-amd64 builds
+	panic("mat: axpyMinusAVX without asm support")
+}
+
+func axpyMinus4AVX(dst, x0, x1, x2, x3 *float64, s0, s1, s2, s3 float64, n uintptr) {
+	//lint:ignore naivepanic unreachable: useAVX is false on non-amd64 builds
+	panic("mat: axpyMinus4AVX without asm support")
+}

@@ -1,9 +1,9 @@
 // Package mat implements the dense linear algebra kernel the RCR framework
 // builds on: matrices and vectors, triangular factorizations (Cholesky,
-// LDLᵀ, LU), Householder QR, symmetric eigendecomposition via the cyclic
-// Jacobi method, positive-semidefinite projection, and the trace/rank
-// helpers consumed by the rank-to-trace relaxation pipeline (paper
-// Eqs. 8–10).
+// LDLᵀ, LU), Householder QR, symmetric eigendecomposition via Householder
+// tridiagonalization and implicit-shift QL iteration, positive-semidefinite
+// projection, and the trace/rank helpers consumed by the rank-to-trace
+// relaxation pipeline (paper Eqs. 8–10).
 //
 // Everything is float64, row-major, and allocation-explicit. The package is
 // deliberately small rather than general: it supports exactly the operations
@@ -30,6 +30,10 @@ var ErrSingular = errors.New("mat: singular matrix")
 // ErrNotPD is returned when a Cholesky factorization is attempted on a
 // matrix that is not positive definite.
 var ErrNotPD = errors.New("mat: matrix is not positive definite")
+
+// ErrNoConvergence is returned when an iterative decomposition exceeds its
+// iteration bound (practically unreachable for well-scaled input).
+var ErrNoConvergence = errors.New("mat: iteration failed to converge")
 
 // Matrix is a dense row-major matrix.
 type Matrix struct {
@@ -103,6 +107,13 @@ func (m *Matrix) Row(i int) []float64 {
 	return out
 }
 
+// RowView returns row i as a subslice of the backing array — no copy.
+// Writes through the view alias the matrix, and the caller must not append
+// to it. Read-only internal callers should prefer this over Row.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
 	out := make([]float64, m.Rows)
@@ -171,30 +182,6 @@ func rowGrain(opsPerRow int) int {
 		g = 1
 	}
 	return g
-}
-
-// Mul returns the matrix product m*b, row-blocked across the worker pool.
-func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
-	if m.Cols != b.Rows {
-		return nil, fmt.Errorf("%w: mul %dx%d by %dx%d", ErrShape, m.Rows, m.Cols, b.Rows, b.Cols)
-	}
-	out := New(m.Rows, b.Cols)
-	par.For(m.Rows, rowGrain(m.Cols*b.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			mi := m.Data[i*m.Cols : (i+1)*m.Cols]
-			oi := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for k, mik := range mi {
-				if mik == 0 {
-					continue
-				}
-				bk := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bkj := range bk {
-					oi[j] += mik * bkj
-				}
-			}
-		}
-	})
-	return out, nil
 }
 
 // MulVec returns the matrix-vector product m*x, row-blocked across the

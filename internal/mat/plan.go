@@ -1,0 +1,822 @@
+package mat
+
+// Factorization plans (DESIGN.md §13): shape-keyed, reusable workspaces for
+// the decompositions the solver inner loops run every iteration. A plan owns
+// every buffer its Factor/SolveInto methods touch, so once constructed the
+// methods are allocation-free //rcr:hot kernels — they return bare sentinel
+// errors (ErrShape/ErrNotPD/ErrSingular) and record failure detail in plan
+// fields for the package-level wrappers to format.
+//
+// Plans generalize the internal/fft plan cache to mutable state: fft.Plan is
+// immutable and shared via sync.Map, while a factorization plan holds the
+// factor itself, so plans are caller-owned and recycled through per-shape
+// sync.Pool free lists (CholPlanFor/Release and friends). Hot loops that
+// factor every iteration hold one plan for the whole solve; one-shot
+// callers go through the compatibility wrappers in decomp.go/eig.go.
+//
+// Numerical contract: each plan performs the same floating-point operations
+// in the same order as the straightforward reference implementation (the
+// pre-plan At/Set code, pinned by equivalence tests), so factors and
+// solutions are bit-identical — the speedup comes from bounds-check-hoisted
+// row subslices, register-tiled trailing updates, and workspace reuse, not
+// from reassociation.
+
+import (
+	"math"
+	"sync"
+)
+
+// CholPlan factors symmetric positive definite matrices of one fixed shape.
+type CholPlan struct {
+	n    int
+	L    *Matrix // lower-triangular factor, valid after a successful Factor
+	y    []float64
+	pc   []float64 // 4n scratch: the four scaled pivot columns of a panel
+	pool *sync.Pool
+
+	badPiv int
+	badVal float64
+}
+
+// NewCholPlan returns a caller-owned plan for n×n matrices (Release is a
+// no-op). Most callers want CholPlanFor, which recycles plans per shape.
+func NewCholPlan(n int) *CholPlan {
+	return &CholPlan{n: n, L: New(n, n), y: make([]float64, n), pc: make([]float64, 4*n)}
+}
+
+// N returns the plan's matrix dimension.
+func (p *CholPlan) N() int { return p.n }
+
+// Factor computes the lower-triangular L with a = L·Lᵀ into the plan. It
+// returns bare ErrShape or ErrNotPD; the failing pivot is recorded for the
+// Cholesky wrapper to format.
+//
+// The factorization is right-looking with rank-4 panels: the lower triangle
+// of a is copied into L, then columns are processed four at a time. Within a
+// panel each pivot column is divided and its rank-1 update applied to the
+// remaining panel columns; the trailing columns then receive all four
+// updates in one fused axpySub4 pass per row. Every element receives the
+// same k-ascending subtraction chain as the classical inner-product form,
+// so the factor is bit-identical to it — the restructure only turns strided
+// dot products into vectorizable row axpys and cuts the trailing-update
+// memory traffic fourfold.
+//
+//rcr:hot
+func (p *CholPlan) Factor(a *Matrix) error {
+	n := p.n
+	if a.Rows != n || a.Cols != n {
+		return ErrShape
+	}
+	// The strict upper triangle of p.L is zero from construction and no
+	// plan method ever writes it, so only the lower triangle needs
+	// refreshing — Factor must preserve that invariant.
+	ld := p.L.Data
+	ad := a.Data
+	for i := 0; i < n; i++ {
+		copy(ld[i*n:i*n+i+1], ad[i*n:i*n+i+1])
+	}
+	b0, b1, b2, b3 := p.pc[:n], p.pc[n:2*n], p.pc[2*n:3*n], p.pc[3*n:4*n]
+	j0 := 0
+	for ; j0+4 <= n; j0 += 4 {
+		j1 := j0 + 4
+		// Factor the 4×4 diagonal block sequentially (right-looking
+		// restricted to the block).
+		for j := j0; j < j1; j++ {
+			d := ld[j*n+j]
+			if d <= 0 {
+				p.badPiv, p.badVal = j, d
+				return ErrNotPD
+			}
+			ljj := math.Sqrt(d)
+			ld[j*n+j] = ljj
+			for i := j + 1; i < j1; i++ {
+				ld[i*n+j] /= ljj
+			}
+			for i := j + 1; i < j1; i++ {
+				f := ld[i*n+j]
+				for c := j + 1; c <= i; c++ {
+					ld[i*n+c] -= f * ld[c*n+j]
+				}
+			}
+		}
+		// Sweep the rows below the block once: each row's four panel
+		// entries are updated and divided entirely in registers. Per
+		// element the subtractions land in ascending panel-column order
+		// with one rounding per multiply and subtract — the identical
+		// chain to column-at-a-time rank-1 updates.
+		l00 := ld[(j0+0)*n+j0]
+		l10, l11 := ld[(j0+1)*n+j0], ld[(j0+1)*n+j0+1]
+		l20, l21, l22 := ld[(j0+2)*n+j0], ld[(j0+2)*n+j0+1], ld[(j0+2)*n+j0+2]
+		l30, l31, l32, l33 := ld[(j0+3)*n+j0], ld[(j0+3)*n+j0+1], ld[(j0+3)*n+j0+2], ld[(j0+3)*n+j0+3]
+		for i := j1; i < n; i++ {
+			ri := ld[i*n+j0 : i*n+j1]
+			v0 := ri[0] / l00
+			v1 := ri[1]
+			v1 -= v0 * l10
+			v1 /= l11
+			v2 := ri[2]
+			v2 -= v0 * l20
+			v2 -= v1 * l21
+			v2 /= l22
+			v3 := ri[3]
+			v3 -= v0 * l30
+			v3 -= v1 * l31
+			v3 -= v2 * l32
+			v3 /= l33
+			ri[0], ri[1], ri[2], ri[3] = v0, v1, v2, v3
+			//lint:ignore dimcheck b0..b3 are n-length plan scratch columns; i < n by loop bound
+			b0[i], b1[i], b2[i], b3[i] = v0, v1, v2, v3
+		}
+		// Fused rank-4 trailing update: per element the four subtractions
+		// land in ascending panel-column order, matching four sequential
+		// rank-1 passes exactly.
+		for i := j1; i < n; i++ {
+			//lint:ignore dimcheck b0..b3 are n-length plan scratch columns; j1 ≤ i < n by loop bounds
+			axpySub4(ld[i*n+j1:i*n+i+1], b0[j1:i+1], b1[j1:i+1], b2[j1:i+1], b3[j1:i+1], b0[i], b1[i], b2[i], b3[i])
+		}
+	}
+	buf := b0
+	for j := j0; j < n; j++ {
+		d := ld[j*n+j]
+		if d <= 0 {
+			p.badPiv, p.badVal = j, d
+			return ErrNotPD
+		}
+		ljj := math.Sqrt(d)
+		ld[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			v := ld[i*n+j] / ljj
+			ld[i*n+j] = v
+			//lint:ignore dimcheck buf is an n-length plan scratch column; i < n by loop bound
+			buf[i] = v
+		}
+		for i := j + 1; i < n; i++ {
+			axpySub(ld[i*n+j+1:i*n+i+1], buf[j+1:i+1], buf[i])
+		}
+	}
+	return nil
+}
+
+// SolveInto solves a·x = b using the factor from the last successful
+// Factor. x may alias b (b is fully consumed before x is written).
+//
+//rcr:hot
+func (p *CholPlan) SolveInto(x, b []float64) {
+	if len(x) != p.n || len(b) != p.n {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: CholPlan.SolveInto shape mismatch")
+	}
+	cholForwardBack(p.L.Data, p.n, x, p.y, b)
+}
+
+// cholForwardBack runs the forward solve L·y = b then the back solve
+// Lᵀ·x = y over the packed lower factor. The back solve is column-oriented
+// (outer-product form): once x[k] is final, one contiguous axpySub over row
+// k of L retires its contribution to every remaining unknown, instead of
+// each unknown walking a strided column. Each x[i] therefore accumulates
+// its subtraction chain in k-descending order — the documented plan order,
+// pinned by the equivalence tests.
+func cholForwardBack(ld []float64, n int, x, y, b []float64) {
+	for i := 0; i < n; i++ {
+		li := ld[i*n : i*n+i]
+		s := b[i]
+		for k, v := range li {
+			//lint:ignore dimcheck y is the plan's n-length scratch and li a row prefix, so k < i ≤ n
+			s -= v * y[k]
+		}
+		y[i] = s / ld[i*n+i]
+	}
+	copy(x, y)
+	for k := n - 1; k >= 0; k-- {
+		v := x[k] / ld[k*n+k]
+		x[k] = v
+		axpySub(x[:k], ld[k*n:k*n+k], v)
+	}
+}
+
+// LDLPlan factors symmetric (possibly indefinite) matrices of one shape as
+// L·D·Lᵀ with L unit lower triangular.
+type LDLPlan struct {
+	n    int
+	L    *Matrix
+	D    []float64
+	y    []float64
+	pool *sync.Pool
+
+	badPiv int
+}
+
+// NewLDLPlan returns a caller-owned plan for n×n matrices.
+func NewLDLPlan(n int) *LDLPlan {
+	return &LDLPlan{n: n, L: New(n, n), D: make([]float64, n), y: make([]float64, n)}
+}
+
+// N returns the plan's matrix dimension.
+func (p *LDLPlan) N() int { return p.n }
+
+// Factor computes the LDLᵀ factorization into the plan. Zero pivots are
+// tolerated when the column below is already eliminated (mirroring LDL);
+// otherwise it returns bare ErrSingular with the pivot recorded.
+//
+//rcr:hot
+func (p *LDLPlan) Factor(a *Matrix) error {
+	n := p.n
+	if a.Rows != n || a.Cols != n {
+		return ErrShape
+	}
+	ld := p.L.Data
+	for i := range ld {
+		ld[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		ld[i*n+i] = 1
+	}
+	d := p.D
+	ad := a.Data
+	for j := 0; j < n; j++ {
+		lj := ld[j*n : j*n+j]
+		dj := ad[j*n+j]
+		for k, v := range lj {
+			//lint:ignore dimcheck d is the plan's n-length diagonal and lj a row prefix, so k < j ≤ n
+			dj -= v * v * d[k]
+		}
+		d[j] = dj
+		if dj == 0 {
+			if allBelowZero(a, p.L, d, j, n) {
+				continue
+			}
+			p.badPiv = j
+			return ErrSingular
+		}
+		for i := j + 1; i < n; i++ {
+			li := ld[i*n : i*n+j]
+			li = li[:len(lj)]
+			s := ad[i*n+j]
+			for k, ljk := range lj {
+				s -= li[k] * ljk * d[k]
+			}
+			ld[i*n+j] = s / dj
+		}
+	}
+	return nil
+}
+
+// SolveInto solves a·x = b from the last successful Factor. Components with
+// a zero pivot (possible only for eliminated columns) contribute zero. x may
+// alias b.
+//
+//rcr:hot
+func (p *LDLPlan) SolveInto(x, b []float64) {
+	n := p.n
+	if len(x) != n || len(b) != n {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: LDLPlan.SolveInto shape mismatch")
+	}
+	ld := p.L.Data
+	y := p.y
+	for i := 0; i < n; i++ {
+		li := ld[i*n : i*n+i]
+		s := b[i]
+		for k, v := range li {
+			//lint:ignore dimcheck y is the plan's n-length scratch and li a row prefix, so k < i ≤ n
+			s -= v * y[k]
+		}
+		y[i] = s
+	}
+	for i := 0; i < n; i++ {
+		if di := p.D[i]; di != 0 {
+			y[i] /= di
+		} else {
+			y[i] = 0
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= ld[k*n+i] * x[k]
+		}
+		x[i] = s
+	}
+}
+
+// LUPlan factors general square matrices of one shape with partial pivoting.
+type LUPlan struct {
+	n    int
+	lu   *Matrix
+	piv  []int
+	sign int
+	pool *sync.Pool
+
+	badCol int
+}
+
+// NewLUPlan returns a caller-owned plan for n×n matrices.
+func NewLUPlan(n int) *LUPlan {
+	p := &LUPlan{n: n, lu: New(n, n), piv: make([]int, n), sign: 1}
+	return p
+}
+
+// N returns the plan's matrix dimension.
+func (p *LUPlan) N() int { return p.n }
+
+// Factor computes the row-pivoted factorization P·a = L·U into the plan,
+// returning bare ErrShape or ErrSingular (failing column recorded).
+//
+//rcr:hot
+func (p *LUPlan) Factor(a *Matrix) error {
+	n := p.n
+	if a.Rows != n || a.Cols != n {
+		return ErrShape
+	}
+	lud := p.lu.Data
+	copy(lud, a.Data)
+	for i := range p.piv {
+		p.piv[i] = i
+	}
+	p.sign = 1
+	for k := 0; k < n; k++ {
+		pv := k
+		maxv := math.Abs(lud[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lud[i*n+k]); v > maxv {
+				maxv = v
+				pv = i
+			}
+		}
+		if maxv == 0 {
+			p.badCol = k
+			return ErrSingular
+		}
+		if pv != k {
+			rk := lud[k*n : k*n+n]
+			rp := lud[pv*n : pv*n+n]
+			rp = rp[:len(rk)]
+			for i, v := range rk {
+				rk[i], rp[i] = rp[i], v
+			}
+			p.piv[pv], p.piv[k] = p.piv[k], p.piv[pv]
+			p.sign = -p.sign
+		}
+		pivot := lud[k*n+k]
+		rk := lud[k*n+k+1 : k*n+n]
+		for i := k + 1; i < n; i++ {
+			ri := lud[i*n : i*n+n]
+			m := ri[k] / pivot
+			ri[k] = m
+			axpySub(ri[k+1:n], rk, m)
+		}
+	}
+	return nil
+}
+
+// SolveInto solves a·x = b from the last successful Factor. x must not
+// alias b (the permuted copy reads b while writing x).
+//
+//rcr:hot
+func (p *LUPlan) SolveInto(x, b []float64) {
+	n := p.n
+	if len(x) != n || len(b) != n {
+		//lint:ignore naivepanic hot-path kernel with a documented shape contract, mirroring MulVecInto
+		panic("mat: LUPlan.SolveInto shape mismatch")
+	}
+	luSolveInto(p.lu.Data, n, p.piv, x, b)
+}
+
+// luSolveInto runs the permuted forward/back substitution over a packed LU
+// factor.
+func luSolveInto(lud []float64, n int, piv []int, x, b []float64) {
+	for i, pi := range piv {
+		//lint:ignore dimcheck x and piv are both n-length by the SolveInto contract
+		x[i] = b[pi]
+	}
+	for i := 1; i < n; i++ {
+		ri := lud[i*n : i*n+i]
+		s := x[i]
+		for k, v := range ri {
+			s -= v * x[k]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		ri := lud[i*n : i*n+n]
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= ri[k] * x[k]
+		}
+		x[i] = s / ri[i]
+	}
+}
+
+// Det returns the determinant from the last successful Factor.
+func (p *LUPlan) Det() float64 {
+	d := float64(p.sign)
+	for i := 0; i < p.n; i++ {
+		d *= p.lu.Data[i*p.n+i]
+	}
+	return d
+}
+
+// EigPlan computes symmetric eigendecompositions of one shape by Householder
+// tridiagonalization followed by the implicit-shift QL iteration (the
+// classical tred2/tql2 pair). Eigenvectors are accumulated in a transposed
+// layout (rows, not columns) so every QL plane rotation touches contiguous
+// memory and runs through the AVX rotation kernel.
+type EigPlan struct {
+	n      int
+	w      *Matrix // Householder working copy (tridiagonalized in place)
+	vt     *Matrix // accumulated transform, transposed; row i is eigenvector i
+	sv     *Matrix // vt rows permuted into descending-eigenvalue order
+	scaled *Matrix // ProjectPSDInto scratch: clipped-λ-scaled rows of sv
+	vals   []float64
+	e      []float64 // off-diagonal scratch
+	gv     []float64 // accumulation scratch
+	idx    []int
+	pool   *sync.Pool
+
+	// Values holds the eigenvalues sorted descending after a successful
+	// Decompose. The slice is owned by the plan; callers needing to keep it
+	// past Release must copy.
+	Values []float64
+}
+
+// NewEigPlan returns a caller-owned plan for n×n matrices.
+func NewEigPlan(n int) *EigPlan {
+	return &EigPlan{
+		n: n, w: New(n, n), vt: New(n, n), sv: New(n, n), scaled: New(n, n),
+		vals: make([]float64, n), e: make([]float64, n), gv: make([]float64, n),
+		idx: make([]int, n), Values: make([]float64, n),
+	}
+}
+
+// N returns the plan's matrix dimension.
+func (p *EigPlan) N() int { return p.n }
+
+// eigEps is the unit roundoff used for the QL deflation test.
+const eigEps = 2.220446049250313e-16
+
+// eigMaxIter bounds implicit-shift QL iterations per eigenvalue; the
+// iteration converges cubically and needs 2-3 in practice.
+const eigMaxIter = 50
+
+// Decompose computes the eigendecomposition of a symmetric matrix (the input
+// is symmetrized first, mirroring SymEig). Eigenvalues land in p.Values
+// sorted descending; eigenvectors in the rows of the internal sorted store,
+// readable via VectorInto/the SymEig wrapper. The sort is a stable insertion
+// sort, deterministic for equal eigenvalues.
+//
+// The pipeline is Householder tridiagonalization (tred2) followed by
+// implicit-shift QL on the tridiagonal (tql2), with the orthogonal
+// transform accumulated in transposed layout so each QL rotation updates
+// two contiguous rows. Entirely serial and deterministic; the AVX and
+// scalar rotation kernels are bit-identical.
+//
+//rcr:hot
+func (p *EigPlan) Decompose(a *Matrix) error {
+	n := p.n
+	if a.Rows != n || a.Cols != n {
+		return ErrShape
+	}
+	wd := p.w.Data
+	copy(wd, a.Data)
+	p.w.Symmetrize()
+	d, e := p.vals, p.e
+	p.tred2(wd, d, e)
+
+	// Transpose the accumulated transform so eigenvectors-to-be are rows.
+	vtd := p.vt.Data
+	for i := 0; i < n; i++ {
+		row := wd[i*n : i*n+n]
+		for j, v := range row {
+			//lint:ignore dimcheck vt mirrors w's n×n shape by construction
+			vtd[j*n+i] = v
+		}
+	}
+	if err := p.tql2(vtd, d, e); err != nil {
+		return err
+	}
+	// Stable insertion sort of eigenpair indices, descending by eigenvalue.
+	idx := p.idx
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		id := idx[i]
+		v := p.vals[id]
+		j := i - 1
+		for j >= 0 && p.vals[idx[j]] < v {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = id
+	}
+	svd := p.sv.Data
+	for newRow, oldRow := range idx {
+		p.Values[newRow] = p.vals[oldRow]
+		copy(svd[newRow*n:newRow*n+n], vtd[oldRow*n:oldRow*n+n])
+	}
+	return nil
+}
+
+// tred2 reduces the symmetric matrix packed in zd to tridiagonal form with
+// Householder reflections, accumulating the orthogonal transform back into
+// zd (classical EISPACK tred2). On return d holds the diagonal and e the
+// subdiagonal (e[0] = 0). Only the lower triangle of zd is read.
+//
+//rcr:hot
+func (p *EigPlan) tred2(zd, d, e []float64) {
+	n := p.n
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		zi := zd[i*n : i*n+i]
+		var h, scale float64
+		if l > 0 {
+			for _, v := range zi {
+				scale += math.Abs(v)
+			}
+			if scale == 0 {
+				//lint:ignore dimcheck d and e are plan-owned n-length scratch
+				e[i] = zd[i*n+l]
+			} else {
+				for k, v := range zi {
+					v /= scale
+					zi[k] = v
+					h += v * v
+				}
+				f := zi[l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				zi[l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					zd[j*n+i] = zi[j] / h
+					g = 0
+					zj := zd[j*n : j*n+j+1]
+					for k, v := range zj {
+						g += v * zi[k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += zd[k*n+j] * zi[k]
+					}
+					e[j] = g / h
+					f += e[j] * zi[j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = zi[j]
+					g = e[j] - hh*f
+					e[j] = g
+					zj := zd[j*n : j*n+j+1]
+					for k, v := range zj {
+						//lint:ignore dimcheck e is the plan's n-length scratch and zj a row prefix, so k ≤ j < n
+						zj[k] = v - (f*e[k] + g*zi[k])
+					}
+				}
+			}
+		} else {
+			e[i] = zd[i*n+l]
+		}
+		d[i] = h
+	}
+	d[0], e[0] = 0, 0
+	// Accumulate the transforms. The column updates are re-expressed as
+	// contiguous row operations: all inner products g[j] are computed first
+	// (they never read entries the updates touch), then each row gets one
+	// fused axpy — the same per-element operation order as the classical
+	// column-at-a-time loop.
+	gv := p.gv
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j < i; j++ {
+				gv[j] = 0
+			}
+			zi := zd[i*n : i*n+i]
+			for k := 0; k < i; k++ {
+				f := zi[k]
+				axpySub(gv[:i], zd[k*n:k*n+i], -f)
+			}
+			for k := 0; k < i; k++ {
+				axpySub(zd[k*n:k*n+i], gv[:i], zd[k*n+i])
+			}
+		}
+		d[i] = zd[i*n+i]
+		zd[i*n+i] = 1
+		for j := 0; j <= l; j++ {
+			zd[j*n+i] = 0
+			zd[i*n+j] = 0
+		}
+	}
+}
+
+// tql2 runs the implicit-shift QL iteration on the tridiagonal (d, e),
+// applying every plane rotation to the rows of the transposed accumulator
+// vtd (classical EISPACK tql2 with the rotation loop transposed). d ends as
+// the unsorted eigenvalues; vtd rows end as the matching eigenvectors.
+//
+//rcr:hot
+func (p *EigPlan) tql2(vtd, d, e []float64) error {
+	n := p.n
+	if n == 0 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			m := l
+			for ; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= eigEps*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > eigMaxIter {
+				return ErrNoConvergence
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			pp := 0.0
+			restart := false
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					// Recover from underflow: deflate and retry.
+					d[i+1] -= pp
+					e[m] = 0
+					restart = true
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - pp
+				r = (d[i]-g)*s + 2*c*b
+				pp = s * r
+				d[i+1] = g + pp
+				g = c*r - b
+				rotRows(vtd[i*n:i*n+n], vtd[(i+1)*n:(i+1)*n+n], c, s)
+			}
+			if restart {
+				continue
+			}
+			d[l] -= pp
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// rotRows applies the plane rotation p,q ← c·p−s·q, s·p+c·q to two
+// contiguous rows, via AVX when available (bit-identical either way).
+func rotRows(pr, qr []float64, c, s float64) {
+	if useAVX {
+		if len(pr) == 0 {
+			return
+		}
+		rotPairAVX(&pr[0], &qr[0], c, s, uintptr(len(pr)))
+		return
+	}
+	qr = qr[:len(pr)]
+	for j, pv := range pr {
+		qv := qr[j]
+		pr[j] = c*pv - s*qv
+		qr[j] = s*pv + c*qv
+	}
+}
+
+// MinEig returns the smallest eigenvalue from the last successful Decompose.
+func (p *EigPlan) MinEig() float64 { return p.Values[p.n-1] }
+
+// VectorInto copies eigenvector k (descending eigenvalue order) into dst.
+func (p *EigPlan) VectorInto(dst []float64, k int) {
+	copy(dst, p.sv.Data[k*p.n:k*p.n+p.n])
+}
+
+// ProjectPSDInto sets dst to the nearest (Frobenius) positive semidefinite
+// matrix to symmetric a: a fresh Decompose, eigenvalues clipped at zero, and
+// the matrix reassembled in the reference Reconstruct order. dst must be
+// n×n and distinct from a.
+//
+//rcr:hot
+func (p *EigPlan) ProjectPSDInto(dst, a *Matrix) error {
+	if err := p.Decompose(a); err != nil {
+		return err
+	}
+	n := p.n
+	if dst.Rows != n || dst.Cols != n {
+		return ErrShape
+	}
+	svd := p.sv.Data
+	scd := p.scaled.Data
+	for k := 0; k < n; k++ {
+		lam := p.Values[k]
+		if lam < 0 {
+			lam = 0
+		}
+		row := svd[k*n : k*n+n]
+		dstRow := scd[k*n : k*n+n]
+		dstRow = dstRow[:len(row)]
+		for i, v := range row {
+			dstRow[i] = lam * v
+		}
+	}
+	// dst[i][j] = Σ_k (λₖ·vₖ[i])·vₖ[j], k ascending — the Reconstruct order.
+	MulATBInto(dst, p.scaled, p.sv)
+	dst.Symmetrize()
+	return nil
+}
+
+// Shape-keyed plan pools. PlanFor constructors hand out a recycled plan for
+// the shape (or a fresh one); Release returns it. Plans from the New*
+// constructors have no pool and Release is a no-op.
+var (
+	cholPools sync.Map // int → *sync.Pool of *CholPlan
+	ldlPools  sync.Map
+	luPools   sync.Map
+	eigPools  sync.Map
+)
+
+func planPool(pools *sync.Map, n int, fresh func() any) *sync.Pool {
+	if v, ok := pools.Load(n); ok {
+		return v.(*sync.Pool)
+	}
+	v, _ := pools.LoadOrStore(n, &sync.Pool{New: fresh})
+	return v.(*sync.Pool)
+}
+
+// CholPlanFor returns a pooled Cholesky plan for n×n matrices.
+func CholPlanFor(n int) *CholPlan {
+	pool := planPool(&cholPools, n, func() any { return NewCholPlan(n) })
+	p := pool.Get().(*CholPlan)
+	p.pool = pool
+	return p
+}
+
+// Release returns the plan to its shape pool (no-op for caller-owned plans).
+func (p *CholPlan) Release() {
+	if p.pool != nil {
+		p.pool.Put(p)
+	}
+}
+
+// LDLPlanFor returns a pooled LDLᵀ plan for n×n matrices.
+func LDLPlanFor(n int) *LDLPlan {
+	pool := planPool(&ldlPools, n, func() any { return NewLDLPlan(n) })
+	p := pool.Get().(*LDLPlan)
+	p.pool = pool
+	return p
+}
+
+// Release returns the plan to its shape pool (no-op for caller-owned plans).
+func (p *LDLPlan) Release() {
+	if p.pool != nil {
+		p.pool.Put(p)
+	}
+}
+
+// LUPlanFor returns a pooled LU plan for n×n matrices.
+func LUPlanFor(n int) *LUPlan {
+	pool := planPool(&luPools, n, func() any { return NewLUPlan(n) })
+	p := pool.Get().(*LUPlan)
+	p.pool = pool
+	return p
+}
+
+// Release returns the plan to its shape pool (no-op for caller-owned plans).
+func (p *LUPlan) Release() {
+	if p.pool != nil {
+		p.pool.Put(p)
+	}
+}
+
+// EigPlanFor returns a pooled symmetric-eigendecomposition plan for n×n
+// matrices.
+func EigPlanFor(n int) *EigPlan {
+	pool := planPool(&eigPools, n, func() any { return NewEigPlan(n) })
+	p := pool.Get().(*EigPlan)
+	p.pool = pool
+	return p
+}
+
+// Release returns the plan to its shape pool (no-op for caller-owned plans).
+func (p *EigPlan) Release() {
+	if p.pool != nil {
+		p.pool.Put(p)
+	}
+}

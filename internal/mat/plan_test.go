@@ -1,0 +1,495 @@
+package mat
+
+// Property tests for the factorization plans (DESIGN.md §13). The plans
+// document three contracts and each is pinned here: (1) factors and solves
+// are bit-identical to straightforward reference implementations in the
+// documented operation order, (2) the //rcr:hot methods allocate nothing
+// after plan construction, and (3) the AVX and forced-scalar paths agree
+// bitwise.
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// randSPD returns a well-conditioned symmetric positive definite matrix
+// GᵀG + n·I for a random G.
+func randSPD(n int, seed uint64) *Matrix {
+	r := rng.New(seed)
+	g := New(n, n)
+	for i := range g.Data {
+		g.Data[i] = r.Norm()
+	}
+	a, err := MulATB(g, g)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] += float64(n)
+	}
+	return a
+}
+
+// randSym returns a random symmetric (generally indefinite) matrix.
+func randSym(n int, seed uint64) *Matrix {
+	r := rng.New(seed)
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Norm()
+			a.Data[i*n+j] = v
+			a.Data[j*n+i] = v
+		}
+	}
+	return a
+}
+
+// refCholFactor is the classical inner-product Cholesky: each element
+// accumulates its subtraction chain k-ascending with one rounding per
+// multiply and subtract — the order CholPlan.Factor documents and must
+// reproduce bitwise regardless of panel blocking.
+func refCholFactor(t *testing.T, a *Matrix) *Matrix {
+	t.Helper()
+	n := a.Rows
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		s := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			s -= v * v
+		}
+		if s <= 0 {
+			t.Fatalf("reference cholesky: pivot %d not positive", j)
+		}
+		ljj := math.Sqrt(s)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l
+}
+
+// refCholSolve is the documented plan solve order: inner-product forward
+// substitution (k ascending), then the column-oriented back solve where each
+// x[i] accumulates its subtractions in k-descending order.
+func refCholSolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := append([]float64(nil), y...)
+	for k := n - 1; k >= 0; k-- {
+		v := x[k] / l.At(k, k)
+		x[k] = v
+		for j := 0; j < k; j++ {
+			x[j] -= l.At(k, j) * v
+		}
+	}
+	return x
+}
+
+// TestCholPlanMatchesReference pins Factor and SolveInto bitwise against the
+// reference implementations across sizes covering every rank-4 panel
+// remainder, on both the AVX and forced-scalar paths. Comparing full Data
+// also pins the strict-upper-triangle-stays-zero invariant, since the
+// reference factor's upper triangle is exactly zero.
+func TestCholPlanMatchesReference(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 33, 64} {
+		a := randSPD(n, uint64(1000+n))
+		want := refCholFactor(t, a)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Norm()
+		}
+		wantX := refCholSolve(want, b)
+
+		p := NewCholPlan(n)
+		check := func(label string) {
+			t.Helper()
+			if err := p.Factor(a); err != nil {
+				t.Fatalf("%s n=%d: %v", label, n, err)
+			}
+			for i := range p.L.Data {
+				if p.L.Data[i] != want.Data[i] {
+					t.Fatalf("%s n=%d: factor differs at %d: %g vs %g", label, n, i, p.L.Data[i], want.Data[i])
+				}
+			}
+			x := make([]float64, n)
+			p.SolveInto(x, b)
+			for i := range x {
+				if x[i] != wantX[i] {
+					t.Fatalf("%s n=%d: solve differs at %d: %g vs %g", label, n, i, x[i], wantX[i])
+				}
+			}
+			// x may alias b: solve in place on a copy and compare.
+			xb := append([]float64(nil), b...)
+			p.SolveInto(xb, xb)
+			for i := range xb {
+				if xb[i] != wantX[i] {
+					t.Fatalf("%s n=%d: aliased solve differs at %d", label, n, i)
+				}
+			}
+		}
+		check("avx")
+		old := useAVX
+		useAVX = false
+		check("scalar")
+		useAVX = old
+	}
+}
+
+// TestCholPlanReuse pins that refactoring a plan with a different matrix
+// leaves no residue: the second factor is bitwise what a fresh plan
+// produces, and the strict upper triangle stays exactly zero.
+func TestCholPlanReuse(t *testing.T) {
+	const n = 21
+	p := NewCholPlan(n)
+	if err := p.Factor(randSPD(n, 40)); err != nil {
+		t.Fatal(err)
+	}
+	a2 := randSPD(n, 41)
+	if err := p.Factor(a2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCholPlan(n)
+	if err := fresh.Factor(a2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.L.Data {
+		if p.L.Data[i] != fresh.L.Data[i] {
+			t.Fatalf("reused plan differs from fresh at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if v := p.L.At(i, j); v != 0 {
+				t.Fatalf("strict upper entry (%d,%d) = %g, want exact 0", i, j, v)
+			}
+		}
+	}
+}
+
+func TestCholPlanNotPD(t *testing.T) {
+	const n = 6
+	a := randSym(n, 55)
+	a.Set(3, 3, -10) // force an indefinite pivot
+	p := NewCholPlan(n)
+	if err := p.Factor(a); !errors.Is(err, ErrNotPD) {
+		t.Fatalf("Factor on indefinite matrix: got %v, want ErrNotPD", err)
+	}
+	if err := p.Factor(New(n+1, n+1)); !errors.Is(err, ErrShape) {
+		t.Fatalf("Factor on wrong shape: got %v, want ErrShape", err)
+	}
+}
+
+// TestLDLPlanSolve checks the indefinite-capable plan on a positive and a
+// negative definite system (residual test; LDLᵀ has no blocked restructure
+// to pin bitwise).
+func TestLDLPlanSolve(t *testing.T) {
+	const n = 17
+	r := rng.New(9)
+	for _, sign := range []float64{1, -1} {
+		a := randSPD(n, 60).Scale(sign)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.Norm()
+		}
+		p := NewLDLPlan(n)
+		if err := p.Factor(a); err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		p.SolveInto(x, b)
+		ax, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := VecNorm(VecSub(ax, b)); res > 1e-8*VecNorm(b) {
+			t.Fatalf("sign %g: residual %g too large", sign, res)
+		}
+	}
+}
+
+func TestLUPlanSolveAndDet(t *testing.T) {
+	const n = 19
+	r := rng.New(11)
+	a := New(n, n)
+	for i := range a.Data {
+		a.Data[i] = r.Norm()
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = r.Norm()
+	}
+	p := NewLUPlan(n)
+	if err := p.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, n)
+	p.SolveInto(x, b)
+	ax, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := VecNorm(VecSub(ax, b)); res > 1e-8*VecNorm(b) {
+		t.Fatalf("residual %g too large", res)
+	}
+
+	// Determinant: 2×2 analytic check, then a row-permuted diagonal whose
+	// determinant is a signed product.
+	two, _ := FromRows([][]float64{{3, 2}, {1, 4}})
+	p2 := NewLUPlan(2)
+	if err := p2.Factor(two); err != nil {
+		t.Fatal(err)
+	}
+	if d := p2.Det(); math.Abs(d-10) > 1e-12 {
+		t.Fatalf("det = %g, want 10", d)
+	}
+	perm, _ := FromRows([][]float64{{0, 2, 0}, {5, 0, 0}, {0, 0, 3}}) // one row swap: det = -30
+	p3 := NewLUPlan(3)
+	if err := p3.Factor(perm); err != nil {
+		t.Fatal(err)
+	}
+	if d := p3.Det(); math.Abs(d+30) > 1e-12 {
+		t.Fatalf("det = %g, want -30", d)
+	}
+
+	sing := New(4, 4) // zero matrix
+	p4 := NewLUPlan(4)
+	if err := p4.Factor(sing); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor on singular matrix: got %v, want ErrSingular", err)
+	}
+}
+
+// TestEigPlanDecompose checks the spectral properties across sizes:
+// descending eigenvalues, orthonormal eigenvectors, and reconstruction of
+// the input, plus bitwise AVX/scalar agreement of values and vectors.
+func TestEigPlanDecompose(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		a := randSym(n, uint64(300+n))
+		p := NewEigPlan(n)
+		if err := p.Decompose(a); err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < n; k++ {
+			if p.Values[k-1] < p.Values[k] {
+				t.Fatalf("n=%d: eigenvalues not descending at %d", n, k)
+			}
+		}
+		if p.MinEig() != p.Values[n-1] {
+			t.Fatalf("n=%d: MinEig disagrees with Values", n)
+		}
+		var scale float64 = 1
+		for _, v := range p.Values {
+			if m := math.Abs(v); m > scale {
+				scale = m
+			}
+		}
+		// Orthonormality of eigenvector rows.
+		for i := 0; i < n; i++ {
+			vi := p.sv.RowView(i)
+			for j := i; j < n; j++ {
+				dot := VecDot(vi, p.sv.RowView(j))
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-10 {
+					t.Fatalf("n=%d: eigenvector rows %d,%d not orthonormal: %g", n, i, j, dot)
+				}
+			}
+		}
+		// Reconstruction: Σ λₖ vₖ vₖᵀ ≈ A.
+		rec := New(n, n)
+		for k := 0; k < n; k++ {
+			lam := p.Values[k]
+			vk := p.sv.RowView(k)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					rec.Add(i, j, lam*vk[i]*vk[j])
+				}
+			}
+		}
+		d, err := rec.MaxAbsDiff(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-10*scale*float64(n) {
+			t.Fatalf("n=%d: reconstruction error %g", n, d)
+		}
+
+		// AVX and forced-scalar decompositions agree bitwise.
+		ps := NewEigPlan(n)
+		old := useAVX
+		useAVX = false
+		err = ps.Decompose(a)
+		useAVX = old
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range p.Values {
+			if p.Values[k] != ps.Values[k] {
+				t.Fatalf("n=%d: AVX/scalar eigenvalue %d differs", n, k)
+			}
+		}
+		for i := range p.sv.Data {
+			if p.sv.Data[i] != ps.sv.Data[i] {
+				t.Fatalf("n=%d: AVX/scalar eigenvector data differs at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestProjectPSDInto checks the projection properties: a PSD input passes
+// through (to tolerance), an indefinite input becomes PSD, and the plan
+// method agrees bitwise with the one-shot ProjectPSD wrapper.
+func TestProjectPSDInto(t *testing.T) {
+	const n = 12
+	psd := randSPD(n, 71)
+	p := NewEigPlan(n)
+	out := New(n, n)
+	if err := p.ProjectPSDInto(out, psd); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := out.MaxAbsDiff(psd); d > 1e-10*float64(n)*psd.FrobNorm() {
+		t.Fatalf("projection moved a PSD matrix by %g", d)
+	}
+
+	ind := randSym(n, 72)
+	if err := p.ProjectPSDInto(out, ind); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := MinEigenvalue(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < -1e-9 {
+		t.Fatalf("projected matrix has min eigenvalue %g", lo)
+	}
+	wrapper, err := ProjectPSD(ind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Data {
+		if out.Data[i] != wrapper.Data[i] {
+			t.Fatalf("ProjectPSDInto and ProjectPSD differ at %d", i)
+		}
+	}
+}
+
+// TestPlanPoolReuseBitIdentical pins that a recycled pooled plan produces
+// the same bits as a fresh one — pooling must never change results.
+func TestPlanPoolReuseBitIdentical(t *testing.T) {
+	const n = 24
+	a := randSPD(n, 81)
+	sym := randSym(n, 82)
+
+	cp := CholPlanFor(n)
+	if err := cp.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float64(nil), cp.L.Data...)
+	cp.Release()
+	cp2 := CholPlanFor(n)
+	if err := cp2.Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if cp2.L.Data[i] != first[i] {
+			t.Fatalf("pooled CholPlan differs from first use at %d", i)
+		}
+	}
+	cp2.Release()
+
+	ep := EigPlanFor(n)
+	if err := ep.Decompose(sym); err != nil {
+		t.Fatal(err)
+	}
+	vals := append([]float64(nil), ep.Values...)
+	ep.Release()
+	ep2 := EigPlanFor(n)
+	if err := ep2.Decompose(sym); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if ep2.Values[i] != vals[i] {
+			t.Fatalf("pooled EigPlan eigenvalue %d differs", i)
+		}
+	}
+	ep2.Release()
+}
+
+// TestPlanHotMethodsAllocFree pins the zero-allocation contract of every
+// //rcr:hot plan method: once a plan exists, Factor/SolveInto/Decompose/
+// ProjectPSDInto run without touching the heap.
+func TestPlanHotMethodsAllocFree(t *testing.T) {
+	const n = 32
+	a := randSPD(n, 91)
+	sym := randSym(n, 92)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := make([]float64, n)
+	dst := New(n, n)
+
+	cp := NewCholPlan(n)
+	if avg := testing.AllocsPerRun(20, func() {
+		if cp.Factor(a) != nil {
+			panic("factor failed")
+		}
+		cp.SolveInto(x, b)
+	}); avg != 0 {
+		t.Errorf("CholPlan Factor+SolveInto allocates %v/op", avg)
+	}
+
+	lp := NewLDLPlan(n)
+	if avg := testing.AllocsPerRun(20, func() {
+		if lp.Factor(a) != nil {
+			panic("factor failed")
+		}
+		lp.SolveInto(x, b)
+	}); avg != 0 {
+		t.Errorf("LDLPlan Factor+SolveInto allocates %v/op", avg)
+	}
+
+	up := NewLUPlan(n)
+	if avg := testing.AllocsPerRun(20, func() {
+		if up.Factor(a) != nil {
+			panic("factor failed")
+		}
+		up.SolveInto(x, b)
+	}); avg != 0 {
+		t.Errorf("LUPlan Factor+SolveInto allocates %v/op", avg)
+	}
+
+	ep := NewEigPlan(n)
+	if avg := testing.AllocsPerRun(5, func() {
+		if ep.Decompose(sym) != nil {
+			panic("decompose failed")
+		}
+	}); avg != 0 {
+		t.Errorf("EigPlan.Decompose allocates %v/op", avg)
+	}
+	if avg := testing.AllocsPerRun(5, func() {
+		if ep.ProjectPSDInto(dst, sym) != nil {
+			panic("project failed")
+		}
+	}); avg != 0 {
+		t.Errorf("EigPlan.ProjectPSDInto allocates %v/op", avg)
+	}
+}

@@ -47,6 +47,13 @@ func TrustRegionDogleg(obj Objective, x0 []float64, o TrustRegionOptions) (*Resu
 	x := append([]float64(nil), x0...)
 	g := make([]float64, n)
 	b := mat.Identity(n) // Hessian approximation
+	// The Newton-point solve inside doglegStep runs every iteration on the
+	// same shape; one pooled LU plan and two vector buffers serve the whole
+	// minimization (DESIGN.md §13).
+	lu := mat.LUPlanFor(n)
+	defer lu.Release()
+	negg := make([]float64, n)
+	pb := make([]float64, n)
 	res := &Result{}
 	fx := obj.F(x)
 	res.Evals++
@@ -58,7 +65,7 @@ func TrustRegionDogleg(obj Objective, x0 []float64, o TrustRegionOptions) (*Resu
 		if infNorm(g) <= o.GradTol {
 			return finish(res, x, fx, g, k, guard.StatusConverged), nil
 		}
-		p := doglegStep(b, g, radius)
+		p := doglegStep(b, g, radius, lu, negg, pb)
 		trial := mat.VecAdd(x, 1, p)
 		ft := obj.F(trial)
 		res.Evals++
@@ -95,8 +102,10 @@ func TrustRegionDogleg(obj Objective, x0 []float64, o TrustRegionOptions) (*Resu
 
 // doglegStep returns the dogleg step for model m(p) = gᵀp + ½pᵀBp within
 // radius. If B is not positive definite along the Newton direction it
-// falls back to the Cauchy point.
-func doglegStep(b *mat.Matrix, g []float64, radius float64) []float64 {
+// falls back to the Cauchy point. The caller provides the LU plan and the
+// negg/pbBuf scratch vectors; the returned step may alias pbBuf and is
+// valid until the next call.
+func doglegStep(b *mat.Matrix, g []float64, radius float64, lu *mat.LUPlan, negg, pbBuf []float64) []float64 {
 	// Cauchy point: p_u = -(gᵀg / gᵀBg) g.
 	bg, _ := b.MulVec(g)
 	gg := mat.VecDot(g, g)
@@ -109,8 +118,16 @@ func doglegStep(b *mat.Matrix, g []float64, radius float64) []float64 {
 		return mat.VecScale(-radius/math.Sqrt(gg), g)
 	}
 	// Newton point p_b = -B⁻¹g, if solvable.
-	pb, err := mat.Solve(b, mat.VecScale(-1, g))
-	if err != nil || mat.VecDot(pb, g) >= 0 {
+	for i, gv := range g {
+		//lint:ignore dimcheck negg is an n-length caller buffer sized to g
+		negg[i] = -gv
+	}
+	var pb []float64
+	if err := lu.Factor(b); err == nil {
+		lu.SolveInto(pbBuf, negg)
+		pb = pbBuf
+	}
+	if pb == nil || mat.VecDot(pb, g) >= 0 {
 		// Fall back to scaled Cauchy direction.
 		if mat.VecNorm(pu) >= radius {
 			return mat.VecScale(radius/mat.VecNorm(pu), pu)

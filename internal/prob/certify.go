@@ -207,7 +207,7 @@ func certifySDP(b *cert.Builder, low *loweredForm, o Options, res *Result, tol c
 		b.Add("objective", cert.RelGap(r.Objective, recomputed), tol.Obj)
 		// Duality-gap sanity: only when the recovered dual point is close
 		// enough to feasible for weak duality to mean anything.
-		if r.Y != nil && r.DualFeasError <= feasTol*(1+maxAbs) {
+		if r.Y != nil && r.DualFeasError() <= feasTol*(1+maxAbs) {
 			b.Add("gap", r.Gap/(1+math.Abs(r.Objective)), tol.Gap)
 		}
 	}

@@ -173,6 +173,8 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 	m := len(p.Ineq)
 	res := &Result{}
 	t := o.T0
+	ws := newCenterWS(p, len(x))
+	defer ws.release()
 	// setGap surfaces the barrier's own optimality evidence: with m
 	// inequalities and barrier weight t, a centered iterate is within m/t
 	// of optimal (0 when there are no inequalities — the Newton step then
@@ -195,7 +197,7 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 			setGap()
 			return res, guard.Err(st, "qp: barrier interrupted after %d newton steps", res.Iterations)
 		}
-		it, err := center(p, x, t, o.NewtonIt)
+		it, err := center(p, ws, x, t, o.NewtonIt)
 		res.Iterations += it
 		mon.AddEvals(it)
 		if err != nil {
@@ -216,15 +218,100 @@ func Solve(p *Problem, x0 []float64, o Options) (*Result, error) {
 	return res, nil
 }
 
+// centerWS holds every buffer and factorization plan the Newton centering
+// loop reuses across iterations (DESIGN.md §13): the Hessian and KKT
+// matrices are rebuilt in place, the LU plans keep their workspaces across
+// Newton steps, and Quad evaluations run through a shared MulVecInto
+// scratch. One workspace serves a whole Solve; after construction a
+// centering step performs no heap allocation outside error paths.
+type centerWS struct {
+	h     *mat.Matrix // n×n barrier Hessian
+	kkt   *mat.Matrix // (n+m)×(n+m) KKT system; nil without equalities
+	rhs   []float64   // KKT right-hand side
+	sol   []float64   // KKT solution
+	g     []float64   // barrier gradient
+	gi    []float64   // constraint-gradient scratch
+	negg  []float64   // -g, the Newton right-hand side
+	dx    []float64   // Newton step
+	trial []float64   // line-search candidate
+	px    []float64   // MulVecInto scratch for Quad evaluations
+	luH   *mat.LUPlan // plan for the regularized Hessian solve
+	luK   *mat.LUPlan // plan for the KKT solve; nil without equalities
+}
+
+func newCenterWS(p *Problem, n int) *centerWS {
+	ws := &centerWS{
+		h:     mat.New(n, n),
+		g:     make([]float64, n),
+		gi:    make([]float64, n),
+		negg:  make([]float64, n),
+		dx:    make([]float64, n),
+		trial: make([]float64, n),
+		px:    make([]float64, n),
+		luH:   mat.LUPlanFor(n),
+	}
+	if p.A != nil && p.A.Rows > 0 {
+		m := p.A.Rows
+		ws.kkt = mat.New(n+m, n+m)
+		ws.rhs = make([]float64, n+m)
+		ws.sol = make([]float64, n+m)
+		ws.luK = mat.LUPlanFor(n + m)
+	}
+	return ws
+}
+
+// release returns the LU plans to their shape pools.
+func (ws *centerWS) release() {
+	ws.luH.Release()
+	if ws.luK != nil {
+		ws.luK.Release()
+	}
+}
+
+// eval is Quad.Eval through the workspace scratch: the identical operation
+// sequence, with MulVecInto replacing the allocating MulVec.
+func (ws *centerWS) eval(f *Quad, x []float64) float64 {
+	v := f.R
+	for i, qi := range f.Q {
+		//lint:ignore dimcheck Quad contract: x carries one entry per quadratic term; shapes are validated by Solve
+		v += qi * x[i]
+	}
+	if f.P != nil {
+		px := ws.px[:f.P.Rows]
+		f.P.MulVecInto(px, x)
+		v += 0.5 * mat.VecDot(x, px)
+	}
+	return v
+}
+
+// grad is Quad.Grad through the workspace scratch.
+func (ws *centerWS) grad(f *Quad, x, g []float64) {
+	for i := range g {
+		g[i] = 0
+	}
+	copy(g, f.Q)
+	if f.P != nil {
+		px := ws.px[:f.P.Rows]
+		f.P.MulVecInto(px, x)
+		for i := range g {
+			//lint:ignore dimcheck px is sliced to f.P.Rows == len(g) for valid problems
+			g[i] += px[i]
+		}
+	}
+}
+
 // center Newton-minimizes t·F0(x) - Σ log(-fᵢ(x)) subject to Ax=b, updating
 // x in place. It returns the number of Newton iterations used.
-func center(p *Problem, x []float64, t float64, maxIt int) (int, error) {
+func center(p *Problem, ws *centerWS, x []float64, t float64, maxIt int) (int, error) {
 	n := len(x)
-	g := make([]float64, n)
-	gi := make([]float64, n)
+	g, gi := ws.g, ws.gi
+	h := ws.h
 	for it := 0; it < maxIt; it++ {
 		// Gradient and Hessian of the barrier-augmented objective.
-		h := mat.New(n, n)
+		hd := h.Data
+		for i := range hd {
+			hd[i] = 0
+		}
 		if p.F0.P != nil {
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
@@ -232,19 +319,20 @@ func center(p *Problem, x []float64, t float64, maxIt int) (int, error) {
 				}
 			}
 		}
-		p.F0.Grad(x, g)
+		ws.grad(&p.F0, x, g)
 		for i := range g {
 			g[i] *= t
 		}
 		for ci := range p.Ineq {
 			c := &p.Ineq[ci]
-			fi := c.Eval(x)
+			fi := ws.eval(c, x)
 			if fi >= 0 {
 				return it, fmt.Errorf("qp: iterate left the feasible region at constraint %d", ci)
 			}
 			inv := -1 / fi // = 1/(-fi) > 0
-			c.Grad(x, gi)
+			ws.grad(c, x, gi)
 			for i := range g {
+				//lint:ignore dimcheck gi is the workspace's n-length gradient scratch, sized to g at construction
 				g[i] += inv * gi[i]
 			}
 			for i := 0; i < n; i++ {
@@ -258,16 +346,21 @@ func center(p *Problem, x []float64, t float64, maxIt int) (int, error) {
 			}
 		}
 		// Newton step via the KKT system when equalities are present.
-		var dx []float64
+		dx := ws.dx
 		var err error
 		if p.A != nil && p.A.Rows > 0 {
-			dx, err = kktStep(h, p.A, g)
+			dx, err = ws.kktStep(p.A, g)
 		} else {
 			// Regularize lightly for safety.
 			for i := 0; i < n; i++ {
 				h.Add(i, i, 1e-12)
 			}
-			dx, err = mat.Solve(h, mat.VecScale(-1, g))
+			for i, gv := range g {
+				ws.negg[i] = -gv
+			}
+			if err = ws.luH.Factor(h); err == nil {
+				ws.luH.SolveInto(dx, ws.negg)
+			}
 		}
 		if err != nil {
 			return it, fmt.Errorf("qp: newton step: %w", err)
@@ -278,10 +371,14 @@ func center(p *Problem, x []float64, t float64, maxIt int) (int, error) {
 		}
 		// Backtracking line search preserving strict feasibility.
 		step := 1.0
-		phi0 := barrierValue(p, x, t)
+		phi0 := ws.barrierValue(p, x, t)
 		for ls := 0; ls < 60; ls++ {
-			trial := mat.VecAdd(x, step, dx)
-			if strictlyFeasible(p, trial) && barrierValue(p, trial, t) <= phi0-1e-4*step*lambda2 {
+			trial := ws.trial
+			for i := range x {
+				//lint:ignore dimcheck trial is an n-length workspace buffer sized to x
+				trial[i] = x[i] + step*dx[i]
+			}
+			if ws.strictlyFeasible(p, trial) && ws.barrierValue(p, trial, t) <= phi0-1e-4*step*lambda2 {
 				copy(x, trial)
 				break
 			}
@@ -294,19 +391,19 @@ func center(p *Problem, x []float64, t float64, maxIt int) (int, error) {
 	return maxIt, nil
 }
 
-func strictlyFeasible(p *Problem, x []float64) bool {
+func (ws *centerWS) strictlyFeasible(p *Problem, x []float64) bool {
 	for i := range p.Ineq {
-		if p.Ineq[i].Eval(x) >= 0 {
+		if ws.eval(&p.Ineq[i], x) >= 0 {
 			return false
 		}
 	}
 	return true
 }
 
-func barrierValue(p *Problem, x []float64, t float64) float64 {
-	v := t * p.F0.Eval(x)
+func (ws *centerWS) barrierValue(p *Problem, x []float64, t float64) float64 {
+	v := t * ws.eval(&p.F0, x)
 	for i := range p.Ineq {
-		fi := p.Ineq[i].Eval(x)
+		fi := ws.eval(&p.Ineq[i], x)
 		if fi >= 0 {
 			return math.Inf(1)
 		}
@@ -315,12 +412,18 @@ func barrierValue(p *Problem, x []float64, t float64) float64 {
 	return v
 }
 
-// kktStep solves [H Aᵀ; A 0] [dx; w] = [-g; 0] and returns dx. The
-// residual A·dx = 0 keeps equality-feasible iterates equality-feasible.
-func kktStep(h, a *mat.Matrix, g []float64) ([]float64, error) {
+// kktStep solves [H Aᵀ; A 0] [dx; w] = [-g; 0] into the workspace and
+// returns dx (a prefix of ws.sol, valid until the next call). The residual
+// A·dx = 0 keeps equality-feasible iterates equality-feasible.
+func (ws *centerWS) kktStep(a *mat.Matrix, g []float64) ([]float64, error) {
+	h := ws.h
 	n := h.Rows
 	m := a.Rows
-	k := mat.New(n+m, n+m)
+	k := ws.kkt
+	kd := k.Data
+	for i := range kd {
+		kd[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			k.Set(i, j, h.At(i, j))
@@ -332,15 +435,18 @@ func kktStep(h, a *mat.Matrix, g []float64) ([]float64, error) {
 			k.Set(j, n+i, a.At(i, j))
 		}
 	}
-	rhs := make([]float64, n+m)
+	rhs := ws.rhs
+	for i := range rhs {
+		rhs[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		rhs[i] = -g[i]
 	}
-	sol, err := mat.Solve(k, rhs)
-	if err != nil {
+	if err := ws.luK.Factor(k); err != nil {
 		return nil, err
 	}
-	return sol[:n], nil
+	ws.luK.SolveInto(ws.sol, rhs)
+	return ws.sol[:n], nil
 }
 
 // Phase1 finds a strictly feasible point for p's inequality system by

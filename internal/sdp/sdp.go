@@ -77,9 +77,12 @@ type Result struct {
 	// up to DualFeasError.
 	Y             []float64
 	DualObjective float64
-	// DualFeasError is max(0, -λmin(S)): how far the recovered slack is
-	// from the PSD cone. Zero (to tolerance) at convergence.
-	DualFeasError float64
+	// slack is the recovered dual slack S = C - Σ yᵢAᵢ (symmetrized),
+	// kept for the lazy DualFeasError computation.
+	slack *mat.Matrix
+	// dualFeasErr memoizes DualFeasError once computed.
+	dualFeasErr   float64
+	dualFeasKnown bool
 	// Gap is |Objective - DualObjective|, the primal-dual objective
 	// disagreement of the recovered certificate. Only meaningful together
 	// with DualFeasError (weak duality holds exactly only for a feasible
@@ -90,6 +93,23 @@ type Result struct {
 	// exhausted above tolerance), Diverged (non-finite iterate; X is the
 	// last finite one), Timeout, or Canceled.
 	Status guard.Status
+}
+
+// DualFeasError returns max(0, -λmin(S)): how far the recovered dual slack
+// S = C - Σ yᵢAᵢ is from the PSD cone. Zero (to tolerance) at convergence.
+// The eigendecomposition behind it is the most expensive part of the
+// certificate, so it runs lazily on first call and is memoized — callers
+// that never inspect the dual pay nothing.
+func (r *Result) DualFeasError() float64 {
+	if !r.dualFeasKnown {
+		r.dualFeasKnown = true
+		if r.slack != nil {
+			if lo, err := mat.MinEigenvalue(r.slack); err == nil && lo < 0 {
+				r.dualFeasErr = -lo
+			}
+		}
+	}
+	return r.dualFeasErr
 }
 
 // Solve runs ADMM on the problem. The returned X is symmetric and PSD to
@@ -115,8 +135,10 @@ func Solve(p *Problem, o Options) (*Result, error) {
 	}
 	m := len(p.A)
 
-	// Precompute the Gram matrix G[i][j] = ⟨Aᵢ, Aⱼ⟩ and its Cholesky.
-	var chol *mat.Matrix
+	// Precompute the Gram matrix G[i][j] = ⟨Aᵢ, Aⱼ⟩ and factor it once into
+	// a plan; every iteration's affine projection reuses the factor and the
+	// plan's solve workspace (DESIGN.md §13).
+	var gram *mat.CholPlan
 	if m > 0 {
 		g := mat.New(m, m)
 		for i := 0; i < m; i++ {
@@ -130,44 +152,56 @@ func Solve(p *Problem, o Options) (*Result, error) {
 		for i := 0; i < m; i++ {
 			g.Add(i, i, 1e-12)
 		}
-		var err error
-		chol, err = mat.Cholesky(g)
-		if err != nil {
+		gram = mat.CholPlanFor(m)
+		defer gram.Release()
+		if err := gram.Factor(g); err != nil {
 			return nil, fmt.Errorf("sdp: constraint Gram factorization: %w", err)
 		}
 	}
 
+	// All per-iteration state lives in buffers allocated once up front; the
+	// ADMM loop itself is allocation-free. z and zNew alternate roles each
+	// iteration, which keeps the previous iterate (the divergence fallback)
+	// intact while the new one is written.
 	cSym := p.C.Clone().Symmetrize()
 	x := mat.New(n, n)
 	z := mat.New(n, n)
+	zNew := mat.New(n, n)
 	if o.X0 != nil && o.X0.Rows == n && o.X0.Cols == n && guard.AllFinite(o.X0.Data) {
-		z = o.X0.Clone().Symmetrize()
+		copy(z.Data, o.X0.Data)
+		z.Symmetrize()
 	}
 	u := mat.New(n, n)
+	v := mat.New(n, n)
+	w := mat.New(n, n)
+	eig := mat.EigPlanFor(n)
+	defer eig.Release()
+	r := make([]float64, m)
+	lam := make([]float64, m)
+	haveLam := false
 	res := &Result{}
 
-	var lastLam []float64
-	projAffine := func(v *mat.Matrix) (*mat.Matrix, error) {
+	// projAffineInto writes the projection of v onto {X : A(X)=b} into dst:
+	// X = V - Σ λᵢ Aᵢ with G λ = A(V) - b.
+	projAffineInto := func(dst, v *mat.Matrix) {
+		copy(dst.Data, v.Data)
 		if m == 0 {
-			return v, nil
+			return
 		}
-		// X = V - Σ λᵢ Aᵢ with G λ = A(V) - b.
-		r := make([]float64, m)
 		for i := 0; i < m; i++ {
 			r[i] = inner(p.A[i], v) - p.B[i]
 		}
-		lam, err := mat.CholSolve(chol, r)
-		if err != nil {
-			return nil, err
-		}
-		lastLam = lam
-		out := v.Clone()
+		gram.SolveInto(lam, r)
+		haveLam = true
+		dd := dst.Data
 		for i := 0; i < m; i++ {
-			for k := range out.Data {
-				out.Data[k] -= lam[i] * p.A[i].Data[k]
+			li := lam[i]
+			ad := p.A[i].Data
+			for k := range dd {
+				//lint:ignore dimcheck every p.A[i] is n×n like dst, validated at Solve entry
+				dd[k] -= li * ad[k]
 			}
 		}
-		return out, nil
 	}
 
 	// finalize fills the result from the given iterate and classifies the
@@ -176,8 +210,10 @@ func Solve(p *Problem, o Options) (*Result, error) {
 	finalize := func(zOut *mat.Matrix, st guard.Status) {
 		res.X = zOut
 		res.Objective = inner(cSym, zOut)
-		if lastLam == nil || guard.AllFinite(lastLam) {
-			fillDual(res, p, cSym, lastLam, o.Rho)
+		if !haveLam {
+			fillDual(res, p, cSym, nil, o.Rho)
+		} else if guard.AllFinite(lam) {
+			fillDual(res, p, cSym, lam, o.Rho)
 		}
 		res.Status = st
 	}
@@ -191,27 +227,23 @@ func Solve(p *Problem, o Options) (*Result, error) {
 		}
 		// X-update: argmin ⟨C,X⟩ + ρ/2 ||X - Z + U||² s.t. A(X)=b
 		// = Proj_affine(Z - U - C/ρ).
-		v := z.Clone()
+		copy(v.Data, z.Data)
 		for k := range v.Data {
 			v.Data[k] += -u.Data[k] - cSym.Data[k]/o.Rho
 		}
-		var err error
-		x, err = projAffine(v)
-		if err != nil {
-			return nil, fmt.Errorf("sdp: affine projection: %w", err)
-		}
+		projAffineInto(x, v)
 		x.Symmetrize()
 
 		// Z-update: PSD projection of X + U.
 		zPrev := z
-		w := x.Clone()
+		copy(w.Data, x.Data)
 		for k := range w.Data {
 			w.Data[k] += u.Data[k]
 		}
-		z, err = mat.ProjectPSD(w)
-		if err != nil {
+		if err := eig.ProjectPSDInto(zNew, w); err != nil {
 			return nil, fmt.Errorf("sdp: psd projection: %w", err)
 		}
+		z, zNew = zNew, zPrev
 
 		// U-update.
 		for k := range u.Data {
@@ -245,7 +277,9 @@ func Solve(p *Problem, o Options) (*Result, error) {
 // fillDual recovers the dual certificate from the last affine projection:
 // the ADMM X-update's stationarity gives the equality multipliers
 // μ = ρ·λ, so y = -ρ·λ satisfies Σ yᵢAᵢ + S = C with S the (approximate)
-// dual slack whose PSD defect we report.
+// dual slack. The slack's PSD defect is not computed here — it is stored
+// for Result.DualFeasError to evaluate lazily, so solves whose callers
+// never inspect the dual skip an entire eigendecomposition.
 func fillDual(res *Result, p *Problem, cSym *mat.Matrix, lam []float64, rho float64) {
 	if lam == nil {
 		return
@@ -264,9 +298,8 @@ func fillDual(res *Result, p *Problem, cSym *mat.Matrix, lam []float64, rho floa
 	}
 	res.DualObjective = dualObj
 	res.Gap = math.Abs(res.Objective - dualObj)
-	if lo, err := mat.MinEigenvalue(slack.Symmetrize()); err == nil && lo < 0 {
-		res.DualFeasError = -lo
-	}
+	res.slack = slack.Symmetrize()
+	res.dualFeasErr, res.dualFeasKnown = 0, false
 }
 
 // inner returns the Frobenius inner product ⟨a, b⟩ = Σ aᵢⱼ bᵢⱼ.

@@ -201,12 +201,12 @@ func TestDualCertificate(t *testing.T) {
 		t.Fatalf("dual objective %v, want ~1", res.DualObjective)
 	}
 	// Weak duality within the dual feasibility defect.
-	if res.DualObjective > res.Objective+res.DualFeasError+1e-6 {
+	if res.DualObjective > res.Objective+res.DualFeasError()+1e-6 {
 		t.Fatalf("weak duality violated: dual %v > primal %v (+defect %v)",
-			res.DualObjective, res.Objective, res.DualFeasError)
+			res.DualObjective, res.Objective, res.DualFeasError())
 	}
-	if res.DualFeasError > 1e-3 {
-		t.Fatalf("dual slack far from PSD: defect %v", res.DualFeasError)
+	if res.DualFeasError() > 1e-3 {
+		t.Fatalf("dual slack far from PSD: defect %v", res.DualFeasError())
 	}
 }
 
@@ -236,9 +236,9 @@ func TestDualGapSmallOnRandomInstances(t *testing.T) {
 		}
 		gap := math.Abs(res.Objective - res.DualObjective)
 		scale := 1 + math.Abs(res.Objective)
-		if gap/scale > 1e-3+res.DualFeasError {
+		if gap/scale > 1e-3+res.DualFeasError() {
 			t.Fatalf("trial %d: duality gap %v too large (primal %v dual %v defect %v)",
-				trial, gap, res.Objective, res.DualObjective, res.DualFeasError)
+				trial, gap, res.Objective, res.DualObjective, res.DualFeasError())
 		}
 	}
 }
