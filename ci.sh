@@ -31,6 +31,18 @@
 #                      Both pin "typed status, no silently-wrong answer, no
 #                      panic" and bit-identical outcomes at RCR_WORKERS=1
 #                      vs 8, under the race detector at one and four procs.
+#   3d. qosd chaos soak + service smoke
+#                    — internal/serve/chaos_test.go drives the allocation
+#                      service through overload bursts, corrupted and
+#                      NaN-poisoned results, slow solvers against tight
+#                      deadlines, dead clients, and panicking backends,
+#                      asserting zero panics, zero uncertified responses,
+#                      typed outcomes everywhere, and bit-identical
+#                      allocations at 1 vs 8 workers; then the qosd binary
+#                      itself runs a healthy workload and a forced-overload
+#                      workload, both of which must exit 0 (the exit code is
+#                      the service-health contract: no panics, no
+#                      uncertified answers, no internal errors).
 #   4. rcrlint       — the numerics static analyzers (internal/lint). Exits
 #                      non-zero on any finding not suppressed by a reasoned
 #                      //lint:ignore directive. This duplicates the
@@ -70,6 +82,13 @@ go test -race -cpu 1,4 -short ./...
 
 echo "ci: go test -tags faultinject -race -cpu 1,4 -short"
 go test -tags faultinject -race -cpu 1,4 -short ./...
+
+echo "ci: qosd chaos soak (-tags faultinject -race -cpu 1,4)"
+go test -tags faultinject -race -cpu 1,4 -run TestChaosSoak -count=1 ./internal/serve
+
+echo "ci: qosd service smoke"
+go run ./cmd/qosd -requests 24 -seed 1 > /dev/null
+go run ./cmd/qosd -requests 60 -seed 1 -rate 0.25 -burst 2 -workers 2 > /dev/null
 
 echo "ci: rcrlint"
 go run ./cmd/rcrlint ./...

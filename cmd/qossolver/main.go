@@ -25,6 +25,7 @@ import (
 	"repro/internal/minlp"
 	"repro/internal/pso"
 	"repro/internal/qos"
+	"repro/internal/serve"
 )
 
 // output is the JSON document printed on success.
@@ -44,24 +45,11 @@ type output struct {
 	Note               string    `json:"note,omitempty"`
 }
 
-// exitCode maps a typed termination status onto the documented exit codes.
+// exitCode maps a typed termination status onto the documented exit codes
+// via the shared serve taxonomy, so the CLI and the qosd service agree on
+// what every guard.Status means.
 func exitCode(st guard.Status) int {
-	switch st {
-	case guard.StatusOK, guard.StatusConverged:
-		return 0
-	case guard.StatusInfeasible:
-		return 2
-	case guard.StatusMaxIter:
-		return 3
-	case guard.StatusTimeout:
-		return 4
-	case guard.StatusCanceled:
-		return 5
-	case guard.StatusDiverged, guard.StatusUnbounded:
-		return 6
-	default:
-		return 1
-	}
+	return serve.OutcomeForStatus(st).ExitCode()
 }
 
 func main() {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/guard"
+	"repro/internal/serve"
 )
 
 func TestRunGreedy(t *testing.T) {
@@ -40,21 +41,34 @@ func TestRunRejectsBadInstance(t *testing.T) {
 	}
 }
 
+// TestExitCodes pins the CLI exit code for every guard.Status and checks the
+// mapping is the serve taxonomy verbatim — the CLI and the qosd service must
+// never disagree on what a typed status means.
 func TestExitCodes(t *testing.T) {
-	cases := map[guard.Status]int{
-		guard.StatusOK:         0,
-		guard.StatusConverged:  0,
-		guard.StatusInfeasible: 2,
-		guard.StatusMaxIter:    3,
-		guard.StatusTimeout:    4,
-		guard.StatusCanceled:   5,
-		guard.StatusDiverged:   6,
-		guard.StatusUnbounded:  6,
-		guard.Status(42):       1,
+	cases := []struct {
+		st      guard.Status
+		want    int
+		outcome serve.Outcome
+	}{
+		{guard.StatusOK, 0, serve.OutcomeServed},
+		{guard.StatusConverged, 0, serve.OutcomeServed},
+		{guard.StatusInfeasible, 2, serve.OutcomeInfeasible},
+		{guard.StatusMaxIter, 3, serve.OutcomeExhausted},
+		{guard.StatusTimeout, 4, serve.OutcomeDeadline},
+		{guard.StatusCanceled, 5, serve.OutcomeCanceled},
+		{guard.StatusDiverged, 6, serve.OutcomeUncertified},
+		{guard.StatusUnbounded, 6, serve.OutcomeUncertified},
+		{guard.Status(42), 1, serve.OutcomeError},
 	}
-	for st, want := range cases {
-		if got := exitCode(st); got != want {
-			t.Errorf("exitCode(%v) = %d, want %d", st, got, want)
+	for _, c := range cases {
+		if got := exitCode(c.st); got != c.want {
+			t.Errorf("exitCode(%v) = %d, want %d", c.st, got, c.want)
+		}
+		if got := serve.OutcomeForStatus(c.st); got != c.outcome {
+			t.Errorf("OutcomeForStatus(%v) = %v, want %v", c.st, got, c.outcome)
+		}
+		if got := serve.OutcomeForStatus(c.st).ExitCode(); got != c.want {
+			t.Errorf("service exit for %v = %d, CLI says %d", c.st, got, c.want)
 		}
 	}
 }

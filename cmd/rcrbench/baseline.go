@@ -11,7 +11,8 @@ package main
 // comparable across any pair of commits. The matProbes series instead
 // tracks the factorization plans (CholPlan, EigPlan, mat.BatchSolve) — the
 // interface the solver inner loops hold — timing the same logical
-// operations the pre-plan wrappers performed.
+// operations the pre-plan wrappers performed. serveProbeSeries times the
+// qosd service request path end to end (see serveprobe.go).
 
 import (
 	"context"
@@ -107,6 +108,17 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 		b.Kernels = append(b.Kernels,
 			KernelTiming{Name: pp.nameA, Size: pp.size, Iters: iters, NsPerOp: nsA},
 			KernelTiming{Name: pp.nameB, Size: pp.size, Iters: iters, NsPerOp: nsB})
+	}
+	svc, err := serveProbeSeries(seed)
+	if err != nil {
+		return "", err
+	}
+	for _, p := range svc {
+		iters, ns := timeProbe(p.fn)
+		if iters == 0 {
+			return "", fmt.Errorf("serve probe %s failed (latency gate or request failure)", p.name)
+		}
+		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
 	}
 	reg := experiments.Registry()
 	for _, id := range experiments.Order() {

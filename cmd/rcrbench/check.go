@@ -44,6 +44,14 @@ func checkBaseline(path string, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	// The qosd service probes ride the same gate: a regression in request
+	// latency (or a tripped URLLC p99 deadline gate, which fails the probe
+	// outright) fails -check just like a kernel slowdown.
+	svc, err := serveProbeSeries(seed)
+	if err != nil {
+		return err
+	}
+	probes = append(probes, svc...)
 	var regressions []string
 	for _, p := range probes {
 		key := fmt.Sprintf("%s/%d", p.name, p.size)

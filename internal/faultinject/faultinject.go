@@ -1,8 +1,9 @@
 // Package faultinject provides deterministic fault injection for the solver
-// stack: NaN injection into objective evaluations, eval-budget exhaustion,
-// cancellation at a chosen iteration, and solver-internal corruption of
-// returned iterates (seeded bit-flips, relative perturbations, and forged
-// convergence), all derived from a master seed.
+// stack: NaN injection into objective evaluations, seeded slow-eval latency
+// injection (deadline/shed driver), eval-budget exhaustion, cancellation at
+// a chosen iteration, and solver-internal corruption of returned iterates
+// (seeded bit-flips, relative perturbations, and forged convergence), all
+// derived from a master seed.
 //
 // Determinism is the point. NaN injection is keyed off the *input bits* of
 // each evaluation (hashed with the seed), not off a call counter, so the
@@ -20,6 +21,7 @@ package faultinject
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/guard"
 )
@@ -39,6 +41,21 @@ type Plan struct {
 	CancelAtIter int
 	// MaxEvals, when > 0, is forwarded as the budget's eval cap.
 	MaxEvals int
+
+	// SlowRate is the probability (0..1) that an objective evaluation is
+	// slowed before returning its true value — latency injection, the fault
+	// that drives deadline and shed paths. Like NaNRate it is keyed off the
+	// evaluation's input bits hashed with the seed (decorrelated through
+	// slowSalt), so exactly the same evaluations stall regardless of
+	// evaluation order or worker count: which solves run long is
+	// deterministic even though wall-clock time is not.
+	SlowRate float64
+	// SlowSpin is the amount of deterministic busy work (splitmix64 mixing
+	// rounds) one slowed evaluation burns, default 1<<16 (≈60µs on the
+	// capture host). CPU spin rather than time.Sleep: a sleeping goroutine
+	// parks and frees its worker, which would make an overloaded qosd look
+	// healthier under fault injection than under a genuinely slow solver.
+	SlowSpin int
 
 	// Corrupt selects the solver-internal corruption fault applied to
 	// returned iterates (see CorruptMode); CorruptNone injects nothing.
@@ -115,58 +132,99 @@ func (p Plan) Budget() guard.Budget {
 	return b
 }
 
-// WrapObjective returns f with NaN injection: evaluations whose input
-// hashes below NaNRate return NaN. With NaNRate 0 the original function is
-// returned untouched (zero overhead), so call sites can wrap
-// unconditionally. The wrapper is stateless and safe for concurrent use
-// whenever f is.
+// WrapObjective returns f with the plan's evaluation faults applied:
+// evaluations whose input hashes below NaNRate return NaN, and evaluations
+// whose (slowSalt-decorrelated) hash fires below SlowRate burn SlowSpin
+// rounds of deterministic busy work before returning the true value. With
+// both rates 0 the original function is returned untouched (zero overhead),
+// so call sites can wrap unconditionally. The wrapper is stateless and safe
+// for concurrent use whenever f is.
 func (p Plan) WrapObjective(f func(x []float64) float64) func(x []float64) float64 {
-	if p.NaNRate <= 0 {
+	if p.NaNRate <= 0 && p.SlowRate <= 0 {
 		return f
 	}
-	threshold := uint64(p.NaNRate * float64(1<<63) * 2)
-	if p.NaNRate >= 1 {
-		threshold = math.MaxUint64
+	nanThreshold := rateThreshold(p.NaNRate)
+	slowThreshold := rateThreshold(p.SlowRate)
+	spin := p.SlowSpin
+	if spin <= 0 {
+		spin = 1 << 16
 	}
 	seed := p.Seed
 	return func(x []float64) float64 {
-		if hashPoint(seed, x) < threshold {
+		if slowThreshold > 0 && hashPoint(seed^slowSalt, x) < slowThreshold {
+			Spin(spin)
+		}
+		if nanThreshold > 0 && hashPoint(seed, x) < nanThreshold {
 			return math.NaN()
 		}
 		return f(x)
 	}
 }
 
+// rateThreshold converts a probability in [0, 1] to its uint64 hash
+// threshold; 0 disables the fault entirely.
+func rateThreshold(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return math.MaxUint64
+	}
+	return uint64(rate * float64(1<<63) * 2)
+}
+
+// spinSink publishes Spin's result so the compiler cannot elide the busy
+// loop; the store is atomic because slowed evaluations spin concurrently.
+var spinSink atomic.Uint64
+
+// Spin burns n rounds of splitmix64 mixing — deterministic CPU work whose
+// wall-clock cost scales linearly with n. It is what a slowed evaluation
+// spends its injected latency on, and tests can call it directly to model
+// a slow client or a stalled downstream.
+func Spin(n int) {
+	var s uint64 = 0x9e3779b97f4a7c15
+	for i := 0; i < n; i++ {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s = z ^ (z >> 31)
+	}
+	spinSink.Store(s)
+}
+
 // ShouldFault reports whether the plan's NaN fault fires at x — exposed so
 // tests can predict exactly which evaluations were poisoned.
 func (p Plan) ShouldFault(x []float64) bool {
-	if p.NaNRate <= 0 {
-		return false
-	}
-	threshold := uint64(p.NaNRate * float64(1<<63) * 2)
-	if p.NaNRate >= 1 {
-		threshold = math.MaxUint64
-	}
-	return hashPoint(p.Seed, x) < threshold
+	t := rateThreshold(p.NaNRate)
+	return t > 0 && hashPoint(p.Seed, x) < t
 }
 
-// corruptSalt decorrelates the corruption hash from the NaN-injection hash
-// so the two faults fire on independent subsets of points under one seed.
-const corruptSalt = 0xc02b1e5c0441c7a5
+// ShouldSlow reports whether the plan's latency fault fires at x — exposed
+// so tests can predict exactly which evaluations stall.
+func (p Plan) ShouldSlow(x []float64) bool {
+	t := rateThreshold(p.SlowRate)
+	return t > 0 && hashPoint(p.Seed^slowSalt, x) < t
+}
+
+// corruptSalt and slowSalt decorrelate the corruption and latency hashes
+// from the NaN-injection hash so the three faults fire on independent
+// subsets of points under one seed.
+const (
+	corruptSalt = 0xc02b1e5c0441c7a5
+	slowSalt    = 0x5106c7e39f21db8d
+)
 
 // ShouldCorrupt reports whether the plan's iterate-corruption fault fires
 // for the solution vector x. Like ShouldFault it depends only on the seed
 // and x's bit patterns, so injection is order-independent and
 // bit-reproducible at any worker count.
 func (p Plan) ShouldCorrupt(x []float64) bool {
-	if p.Corrupt == CorruptNone || p.CorruptRate <= 0 || len(x) == 0 {
+	if p.Corrupt == CorruptNone || len(x) == 0 {
 		return false
 	}
-	threshold := uint64(p.CorruptRate * float64(1<<63) * 2)
-	if p.CorruptRate >= 1 {
-		threshold = math.MaxUint64
-	}
-	return hashPoint(p.Seed^corruptSalt, x) < threshold
+	t := rateThreshold(p.CorruptRate)
+	return t > 0 && hashPoint(p.Seed^corruptSalt, x) < t
 }
 
 // CorruptVector applies the plan's corruption mode to x in place and

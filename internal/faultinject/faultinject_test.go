@@ -104,6 +104,80 @@ func TestMaxEvalsBudget(t *testing.T) {
 	}
 }
 
+// --- latency injection (slow-eval) ------------------------------------------
+
+// The latency fault must be input-keyed exactly like the NaN fault: the same
+// evaluation stalls (or not) on every call, regardless of order, and
+// ShouldSlow predicts it.
+func TestSlowEvalIsInputKeyed(t *testing.T) {
+	p := Plan{Seed: 7, SlowRate: 0.5, SlowSpin: 64, CancelAtIter: -1}
+	calls := 0
+	f := p.WrapObjective(func(x []float64) float64 { calls++; return x[0] })
+	points := [][]float64{{0.1}, {0.2}, {0.3}, {0.4}, {0.5}, {0.6}, {0.7}, {0.8}}
+	slowed := 0
+	for _, x := range points {
+		if got := f(x); got != x[0] {
+			t.Fatalf("slowed eval changed the value: f(%v) = %g", x, got)
+		}
+		if p.ShouldSlow(x) {
+			slowed++
+		}
+		if p.ShouldSlow(x) != p.ShouldSlow(x) {
+			t.Fatalf("ShouldSlow is not stable at %v", x)
+		}
+	}
+	if calls != len(points) {
+		t.Fatalf("wrapper swallowed evaluations: %d calls for %d points", calls, len(points))
+	}
+	if slowed == 0 || slowed == len(points) {
+		t.Fatalf("rate 0.5 slowed %d/%d points", slowed, len(points))
+	}
+}
+
+// Slow and NaN faults under one seed must fire on decorrelated point sets,
+// and slowing must never alter the returned value — latency is the only
+// effect.
+func TestSlowDecorrelatedFromNaN(t *testing.T) {
+	p := Plan{Seed: 3, NaNRate: 0.5, SlowRate: 0.5, SlowSpin: 16, CancelAtIter: -1}
+	agree := 0
+	for i := 0; i < 64; i++ {
+		x := []float64{float64(i), float64(i) * 1.5}
+		if p.ShouldFault(x) == p.ShouldSlow(x) {
+			agree++
+		}
+	}
+	if agree == 64 {
+		t.Fatal("NaN and slow faults fire on identical point sets")
+	}
+}
+
+// A slow-only plan must leave every value bit-identical to the unwrapped
+// objective — the injected world differs in timing only, so determinism
+// suites can run the same workload with and without latency faults.
+func TestSlowEvalValueTransparent(t *testing.T) {
+	p := Plan{Seed: 9, SlowRate: 1, SlowSpin: 32, CancelAtIter: -1}
+	base := func(x []float64) float64 { return 3*x[0] - x[1] }
+	f := p.WrapObjective(base)
+	for i := 0; i < 16; i++ {
+		x := []float64{float64(i) * 0.7, float64(i) * -0.3}
+		if f(x) != base(x) {
+			t.Fatalf("slowed eval diverged at %v", x)
+		}
+	}
+}
+
+// Spin must scale with n and actually burn time (coarsely — this is a
+// sanity check, not a benchmark).
+func TestSpinBurnsWork(t *testing.T) {
+	// Wall-clock assertions flake on loaded hosts; assert only that Spin
+	// with a large n completes and the sink was written (the compiler did
+	// not elide the loop).
+	Spin(1 << 12)
+	if spinSink.Load() == 0 {
+		t.Fatal("spin sink never written")
+	}
+}
+
 // --- iterate-corruption modes -----------------------------------------------
 
 func TestCorruptVectorDeterministic(t *testing.T) {

@@ -11,7 +11,8 @@ import (
 type RetryOptions struct {
 	// Attempts is the total number of attempts, default 3.
 	Attempts int
-	// Seed is the master seed for the per-attempt perturbation streams.
+	// Seed is the master seed for the per-attempt perturbation streams and
+	// the backoff jitter stream.
 	Seed uint64
 	// Backoff is the sleep before the second attempt; it doubles per
 	// attempt up to MaxBackoff. Zero disables sleeping (the deterministic
@@ -19,6 +20,15 @@ type RetryOptions struct {
 	Backoff time.Duration
 	// MaxBackoff caps the backoff growth, default 8×Backoff.
 	MaxBackoff time.Duration
+	// Jitter, in (0, 1], shortens each backoff sleep by a seeded random
+	// fraction: sleep k becomes sched[k]·(1 − Jitter·u) with u ∈ [0, 1)
+	// drawn from a stream derived from Seed through internal/rng — never
+	// from the clock — so the whole schedule is a pure function of the
+	// options (see Schedule) and stays bit-reproducible at any worker
+	// count. Jitter desynchronizes retry storms: when a sick backend trips
+	// many qosd requests at once, uniform doubling would march them back
+	// in lockstep. Zero disables jitter; values above 1 are clamped.
+	Jitter float64
 	// RetryOn decides which statuses warrant another attempt. Nil retries
 	// StatusDiverged, StatusMaxIter, and StatusTimeout; infeasibility,
 	// unboundedness, and cancellation are final by default (retrying
@@ -41,28 +51,63 @@ func (o RetryOptions) withDefaults() RetryOptions {
 	return o
 }
 
+// jitterSalt decorrelates the backoff jitter stream from the per-attempt
+// perturbation streams (both derive from Seed): adding jitter must not move
+// the restart perturbation bits that earlier pinned tests — and reproducible
+// experiment tables — depend on.
+const jitterSalt = 0x6a2e95c5a1b7d30f
+
+// Schedule returns the sleeps Retry will take before attempts 2..Attempts:
+// capped exponential doubling from Backoff, each term shortened by the
+// seeded jitter. It is a pure function of the options — no clock, no global
+// state — which is what makes retry timing testable: pin the schedule, and
+// Retry's sleeps are pinned with it (Retry consumes exactly this slice).
+// A zero Backoff returns nil (no sleeping).
+func (o RetryOptions) Schedule() []time.Duration {
+	o = o.withDefaults()
+	if o.Attempts <= 1 || o.Backoff <= 0 {
+		return nil
+	}
+	j := o.Jitter
+	if j > 1 {
+		j = 1
+	}
+	jr := rng.New(o.Seed ^ jitterSalt)
+	sched := make([]time.Duration, o.Attempts-1)
+	backoff := o.Backoff
+	for k := range sched {
+		d := backoff
+		if j > 0 {
+			d = time.Duration(float64(d) * (1 - j*jr.Float64()))
+		}
+		sched[k] = d
+		backoff *= 2
+		if backoff > o.MaxBackoff {
+			backoff = o.MaxBackoff
+		}
+	}
+	return sched
+}
+
 // Retry runs attempt up to o.Attempts times, stopping early on the first
 // status RetryOn rejects (success, infeasibility, cancellation, ...). Each
 // attempt receives its index and a private rng stream split from the
 // master seed — the perturbed-restart discipline: the attempt draws its
 // restart perturbation from that stream, so the k-th retry sees the same
 // perturbation bits regardless of wall-clock timing, worker count, or how
-// long earlier attempts ran. Between attempts Retry sleeps the bounded
-// exponential backoff (timing only; no random draw depends on it).
+// long earlier attempts ran. Between attempts Retry sleeps the capped,
+// seeded-jitter exponential backoff computed by Schedule (timing only; no
+// random draw of the attempts depends on it).
 //
 // It returns the last status and the number of attempts made.
 func Retry(o RetryOptions, attempt func(try int, r *rng.Rand) Status) (Status, int) {
 	o = o.withDefaults()
+	sched := o.Schedule()
 	root := rng.New(o.Seed)
 	status := StatusOK
-	backoff := o.Backoff
 	for try := 0; try < o.Attempts; try++ {
-		if try > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > o.MaxBackoff {
-				backoff = o.MaxBackoff
-			}
+		if try > 0 && try-1 < len(sched) && sched[try-1] > 0 {
+			time.Sleep(sched[try-1])
 		}
 		// Split unconditionally so attempt k's stream is identical whether
 		// or not earlier attempts consumed theirs.

@@ -1,0 +1,145 @@
+package guard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// TestScheduleUnjittered pins the plain capped-doubling schedule: Backoff
+// doubles per attempt and saturates at MaxBackoff.
+func TestScheduleUnjittered(t *testing.T) {
+	o := RetryOptions{Attempts: 6, Backoff: 10 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond,
+	}
+	got := o.Schedule()
+	if len(got) != len(want) {
+		t.Fatalf("Schedule() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Schedule()[%d] = %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+
+	// Default MaxBackoff is 8×Backoff.
+	d := RetryOptions{Attempts: 8, Backoff: time.Millisecond}.Schedule()
+	if d[len(d)-1] != 8*time.Millisecond {
+		t.Fatalf("default cap: last sleep %v, want 8ms (full %v)", d[len(d)-1], d)
+	}
+
+	// Zero backoff sleeps never.
+	if s := (RetryOptions{Attempts: 5}).Schedule(); s != nil {
+		t.Fatalf("zero-backoff Schedule() = %v, want nil", s)
+	}
+}
+
+// TestScheduleJitterPinned pins the seeded-jitter schedule bit-for-bit: the
+// sleeps are a pure function of (Seed, Backoff, MaxBackoff, Jitter,
+// Attempts) through internal/rng — no clock anywhere — so these exact
+// durations must reproduce on every host and at every worker count.
+func TestScheduleJitterPinned(t *testing.T) {
+	o := RetryOptions{Attempts: 6, Seed: 42, Backoff: 10 * time.Millisecond,
+		MaxBackoff: 60 * time.Millisecond, Jitter: 0.5}
+	want := []time.Duration{
+		8125103 * time.Nanosecond,
+		19782766 * time.Nanosecond,
+		36888820 * time.Nanosecond,
+		41160231 * time.Nanosecond,
+		46316888 * time.Nanosecond,
+	}
+	got := o.Schedule()
+	if len(got) != len(want) {
+		t.Fatalf("Schedule() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Schedule()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Same options → same schedule; a different seed moves every term.
+	again := o.Schedule()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("schedule not reproducible: %v vs %v", got, again)
+		}
+	}
+	o2 := o
+	o2.Seed = 7
+	other := o2.Schedule()
+	same := 0
+	for i := range got {
+		if got[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(got) {
+		t.Fatalf("seed change left the schedule unchanged: %v", got)
+	}
+
+	// Every jittered sleep stays inside [(1−Jitter)·base, base]: jitter only
+	// shortens, never lengthens — a retry must never outwait its cap.
+	bases := []time.Duration{10, 20, 40, 60, 60}
+	for i, d := range got {
+		base := bases[i] * time.Millisecond
+		lo := time.Duration(float64(base) * (1 - o.Jitter))
+		if d < lo || d > base {
+			t.Errorf("sleep %d = %v outside [%v, %v]", i, d, lo, base)
+		}
+	}
+}
+
+// TestScheduleJitterIndependentOfAttemptStreams pins that arming jitter
+// does not move the per-attempt perturbation streams: the restart bits that
+// seeded experiments depend on are derived from Seed alone, jitter draws
+// from a salted side stream.
+func TestScheduleJitterIndependentOfAttemptStreams(t *testing.T) {
+	draw := func(jitter float64) []uint64 {
+		var seen []uint64
+		Retry(RetryOptions{Attempts: 3, Seed: 42, Jitter: jitter},
+			func(try int, r *rng.Rand) Status {
+				seen = append(seen, r.Uint64())
+				return StatusDiverged
+			})
+		return seen
+	}
+	plain, jittered := draw(0), draw(0.5)
+	if len(plain) != 3 || len(jittered) != 3 {
+		t.Fatalf("attempt counts: %d vs %d, want 3", len(plain), len(jittered))
+	}
+	for i := range plain {
+		if plain[i] != jittered[i] {
+			t.Fatalf("attempt %d stream moved when jitter armed: %x vs %x", i, plain[i], jittered[i])
+		}
+	}
+}
+
+// TestRetryConsumesSchedule bounds an actual jittered Retry run by its
+// pinned schedule: total elapsed must be at least the sum of the sleeps
+// (time.Sleep guarantees a minimum, never a maximum — the upper side would
+// flake on a loaded host).
+func TestRetryConsumesSchedule(t *testing.T) {
+	o := RetryOptions{Attempts: 3, Seed: 9, Backoff: 2 * time.Millisecond, Jitter: 0.9}
+	var total time.Duration
+	for _, d := range o.Schedule() {
+		total += d
+	}
+	if total <= 0 {
+		t.Fatalf("degenerate schedule %v", o.Schedule())
+	}
+	start := time.Now()
+	st, n := Retry(o, func(int, *rng.Rand) Status { return StatusTimeout })
+	if elapsed := time.Since(start); elapsed < total {
+		t.Fatalf("Retry slept %v, schedule demands at least %v", elapsed, total)
+	}
+	if st != StatusTimeout || n != 3 {
+		t.Fatalf("Retry = %v after %d, want timeout after 3", st, n)
+	}
+}

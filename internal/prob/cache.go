@@ -3,6 +3,7 @@ package prob
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mat"
 )
@@ -149,10 +150,18 @@ func boolWord(b bool) uint64 {
 	return 0
 }
 
+// cacheShards is the fixed fan-out of the fingerprint map. Sixteen shards
+// keep the worst case (every goroutine hammering one shard) no worse than
+// the historical single mutex while letting a service's concurrent traffic
+// over distinct shapes proceed without serializing on one lock.
+const cacheShards = 16
+
 // Cache memoizes lowered/compiled forms and prior solutions keyed by
-// structural fingerprint. It is safe for concurrent use (the PSO swarm
-// evaluates objectives from a worker pool); entries are immutable once
-// stored, so readers never observe partial updates.
+// structural fingerprint. It is safe for concurrent use and sharded by
+// shape fingerprint (per-shard mutexes instead of one lock), so concurrent
+// service traffic — qosd workers solving many cells at once — doesn't
+// serialize on cache lookups; entries are immutable once stored, so readers
+// never observe partial updates.
 //
 // The contract, enforced by Solve:
 //   - equal Shape and equal Content → the compiled backend problem is reused
@@ -169,9 +178,27 @@ func boolWord(b bool) uint64 {
 //     once (CacheStats.Quarantined) instead of being re-checked or reused on
 //     every subsequent same-shape lookup.
 type Cache struct {
+	shards [cacheShards]cacheShard
+	// noWarm, when set (DisableWarmStarts), stores compiled forms only:
+	// solutions are dropped at store time, so no solve is ever seeded by
+	// another request's incumbent.
+	noWarm atomic.Bool
+	// Effectiveness counters live outside the shard locks so Stats never
+	// takes all sixteen mutexes and record() never contends with lookups.
+	hits, misses, warmStarts, quarantined atomic.Int64
+}
+
+// cacheShard is one lock-striped slice of the fingerprint map.
+type cacheShard struct {
 	mu      sync.Mutex
 	entries map[uint64]*cacheEntry
-	stats   CacheStats
+}
+
+// shard returns the shard owning a shape fingerprint. The shape hash is
+// FNV-mixed but carries no finalizer, so fold the high bits down before
+// masking — adjacent structures must not pile onto one shard.
+func (c *Cache) shard(shape uint64) *cacheShard {
+	return &c.shards[(shape^(shape>>32)^(shape>>16))&(cacheShards-1)]
 }
 
 type cacheEntry struct {
@@ -202,7 +229,29 @@ type CacheStats struct {
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[uint64]*cacheEntry)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]*cacheEntry)
+	}
+	return c
+}
+
+// DisableWarmStarts switches the cache to compiled-forms-only mode: store
+// drops solutions, so later solves reuse lowerings and compiled backend
+// problems (the expensive part) but are never seeded by another solve's
+// incumbent. This is the mode qosd serves traffic in — a warm start from a
+// tied-optimum neighbor could steer branch and bound to a different (equally
+// optimal) vertex depending on request interleaving, and the service promises
+// bit-identical allocations for identical request+seed regardless of worker
+// count or arrival order. Nil-safe; call before sharing the cache or at any
+// point after (already-stored solutions are evicted lazily by the next store
+// of their shape, and existing entries remain safe: warm starts are always
+// re-verified). Returns the cache for chaining.
+func (c *Cache) DisableWarmStarts() *Cache {
+	if c != nil {
+		c.noWarm.Store(true)
+	}
+	return c
 }
 
 // Stats returns a snapshot of the counters. Nil-safe.
@@ -210,9 +259,12 @@ func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return CacheStats{
+		Hits:        int(c.hits.Load()),
+		Misses:      int(c.misses.Load()),
+		WarmStarts:  int(c.warmStarts.Load()),
+		Quarantined: int(c.quarantined.Load()),
+	}
 }
 
 // lookup returns the entry for a shape, or nil. Nil-safe.
@@ -220,20 +272,27 @@ func (c *Cache) lookup(shape uint64) *cacheEntry {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.entries[shape]
+	s := c.shard(shape)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[shape]
 }
 
 // store records the lowered form and backend-space solution for a shape,
-// replacing (never mutating) any previous entry. Nil-safe.
+// replacing (never mutating) any previous entry. In forms-only mode
+// (DisableWarmStarts) the solution is dropped and only the lowering is kept.
+// Nil-safe.
 func (c *Cache) store(fp Fingerprint, low *loweredForm, x []float64, xMat *mat.Matrix) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[fp.Shape] = &cacheEntry{content: fp.Content, low: low, x: x, xMat: xMat}
+	if c.noWarm.Load() {
+		x, xMat = nil, nil
+	}
+	s := c.shard(fp.Shape)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[fp.Shape] = &cacheEntry{content: fp.Content, low: low, x: x, xMat: xMat}
 }
 
 // quarantine evicts the cached solution for a shape — after a warm-start
@@ -247,16 +306,18 @@ func (c *Cache) quarantine(shape uint64) bool {
 	if c == nil {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ent := c.entries[shape]
+	s := c.shard(shape)
+	s.mu.Lock()
+	ent := s.entries[shape]
 	if ent == nil || (ent.x == nil && ent.xMat == nil) {
+		s.mu.Unlock()
 		return false
 	}
 	// Entries are immutable once stored (readers hold them outside the
 	// lock), so eviction replaces the entry rather than clearing fields.
-	c.entries[shape] = &cacheEntry{content: ent.content, low: ent.low}
-	c.stats.Quarantined++
+	s.entries[shape] = &cacheEntry{content: ent.content, low: ent.low}
+	s.mu.Unlock()
+	c.quarantined.Add(1)
 	return true
 }
 
@@ -265,14 +326,12 @@ func (c *Cache) record(hit, warm bool) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if hit {
-		c.stats.Hits++
+		c.hits.Add(1)
 	} else {
-		c.stats.Misses++
+		c.misses.Add(1)
 	}
 	if warm {
-		c.stats.WarmStarts++
+		c.warmStarts.Add(1)
 	}
 }

@@ -138,6 +138,40 @@ func TestCacheWarmStartOnShapeMatch(t *testing.T) {
 	}
 }
 
+// TestCacheDisableWarmStarts pins the forms-only mode qosd serves traffic
+// in: compiled forms are still reused verbatim (CacheHit), but no solve is
+// ever seeded from another solve's solution, so request interleaving cannot
+// steer branch and bound between tied optima.
+func TestCacheDisableWarmStarts(t *testing.T) {
+	cache := prob.NewCache().DisableWarmStarts()
+	if _, err := prob.Solve(knapsackIR([]float64{10, 13, 7}), prob.Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, new coefficients: would warm-start in the default mode
+	// (TestCacheWarmStartOnShapeMatch), must not here.
+	res, err := prob.Solve(knapsackIR([]float64{10, 14, 7}), prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarted {
+		t.Fatal("forms-only cache warm-started a solve")
+	}
+	if res.Status != guard.StatusConverged || math.Abs(res.Objective-21) > 1e-9 {
+		t.Fatalf("forms-only solve: status %v obj %g, want Converged 21", res.Status, res.Objective)
+	}
+	// Verbatim reuse of the compiled form is still on.
+	hit, err := prob.Solve(knapsackIR([]float64{10, 14, 7}), prob.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("forms-only cache missed an identical re-solve")
+	}
+	if st := cache.Stats(); st.WarmStarts != 0 {
+		t.Fatalf("stats = %+v, want 0 warm starts in forms-only mode", st)
+	}
+}
+
 // TestCacheInfeasibleIncumbentRejected: when the constraint set tightens so
 // the cached solution is no longer feasible, it must NOT seed the solve (an
 // infeasible incumbent would prune the true optimum).

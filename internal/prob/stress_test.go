@@ -101,3 +101,148 @@ func TestConcurrentSolvesSharedCache(t *testing.T) {
 		t.Errorf("stress never exercised quarantine: %+v", st)
 	}
 }
+
+// knapsackNIR builds an n-item knapsack IR: each distinct n is a distinct
+// Shape fingerprint (so the stress spreads across cache shards), while
+// different rate vectors at one n collide on Shape and differ on Content.
+func knapsackNIR(n int, bump float64) *prob.Problem {
+	rates := make([]float64, n)
+	weights := make([]float64, n)
+	hi := make([]float64, n)
+	ints := make([]int, n)
+	for i := 0; i < n; i++ {
+		rates[i] = float64(5+i) + bump
+		weights[i] = float64(1 + i%3)
+		hi[i] = 1
+		ints[i] = i
+	}
+	return &prob.Problem{
+		NumVars: n,
+		Obj:     prob.Objective{Maximize: true, Lin: rates},
+		Hi:      hi,
+		Integer: ints,
+		Lin:     []prob.LinCon{{Coeffs: weights, Sense: prob.LE, RHS: float64(n)}},
+	}
+}
+
+// TestShardedCacheStress hammers the sharded cache from 8 goroutines over
+// distinct shapes (spread across shards) and colliding fingerprints (same
+// shape, different content), then re-runs the identical workload serially
+// and compares the CacheStats totals. The workload is phase-structured so
+// the invariant counters are interleaving-independent:
+//
+//	phase 1 — clean solves over every (shape, content) pair, repeats
+//	  included, so hits, misses, and warm starts are all exercised;
+//	phase 2 — every goroutine re-solves every shape with a Tampered
+//	  (infeasible) result: certification fails, and the phase-1 solution
+//	  of each shape must be evicted exactly once no matter how many
+//	  goroutines race to quarantine it (quarantine-once semantics).
+func TestShardedCacheStress(t *testing.T) {
+	const (
+		goroutines = 8
+		shapes     = 8 // n = 3..10 → 8 distinct Shape fingerprints
+		variants   = 3
+		rounds     = 2
+	)
+	run := func(parallel bool) (prob.CacheStats, int) {
+		cache := prob.NewCache()
+		var solves atomic.Int64
+		phase1 := func(g int) {
+			for round := 0; round < rounds; round++ {
+				for s := 0; s < shapes; s++ {
+					v := (g + round + s) % variants
+					res, err := prob.Solve(knapsackNIR(3+s, float64(v)), prob.Options{Cache: cache})
+					solves.Add(1)
+					if err != nil || res == nil || res.Status != guard.StatusConverged {
+						t.Errorf("phase1 g%d shape%d v%d: status %v err %v", g, s, v, statusOf(res), err)
+					}
+				}
+			}
+		}
+		phase2 := func(g int) {
+			for s := 0; s < shapes; s++ {
+				opts := prob.Options{
+					Cache: cache,
+					Cert:  prob.CertConfig{MaxRetries: -1},
+					Tamper: func(r *prob.Result) {
+						if r.X != nil {
+							for i := range r.X {
+								r.X[i] = 2 // violates the 0/1 box on every item
+							}
+						}
+					},
+				}
+				res, err := prob.Solve(knapsackNIR(3+s, 0), opts)
+				solves.Add(1)
+				if err == nil || res == nil || res.Status == guard.StatusConverged {
+					t.Errorf("phase2 g%d shape%d: poisoned solve accepted (status %v err %v)", g, s, statusOf(res), err)
+				}
+			}
+		}
+		fanout := func(phase func(int)) {
+			if !parallel {
+				for g := 0; g < goroutines; g++ {
+					phase(g)
+				}
+				return
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					phase(g)
+				}(g)
+			}
+			wg.Wait()
+		}
+		fanout(phase1)
+		fanout(phase2)
+		// Post-poison recovery: every shape solves clean again — the
+		// quarantine evicted solutions, never the compiled forms, and no
+		// poisoned answer leaked into the cache.
+		for s := 0; s < shapes; s++ {
+			res, err := prob.Solve(knapsackNIR(3+s, 0), prob.Options{Cache: cache})
+			solves.Add(1)
+			if err != nil || res.Status != guard.StatusConverged {
+				t.Errorf("post-poison shape%d: status %v err %v", s, statusOf(res), err)
+			}
+		}
+		return cache.Stats(), int(solves.Load())
+	}
+
+	serialStats, serialSolves := run(false)
+	parStats, parSolves := run(true)
+
+	if parSolves != serialSolves {
+		t.Fatalf("workloads diverged: %d parallel vs %d serial solves", parSolves, serialSolves)
+	}
+	// One record per solve, sharded or not.
+	if got, want := parStats.Hits+parStats.Misses, parSolves; got != want {
+		t.Errorf("parallel hits+misses = %d, want %d (stats %+v)", got, want, parStats)
+	}
+	if got, want := serialStats.Hits+serialStats.Misses, serialSolves; got != want {
+		t.Errorf("serial hits+misses = %d, want %d (stats %+v)", got, want, serialStats)
+	}
+	// Quarantine-once: phase 2 poisons every shape from 8 goroutines at
+	// once, but each shape holds exactly one phase-1 solution, so exactly
+	// `shapes` evictions happen in both runs.
+	if parStats.Quarantined != shapes || serialStats.Quarantined != shapes {
+		t.Errorf("quarantined parallel=%d serial=%d, want %d in both",
+			parStats.Quarantined, serialStats.Quarantined, shapes)
+	}
+	if parStats.WarmStarts == 0 || serialStats.WarmStarts == 0 {
+		t.Errorf("stress never warm-started: parallel %+v serial %+v", parStats, serialStats)
+	}
+	if parStats.Hits == 0 || serialStats.Hits == 0 {
+		t.Errorf("stress never hit verbatim: parallel %+v serial %+v", parStats, serialStats)
+	}
+}
+
+// statusOf is a nil-safe status reader for error messages.
+func statusOf(r *prob.Result) guard.Status {
+	if r == nil {
+		return guard.StatusOK
+	}
+	return r.Status
+}

@@ -46,7 +46,7 @@ func (p *Problem) SolveRelaxed(b guard.Budget) (*Allocation, *RelaxedResult, err
 		return nil, nil, err
 	}
 	cols, ir := p.columnModel()
-	return p.solveRelaxedIR(cols, ir, b, nil)
+	return p.solveRelaxedIR(cols, ir, b, nil, nil)
 }
 
 // solveRelaxedIR runs the relaxed rung on an already-built column model. The
@@ -54,12 +54,12 @@ func (p *Problem) SolveRelaxed(b guard.Budget) (*Allocation, *RelaxedResult, err
 // deliberately dropped — its nearest-integer rounding is not what this rung
 // wants, since the deterministic largest-weight rounding plus power repair
 // below needs the fractional LP weights.
-func (p *Problem) solveRelaxedIR(cols []milpColumn, ir *prob.Problem, b guard.Budget, cache *prob.Cache) (*Allocation, *RelaxedResult, error) {
+func (p *Problem) solveRelaxedIR(cols []milpColumn, ir *prob.Problem, b guard.Budget, cache *prob.Cache, tamper func(*prob.Result)) (*Allocation, *RelaxedResult, error) {
 	relaxed, _, err := prob.RelaxIntegrality(ir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("qos: relaxed solve: %w", err)
 	}
-	res, err := prob.Solve(relaxed, prob.Options{Budget: b, Cache: cache})
+	res, err := prob.Solve(relaxed, prob.Options{Budget: b, Cache: cache, Tamper: tamper})
 	if err != nil {
 		st := guard.StatusDiverged
 		if s, ok := guard.AsStatus(err); ok {
@@ -224,6 +224,22 @@ type RobustOptions struct {
 	// compiled models and incumbents). When nil the ladder still builds a
 	// per-call cache so its own rungs share the column model's lowerings.
 	Cache *prob.Cache
+	// RungGate, when non-nil, is consulted before each budgeted rung; a
+	// false return skips the rung with a typed "skipped: rung gated" report
+	// instead of running it. This is the circuit-breaker seam: a service
+	// that has watched a rung fail repeatedly opens its breaker and gates
+	// the rung out until a half-open probe succeeds, so a sick backend stops
+	// burning deadline budget on every request. Greedy is never gated — the
+	// ladder's always-answers contract survives any gate.
+	RungGate func(Rung) bool
+	// Tamper, when non-nil, is forwarded into the exact and relaxed rungs'
+	// prob solves (see prob.Options.Tamper): the chaos seam that corrupts
+	// backend results before certification. The ladder's certifier then
+	// rejects the corrupted rung, so injected corruption degrades the answer
+	// rather than forging one. Production callers leave it nil; the
+	// heuristic rungs (PSO, greedy) run no certified solver and are not
+	// tampered.
+	Tamper func(*prob.Result)
 }
 
 func (o RobustOptions) withDefaults() RobustOptions {
@@ -298,10 +314,21 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 		reject(rung, nil, RungReport{Status: st, Detail: "skipped: ladder budget exhausted"})
 		return true
 	}
+	// gated reports a rung the caller's RungGate refused (circuit open); the
+	// rung is skipped with a typed report and the ladder falls through. The
+	// skip is recorded as Canceled: the rung was asked not to run, nothing
+	// about the problem itself was learned.
+	gated := func(rung Rung) bool {
+		if o.RungGate == nil || o.RungGate(rung) {
+			return false
+		}
+		reject(rung, nil, RungReport{Status: guard.StatusCanceled, Detail: "skipped: rung gated"})
+		return true
+	}
 
 	// Rung 1: exact branch and bound.
-	if !interrupted(RungExact) {
-		alloc, sol, err := p.solveExactIR(cols, ir, minlp.Options{MaxNodes: o.MaxNodes, Budget: o.Budget}, cache)
+	if !gated(RungExact) && !interrupted(RungExact) {
+		alloc, sol, err := p.solveExactIR(cols, ir, minlp.Options{MaxNodes: o.MaxNodes, Budget: o.Budget}, cache, o.Tamper)
 		rr := RungReport{Attempts: 1}
 		if sol != nil && sol.MILP != nil {
 			rr.Status = sol.MILP.Guard
@@ -309,6 +336,13 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 		}
 		if sol != nil {
 			rr.Cert = sol.Cert.String()
+			// A degraded prob-level status (certification failure →
+			// diverged) outranks the backend's own termination cause: the
+			// trail must type *why the ladder rejected the rung*, and
+			// breaker-style consumers count on failures being failures.
+			if sol.Status.Failure() {
+				rr.Status = sol.Status
+			}
 		}
 		if err != nil && rr.Status == guard.StatusOK {
 			rr.Status = guard.StatusDiverged
@@ -322,8 +356,8 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 
 	// Rung 2: LP relaxation + deterministic rounding (the MILP → LP move of
 	// the paper's relaxed verifiers).
-	if !interrupted(RungRelaxed) {
-		alloc, res, err := p.solveRelaxedIR(cols, ir, o.Budget, cache)
+	if !gated(RungRelaxed) && !interrupted(RungRelaxed) {
+		alloc, res, err := p.solveRelaxedIR(cols, ir, o.Budget, cache, o.Tamper)
 		rr := RungReport{Attempts: 1}
 		if res != nil {
 			rr.Status = res.Guard
@@ -342,7 +376,7 @@ func (p *Problem) SolveRobust(o RobustOptions) (*Allocation, *Report, *Degradati
 	// Rung 3: PSO with perturbed restarts — each attempt reseeds the swarm
 	// from an independent stream split off Seed, so the restart sequence is
 	// bit-reproducible and scheduling-independent.
-	if !interrupted(RungPSO) {
+	if !gated(RungPSO) && !interrupted(RungPSO) {
 		var best *Allocation
 		var bestRep *Report
 		var lastStatus guard.Status

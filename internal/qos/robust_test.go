@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/guard"
+	"repro/internal/prob"
 	"repro/internal/pso"
 )
 
@@ -106,6 +107,105 @@ func TestSolveRobustNodeBudgetDegrades(t *testing.T) {
 	// QoS at node 1); what must hold is a typed, non-zero status.
 	if deg.Rungs[0].Status == guard.StatusOK {
 		t.Fatalf("exact rung status untyped: %+v", deg.Rungs[0])
+	}
+}
+
+// TestSolveRobustRungGateSkipsGatedRungs pins the circuit-breaker seam: a
+// gate that refuses the exact and relaxed rungs must produce typed
+// "skipped: rung gated" reports for both, never run their solvers, and let
+// the ladder answer from a lower rung.
+func TestSolveRobustRungGateSkipsGatedRungs(t *testing.T) {
+	p := smallProblem(t, 8)
+	var asked []Rung
+	alloc, rep, deg, err := p.SolveRobust(RobustOptions{
+		Seed: 8,
+		PSO:  pso.Options{Swarm: 15, MaxIter: 60},
+		RungGate: func(r Rung) bool {
+			asked = append(asked, r)
+			return r != RungExact && r != RungRelaxed
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc == nil || rep == nil {
+		t.Fatalf("gated ladder returned no allocation")
+	}
+	if deg.Final == RungExact || deg.Final == RungRelaxed {
+		t.Fatalf("gated rung %q was accepted\n%s", deg.Final, deg)
+	}
+	for _, r := range deg.Rungs {
+		if r.Rung != RungExact && r.Rung != RungRelaxed {
+			continue
+		}
+		if r.Status != guard.StatusCanceled || !strings.Contains(r.Detail, "rung gated") {
+			t.Fatalf("gated rung %s report = %+v, want canceled/rung gated", r.Rung, r)
+		}
+		if r.Accepted || r.Attempts != 0 {
+			t.Fatalf("gated rung %s ran its solver: %+v", r.Rung, r)
+		}
+	}
+	// Greedy must never be consulted: it is the unconditional floor.
+	for _, r := range asked {
+		if r == RungGreedy {
+			t.Fatalf("RungGate consulted for greedy")
+		}
+	}
+}
+
+// TestSolveRobustGateEverythingStillAnswers: even a gate that refuses every
+// rung leaves greedy, which always answers.
+func TestSolveRobustGateEverythingStillAnswers(t *testing.T) {
+	p := smallProblem(t, 8)
+	alloc, rep, deg, err := p.SolveRobust(RobustOptions{
+		Seed:     8,
+		RungGate: func(Rung) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc == nil || rep == nil || deg.Final != RungGreedy {
+		t.Fatalf("fully gated ladder: alloc=%v rep=%v final=%q", alloc != nil, rep != nil, deg.Final)
+	}
+}
+
+// TestSolveRobustTamperRejectedByCertifier pins the corruption seam end to
+// end: a Tamper that damages every exact/relaxed backend result must be
+// caught by the a-posteriori certifier (rung rejected or degraded, cert
+// verdict recorded), and the ladder must still answer from an untampered
+// rung — corrupted solver output can degrade service, never forge it.
+func TestSolveRobustTamperRejectedByCertifier(t *testing.T) {
+	p := smallProblem(t, 8)
+	tampered := 0
+	alloc, rep, deg, err := p.SolveRobust(RobustOptions{
+		Seed: 8,
+		PSO:  pso.Options{Swarm: 15, MaxIter: 60},
+		Tamper: func(r *prob.Result) {
+			if r.X == nil {
+				return
+			}
+			tampered++
+			for i := range r.X {
+				r.X[i] = 2 // violates the binary column bounds
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tampered == 0 {
+		t.Fatal("tamper seam never fired")
+	}
+	if alloc == nil || rep == nil {
+		t.Fatalf("tampered ladder returned no allocation")
+	}
+	if deg.Final == RungExact || deg.Final == RungRelaxed {
+		t.Fatalf("a tampered certified rung was accepted: final=%q\n%s", deg.Final, deg)
+	}
+	for _, r := range deg.Rungs {
+		if (r.Rung == RungExact || r.Rung == RungRelaxed) && r.Accepted {
+			t.Fatalf("tampered rung %s accepted: %+v", r.Rung, r)
+		}
 	}
 }
 

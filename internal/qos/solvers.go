@@ -193,7 +193,7 @@ func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error
 		return nil, nil, err
 	}
 	cols, ir := p.columnModel()
-	alloc, sol, err := p.solveExactIR(cols, ir, o, nil)
+	alloc, sol, err := p.solveExactIR(cols, ir, o, nil, nil)
 	var res *minlp.Result
 	if sol != nil {
 		res = sol.MILP
@@ -205,7 +205,7 @@ func (p *Problem) SolveExact(o minlp.Options) (*Allocation, *minlp.Result, error
 // optionally sharing a lowering/warm-start cache with other rungs or batch
 // instances. The full prob.Result is returned (not just the BnB statistics)
 // so ladder callers can audit the a-posteriori certificate verdict.
-func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Options, cache *prob.Cache) (*Allocation, *prob.Result, error) {
+func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Options, cache *prob.Cache, tamper func(*prob.Result)) (*Allocation, *prob.Result, error) {
 	po := prob.Options{
 		Budget:    o.Budget,
 		MaxNodes:  o.MaxNodes,
@@ -213,6 +213,7 @@ func (p *Problem) solveExactIR(cols []milpColumn, ir *prob.Problem, o minlp.Opti
 		GapTol:    o.GapTol,
 		Incumbent: o.Incumbent,
 		Cache:     cache,
+		Tamper:    tamper,
 	}
 	// Warm start: if the greedy heuristic happens to produce a fully
 	// feasible solution of the discretized model, hand it to the BnB as an

@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// TokenBucket is a deterministic admission controller: a classic token
+// bucket whose time axis is a caller-supplied logical tick (qosd uses its
+// submission counter), not the wall clock. Refill is pure arithmetic on the
+// tick delta, so the admit/shed decision sequence for a given arrival order
+// is a function of (rate, burst, order) alone — replayable in tests and
+// identical at any worker count, which a time.Now bucket can never be.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens granted per tick
+	burst  float64 // bucket capacity
+	tokens float64
+	last   uint64
+}
+
+// NewTokenBucket returns a bucket granting ratePerTick tokens per logical
+// tick with capacity burst (clamped up to 1 so a full bucket can always
+// admit at least one request). The bucket starts full.
+func NewTokenBucket(ratePerTick, burst float64) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: ratePerTick, burst: burst, tokens: burst}
+}
+
+// Admit charges one token at the given logical tick and reports whether the
+// request is admitted. Ticks must be non-decreasing; several requests may
+// share a tick (they draw from the same refill).
+func (b *TokenBucket) Admit(tick uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if tick > b.last {
+		b.tokens += b.rate * float64(tick-b.last)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = tick
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package serve
+
+import "testing"
+
+// TestTokenBucketDeterministicPattern pins the admit/shed sequence for a
+// fixed arrival order: rate 0.5/tick with burst 2 admits the burst, then
+// every other arrival — a pure function of the tick sequence, no clock.
+func TestTokenBucketDeterministicPattern(t *testing.T) {
+	run := func() []bool {
+		b := NewTokenBucket(0.5, 2)
+		got := make([]bool, 10)
+		for i := range got {
+			got[i] = b.Admit(uint64(i + 1))
+		}
+		return got
+	}
+	// Start full (2 tokens) + 0.5/tick refill: three straight admits spend
+	// the burst, then the refill sustains every other arrival.
+	want := []bool{true, true, true, false, true, false, true, false, true, false}
+	got := run()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("admit[%d] = %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+	// Replay: identical arrival order, identical decisions.
+	again := run()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("bucket not replayable: %v vs %v", got, again)
+		}
+	}
+}
+
+// TestTokenBucketBurstRefill: after a shed run, idle ticks refill up to the
+// burst capacity and no further.
+func TestTokenBucketBurstRefill(t *testing.T) {
+	b := NewTokenBucket(1, 3)
+	for i := 0; i < 3; i++ {
+		if !b.Admit(1) {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	if b.Admit(1) {
+		t.Fatal("admitted past the burst within one tick")
+	}
+	// 100 idle ticks refill to the cap of 3, not 100.
+	admitted := 0
+	for i := 0; i < 5; i++ {
+		if b.Admit(101) {
+			admitted++
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("refill admitted %d, want burst cap 3", admitted)
+	}
+}
+
+// TestTokenBucketMinimumBurst: a sub-1 burst is clamped so a full bucket
+// can always admit at least one request.
+func TestTokenBucketMinimumBurst(t *testing.T) {
+	b := NewTokenBucket(0.1, 0)
+	if !b.Admit(1) {
+		t.Fatal("fresh bucket with clamped burst refused its first request")
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: traffic flows; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: traffic is refused; refusals are being counted toward
+	// the cooldown.
+	BreakerOpen
+	// BreakerHalfOpen: one probe is in flight; everything else is refused
+	// until the probe's Record resolves the state.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", int(s))
+	}
+}
+
+// Breaker is a deterministic circuit breaker guarding one ladder rung:
+// threshold consecutive failures open it, and — because qosd must stay
+// rcrlint-clean and its tests replayable — the open→half-open cooldown is
+// counted in *refused Allow calls*, not wall time. Under load the two are
+// proportional (each refusal is one gated request), and with no load there
+// is no traffic to protect anyway. After the cooldown the next Allow admits
+// a single half-open probe; its Record closes the breaker or re-opens it
+// for another full cooldown.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	threshold int // consecutive failures that trip the breaker
+	cooldown  int // refused Allows before a half-open probe
+	failures  int
+	refused   int
+	opens     int64 // cumulative trips, for stats
+}
+
+// NewBreaker returns a closed breaker tripping after threshold consecutive
+// failures (minimum 1) and probing after cooldown refusals (minimum 1).
+func NewBreaker(threshold, cooldown int) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown < 1 {
+		cooldown = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may pass. In the open state it counts the
+// refusal and, once the cooldown is spent, lets exactly one probe through in
+// the half-open state.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		b.refused++
+		if b.refused >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true // the probe
+		}
+		return false
+	default: // BreakerHalfOpen: probe outstanding, everyone else waits.
+		return false
+	}
+}
+
+// Record reports the result of an allowed request. A success closes the
+// breaker and clears the failure count; a failure counts toward the
+// threshold (closed) or re-opens immediately (half-open probe failed).
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.refused = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.failures = 0
+		b.refused = 0
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the cumulative number of closed/half-open → open trips.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

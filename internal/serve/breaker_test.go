@@ -1,0 +1,75 @@
+package serve
+
+import "testing"
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// cycle. Everything is counted in calls — failures to trip, refusals to
+// probe — so the walk is exact, no sleeps.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(2, 3)
+	if b.State() != BreakerClosed {
+		t.Fatalf("fresh breaker %v", b.State())
+	}
+	// One failure is under threshold; a success clears the count.
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker tripped below threshold: %v", b.State())
+	}
+	// Second consecutive failure trips it.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("breaker did not trip at threshold: %v", b.State())
+	}
+	// Cooldown: two refusals, then the third Allow is the half-open probe.
+	if b.Allow() || b.Allow() {
+		t.Fatal("open breaker allowed traffic during cooldown")
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown spent but no probe allowed")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("after probe admission: %v", b.State())
+	}
+	// While the probe is outstanding everyone else is refused.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second request")
+	}
+	// Failed probe re-opens for a fresh cooldown.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe left breaker %v", b.State())
+	}
+	if b.Allow() || b.Allow() {
+		t.Fatal("cooldown not restarted after failed probe")
+	}
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	// Successful probe closes and traffic flows again.
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("successful probe left breaker %v", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens() = %d, want 2", b.Opens())
+	}
+}
+
+// TestBreakerConsecutiveMeansConsecutive: interleaved successes keep a
+// flaky-but-mostly-healthy rung closed.
+func TestBreakerConsecutiveMeansConsecutive(t *testing.T) {
+	b := NewBreaker(3, 1)
+	for i := 0; i < 20; i++ {
+		b.Record(false)
+		b.Record(false)
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("2-of-3 failure pattern tripped a threshold-3 breaker")
+	}
+}

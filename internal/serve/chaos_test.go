@@ -1,0 +1,316 @@
+//go:build faultinject
+
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/guard"
+	"repro/internal/prob"
+	"repro/internal/qos"
+	"repro/internal/serve"
+)
+
+// This file is the qosd chaos soak (build tag: faultinject; ci.sh runs it
+// as a dedicated stage under -race at -cpu 1,4). Each phase drives the
+// server through one failure family — overload bursts, corrupted solver
+// results, NaN-poisoned iterates, slow solvers against tight deadlines,
+// dead clients, panicking backends — and asserts the overload-safety
+// contract:
+//
+//	zero panics escape · zero uncertified allocations are served · every
+//	response carries a typed Outcome · the server keeps answering after
+//	every fault
+//
+// plus the determinism contract: with faults derived from seeds (never
+// clocks), the same request set yields bit-identical allocations at one
+// worker and eight.
+
+// chaosProblem builds the small RRA instance the soak hammers.
+func chaosProblem(t *testing.T, seed uint64) *qos.Problem {
+	t.Helper()
+	p, err := qos.GenerateProblem(1, 1, 1, 6, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkTyped asserts the response invariants every phase shares.
+func checkTyped(t *testing.T, label string, resp serve.Response) {
+	t.Helper()
+	if resp.Outcome < serve.OutcomeServed || resp.Outcome > serve.OutcomeDegraded {
+		t.Fatalf("%s: unclassified outcome %v", label, resp.Outcome)
+	}
+	if resp.Alloc != nil {
+		for rb, v := range resp.Alloc.PowerW {
+			if !guard.Finite(v) {
+				t.Fatalf("%s: non-finite power %g at RB %d", label, v, rb)
+			}
+		}
+	}
+	if resp.Deg != nil {
+		for _, rr := range resp.Deg.Rungs {
+			if !rr.Accepted && rr.Status == guard.StatusOK {
+				t.Fatalf("%s: rejected rung %s untyped", label, rr.Rung)
+			}
+		}
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	p := chaosProblem(t, 8)
+
+	t.Run("overload", func(t *testing.T) {
+		// A burst far over the admit rate and queue depth: typed sheds, no
+		// panics, no lost responses, bounded admission.
+		s := serve.New(serve.Config{Workers: 2, QueueDepth: 2, AdmitRate: 0.25, AdmitBurst: 2,
+			Budgets: evalBudgets()})
+		defer s.Close()
+		const n = 40
+		chans := make([]<-chan serve.Response, n)
+		classes := []qos.Class{qos.ClassURLLC, qos.ClassEMBB, qos.ClassMMTC}
+		for i := 0; i < n; i++ {
+			chans[i] = s.Submit(serve.Request{ID: uint64(i), Class: classes[i%3], Problem: p, Seed: uint64(i)})
+		}
+		var shed, answered int
+		for i, ch := range chans {
+			resp := <-ch
+			checkTyped(t, fmt.Sprintf("overload %d", i), resp)
+			if resp.Outcome == serve.OutcomeShed {
+				shed++
+			} else {
+				answered++
+			}
+		}
+		if shed == 0 {
+			t.Fatal("burst at 4x the admit rate shed nothing")
+		}
+		if answered == 0 {
+			t.Fatal("burst shed everything — service collapsed instead of degrading")
+		}
+		st := s.Stats()
+		if st.Admitted+st.ShedRateLimit+st.ShedQueueFull != n {
+			t.Fatalf("admission ledger does not add up: %+v over %d submissions", st, n)
+		}
+		if st.PanicsRecovered != 0 {
+			t.Fatalf("panics under pure overload: %+v", st)
+		}
+	})
+
+	t.Run("corrupted-results", func(t *testing.T) {
+		// Seeded iterate corruption on every certified backend result: the
+		// certifier must reject every poisoned rung — nothing corrupted is
+		// ever served, yet every request gets an allocation.
+		plan := faultinject.Plan{Seed: 13, CancelAtIter: -1, Corrupt: faultinject.CorruptPerturb, CorruptRate: 1, CorruptMag: 0.4}
+		fired := 0
+		s := serve.New(serve.Config{Workers: 2, Budgets: evalBudgets(),
+			Tamper: func(r *prob.Result) {
+				if r.X != nil && plan.CorruptVector(r.X) {
+					fired++
+				}
+			}})
+		defer s.Close()
+		for i := 0; i < 6; i++ {
+			resp := s.Do(serve.Request{ID: uint64(i), Class: qos.ClassEMBB, Problem: p, Seed: uint64(i)})
+			checkTyped(t, fmt.Sprintf("corrupt %d", i), resp)
+			if resp.Outcome == serve.OutcomeServed {
+				t.Fatalf("request %d served while every certified result was corrupted:\n%s", i, resp.Deg)
+			}
+			if resp.Alloc == nil {
+				t.Fatalf("request %d: corruption removed the answer entirely: %+v", i, resp)
+			}
+			if resp.Rung == qos.RungExact || resp.Rung == qos.RungRelaxed {
+				t.Fatalf("request %d accepted a corrupted certified rung %s", i, resp.Rung)
+			}
+		}
+		if fired == 0 {
+			t.Fatal("corruption plan never fired")
+		}
+		if st := s.Stats(); st.PanicsRecovered != 0 || st.Served != 0 {
+			t.Fatalf("stats = %+v, want zero served / zero panics", st)
+		}
+	})
+
+	t.Run("nan-results", func(t *testing.T) {
+		// NaN-poisoned backend iterates: the finiteness sentinels and the
+		// certifier must keep NaN out of every response.
+		s := serve.New(serve.Config{Workers: 1, Budgets: evalBudgets(),
+			Tamper: func(r *prob.Result) {
+				for i := range r.X {
+					if i%2 == 0 {
+						r.X[i] = nan()
+					}
+				}
+			}})
+		defer s.Close()
+		for i := 0; i < 4; i++ {
+			resp := s.Do(serve.Request{ID: uint64(i), Class: qos.ClassURLLC, Problem: p, Seed: uint64(i)})
+			checkTyped(t, fmt.Sprintf("nan %d", i), resp)
+			if resp.Outcome == serve.OutcomeServed {
+				t.Fatalf("request %d served a NaN-poisoned certified rung:\n%s", i, resp.Deg)
+			}
+			if resp.Report != nil && !guard.Finite(resp.Report.TotalRateBps) {
+				t.Fatalf("request %d: NaN leaked into the report: %+v", i, resp.Report)
+			}
+		}
+	})
+
+	t.Run("slow-solver-deadline", func(t *testing.T) {
+		// A solver burning injected latency at every iteration boundary
+		// against a 1ms wall budget: timed-out rungs are typed, every
+		// request still gets an answer (the exact rung's anytime incumbent
+		// or the greedy floor), and the deadline-miss counter sees it.
+		slow := guard.Budget{Deadline: time.Millisecond,
+			Hook: func(iter, evals int) guard.Status {
+				faultinject.Spin(1 << 14)
+				return guard.StatusOK
+			}}
+		s := serve.New(serve.Config{Workers: 1, Budgets: map[qos.Class]guard.Budget{
+			qos.ClassURLLC: slow, qos.ClassEMBB: slow, qos.ClassMMTC: slow,
+		}})
+		defer s.Close()
+		for i := 0; i < 4; i++ {
+			resp := s.Do(serve.Request{ID: uint64(i), Class: qos.ClassURLLC, Problem: p, Seed: uint64(i)})
+			checkTyped(t, fmt.Sprintf("slow %d", i), resp)
+			if resp.Alloc == nil {
+				t.Fatalf("request %d: deadline pressure removed the answer: %+v", i, resp)
+			}
+			// Serving is allowed only off an anytime incumbent that beat the
+			// clock to certification — in which case the trail must still
+			// record the timeout it raced.
+			if resp.Outcome == serve.OutcomeServed {
+				timedOut := false
+				for _, rr := range resp.Deg.Rungs {
+					if rr.Status == guard.StatusTimeout {
+						timedOut = true
+					}
+				}
+				if !timedOut {
+					t.Fatalf("request %d served under a 1ms budget with no timeout in the trail:\n%s", i, resp.Deg)
+				}
+			}
+		}
+		if st := s.Stats(); st.DeadlineMissed == 0 {
+			t.Fatalf("stats = %+v, want deadline misses recorded", st)
+		}
+	})
+
+	t.Run("dead-clients", func(t *testing.T) {
+		// Pre-canceled and deadline-expired client contexts: typed canceled
+		// and deadline outcomes, never a hang, never a panic.
+		s := serve.New(serve.Config{Workers: 2, Budgets: evalBudgets()})
+		defer s.Close()
+		canceled, cancel := context.WithCancel(context.Background())
+		cancel()
+		expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel2()
+		for i := 0; i < 3; i++ {
+			a := s.Do(serve.Request{ID: uint64(i), Class: qos.ClassEMBB, Problem: p, Seed: uint64(i), Ctx: canceled})
+			checkTyped(t, fmt.Sprintf("canceled %d", i), a)
+			if a.Outcome != serve.OutcomeCanceled {
+				t.Fatalf("canceled client %d: outcome %v", i, a.Outcome)
+			}
+			b := s.Do(serve.Request{ID: uint64(i), Class: qos.ClassMMTC, Problem: p, Seed: uint64(i), Ctx: expired})
+			checkTyped(t, fmt.Sprintf("expired %d", i), b)
+			if b.Outcome != serve.OutcomeDeadline && b.Outcome != serve.OutcomeCanceled {
+				t.Fatalf("expired client %d: outcome %v", i, b.Outcome)
+			}
+		}
+		if st := s.Stats(); st.Canceled == 0 {
+			t.Fatalf("stats = %+v, want canceled responses counted", st)
+		}
+	})
+
+	t.Run("panicking-backend", func(t *testing.T) {
+		// A backend that panics on every third tamper call: each crash is
+		// recovered into a typed diverged response and the pool keeps
+		// serving — the process never dies.
+		calls := 0
+		s := serve.New(serve.Config{Workers: 1, Budgets: evalBudgets(),
+			Tamper: func(r *prob.Result) {
+				calls++
+				if calls%3 == 1 {
+					panic(fmt.Sprintf("injected crash %d", calls))
+				}
+			}})
+		defer s.Close()
+		var recovered, answered int
+		for i := 0; i < 6; i++ {
+			resp := s.Do(serve.Request{ID: uint64(i), Class: qos.ClassEMBB, Problem: p, Seed: uint64(i)})
+			checkTyped(t, fmt.Sprintf("panic %d", i), resp)
+			switch resp.Outcome {
+			case serve.OutcomeUncertified:
+				recovered++
+				if resp.Status != guard.StatusDiverged {
+					t.Fatalf("recovered panic %d: status %v, want diverged", i, resp.Status)
+				}
+			default:
+				answered++
+			}
+		}
+		if recovered == 0 {
+			t.Fatal("no panics recovered — injection never fired")
+		}
+		if answered == 0 {
+			t.Fatal("server stopped answering after recovered panics")
+		}
+		if st := s.Stats(); st.PanicsRecovered == 0 || st.PanicsRecovered != int64(recovered) {
+			t.Fatalf("stats = %+v, want %d panics recovered", st, recovered)
+		}
+	})
+
+	t.Run("determinism-across-workers", func(t *testing.T) {
+		// The headline contract: a no-overload workload (everything
+		// admitted, eval budgets only) yields bit-identical allocations and
+		// outcomes at one worker and eight, regardless of interleaving.
+		problems := map[uint64]*qos.Problem{3: chaosProblem(t, 3), 8: p, 11: chaosProblem(t, 11)}
+		type key struct {
+			seed uint64
+			cl   qos.Class
+		}
+		run := func(workers int) map[key]serve.Response {
+			s := serve.New(serve.Config{Workers: workers, Budgets: evalBudgets()})
+			defer s.Close()
+			var keys []key
+			var chans []<-chan serve.Response
+			for _, seed := range []uint64{3, 8, 11} {
+				for _, cl := range []qos.Class{qos.ClassURLLC, qos.ClassEMBB, qos.ClassMMTC} {
+					keys = append(keys, key{seed, cl})
+					chans = append(chans, s.Submit(serve.Request{Class: cl, Problem: problems[seed], Seed: seed}))
+				}
+			}
+			out := make(map[key]serve.Response, len(keys))
+			for i, ch := range chans {
+				out[keys[i]] = <-ch
+			}
+			return out
+		}
+		one := run(1)
+		eight := run(8)
+		for k, a := range one {
+			b := eight[k]
+			if a.Outcome != b.Outcome || a.Status != b.Status || a.Rung != b.Rung {
+				t.Fatalf("%+v: outcome/status/rung diverged: %v/%v/%v vs %v/%v/%v",
+					k, a.Outcome, a.Status, a.Rung, b.Outcome, b.Status, b.Rung)
+			}
+			if a.Alloc == nil || b.Alloc == nil {
+				t.Fatalf("%+v: missing allocation", k)
+			}
+			if !reflect.DeepEqual(a.Alloc, b.Alloc) {
+				t.Fatalf("%+v: allocation diverged across worker counts:\n1: %+v\n8: %+v", k, a.Alloc, b.Alloc)
+			}
+		}
+	})
+}
+
+// nan returns NaN without importing math solely for one constant.
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/guard"
+)
+
+// Outcome is the service-level response taxonomy: every response a qosd
+// client sees — served, shed, degraded, or failed — is one of these, and
+// each maps onto a stable process exit code shared with cmd/qossolver (the
+// one-shot CLI and the service classify results through the same table, so
+// scripts never learn two vocabularies).
+type Outcome int
+
+// Outcomes, in exit-code order. The first seven reproduce qossolver's
+// historical codes for the guard.Status taxonomy; Shed and Degraded are
+// service-only outcomes a one-shot solve can never produce.
+const (
+	// OutcomeServed: an allocation meeting every QoS contract, from the
+	// exact rung, with a passing certificate chain. Exit 0.
+	OutcomeServed Outcome = iota
+	// OutcomeError: a usage or internal error — invalid problem, nil
+	// request. Exit 1.
+	OutcomeError
+	// OutcomeInfeasible: the instance was proven to admit no allocation.
+	// Exit 2.
+	OutcomeInfeasible
+	// OutcomeExhausted: an iteration/node/eval budget ran out; the response
+	// carries the best allocation found. Exit 3.
+	OutcomeExhausted
+	// OutcomeDeadline: the wall-clock deadline expired before an answer.
+	// Exit 4.
+	OutcomeDeadline
+	// OutcomeCanceled: the client's context was canceled. Exit 5.
+	OutcomeCanceled
+	// OutcomeUncertified: the solver diverged or its result failed
+	// certification and could not be repaired — including a recovered
+	// worker panic, which is typed here rather than killing the process.
+	// Exit 6.
+	OutcomeUncertified
+	// OutcomeShed: admission control refused the request (rate limit, full
+	// queue, or drain) before any solver ran. Service-only; exit 7.
+	OutcomeShed
+	// OutcomeDegraded: the ladder answered from a rung below exact, or with
+	// QoS shortfalls — service continued at reduced quality. Service-only;
+	// exit 8.
+	OutcomeDegraded
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeServed:
+		return "served"
+	case OutcomeError:
+		return "error"
+	case OutcomeInfeasible:
+		return "infeasible"
+	case OutcomeExhausted:
+		return "exhausted"
+	case OutcomeDeadline:
+		return "deadline"
+	case OutcomeCanceled:
+		return "canceled"
+	case OutcomeUncertified:
+		return "uncertified"
+	case OutcomeShed:
+		return "shed"
+	case OutcomeDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// ExitCode maps the outcome onto its documented process exit code.
+func (o Outcome) ExitCode() int {
+	if o < OutcomeServed || o > OutcomeDegraded {
+		return 1
+	}
+	return int(o)
+}
+
+// OutcomeForStatus classifies a typed solver termination status into the
+// response taxonomy. It reproduces qossolver's historical status→exit-code
+// table bit for bit (see that command's package doc): OK and Converged are
+// served; every degradation keeps its dedicated code; anything unknown is an
+// internal error.
+func OutcomeForStatus(st guard.Status) Outcome {
+	switch st {
+	case guard.StatusOK, guard.StatusConverged:
+		return OutcomeServed
+	case guard.StatusInfeasible:
+		return OutcomeInfeasible
+	case guard.StatusMaxIter:
+		return OutcomeExhausted
+	case guard.StatusTimeout:
+		return OutcomeDeadline
+	case guard.StatusCanceled:
+		return OutcomeCanceled
+	case guard.StatusDiverged, guard.StatusUnbounded:
+		return OutcomeUncertified
+	default:
+		return OutcomeError
+	}
+}
