@@ -43,6 +43,20 @@
 #                      workload, both of which must exit 0 (the exit code is
 #                      the service-health contract: no panics, no
 #                      uncertified answers, no internal errors).
+#   3e. wire fuzz smoke
+#                    — short -fuzztime runs of the internal/wire frame fuzzer
+#                      and the internal/prob codec fuzzers. The targets assert
+#                      the decode trust boundary (every rejection is a typed
+#                      sentinel, never a panic) and canonical encoding (any
+#                      accepted frame re-encodes to the identical bytes), so
+#                      even a brief run guards the properties on the corpus
+#                      plus whatever the engine mutates in the window. Crash
+#                      repros land in testdata/fuzz/ and fail the stage.
+#   3f. qosd warm-restart smoke
+#                    — runs the qosd workload twice against one -cache-dir;
+#                      the second run must report cacheLoaded > 0, proving
+#                      the snapshot written on the first run's drain survives
+#                      a real process restart and passes recertification.
 #   4. rcrlint       — the numerics static analyzers (internal/lint). Exits
 #                      non-zero on any finding not suppressed by a reasoned
 #                      //lint:ignore directive. This duplicates the
@@ -89,6 +103,22 @@ go test -tags faultinject -race -cpu 1,4 -run TestChaosSoak -count=1 ./internal/
 echo "ci: qosd service smoke"
 go run ./cmd/qosd -requests 24 -seed 1 > /dev/null
 go run ./cmd/qosd -requests 60 -seed 1 -rate 0.25 -burst 2 -workers 2 > /dev/null
+
+echo "ci: wire fuzz smoke"
+go test -run '^$' -fuzz '^FuzzOpenFrame$' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz '^FuzzDecodeProblem$' -fuzztime 5s ./internal/prob
+go test -run '^$' -fuzz '^FuzzDecodeResult$' -fuzztime 5s ./internal/prob
+
+echo "ci: qosd warm-restart smoke"
+cache_dir="$(mktemp -d)"
+go run ./cmd/qosd -requests 24 -seed 1 -cache-dir "$cache_dir" > /dev/null
+go run ./cmd/qosd -requests 24 -seed 1 -cache-dir "$cache_dir" |
+	grep -q '"cacheLoaded": [1-9]' || {
+	echo "ci: warm restart loaded no cache entries" >&2
+	rm -rf "$cache_dir"
+	exit 1
+}
+rm -rf "$cache_dir"
 
 echo "ci: rcrlint"
 go run ./cmd/rcrlint ./...

@@ -27,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -68,6 +70,7 @@ type options struct {
 	retries  int
 	maxevals int
 	listen   string
+	cacheDir string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -88,6 +91,7 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.retries, "retries", 0, "attempts for diverged solves (0 = default, no retry)")
 	fs.IntVar(&o.maxevals, "maxevals", 0, "replace per-class budgets with an eval-only cap (0 = class defaults); eval caps have no wall clock, so outcomes become load-independent")
 	fs.StringVar(&o.listen, "listen", "", "serve mode: HTTP listen address (empty = workload mode)")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "persistent solver-cache directory: load on startup, snapshot periodically and on graceful drain (empty = in-memory only)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -108,6 +112,7 @@ func (o options) config() serve.Config {
 		AdmitRate:     o.rate,
 		AdmitBurst:    o.burst,
 		RetryAttempts: o.retries,
+		CacheDir:      o.cacheDir,
 	}
 	if o.maxevals > 0 {
 		// Eval-only budgets: the default class deadlines classify outcomes by
@@ -152,6 +157,11 @@ type statsJSON struct {
 	CacheHits       int64                  `json:"cacheHits"`
 	CacheMisses     int64                  `json:"cacheMisses"`
 	Quarantined     int64                  `json:"quarantined"`
+	CacheLoaded     int64                  `json:"cacheLoaded"`
+	CacheRecert     int64                  `json:"cacheRecertified"`
+	CacheRejected   int64                  `json:"cacheRejected"`
+	CacheSnapshots  int64                  `json:"cacheSnapshots"`
+	CachePersistErr int64                  `json:"cachePersistErrors"`
 	Breakers        map[string]string      `json:"breakers"`
 	BreakerOpens    int64                  `json:"breakerOpens"`
 	Latency         map[string]latencyJSON `json:"latency"`
@@ -171,7 +181,10 @@ func statsDoc(st serve.Stats) statsJSON {
 		Infeasible: st.Infeasible, Canceled: st.Canceled, Uncertified: st.Uncertified,
 		Errors: st.Errors, PanicsRecovered: st.PanicsRecovered,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses, Quarantined: st.Quarantined,
-		Breakers: make(map[string]string, len(st.Breakers)), BreakerOpens: st.BreakerOpens,
+		CacheLoaded: st.CacheLoaded, CacheRecert: st.CacheRecertified,
+		CacheRejected: st.CacheRejected, CacheSnapshots: st.CacheSnapshots,
+		CachePersistErr: st.CachePersistErrors,
+		Breakers:        make(map[string]string, len(st.Breakers)), BreakerOpens: st.BreakerOpens,
 		Latency: make(map[string]latencyJSON, len(st.Latency)),
 	}
 	for r, b := range st.Breakers {
@@ -283,7 +296,11 @@ type solveResponse struct {
 	PowerW       []float64 `json:"powerW,omitempty"`
 	TotalRateBps float64   `json:"totalRateBps,omitempty"`
 	AllQoSMet    bool      `json:"allQoSMet"`
-	Error        string    `json:"error,omitempty"`
+	// Report is the full per-user QoS diagnosis (rates, per-class QoS
+	// tallies, budget flags) for clients that need more than the summary
+	// fields above.
+	Report *qos.Report `json:"report,omitempty"`
+	Error  string      `json:"error,omitempty"`
 }
 
 func parseClass(name string) (qos.Class, bool) {
@@ -345,11 +362,13 @@ func newMux(s *serve.Server) *http.ServeMux {
 		if resp.Report != nil {
 			out.TotalRateBps = resp.Report.TotalRateBps
 			out.AllQoSMet = resp.Report.AllQoSMet
+			out.Report = resp.Report
 		}
 		if resp.Err != nil {
 			out.Error = resp.Err.Error()
 		}
 		w.Header().Set("Content-Type", "application/json")
+		//lint:ignore rawwire the HTTP demo front end renders the QoS report for humans; these bytes are never reloaded across the persistent-cache trust boundary (durable bytes go through internal/wire)
 		if err := json.NewEncoder(w).Encode(out); err != nil {
 			return // client went away mid-write; nothing to clean up
 		}
@@ -369,17 +388,57 @@ func newMux(s *serve.Server) *http.ServeMux {
 // listener stops first (no new admissions), queued solves finish, and the
 // final stats document is printed so an operator sees what the run did.
 func runServe(o options, stdout io.Writer) (int, error) {
-	s := serve.New(o.config())
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: o.listen, Handler: newMux(s)}
+	return serveLoop(ctx, o, stdout, nil)
+}
+
+// serveLoop is runServe behind an injectable shutdown context and listener
+// report: tests cancel ctx instead of raising SIGINT and read the bound
+// address off ready. The finalize closure drains the server (which writes
+// the final cache snapshot in -cache-dir mode) and flushes the single stats
+// document; it runs exactly once no matter which path ends the loop —
+// signal, listener failure, or a mid-run serve error. The previous version
+// flushed only on the path it expected, so a shutdown that raced the
+// listener's error could exit with the counters (and the histogram window
+// they were mid-way through) never reported.
+func serveLoop(ctx context.Context, o options, stdout io.Writer, ready chan<- string) (int, error) {
+	s := serve.New(o.config())
+	var (
+		finalize sync.Once
+		st       serve.Stats
+		flushErr error
+	)
+	flush := func() {
+		finalize.Do(func() {
+			s.Close()
+			st = s.Stats()
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			flushErr = enc.Encode(statsDoc(st))
+		})
+	}
+	defer flush()
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		flush()
+		return 1, err
+	}
+	httpSrv := &http.Server{Handler: newMux(s)}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "qosd: listening on %s\n", o.listen)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "qosd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 	var serveErr error
 	select {
 	case <-ctx.Done():
-		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// The drain deadline derives from the (already fired) shutdown
+		// context rather than a fabricated background one: values travel,
+		// only the cancellation is detached.
+		shutCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			serveErr = err
@@ -387,12 +446,9 @@ func runServe(o options, stdout io.Writer) (int, error) {
 	case err := <-errc:
 		serveErr = err
 	}
-	s.Close()
-	st := s.Stats()
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(statsDoc(st)); err != nil {
-		return 1, err
+	flush()
+	if flushErr != nil {
+		return 1, flushErr
 	}
 	if serveErr != nil && serveErr != http.ErrServerClosed {
 		return 1, serveErr

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -167,5 +169,89 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if st.PanicsRecovered != 0 {
 		t.Fatalf("stats = %+v, want zero panics", st)
+	}
+}
+
+// TestServeLoopShutdownFlushesOnce is the drain-bug pin: canceling the
+// serve loop (the test's stand-in for SIGINT) must flush exactly one final
+// stats document reflecting the traffic served, and in -cache-dir mode must
+// leave a loadable snapshot behind.
+func TestServeLoopShutdownFlushesOnce(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	o, err := parseFlags([]string{"-listen", "127.0.0.1:0", "-workers", "2", "-cache-dir", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan struct{})
+	var code int
+	var loopErr error
+	go func() {
+		defer close(done)
+		code, loopErr = serveLoop(ctx, o, &buf, ready)
+	}()
+	addr := <-ready
+
+	resp, err := http.Post("http://"+addr+"/solve", "application/json",
+		strings.NewReader(`{"id": 1, "class": "eMBB", "seed": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr solveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sr.Report == nil {
+		t.Fatalf("solve response carries no QoS report: %+v", sr)
+	}
+
+	cancel()
+	<-done
+	if loopErr != nil || code != 0 {
+		t.Fatalf("serveLoop = (%d, %v), want (0, nil)", code, loopErr)
+	}
+
+	// Exactly one stats document, and it saw the solve above.
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	var st statsJSON
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("final stats document is not JSON: %v\n%s", err, buf.String())
+	}
+	if dec.More() {
+		t.Fatalf("shutdown flushed more than one document:\n%s", buf.String())
+	}
+	if st.Admitted != 1 {
+		t.Fatalf("final stats admitted %d, want 1: %+v", st.Admitted, st)
+	}
+	if st.CacheSnapshots < 1 || st.CachePersistErr != 0 {
+		t.Fatalf("drain did not snapshot the cache cleanly: %+v", st)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.rcr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("drain left no snapshot shard files")
+	}
+}
+
+// TestServeLoopListenFailureStillFlushes: a bind error must not skip the
+// stats flush either — one document, then the error.
+func TestServeLoopListenFailureStillFlushes(t *testing.T) {
+	o, err := parseFlags([]string{"-listen", "256.256.256.256:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	code, loopErr := serveLoop(context.Background(), o, &buf, nil)
+	if code != 1 || loopErr == nil {
+		t.Fatalf("serveLoop = (%d, %v), want (1, bind error)", code, loopErr)
+	}
+	var st statsJSON
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatalf("no stats document on bind failure: %v\n%s", err, buf.String())
 	}
 }

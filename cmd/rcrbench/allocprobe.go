@@ -18,7 +18,9 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/mat"
+	"repro/internal/prob"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // AllocProbe is one hot-root allocs/op measurement in a baseline file.
@@ -70,6 +72,20 @@ func allocProbes(seed uint64) ([]AllocProbe, error) {
 		buf[i] = complex(r.Norm(), r.Norm())
 	}
 
+	// Wire codec steady state: encode into a reused writer and decode into a
+	// reused problem must both be allocation-free (the per-entry path the
+	// persistent cache's Snapshot/Load hot loops run). Not //rcr:hot roots —
+	// this is the codec's own 0-alloc contract from DESIGN.md §15.
+	wireProblem := rraColumnIR(r, 0)
+	wireW := wire.GetWriter()
+	defer wire.PutWriter(wireW)
+	wireProblem.EncodeWire(wireW)
+	wireFrame := append([]byte(nil), wireW.Bytes()...)
+	wireInto := &prob.Problem{}
+	if _, err := prob.DecodeProblem(wireFrame, wireInto); err != nil {
+		return nil, err
+	}
+
 	sink := 0.0
 	probes := []struct {
 		name string
@@ -108,6 +124,15 @@ func allocProbes(seed uint64) ([]AllocProbe, error) {
 			}
 		}},
 		{"fft.Plan.Do", fn, func() { plan.Do(buf, false); plan.Do(buf, true) }},
+		{"wire.EncodeWire", wireProblem.NumVars, func() {
+			wireW.Reset()
+			wireProblem.EncodeWire(wireW)
+		}},
+		{"wire.DecodeProblem", wireProblem.NumVars, func() {
+			if _, err := prob.DecodeProblem(wireFrame, wireInto); err != nil {
+				panic("alloc probe: wire decode failed")
+			}
+		}},
 	}
 
 	var res []AllocProbe

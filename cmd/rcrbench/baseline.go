@@ -120,6 +120,27 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 		}
 		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
 	}
+	wireProbes, restartPair, wireCleanup, err := wireProbeSeries(seed)
+	if err != nil {
+		return "", err
+	}
+	defer wireCleanup()
+	for _, p := range wireProbes {
+		iters, ns := timeProbe(p.fn)
+		if iters == 0 {
+			return "", fmt.Errorf("wire probe %s failed", p.name)
+		}
+		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
+	}
+	iters, nsCold, nsWarm, err := runWireRestartPair(restartPair)
+	if err != nil {
+		// The self-gate: a snapshot restart that loses to cold solves is a
+		// defect, not a data point — refuse to commit it as the baseline.
+		return "", err
+	}
+	b.Kernels = append(b.Kernels,
+		KernelTiming{Name: restartPair.nameA, Size: restartPair.size, Iters: iters, NsPerOp: nsCold},
+		KernelTiming{Name: restartPair.nameB, Size: restartPair.size, Iters: iters, NsPerOp: nsWarm})
 	reg := experiments.Registry()
 	for _, id := range experiments.Order() {
 		start := time.Now()

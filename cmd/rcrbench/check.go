@@ -52,6 +52,15 @@ func checkBaseline(path string, seed uint64) error {
 		return err
 	}
 	probes = append(probes, svc...)
+	// The wire codec probes ride it too; the cold/warm restart pair is
+	// handled separately below so its self-gate (warm must beat cold) runs
+	// with interleaved timing.
+	wireProbes, restartPair, wireCleanup, err := wireProbeSeries(seed)
+	if err != nil {
+		return err
+	}
+	defer wireCleanup()
+	probes = append(probes, wireProbes...)
 	var regressions []string
 	for _, p := range probes {
 		key := fmt.Sprintf("%s/%d", p.name, p.size)
@@ -71,6 +80,30 @@ func checkBaseline(path string, seed uint64) error {
 			regressions = append(regressions, fmt.Sprintf("%s %.0fns -> %.0fns (%.2fx)", key, want, got, ratio))
 		}
 		fmt.Printf("check %-24s %12.0f ns/op  baseline %12.0f  (%.2fx) %s\n", key, got, want, ratio, status)
+	}
+
+	iters, nsCold, nsWarm, err := runWireRestartPair(restartPair)
+	if err != nil {
+		regressions = append(regressions, err.Error())
+	} else if iters > 0 {
+		for _, side := range []struct {
+			name string
+			got  float64
+		}{{restartPair.nameA, nsCold}, {restartPair.nameB, nsWarm}} {
+			key := fmt.Sprintf("%s/%d", side.name, restartPair.size)
+			want, ok := ref[key]
+			if !ok || want <= 0 {
+				fmt.Printf("check %-24s not in baseline, skipped\n", key)
+				continue
+			}
+			ratio := side.got / want
+			status := "ok"
+			if ratio > checkFactor {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s %.0fns -> %.0fns (%.2fx)", key, want, side.got, ratio))
+			}
+			fmt.Printf("check %-24s %12.0f ns/op  baseline %12.0f  (%.2fx) %s\n", key, side.got, want, ratio, status)
+		}
 	}
 
 	allocs, err := allocProbes(seed)

@@ -394,6 +394,7 @@ func All() []*Analyzer {
 		AnalyzerPowSquare,
 		AnalyzerRawProblem,
 		AnalyzerRawRand,
+		AnalyzerRawWire,
 		AnalyzerUncertified,
 	}
 }

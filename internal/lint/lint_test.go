@@ -60,6 +60,9 @@ func TestGolden(t *testing.T) {
 		// internal/rng is loaded alongside rawrand to exercise the facade
 		// exemption: its math/rand import must NOT appear in the golden file.
 		{"rawrand", []string{"rawrand", "internal/rng"}},
+		// internal/wire rides along as the codec exemption: its own
+		// json.Marshal of a prob.Result must NOT appear in the golden file.
+		{"rawwire", []string{"rawwire", "internal/wire", "internal/prob", "internal/qos"}},
 		// internal/prob rides along both as the Result definition and as the
 		// package-path exemption: its own field reads must NOT appear.
 		{"uncertified", []string{"uncertified", "internal/prob", "internal/lp"}},

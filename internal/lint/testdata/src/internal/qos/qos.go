@@ -1,0 +1,12 @@
+// Package qos is the fixture stand-in for the QoS layer: its named types
+// are on the rawwire restricted list.
+package qos
+
+// Report is the per-user QoS diagnosis stand-in.
+type Report struct {
+	TotalRateBps float64
+	AllQoSMet    bool
+}
+
+// Class is the 5G service class stand-in.
+type Class int

@@ -1,0 +1,17 @@
+// Package wire is the fixture stand-in for the versioned codec: exempt from
+// rawwire by package path, so its own use of stdlib encoders (e.g. while
+// building golden fixtures or debugging frames) must NOT be flagged.
+package wire
+
+import (
+	"encoding/json"
+
+	"fixture/internal/prob"
+)
+
+// DebugDump renders a result as JSON for a codec debugging aid — allowed
+// here, inside the codec package itself.
+func DebugDump(r *prob.Result) []byte {
+	b, _ := json.Marshal(r)
+	return b
+}

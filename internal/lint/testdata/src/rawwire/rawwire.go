@@ -1,0 +1,55 @@
+// Package rawwire is the positive fixture for the rawwire rule: ad-hoc
+// serialization of prob/qos types through stdlib encoders instead of the
+// versioned wire codec.
+package rawwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"io"
+
+	"fixture/internal/prob"
+	"fixture/internal/qos"
+)
+
+// PersistResult JSON-marshals a solver result to disk bytes — flagged: no
+// version, fingerprint, or checksum survives the round trip.
+func PersistResult(r *prob.Result) []byte {
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// RestoreProblem JSON-unmarshals into an IR problem — flagged (payload is
+// the second argument).
+func RestoreProblem(data []byte) (*prob.Problem, error) {
+	var p prob.Problem
+	err := json.Unmarshal(data, &p)
+	return &p, err
+}
+
+// GobResult gob-encodes a result — flagged.
+func GobResult(r *prob.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(r)
+	return buf.Bytes(), err
+}
+
+// BinaryReport hand-rolls a binary dump of a struct embedding a qos type —
+// flagged: the restriction looks through fields, pointers, and slices.
+func BinaryReport(w io.Writer, reports []*qos.Report) error {
+	return binary.Write(w, binary.LittleEndian, struct{ Reports []*qos.Report }{reports})
+}
+
+// operatorDoc carries no prob/qos named types (qos.Class collapses to a
+// plain int key rendered as a string) — encoding it is NOT flagged.
+type operatorDoc struct {
+	Served  int64
+	ByClass map[string]int
+}
+
+// StatsDump writes the operator document — clean.
+func StatsDump(w io.Writer, doc operatorDoc) error {
+	return json.NewEncoder(w).Encode(doc)
+}

@@ -1,0 +1,23 @@
+package rawwire
+
+import (
+	"encoding/json"
+	"io"
+
+	"fixture/internal/qos"
+)
+
+// httpReply is the demo front end's reply document; it embeds the full QoS
+// report for human consumption.
+type httpReply struct {
+	Outcome string
+	Report  *qos.Report
+}
+
+// ServeReply renders a reply for the HTTP demo front end — same mechanics
+// as a flagged site, but these bytes are for eyeballs, never reloaded, so
+// the suppression (with its reason) is the documented contract.
+func ServeReply(w io.Writer, rep *qos.Report) error {
+	//lint:ignore rawwire fixture: HTTP demo front end renders the report for humans; these bytes are never reloaded across the trust boundary
+	return json.NewEncoder(w).Encode(httpReply{Outcome: "served", Report: rep})
+}

@@ -204,6 +204,12 @@ func (c *Cache) shard(shape uint64) *cacheShard {
 type cacheEntry struct {
 	content uint64
 	low     *loweredForm
+	// orig is a private clone of the problem whose solve produced this
+	// entry. Lowered forms hold recovery closures and cannot travel, so
+	// persistence (persist.go) snapshots orig instead and re-lowers it
+	// deterministically at load. Nil for entries that predate a snapshot
+	// (for example quarantine replacements of loaded-but-rejected state).
+	orig *Problem
 	// x / xMat are the backend-space solution of the previous solve (before
 	// recovery lifting), so their dimensions match the lowered problem that
 	// a same-shape instance compiles to.
@@ -278,21 +284,26 @@ func (c *Cache) lookup(shape uint64) *cacheEntry {
 	return s.entries[shape]
 }
 
-// store records the lowered form and backend-space solution for a shape,
-// replacing (never mutating) any previous entry. In forms-only mode
-// (DisableWarmStarts) the solution is dropped and only the lowering is kept.
-// Nil-safe.
-func (c *Cache) store(fp Fingerprint, low *loweredForm, x []float64, xMat *mat.Matrix) {
+// store records the problem, its lowered form, and the backend-space
+// solution for a shape, replacing (never mutating) any previous entry. The
+// problem is cloned so later caller mutations cannot leak into the cache or
+// its snapshots. In forms-only mode (DisableWarmStarts) the solution is
+// dropped and only the lowering is kept. Nil-safe.
+func (c *Cache) store(p *Problem, fp Fingerprint, low *loweredForm, x []float64, xMat *mat.Matrix) {
 	if c == nil {
 		return
 	}
 	if c.noWarm.Load() {
 		x, xMat = nil, nil
 	}
+	var orig *Problem
+	if p != nil {
+		orig = p.Clone()
+	}
 	s := c.shard(fp.Shape)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[fp.Shape] = &cacheEntry{content: fp.Content, low: low, x: x, xMat: xMat}
+	s.entries[fp.Shape] = &cacheEntry{content: fp.Content, low: low, orig: orig, x: x, xMat: xMat}
 }
 
 // quarantine evicts the cached solution for a shape — after a warm-start
@@ -315,7 +326,7 @@ func (c *Cache) quarantine(shape uint64) bool {
 	}
 	// Entries are immutable once stored (readers hold them outside the
 	// lock), so eviction replaces the entry rather than clearing fields.
-	s.entries[shape] = &cacheEntry{content: ent.content, low: ent.low}
+	s.entries[shape] = &cacheEntry{content: ent.content, low: ent.low, orig: ent.orig}
 	s.mu.Unlock()
 	c.quarantined.Add(1)
 	return true

@@ -1,0 +1,250 @@
+package prob_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/par"
+	"repro/internal/prob"
+)
+
+// solveAll solves every problem through one cache and asserts convergence.
+func solveAll(t *testing.T, c *prob.Cache, ps []*prob.Problem) []*prob.Result {
+	t.Helper()
+	out := make([]*prob.Result, len(ps))
+	for i, p := range ps {
+		res, err := prob.Solve(p, prob.Options{Cache: c})
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		if res.Status != guard.StatusConverged {
+			t.Fatalf("problem %d status %v", i, res.Status)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func TestCacheSnapshotLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	workload := []*prob.Problem{wireMILP(1, 0.25), wireMILP(2, 0.25), wireMILP(3, 0.25)}
+
+	warm := prob.NewCache()
+	solveAll(t, warm, workload)
+	snap, err := warm.Snapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Entries != 1 {
+		// All three instances share one shape fingerprint; the cache keys
+		// by shape, so the snapshot carries the latest entry.
+		t.Fatalf("snapshot wrote %d entries, want 1 (single shape)", snap.Entries)
+	}
+	if snap.Incumbents != 1 {
+		t.Fatalf("snapshot carried %d incumbents, want 1", snap.Incumbents)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("atomic rename left temp files: %v", tmps)
+	}
+
+	restored := prob.NewCache()
+	st, err := restored.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prob.LoadStats{Files: 16, Entries: 1, Recertified: 1}
+	if st != want {
+		t.Fatalf("LoadStats = %+v, want %+v", st, want)
+	}
+
+	// A content-identical re-solve through the restored cache is a cache
+	// hit; the results match the warm cache's bit for bit.
+	last := workload[len(workload)-1]
+	fromDisk, err := prob.Solve(last, prob.Options{Cache: restored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromDisk.CacheHit {
+		t.Fatal("restored cache did not serve a content-identical hit")
+	}
+	inMem, err := prob.Solve(last, prob.Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, fromDisk, inMem)
+}
+
+// assertBitIdentical compares the externally visible solve outcome bitwise.
+func assertBitIdentical(t *testing.T, a, b *prob.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.X, b.X) {
+		t.Errorf("X diverges:\n a: %v\n b: %v", a.X, b.X)
+	}
+	if math.Float64bits(a.Objective) != math.Float64bits(b.Objective) {
+		t.Errorf("objective bits diverge: %x vs %x", math.Float64bits(a.Objective), math.Float64bits(b.Objective))
+	}
+	if a.Status != b.Status || a.Backend != b.Backend {
+		t.Errorf("status/backend diverge: %v/%s vs %v/%s", a.Status, a.Backend, b.Status, b.Backend)
+	}
+	if !reflect.DeepEqual(a.Trail, b.Trail) {
+		t.Errorf("trails diverge:\n a: %v\n b: %v", a.Trail, b.Trail)
+	}
+}
+
+// TestLoadedWarmStartBitIdentical is the acceptance pin: a same-shape,
+// new-content re-solve seeded by a disk-loaded incumbent is bit-identical
+// to one seeded by the in-memory incumbent it was saved from, at
+// RCR_WORKERS=1 and 8.
+func TestLoadedWarmStartBitIdentical(t *testing.T) {
+	for _, workers := range []string{"1", "8"} {
+		t.Run("workers="+workers, func(t *testing.T) {
+			t.Setenv(par.EnvWorkers, workers)
+			dir := t.TempDir()
+			seedProb := wireMILP(21, 0.25)
+
+			inMem := prob.NewCache()
+			solveAll(t, inMem, []*prob.Problem{seedProb})
+			if _, err := inMem.Snapshot(dir); err != nil {
+				t.Fatal(err)
+			}
+			fromDisk := prob.NewCache()
+			st, err := fromDisk.Load(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Recertified != 1 {
+				t.Fatalf("LoadStats = %+v, want 1 recertified incumbent", st)
+			}
+
+			// Same shape, different content: this path exercises the warm
+			// start (incumbent seeding), not the content-identical hit.
+			next := wireMILP(22, 0.5)
+			a, err := prob.Solve(next, prob.Options{Cache: fromDisk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := prob.Solve(next, prob.Options{Cache: inMem})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !a.CacheHit && !a.WarmStarted {
+				t.Fatalf("disk-loaded solve used no cached state: %+v", a)
+			}
+			if a.WarmStarted != b.WarmStarted || a.CacheHit != b.CacheHit {
+				t.Fatalf("cache path diverges: disk hit=%v warm=%v, mem hit=%v warm=%v",
+					a.CacheHit, a.WarmStarted, b.CacheHit, b.WarmStarted)
+			}
+			assertBitIdentical(t, a, b)
+		})
+	}
+}
+
+func TestLoadFormsOnlyDropsIncumbents(t *testing.T) {
+	dir := t.TempDir()
+	warm := prob.NewCache()
+	solveAll(t, warm, []*prob.Problem{wireMILP(5, 0.25)})
+	if _, err := warm.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := prob.NewCache().DisableWarmStarts()
+	st, err := restored.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.Recertified != 0 || st.Rejected != 0 {
+		t.Fatalf("forms-only LoadStats = %+v, want 1 entry, 0 recertified/rejected", st)
+	}
+	res, err := prob.Solve(wireMILP(5, 0.25), prob.Options{Cache: restored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("forms-only restored cache did not reuse the compiled form")
+	}
+	if res.WarmStarted {
+		t.Fatal("forms-only restored cache leaked a warm start")
+	}
+}
+
+func TestLoadMissingDirIsEmpty(t *testing.T) {
+	c := prob.NewCache()
+	st, err := c.Load(filepath.Join(t.TempDir(), "never-written"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (prob.LoadStats{}) {
+		t.Fatalf("missing dir LoadStats = %+v, want zero", st)
+	}
+}
+
+func TestLoadLiveEntryWins(t *testing.T) {
+	dir := t.TempDir()
+	old := prob.NewCache()
+	solveAll(t, old, []*prob.Problem{wireMILP(6, 0.25)})
+	if _, err := old.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The live cache has already solved a same-shape, different-content
+	// instance; Load must not clobber it with the stale snapshot.
+	live := prob.NewCache()
+	solveAll(t, live, []*prob.Problem{wireMILP(7, 0.5)})
+	if _, err := live.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := prob.Solve(wireMILP(7, 0.5), prob.Options{Cache: live})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("live entry was clobbered by Load: content-identical solve missed")
+	}
+}
+
+func TestLoadSkipsCorruptShardTail(t *testing.T) {
+	dir := t.TempDir()
+	warm := prob.NewCache()
+	solveAll(t, warm, []*prob.Problem{wireMILP(8, 0.25)})
+	if _, err := warm.Snapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate every non-empty shard file mid-entry: the preamble survives,
+	// the entry does not, and Load must skip-and-count rather than error.
+	files, err := filepath.Glob(filepath.Join(dir, "shard-*.rcr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const preamble = 32 + 4 + 8 // header + count payload + checksum
+		if len(data) <= preamble {
+			continue
+		}
+		if err := os.WriteFile(f, data[:preamble+10], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mangled++
+	}
+	if mangled == 0 {
+		t.Fatal("no shard file carried an entry to truncate")
+	}
+
+	c := prob.NewCache()
+	st, err := c.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Corrupt != mangled || st.Entries != 0 {
+		t.Fatalf("LoadStats = %+v, want %d corrupt and 0 loaded", st, mangled)
+	}
+}

@@ -250,7 +250,7 @@ func Solve(p *Problem, o Options) (*Result, error) {
 
 	certOK := res.Cert == nil || res.Cert.Verdict != cert.VerdictFail
 	if (backendX != nil || backendXMat != nil) && res.Status != guard.StatusDiverged && certOK {
-		o.Cache.store(fp, low, backendX, backendXMat)
+		o.Cache.store(p, fp, low, backendX, backendXMat)
 	}
 	return res, err
 }

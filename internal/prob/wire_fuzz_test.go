@@ -1,0 +1,100 @@
+package prob_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/prob"
+	"repro/internal/wire"
+)
+
+// wireTypedError reports whether err is one of the codec's declared
+// sentinels — the full contract on arbitrary input: a typed refusal or a
+// clean decode, never a panic or an anonymous error.
+func wireTypedError(err error) bool {
+	for _, sentinel := range []error{
+		wire.ErrTruncated, wire.ErrBadMagic, wire.ErrVersion,
+		wire.ErrChecksum, wire.ErrCorrupt, wire.ErrFingerprint,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}
+
+// fuzzSeeds feeds the corpus: the golden fixtures plus degenerate prefixes.
+func fuzzSeeds(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join(goldenDir, "*.bin"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RCRW"))
+}
+
+func FuzzDecodeProblem(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := prob.DecodeProblem(data, nil)
+		if err != nil {
+			if !wireTypedError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted input must be the canonical encoding of what it decoded
+		// to: re-encoding reproduces the input bit for bit, so no two byte
+		// strings ever alias one problem.
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		p.EncodeWire(w)
+		if !bytes.Equal(w.Bytes(), data) {
+			t.Fatalf("accepted non-canonical encoding: %d in, %d re-encoded", len(data), w.Len())
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	// The golden files hold Problem frames; they still make useful Result
+	// seeds (same framing, wrong kind) alongside one genuine Result frame.
+	fuzzSeeds(f)
+	res := &prob.Result{X: []float64{1, 0.5}, Objective: 2.25, Backend: "milp"}
+	w := wire.GetWriter()
+	res.EncodeWire(w, prob.Fingerprint{Shape: 7, Content: 9})
+	f.Add(append([]byte(nil), w.Bytes()...))
+	wire.PutWriter(w)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, fp, err := prob.DecodeResult(data, nil)
+		if err != nil {
+			if !wireTypedError(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		dec.EncodeWire(w, fp)
+		if !bytes.Equal(w.Bytes(), data) {
+			t.Fatalf("accepted non-canonical encoding: %d in, %d re-encoded", len(data), w.Len())
+		}
+		rt, rtFp, err := prob.DecodeResult(w.Bytes(), nil)
+		if err != nil || rtFp != fp || !reflect.DeepEqual(rt, dec) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}

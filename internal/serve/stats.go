@@ -91,6 +91,15 @@ type Stats struct {
 	CacheHits   int64
 	CacheMisses int64
 	Quarantined int64
+	// Persistence (CacheDir mode; all zero otherwise). CacheLoaded counts
+	// entries restored at startup, CacheRecertified the loaded incumbents
+	// that re-passed certification, CacheRejected everything refused at the
+	// load trust boundary (quarantined incumbents plus corrupt entries).
+	CacheLoaded        int64
+	CacheRecertified   int64
+	CacheRejected      int64
+	CacheSnapshots     int64
+	CachePersistErrors int64
 	// Breakers: rung → current state; Opens counts cumulative trips.
 	Breakers     map[qos.Rung]BreakerState
 	BreakerOpens int64
@@ -114,6 +123,9 @@ type counters struct {
 	errors         atomic.Int64
 
 	panics atomic.Int64
+
+	snapshots     atomic.Int64
+	persistErrors atomic.Int64
 
 	// latency is indexed by qos.Class (1..3); slot 0 absorbs unknowns.
 	latency [4]Histogram

@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzOpenFrame hammers the framing layer beneath the prob codecs: on
+// arbitrary bytes OpenFrame either yields a checksum-verified payload or a
+// typed sentinel, and FrameLen always agrees with it.
+func FuzzOpenFrame(f *testing.F) {
+	w := GetWriter()
+	start := w.BeginFrame(Header{Kind: KindProblem, Shape: 3, Content: 4})
+	w.F64s([]float64{1, 2, 3})
+	w.EndFrame(start)
+	f.Add(append([]byte(nil), w.Bytes()...))
+	PutWriter(w)
+	f.Add([]byte{})
+	f.Add([]byte("RCRWxxxx"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := OpenFrame(data)
+		n, lenErr := FrameLen(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) &&
+				!errors.Is(err, ErrVersion) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("untyped OpenFrame error: %v", err)
+			}
+			return
+		}
+		if h.Version != Version {
+			t.Fatalf("accepted frame with version %d", h.Version)
+		}
+		if lenErr != nil {
+			t.Fatalf("OpenFrame accepted what FrameLen refused: %v", lenErr)
+		}
+		if want := HeaderSize + len(payload) + ChecksumSize; n != want {
+			t.Fatalf("FrameLen = %d, want %d", n, want)
+		}
+		if Checksum(data[:HeaderSize+len(payload)]) != leU64(data[n-ChecksumSize:]) {
+			t.Fatal("accepted frame fails its own checksum")
+		}
+	})
+}
+
+// leU64 reads a little-endian u64 without importing encoding/binary into
+// the fuzz path twice.
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
