@@ -43,6 +43,17 @@
 #                      workload, both of which must exit 0 (the exit code is
 #                      the service-health contract: no panics, no
 #                      uncertified answers, no internal errors).
+#   3d2. dist chaos soak + rcrworker smoke
+#                    — internal/dist/chaos_test.go points every transport
+#                      fault family (drops, delays, duplication, truncation,
+#                      bit flips) plus Byzantine workers and scripted deaths
+#                      at a live coordinator and asserts the survival
+#                      contract: zero panics, 100% tamper quarantine, and a
+#                      merged allocation bit-identical to the single-process
+#                      solve; then the rcrworker binary re-executes itself as
+#                      four pipe-mode child workers and must reproduce the
+#                      local bits end to end across real process boundaries
+#                      (exit 0 is the contract).
 #   3e. wire fuzz smoke
 #                    — short -fuzztime runs of the internal/wire frame fuzzer
 #                      and the internal/prob codec fuzzers. The targets assert
@@ -104,10 +115,19 @@ echo "ci: qosd service smoke"
 go run ./cmd/qosd -requests 24 -seed 1 > /dev/null
 go run ./cmd/qosd -requests 60 -seed 1 -rate 0.25 -burst 2 -workers 2 > /dev/null
 
+echo "ci: dist chaos soak (-tags faultinject -race -cpu 1,4)"
+go test -tags faultinject -race -cpu 1,4 -run TestDistChaosSoak -count=1 ./internal/dist
+
+echo "ci: rcrworker distributed smoke"
+go run ./cmd/rcrworker -smoke 4 > /dev/null
+
 echo "ci: wire fuzz smoke"
 go test -run '^$' -fuzz '^FuzzOpenFrame$' -fuzztime 5s ./internal/wire
 go test -run '^$' -fuzz '^FuzzDecodeProblem$' -fuzztime 5s ./internal/prob
 go test -run '^$' -fuzz '^FuzzDecodeResult$' -fuzztime 5s ./internal/prob
+go test -run '^$' -fuzz '^FuzzDecodeSubproblem$' -fuzztime 5s ./internal/dist
+go test -run '^$' -fuzz '^FuzzDecodeSubResult$' -fuzztime 5s ./internal/dist
+go test -run '^$' -fuzz '^FuzzDecodeControl$' -fuzztime 5s ./internal/dist
 
 echo "ci: qosd warm-restart smoke"
 cache_dir="$(mktemp -d)"

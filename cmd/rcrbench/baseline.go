@@ -141,6 +141,27 @@ func captureBaseline(label, dir string, seed uint64) (string, error) {
 	b.Kernels = append(b.Kernels,
 		KernelTiming{Name: restartPair.nameA, Size: restartPair.size, Iters: iters, NsPerOp: nsCold},
 		KernelTiming{Name: restartPair.nameB, Size: restartPair.size, Iters: iters, NsPerOp: nsWarm})
+	distProbes, fanoutPair, distCleanup, err := distProbeSeries(seed)
+	if err != nil {
+		return "", err
+	}
+	defer distCleanup()
+	for _, p := range distProbes {
+		iters, ns := timeProbe(p.fn)
+		if iters == 0 {
+			return "", fmt.Errorf("dist probe %s failed", p.name)
+		}
+		b.Kernels = append(b.Kernels, KernelTiming{Name: p.name, Size: p.size, Iters: iters, NsPerOp: ns})
+	}
+	iters, nsLocal, nsFanout, err := runDistFanoutPair(fanoutPair)
+	if err != nil {
+		// Same contract as the restart pair: a fan-out that diverges from the
+		// local bits or fails its speed gate is a defect, not a data point.
+		return "", err
+	}
+	b.Kernels = append(b.Kernels,
+		KernelTiming{Name: fanoutPair.nameA, Size: fanoutPair.size, Iters: iters, NsPerOp: nsLocal},
+		KernelTiming{Name: fanoutPair.nameB, Size: fanoutPair.size, Iters: iters, NsPerOp: nsFanout})
 	reg := experiments.Registry()
 	for _, id := range experiments.Order() {
 		start := time.Now()

@@ -61,6 +61,15 @@ func checkBaseline(path string, seed uint64) error {
 	}
 	defer wireCleanup()
 	probes = append(probes, wireProbes...)
+	// The distributed-solve probes ride it as well; the local/fan-out pair is
+	// handled separately below so its core-aware self-gate (bit-identity
+	// always, speedup where cores exist) runs with interleaved timing.
+	distProbes, fanoutPair, distCleanup, err := distProbeSeries(seed)
+	if err != nil {
+		return err
+	}
+	defer distCleanup()
+	probes = append(probes, distProbes...)
 	var regressions []string
 	for _, p := range probes {
 		key := fmt.Sprintf("%s/%d", p.name, p.size)
@@ -91,6 +100,30 @@ func checkBaseline(path string, seed uint64) error {
 			got  float64
 		}{{restartPair.nameA, nsCold}, {restartPair.nameB, nsWarm}} {
 			key := fmt.Sprintf("%s/%d", side.name, restartPair.size)
+			want, ok := ref[key]
+			if !ok || want <= 0 {
+				fmt.Printf("check %-24s not in baseline, skipped\n", key)
+				continue
+			}
+			ratio := side.got / want
+			status := "ok"
+			if ratio > checkFactor {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s %.0fns -> %.0fns (%.2fx)", key, want, side.got, ratio))
+			}
+			fmt.Printf("check %-24s %12.0f ns/op  baseline %12.0f  (%.2fx) %s\n", key, side.got, want, ratio, status)
+		}
+	}
+
+	fanIters, nsLocal, nsFanout, err := runDistFanoutPair(fanoutPair)
+	if err != nil {
+		regressions = append(regressions, err.Error())
+	} else if fanIters > 0 {
+		for _, side := range []struct {
+			name string
+			got  float64
+		}{{fanoutPair.nameA, nsLocal}, {fanoutPair.nameB, nsFanout}} {
+			key := fmt.Sprintf("%s/%d", side.name, fanoutPair.size)
 			want, ok := ref[key]
 			if !ok || want <= 0 {
 				fmt.Printf("check %-24s not in baseline, skipped\n", key)

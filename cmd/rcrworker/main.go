@@ -1,0 +1,265 @@
+// Command rcrworker is the remote end of the distributed solve fan-out
+// (internal/dist). It speaks length-prefixed wire frames and runs in one of
+// three modes:
+//
+// Pipe mode (default) serves a single coordinator over stdin/stdout — the
+// transport a process supervisor or ssh hop gives you for free:
+//
+//	rcrworker -name w0 -heartbeat 50ms
+//
+// Listen mode serves TCP, one coordinator per connection, until the process
+// is killed:
+//
+//	rcrworker -listen 127.0.0.1:7070
+//
+// Smoke mode is the end-to-end self test: the binary re-executes itself as
+// n pipe-mode child workers, fans a generated multi-cell instance out over
+// them, and compares the merged allocation bit-for-bit against the
+// single-process solve. Exit 0 means the distributed path reproduced the
+// local bits with every cell certified; 1 means it did not:
+//
+//	rcrworker -smoke 4
+//
+// Fault flags (-die, -spin) exist for chaos drills: a worker that kills
+// itself mid-workload or burns CPU per solve lets an operator watch the
+// coordinator's hedging and fallback ladder fire against real processes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"reflect"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/guard"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcrworker:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+type options struct {
+	name      string
+	heartbeat time.Duration
+	die       int
+	spin      int
+	listen    string
+	smoke     int
+	cells     int
+	numRBs    int
+	coupling  float64
+	seed      uint64
+	sweeps    int
+}
+
+func parse(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("rcrworker", flag.ContinueOnError)
+	fs.StringVar(&o.name, "name", "", "worker name reported in the hello frame")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 50*time.Millisecond, "heartbeat interval (0 disables)")
+	fs.IntVar(&o.die, "die", 0, "fault drill: exit after serving N jobs (0 = never)")
+	fs.IntVar(&o.spin, "spin", 0, "fault drill: busy-spin iterations per solve (straggler)")
+	fs.StringVar(&o.listen, "listen", "", "serve TCP on this address instead of stdin/stdout")
+	fs.IntVar(&o.smoke, "smoke", 0, "self-test: spawn N child workers and compare against the local solve")
+	fs.IntVar(&o.cells, "cells", 3, "smoke: number of coupled cells")
+	fs.IntVar(&o.numRBs, "rbs", 5, "smoke: resource blocks per cell")
+	fs.Float64Var(&o.coupling, "coupling", 1.0, "smoke: inter-cell coupling in noise-floor units")
+	fs.Uint64Var(&o.seed, "seed", 99, "smoke: instance seed")
+	fs.IntVar(&o.sweeps, "sweeps", 0, "smoke: interference sweeps (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	o, err := parse(args)
+	if err != nil {
+		return 2, err
+	}
+	wo := dist.WorkerOptions{
+		Name:           o.name,
+		HeartbeatEvery: o.heartbeat,
+		DieAfterJobs:   o.die,
+		SolveSpin:      o.spin,
+	}
+	switch {
+	case o.smoke > 0:
+		return smoke(o, out)
+	case o.listen != "":
+		return 1, listen(o.listen, wo)
+	default:
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, wo); err != nil {
+			return 1, err
+		}
+		return 0, nil
+	}
+}
+
+// listen serves coordinators over TCP, one at a time per connection. A
+// worker is a solver, not a multiplexer: each connection gets the full
+// ServeWorker loop, and a transport error only costs that coordinator.
+func listen(addr string, wo dist.WorkerOptions) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintln(os.Stderr, "rcrworker: listening on", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			if err := dist.ServeWorker(c, c, wo); err != nil {
+				fmt.Fprintln(os.Stderr, "rcrworker: conn:", err)
+			}
+		}(conn)
+	}
+}
+
+// child is one spawned pipe-mode worker process viewed as a ReadWriteCloser:
+// reads come from its stdout, writes go to its stdin, Close tears both down
+// and reaps the process.
+type child struct {
+	cmd *exec.Cmd
+	in  io.WriteCloser
+	out io.ReadCloser
+}
+
+func (c *child) Read(p []byte) (int, error)  { return c.out.Read(p) }
+func (c *child) Write(p []byte) (int, error) { return c.in.Write(p) }
+
+func (c *child) Close() error {
+	c.in.Close()
+	c.out.Close()
+	return c.cmd.Wait()
+}
+
+func spawn(self string, i int) (*child, error) {
+	cmd := exec.Command(self, "-name", fmt.Sprintf("smoke-%d", i))
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &child{cmd: cmd, in: in, out: out}, nil
+}
+
+// smokeReport is the JSON the smoke test prints: the verdict plus the
+// coordinator's own stats ledger, so a failing run shows where the fan-out
+// went instead of a bare exit code.
+type smokeReport struct {
+	OK           bool       `json:"ok"`
+	Workers      int        `json:"workers"`
+	Cells        int        `json:"cells"`
+	Status       string     `json:"status"`
+	LocalStatus  string     `json:"localStatus"`
+	TotalRateBps float64    `json:"totalRateBps"`
+	Mismatch     string     `json:"mismatch,omitempty"`
+	Stats        dist.Stats `json:"stats"`
+}
+
+func smoke(o options, out io.Writer) (int, error) {
+	mc, err := dist.GenerateMultiCell(o.cells, 1, 1, 1, o.numRBs, o.coupling, o.seed)
+	if err != nil {
+		return 2, err
+	}
+	mc.Sweeps = o.sweeps
+	opts := dist.Options{Budget: guard.Budget{}, Seed: o.seed}
+
+	want, err := dist.SolveLocal(mc, opts)
+	if err != nil {
+		return 2, fmt.Errorf("local reference: %w", err)
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		return 2, err
+	}
+	conns := make([]io.ReadWriteCloser, 0, o.smoke)
+	for i := 0; i < o.smoke; i++ {
+		c, err := spawn(self, i)
+		if err != nil {
+			return 2, fmt.Errorf("spawn worker %d: %w", i, err)
+		}
+		conns = append(conns, c)
+	}
+	pool := dist.NewPool(conns, dist.PoolOptions{DeadAfter: 2 * time.Second})
+	defer pool.Close()
+
+	got, err := pool.Solve(mc, opts)
+	if err != nil {
+		return 1, fmt.Errorf("distributed solve: %w", err)
+	}
+
+	rate, err := got.TotalRateBps(mc)
+	if err != nil {
+		return 1, fmt.Errorf("merged allocation does not evaluate: %w", err)
+	}
+	rep := smokeReport{
+		Workers:      o.smoke,
+		Cells:        len(mc.Cells),
+		Status:       got.Status.String(),
+		LocalStatus:  want.Status.String(),
+		TotalRateBps: rate,
+		Stats:        got.Stats,
+	}
+	rep.OK, rep.Mismatch = sameSolution(want, got)
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return 2, err
+	}
+	if !rep.OK {
+		return 1, fmt.Errorf("distributed solve diverged from local: %s", rep.Mismatch)
+	}
+	return 0, nil
+}
+
+// sameSolution compares the distributed merge bit-for-bit against the local
+// reference: per-cell assignment, power, and typed status must all match.
+func sameSolution(want, got *dist.MultiResult) (bool, string) {
+	if got.Status != want.Status {
+		return false, fmt.Sprintf("status %v vs local %v", got.Status, want.Status)
+	}
+	if len(got.Cells) != len(want.Cells) {
+		return false, fmt.Sprintf("%d cells vs local %d", len(got.Cells), len(want.Cells))
+	}
+	for i := range want.Cells {
+		w, g := want.Cells[i], got.Cells[i]
+		if g.Alloc == nil || w.Alloc == nil {
+			return false, fmt.Sprintf("cell %d: missing allocation", i)
+		}
+		if !reflect.DeepEqual(g.Alloc.UserOf, w.Alloc.UserOf) ||
+			!reflect.DeepEqual(g.Alloc.PowerW, w.Alloc.PowerW) {
+			return false, fmt.Sprintf("cell %d: allocation bits differ", i)
+		}
+		if g.Status != w.Status {
+			return false, fmt.Sprintf("cell %d: status %v vs local %v", i, g.Status, w.Status)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,176 @@
+//go:build faultinject
+
+package dist
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/prob"
+)
+
+// This file is the distributed-solve chaos soak (build tag: faultinject;
+// ci.sh runs it as a dedicated stage under -race at -cpu 1,4). It points
+// every transport fault family the injector knows — drops, delays,
+// duplication, truncation, bit flips — plus Byzantine workers and scripted
+// deaths at a live coordinator, and asserts the survival contract:
+//
+//	zero panics escape · every tampered reply is caught and quarantined ·
+//	the merged allocation is bit-identical to the single-process solve ·
+//	the coordinator always returns, with every cell typed
+//
+// Determinism under chaos is the strong claim: faults change *which rung*
+// answers (remote, hedged duplicate, local fallback), never *what* the
+// answer is, because every rung runs the same certified solve.
+
+// chaosOptions hedges aggressively so dropped frames are re-dispatched
+// rather than waited out.
+func chaosOptions() Options {
+	o := testOptions()
+	o.HedgeAfter = 120 * time.Millisecond
+	o.HedgeJitter = 0.3
+	return o
+}
+
+// chaosPool wires the standard hostile crew: a worker behind a fully
+// faulty transport, a Byzantine worker corrupting every iterate, a worker
+// that dies mid-workload, and one honest worker with heartbeats.
+func chaosPool(t *testing.T, round uint64, tampered *atomic.Int64) *Pool {
+	t.Helper()
+	plan := faultinject.Plan{Seed: 1000 + round, CancelAtIter: -1,
+		Corrupt: faultinject.CorruptPerturb, CorruptRate: 1, CorruptMag: 0.5}
+	return startPool(t, 4, func(i int) WorkerOptions {
+		switch i {
+		case 0:
+			return WorkerOptions{
+				Name:           "lossy",
+				HeartbeatEvery: 15 * time.Millisecond,
+				Fault: faultinject.TransportPlan{
+					Seed:         round<<8 | 1,
+					DropRate:     0.25,
+					DelayRate:    0.25,
+					DelaySpin:    1 << 18,
+					DupRate:      0.25,
+					TruncateRate: 0.05,
+					FlipRate:     0.05,
+				},
+			}
+		case 1:
+			return WorkerOptions{
+				Name:           "byzantine",
+				HeartbeatEvery: 15 * time.Millisecond,
+				Tamper: func(r *prob.Result) {
+					if plan.CorruptVector(r.X) {
+						tampered.Add(1)
+					}
+				},
+			}
+		case 2:
+			return WorkerOptions{Name: "mortal", DieAfterJobs: 2}
+		default:
+			return WorkerOptions{Name: "honest", HeartbeatEvery: 15 * time.Millisecond}
+		}
+	}, PoolOptions{BreakerThreshold: 2, BreakerCooldown: 8, DeadAfter: 400 * time.Millisecond})
+}
+
+func TestDistChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak runs as its own CI stage, not under -short")
+	}
+	mc := testProblem(t)
+	o := chaosOptions()
+	want := reference(t, mc, o)
+
+	t.Run("hostile-crew", func(t *testing.T) {
+		// Seeded rounds of the full fault mix. Each round is a fresh pool
+		// (dead links don't resurrect); every round must reproduce the
+		// reference bits and never credit the Byzantine worker.
+		const rounds = 3
+		totalTampered, totalQuarantined := int64(0), 0
+		for round := 0; round < rounds; round++ {
+			var tampered atomic.Int64
+			p := chaosPool(t, uint64(round), &tampered)
+			got, err := p.Solve(mc, o)
+			p.Close()
+			if err != nil {
+				t.Fatalf("round %d: coordinator returned error under chaos: %v", round, err)
+			}
+			assertSameSolution(t, want, got)
+			liar := got.Stats.Workers[1]
+			if liar.Accepted != 0 {
+				t.Fatalf("round %d: %d corrupted replies accepted: %+v", round, liar.Accepted, got.Stats)
+			}
+			if n := tampered.Load(); n > 0 && liar.Tampered == 0 {
+				t.Fatalf("round %d: tamper fired %d times but nothing was quarantined: %+v",
+					round, n, got.Stats)
+			}
+			totalTampered += tampered.Load()
+			totalQuarantined += got.Stats.TamperedQuarantined
+		}
+		if totalTampered == 0 {
+			t.Fatal("Byzantine worker never got a dispatch — the soak exercised nothing")
+		}
+		if totalQuarantined == 0 {
+			t.Fatal("no reply was ever quarantined across all rounds")
+		}
+	})
+
+	t.Run("all-workers-hostile", func(t *testing.T) {
+		// Every worker lies: the remote tier contributes nothing, the local
+		// ladder answers every cell, and the bits still match.
+		var fired atomic.Int64
+		plan := faultinject.Plan{Seed: 77, CancelAtIter: -1,
+			Corrupt: faultinject.CorruptBitFlip, CorruptRate: 1}
+		p := startPool(t, 3, func(i int) WorkerOptions {
+			return WorkerOptions{Tamper: func(r *prob.Result) {
+				if plan.CorruptVector(r.X) {
+					fired.Add(1)
+				}
+			}}
+		}, PoolOptions{BreakerThreshold: 2, BreakerCooldown: 100})
+		got, err := p.Solve(mc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSolution(t, want, got)
+		if got.Stats.RemoteAccepted != 0 {
+			t.Fatalf("accepted %d replies from an all-hostile pool", got.Stats.RemoteAccepted)
+		}
+		if fired.Load() == 0 {
+			t.Fatal("corruption plan never fired")
+		}
+		if got.Stats.TamperedQuarantined == 0 {
+			t.Fatal("hostile pool produced no quarantines")
+		}
+		for i, c := range got.Cells {
+			if c.Source == SourceRemote {
+				t.Fatalf("cell %d sourced remotely from an all-hostile pool", i)
+			}
+		}
+	})
+
+	t.Run("transport-meltdown", func(t *testing.T) {
+		// Every link drops, flips, and truncates aggressively. Whatever
+		// survives the checksum is fine; whatever doesn't is hedged or
+		// falls back locally. The answer never changes.
+		p := startPool(t, 3, func(i int) WorkerOptions {
+			return WorkerOptions{
+				HeartbeatEvery: 10 * time.Millisecond,
+				Fault: faultinject.TransportPlan{
+					Seed:         900 + uint64(i),
+					DropRate:     0.4,
+					TruncateRate: 0.15,
+					FlipRate:     0.15,
+					DupRate:      0.3,
+				},
+			}
+		}, PoolOptions{BreakerThreshold: 2, BreakerCooldown: 4, DeadAfter: 300 * time.Millisecond})
+		got, err := p.Solve(mc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameSolution(t, want, got)
+	})
+}

@@ -1,0 +1,612 @@
+package dist
+
+// The coordinator: a single-threaded event loop that dispatches per-cell
+// subproblems, polices worker health, and walks each cell down the survival
+// ladder (remote → local → greedy) until every cell has a typed, certified
+// answer. The loop's ordering decisions (which worker gets which job, when
+// to hedge) affect only latency and accounting — never the merged bits —
+// because every acceptance path runs or verifies the same deterministic
+// solve (see the package comment's determinism argument).
+
+import (
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/prob"
+	"repro/internal/qos"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// Options configures a distributed (or local-reference) multi-cell solve.
+type Options struct {
+	// Budget bounds the whole solve. The Deadline is re-measured as a
+	// remaining duration at every dispatch (clock skew between hosts can
+	// never widen it); MaxEvals is a per-dispatch cap, so every subproblem
+	// solve — remote, hedged, or fallback — runs under the identical eval
+	// bound, which is what keeps eval-capped outcomes bit-identical.
+	Budget guard.Budget
+	// MaxNodes, IntTol, GapTol forward to prob.Options for every per-cell
+	// solve on both sides of the wire.
+	MaxNodes int
+	IntTol   float64
+	GapTol   float64
+	// HedgeAfter is how long a dispatched job may remain unanswered before
+	// it is hedged onto another worker. 0 takes the 500ms default; negative
+	// disables hedging.
+	HedgeAfter time.Duration
+	// HedgeJitter in (0,1] desynchronizes hedge timing with seeded jitter
+	// (guard.RetryOptions.Schedule); it shifts only *when* a hedge fires,
+	// never what is computed.
+	HedgeJitter float64
+	// Seed feeds the per-job hedge jitter streams.
+	Seed uint64
+	// MaxAttempts is the number of remote dispatches a job may consume
+	// (first try + hedges/re-dispatches) before the coordinator stops
+	// trusting the pool with it and solves locally. Default 2.
+	MaxAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Solve runs the multi-cell problem over the pool's workers, degrading as
+// far as the greedy rung per cell but never returning an uncertified or
+// untyped answer. It is single-flight: one Solve per pool at a time.
+func (p *Pool) Solve(mc *MultiCell, o Options) (*MultiResult, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	mon := o.Budget.Start()
+	n := len(mc.Cells)
+	st := Stats{Cells: n, Sweeps: mc.sweeps()}
+	allocs := make([]*qos.Allocation, n)
+	out := &MultiResult{Status: guard.StatusConverged}
+
+	for sweep := 0; sweep < mc.sweeps(); sweep++ {
+		interf := mc.interference(allocs)
+		folded := make([]*qos.Problem, n)
+		cms := make([]*qos.Columns, n)
+		specs := make([]*subproblem, n)
+		for i := 0; i < n; i++ {
+			folded[i] = mc.cellProblem(i, interf)
+			cm, err := folded[i].ColumnModel()
+			if err != nil {
+				return nil, err
+			}
+			cms[i] = cm
+			specs[i] = buildSpec(sweep, i, cm, o)
+		}
+		out.Cells = p.runSweep(specs, folded, cms, mon, o, &st)
+		for i := range out.Cells {
+			allocs[i] = out.Cells[i].Alloc
+		}
+	}
+
+	// Ordered reduction over outcomes: the first degraded cell types the
+	// whole result.
+	for i := range out.Cells {
+		if out.Cells[i].Status != guard.StatusConverged {
+			out.Status = out.Cells[i].Status
+			break
+		}
+	}
+	for _, ws := range p.workers {
+		rep := ws.report
+		rep.Breaker = ws.breaker.State().String()
+		if rep.Status == guard.StatusOK && ws.breaker.State() != serve.BreakerClosed {
+			// Alive link, persistently failing work: the refusing worker.
+			rep.Status = guard.StatusDiverged
+		}
+		st.Workers = append(st.Workers, rep)
+	}
+	out.Stats = st
+	return out, nil
+}
+
+// jobState tracks one dispatched cell within a sweep.
+type jobState struct {
+	cell        int
+	attempts    int             // dispatches consumed
+	outstanding int             // workers currently holding the job
+	hedgeAt     time.Time       // when the straggler hedge fires (zero: no hedge armed)
+	sched       []time.Duration // per-attempt hedge delays, seeded jitter
+	done        bool
+}
+
+// runSweep solves one sweep's cells over the pool, returning a complete,
+// typed CellResult per cell.
+func (p *Pool) runSweep(specs []*subproblem, folded []*qos.Problem, cms []*qos.Columns, mon *guard.Monitor, o Options, st *Stats) []CellResult {
+	n := len(specs)
+	results := make([]CellResult, n)
+	done := make([]bool, n)
+	completed := 0
+
+	// Previous sweeps' in-flight bookkeeping is void: replies for old job
+	// ids are duplicates by construction, so busy markers must not leak.
+	now := time.Now()
+	for _, ws := range p.workers {
+		ws.job = 0
+		if ws.last.IsZero() {
+			ws.last = now // silence is measured from first use, not creation
+		}
+	}
+
+	jobs := make(map[uint64]*jobState, n)
+	pending := make([]int, 0, n)
+	for i, sp := range specs {
+		js := &jobState{cell: i}
+		if o.HedgeAfter > 0 {
+			js.sched = guard.RetryOptions{
+				Attempts: o.MaxAttempts + 1,
+				Seed:     o.Seed ^ sp.Job,
+				Backoff:  o.HedgeAfter,
+				Jitter:   o.HedgeJitter,
+			}.Schedule()
+		}
+		jobs[sp.Job] = js
+		pending = append(pending, i)
+	}
+
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+
+	// progress counts events that move the sweep toward completion: a frame
+	// placed on a worker or a cell finished. Link traffic alone — heartbeats,
+	// hellos, duplicate replies — is liveness, not progress, and must not
+	// count: a pool that chats forever while answering nothing would
+	// otherwise starve the loop indefinitely.
+	progress := 0
+
+	finish := func(cell int, cr CellResult) {
+		if done[cell] {
+			return
+		}
+		done[cell] = true
+		results[cell] = cr
+		completed++
+		progress++
+		jobs[specs[cell].Job].done = true
+	}
+	localOne := func(cell int) {
+		finish(cell, localLadder(specs[cell], folded[cell], cms[cell], mon, o, st))
+	}
+
+	// dispatch tries to place cell's job on some idle worker, consuming a
+	// breaker permit per candidate. The frame goes to the worker's async
+	// writer — the solve loop never blocks on a peer's pipe (a stalled
+	// peer plus a full event channel would otherwise deadlock the loop
+	// against itself); a failed or lost write surfaces later as a link
+	// error event or as straggler silence, both already survivable.
+	dispatch := func(cell int) bool {
+		sp := specs[cell]
+		js := jobs[sp.Job]
+		for _, ws := range p.workers {
+			if !ws.idle() {
+				continue
+			}
+			if !ws.breaker.Allow() {
+				st.BreakerRefused++
+				continue
+			}
+			sp.Budget = dispatchBudget(mon, o)
+			enc.Reset()
+			encodeSubproblem(enc, sp)
+			frame := append([]byte(nil), enc.Bytes()...) // writer owns its copy
+			select {
+			case ws.send <- frame:
+			default:
+				// Writer still flushing; try another worker. The permit is
+				// already spent — if it was the half-open probe, the breaker
+				// would wait forever for a Record that never comes (nothing
+				// was sent, so no reply, no silence, no link error can close
+				// the loop). Fail the probe so the open→probe cycle keeps
+				// moving. The solve loop is the only breaker caller, so a
+				// half-open state here means our Allow admitted the probe.
+				if ws.breaker.State() == serve.BreakerHalfOpen {
+					ws.breaker.Record(false)
+				}
+				continue
+			}
+			ws.job = sp.Job
+			ws.report.Dispatched++
+			progress++
+			js.attempts++
+			js.outstanding++
+			js.hedgeAt = time.Time{}
+			if len(js.sched) > 0 {
+				js.hedgeAt = time.Now().Add(js.sched[min(js.attempts-1, len(js.sched)-1)])
+			}
+			return true
+		}
+		return false
+	}
+
+	// requeueOrLocal decides a failed job's fate: another remote attempt if
+	// the pool still has serviceable workers and attempts remain, the local
+	// ladder otherwise.
+	requeueOrLocal := func(js *jobState) {
+		if js.done {
+			return
+		}
+		if js.attempts < o.MaxAttempts && p.anyServiceable() {
+			st.Redispatched++
+			pending = append([]int{js.cell}, pending...)
+			return
+		}
+		localOne(js.cell)
+	}
+
+	// dropWorkerJob releases a (dead or refusing) worker's in-flight job
+	// and requeues it when no hedged twin still holds it.
+	dropWorkerJob := func(ws *workerState) {
+		job := ws.job
+		ws.job = 0
+		if job == 0 {
+			return
+		}
+		if js := jobs[job]; js != nil && !js.done {
+			js.outstanding--
+			if js.outstanding <= 0 {
+				requeueOrLocal(js)
+			}
+		}
+	}
+
+	tick := 5 * time.Millisecond
+	if o.HedgeAfter > 0 {
+		tick = min(tick, max(time.Millisecond, o.HedgeAfter/4))
+	}
+	if p.opts.DeadAfter > 0 {
+		tick = min(tick, max(time.Millisecond, p.opts.DeadAfter/4))
+	}
+
+	// escapeAfter is the liveness backstop: if a full window passes with no
+	// dispatch and no finished cell, the oldest unfinished cell is forced
+	// down the local ladder. Hedging, silence detection, and breakers are the
+	// intended recovery paths — the window sits well above all of them so it
+	// fires only when every one of them is starved (e.g. all breakers wedged
+	// or every reply lost while heartbeats keep the links "alive"). Each
+	// escape finishes a cell, so the sweep terminates in at most n windows.
+	escapeAfter := 2 * time.Second
+	if o.HedgeAfter > 0 && 4*o.HedgeAfter > escapeAfter {
+		escapeAfter = 4 * o.HedgeAfter
+	}
+	if p.opts.DeadAfter > 0 && 4*p.opts.DeadAfter > escapeAfter {
+		escapeAfter = 4 * p.opts.DeadAfter
+	}
+	lastProgress := progress
+	progressAt := time.Now()
+
+	stall := 0
+	for completed < n {
+		// A tripped whole-solve budget drains every unfinished cell through
+		// the local ladder: the expired per-dispatch budget turns each into
+		// a fast typed degradation, never a hang and never a missing cell.
+		if s := mon.Check(completed); s != guard.StatusOK {
+			for cell := 0; cell < n; cell++ {
+				if !done[cell] {
+					localOne(cell)
+				}
+			}
+			break
+		}
+
+		for len(pending) > 0 {
+			cell := pending[0]
+			if done[cell] {
+				pending = pending[1:]
+				continue
+			}
+			if !dispatch(cell) {
+				break
+			}
+			pending = pending[1:]
+			stall = 0
+		}
+		if completed >= n {
+			break
+		}
+
+		// Remote progress is impossible when nothing is in flight and
+		// nothing could be dispatched. Fall back locally — immediately if
+		// the pool is empty or dead, after a bounded stall if live workers
+		// exist but have not spoken (their hello may be lost to chaos).
+		if len(pending) > 0 && p.totalOutstanding(jobs) == 0 {
+			switch {
+			case !p.anyAlive():
+				cell := pending[0]
+				pending = pending[1:]
+				if !done[cell] {
+					localOne(cell)
+				}
+				continue
+			case !p.anyServiceable() && stall >= 2:
+				cell := pending[0]
+				pending = pending[1:]
+				if !done[cell] {
+					localOne(cell)
+				}
+				continue
+			}
+		}
+
+		// Wait for link traffic, then drain whatever else is queued.
+		timer := time.NewTimer(tick)
+		select {
+		case ev := <-p.events:
+			stall = 0
+			p.handleEvent(ev, specs, cms, jobs, st, finish, requeueOrLocal, dropWorkerJob, localOne)
+		drain:
+			for {
+				select {
+				case ev := <-p.events:
+					p.handleEvent(ev, specs, cms, jobs, st, finish, requeueOrLocal, dropWorkerJob, localOne)
+				default:
+					break drain
+				}
+			}
+		case <-timer.C:
+			stall++
+		}
+		timer.Stop()
+
+		now := time.Now()
+		// Heartbeat silence: a worker that stopped talking is dead to us —
+		// typed as a timeout, its job rescued.
+		if p.opts.DeadAfter > 0 {
+			for _, ws := range p.workers {
+				if ws.alive && ws.silent(p.opts.DeadAfter, now) {
+					ws.markDead(guard.StatusTimeout)
+					ws.breaker.Record(false)
+					dropWorkerJob(ws)
+				}
+			}
+		}
+		// Straggler hedging: an overdue job is duplicated onto another
+		// worker (seeded-jitter schedule); past the attempt cap it goes
+		// local and any late remote reply becomes an ignored duplicate.
+		for _, sp := range specs {
+			js := jobs[sp.Job]
+			if js.done || js.outstanding == 0 || js.hedgeAt.IsZero() || now.Before(js.hedgeAt) {
+				continue
+			}
+			if js.attempts >= o.MaxAttempts {
+				localOne(js.cell)
+				continue
+			}
+			if dispatch(js.cell) {
+				st.Hedged++
+			} else {
+				js.hedgeAt = now.Add(tick)
+			}
+		}
+
+		// Liveness backstop (see escapeAfter above).
+		if progress != lastProgress {
+			lastProgress = progress
+			progressAt = now
+		} else if now.Sub(progressAt) >= escapeAfter {
+			st.StallEscapes++
+			for cell := 0; cell < n; cell++ {
+				if !done[cell] {
+					localOne(cell)
+					break
+				}
+			}
+			lastProgress = progress
+			progressAt = now
+		}
+	}
+	return results
+}
+
+// handleEvent processes one link event inside the solve loop.
+func (p *Pool) handleEvent(
+	ev event,
+	specs []*subproblem,
+	cms []*qos.Columns,
+	jobs map[uint64]*jobState,
+	st *Stats,
+	finish func(int, CellResult),
+	requeueOrLocal func(*jobState),
+	dropWorkerJob func(*workerState),
+	localOne func(int),
+) {
+	ws := p.workers[ev.worker]
+	if ev.err != nil {
+		if ws.alive {
+			ws.report.Error = ev.err.Error()
+			ws.markDead(guard.StatusCanceled)
+			ws.breaker.Record(false)
+			dropWorkerJob(ws)
+		}
+		return
+	}
+	ws.last = time.Now()
+	h, _, err := wire.PeekHeader(ev.frame)
+	if err != nil {
+		return // unreachable: readFrame validated the header
+	}
+	switch h.Kind {
+	case wire.KindHello:
+		if hi, err := decodeHello(ev.frame); err == nil {
+			ws.hello = true
+			ws.name = hi.Name
+		}
+	case wire.KindHeartbeat:
+		// Liveness is the frame's arrival; a damaged beacon is just noise.
+		_, _ = decodeHeartbeat(ev.frame)
+	case wire.KindSubResult:
+		p.handleReply(ws, ev.frame, specs, cms, jobs, st, finish, requeueOrLocal, localOne)
+	default:
+		// Unknown kind on an aligned link: ignore. Anything that could
+		// desynchronize framing already surfaced as a link error.
+	}
+}
+
+// handleReply walks one subresult through the trust boundary: envelope
+// decode, job match, fingerprint match, recertification — and only then
+// acceptance. Every rejection is typed, counted, and survivable.
+func (p *Pool) handleReply(
+	ws *workerState,
+	frame []byte,
+	specs []*subproblem,
+	cms []*qos.Columns,
+	jobs map[uint64]*jobState,
+	st *Stats,
+	finish func(int, CellResult),
+	requeueOrLocal func(*jobState),
+	localOne func(int),
+) {
+	quarantine := func(js *jobState) {
+		st.TamperedQuarantined++
+		ws.report.Tampered++
+		ws.breaker.Record(false)
+		if js != nil && !js.done {
+			js.outstanding--
+			if js.outstanding <= 0 {
+				requeueOrLocal(js)
+			}
+		}
+	}
+
+	sr, err := decodeSubresult(frame)
+	if err != nil {
+		// Well-framed but damaged or lying payload. Route by the header's
+		// job claim when it names work this worker actually holds.
+		var js *jobState
+		if job := frameJob(frame); job != 0 && ws.job == job {
+			ws.job = 0
+			js = jobs[job]
+		}
+		quarantine(js)
+		return
+	}
+
+	js := jobs[sr.Job]
+	if js == nil || js.done {
+		// A hedged twin won, or the sweep moved on. The reply is late and
+		// therefore unverified — it must not touch the breaker in either
+		// direction: crediting it would let a tamperer launder an open
+		// breaker with late duplicates nobody recertifies.
+		st.DuplicatesIgnored++
+		if ws.job == sr.Job {
+			ws.job = 0
+		}
+		return
+	}
+	if ws.job == sr.Job {
+		ws.job = 0
+	}
+
+	if sr.Res == nil {
+		// Typed refusal: the worker could not decode or solve.
+		st.RefusalsSeen++
+		ws.breaker.Record(false)
+		js.outstanding--
+		if js.outstanding <= 0 {
+			requeueOrLocal(js)
+		}
+		return
+	}
+
+	sp := specs[js.cell]
+	if sr.FP != sp.IR.Fingerprint() {
+		quarantine(js) // solved some other problem, or forged the stamp
+		return
+	}
+	if sr.Res.Status != guard.StatusConverged {
+		// An honest typed failure (budget, node cap). The solve is
+		// deterministic, so another worker would fail identically —
+		// the local ladder decides the final typed outcome.
+		ws.breaker.Record(true)
+		js.outstanding--
+		localOne(js.cell)
+		return
+	}
+	if err := prob.Recertify(sp.IR, sr.Res); err != nil {
+		quarantine(js)
+		return
+	}
+	alloc, err := cms[js.cell].Allocation(sr.Res.X)
+	if err != nil {
+		quarantine(js) // cannot happen after Recertify's dimension check
+		return
+	}
+	ws.breaker.Record(true)
+	ws.report.Accepted++
+	st.RemoteAccepted++
+	js.outstanding--
+	finish(js.cell, CellResult{
+		Alloc:  alloc,
+		Result: sr.Res,
+		Source: SourceRemote,
+		Status: guard.StatusConverged,
+		Worker: ws.id,
+	})
+}
+
+// localLadder is the coordinator's own end of the survival ladder: the same
+// deterministic solve the workers run, then the greedy rung if it cannot
+// certify. It always returns a usable allocation with a typed status.
+func localLadder(sp *subproblem, folded *qos.Problem, cm *qos.Columns, mon *guard.Monitor, o Options, st *Stats) CellResult {
+	sp.Budget = dispatchBudget(mon, o)
+	res, err := solveSpec(sp)
+	if err == nil && res != nil && res.Status == guard.StatusConverged {
+		if alloc, aerr := cm.Allocation(res.X); aerr == nil {
+			st.LocalFallback++
+			return CellResult{Alloc: alloc, Result: res, Source: SourceLocal, Status: guard.StatusConverged, Worker: -1}
+		}
+	}
+	st.GreedyFallback++
+	status := guard.StatusDiverged // solver error: no typed status to forward
+	if err == nil && res != nil {
+		status = res.Status
+	}
+	alloc, gerr := folded.SolveGreedy()
+	if gerr != nil || alloc == nil {
+		alloc = qos.NewAllocation(folded.Inst.Params.NumRBs) // all-idle, trivially feasible
+	}
+	return CellResult{Alloc: alloc, Result: res, Source: SourceGreedy, Status: status, Worker: -1}
+}
+
+// anyAlive reports whether any worker link is still up.
+func (p *Pool) anyAlive() bool {
+	for _, ws := range p.workers {
+		if ws.alive {
+			return true
+		}
+	}
+	return false
+}
+
+// anyServiceable reports whether any worker is alive and has completed its
+// handshake — the precondition for a re-dispatch to be worth anything.
+func (p *Pool) anyServiceable() bool {
+	for _, ws := range p.workers {
+		if ws.alive && ws.hello {
+			return true
+		}
+	}
+	return false
+}
+
+// totalOutstanding counts in-flight dispatches across active jobs.
+func (p *Pool) totalOutstanding(jobs map[uint64]*jobState) int {
+	total := 0
+	for _, js := range jobs {
+		if !js.done {
+			total += js.outstanding
+		}
+	}
+	return total
+}

@@ -1,0 +1,426 @@
+package dist
+
+import (
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/prob"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// testOptions is the deterministic matrix configuration: wall-clock-free
+// budget (the bit-identity contract is unconditional), fast hedging, enough
+// attempts to ride out scripted failures.
+func testOptions() Options {
+	return Options{
+		Budget:      guard.Budget{},
+		HedgeAfter:  250 * time.Millisecond,
+		HedgeJitter: 0.5,
+		Seed:        7,
+		MaxAttempts: 3,
+	}
+}
+
+// testProblem is the shared multi-cell instance: 3 coupled cells, mixed
+// classes, small enough to solve in milliseconds.
+func testProblem(t testing.TB) *MultiCell {
+	t.Helper()
+	mc, err := GenerateMultiCell(3, 1, 1, 1, 5, 1.0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc
+}
+
+// startPool spawns n in-process workers over synchronous pipes and wraps
+// them in a pool. Each worker's options come from wo(i); the worker's pipe
+// end is closed when ServeWorker returns, so scripted deaths surface to the
+// coordinator as link EOFs exactly like a crashed process.
+func startPool(t testing.TB, n int, wo func(i int) WorkerOptions, po PoolOptions) *Pool {
+	t.Helper()
+	conns := make([]io.ReadWriteCloser, n)
+	for i := 0; i < n; i++ {
+		c1, c2 := net.Pipe()
+		conns[i] = c1
+		go func(c net.Conn, o WorkerOptions) {
+			defer c.Close()
+			_ = ServeWorker(c, c, o)
+		}(c2, wo(i))
+	}
+	p := NewPool(conns, po)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// assertSameSolution asserts got is bit-identical to want: same per-cell
+// allocations (assignment and power), same typed statuses.
+func assertSameSolution(t *testing.T, want, got *MultiResult) {
+	t.Helper()
+	if got == nil || len(got.Cells) != len(want.Cells) {
+		t.Fatalf("got %d cells, want %d", len(got.Cells), len(want.Cells))
+	}
+	if got.Status != want.Status {
+		t.Fatalf("merged status %v, want %v", got.Status, want.Status)
+	}
+	for i := range want.Cells {
+		w, g := want.Cells[i], got.Cells[i]
+		if g.Alloc == nil {
+			t.Fatalf("cell %d: nil allocation", i)
+		}
+		if !reflect.DeepEqual(g.Alloc.UserOf, w.Alloc.UserOf) || !reflect.DeepEqual(g.Alloc.PowerW, w.Alloc.PowerW) {
+			t.Fatalf("cell %d allocation differs:\n got %v %v\nwant %v %v",
+				i, g.Alloc.UserOf, g.Alloc.PowerW, w.Alloc.UserOf, w.Alloc.PowerW)
+		}
+		if g.Status != w.Status {
+			t.Fatalf("cell %d status %v, want %v", i, g.Status, w.Status)
+		}
+	}
+}
+
+// reference solves the instance purely locally and sanity-checks that the
+// reference itself certified everywhere.
+func reference(t *testing.T, mc *MultiCell, o Options) *MultiResult {
+	t.Helper()
+	want, err := SolveLocal(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Status != guard.StatusConverged {
+		t.Fatalf("local reference did not certify: %v", want.Status)
+	}
+	return want
+}
+
+// TestDeterminismMatrix is the survival contract's core: the merged
+// allocation is bit-identical to the single-process solve for every worker
+// count, scripted kill, straggler (hedged duplicate), and Byzantine tamper
+// pattern.
+func TestDeterminismMatrix(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	want := reference(t, mc, o)
+
+	cases := []struct {
+		name  string
+		n     int
+		heavy bool // skipped under -short (the -race CI stage)
+		wo    func(i int) WorkerOptions
+	}{
+		{name: "1 worker", n: 1},
+		{name: "2 workers", n: 2},
+		{name: "4 workers", n: 4, heavy: true},
+		{name: "8 workers", n: 8, heavy: true},
+		{name: "kill first worker after 1 job", n: 2, wo: func(i int) WorkerOptions {
+			if i == 0 {
+				return WorkerOptions{DieAfterJobs: 1}
+			}
+			return WorkerOptions{}
+		}},
+		{name: "kill all workers after 1 job", n: 4, wo: func(i int) WorkerOptions {
+			return WorkerOptions{DieAfterJobs: 1}
+		}},
+		{name: "straggler worker delays replies", n: 2, heavy: true, wo: func(i int) WorkerOptions {
+			if i == 0 {
+				return WorkerOptions{SolveSpin: 1 << 24}
+			}
+			return WorkerOptions{}
+		}},
+		{name: "staggered spins reorder replies", n: 4, heavy: true, wo: func(i int) WorkerOptions {
+			return WorkerOptions{SolveSpin: (3 - i) << 18}
+		}},
+		{name: "tampering worker is quarantined", n: 3, wo: func(i int) WorkerOptions {
+			if i == 1 {
+				return WorkerOptions{Tamper: func(r *prob.Result) { r.X[0] += 1 }}
+			}
+			return WorkerOptions{}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("heavy matrix case; covered by the full (non-short) stage")
+			}
+			wo := tc.wo
+			if wo == nil {
+				wo = func(int) WorkerOptions { return WorkerOptions{} }
+			}
+			p := startPool(t, tc.n, wo, PoolOptions{})
+			got, err := p.Solve(mc, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSolution(t, want, got)
+		})
+	}
+}
+
+// TestHedgedRedispatch: a wedged-but-not-dead straggler is overtaken by a
+// seeded-jitter hedge onto the healthy worker; the merged result is still
+// bit-identical and the hedging is visible in the stats.
+func TestHedgedRedispatch(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	o.HedgeAfter = 10 * time.Millisecond
+	want := reference(t, mc, o)
+	p := startPool(t, 2, func(i int) WorkerOptions {
+		if i == 0 {
+			return WorkerOptions{SolveSpin: 1 << 27, HeartbeatEvery: 5 * time.Millisecond}
+		}
+		return WorkerOptions{HeartbeatEvery: 5 * time.Millisecond}
+	}, PoolOptions{})
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, want, got)
+	if got.Stats.Hedged == 0 {
+		t.Fatal("no hedged re-dispatch despite a wedged straggler")
+	}
+}
+
+// TestNoWorkersStillCertifies: a pool with no workers at all degrades to
+// the pure local ladder and still returns a certified, converged answer.
+func TestNoWorkersStillCertifies(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	p := NewPool(nil, PoolOptions{})
+	defer p.Close()
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != guard.StatusConverged {
+		t.Fatalf("status %v, want converged", got.Status)
+	}
+	for i, c := range got.Cells {
+		if c.Source != SourceLocal {
+			t.Fatalf("cell %d source %v, want local", i, c.Source)
+		}
+		if c.Result == nil || c.Result.Cert == nil {
+			t.Fatalf("cell %d carries no certificate", i)
+		}
+		if c.Worker != -1 {
+			t.Fatalf("cell %d claims worker %d", i, c.Worker)
+		}
+	}
+	if got.Stats.LocalFallback != got.Stats.Cells*got.Stats.Sweeps {
+		t.Fatalf("local fallbacks %d, want %d", got.Stats.LocalFallback, got.Stats.Cells*got.Stats.Sweeps)
+	}
+}
+
+// TestFullyDeadPoolDegradesTyped: every worker dies immediately; the
+// coordinator recovers through typed re-dispatch accounting and the local
+// rung, with every worker's death typed on its report.
+func TestFullyDeadPoolDegradesTyped(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	want := reference(t, mc, o)
+	p := startPool(t, 3, func(int) WorkerOptions { return WorkerOptions{DieAfterJobs: 1} }, PoolOptions{})
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, want, got)
+	if got.Stats.LocalFallback == 0 {
+		t.Fatal("dead pool produced no local fallbacks")
+	}
+	for i, wr := range got.Stats.Workers {
+		if wr.Status != guard.StatusCanceled {
+			t.Fatalf("worker %d status %v, want canceled (dead link)", i, wr.Status)
+		}
+	}
+}
+
+// TestTamperQuarantineAndBreaker: a worker returning well-formed wrong
+// answers is quarantined on every reply, trips its breaker (the refusing
+// state), and never lands a single accepted result.
+func TestTamperQuarantineAndBreaker(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	want := reference(t, mc, o)
+	p := startPool(t, 2, func(i int) WorkerOptions {
+		if i == 0 {
+			return WorkerOptions{Tamper: func(r *prob.Result) {
+				for j := range r.X {
+					r.X[j] = 1 - r.X[j]
+				}
+			}}
+		}
+		return WorkerOptions{}
+	}, PoolOptions{BreakerThreshold: 1, BreakerCooldown: 1000})
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, want, got)
+	if got.Stats.TamperedQuarantined == 0 {
+		t.Fatal("tampered replies were not quarantined")
+	}
+	liar := got.Stats.Workers[0]
+	if liar.Accepted != 0 {
+		t.Fatalf("tampering worker landed %d accepted results", liar.Accepted)
+	}
+	if liar.Tampered == 0 {
+		t.Fatal("tampering worker has no tamper count")
+	}
+	if liar.Breaker == serve.BreakerClosed.String() {
+		t.Fatal("tampering worker's breaker never opened")
+	}
+	if liar.Status != guard.StatusDiverged {
+		t.Fatalf("refusing worker typed %v, want diverged", liar.Status)
+	}
+}
+
+// TestSilentWorkerTimesOut: a worker that never heartbeats and wedges on
+// its first job is declared dead by silence with a typed timeout, and the
+// solve completes identically without it.
+func TestSilentWorkerTimesOut(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	want := reference(t, mc, o)
+	p := startPool(t, 2, func(i int) WorkerOptions {
+		if i == 0 {
+			return WorkerOptions{SolveSpin: 1 << 28} // wedged, no heartbeats
+		}
+		return WorkerOptions{HeartbeatEvery: 10 * time.Millisecond}
+	}, PoolOptions{DeadAfter: 80 * time.Millisecond})
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, want, got)
+	if got.Stats.Workers[0].Status != guard.StatusTimeout {
+		t.Fatalf("silent worker typed %v, want timeout", got.Stats.Workers[0].Status)
+	}
+	if got.Stats.Workers[1].Status != guard.StatusOK {
+		t.Fatalf("healthy worker typed %v, want ok", got.Stats.Workers[1].Status)
+	}
+}
+
+// TestBlackHoleWorkerEscapes: a worker that handshakes and heartbeats
+// forever but swallows every job keeps its link "alive" while answering
+// nothing. With hedging disabled and no silence threshold, no recovery path
+// fires except the progress-based stall escape — which must force the cell
+// down the local ladder so the coordinator still returns the reference bits.
+func TestBlackHoleWorkerEscapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full stall-escape window")
+	}
+	mc, err := GenerateMultiCell(1, 1, 1, 1, 4, 0, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Sweeps = 1 // one escape window, not one per sweep
+	o := testOptions()
+	o.HedgeAfter = -1 // hedging off: only the escape can save the cell
+	want := reference(t, mc, o)
+
+	c1, c2 := net.Pipe()
+	go func() {
+		defer c2.Close()
+		go io.Copy(io.Discard, c2) // swallow every dispatched frame
+		enc := wire.GetWriter()
+		defer wire.PutWriter(enc)
+		enc.Reset()
+		encodeHello(enc, hello{Name: "blackhole"})
+		if _, err := c2.Write(enc.Bytes()); err != nil {
+			return
+		}
+		for seq := uint64(1); ; seq++ {
+			time.Sleep(20 * time.Millisecond)
+			enc.Reset()
+			encodeHeartbeat(enc, heartbeat{Seq: seq})
+			if _, err := c2.Write(enc.Bytes()); err != nil {
+				return // coordinator closed the link; we are done
+			}
+		}
+	}()
+	p := NewPool([]io.ReadWriteCloser{c1}, PoolOptions{})
+	defer p.Close()
+
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSolution(t, want, got)
+	if got.Stats.StallEscapes == 0 {
+		t.Fatalf("solve returned without a stall escape: %+v", got.Stats)
+	}
+	for i, c := range got.Cells {
+		if c.Source == SourceRemote {
+			t.Fatalf("cell %d sourced remotely from a black-hole pool", i)
+		}
+	}
+}
+
+// TestBudgetTripDrainsTyped: an already-exhausted whole-solve budget still
+// produces a complete, typed answer — every cell lands on the ladder's
+// greedy rung with a budget status, never a hang or a hole.
+func TestBudgetTripDrainsTyped(t *testing.T) {
+	mc := testProblem(t)
+	o := testOptions()
+	o.Budget = guard.Budget{MaxEvals: 1, Hook: func(iter, evals int) guard.Status {
+		return guard.StatusTimeout // trip immediately, deterministically
+	}}
+	p := NewPool(nil, PoolOptions{})
+	defer p.Close()
+	got, err := p.Solve(mc, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status == guard.StatusConverged || got.Status == guard.StatusOK {
+		t.Fatalf("tripped budget reported %v", got.Status)
+	}
+	for i, c := range got.Cells {
+		if c.Alloc == nil {
+			t.Fatalf("cell %d has no allocation", i)
+		}
+		if c.Status == guard.StatusConverged {
+			t.Fatalf("cell %d claims convergence under a tripped budget", i)
+		}
+		if _, err := mc.Cells[i].Evaluate(c.Alloc); err != nil {
+			t.Fatalf("cell %d degraded allocation unusable: %v", i, err)
+		}
+	}
+}
+
+// TestMultiResultTotalRate: the merged objective evaluates finitely and
+// positively for a converged solve.
+func TestMultiResultTotalRate(t *testing.T) {
+	mc := testProblem(t)
+	got := reference(t, mc, testOptions())
+	rate, err := got.TotalRateBps(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("total rate %g", rate)
+	}
+}
+
+// TestValidate rejects malformed multi-cell instances with typed errors.
+func TestValidate(t *testing.T) {
+	mc := testProblem(t)
+	bad := *mc
+	bad.Coupling = [][]float64{{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short coupling accepted")
+	}
+	bad = *mc
+	bad.Coupling = [][]float64{{1, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nonzero coupling diagonal accepted")
+	}
+	if err := (&MultiCell{}).Validate(); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+	var nilMC *MultiCell
+	if err := nilMC.Validate(); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// The dist decoders sit on the coordinator's trust boundary: every byte they
+// see may come from a compromised or corrupted worker. The contract under
+// fuzzing is total: any input either decodes to a structurally valid value
+// or fails with a typed wire sentinel — never a panic, never an untyped
+// error, and on success the value re-encodes byte-identically (canonical
+// form, no two encodings of one value).
+
+func fuzzCorpus(f *testing.F, names ...string) {
+	f.Helper()
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join("testdata", name+".bin"))
+		if err != nil {
+			f.Fatalf("missing golden corpus (run go test -update-dist): %v", err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, wire.HeaderSize+wire.ChecksumSize))
+}
+
+func wantTyped(t *testing.T, err error) {
+	t.Helper()
+	for _, sentinel := range []error{
+		wire.ErrTruncated, wire.ErrBadMagic, wire.ErrVersion,
+		wire.ErrChecksum, wire.ErrCorrupt, wire.ErrFingerprint,
+	} {
+		if errors.Is(err, sentinel) {
+			return
+		}
+	}
+	t.Fatalf("decode failed with untyped error: %v", err)
+}
+
+func FuzzDecodeSubproblem(f *testing.F) {
+	fuzzCorpus(f, "subproblem", "subresult")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := decodeSubproblem(data)
+		if err != nil {
+			wantTyped(t, err)
+			return
+		}
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		encodeSubproblem(w, sp)
+		if !bytes.Equal(w.Bytes(), data) {
+			t.Fatal("accepted subproblem is not in canonical form")
+		}
+	})
+}
+
+func FuzzDecodeSubResult(f *testing.F) {
+	fuzzCorpus(f, "subresult", "refusal", "subproblem")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr, err := decodeSubresult(data)
+		if err != nil {
+			wantTyped(t, err)
+			return
+		}
+		w := wire.GetWriter()
+		defer wire.PutWriter(w)
+		encodeSubresult(w, sr)
+		if !bytes.Equal(w.Bytes(), data) {
+			t.Fatal("accepted subresult is not in canonical form")
+		}
+	})
+}
+
+func FuzzDecodeControl(f *testing.F) {
+	fuzzCorpus(f, "hello", "heartbeat")
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := decodeHello(data); err == nil {
+			w := wire.GetWriter()
+			encodeHello(w, h)
+			ok := bytes.Equal(w.Bytes(), data)
+			wire.PutWriter(w)
+			if !ok {
+				t.Fatal("accepted hello is not in canonical form")
+			}
+		} else {
+			wantTyped(t, err)
+		}
+		if hb, err := decodeHeartbeat(data); err == nil {
+			w := wire.GetWriter()
+			encodeHeartbeat(w, hb)
+			ok := bytes.Equal(w.Bytes(), data)
+			wire.PutWriter(w)
+			if !ok {
+				t.Fatal("accepted heartbeat is not in canonical form")
+			}
+		} else {
+			wantTyped(t, err)
+		}
+	})
+}

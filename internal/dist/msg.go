@@ -1,0 +1,211 @@
+package dist
+
+// Protocol envelopes. Every message on a coordinator↔worker link is exactly
+// one wire frame (magic, version, kind, checksum), so the transport layer
+// needs no framing of its own and every protocol error is one of the wire
+// package's typed sentinels. Subproblem and SubResult envelopes nest the
+// prob wire codecs for the actual payloads — the envelope adds only the
+// dispatch metadata (job id, budget, knobs, incumbent) around them, and the
+// nested frame keeps its own checksum and fingerprints, so a corruption
+// confined to the inner payload is still caught even though FrameBytes does
+// not verify inner checksums. Decoders are strict: unknown trailing bytes,
+// out-of-range values, and kind mismatches are all typed failures, never
+// best-effort acceptance.
+
+import (
+	"fmt"
+
+	"repro/internal/guard"
+	"repro/internal/prob"
+	"repro/internal/wire"
+)
+
+// hello is the worker's first frame on a link: its name and the protocol
+// version ride in the frame itself, so version skew surfaces as
+// wire.ErrVersion on the coordinator's very first read from that worker.
+type hello struct {
+	Name string
+}
+
+// heartbeat is the worker's periodic liveness beacon. Seq increases by one
+// per beacon; Job is the job id currently being solved (0 when idle), which
+// lets the coordinator distinguish "slow but working" from "wedged".
+type heartbeat struct {
+	Seq uint64
+	Job uint64
+}
+
+// subresult is the worker's reply to a subproblem. Exactly one of two
+// shapes: a result reply (Res non-nil, FP the fingerprint of the problem the
+// worker solved) or a typed refusal (Res nil, Detail says why — decode
+// failure, solver error). A refusal is an honest "I could not", distinct
+// from silence (dead) and from a tampered reply (caught by recertification).
+type subresult struct {
+	Job    uint64
+	Res    *prob.Result
+	FP     prob.Fingerprint
+	Detail string
+}
+
+// encodeHello appends a hello frame.
+func encodeHello(w *wire.Writer, h hello) {
+	start := w.BeginFrame(wire.Header{Kind: wire.KindHello})
+	w.String(h.Name)
+	w.EndFrame(start)
+}
+
+// decodeHello parses a hello frame.
+func decodeHello(frame []byte) (hello, error) {
+	r, err := openEnvelope(frame, wire.KindHello)
+	if err != nil {
+		return hello{}, err
+	}
+	h := hello{Name: r.String()}
+	return h, closeEnvelope(r, "hello")
+}
+
+// encodeHeartbeat appends a heartbeat frame.
+func encodeHeartbeat(w *wire.Writer, hb heartbeat) {
+	start := w.BeginFrame(wire.Header{Kind: wire.KindHeartbeat, Content: hb.Job})
+	w.U64(hb.Seq)
+	w.U64(hb.Job)
+	w.EndFrame(start)
+}
+
+// decodeHeartbeat parses a heartbeat frame.
+func decodeHeartbeat(frame []byte) (heartbeat, error) {
+	r, err := openEnvelope(frame, wire.KindHeartbeat)
+	if err != nil {
+		return heartbeat{}, err
+	}
+	hb := heartbeat{Seq: r.U64(), Job: r.U64()}
+	return hb, closeEnvelope(r, "heartbeat")
+}
+
+// encodeSubproblem appends a subproblem frame. The header's content word
+// carries the job id so a coordinator can match frames without decoding
+// payloads; the nested problem frame carries its own fingerprints.
+func encodeSubproblem(w *wire.Writer, sp *subproblem) {
+	start := w.BeginFrame(wire.Header{Kind: wire.KindSubproblem, Content: sp.Job})
+	w.U64(sp.Job)
+	w.U32(sp.Sweep)
+	w.U32(sp.Cell)
+	sp.Budget.EncodeWire(w)
+	w.I64(int64(sp.MaxNodes))
+	w.F64(sp.IntTol)
+	w.F64(sp.GapTol)
+	w.F64s(sp.Incumbent)
+	sp.IR.EncodeWire(w)
+	w.EndFrame(start)
+}
+
+// decodeSubproblem parses a subproblem frame, including the nested problem
+// (whose own checksum and fingerprints are verified by DecodeProblem).
+func decodeSubproblem(frame []byte) (*subproblem, error) {
+	r, err := openEnvelope(frame, wire.KindSubproblem)
+	if err != nil {
+		return nil, err
+	}
+	sp := &subproblem{
+		Job:   r.U64(),
+		Sweep: r.U32(),
+		Cell:  r.U32(),
+	}
+	sp.Budget = guard.DecodeBudget(r)
+	sp.MaxNodes = int(r.I64())
+	sp.IntTol = r.F64()
+	sp.GapTol = r.F64()
+	sp.Incumbent = r.F64s(nil)
+	if sp.MaxNodes < 0 {
+		r.Corruptf("negative node budget %d", sp.MaxNodes)
+	}
+	inner := r.FrameBytes()
+	if err := closeEnvelope(r, "subproblem"); err != nil {
+		return nil, err
+	}
+	p, err := prob.DecodeProblem(inner, nil)
+	if err != nil {
+		return nil, fmt.Errorf("subproblem %d: nested problem: %w", sp.Job, err)
+	}
+	sp.IR = p
+	return sp, nil
+}
+
+// encodeSubresult appends a subresult frame. A result reply nests the
+// result frame stamped with the fingerprint of the problem that was solved;
+// a refusal carries only the detail string.
+func encodeSubresult(w *wire.Writer, sr *subresult) {
+	start := w.BeginFrame(wire.Header{Kind: wire.KindSubResult, Content: sr.Job})
+	w.U64(sr.Job)
+	if sr.Res != nil {
+		w.U8(1)
+		sr.Res.EncodeWire(w, sr.FP)
+	} else {
+		w.U8(0)
+	}
+	w.String(sr.Detail)
+	w.EndFrame(start)
+}
+
+// decodeSubresult parses a subresult frame, including the nested result for
+// a result reply (whose own checksum is verified by DecodeResult). The
+// decoded result is *intact*, not *trusted* — the coordinator still
+// recertifies it against its own copy of the problem.
+func decodeSubresult(frame []byte) (*subresult, error) {
+	r, err := openEnvelope(frame, wire.KindSubResult)
+	if err != nil {
+		return nil, err
+	}
+	sr := &subresult{Job: r.U64()}
+	hasRes := r.Bool()
+	var inner []byte
+	if hasRes {
+		inner = r.FrameBytes()
+	}
+	sr.Detail = r.String()
+	if err := closeEnvelope(r, "subresult"); err != nil {
+		return nil, err
+	}
+	if hasRes {
+		res, fp, err := prob.DecodeResult(inner, nil)
+		if err != nil {
+			return nil, fmt.Errorf("subresult %d: nested result: %w", sr.Job, err)
+		}
+		sr.Res, sr.FP = res, fp
+	}
+	return sr, nil
+}
+
+// openEnvelope verifies and opens a frame, requiring the expected kind and
+// that the frame spans the input exactly (no trailing garbage), and returns
+// a reader over its payload.
+func openEnvelope(frame []byte, kind uint16) (*wire.Reader, error) {
+	n, err := wire.FrameLen(frame)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(frame) {
+		return nil, fmt.Errorf("%w: frame spans %d of %d bytes", wire.ErrCorrupt, n, len(frame))
+	}
+	h, payload, err := wire.OpenFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != kind {
+		return nil, fmt.Errorf("%w: kind %d, want %d", wire.ErrCorrupt, h.Kind, kind)
+	}
+	r := wire.NewReader(payload)
+	return &r, nil
+}
+
+// closeEnvelope finishes a strict payload decode: any reader error or
+// unconsumed trailing bytes is a typed corruption.
+func closeEnvelope(r *wire.Reader, what string) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("%s payload: %w", what, err)
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after %s payload", wire.ErrCorrupt, n, what)
+	}
+	return nil
+}

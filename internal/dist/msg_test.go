@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/qos"
+	"repro/internal/wire"
+)
+
+// -update-dist regenerates the golden envelope fixtures under testdata/.
+// Goldens pin the byte format: any codec change that shifts bytes must be a
+// deliberate wire.Version bump, not an accident.
+var updateDist = flag.Bool("update-dist", false, "rewrite dist golden wire fixtures")
+
+// fixtureSpec is a deterministic dispatched subproblem: a generated
+// single-cell column MILP with a pinned budget and knobs.
+func fixtureSpec(t testing.TB) *subproblem {
+	t.Helper()
+	p, err := qos.GenerateProblem(1, 1, 0, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := p.ColumnModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := buildSpec(0, 2, cm, Options{MaxNodes: 64, IntTol: 1e-6, GapTol: 1e-2})
+	sp.Budget = guard.Budget{Deadline: 1500 * time.Millisecond, MaxEvals: 777}
+	return sp
+}
+
+// fixtureFrames builds every envelope kind with deterministic content.
+func fixtureFrames(t testing.TB) map[string][]byte {
+	t.Helper()
+	sp := fixtureSpec(t)
+	solved := *sp // the solve must not see the wall-clock deadline: bytes would stay stable but the test should be timing-free
+	solved.Budget = guard.Budget{}
+	res, err := solveSpec(&solved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != guard.StatusConverged {
+		t.Fatalf("fixture solve ended %v", res.Status)
+	}
+
+	frames := make(map[string][]byte)
+	w := wire.GetWriter()
+	defer wire.PutWriter(w)
+	snap := func(name string) {
+		frames[name] = append([]byte(nil), w.Bytes()...)
+		w.Reset()
+	}
+	encodeHello(w, hello{Name: "w0"})
+	snap("hello")
+	encodeHeartbeat(w, heartbeat{Seq: 9, Job: sp.Job})
+	snap("heartbeat")
+	encodeSubproblem(w, sp)
+	snap("subproblem")
+	encodeSubresult(w, &subresult{Job: sp.Job, Res: res, FP: sp.IR.Fingerprint()})
+	snap("subresult")
+	encodeSubresult(w, &subresult{Job: jobID(1, 3), Detail: "decode: boom"})
+	snap("refusal")
+	return frames
+}
+
+// TestGoldenEnvelopes pins the exact bytes of every dist envelope kind and
+// proves each decodes back to its source.
+func TestGoldenEnvelopes(t *testing.T) {
+	frames := fixtureFrames(t)
+	for name, got := range frames {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", name+".bin")
+			if *updateDist {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-dist): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s encoding drifted from golden: %d bytes vs %d", name, len(got), len(want))
+			}
+		})
+	}
+
+	// Decode-back: the golden bytes reproduce the fixtures.
+	sp := fixtureSpec(t)
+	dec, err := decodeSubproblem(frames["subproblem"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Job != sp.Job || dec.Sweep != sp.Sweep || dec.Cell != sp.Cell ||
+		dec.Budget.Deadline != sp.Budget.Deadline ||
+		dec.Budget.MaxEvals != sp.Budget.MaxEvals || dec.MaxNodes != sp.MaxNodes ||
+		dec.IntTol != sp.IntTol || dec.GapTol != sp.GapTol ||
+		!reflect.DeepEqual(dec.Incumbent, sp.Incumbent) {
+		t.Fatalf("subproblem round trip drifted:\n got %+v\nwant %+v", dec, sp)
+	}
+	if dec.IR.Fingerprint() != sp.IR.Fingerprint() {
+		t.Fatal("nested problem fingerprint drifted")
+	}
+	sr, err := decodeSubresult(frames["subresult"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Job != sp.Job || sr.Res == nil || sr.FP != sp.IR.Fingerprint() {
+		t.Fatalf("subresult round trip drifted: %+v", sr)
+	}
+	ref, err := decodeSubresult(frames["refusal"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Res != nil || ref.Detail != "decode: boom" {
+		t.Fatalf("refusal round trip drifted: %+v", ref)
+	}
+	h, err := decodeHello(frames["hello"])
+	if err != nil || h.Name != "w0" {
+		t.Fatalf("hello round trip drifted: %+v %v", h, err)
+	}
+	hb, err := decodeHeartbeat(frames["heartbeat"])
+	if err != nil || hb.Seq != 9 || hb.Job != sp.Job {
+		t.Fatalf("heartbeat round trip drifted: %+v %v", hb, err)
+	}
+}
+
+// TestEnvelopeVersionSkew: a frame stamped with a future format version is
+// refused with wire.ErrVersion — by the payload decoders and, crucially, by
+// the stream transport before it trusts the header's length field.
+func TestEnvelopeVersionSkew(t *testing.T) {
+	frames := fixtureFrames(t)
+	for name, frame := range frames {
+		bumped := append([]byte(nil), frame...)
+		binary.LittleEndian.PutUint16(bumped[4:6], wire.Version+1)
+
+		var err error
+		switch name {
+		case "hello":
+			_, err = decodeHello(bumped)
+		case "heartbeat":
+			_, err = decodeHeartbeat(bumped)
+		case "subproblem":
+			_, err = decodeSubproblem(bumped)
+		default:
+			_, err = decodeSubresult(bumped)
+		}
+		if !errors.Is(err, wire.ErrVersion) {
+			t.Fatalf("%s: skewed decode returned %v, want ErrVersion", name, err)
+		}
+		if _, err := readFrame(bytes.NewReader(bumped)); !errors.Is(err, wire.ErrVersion) {
+			t.Fatalf("%s: skewed stream read returned %v, want ErrVersion", name, err)
+		}
+	}
+}
+
+// TestEnvelopeKindConfusion: a valid frame of one kind refuses to decode as
+// another — kind is checked, not assumed.
+func TestEnvelopeKindConfusion(t *testing.T) {
+	frames := fixtureFrames(t)
+	if _, err := decodeHello(frames["heartbeat"]); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("heartbeat decoded as hello: %v", err)
+	}
+	if _, err := decodeSubproblem(frames["subresult"]); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("subresult decoded as subproblem: %v", err)
+	}
+}
+
+// TestReadFrameBounds: the stream transport rejects oversized payload
+// claims before allocating and types truncation.
+func TestReadFrameBounds(t *testing.T) {
+	frames := fixtureFrames(t)
+	frame := append([]byte(nil), frames["subproblem"]...)
+
+	huge := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint64(huge[24:32], maxFrameBytes+1)
+	if _, err := readFrame(bytes.NewReader(huge)); !errors.Is(err, wire.ErrCorrupt) {
+		t.Fatalf("oversized claim returned %v, want ErrCorrupt", err)
+	}
+
+	if _, err := readFrame(bytes.NewReader(frame[:len(frame)-3])); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("truncated stream returned %v, want ErrTruncated", err)
+	}
+	if _, err := readFrame(bytes.NewReader(frame[:7])); !errors.Is(err, wire.ErrTruncated) {
+		t.Fatalf("truncated header returned %v, want ErrTruncated", err)
+	}
+	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream returned %v, want EOF", err)
+	}
+	garbage := append([]byte("JUNKJUNK"), frame...)
+	if _, err := readFrame(bytes.NewReader(garbage)); !errors.Is(err, wire.ErrBadMagic) {
+		t.Fatalf("misaligned stream returned %v, want ErrBadMagic", err)
+	}
+}

@@ -1,0 +1,108 @@
+package dist
+
+// Stream transport: length-delimited wire frames over any io.Reader/Writer
+// pair — an os pipe to a child process, a net.Pipe in tests, or a TCP
+// connection. The frame header is self-describing (magic, version, payload
+// length), so the transport validates the header prefix before trusting the
+// length field, bounds every read, and never needs out-of-band framing. A
+// framing-level failure (bad magic, version skew, oversized claim, short
+// read) poisons the whole link — once the byte stream has lost frame
+// alignment there is no way to resynchronize, so the only safe response is
+// to stop reading and let the health layer mark the worker dead.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/wire"
+)
+
+// maxFrameBytes bounds a single dist frame (64 MiB). A header claiming more
+// is treated as corruption before any allocation happens, so a damaged or
+// hostile length field cannot drive the coordinator out of memory.
+const maxFrameBytes = 1 << 26
+
+// readFrame reads one complete frame from r: the fixed-size header first,
+// validated (magic, version) before its payload-length claim is trusted and
+// bounded, then the payload and checksum. The returned slice is a complete
+// frame ready for the envelope decoders (which verify the checksum).
+func readFrame(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, wire.HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF // clean close between frames
+		}
+		return nil, fmt.Errorf("%w: frame header: %v", wire.ErrTruncated, err)
+	}
+	if _, plen, err := wire.PeekHeader(hdr); err != nil {
+		return nil, err
+	} else if plen > maxFrameBytes {
+		return nil, fmt.Errorf("%w: frame claims %d-byte payload, cap %d", wire.ErrCorrupt, plen, maxFrameBytes)
+	} else {
+		frame := make([]byte, wire.HeaderSize+int(plen)+wire.ChecksumSize)
+		copy(frame, hdr)
+		if _, err := io.ReadFull(r, frame[wire.HeaderSize:]); err != nil {
+			return nil, fmt.Errorf("%w: frame body: %v", wire.ErrTruncated, err)
+		}
+		return frame, nil
+	}
+}
+
+// link is one framed duplex connection. Writes are serialized under a mutex
+// (a worker's heartbeat goroutine shares the link with its solve loop) and
+// pass through an optional seeded transport fault plan — the chaos seam that
+// drops, delays, duplicates, truncates, or bit-flips outgoing frames.
+type link struct {
+	mu    sync.Mutex
+	w     io.Writer
+	r     io.Reader
+	c     io.Closer // optional; nil for stdin/stdout pairs
+	fault faultinject.TransportPlan
+}
+
+// newLink wraps a reader/writer pair. closer may be nil.
+func newLink(r io.Reader, w io.Writer, closer io.Closer) *link {
+	return &link{w: w, r: r, c: closer}
+}
+
+// writeFrame sends one frame, atomically with respect to other writers on
+// this link. The fault plan may expand the frame into zero, one, or several
+// (possibly damaged) copies; a dropped frame is a silent success, exactly
+// like a packet lost in flight.
+func (l *link) writeFrame(frame []byte) error {
+	out := l.fault.Apply(frame)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, f := range out {
+		if _, err := l.w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads the next frame. Only one goroutine reads a link.
+func (l *link) readFrame() ([]byte, error) {
+	return readFrame(l.r)
+}
+
+// Close closes the underlying connection if it has a closer.
+func (l *link) Close() error {
+	if l.c == nil {
+		return nil
+	}
+	return l.c.Close()
+}
+
+// frameJob extracts the job id a frame claims to belong to (the header's
+// content word) without decoding the payload — enough to route even a frame
+// whose payload later fails to decode.
+func frameJob(frame []byte) uint64 {
+	if len(frame) < wire.HeaderSize {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(frame[16:24])
+}

@@ -1,0 +1,149 @@
+package dist
+
+// Worker side of the protocol: read subproblem frames, run the one
+// deterministic solve, reply. The worker is stateless between jobs and
+// trusts nothing it reads — a frame that fails to decode draws a typed
+// refusal (when the job id is recoverable) or poisons the link (when frame
+// alignment is lost). Chaos seams (Tamper, Fault, DieAfterJobs, SolveSpin)
+// are plumbed here so the soak tests can script Byzantine, lossy, and
+// crashing workers through the exact production code path.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/prob"
+	"repro/internal/wire"
+)
+
+// ErrWorkerKilled is returned by ServeWorker when a DieAfterJobs chaos seam
+// triggered — the scripted stand-in for a worker process crash.
+var ErrWorkerKilled = errors.New("dist: worker killed by chaos plan")
+
+// WorkerOptions configures one ServeWorker loop.
+type WorkerOptions struct {
+	// Name identifies the worker in its hello frame (diagnostics only).
+	Name string
+	// HeartbeatEvery, when positive, emits heartbeat frames at this period
+	// from a background goroutine for the coordinator's health tracking.
+	HeartbeatEvery time.Duration
+	// Tamper, when non-nil, mutates each result before it is encoded — the
+	// chaos seam for a worker returning well-formed wrong answers.
+	Tamper func(*prob.Result)
+	// Fault is applied to every outgoing frame (drop/delay/dup/damage) —
+	// the chaos seam for a lossy or corrupting transport.
+	Fault faultinject.TransportPlan
+	// DieAfterJobs, when positive, kills the worker after it has read that
+	// many subproblem frames, before replying to the last one — the
+	// mid-job crash the hedging and re-dispatch machinery must survive.
+	DieAfterJobs int
+	// SolveSpin, when positive, burns deterministic CPU before each solve —
+	// the chaos seam for a straggler that hedged re-dispatch overtakes.
+	SolveSpin int
+}
+
+// ServeWorker runs a worker loop over one link until the peer closes it (nil)
+// or a protocol/transport failure poisons it (typed error). The loop sends a
+// hello, then serves subproblems one at a time; replies and heartbeats share
+// the link's write lock.
+func ServeWorker(r io.Reader, w io.Writer, o WorkerOptions) error {
+	l := newLink(r, w, nil)
+	l.fault = o.Fault
+
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+	encodeHello(enc, hello{Name: o.Name})
+	if err := l.writeFrame(enc.Bytes()); err != nil {
+		return fmt.Errorf("dist: worker hello: %w", err)
+	}
+
+	var current atomic.Uint64 // job in flight, 0 when idle
+	if o.HeartbeatEvery > 0 {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go heartbeatLoop(l, o.HeartbeatEvery, &current, stop, &wg)
+		defer func() {
+			close(stop)
+			wg.Wait()
+		}()
+	}
+
+	jobs := 0
+	for {
+		frame, err := l.readFrame()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("dist: worker read: %w", err)
+		}
+		jobs++
+		if o.DieAfterJobs > 0 && jobs >= o.DieAfterJobs {
+			return ErrWorkerKilled
+		}
+		sr := serveOne(frame, o, &current)
+		if sr == nil {
+			continue // unroutable frame; nothing useful to say
+		}
+		enc.Reset()
+		encodeSubresult(enc, sr)
+		if err := l.writeFrame(enc.Bytes()); err != nil {
+			return fmt.Errorf("dist: worker reply: %w", err)
+		}
+	}
+}
+
+// serveOne handles one incoming frame: decode, solve, build the reply. A
+// decode failure with a recoverable job id becomes a typed refusal; without
+// one it is silently dropped (the coordinator's hedging recovers the job).
+func serveOne(frame []byte, o WorkerOptions, current *atomic.Uint64) *subresult {
+	sp, err := decodeSubproblem(frame)
+	if err != nil {
+		if job := frameJob(frame); job != 0 {
+			return &subresult{Job: job, Detail: fmt.Sprintf("decode: %v", err)}
+		}
+		return nil
+	}
+	current.Store(sp.Job)
+	defer current.Store(0)
+	if o.SolveSpin > 0 {
+		faultinject.Spin(o.SolveSpin)
+	}
+	res, err := solveSpec(sp)
+	if err != nil || res == nil {
+		return &subresult{Job: sp.Job, Detail: fmt.Sprintf("solve: %v", err)}
+	}
+	if o.Tamper != nil {
+		o.Tamper(res)
+	}
+	return &subresult{Job: sp.Job, Res: res, FP: sp.IR.Fingerprint()}
+}
+
+// heartbeatLoop emits liveness beacons until stopped or the link dies.
+func heartbeatLoop(l *link, every time.Duration, current *atomic.Uint64, stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	enc := wire.GetWriter()
+	defer wire.PutWriter(enc)
+	var seq uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			seq++
+			enc.Reset()
+			encodeHeartbeat(enc, heartbeat{Seq: seq, Job: current.Load()})
+			if l.writeFrame(enc.Bytes()) != nil {
+				return // link dead; the main loop will notice on read
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package faultinject
+
+// Seeded transport fault modes for the distributed solve chaos soak
+// (DESIGN.md §16): frame drop, delay, duplication, truncation, and byte-flip
+// on the stream between coordinator and worker. Like every other mode in
+// this package the faults are keyed off the *content* being damaged (hashed
+// with the caller's seed through per-mode salts), never off call counters or
+// the clock, so a given frame is dropped/delayed/damaged identically on
+// every run regardless of dispatch order, worker count, or hedging — the
+// injected network is bit-reproducible. Transport faults compose with the
+// solver-level NaN/slow-eval/corruption modes: a chaos plan can damage a
+// result vector inside the worker and then flip a bit of the reply frame on
+// its way out, exercising both trust layers at once.
+
+// Per-mode salts decorrelating the five transport hashes from each other
+// and from the solver-level fault hashes, so one seed drives five
+// independent fault subsets.
+const (
+	dropSalt     = 0x9b1f36a7e04c88d3
+	delaySalt    = 0x2e64d1b89f5a7c11
+	dupSalt      = 0x6cd0fa933b185e47
+	truncateSalt = 0xd74b20c5861fae39
+	flipSalt     = 0x41c8e2795da6f0b3
+)
+
+// TransportPlan describes the stream faults to inject into one framed link.
+// The zero plan injects nothing. Rates are probabilities in [0, 1] over the
+// frame-content hash; a frame can trigger several modes at once (delayed,
+// then truncated, then duplicated), mirroring how a sick network misbehaves
+// in combinations.
+type TransportPlan struct {
+	// Seed keys every per-frame hash. Two plans with the same Seed and
+	// rates fault exactly the same frames.
+	Seed uint64
+	// DropRate silently discards the frame — the classic lost datagram.
+	DropRate float64
+	// DelayRate stalls the send with DelaySpin rounds of deterministic busy
+	// work before the frame leaves — the straggler fault that drives the
+	// coordinator's hedged re-dispatch.
+	DelayRate float64
+	// DelaySpin is the busy work burned per delayed frame (splitmix64
+	// mixing rounds, default 1<<16). CPU spin rather than sleep for the
+	// same reason Plan.SlowSpin spins: a parked goroutine would make the
+	// injected network look healthier than a genuinely slow one.
+	DelaySpin int
+	// DupRate sends the frame twice — a retransmit the receiver must
+	// deduplicate.
+	DupRate float64
+	// TruncateRate cuts the frame to a seeded strictly-shorter prefix,
+	// breaking the framing mid-stream.
+	TruncateRate float64
+	// FlipRate flips one seeded bit of the frame — line noise the checksum
+	// trailer must catch.
+	FlipRate float64
+}
+
+// Active reports whether the plan can inject anything.
+func (p TransportPlan) Active() bool {
+	return p.DropRate > 0 || p.DelayRate > 0 || p.DupRate > 0 ||
+		p.TruncateRate > 0 || p.FlipRate > 0
+}
+
+// fires reports whether the mode keyed by salt fires for this frame.
+func (p TransportPlan) fires(salt uint64, rate float64, frame []byte) bool {
+	t := rateThreshold(rate)
+	return t > 0 && hashBytes(p.Seed^salt, frame) < t
+}
+
+// ShouldDrop, ShouldDelay, ShouldDup, ShouldTruncate, and ShouldFlip expose
+// the per-mode decisions so tests can predict exactly which frames fault.
+func (p TransportPlan) ShouldDrop(frame []byte) bool  { return p.fires(dropSalt, p.DropRate, frame) }
+func (p TransportPlan) ShouldDelay(frame []byte) bool { return p.fires(delaySalt, p.DelayRate, frame) }
+func (p TransportPlan) ShouldDup(frame []byte) bool   { return p.fires(dupSalt, p.DupRate, frame) }
+func (p TransportPlan) ShouldTruncate(frame []byte) bool {
+	return p.fires(truncateSalt, p.TruncateRate, frame)
+}
+func (p TransportPlan) ShouldFlip(frame []byte) bool { return p.fires(flipSalt, p.FlipRate, frame) }
+
+// Apply runs the plan against one outgoing frame and returns the frames
+// that actually hit the stream, in order: nil for a drop, one (possibly
+// damaged) frame, or two for a duplicate. The input is never mutated —
+// damaged outputs are copies — so senders can retry with the pristine
+// bytes. Mode composition order is fixed: delay (burn spin), drop (nothing
+// else matters), damage (truncate wins over flip when both fire, since a
+// truncated frame has lost the bytes a flip would target), then duplicate.
+// Duplicates are byte-identical to the first copy, modeling a retransmit of
+// the same damaged packet.
+func (p TransportPlan) Apply(frame []byte) [][]byte {
+	if !p.Active() {
+		return [][]byte{frame}
+	}
+	if p.ShouldDelay(frame) {
+		spin := p.DelaySpin
+		if spin <= 0 {
+			spin = 1 << 16
+		}
+		Spin(spin)
+	}
+	if p.ShouldDrop(frame) {
+		return nil
+	}
+	out := frame
+	switch {
+	case p.ShouldTruncate(frame):
+		out = append([]byte(nil), TruncateBytes(p.Seed^truncateSalt, frame)...)
+	case p.ShouldFlip(frame):
+		out = append([]byte(nil), frame...)
+		BitflipBytes(p.Seed^flipSalt, out)
+	}
+	if p.ShouldDup(frame) {
+		return [][]byte{out, out}
+	}
+	return [][]byte{out}
+}

@@ -1,0 +1,120 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+// frames returns deterministic pseudo-frames of varying content and length.
+func testFrames(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		f := make([]byte, 40+i%96)
+		s := uint64(i)*0x9e3779b97f4a7c15 + 1
+		for j := range f {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			f[j] = byte(s)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// TestTransportPlanDeterministic: the same plan applied to the same frame
+// yields byte-identical output, and which frames fault depends only on
+// (seed, content), not on application order.
+func TestTransportPlanDeterministic(t *testing.T) {
+	plan := TransportPlan{Seed: 7, DropRate: 0.2, DupRate: 0.2, TruncateRate: 0.2, FlipRate: 0.2}
+	frames := testFrames(64)
+	first := make([][][]byte, len(frames))
+	for i, f := range frames {
+		first[i] = plan.Apply(append([]byte(nil), f...))
+	}
+	// Re-apply in reverse order; every outcome must match the first pass.
+	for i := len(frames) - 1; i >= 0; i-- {
+		again := plan.Apply(append([]byte(nil), frames[i]...))
+		if len(again) != len(first[i]) {
+			t.Fatalf("frame %d: %d copies then %d — order-dependent injection", i, len(first[i]), len(again))
+		}
+		for k := range again {
+			if !bytes.Equal(again[k], first[i][k]) {
+				t.Fatalf("frame %d copy %d differs between passes", i, k)
+			}
+		}
+	}
+}
+
+// TestTransportPlanModes: each mode fires on some frames and spares others
+// at moderate rates, the decisions are decorrelated across modes, and the
+// output shapes match the mode semantics.
+func TestTransportPlanModes(t *testing.T) {
+	plan := TransportPlan{Seed: 11, DropRate: 0.25, DupRate: 0.25, TruncateRate: 0.25, FlipRate: 0.25}
+	frames := testFrames(256)
+	var drops, dups, truncs, flips, clean int
+	for _, f := range frames {
+		orig := append([]byte(nil), f...)
+		out := plan.Apply(f)
+		if !bytes.Equal(f, orig) {
+			t.Fatal("Apply mutated the input frame")
+		}
+		switch {
+		case plan.ShouldDrop(f):
+			drops++
+			if out != nil {
+				t.Fatal("dropped frame still emitted")
+			}
+			continue
+		case plan.ShouldDup(f):
+			dups++
+			if len(out) != 2 || !bytes.Equal(out[0], out[1]) {
+				t.Fatal("duplicate is not two identical copies")
+			}
+		default:
+			if len(out) != 1 {
+				t.Fatalf("%d copies of an unduplicated frame", len(out))
+			}
+		}
+		switch {
+		case plan.ShouldTruncate(f):
+			truncs++
+			if len(out[0]) >= len(f) {
+				t.Fatal("truncated frame is not strictly shorter")
+			}
+		case plan.ShouldFlip(f):
+			flips++
+			if len(out[0]) != len(f) || bytes.Equal(out[0], f) {
+				t.Fatal("flipped frame must differ in exactly its length-preserved bytes")
+			}
+		default:
+			if !bytes.Equal(out[0], f) {
+				t.Fatal("unfaulted frame was modified")
+			}
+			clean++
+		}
+	}
+	for name, n := range map[string]int{"drop": drops, "dup": dups, "truncate": truncs, "flip": flips, "clean": clean} {
+		if n == 0 {
+			t.Errorf("%s never occurred over 256 frames at rate 0.25 — salts correlated?", name)
+		}
+	}
+}
+
+// TestTransportPlanZeroAndComposition: the zero plan is a pass-through that
+// returns the input slice itself (no copy), and delay alone never changes
+// bytes.
+func TestTransportPlanZero(t *testing.T) {
+	f := []byte("frame")
+	out := (TransportPlan{}).Apply(f)
+	if len(out) != 1 || &out[0][0] != &f[0] {
+		t.Fatal("zero plan must pass the frame through untouched")
+	}
+	if (TransportPlan{}).Active() {
+		t.Fatal("zero plan reports active")
+	}
+	delayed := (TransportPlan{Seed: 3, DelayRate: 1, DelaySpin: 8}).Apply(f)
+	if len(delayed) != 1 || !bytes.Equal(delayed[0], f) {
+		t.Fatal("delay must not alter frame bytes")
+	}
+}

@@ -1,0 +1,88 @@
+package guard
+
+// Budget wire codec for the distributed solve path (DESIGN.md §16). Only the
+// transferable bounds travel: the wall-clock bound is encoded as *remaining*
+// duration — never an absolute timestamp — so clock skew between coordinator
+// and worker hosts cannot inflate or collapse a budget, and the evaluation
+// cap travels verbatim. Ctx and Hook are process-local by nature (a context
+// chain and a fault-injection closure cannot cross a pipe) and are dropped;
+// the coordinator keeps its own monitor armed, so a worker that ignores its
+// budget is still bounded from the dispatching side.
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Wire flag bits for the encoded budget.
+const (
+	budgetFlagDeadline = 1 << 0
+	budgetFlagMaxEvals = 1 << 1
+)
+
+// EncodeWire appends b's transferable bounds to w: a flag byte, then the
+// remaining deadline in nanoseconds (when positive) and the evaluation cap
+// (when positive). A zero budget encodes as the single flag byte 0 and
+// decodes back to the zero Budget, so "unbounded" round-trips exactly.
+func (b Budget) EncodeWire(w *wire.Writer) {
+	var flags uint8
+	if b.Deadline > 0 {
+		flags |= budgetFlagDeadline
+	}
+	if b.MaxEvals > 0 {
+		flags |= budgetFlagMaxEvals
+	}
+	w.U8(flags)
+	if flags&budgetFlagDeadline != 0 {
+		w.I64(int64(b.Deadline))
+	}
+	if flags&budgetFlagMaxEvals != 0 {
+		w.I64(int64(b.MaxEvals))
+	}
+}
+
+// DecodeBudget reads a budget encoded by EncodeWire from r. Unknown flag
+// bits, non-positive durations, and non-positive caps are typed corruption:
+// a damaged frame must never decode into a *looser* budget than was sent.
+func DecodeBudget(r *wire.Reader) Budget {
+	var b Budget
+	flags := r.U8()
+	if flags&^uint8(budgetFlagDeadline|budgetFlagMaxEvals) != 0 {
+		r.Corruptf("budget flags %#x out of range", flags)
+		return Budget{}
+	}
+	if flags&budgetFlagDeadline != 0 {
+		d := time.Duration(r.I64())
+		if d <= 0 {
+			r.Corruptf("budget deadline %d not positive", d)
+			return Budget{}
+		}
+		b.Deadline = d
+	}
+	if flags&budgetFlagMaxEvals != 0 {
+		n := r.I64()
+		if n <= 0 || int64(int(n)) != n {
+			r.Corruptf("budget eval cap %d out of range", n)
+			return Budget{}
+		}
+		b.MaxEvals = int(n)
+	}
+	if r.Err() != nil {
+		return Budget{}
+	}
+	return b
+}
+
+// Remaining reports the wall-clock time left before the monitor's deadline,
+// and whether a deadline is armed at all. It is what a coordinator encodes
+// into a dispatch budget: the receiving worker re-anchors the duration on
+// its own clock, so only elapsed time — never wall-clock skew — shrinks the
+// budget as it crosses hosts. A nil or deadline-free monitor reports false.
+func (m *Monitor) Remaining() (time.Duration, bool) {
+	if m == nil || m.deadline.IsZero() {
+		return 0, false
+	}
+	//lint:ignore nondet remaining-deadline propagation gates dispatch control flow only; expiry surfaces as StatusTimeout, never as silent result data
+	return time.Until(m.deadline), true
+}

@@ -1,0 +1,125 @@
+package guard_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/wire"
+)
+
+// TestBudgetWireRoundTrip pins the budget codec: the encoded bytes are part
+// of the dist protocol's frozen layout, so they are asserted exactly, not
+// just round-tripped.
+func TestBudgetWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		b    guard.Budget
+		want []byte
+	}{
+		{"zero", guard.Budget{}, []byte{0}},
+		{"deadline", guard.Budget{Deadline: 1500 * time.Millisecond},
+			[]byte{1, 0x00, 0x2f, 0x68, 0x59, 0, 0, 0, 0}}, // 1.5e9 ns LE
+		{"evals", guard.Budget{MaxEvals: 777},
+			[]byte{2, 0x09, 0x03, 0, 0, 0, 0, 0, 0}},
+		{"both", guard.Budget{Deadline: time.Second, MaxEvals: 1},
+			[]byte{3, 0x00, 0xca, 0x9a, 0x3b, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := wire.GetWriter()
+			defer wire.PutWriter(w)
+			tc.b.EncodeWire(w)
+			if !bytes.Equal(w.Bytes(), tc.want) {
+				t.Fatalf("encoded % x, want % x — the dist protocol pins this layout", w.Bytes(), tc.want)
+			}
+			r := wire.NewReader(w.Bytes())
+			got := guard.DecodeBudget(&r)
+			if err := r.Err(); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got.Deadline != tc.b.Deadline || got.MaxEvals != tc.b.MaxEvals {
+				t.Fatalf("round trip = %+v, want %+v", got, tc.b)
+			}
+			if got.Ctx != nil || got.Hook != nil {
+				t.Fatal("Ctx/Hook must never materialize from the wire")
+			}
+			if r.Remaining() != 0 {
+				t.Fatalf("%d bytes left unread", r.Remaining())
+			}
+		})
+	}
+}
+
+// TestBudgetWireDropsLocalFields proves the process-local fields never
+// travel: a fully armed budget encodes identically to one carrying only its
+// transferable bounds.
+func TestBudgetWireDropsLocalFields(t *testing.T) {
+	w1, w2 := wire.GetWriter(), wire.GetWriter()
+	defer wire.PutWriter(w1)
+	defer wire.PutWriter(w2)
+	armed := guard.Budget{
+		Deadline: time.Minute,
+		MaxEvals: 42,
+		Hook:     func(iter, evals int) guard.Status { return guard.StatusCanceled },
+	}
+	armed.EncodeWire(w1)
+	guard.Budget{Deadline: time.Minute, MaxEvals: 42}.EncodeWire(w2)
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("Hook leaked into the encoding")
+	}
+}
+
+// TestBudgetWireRejectsCorruption: a damaged budget must decode to a typed
+// error, never to a looser bound than was sent.
+func TestBudgetWireRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"unknown flag", []byte{4}},
+		{"negative deadline", []byte{1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}},
+		{"zero deadline", []byte{1, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"negative evals", []byte{2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}},
+		{"truncated", []byte{1, 0x01}},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := wire.NewReader(tc.data)
+			b := guard.DecodeBudget(&r)
+			if r.Err() == nil {
+				t.Fatal("corrupt budget decoded cleanly")
+			}
+			if !errors.Is(r.Err(), wire.ErrCorrupt) && !errors.Is(r.Err(), wire.ErrTruncated) {
+				t.Fatalf("error %v is not a typed wire sentinel", r.Err())
+			}
+			if b.Deadline != 0 || b.MaxEvals != 0 {
+				t.Fatalf("corrupt decode leaked bounds %+v", b)
+			}
+		})
+	}
+}
+
+// TestMonitorRemaining covers the propagation source: nil and deadline-free
+// monitors report no deadline; an armed one reports a positive remainder no
+// larger than the configured bound.
+func TestMonitorRemaining(t *testing.T) {
+	var nilMon *guard.Monitor
+	if _, ok := nilMon.Remaining(); ok {
+		t.Fatal("nil monitor reports a deadline")
+	}
+	if _, ok := (guard.Budget{MaxEvals: 5}).Start().Remaining(); ok {
+		t.Fatal("eval-only monitor reports a deadline")
+	}
+	m := guard.Budget{Deadline: time.Hour}.Start()
+	d, ok := m.Remaining()
+	if !ok {
+		t.Fatal("armed monitor reports no deadline")
+	}
+	if d <= 0 || d > time.Hour {
+		t.Fatalf("remaining %v outside (0, 1h]", d)
+	}
+}

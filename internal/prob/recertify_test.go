@@ -1,0 +1,110 @@
+package prob_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/prob"
+)
+
+// recertFixture solves a small column MILP honestly and returns the problem
+// and its certified result, the raw material for tamper tests.
+func recertFixture(t *testing.T) (*prob.Problem, *prob.Result) {
+	t.Helper()
+	p := wireFixtureProblems(t)["qos_milp"]
+	res, err := prob.Solve(p, prob.Options{Budget: guard.Budget{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != guard.StatusConverged {
+		t.Fatalf("fixture solve ended %v", res.Status)
+	}
+	return p, res
+}
+
+// TestRecertifyAcceptsHonest: an honest converged result crosses the
+// boundary, including after a wire round trip.
+func TestRecertifyAcceptsHonest(t *testing.T) {
+	p, res := recertFixture(t)
+	if err := prob.Recertify(p, res); err != nil {
+		t.Fatalf("honest result rejected: %v", err)
+	}
+	var buf []byte
+	{
+		var back prob.Result
+		n, err := res.WriteTo(writerFunc(func(b []byte) (int, error) {
+			buf = append(buf, b...)
+			return len(b), nil
+		}))
+		if err != nil || n == 0 {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, _, err := prob.DecodeResult(buf, &back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prob.Recertify(p, dec); err != nil {
+			t.Fatalf("honest result rejected after wire round trip: %v", err)
+		}
+	}
+}
+
+// writerFunc adapts a closure to io.Writer.
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }
+
+// TestRecertifyRejectsTampering: every way a remote reply can lie — damaged
+// point, forged status with no point, wrong objective, broken feasibility
+// or integrality — is a typed ErrRecertify.
+func TestRecertifyRejectsTampering(t *testing.T) {
+	p, honest := recertFixture(t)
+	clone := func() *prob.Result {
+		c := *honest
+		c.X = append([]float64(nil), honest.X...)
+		return &c
+	}
+	cases := map[string]func(*prob.Result){
+		"bitflip coordinate": func(r *prob.Result) {
+			for i, v := range r.X {
+				if v != 0 {
+					r.X[i] = math.Float64frombits(math.Float64bits(v) ^ (1 << 51))
+					return
+				}
+			}
+		},
+		"perturbed point":    func(r *prob.Result) { r.X[0] += 0.2 },
+		"inflated objective": func(r *prob.Result) { r.Objective *= 1.5 },
+		"nan point":          func(r *prob.Result) { r.X[len(r.X)-1] = math.NaN() },
+		"missing point":      func(r *prob.Result) { r.X = nil },
+		"short point":        func(r *prob.Result) { r.X = r.X[:len(r.X)-1] },
+	}
+	for name, tamper := range cases {
+		t.Run(name, func(t *testing.T) {
+			r := clone()
+			tamper(r)
+			err := prob.Recertify(p, r)
+			if err == nil {
+				t.Fatal("tampered result crossed the trust boundary")
+			}
+			if !errors.Is(err, prob.ErrRecertify) {
+				t.Fatalf("error %v does not wrap ErrRecertify", err)
+			}
+		})
+	}
+
+	t.Run("non-converged claim", func(t *testing.T) {
+		r := clone()
+		r.Status = guard.StatusMaxIter
+		if err := prob.Recertify(p, r); !errors.Is(err, prob.ErrRecertify) {
+			t.Fatalf("non-converged status recertified: %v", err)
+		}
+	})
+	t.Run("nil result", func(t *testing.T) {
+		if err := prob.Recertify(p, nil); !errors.Is(err, prob.ErrRecertify) {
+			t.Fatalf("nil result recertified: %v", err)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package qos
+
+// Exported column-model handle for the distributed solve path (DESIGN.md
+// §16). The coordinator in internal/dist ships the column-selection MILP IR
+// to worker processes and decodes the returned 0/1 vector back into an
+// Allocation on its own side of the trust boundary — which needs the column
+// enumeration (stable (user, rb, level) order) without re-exporting the
+// solver rungs themselves. Columns is a thin view over the same
+// columnModel/greedyIncumbent internals the in-process ladder uses, so the
+// remote and local formulations can never drift apart.
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// Columns binds a problem to its column-selection MILP: the IR to solve and
+// the enumeration needed to interpret its variables.
+type Columns struct {
+	p    *Problem
+	cols []milpColumn
+	// IR is the column-selection MILP as a prob.Problem, exactly the model
+	// SolveExact lowers: one binary variable per admissible (user, rb,
+	// level) column, one-column-per-RB rows, per-user power and min-rate
+	// rows. Callers must treat it as read-only.
+	IR *prob.Problem
+}
+
+// ColumnModel builds the column-selection model for p. The column order —
+// and therefore the IR's variable order — is a pure function of the
+// problem, so two processes building the model from the same problem agree
+// bit-for-bit on the formulation.
+func (p *Problem) ColumnModel() (*Columns, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cols, ir := p.columnModel()
+	return &Columns{p: p, cols: cols, IR: ir}, nil
+}
+
+// Len returns the number of admissible columns (IR variables).
+func (c *Columns) Len() int { return len(c.cols) }
+
+// Allocation decodes a 0/1 solution vector of the column MILP into an
+// Allocation, using the same >0.5 rounding as the exact rung. The vector
+// length must match the column count.
+func (c *Columns) Allocation(x []float64) (*Allocation, error) {
+	if len(x) != len(c.cols) {
+		return nil, fmt.Errorf("%w: solution over %d columns, model has %d", ErrProblem, len(x), len(c.cols))
+	}
+	alloc := NewAllocation(c.p.Inst.Params.NumRBs)
+	for i, col := range c.cols {
+		if x[i] > 0.5 {
+			alloc.UserOf[col.rb] = col.u
+			alloc.PowerW[col.rb] = c.p.Levels[col.level]
+		}
+	}
+	return alloc, nil
+}
+
+// GreedyIncumbent maps the greedy heuristic's allocation onto the columns
+// as a warm-start incumbent for branch and bound, exactly as the exact rung
+// computes it. ok is false when the greedy point is infeasible for the
+// discretized model (off-grid power, unmet QoS) — the solve then simply
+// starts cold. Shipping this vector with a dispatched subproblem is what
+// keeps remote and local-fallback branch-and-bound runs bit-identical: both
+// prune from the same incumbent.
+func (c *Columns) GreedyIncumbent() ([]float64, bool) {
+	return c.p.greedyIncumbent(c.cols)
+}

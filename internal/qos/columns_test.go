@@ -1,0 +1,60 @@
+package qos_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/guard"
+	"repro/internal/minlp"
+	"repro/internal/prob"
+	"repro/internal/qos"
+)
+
+// TestColumnModelMatchesExactRung: solving the exported IR with the
+// exported incumbent and decoding the exported way must reproduce
+// SolveExact's allocation exactly — the two paths are views of one model.
+func TestColumnModelMatchesExactRung(t *testing.T) {
+	p, err := qos.GenerateProblem(2, 1, 1, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := p.ColumnModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Len() == 0 || cm.IR.NumVars != cm.Len() {
+		t.Fatalf("column model: %d columns, IR over %d vars", cm.Len(), cm.IR.NumVars)
+	}
+
+	po := prob.Options{Budget: guard.Budget{}}
+	if x0, ok := cm.GreedyIncumbent(); ok {
+		po.Incumbent = x0
+	}
+	res, err := prob.Solve(cm.IR, po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != guard.StatusConverged {
+		t.Fatalf("IR solve ended %v", res.Status)
+	}
+	got, err := cm.Allocation(res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, mres, err := p.SolveExact(minlp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres == nil || mres.Status != minlp.StatusOptimal {
+		t.Fatalf("exact rung did not prove optimality: %+v", mres)
+	}
+	if !reflect.DeepEqual(got.UserOf, want.UserOf) || !reflect.DeepEqual(got.PowerW, want.PowerW) {
+		t.Fatalf("decoded allocation differs from SolveExact:\n got %v %v\nwant %v %v",
+			got.UserOf, got.PowerW, want.UserOf, want.PowerW)
+	}
+
+	if _, err := cm.Allocation(res.X[:1]); err == nil {
+		t.Fatal("length-mismatched vector decoded without error")
+	}
+}

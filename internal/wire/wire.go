@@ -46,6 +46,10 @@ const (
 	KindResult     uint16 = 2 // prob.Result payload
 	KindCacheEntry uint16 = 3 // persisted cache entry (problem + incumbent)
 	KindSnapshot   uint16 = 4 // cache shard snapshot preamble
+	KindSubproblem uint16 = 5 // dist coordinator→worker dispatch envelope (budget + knobs + nested Problem)
+	KindSubResult  uint16 = 6 // dist worker→coordinator reply envelope (nested Result or typed refusal)
+	KindHello      uint16 = 7 // dist worker handshake; its header version is the skew check
+	KindHeartbeat  uint16 = 8 // dist worker liveness beacon (sequence + in-flight job)
 )
 
 // HeaderSize is the fixed size of a frame header in bytes; ChecksumSize the
@@ -263,6 +267,31 @@ func parseHeader(data []byte) (Header, int, error) {
 func FrameLen(data []byte) (int, error) {
 	_, n, err := parseHeader(data)
 	return n, err
+}
+
+// PeekHeader validates the magic and version of a bare HeaderSize-byte
+// frame header and returns the parsed header plus the payload length it
+// promises. Unlike FrameLen it does not require (or bound against) the rest
+// of the frame, so stream transports can size the body read from the header
+// alone — which also means the payload length here is an unverified claim:
+// callers must enforce their own cap before allocating.
+func PeekHeader(hdr []byte) (Header, uint64, error) {
+	if len(hdr) < HeaderSize {
+		return Header{}, 0, fmt.Errorf("%w: %d header bytes, want %d", ErrTruncated, len(hdr), HeaderSize)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return Header{}, 0, fmt.Errorf("%w: % x", ErrBadMagic, hdr[:4])
+	}
+	h := Header{
+		Version: binary.LittleEndian.Uint16(hdr[4:6]),
+		Kind:    binary.LittleEndian.Uint16(hdr[6:8]),
+		Shape:   binary.LittleEndian.Uint64(hdr[8:16]),
+		Content: binary.LittleEndian.Uint64(hdr[16:24]),
+	}
+	if h.Version != Version {
+		return Header{}, 0, fmt.Errorf("%w: frame v%d, decoder v%d", ErrVersion, h.Version, Version)
+	}
+	return h, binary.LittleEndian.Uint64(hdr[24:32]), nil
 }
 
 // OpenFrame parses and verifies the frame at the start of data, returning
